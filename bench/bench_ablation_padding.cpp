@@ -1,0 +1,56 @@
+// Ablation: EDNS(0) padding block size vs traffic-analysis resistance.
+// For a corpus of random query names, counts how many distinct wire sizes an
+// on-path observer sees per block size (fewer = harder to fingerprint), and
+// the byte overhead paid for it.
+#include <cstdio>
+#include <set>
+
+#include "dns/edns.hpp"
+#include "dns/query.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace encdns;
+  util::Rng rng(11);
+
+  // Query-name corpus with realistic length spread.
+  std::vector<dns::Name> names;
+  for (int i = 0; i < 400; ++i) {
+    std::string label;
+    const auto len = 3 + rng.below(30);
+    for (std::uint64_t j = 0; j < len; ++j)
+      label.push_back(static_cast<char>('a' + rng.below(26)));
+    const auto name = dns::Name::parse(label + ".example.com");
+    names.push_back(*name);
+  }
+
+  util::Table table("Ablation: EDNS(0) padding block size (RFC 7830 / RFC 8467)",
+                    {"Block", "Distinct wire sizes", "Mean size (B)",
+                     "Overhead vs unpadded"});
+  double unpadded_mean = 0.0;
+  for (const std::size_t block : {std::size_t{0}, std::size_t{16}, std::size_t{32},
+                                  std::size_t{64}, std::size_t{128},
+                                  std::size_t{256}, std::size_t{468}}) {
+    std::set<std::size_t> sizes;
+    double total = 0.0;
+    for (const auto& name : names) {
+      dns::QueryOptions options;
+      options.padding_block = block;
+      const auto query = dns::make_query(name, dns::RrType::kA, 1, options);
+      const std::size_t size = query.encode().size();
+      sizes.insert(size);
+      total += static_cast<double>(size);
+    }
+    const double mean = total / static_cast<double>(names.size());
+    if (block == 0) unpadded_mean = mean;
+    table.add_row({block == 0 ? "none" : std::to_string(block),
+                   std::to_string(sizes.size()), util::fmt(mean, 1),
+                   "+" + util::fmt(mean - unpadded_mean, 1) + "B"});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Takeaway: the RFC 8467 recommendation (128-byte blocks) collapses\n"
+              "the query-size side channel to a couple of buckets for a few tens\n"
+              "of bytes per query.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Ablation: ZMap-style permutation vs sequential scan order. Both sweeps
+// discover the same hosts; the permutation spreads probes so no single /16
+// absorbs a burst — the operational reason ZMap randomizes.
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <unordered_map>
+
+#include "scan/permutation.hpp"
+#include "scan/space.hpp"
+#include "util/table.hpp"
+#include "world/world.hpp"
+
+namespace {
+
+using namespace encdns;
+
+/// Max probes landing in one /16 within any window of `window` consecutive
+/// probes (lower = friendlier to target networks).
+template <typename NextIndex>
+std::size_t burstiness(const scan::ScanSpace& space, std::uint64_t probes,
+                       std::size_t window, NextIndex next_index) {
+  std::deque<std::uint32_t> recent;
+  std::unordered_map<std::uint32_t, std::size_t> in_window;
+  std::size_t worst = 0;
+  for (std::uint64_t i = 0; i < probes; ++i) {
+    const std::uint32_t block = space.at(next_index(i)).value() >> 16;
+    recent.push_back(block);
+    worst = std::max(worst, ++in_window[block]);
+    if (recent.size() > window) {
+      --in_window[recent.front()];
+      recent.pop_front();
+    }
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  const world::World world;
+  scan::ScanSpace space(world.scan_prefixes());
+  const std::uint64_t probes = std::min<std::uint64_t>(space.size(), 400000);
+  constexpr std::size_t kWindow = 2000;
+
+  scan::CyclicPermutation permutation(space.size(), 99);
+  const std::size_t permuted = burstiness(space, probes, kWindow, [&](std::uint64_t) {
+    const auto index = permutation.next();
+    return index.value_or(0);
+  });
+  const std::size_t sequential =
+      burstiness(space, probes, kWindow, [&](std::uint64_t i) { return i; });
+
+  util::Table table("Ablation: scan ordering (max probes per /16 in any window "
+                    "of 2,000 probes)",
+                    {"Order", "Burstiness", "Interpretation"});
+  table.add_row({"sequential", std::to_string(sequential),
+                 "entire windows land in one /16 (abuse reports, rate limits)"});
+  table.add_row({"ZMap permutation", std::to_string(permuted),
+                 "probes spread nearly uniformly across networks"});
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Space: %llu addresses across %zu prefixes; %llu probes measured.\n",
+              static_cast<unsigned long long>(space.size()),
+              space.prefixes().size(), static_cast<unsigned long long>(probes));
+  return sequential > permuted ? 0 : 1;
+}

@@ -1,0 +1,145 @@
+// Extension: an empirical protocol matchup validating Table 1's latency
+// column — cold (first lookup, incl. any bootstrap/handshake) vs warm
+// (steady-state) query latency for every transport the survey covers:
+// Do53/UDP, Do53/TCP, DoT, DoH, DNSCrypt, and the DoQ prototype.
+#include <cstdio>
+
+#include "client/do53.hpp"
+#include "client/doh.hpp"
+#include "client/dot.hpp"
+#include "dnscrypt/client.hpp"
+#include "doq/doq.hpp"
+#include "http/url.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "world/world.hpp"
+
+using namespace encdns;
+
+namespace {
+
+struct Sampled {
+  double cold = 0.0;  // first lookup
+  double warm = 0.0;  // median of subsequent lookups
+};
+
+constexpr int kWarmQueries = 80;
+
+template <typename FirstFn, typename NextFn>
+Sampled sample(FirstFn first, NextFn next) {
+  Sampled out;
+  out.cold = first();
+  std::vector<double> warm;
+  for (int i = 0; i < kWarmQueries; ++i) {
+    const double v = next();
+    if (v > 0) warm.push_back(v);
+  }
+  out.warm = util::median(warm).value_or(0);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  world::World world;
+  const auto vantage = world.make_clean_vantage("DE");
+  const util::Date date{2019, 3, 25};
+  util::Rng rng(7);
+
+  util::Table table(
+      "Extension: protocol matchup (DE vantage; cold = first lookup, warm = "
+      "median steady state, ms)",
+      {"Transport", "Server", "Cold", "Warm", "Security"});
+
+  {  // Do53/UDP — the unencrypted baseline.
+    client::Do53Client dns(world.network(), vantage.context, 1);
+    const auto s = sample(
+        [&] {
+          return dns.query_udp(world::addrs::kGooglePrimary,
+                               world.unique_probe_name(rng), dns::RrType::kA, date)
+              .latency.value;
+        },
+        [&] {
+          return dns.query_udp(world::addrs::kGooglePrimary,
+                               world.unique_probe_name(rng), dns::RrType::kA, date)
+              .latency.value;
+        });
+    table.add_row({"Do53/UDP", "8.8.8.8", util::fmt(s.cold, 1), util::fmt(s.warm, 1),
+                   "none"});
+  }
+  {  // Do53/TCP with a persistent connection.
+    client::Do53Client dns(world.network(), vantage.context, 2);
+    const auto q = [&] {
+      return dns.query_tcp(world::addrs::kCloudflarePrimary,
+                           world.unique_probe_name(rng), dns::RrType::kA, date)
+          .latency.value;
+    };
+    const auto s = sample(q, q);
+    table.add_row({"Do53/TCP", "1.1.1.1", util::fmt(s.cold, 1), util::fmt(s.warm, 1),
+                   "none"});
+  }
+  {  // DoT, strict profile, reused session.
+    client::DotClient dot(world.network(), vantage.context, 3);
+    client::DotClient::Options options;
+    options.profile = client::PrivacyProfile::kStrict;
+    options.auth_name = "cloudflare-dns.com";
+    const auto q = [&] {
+      return dot.query(world::addrs::kCloudflarePrimary,
+                       world.unique_probe_name(rng), dns::RrType::kA, date, options)
+          .latency.value;
+    };
+    const auto s = sample(q, q);
+    table.add_row({"DoT", "1.1.1.1", util::fmt(s.cold, 1), util::fmt(s.warm, 1),
+                   "TLS, authenticated"});
+  }
+  {  // DoH with bootstrap + reused session.
+    client::DohClient doh(world.network(), vantage.context, 4);
+    const auto tmpl =
+        *http::UriTemplate::parse("https://mozilla.cloudflare-dns.com/dns-query{?dns}");
+    client::DohClient::Options options;
+    options.bootstrap_resolver = world.bootstrap_resolver("DE");
+    const auto q = [&] {
+      return doh.query(tmpl, world.unique_probe_name(rng), dns::RrType::kA, date,
+                       options)
+          .latency.value;
+    };
+    const auto s = sample(q, q);
+    table.add_row({"DoH", "mozilla.cloudflare-dns.com", util::fmt(s.cold, 1),
+                   util::fmt(s.warm, 1), "TLS inside HTTPS"});
+  }
+  {  // DNSCrypt: UDP transport, certificate bootstrap then sealed queries.
+    dnscrypt::DnscryptClient dc(world.network(), vantage.context, 5);
+    const auto provider =
+        dnscrypt::ProviderKey::derive("2.dnscrypt-cert.opendns.com");
+    const auto q = [&] {
+      return dc.query(util::Ipv4{208, 67, 220, 220}, provider,
+                      world.unique_probe_name(rng), dns::RrType::kA, date)
+          .latency.value;
+    };
+    const auto s = sample(q, q);
+    table.add_row({"DNSCrypt", "208.67.220.220", util::fmt(s.cold, 1),
+                   util::fmt(s.warm, 1), "X25519 box, provider key"});
+  }
+  {  // DoQ prototype: 1-RTT handshake, then 0-RTT per lookup.
+    doq::DoqClient dq(world.network(), vantage.context, 6);
+    doq::DoqClient::Options options;
+    options.auth_name = world::World::kDoqHostname;
+    const auto q = [&] {
+      return dq.query(world.doq_address(), world.unique_probe_name(rng),
+                      dns::RrType::kA, date, options)
+          .latency.value;
+    };
+    const auto s = sample(q, q);
+    table.add_row({"DoQ (prototype)", "doq.dnsmeasure.net", util::fmt(s.cold, 1),
+                   util::fmt(s.warm, 1), "QUIC/TLS1.3, 0-RTT"});
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Reading: warm encrypted transports track the clear-text baseline\n"
+      "(Finding 3.1); DNSCrypt and DoQ keep single-round-trip lookups thanks\n"
+      "to UDP transport — Table 1's 'minor latency above DNS-over-UDP' cells.\n"
+      "(Servers differ per row, so compare cold-vs-warm within a row rather\n"
+      "than absolute values across rows.)\n");
+  return 0;
+}

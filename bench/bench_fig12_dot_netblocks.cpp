@@ -1,0 +1,11 @@
+// Figure 12 / Finding 4.1: DoT traffic per client /24 netblock.
+#include "common.hpp"
+
+int main() {
+  return encdns::bench::run_experiment(
+      "fig12",
+      {"5,623 /24 netblocks send DoT to Cloudflare; the top 5 account for 44%",
+       "of traffic, the top 20 for 60%. 96% of netblocks are active for less",
+       "than one week yet produce 25% of the traffic. No client network is",
+       "flagged by the scan-detection system."});
+}

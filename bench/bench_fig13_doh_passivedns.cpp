@@ -1,0 +1,11 @@
+// Figure 13 / Finding 4.2: DoH bootstrap-domain lookups in passive DNS.
+#include "common.hpp"
+
+int main() {
+  return encdns::bench::run_experiment(
+      "fig13",
+      {"Only 4 of 17 DoH domains exceed 10K total lookups in DNSDB. Google",
+       "(serving since 2016) receives orders of magnitude more queries than",
+       "the rest; Cloudflare grows with the Firefox experiments;",
+       "CleanBrowsing grows ~10x from Sep 2018 (200/mo) to Mar 2019 (1,915)."});
+}

@@ -1,0 +1,9 @@
+// Figure 1: timeline of DNS privacy milestones.
+#include "common.hpp"
+
+int main() {
+  return encdns::bench::run_experiment(
+      "fig1",
+      {"Earliest encryption proposal 2009; DPRIVE WG 2014; DoT RFC7858 2016;",
+       "DoH RFC8484 2018; DNS-over-QUIC still a draft in 2019."});
+}

@@ -1,0 +1,10 @@
+// Figure 2: the two DoH request shapes (GET with base64url dns=, POST with
+// an application/dns-message body), generated with the real codec.
+#include "common.hpp"
+
+int main() {
+  return encdns::bench::run_experiment(
+      "fig2",
+      {"GET https://dns.example.com/dns-query?dns=<base64url(wire query)>",
+       "POST /dns-query with Content-Type: application/dns-message body"});
+}

@@ -1,0 +1,10 @@
+// Figure 6: geo-distribution of the global proxy platform's endpoints.
+#include "common.hpp"
+
+int main() {
+  return encdns::bench::run_experiment(
+      "fig6",
+      {"ProxyRack endpoints span 166 countries; residential-proxy-rich",
+       "markets (Indonesia, Brazil, Russia, Vietnam, ...) are",
+       "over-represented relative to internet population."});
+}

@@ -1,0 +1,80 @@
+// Microbenchmarks for the DNS wire codec and DoH encodings.
+#include <benchmark/benchmark.h>
+
+#include "dns/edns.hpp"
+#include "dns/message.hpp"
+#include "dns/query.hpp"
+#include "util/base64.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace encdns;
+
+dns::Message sample_query() {
+  return dns::make_query(*dns::Name::parse("p0123456789abcdef.probe.dnsmeasure.net"),
+                         dns::RrType::kA, 0x1234);
+}
+
+dns::Message sample_response() {
+  auto response = dns::make_a_response(sample_query(), {util::Ipv4(45, 90, 77, 99)});
+  response.authorities.push_back(dns::ResourceRecord::ns(
+      *dns::Name::parse("dnsmeasure.net"), *dns::Name::parse("ns1.dnsmeasure.net")));
+  return response;
+}
+
+void BM_EncodeQuery(benchmark::State& state) {
+  const auto query = sample_query();
+  for (auto _ : state) benchmark::DoNotOptimize(query.encode());
+}
+BENCHMARK(BM_EncodeQuery);
+
+void BM_EncodeResponseCompressed(benchmark::State& state) {
+  const auto response = sample_response();
+  for (auto _ : state) benchmark::DoNotOptimize(response.encode(true));
+}
+BENCHMARK(BM_EncodeResponseCompressed);
+
+void BM_EncodeResponseUncompressed(benchmark::State& state) {
+  const auto response = sample_response();
+  for (auto _ : state) benchmark::DoNotOptimize(response.encode(false));
+}
+BENCHMARK(BM_EncodeResponseUncompressed);
+
+void BM_DecodeResponse(benchmark::State& state) {
+  const auto wire = sample_response().encode();
+  for (auto _ : state) benchmark::DoNotOptimize(dns::Message::decode(wire));
+}
+BENCHMARK(BM_DecodeResponse);
+
+void BM_PadToBlock(benchmark::State& state) {
+  for (auto _ : state) {
+    auto query = sample_query();
+    benchmark::DoNotOptimize(dns::pad_to_block(query, 128));
+  }
+}
+BENCHMARK(BM_PadToBlock);
+
+void BM_Base64UrlEncode(benchmark::State& state) {
+  const auto wire = sample_query().encode();
+  for (auto _ : state) benchmark::DoNotOptimize(util::base64url_encode(wire));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(wire.size()));
+}
+BENCHMARK(BM_Base64UrlEncode);
+
+void BM_Base64UrlDecode(benchmark::State& state) {
+  const auto encoded = util::base64url_encode(sample_query().encode());
+  for (auto _ : state) benchmark::DoNotOptimize(util::base64url_decode(encoded));
+}
+BENCHMARK(BM_Base64UrlDecode);
+
+void BM_NameParse(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(dns::Name::parse("very.deep.label.chain.example.com"));
+}
+BENCHMARK(BM_NameParse);
+
+}  // namespace
+
+BENCHMARK_MAIN();

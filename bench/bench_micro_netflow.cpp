@@ -1,0 +1,51 @@
+// Microbenchmark: NetFlow collector throughput (the §5 pipeline streams ~20M
+// raw flows through it).
+#include <benchmark/benchmark.h>
+
+#include "traffic/netflow.hpp"
+#include "traffic/scan_detector.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace encdns;
+
+void BM_CollectorObserve(benchmark::State& state) {
+  traffic::NetflowCollector collector(1.0 / 3000.0, 1);
+  util::Rng rng(2);
+  traffic::RawFlow flow;
+  flow.src = util::Ipv4{114, 0, 0, 1};
+  flow.dst = util::Ipv4{1, 1, 1, 1};
+  flow.dst_port = 853;
+  flow.packets = 18;
+  flow.bytes = 2000;
+  flow.complete_session = true;
+  flow.date = {2018, 8, 1};
+  for (auto _ : state) {
+    flow.src = util::Ipv4{static_cast<std::uint32_t>(rng.next())};
+    benchmark::DoNotOptimize(collector.observe(flow));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CollectorObserve);
+
+void BM_DetectorObserve(benchmark::State& state) {
+  traffic::ScanDetector detector;
+  util::Rng rng(3);
+  traffic::RawFlow flow;
+  flow.dst_port = 853;
+  flow.packets = 18;
+  flow.complete_session = true;
+  flow.date = {2018, 8, 1};
+  for (auto _ : state) {
+    flow.src = util::Ipv4{static_cast<std::uint32_t>(0x72000000u | rng.below(4096))};
+    flow.dst = util::Ipv4{static_cast<std::uint32_t>(rng.next())};
+    detector.observe(flow);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DetectorObserve);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Microbenchmarks for the scanning machinery: the ZMap-style permutation,
+// the scan-space index math, and SYN-probe throughput against the world.
+#include <benchmark/benchmark.h>
+
+#include "scan/permutation.hpp"
+#include "scan/space.hpp"
+#include "world/world.hpp"
+
+namespace {
+
+using namespace encdns;
+
+void BM_PermutationNext(benchmark::State& state) {
+  scan::CyclicPermutation permutation(1 << 22, 7);
+  for (auto _ : state) {
+    auto value = permutation.next();
+    if (!value) {
+      permutation.reset();
+      value = permutation.next();
+    }
+    benchmark::DoNotOptimize(value);
+  }
+}
+BENCHMARK(BM_PermutationNext);
+
+void BM_NextPrime(benchmark::State& state) {
+  std::uint64_t n = 4000000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scan::next_prime(n));
+    n += 2;
+  }
+}
+BENCHMARK(BM_NextPrime);
+
+void BM_SpaceAtAndIndexOf(benchmark::State& state) {
+  static const world::World world;
+  scan::ScanSpace space(world.scan_prefixes());
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const auto addr = space.at(i % space.size());
+    benchmark::DoNotOptimize(space.index_of(addr));
+    i += 997;
+  }
+}
+BENCHMARK(BM_SpaceAtAndIndexOf);
+
+void BM_SynProbe(benchmark::State& state) {
+  static const world::World world;
+  static const auto origin = world.make_clean_vantage("US");
+  scan::ScanSpace space(world.scan_prefixes());
+  util::Rng rng(5);
+  const util::Date date{2019, 2, 1};
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const auto addr = space.at((i * 2654435761ULL) % space.size());
+    benchmark::DoNotOptimize(
+        world.network().probe_tcp(origin.context, rng, addr, 853, date));
+    ++i;
+  }
+}
+BENCHMARK(BM_SynProbe);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Microbenchmarks for the structural TLS layer.
+#include <benchmark/benchmark.h>
+
+#include "tls/certificate.hpp"
+#include "tls/intercept.hpp"
+#include "tls/trust_store.hpp"
+#include "tls/verify.hpp"
+
+namespace {
+
+using namespace encdns;
+
+const util::Date kNow{2019, 3, 1};
+
+void BM_MakeChain(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tls::make_chain("dot.example.com", tls::kLetsEncryptCa,
+                                             {2019, 1, 1}, {2019, 12, 1},
+                                             {"dot.example.com"}));
+  }
+}
+BENCHMARK(BM_MakeChain);
+
+void BM_VerifyPath(benchmark::State& state) {
+  const auto chain = tls::make_chain("dot.example.com", tls::kLetsEncryptCa,
+                                     {2019, 1, 1}, {2019, 12, 1});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tls::verify_path(chain, tls::TrustStore::mozilla(), kNow));
+  }
+}
+BENCHMARK(BM_VerifyPath);
+
+void BM_VerifyHostWildcard(benchmark::State& state) {
+  const auto chain = tls::make_chain(
+      "cloudflare-dns.com", tls::kDigicertCa, {2018, 10, 1}, {2019, 12, 1},
+      {"cloudflare-dns.com", "*.cloudflare-dns.com"});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tls::verify_host(chain, "mozilla.cloudflare-dns.com",
+                                              tls::TrustStore::mozilla(), kNow));
+  }
+}
+BENCHMARK(BM_VerifyHostWildcard);
+
+void BM_InterceptorResign(benchmark::State& state) {
+  const auto original = tls::make_chain("dns.quad9.net", tls::kDigicertCa,
+                                        {2018, 10, 1}, {2019, 12, 1});
+  const tls::TlsInterceptor interceptor("SonicWall Firewall DPI-SSL", "NSA");
+  for (auto _ : state) benchmark::DoNotOptimize(interceptor.resign(original, kNow));
+}
+BENCHMARK(BM_InterceptorResign);
+
+void BM_Fingerprint(benchmark::State& state) {
+  const auto chain = tls::make_chain("dot.example.com", tls::kLetsEncryptCa,
+                                     {2019, 1, 1}, {2019, 12, 1});
+  for (auto _ : state) benchmark::DoNotOptimize(chain.leaf().fingerprint());
+}
+BENCHMARK(BM_Fingerprint);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,11 @@
+// Table 1: the §2.2 comparative study of five DoE protocols.
+#include "common.hpp"
+
+int main() {
+  return encdns::bench::run_experiment(
+      "table1",
+      {"10 criteria under 5 categories: Protocol Design, Security, Usability,",
+       "Deployability, Maturity. DoT and DoH emerge as the two leading and",
+       "mature protocols; DoDTLS/DoQUIC have no implementations; DNSCrypt was",
+       "never standardized."});
+}

@@ -1,0 +1,11 @@
+// Table 2: top countries of open DoT resolvers, first vs last scan.
+#include "common.hpp"
+
+int main() {
+  return encdns::bench::run_experiment(
+      "table2",
+      {"Feb 1 -> May 1 2019:  IE 456->951 (+108%)  CN 257->40 (-84%)",
+       "US 100->531 (+431%)   DE 71->86 (+21%)     FR 59->56 (-5%)",
+       "JP 34->27 (-20%)      NL 30->36 (+20%)     GB 25->21 (-16%)",
+       "BR 22->49 (+122%)     RU 17->40 (+135%)"});
+}

@@ -1,0 +1,12 @@
+// Table 5: ports open on 1.1.1.1 from clients that cannot use Cloudflare DoT.
+#include "common.hpp"
+
+int main() {
+  return encdns::bench::run_experiment(
+      "table5",
+      {"Most conflicting destinations have no probed port open (blackholed /",
+       "internal routing): None 155 clients. Others: 80 (131), 443 (93),",
+       "53 (79), 23 (40), 22 (28), 179 (23), 161 (10), 67 (7), 123 (5),",
+       "139 (3). Webpages identify routers, modems, auth portals; several",
+       "crypto-hijacked MikroTik routers serve coin-mining scripts."});
+}

@@ -1,0 +1,11 @@
+// Table 6 / Finding 2.3: clients behind TLS interception.
+#include "common.hpp"
+
+int main() {
+  return encdns::bench::run_experiment(
+      "table6",
+      {"17 of 29,622 global clients (0.06%) see resigned chains: untrusted CA",
+       "CNs like 'SonicWall Firewall DPI-SSL', 'None', 'Sample CA 2'. 3 of 17",
+       "intercept 443 only. Opportunistic DoT proceeds (queries visible to",
+       "the interceptor); strict DoH aborts with a certificate error."});
+}

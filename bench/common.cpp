@@ -1,0 +1,45 @@
+#include "common.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+#include "core/experiments.hpp"
+#include "core/study.hpp"
+
+namespace encdns::bench {
+
+int run_experiment(const std::string& id,
+                   const std::vector<std::string>& paper_reference) {
+  const core::Experiment* experiment = nullptr;
+  for (const auto& candidate : core::all_experiments())
+    if (candidate.id == id) experiment = &candidate;
+  if (experiment == nullptr) {
+    std::fprintf(stderr, "unknown experiment id: %s\n", id.c_str());
+    return 1;
+  }
+
+  std::printf("=============================================================\n");
+  std::printf("Experiment %s — %s\n", experiment->id.c_str(),
+              experiment->title.c_str());
+  std::printf("=============================================================\n");
+  if (!paper_reference.empty()) {
+    std::printf("Paper reference (IMC'19):\n");
+    for (const auto& line : paper_reference)
+      std::printf("  | %s\n", line.c_str());
+    std::printf("\n");
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  core::Study study(core::StudyConfig::quick());
+  const auto table = experiment->run(study);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+
+  std::printf("Measured (this reproduction, quick scale):\n%s\n",
+              table.render().c_str());
+  std::printf("[experiment %s completed in %lld ms]\n", experiment->id.c_str(),
+              static_cast<long long>(elapsed.count()));
+  return 0;
+}
+
+}  // namespace encdns::bench

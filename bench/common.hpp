@@ -1,0 +1,19 @@
+// Shared driver for the per-table/figure bench binaries: runs one experiment
+// on a quick-scale Study, prints the measured table next to the paper's
+// reference values, and reports wall-clock cost.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace encdns::bench {
+
+/// Run experiment `id` (from core::all_experiments()) and print:
+///   - the paper's reference lines (what the original reports),
+///   - the measured table from this reproduction,
+///   - timing.
+/// Returns a process exit code (0 on success).
+int run_experiment(const std::string& id,
+                   const std::vector<std::string>& paper_reference);
+
+}  // namespace encdns::bench

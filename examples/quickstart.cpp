@@ -1,0 +1,77 @@
+// Quickstart: build a simulated internet, issue clear-text DNS, DoT and DoH
+// queries from one client, and inspect certificates and latency.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "client/do53.hpp"
+#include "client/doh.hpp"
+#include "client/dot.hpp"
+#include "http/url.hpp"
+#include "tls/verify.hpp"
+#include "world/world.hpp"
+
+using namespace encdns;
+
+int main() {
+  // 1. The world: providers, middleboxes, authoritative zones, everything.
+  world::World world;
+  const util::Date today{2019, 3, 15};
+  util::Rng rng(42);
+
+  // 2. A client in Germany with a clean path.
+  const world::Vantage client = world.make_clean_vantage("DE");
+  std::printf("client: %s (AS%u)\n\n", client.country.c_str(), client.asn);
+
+  // A uniquely prefixed name under the study's probe zone (defeats caching).
+  const dns::Name qname = world.unique_probe_name(rng);
+  std::printf("query: %s A\n\n", qname.to_string().c_str());
+
+  // 3. Clear-text DNS over UDP to Google Public DNS.
+  client::Do53Client do53(world.network(), client.context, 1);
+  const auto plain = do53.query_udp(world::addrs::kGooglePrimary, qname,
+                                    dns::RrType::kA, today);
+  std::printf("Do53/UDP 8.8.8.8      -> %-9s %7.1f ms  answer=%s\n",
+              to_string(plain.status).c_str(), plain.latency.value,
+              plain.response && plain.response->first_a()
+                  ? plain.response->first_a()->to_string().c_str()
+                  : "-");
+
+  // 4. DoT to Cloudflare, Strict Privacy profile (certificate must verify).
+  client::DotClient dot(world.network(), client.context, 2);
+  client::DotClient::Options dot_options;
+  dot_options.profile = client::PrivacyProfile::kStrict;
+  dot_options.auth_name = "cloudflare-dns.com";
+  const auto encrypted = dot.query(world::addrs::kCloudflarePrimary,
+                                   world.unique_probe_name(rng), dns::RrType::kA,
+                                   today, dot_options);
+  std::printf("DoT 1.1.1.1 (strict)  -> %-9s %7.1f ms  cert=%s (%s)\n",
+              to_string(encrypted.status).c_str(), encrypted.latency.value,
+              encrypted.presented_chain.leaf_cn().c_str(),
+              encrypted.cert_status ? tls::to_string(*encrypted.cert_status).c_str()
+                                    : "-");
+
+  // A second DoT query rides the same TLS session: no handshake cost.
+  const auto reused = dot.query(world::addrs::kCloudflarePrimary,
+                                world.unique_probe_name(rng), dns::RrType::kA,
+                                today, dot_options);
+  std::printf("DoT 1.1.1.1 (reused)  -> %-9s %7.1f ms\n",
+              to_string(reused.status).c_str(), reused.latency.value);
+
+  // 5. DoH to Quad9 via its RFC 8484 URI template; the hostname bootstraps
+  // through the client's ISP resolver.
+  client::DohClient doh(world.network(), client.context, 3);
+  const auto tmpl = *http::UriTemplate::parse("https://dns.quad9.net/dns-query{?dns}");
+  client::DohClient::Options doh_options;
+  doh_options.bootstrap_resolver = world.bootstrap_resolver(client.country);
+  const auto https = doh.query(tmpl, world.unique_probe_name(rng), dns::RrType::kA,
+                               today, doh_options);
+  std::printf("DoH dns.quad9.net     -> %-9s %7.1f ms  http=%d rcode=%s\n",
+              to_string(https.status).c_str(), https.latency.value,
+              https.http_status,
+              https.response ? dns::to_string(https.response->header.rcode).c_str()
+                             : "-");
+
+  std::printf("\nexpected probe answer: %s\n", world.probe_answer().to_string().c_str());
+  return 0;
+}

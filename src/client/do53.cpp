@@ -1,0 +1,106 @@
+#include "client/do53.hpp"
+
+#include "dns/wire.hpp"
+
+namespace encdns::client {
+
+QueryOutcome Do53Client::query_udp(util::Ipv4 server, const dns::Name& qname,
+                                   dns::RrType type, const util::Date& date,
+                                   const Options& options) {
+  QueryOutcome outcome;
+  const auto id = static_cast<std::uint16_t>(rng_.below(65536));
+  const dns::Message query = dns::make_query(qname, type, id, options.query);
+  const auto wire = query.encode();
+
+  const auto result = network_->udp_exchange(context_, rng_, server, dns::kDnsPort,
+                                             wire, date, options.timeout);
+  outcome.latency = result.latency;
+  outcome.transaction_latency = result.latency;
+  outcome.spoofed = result.spoofed;
+  if (result.status != net::Network::UdpResult::Status::kOk) {
+    outcome.status = QueryStatus::kTimeout;
+    return outcome;
+  }
+  auto response = dns::Message::decode(result.payload);
+  if (!response || !dns::response_matches(query, *response)) {
+    outcome.status = QueryStatus::kProtocolError;
+    return outcome;
+  }
+  if (response->header.tc && options.retry_tcp_on_truncation) {
+    // Truncated: redo the lookup over TCP, carrying the UDP time spent.
+    QueryOutcome retried = query_tcp(server, qname, type, date, options);
+    retried.latency += outcome.latency;
+    retried.truncated_retry = true;
+    return retried;
+  }
+  outcome.status = QueryStatus::kOk;
+  outcome.response = std::move(response);
+  return outcome;
+}
+
+QueryOutcome Do53Client::query_tcp(util::Ipv4 server, const dns::Name& qname,
+                                   dns::RrType type, const util::Date& date,
+                                   const Options& options) {
+  QueryOutcome outcome;
+  const std::uint64_t key = pool_key(server, dns::kDnsPort);
+
+  net::TcpConnection* connection = nullptr;
+  sim::Millis setup{0.0};
+  if (options.reuse_connection) {
+    const auto it = pool_.find(key);
+    if (it != pool_.end()) {
+      connection = &it->second;
+      outcome.reused_connection = true;
+    }
+  }
+  if (connection == nullptr) {
+    auto connect = network_->tcp_connect(context_, rng_, server, dns::kDnsPort, date,
+                                         options.timeout);
+    outcome.latency = connect.latency;
+    using Status = net::Network::ConnectResult::Status;
+    if (connect.status == Status::kReset) {
+      outcome.status = QueryStatus::kConnectionReset;
+      return outcome;
+    }
+    if (connect.status != Status::kConnected) {
+      outcome.status = connect.status == Status::kTimeout ? QueryStatus::kTimeout
+                                                          : QueryStatus::kConnectFailed;
+      return outcome;
+    }
+    setup = connect.latency;
+    auto [slot, inserted] = pool_.insert_or_assign(key, std::move(*connect.connection));
+    connection = &slot->second;
+  }
+
+  const auto id = static_cast<std::uint16_t>(rng_.below(65536));
+  const dns::Message query = dns::make_query(qname, type, id, options.query);
+  const auto framed = dns::frame_stream(query.encode());
+
+  auto exchange = connection->exchange(framed, options.timeout);
+  outcome.hijacked = connection->hijacked();
+  outcome.latency = setup + exchange.latency;
+  outcome.transaction_latency = exchange.latency;
+  using ExStatus = net::TcpConnection::ExchangeResult::Status;
+  if (exchange.status != ExStatus::kOk) {
+    pool_.erase(key);
+    outcome.status = exchange.status == ExStatus::kTimeout ? QueryStatus::kTimeout
+                                                           : QueryStatus::kConnectionReset;
+    return outcome;
+  }
+  const auto unframed = dns::unframe_stream(exchange.payload);
+  if (!unframed) {
+    outcome.status = QueryStatus::kProtocolError;
+    return outcome;
+  }
+  auto response = dns::Message::decode(*unframed);
+  if (!response || !dns::response_matches(query, *response)) {
+    outcome.status = QueryStatus::kProtocolError;
+    return outcome;
+  }
+  if (!options.reuse_connection) pool_.erase(key);
+  outcome.status = QueryStatus::kOk;
+  outcome.response = std::move(response);
+  return outcome;
+}
+
+}  // namespace encdns::client

@@ -1,0 +1,163 @@
+#include "client/doh.hpp"
+
+#include "dns/query.hpp"
+#include "tls/verify.hpp"
+#include "util/base64.hpp"
+
+namespace encdns::client {
+
+QueryOutcome DohClient::query(const http::UriTemplate& uri_template,
+                              const dns::Name& qname, dns::RrType type,
+                              const util::Date& date, const Options& options) {
+  QueryOutcome outcome;
+  const std::string host = uri_template.base().host;
+  sim::Millis setup{0.0};
+
+  // 1. Determine the server address: literal, or bootstrap via clear text.
+  util::Ipv4 server;
+  if (options.server_address) {
+    server = *options.server_address;
+  } else if (const auto cached = resolved_hosts_.find(host);
+             cached != resolved_hosts_.end()) {
+    server = cached->second;  // bootstrap cached from an earlier lookup
+  } else {
+    if (!options.bootstrap_resolver) {
+      outcome.status = QueryStatus::kBootstrapFailed;
+      return outcome;
+    }
+    const auto host_name = dns::Name::parse(host);
+    if (!host_name) {
+      outcome.status = QueryStatus::kBootstrapFailed;
+      return outcome;
+    }
+    Do53Client::Options bootstrap_options;
+    bootstrap_options.timeout = sim::Millis{5000.0};
+    const auto bootstrap = bootstrap_client_.query_udp(
+        *options.bootstrap_resolver, *host_name, dns::RrType::kA, date,
+        bootstrap_options);
+    setup += bootstrap.latency;
+    const auto addr =
+        bootstrap.response ? bootstrap.response->first_a() : std::nullopt;
+    if (!bootstrap.answered() || !addr) {
+      outcome.status = QueryStatus::kBootstrapFailed;
+      outcome.latency = setup;
+      return outcome;
+    }
+    server = *addr;
+    resolved_hosts_[host] = server;
+  }
+
+  // 2. Locate or establish the HTTPS session.
+  const std::uint64_t key = pool_key(server, dns::kDohPort);
+  Session* session = nullptr;
+  if (options.reuse_connection) {
+    const auto it = sessions_.find(key);
+    if (it != sessions_.end()) {
+      session = &it->second;
+      outcome.reused_connection = true;
+    }
+  }
+  if (session == nullptr) {
+    auto connect = network_->tcp_connect(context_, rng_, server, dns::kDohPort, date,
+                                         options.timeout);
+    using CStatus = net::Network::ConnectResult::Status;
+    if (connect.status != CStatus::kConnected) {
+      outcome.latency = setup + connect.latency;
+      switch (connect.status) {
+        case CStatus::kReset:
+          outcome.status = QueryStatus::kConnectionReset;
+          break;
+        case CStatus::kTimeout:
+          outcome.status = QueryStatus::kTimeout;
+          break;
+        default:
+          outcome.status = QueryStatus::kConnectFailed;
+          break;
+      }
+      return outcome;
+    }
+    auto tls = connect.connection->tls_handshake(host, options.tls_version);
+    setup += connect.latency + tls.latency;
+    if (tls.status != net::TcpConnection::TlsResult::Status::kEstablished) {
+      outcome.latency = setup;
+      outcome.status = QueryStatus::kTlsFailed;
+      return outcome;
+    }
+    // DoH is Strict-Privacy-only: full validation against the template host.
+    const tls::CertStatus cert_status =
+        tls::verify_host(tls.chain, host, *options.trust_store, date);
+    outcome.cert_status = cert_status;
+    outcome.presented_chain = tls.chain;
+    outcome.intercepted = tls.intercepted;
+    if (tls::is_invalid(cert_status)) {
+      outcome.latency = setup;
+      outcome.status = QueryStatus::kCertRejected;
+      return outcome;
+    }
+    Session fresh{std::move(*connect.connection), tls.chain, tls.intercepted};
+    auto [slot, inserted] = sessions_.insert_or_assign(key, std::move(fresh));
+    session = &slot->second;
+  } else {
+    outcome.presented_chain = session->chain;
+    outcome.cert_status = tls::CertStatus::kValid;  // validated at setup
+    outcome.intercepted = session->intercepted;
+  }
+  outcome.hijacked = session->connection.hijacked();
+
+  // 3. Build and send the HTTP request.
+  dns::QueryOptions query_options;
+  query_options.padding_block = options.padding_block;
+  // RFC 8484 recommends id 0 for cache friendliness; we keep ids random and
+  // match on echo, which the spec also permits.
+  const auto id = static_cast<std::uint16_t>(rng_.below(65536));
+  const dns::Message query = dns::make_query(qname, type, id, query_options);
+  const auto dns_wire = query.encode();
+
+  http::Request request;
+  request.headers.set("Host", host);
+  request.headers.set("Accept", http::kDnsMessageType);
+  if (options.method == http::Method::kGet) {
+    request.method = http::Method::kGet;
+    const http::Url url = uri_template.expand_get(util::base64url_encode(dns_wire));
+    request.target = url.path + "?" + url.query;
+  } else {
+    request.method = http::Method::kPost;
+    request.target = uri_template.post_target().path;
+    request.headers.set("Content-Type", http::kDnsMessageType);
+    request.body = dns_wire;
+  }
+
+  auto exchange = session->connection.exchange(request.serialize(), options.timeout);
+  outcome.latency = setup + exchange.latency;
+  outcome.transaction_latency = exchange.latency;
+  using ExStatus = net::TcpConnection::ExchangeResult::Status;
+  if (exchange.status != ExStatus::kOk) {
+    sessions_.erase(key);
+    outcome.status = exchange.status == ExStatus::kTimeout
+                         ? QueryStatus::kTimeout
+                         : QueryStatus::kConnectionReset;
+    return outcome;
+  }
+
+  const auto http_response = http::Response::parse(exchange.payload);
+  if (!http_response) {
+    outcome.status = QueryStatus::kProtocolError;
+    return outcome;
+  }
+  outcome.http_status = http_response->status;
+  if (http_response->status != 200) {
+    outcome.status = QueryStatus::kHttpError;
+    return outcome;
+  }
+  auto response = dns::Message::decode(http_response->body);
+  if (!response || !dns::response_matches(query, *response)) {
+    outcome.status = QueryStatus::kProtocolError;
+    return outcome;
+  }
+  if (!options.reuse_connection) sessions_.erase(key);
+  outcome.status = QueryStatus::kOk;
+  outcome.response = std::move(response);
+  return outcome;
+}
+
+}  // namespace encdns::client

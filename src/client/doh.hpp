@@ -1,0 +1,73 @@
+// DNS-over-HTTPS stub client (RFC 8484). Strict-Privacy-only by design:
+// certificate validation failure aborts the lookup (§2.2). Supports GET with
+// the base64url `dns` parameter and POST with an application/dns-message
+// body, plus clear-text bootstrap of the template hostname.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "client/do53.hpp"
+#include "client/outcome.hpp"
+#include "http/message.hpp"
+#include "http/url.hpp"
+#include "net/network.hpp"
+#include "tls/handshake.hpp"
+#include "tls/trust_store.hpp"
+
+namespace encdns::client {
+
+struct DohOptions {
+  http::Method method = http::Method::kGet;
+  tls::TlsVersion tls_version = tls::TlsVersion::kTls13;
+  const tls::TrustStore* trust_store = &tls::TrustStore::mozilla();
+  bool reuse_connection = true;
+  std::size_t padding_block = 128;
+  sim::Millis timeout{30000.0};
+  /// Resolver used to bootstrap the template hostname when no literal
+  /// server address is supplied.
+  std::optional<util::Ipv4> bootstrap_resolver;
+  /// Connect here directly, skipping bootstrap (hostname still used for
+  /// SNI and certificate validation).
+  std::optional<util::Ipv4> server_address;
+};
+
+class DohClient {
+ public:
+  DohClient(const net::Network& network, net::ClientContext context,
+            std::uint64_t seed)
+      : network_(&network),
+        context_(std::move(context)),
+        rng_(seed),
+        bootstrap_client_(network, context_, rng_.next()) {}
+
+  using Options = DohOptions;
+
+  [[nodiscard]] QueryOutcome query(const http::UriTemplate& uri_template,
+                                   const dns::Name& qname, dns::RrType type,
+                                   const util::Date& date, const Options& options = {});
+
+  void reset_pool() { sessions_.clear(); }
+
+  [[nodiscard]] util::Rng& rng() noexcept { return rng_; }
+
+ private:
+  struct Session {
+    net::TcpConnection connection;
+    tls::CertificateChain chain;
+    bool intercepted;
+  };
+
+  const net::Network* network_;
+  net::ClientContext context_;
+  util::Rng rng_;
+  Do53Client bootstrap_client_;
+  std::unordered_map<std::uint64_t, Session> sessions_;
+  /// Bootstrap cache: hostname -> resolved address (clients honour the A
+  /// record's TTL; one cache per client session is the practical effect).
+  std::unordered_map<std::string, util::Ipv4> resolved_hosts_;
+};
+
+}  // namespace encdns::client

@@ -1,0 +1,141 @@
+#include "client/dot.hpp"
+
+#include "client/do53.hpp"
+#include "dns/wire.hpp"
+
+namespace encdns::client {
+
+DotClient::Session* DotClient::establish(util::Ipv4 server, const util::Date& date,
+                                         const Options& options,
+                                         QueryOutcome& outcome, sim::Millis& setup) {
+  const std::uint64_t key = pool_key(server, dns::kDotPort);
+  if (options.reuse_connection) {
+    const auto it = sessions_.find(key);
+    if (it != sessions_.end()) {
+      outcome.reused_connection = true;
+      return &it->second;
+    }
+  }
+
+  auto connect =
+      network_->tcp_connect(context_, rng_, server, dns::kDotPort, date, options.timeout);
+  using CStatus = net::Network::ConnectResult::Status;
+  if (connect.status != CStatus::kConnected) {
+    outcome.latency = connect.latency;
+    switch (connect.status) {
+      case CStatus::kReset:
+        outcome.status = QueryStatus::kConnectionReset;
+        break;
+      case CStatus::kTimeout:
+        outcome.status = QueryStatus::kTimeout;
+        break;
+      default:
+        outcome.status = QueryStatus::kConnectFailed;
+        break;
+    }
+    return nullptr;
+  }
+
+  const std::string ticket_key =
+      server.to_string() + ":" + std::to_string(dns::kDotPort);
+  const bool resumed = options.use_session_resumption &&
+                       tickets_.try_resume(ticket_key, session_clock_);
+  auto tls = connect.connection->tls_handshake(options.auth_name,
+                                               options.tls_version, resumed);
+  if (options.use_session_resumption &&
+      tls.status == net::TcpConnection::TlsResult::Status::kEstablished) {
+    tickets_.store(ticket_key, session_clock_);
+  }
+  outcome.resumed_session = resumed;
+  const sim::Millis handshake_total = connect.latency + tls.latency;
+  session_clock_ += handshake_total;
+  if (tls.status != net::TcpConnection::TlsResult::Status::kEstablished) {
+    outcome.latency = handshake_total;
+    outcome.status = QueryStatus::kTlsFailed;
+    return nullptr;
+  }
+
+  // Validate the presented chain. Strict requires full authentication; the
+  // Opportunistic profile records the verdict and proceeds regardless.
+  const tls::CertStatus cert_status =
+      options.auth_name.empty()
+          ? tls::verify_path(tls.chain, *options.trust_store, date)
+          : tls::verify_host(tls.chain, options.auth_name, *options.trust_store, date);
+  if (options.profile == PrivacyProfile::kStrict && tls::is_invalid(cert_status)) {
+    outcome.latency = handshake_total;
+    outcome.status = QueryStatus::kCertRejected;
+    outcome.cert_status = cert_status;
+    outcome.presented_chain = tls.chain;
+    outcome.intercepted = tls.intercepted;
+    return nullptr;
+  }
+
+  setup = handshake_total;
+  Session session{std::move(*connect.connection), cert_status, tls.chain,
+                  tls.intercepted};
+  auto [slot, inserted] = sessions_.insert_or_assign(key, std::move(session));
+  return &slot->second;
+}
+
+QueryOutcome DotClient::query(util::Ipv4 server, const dns::Name& qname,
+                              dns::RrType type, const util::Date& date,
+                              const Options& options) {
+  QueryOutcome outcome;
+  sim::Millis setup{0.0};
+  Session* session = establish(server, date, options, outcome, setup);
+  if (session == nullptr) {
+    if (options.allow_cleartext_fallback &&
+        options.profile == PrivacyProfile::kOpportunistic &&
+        (outcome.status == QueryStatus::kTlsFailed ||
+         outcome.status == QueryStatus::kConnectFailed)) {
+      // RFC 8310 §5: opportunistic clients may downgrade to clear text.
+      Do53Client fallback(*network_, context_, rng_.next());
+      Do53Client::Options plain;
+      plain.timeout = options.timeout;
+      QueryOutcome downgraded = fallback.query_tcp(server, qname, type, date, plain);
+      downgraded.latency += outcome.latency;  // include the failed TLS attempt
+      return downgraded;
+    }
+    return outcome;
+  }
+
+  outcome.cert_status = session->cert_status;
+  outcome.presented_chain = session->chain;
+  outcome.intercepted = session->intercepted;
+  outcome.hijacked = session->connection.hijacked();
+
+  dns::QueryOptions query_options;
+  query_options.padding_block = options.padding_block;
+  const auto id = static_cast<std::uint16_t>(rng_.below(65536));
+  const dns::Message query = dns::make_query(qname, type, id, query_options);
+  const auto framed = dns::frame_stream(query.encode());
+
+  auto exchange = session->connection.exchange(framed, options.timeout);
+  outcome.latency = setup + exchange.latency;
+  outcome.transaction_latency = exchange.latency;
+  session_clock_ += exchange.latency;
+  using ExStatus = net::TcpConnection::ExchangeResult::Status;
+  if (exchange.status != ExStatus::kOk) {
+    sessions_.erase(pool_key(server, dns::kDotPort));
+    outcome.status = exchange.status == ExStatus::kTimeout
+                         ? QueryStatus::kTimeout
+                         : QueryStatus::kConnectionReset;
+    return outcome;
+  }
+  const auto unframed = dns::unframe_stream(exchange.payload);
+  if (!unframed) {
+    outcome.status = QueryStatus::kProtocolError;
+    return outcome;
+  }
+  auto response = dns::Message::decode(*unframed);
+  if (!response || !dns::response_matches(query, *response)) {
+    outcome.status = QueryStatus::kProtocolError;
+    return outcome;
+  }
+  if (!options.reuse_connection) sessions_.erase(pool_key(server, dns::kDotPort));
+  outcome.status = QueryStatus::kOk;
+  outcome.response = std::move(response);
+  return outcome;
+}
+
+}  // namespace encdns::client

@@ -1,0 +1,25 @@
+#include "client/outcome.hpp"
+
+namespace encdns::client {
+
+std::string to_string(QueryStatus status) {
+  switch (status) {
+    case QueryStatus::kOk: return "ok";
+    case QueryStatus::kTimeout: return "timeout";
+    case QueryStatus::kConnectFailed: return "connect failed";
+    case QueryStatus::kConnectionReset: return "connection reset";
+    case QueryStatus::kTlsFailed: return "tls failed";
+    case QueryStatus::kCertRejected: return "certificate rejected";
+    case QueryStatus::kBootstrapFailed: return "bootstrap failed";
+    case QueryStatus::kHttpError: return "http error";
+    case QueryStatus::kProtocolError: return "protocol error";
+  }
+  return "unknown";
+}
+
+bool QueryOutcome::answered() const noexcept {
+  return status == QueryStatus::kOk && response.has_value() &&
+         response->header.rcode == dns::RCode::kNoError && !response->answers.empty();
+}
+
+}  // namespace encdns::client

@@ -1,0 +1,70 @@
+// The result of one stub-resolver query, across all transports.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "dns/message.hpp"
+#include "sim/duration.hpp"
+#include "tls/certificate.hpp"
+#include "tls/verify.hpp"
+
+namespace encdns::client {
+
+enum class QueryStatus {
+  kOk,               // got a well-formed DNS response (inspect rcode/answers)
+  kTimeout,          // no reply within the deadline
+  kConnectFailed,    // TCP connection refused or timed out
+  kConnectionReset,  // RST in-path
+  kTlsFailed,        // endpoint does not speak TLS on the port
+  kCertRejected,     // strict validation failed; lookup aborted
+  kBootstrapFailed,  // could not resolve the DoH hostname
+  kHttpError,        // non-200 or malformed HTTP response
+  kProtocolError,    // malformed DNS payload / id mismatch
+};
+
+[[nodiscard]] std::string to_string(QueryStatus status);
+
+struct QueryOutcome {
+  QueryStatus status = QueryStatus::kTimeout;
+
+  std::optional<dns::Message> response;
+
+  /// Total client-observed time for the lookup, including any connection and
+  /// TLS setup performed as part of it.
+  sim::Millis latency{0.0};
+
+  /// Time spent on the DNS transaction only (excludes setup) — the quantity
+  /// compared across transports when connections are reused (§4.3).
+  sim::Millis transaction_latency{0.0};
+
+  /// Certificate facts when a TLS handshake completed.
+  std::optional<tls::CertStatus> cert_status;
+  tls::CertificateChain presented_chain;
+
+  /// Ground-truth flags from the simulation (a real client cannot observe
+  /// these directly; analysis code may).
+  bool intercepted = false;
+  bool spoofed = false;
+  bool hijacked = false;
+
+  /// Whether this query rode an existing connection.
+  bool reused_connection = false;
+
+  /// Do53/UDP only: the first response was truncated (TC) and the lookup
+  /// was retried over TCP.
+  bool truncated_retry = false;
+
+  /// TLS transports: a fresh connection resumed a cached session ticket
+  /// instead of running a full handshake.
+  bool resumed_session = false;
+
+  /// Set for DoH: the HTTP status received (0 if none).
+  int http_status = 0;
+
+  /// True when status == kOk and the response's rcode is NOERROR with >= 1
+  /// answer record.
+  [[nodiscard]] bool answered() const noexcept;
+};
+
+}  // namespace encdns::client

@@ -1,0 +1,531 @@
+#include "core/experiments.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/implementation_survey.hpp"
+#include "core/protocol_matrix.hpp"
+#include "core/timeline.hpp"
+#include "dns/query.hpp"
+#include "http/message.hpp"
+#include "http/url.hpp"
+#include "util/base64.hpp"
+#include "util/stats.hpp"
+
+namespace encdns::core {
+namespace {
+
+using util::fmt;
+using util::fmt_count;
+using util::fmt_growth;
+using util::fmt_pct;
+
+std::string protocol_name(measure::Protocol protocol) {
+  return measure::to_string(protocol);
+}
+
+}  // namespace
+
+util::Table experiment_table1() { return ProtocolMatrix().to_table(); }
+
+util::Table experiment_figure1() { return timeline_table(); }
+
+util::Table experiment_figure2() {
+  // Reproduce Figure 2's two request shapes with the real codec: a
+  // wire-format A query for example.com, carried by GET and by POST.
+  const auto qname = *dns::Name::parse("example.com");
+  dns::QueryOptions options;
+  options.with_edns = false;
+  const dns::Message query = dns::make_query(qname, dns::RrType::kA, 0, options);
+  const auto wire = query.encode();
+
+  const auto tmpl =
+      *http::UriTemplate::parse("https://dns.example.com/dns-query{?dns}");
+  const http::Url get_url = tmpl.expand_get(util::base64url_encode(wire));
+
+  http::Request post;
+  post.method = http::Method::kPost;
+  post.target = tmpl.post_target().path;
+  post.headers.set("Host", tmpl.base().host);
+  post.headers.set("Content-Type", http::kDnsMessageType);
+  post.body = wire;
+  const auto post_wire = post.serialize();
+
+  util::Table table("Figure 2: Two types of DoH requests (A query, example.com)",
+                    {"Method", "Field", "Value"});
+  table.add_row({"GET", "URL", get_url.to_string()});
+  table.add_row({"GET", "dns parameter", util::base64url_encode(wire)});
+  table.add_row({"POST", "target", post.target});
+  table.add_row({"POST", "Content-Type", http::kDnsMessageType});
+  table.add_row({"POST", "body bytes", std::to_string(wire.size())});
+  table.add_row({"POST", "serialized request bytes", std::to_string(post_wire.size())});
+  table.add_row({"-", "wire-format query bytes", std::to_string(wire.size())});
+  return table;
+}
+
+util::Table experiment_figure3(Study& study) {
+  util::Table table("Figure 3: Open DoT resolvers identified by each scan",
+                    {"Scan date", "Hosts w/ 853 open", "DoT resolvers",
+                     "Providers", "Large-provider address share"});
+  for (const auto& snapshot : study.scans()) {
+    // Share of resolver addresses owned by providers with >= 20 addresses.
+    util::Counter per_provider;
+    for (const auto& resolver : snapshot.resolvers)
+      per_provider.add(resolver.provider);
+    double large = 0.0;
+    for (const auto& [provider, count] : per_provider.sorted_desc())
+      if (count >= 20.0) large += count;
+    const double share =
+        snapshot.resolvers.empty() ? 0.0 : large / snapshot.resolvers.size();
+    table.add_row({snapshot.date.to_string(), fmt_count(snapshot.port_open),
+                   fmt_count(static_cast<std::int64_t>(snapshot.resolvers.size())),
+                   fmt_count(static_cast<std::int64_t>(snapshot.providers().size())),
+                   fmt_pct(share, 1)});
+  }
+  return table;
+}
+
+util::Table experiment_table2(Study& study) {
+  const auto& scans = study.scans();
+  util::Table table("Table 2: Top countries of open DoT resolvers",
+                    {"CC", "First scan", "Last scan", "Growth"});
+  if (scans.empty()) return table;
+  util::Counter first, last;
+  for (const auto& resolver : scans.front().resolvers) first.add(resolver.country);
+  for (const auto& resolver : scans.back().resolvers) last.add(resolver.country);
+  const auto top = last.sorted_desc();
+  std::size_t shown = 0;
+  for (const auto& [country, count] : top) {
+    if (shown++ >= 10) break;
+    table.add_row({country, fmt_count(static_cast<std::int64_t>(first.get(country))),
+                   fmt_count(static_cast<std::int64_t>(count)),
+                   fmt_growth(first.get(country), count)});
+  }
+  return table;
+}
+
+util::Table experiment_figure4(Study& study) {
+  const auto& scans = study.scans();
+  util::Table table("Figure 4: Providers of open DoT resolvers (last scan)",
+                    {"Metric", "Value"});
+  if (scans.empty()) return table;
+  const auto& last = scans.back();
+
+  util::Counter per_provider;
+  for (const auto& resolver : last.resolvers) per_provider.add(resolver.provider);
+  const auto providers = per_provider.sorted_desc();
+  std::size_t single = 0;
+  for (const auto& [provider, count] : providers)
+    if (count <= 1.0) ++single;
+
+  std::unordered_set<std::string> invalid_providers;
+  std::size_t invalid_resolvers = 0, expired = 0, self_signed = 0, bad_chain = 0;
+  for (const auto& resolver : last.resolvers) {
+    if (!tls::is_invalid(resolver.cert_status)) continue;
+    ++invalid_resolvers;
+    invalid_providers.insert(resolver.provider);
+    switch (resolver.cert_status) {
+      case tls::CertStatus::kExpired: ++expired; break;
+      case tls::CertStatus::kSelfSigned: ++self_signed; break;
+      case tls::CertStatus::kUntrustedChain: ++bad_chain; break;
+      default: break;
+    }
+  }
+
+  table.add_row({"Providers", fmt_count(static_cast<std::int64_t>(providers.size()))});
+  table.add_row({"Providers with a single resolver address",
+                 fmt_pct(providers.empty() ? 0.0
+                                           : static_cast<double>(single) /
+                                                 providers.size(),
+                         1)});
+  table.add_row({"Providers with >= 1 invalid certificate",
+                 fmt_count(static_cast<std::int64_t>(invalid_providers.size())) +
+                     " (" +
+                     fmt_pct(providers.empty()
+                                 ? 0.0
+                                 : static_cast<double>(invalid_providers.size()) /
+                                       providers.size(),
+                             1) +
+                     ")"});
+  table.add_row({"Invalid-certificate resolvers",
+                 fmt_count(static_cast<std::int64_t>(invalid_resolvers))});
+  table.add_row({"  expired", fmt_count(static_cast<std::int64_t>(expired))});
+  table.add_row({"  self-signed", fmt_count(static_cast<std::int64_t>(self_signed))});
+  table.add_row({"  invalid chain", fmt_count(static_cast<std::int64_t>(bad_chain))});
+  // Provider-size CDF points for the paper's yellow curve.
+  for (const std::size_t k : {1, 2, 5, 10, 50}) {
+    std::size_t at_most = 0;
+    for (const auto& [provider, count] : providers)
+      if (count <= static_cast<double>(k)) ++at_most;
+    table.add_row({"Providers with <= " + std::to_string(k) + " addresses",
+                   fmt_pct(providers.empty() ? 0.0
+                                             : static_cast<double>(at_most) /
+                                                   providers.size(),
+                           1)});
+  }
+  return table;
+}
+
+util::Table experiment_doh_discovery(Study& study) {
+  const auto& discovery = study.doh_discovery();
+  util::Table table("DoH discovery from the URL dataset (Section 3.2)",
+                    {"Metric", "Value"});
+  table.add_row({"URLs in dataset",
+                 fmt_count(static_cast<std::int64_t>(discovery.urls_in_dataset))});
+  table.add_row({"URLs matching DoH path templates",
+                 fmt_count(static_cast<std::int64_t>(discovery.path_candidates))});
+  table.add_row({"Valid DoH URLs",
+                 fmt_count(static_cast<std::int64_t>(discovery.valid_urls))});
+  table.add_row({"Distinct DoH resolvers",
+                 fmt_count(static_cast<std::int64_t>(discovery.resolvers.size()))});
+  // Which discovered resolvers are beyond the public lists?
+  std::unordered_map<std::string, bool> in_list;
+  for (const auto& d : study.world().deployments().doh) {
+    const auto tmpl = http::UriTemplate::parse(d.uri_template);
+    if (tmpl) in_list[tmpl->base().host] = d.in_public_list;
+  }
+  std::size_t beyond = 0;
+  std::string beyond_names;
+  for (const auto& resolver : discovery.resolvers) {
+    const auto it = in_list.find(resolver.host);
+    if (it != in_list.end() && !it->second) {
+      ++beyond;
+      if (!beyond_names.empty()) beyond_names += ", ";
+      beyond_names += resolver.host;
+    }
+  }
+  table.add_row({"Resolvers beyond public lists",
+                 fmt_count(static_cast<std::int64_t>(beyond)) + " (" + beyond_names +
+                     ")"});
+  std::size_t valid_certs = 0;
+  for (const auto& resolver : discovery.resolvers)
+    if (resolver.cert_valid) ++valid_certs;
+  table.add_row({"Resolvers with valid certificates on 443",
+                 fmt_count(static_cast<std::int64_t>(valid_certs)) + " / " +
+                     fmt_count(static_cast<std::int64_t>(discovery.resolvers.size()))});
+  return table;
+}
+
+util::Table experiment_local_probe(Study& study) {
+  const auto& results = study.local_probe();
+  util::Table table("Local-resolver DoT probe (Section 3.1, RIPE-Atlas-style)",
+                    {"Metric", "Value"});
+  table.add_row({"Probes", fmt_count(static_cast<std::int64_t>(results.probes))});
+  table.add_row({"DoT queries succeeded",
+                 fmt_count(static_cast<std::int64_t>(results.dot_succeeded))});
+  table.add_row({"Success rate", fmt_pct(results.success_rate(), 2)});
+  return table;
+}
+
+util::Table experiment_figure6(Study& study) {
+  // Geo-distribution of the global platform's endpoints: sample the
+  // recruitment process and tabulate countries (the map of Figure 6).
+  util::Table table("Figure 6: Geo-distribution of global proxy endpoints",
+                    {"Rank", "CC", "Endpoints", "Share"});
+  util::Rng rng(study.config().world.seed ^ 0xF16ULL);
+  util::Counter counter;
+  const std::size_t samples = 8000;
+  for (std::size_t i = 0; i < samples; ++i)
+    counter.add(study.world().sample_global_vantage(rng).country);
+  std::size_t rank = 0;
+  for (const auto& [country, count] : counter.sorted_desc()) {
+    if (++rank > 15) break;
+    table.add_row({std::to_string(rank), country,
+                   fmt_count(static_cast<std::int64_t>(count)),
+                   fmt_pct(count / counter.total(), 1)});
+  }
+  table.add_row({"-", "countries total", fmt_count(static_cast<std::int64_t>(
+                                             counter.distinct())),
+                 ""});
+  return table;
+}
+
+util::Table experiment_table3(Study& study) {
+  util::Table table("Table 3: Evaluation of client-side dataset",
+                    {"Test", "Platform", "# Distinct IP", "# Country", "# AS"});
+  const auto& global = study.reachability_global();
+  const auto& cn = study.reachability_cn();
+  table.add_row({"Reachability", global.dataset.platform + " (Global)",
+                 fmt_count(static_cast<std::int64_t>(global.dataset.distinct_ips)),
+                 fmt_count(static_cast<std::int64_t>(global.dataset.countries)),
+                 fmt_count(static_cast<std::int64_t>(global.dataset.ases))});
+  table.add_row({"Reachability", cn.dataset.platform + " (Censored)",
+                 fmt_count(static_cast<std::int64_t>(cn.dataset.distinct_ips)),
+                 fmt_count(static_cast<std::int64_t>(cn.dataset.countries)),
+                 fmt_count(static_cast<std::int64_t>(cn.dataset.ases))});
+  const auto& perf = study.performance();
+  std::unordered_set<std::string> perf_countries;
+  for (const auto& client : perf.clients) perf_countries.insert(client.country);
+  table.add_row({"Performance", global.dataset.platform + " (Global)",
+                 fmt_count(static_cast<std::int64_t>(perf.clients.size())),
+                 fmt_count(static_cast<std::int64_t>(perf_countries.size())), "-"});
+  return table;
+}
+
+util::Table experiment_table4(Study& study) {
+  util::Table table("Table 4: Reachability test results of public resolvers",
+                    {"Platform", "Resolver", "Protocol", "Correct", "Incorrect",
+                     "Failed"});
+  const auto emit = [&](const measure::ReachabilityResults& results,
+                        const std::string& platform) {
+    for (const auto& resolver : {"Cloudflare", "Google", "Quad9", "Self-built"}) {
+      for (const auto protocol :
+           {measure::Protocol::kDo53, measure::Protocol::kDoT,
+            measure::Protocol::kDoH}) {
+        const auto& cell = results.cell(resolver, protocol);
+        if (cell.total() == 0) {
+          table.add_row({platform, resolver, protocol_name(protocol), "n/a", "n/a",
+                         "n/a"});
+          continue;
+        }
+        table.add_row({platform, resolver, protocol_name(protocol),
+                       fmt_pct(cell.fraction(measure::Outcome::kCorrect)),
+                       fmt_pct(cell.fraction(measure::Outcome::kIncorrect)),
+                       fmt_pct(cell.fraction(measure::Outcome::kFailed))});
+      }
+    }
+  };
+  emit(study.reachability_global(), "ProxyRack (Global)");
+  emit(study.reachability_cn(), "Zhima (Censored, CN)");
+  return table;
+}
+
+util::Table experiment_table5(Study& study) {
+  const auto& results = study.reachability_global();
+  util::Table table(
+      "Table 5: Ports open on 1.1.1.1, probed from clients failing Cloudflare DoT",
+      {"Port", "# Clients", "Share of diagnosed clients"});
+  const std::size_t total = results.conflict_diagnoses.size();
+  std::map<std::uint16_t, std::size_t> per_port;
+  std::size_t none = 0;
+  for (const auto& diagnosis : results.conflict_diagnoses) {
+    if (diagnosis.open_ports.empty()) ++none;
+    for (const auto port : diagnosis.open_ports) ++per_port[port];
+  }
+  const auto share = [&](std::size_t n) {
+    return total == 0 ? std::string("-")
+                      : fmt_pct(static_cast<double>(n) / total, 1);
+  };
+  table.add_row({"None", fmt_count(static_cast<std::int64_t>(none)), share(none)});
+  for (const auto& [port, count] : per_port)
+    table.add_row({std::to_string(port), fmt_count(static_cast<std::int64_t>(count)),
+                   share(count)});
+  return table;
+}
+
+util::Table experiment_table6(Study& study) {
+  const auto& results = study.reachability_global();
+  util::Table table("Table 6: Example clients affected by TLS interception",
+                    {"Client", "CC", "AS", "Untrusted CA CN", "443", "853",
+                     "Opportunistic DoT answered"});
+  for (const auto& record : results.interceptions) {
+    // Anonymize the client like the paper: a.b.c.* form.
+    const util::Ipv4 block = record.client_address.slash24();
+    std::string anonymized = block.to_string();
+    anonymized = anonymized.substr(0, anonymized.rfind('.') + 1) + "*";
+    table.add_row({anonymized, record.country, "AS" + std::to_string(record.asn),
+                   record.untrusted_ca_cn, record.port_443 ? "yes" : "no",
+                   record.port_853 ? "yes" : "no",
+                   record.dot_lookup_succeeded ? "yes" : "no"});
+  }
+  table.add_row({"TOTAL",
+                 fmt_count(static_cast<std::int64_t>(results.interceptions.size())) +
+                     " clients",
+                 "", "", "", "", ""});
+  return table;
+}
+
+util::Table experiment_figure9(Study& study) {
+  const auto& results = study.performance();
+  util::Table table(
+      "Figure 9: Query performance per country (overhead vs DNS/TCP, reused "
+      "connections, ms)",
+      {"Country", "# Clients", "DoT mean", "DoT median", "DoH mean", "DoH median"});
+  table.add_row({"GLOBAL",
+                 fmt_count(static_cast<std::int64_t>(results.clients.size())),
+                 fmt(results.overall(false, false), 1),
+                 fmt(results.overall(false, true), 1),
+                 fmt(results.overall(true, false), 1),
+                 fmt(results.overall(true, true), 1)});
+  for (const auto& row : results.by_country(12)) {
+    table.add_row({row.country, fmt_count(static_cast<std::int64_t>(row.clients)),
+                   fmt(row.dot_overhead_mean, 1), fmt(row.dot_overhead_median, 1),
+                   fmt(row.doh_overhead_mean, 1), fmt(row.doh_overhead_median, 1)});
+  }
+  return table;
+}
+
+util::Table experiment_figure10(Study& study) {
+  const auto& results = study.performance();
+  util::Table table(
+      "Figure 10: Per-client query time, DNS vs DoT/DoH (scatter summary)",
+      {"Statistic", "DNS (ms)", "DoT (ms)", "DoH (ms)"});
+  std::vector<double> dns, dot, doh;
+  for (const auto& client : results.clients) {
+    dns.push_back(client.dns_ms);
+    dot.push_back(client.dot_ms);
+    doh.push_back(client.doh_ms);
+  }
+  for (const double q : {0.10, 0.25, 0.50, 0.75, 0.90}) {
+    table.add_row({"p" + std::to_string(static_cast<int>(q * 100)),
+                   fmt(util::percentile(dns, q).value_or(0), 1),
+                   fmt(util::percentile(dot, q).value_or(0), 1),
+                   fmt(util::percentile(doh, q).value_or(0), 1)});
+  }
+  std::size_t near_dot = 0, near_doh = 0;
+  for (const auto& client : results.clients) {
+    if (std::abs(client.dot_overhead()) < 15.0) ++near_dot;
+    if (std::abs(client.doh_overhead()) < 15.0) ++near_doh;
+  }
+  const double n = results.clients.empty() ? 1.0 : results.clients.size();
+  table.add_row({"clients within 15ms of y=x", "-", fmt_pct(near_dot / n, 1),
+                 fmt_pct(near_doh / n, 1)});
+  return table;
+}
+
+util::Table experiment_table7(Study& study) {
+  util::Table table(
+      "Table 7: Performance test results w/o connection reuse (medians, s)",
+      {"Vantage", "DNS/TCP", "DoT (overhead)", "DoH (overhead)"});
+  for (const auto& row : study.no_reuse()) {
+    table.add_row({row.vantage_country, fmt(row.dns_s, 3),
+                   fmt(row.dot_s, 3) + " (" + fmt(row.dot_overhead_ms(), 0) + "ms)",
+                   fmt(row.doh_s, 3) + " (" + fmt(row.doh_overhead_ms(), 0) + "ms)"});
+  }
+  return table;
+}
+
+util::Table experiment_figure11(Study& study) {
+  const auto& results = study.netflow();
+  util::Table table("Figure 11: Monthly DoT flows to Cloudflare and Quad9 (sampled)",
+                    {"Month", "Cloudflare", "Quad9", "est. Do53 (sampled)"});
+  std::map<util::Date, std::pair<std::uint64_t, std::uint64_t>> merged;
+  for (const auto& [month, count] : results.cloudflare_monthly)
+    merged[month].first = count;
+  for (const auto& [month, count] : results.quad9_monthly)
+    merged[month].second = count;
+  for (const auto& [month, counts] : merged) {
+    const auto it = results.do53_monthly_estimate.find(month);
+    table.add_row({month.month_label(),
+                   fmt_count(static_cast<std::int64_t>(counts.first)),
+                   fmt_count(static_cast<std::int64_t>(counts.second)),
+                   it == results.do53_monthly_estimate.end()
+                       ? "-"
+                       : fmt_count(static_cast<std::int64_t>(it->second))});
+  }
+  const auto jul = results.cloudflare_monthly.find(util::Date{2018, 7, 1});
+  const auto dec = results.cloudflare_monthly.find(util::Date{2018, 12, 1});
+  if (jul != results.cloudflare_monthly.end() &&
+      dec != results.cloudflare_monthly.end()) {
+    table.add_row({"Growth Jul->Dec 2018",
+                   fmt_growth(static_cast<double>(jul->second),
+                              static_cast<double>(dec->second)),
+                   "", ""});
+  }
+  return table;
+}
+
+util::Table experiment_figure12(Study& study) {
+  const auto& results = study.netflow();
+  util::Table table("Figure 12: DoT traffic to Cloudflare/Quad9 per /24 network",
+                    {"Rank", "/24", "Records", "Share", "Active days"});
+  for (std::size_t i = 0; i < std::min<std::size_t>(10, results.netblocks.size());
+       ++i) {
+    const auto& nb = results.netblocks[i];
+    table.add_row(
+        {std::to_string(i + 1), nb.slash24.to_string() + "/24",
+         fmt_count(static_cast<std::int64_t>(nb.records)),
+         fmt_pct(static_cast<double>(nb.records) /
+                     std::max<std::uint64_t>(1, results.total_dot_records),
+                 1),
+         std::to_string(nb.active_days)});
+  }
+  table.add_row({"-", "top-5 share", fmt_pct(results.top_share(5), 1), "", ""});
+  table.add_row({"-", "top-20 share", fmt_pct(results.top_share(20), 1), "", ""});
+  table.add_row({"-", "blocks active < 7 days",
+                 fmt_pct(results.short_lived_block_fraction(7), 1), "", ""});
+  table.add_row({"-", "traffic from those blocks",
+                 fmt_pct(results.short_lived_traffic_share(7), 1), "", ""});
+  table.add_row({"-", "client /24s observed",
+                 fmt_count(static_cast<std::int64_t>(results.netblocks.size())), "",
+                 ""});
+  table.add_row({"-", "scanner-flagged client /24s",
+                 fmt_count(static_cast<std::int64_t>(results.flagged_client_blocks)),
+                 "", ""});
+  return table;
+}
+
+util::Table experiment_figure13(Study& study) {
+  const auto& results = study.passive_dns();
+  const std::vector<std::string> popular = {
+      "dns.google.com", "mozilla.cloudflare-dns.com", "doh.cleanbrowsing.org",
+      "doh.crypto.sx"};
+  util::Table table("Figure 13: Monthly query volume of popular DoH domains",
+                    {"Month", "Google", "Cloudflare (mozilla.*)", "CleanBrowsing",
+                     "crypto.sx"});
+  std::map<util::Date, std::array<std::uint64_t, 4>> merged;
+  for (std::size_t i = 0; i < popular.size(); ++i)
+    for (const auto& [month, count] : results.daily_db.monthly_series(popular[i]))
+      merged[month][i] = count;
+  for (const auto& [month, counts] : merged) {
+    if (month < util::Date{2018, 1, 1}) continue;  // the figure's x-range
+    table.add_row({month.month_label(),
+                   fmt_count(static_cast<std::int64_t>(counts[0])),
+                   fmt_count(static_cast<std::int64_t>(counts[1])),
+                   fmt_count(static_cast<std::int64_t>(counts[2])),
+                   fmt_count(static_cast<std::int64_t>(counts[3]))});
+  }
+  return table;
+}
+
+util::Table experiment_table8() { return implementation_table(); }
+
+const std::vector<Experiment>& all_experiments() {
+  static const std::vector<Experiment> experiments = {
+      {"table1", "Comparison of DNS-over-Encryption protocols",
+       [](Study&) { return experiment_table1(); }},
+      {"fig1", "Timeline of DNS privacy events",
+       [](Study&) { return experiment_figure1(); }},
+      {"fig2", "Two types of DoH requests",
+       [](Study&) { return experiment_figure2(); }},
+      {"fig3", "Open DoT resolvers identified by each scan",
+       [](Study& s) { return experiment_figure3(s); }},
+      {"table2", "Top countries of open DoT resolvers",
+       [](Study& s) { return experiment_table2(s); }},
+      {"fig4", "Providers of open DoT resolvers",
+       [](Study& s) { return experiment_figure4(s); }},
+      {"doh-discovery", "DoH discovery from the URL dataset",
+       [](Study& s) { return experiment_doh_discovery(s); }},
+      {"local-probe", "ISP local-resolver DoT probe",
+       [](Study& s) { return experiment_local_probe(s); }},
+      {"fig6", "Geo-distribution of proxy endpoints",
+       [](Study& s) { return experiment_figure6(s); }},
+      {"table3", "Evaluation of client-side dataset",
+       [](Study& s) { return experiment_table3(s); }},
+      {"table4", "Reachability test results of public resolvers",
+       [](Study& s) { return experiment_table4(s); }},
+      {"table5", "Ports open on the address 1.1.1.1",
+       [](Study& s) { return experiment_table5(s); }},
+      {"table6", "Example clients affected by TLS interception",
+       [](Study& s) { return experiment_table6(s); }},
+      {"fig9", "Query performance per country",
+       [](Study& s) { return experiment_figure9(s); }},
+      {"fig10", "Query time of DNS and DoH/DoT on individual clients",
+       [](Study& s) { return experiment_figure10(s); }},
+      {"table7", "Performance test results w/o connection reuse",
+       [](Study& s) { return experiment_table7(s); }},
+      {"fig11", "Traffic to Cloudflare and Quad9 DNS",
+       [](Study& s) { return experiment_figure11(s); }},
+      {"fig12", "DoT traffic per /24 network",
+       [](Study& s) { return experiment_figure12(s); }},
+      {"fig13", "Query volume of popular DoH domains",
+       [](Study& s) { return experiment_figure13(s); }},
+      {"table8", "Current implementations of DNS-over-Encryption",
+       [](Study&) { return experiment_table8(); }},
+  };
+  return experiments;
+}
+
+}  // namespace encdns::core

@@ -1,0 +1,89 @@
+#include "core/implementation_survey.hpp"
+
+namespace encdns::core {
+
+std::string to_string(ImplCategory category) {
+  switch (category) {
+    case ImplCategory::kPublicDns: return "Public DNS";
+    case ImplCategory::kServerSoftware: return "DNS software (server)";
+    case ImplCategory::kStubSoftware: return "DNS software (stub)";
+    case ImplCategory::kBrowser: return "Browser";
+    case ImplCategory::kOs: return "OS";
+  }
+  return "?";
+}
+
+const std::vector<Implementation>& implementation_survey() {
+  using C = ImplCategory;
+  static const std::vector<Implementation> rows = {
+      // category, name, DoT, DoH, DNSCrypt, DNSSEC, QMIN, note
+      {C::kPublicDns, "Google", true, true, false, true, false, ""},
+      {C::kPublicDns, "Cloudflare", true, true, false, true, true, ""},
+      {C::kPublicDns, "Quad9", true, true, false, true, true, ""},
+      {C::kPublicDns, "OpenDNS", false, false, true, false, false, "DNSCrypt since 2011"},
+      {C::kPublicDns, "CleanBrowsing", true, true, false, true, false, ""},
+      {C::kPublicDns, "Tenta", true, true, false, true, false, ""},
+      {C::kPublicDns, "Verisign", false, false, false, true, false, ""},
+      {C::kPublicDns, "SecureDNS", true, true, true, true, false, ""},
+      {C::kPublicDns, "DNS.WATCH", false, false, false, true, false, ""},
+      {C::kPublicDns, "PowerDNS", false, true, false, true, false, ""},
+      {C::kPublicDns, "Level3", false, false, false, false, false, ""},
+      {C::kPublicDns, "SafeDNS", false, false, false, false, false, ""},
+      {C::kPublicDns, "Dyn", false, false, false, true, false, ""},
+      {C::kPublicDns, "BlahDNS", true, true, true, true, false, ""},
+      {C::kPublicDns, "OpenNIC", false, false, true, true, false, ""},
+      {C::kPublicDns, "Alternate DNS", false, false, false, false, false, ""},
+      {C::kPublicDns, "Yandex.DNS", false, false, true, true, false, "DNSCrypt since 2016"},
+      {C::kServerSoftware, "Unbound", true, true, false, true, true, ""},
+      {C::kServerSoftware, "BIND", false, false, false, true, true, "DoT via front-end"},
+      {C::kServerSoftware, "Knot Resolver", true, true, false, true, true, ""},
+      {C::kServerSoftware, "dnsdist", true, true, false, true, true, ""},
+      {C::kServerSoftware, "CoreDNS", true, false, false, true, false, ""},
+      {C::kServerSoftware, "AnswerX", false, false, false, true, false, ""},
+      {C::kServerSoftware, "Cisco Registrar", false, false, false, false, false, ""},
+      {C::kServerSoftware, "MS DNS", false, false, false, true, false, ""},
+      {C::kStubSoftware, "Ldns (drill)", true, false, false, false, false, ""},
+      {C::kStubSoftware, "Stubby", true, true, false, false, false, ""},
+      {C::kStubSoftware, "BIND (dig)", true, false, false, false, false, ""},
+      {C::kStubSoftware, "Go DNS", true, false, false, false, false, ""},
+      {C::kStubSoftware, "Knot (kdig)", true, true, false, false, false, ""},
+      {C::kBrowser, "Firefox", false, true, false, false, false, "since Firefox 62.0"},
+      {C::kBrowser, "Chrome", false, true, false, false, false, "since Chromium 66"},
+      {C::kBrowser, "IE", false, false, false, false, false, ""},
+      {C::kBrowser, "Yandex Browser", false, false, true, false, false, ""},
+      {C::kBrowser, "Tenta Browser", true, true, false, false, false, "since Tenta v2"},
+      {C::kOs, "Android", true, false, false, false, false, "since Android 9"},
+      {C::kOs, "Linux (systemd)", true, false, false, false, false, "since systemd 239"},
+      {C::kOs, "Windows", false, false, false, false, false, ""},
+      {C::kOs, "macOS", false, false, false, false, false, ""},
+  };
+  return rows;
+}
+
+util::Table implementation_table() {
+  util::Table table(
+      "Table 8: Current implementations of DNS-over-Encryption (May 1, 2019)",
+      {"Category", "Name", "DoT", "DoH", "DNSCrypt", "DNSSEC", "QMIN", "Note"});
+  const auto mark = [](bool supported) { return supported ? "Y" : "-"; };
+  for (const auto& row : implementation_survey()) {
+    table.add_row({to_string(row.category), row.name, mark(row.dot), mark(row.doh),
+                   mark(row.dnscrypt), mark(row.dnssec),
+                   mark(row.qname_minimisation), row.note});
+  }
+  return table;
+}
+
+SurveyTotals survey_totals() {
+  SurveyTotals totals;
+  for (const auto& row : implementation_survey()) {
+    ++totals.total;
+    if (row.dot) ++totals.dot;
+    if (row.doh) ++totals.doh;
+    if (row.dnscrypt) ++totals.dnscrypt;
+    if (row.dnssec) ++totals.dnssec;
+    if (row.qname_minimisation) ++totals.qmin;
+  }
+  return totals;
+}
+
+}  // namespace encdns::core

@@ -1,0 +1,43 @@
+// Appendix A / Table 8: the survey of DNS-over-Encryption implementations
+// across public resolvers, server software, stub software, browsers and OSes
+// (as of May 1, 2019), compared against DNSSEC and QNAME minimisation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace encdns::core {
+
+enum class ImplCategory { kPublicDns, kServerSoftware, kStubSoftware, kBrowser, kOs };
+
+[[nodiscard]] std::string to_string(ImplCategory category);
+
+struct Implementation {
+  ImplCategory category;
+  std::string name;
+  bool dot = false;
+  bool doh = false;
+  bool dnscrypt = false;
+  bool dnssec = false;  // "-" (not applicable) is encoded as false for stubs
+  bool qname_minimisation = false;
+  std::string note;  // e.g. "since Firefox 62.0"
+};
+
+[[nodiscard]] const std::vector<Implementation>& implementation_survey();
+
+[[nodiscard]] util::Table implementation_table();
+
+/// Count of surveyed implementations supporting a given protocol.
+struct SurveyTotals {
+  int dot = 0;
+  int doh = 0;
+  int dnscrypt = 0;
+  int dnssec = 0;
+  int qmin = 0;
+  int total = 0;
+};
+[[nodiscard]] SurveyTotals survey_totals();
+
+}  // namespace encdns::core

@@ -1,0 +1,136 @@
+#include "core/protocol_matrix.hpp"
+
+namespace encdns::core {
+
+std::string to_string(DoeProtocol protocol) {
+  switch (protocol) {
+    case DoeProtocol::kDoT: return "DNS-over-TLS";
+    case DoeProtocol::kDoH: return "DNS-over-HTTPS";
+    case DoeProtocol::kDoDtls: return "DNS-over-DTLS";
+    case DoeProtocol::kDoQuic: return "DNS-over-QUIC";
+    case DoeProtocol::kDnsCrypt: return "DNSCrypt";
+  }
+  return "?";
+}
+
+std::string glyph(Rating rating) {
+  switch (rating) {
+    case Rating::kSatisfying: return "●";
+    case Rating::kPartial: return "◐";
+    case Rating::kNot: return "○";
+  }
+  return "?";
+}
+
+const std::vector<DoeProtocol>& ProtocolMatrix::protocols() {
+  static const std::vector<DoeProtocol> list = {
+      DoeProtocol::kDoT, DoeProtocol::kDoH, DoeProtocol::kDoDtls,
+      DoeProtocol::kDoQuic, DoeProtocol::kDnsCrypt};
+  return list;
+}
+
+ProtocolMatrix::ProtocolMatrix() {
+  using R = Rating;
+  struct Row {
+    Criterion criterion;
+    Cell dot, doh, dtls, quic, dnscrypt;
+  };
+  const std::vector<Row> rows = {
+      {{"Protocol Design", "Stays on the DNS application layer"},
+       {R::kSatisfying, "wire-format DNS over TLS"},
+       {R::kNot, "embeds DNS inside HTTP exchanges"},
+       {R::kSatisfying, "wire-format DNS over DTLS"},
+       {R::kSatisfying, "wire-format DNS over QUIC streams"},
+       {R::kSatisfying, "custom framing of DNS packets"}},
+      {{"Protocol Design", "Provides fallback mechanism"},
+       {R::kSatisfying, "Opportunistic profile may downgrade"},
+       {R::kNot, "strict-privacy-only; no downgrade path"},
+       {R::kSatisfying, "specified as a fallback companion to DoT"},
+       {R::kSatisfying, "falls back to DoT or clear text"},
+       {R::kNot, "no standardized fallback behaviour"}},
+      {{"Security", "Uses standard TLS"},
+       {R::kSatisfying, "TLS as-is"},
+       {R::kSatisfying, "TLS via HTTPS"},
+       {R::kSatisfying, "DTLS (TLS for datagrams)"},
+       {R::kPartial, "TLS 1.3 handshake inside QUIC crypto"},
+       {R::kNot, "X25519-XSalsa20Poly1305 construction"}},
+      {{"Security", "Resists DNS traffic analysis"},
+       {R::kPartial, "dedicated port 853; EDNS padding helps"},
+       {R::kSatisfying, "indistinguishable from port-443 HTTPS"},
+       {R::kPartial, "dedicated port, padding possible"},
+       {R::kPartial, "dedicated port 784 planned"},
+       {R::kSatisfying, "shares port 443 with HTTPS traffic"}},
+      {{"Usability", "Minor changes for client users"},
+       {R::kPartial, "new stub resolver or OS upgrade needed"},
+       {R::kSatisfying, "applications ship their own support"},
+       {R::kNot, "no client implementations exist"},
+       {R::kNot, "no client implementations exist"},
+       {R::kPartial, "extra proxy software (dnscrypt-proxy)"}},
+      {{"Usability", "Minor latency above DNS-over-UDP"},
+       {R::kPartial, "TCP+TLS setup, amortized by reuse"},
+       {R::kPartial, "TCP+TLS+HTTP setup, amortized by reuse"},
+       {R::kSatisfying, "datagram transport, no handshake RTTs"},
+       {R::kSatisfying, "0/1-RTT connection setup"},
+       {R::kSatisfying, "UDP transport by default"}},
+      {{"Deployability", "Runs over standard protocols"},
+       {R::kSatisfying, "TCP + TLS"},
+       {R::kSatisfying, "TCP + TLS + HTTP"},
+       {R::kSatisfying, "UDP + DTLS"},
+       {R::kPartial, "QUIC still an IETF draft then"},
+       {R::kNot, "bespoke cryptographic protocol"}},
+      {{"Deployability", "Supported by mainstream DNS software"},
+       {R::kSatisfying, "BIND(front-end)/Unbound/Knot/dnsdist..."},
+       {R::kPartial, "fewer servers; dnsdist, doh-proxy"},
+       {R::kNot, "none"},
+       {R::kNot, "none"},
+       {R::kPartial, "dedicated implementations only"}},
+      {{"Maturity", "Standardized by IETF"},
+       {R::kSatisfying, "RFC 7858 (2016)"},
+       {R::kSatisfying, "RFC 8484 (2018)"},
+       {R::kPartial, "RFC 8094, experimental"},
+       {R::kNot, "individual draft"},
+       {R::kNot, "never submitted for standardization"}},
+      {{"Maturity", "Extensively supported by resolvers"},
+       {R::kSatisfying, "Cloudflare, Google, Quad9, CleanBrowsing..."},
+       {R::kPartial, "a handful of large resolvers"},
+       {R::kNot, "no deployments"},
+       {R::kNot, "no deployments"},
+       {R::kPartial, "OpenDNS (2011), Yandex (2016), OpenNIC"}},
+  };
+
+  for (const auto& row : rows) {
+    criteria_.push_back(row.criterion);
+    cells_.push_back({row.dot, row.doh, row.dtls, row.quic, row.dnscrypt});
+  }
+}
+
+Rating ProtocolMatrix::rating(DoeProtocol protocol, std::size_t criterion) const {
+  return cells_.at(criterion).at(static_cast<std::size_t>(protocol)).rating;
+}
+
+const std::string& ProtocolMatrix::rationale(DoeProtocol protocol,
+                                             std::size_t criterion) const {
+  return cells_.at(criterion).at(static_cast<std::size_t>(protocol)).rationale;
+}
+
+int ProtocolMatrix::satisfied_count(DoeProtocol protocol) const {
+  int count = 0;
+  for (std::size_t i = 0; i < criteria_.size(); ++i)
+    if (rating(protocol, i) == Rating::kSatisfying) ++count;
+  return count;
+}
+
+util::Table ProtocolMatrix::to_table() const {
+  util::Table table("Table 1: Comparison of DNS-over-Encryption protocols",
+                    {"Category", "Criterion", "DoT", "DoH", "DoDTLS", "DoQUIC",
+                     "DNSCrypt"});
+  for (std::size_t i = 0; i < criteria_.size(); ++i) {
+    std::vector<std::string> row = {criteria_[i].category, criteria_[i].name};
+    for (const auto protocol : protocols())
+      row.push_back(glyph(rating(protocol, i)));
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace encdns::core

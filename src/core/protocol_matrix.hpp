@@ -1,0 +1,58 @@
+// The §2.2 comparative study (Table 1): five DNS-over-Encryption protocols
+// rated against 10 criteria under 5 categories. The ratings are encoded from
+// the paper's analysis prose; each carries its justification.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace encdns::core {
+
+enum class DoeProtocol { kDoT, kDoH, kDoDtls, kDoQuic, kDnsCrypt };
+
+[[nodiscard]] std::string to_string(DoeProtocol protocol);
+
+enum class Rating {
+  kSatisfying,  // ● in the paper
+  kPartial,     // ◐
+  kNot,         // ○
+};
+
+[[nodiscard]] std::string glyph(Rating rating);
+
+struct Criterion {
+  std::string category;  // Protocol Design / Security / Usability / ...
+  std::string name;
+};
+
+class ProtocolMatrix {
+ public:
+  ProtocolMatrix();
+
+  [[nodiscard]] const std::vector<Criterion>& criteria() const noexcept {
+    return criteria_;
+  }
+  [[nodiscard]] static const std::vector<DoeProtocol>& protocols();
+
+  [[nodiscard]] Rating rating(DoeProtocol protocol, std::size_t criterion) const;
+  [[nodiscard]] const std::string& rationale(DoeProtocol protocol,
+                                             std::size_t criterion) const;
+
+  /// Count of fully satisfied criteria (used to rank maturity).
+  [[nodiscard]] int satisfied_count(DoeProtocol protocol) const;
+
+  /// Render Table 1.
+  [[nodiscard]] util::Table to_table() const;
+
+ private:
+  std::vector<Criterion> criteria_;
+  struct Cell {
+    Rating rating;
+    std::string rationale;
+  };
+  std::vector<std::vector<Cell>> cells_;  // [criterion][protocol]
+};
+
+}  // namespace encdns::core

@@ -1,0 +1,210 @@
+#include "core/report.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "util/stats.hpp"
+
+namespace encdns::core {
+namespace {
+
+using util::fmt;
+using util::fmt_pct;
+
+void check(std::vector<FindingCheck>& checks, std::string id,
+           std::string description, std::string paper, std::string measured,
+           bool ok) {
+  checks.push_back(FindingCheck{std::move(id), std::move(description),
+                                std::move(paper), std::move(measured), ok});
+}
+
+}  // namespace
+
+std::vector<FindingCheck> evaluate_findings(Study& study) {
+  std::vector<FindingCheck> checks;
+
+  // --- Section 3 -------------------------------------------------------------
+  const auto& scans = study.scans();
+  if (!scans.empty()) {
+    const auto& first = scans.front();
+    const auto& last = scans.back();
+    check(checks, "finding-1.1a", "well over 1K open DoT resolvers per scan",
+          ">1.5K", std::to_string(first.resolvers.size()) + " -> " +
+                       std::to_string(last.resolvers.size()),
+          first.resolvers.size() > 1200 && last.resolvers.size() > 1500);
+    check(checks, "finding-1.1b",
+          "most port-853-open hosts are not DoT resolvers", "vast majority",
+          fmt_pct(1.0 - static_cast<double>(last.resolvers.size()) /
+                            static_cast<double>(last.port_open),
+                  1) + " non-DoT",
+          last.port_open > last.resolvers.size() * 10);
+
+    util::Counter providers;
+    for (const auto& resolver : last.resolvers) providers.add(resolver.provider);
+    std::size_t single = 0;
+    for (const auto& [provider, count] : providers.sorted_desc())
+      if (count <= 1.0) ++single;
+    const double single_share =
+        static_cast<double>(single) / providers.distinct();
+    check(checks, "finding-1.1c", "~70% of providers run a single address",
+          "70%", fmt_pct(single_share, 1),
+          single_share > 0.55 && single_share < 0.85);
+
+    const double invalid_share =
+        static_cast<double>(last.invalid_cert_providers().size()) /
+        providers.distinct();
+    check(checks, "finding-1.2a", "~25% of providers have invalid certificates",
+          "25%", fmt_pct(invalid_share, 1),
+          invalid_share > 0.15 && invalid_share < 0.35);
+
+    int expired = 0, self_signed = 0, bad_chain = 0;
+    for (const auto& resolver : last.resolvers) {
+      switch (resolver.cert_status) {
+        case tls::CertStatus::kExpired: ++expired; break;
+        case tls::CertStatus::kSelfSigned: ++self_signed; break;
+        case tls::CertStatus::kUntrustedChain: ++bad_chain; break;
+        default: break;
+      }
+    }
+    check(checks, "finding-1.2b", "defect mix: expired/self-signed/bad-chain",
+          "27/67/28",
+          std::to_string(expired) + "/" + std::to_string(self_signed) + "/" +
+              std::to_string(bad_chain),
+          std::abs(expired - 27) <= 8 && std::abs(self_signed - 67) <= 10 &&
+              std::abs(bad_chain - 28) <= 8);
+
+    util::Counter first_countries, last_countries;
+    for (const auto& r : first.resolvers) first_countries.add(r.country);
+    for (const auto& r : last.resolvers) last_countries.add(r.country);
+    check(checks, "table-2", "IE/US grow, CN collapses",
+          "IE +108%, US +431%, CN -84%",
+          "IE " + util::fmt_growth(first_countries.get("IE"),
+                                   last_countries.get("IE")) +
+              ", US " + util::fmt_growth(first_countries.get("US"),
+                                         last_countries.get("US")) +
+              ", CN " + util::fmt_growth(first_countries.get("CN"),
+                                         last_countries.get("CN")),
+          last_countries.get("IE") > first_countries.get("IE") * 1.7 &&
+              last_countries.get("US") > first_countries.get("US") * 3.0 &&
+              last_countries.get("CN") < first_countries.get("CN") * 0.35);
+  }
+
+  const auto& doh = study.doh_discovery();
+  check(checks, "doh-discovery", "17 public DoH resolvers from the URL dataset",
+        "17 (2 beyond lists)", std::to_string(doh.resolvers.size()),
+        doh.resolvers.size() == 17);
+
+  const auto& local = study.local_probe();
+  check(checks, "local-probe", "ISP local-resolver DoT is scarce", "0.3%",
+        fmt_pct(local.success_rate(), 2), local.success_rate() < 0.03);
+
+  // --- Section 4 -------------------------------------------------------------
+  using P = measure::Protocol;
+  using O = measure::Outcome;
+  const auto& global = study.reachability_global();
+  const auto& cn = study.reachability_cn();
+
+  const double cf_dns = global.cell("Cloudflare", P::kDo53).fraction(O::kFailed);
+  const double cf_dot = global.cell("Cloudflare", P::kDoT).fraction(O::kFailed);
+  const double cf_doh = global.cell("Cloudflare", P::kDoH).fraction(O::kFailed);
+  check(checks, "finding-2.1a", "clear-text DNS to 1.1.1.1 fails for ~16%",
+        "16.46%", fmt_pct(cf_dns), cf_dns > 0.10 && cf_dns < 0.25);
+  check(checks, "finding-2.1b", "Cloudflare DoT failure drops to ~1%", "1.14%",
+        fmt_pct(cf_dot), cf_dot > 0.002 && cf_dot < 0.04);
+  check(checks, "finding-2.1c", "DoE reachability exceeds 99%", ">99%",
+        fmt_pct(1.0 - cf_doh), cf_doh < 0.02);
+
+  const double google_doh_cn = cn.cell("Google", P::kDoH).fraction(O::kFailed);
+  check(checks, "finding-2.2", "Google DoH blocked from the censored network",
+        "99.99% failed", fmt_pct(google_doh_cn), google_doh_cn > 0.99);
+
+  check(checks, "finding-2.3", "TLS interception rare; strict DoH never answers",
+        "17/29,622 clients",
+        std::to_string(global.interceptions.size()) + "/" +
+            std::to_string(global.clients),
+        global.interceptions.size() <
+            std::max<std::size_t>(1, global.clients / 100) + 1);
+
+  const double quad9 = global.cell("Quad9", P::kDoH).fraction(O::kIncorrect);
+  const double quad9_cn = cn.cell("Quad9", P::kDoH).fraction(O::kIncorrect);
+  check(checks, "finding-2.4a", "Quad9 DoH SERVFAILs at a high rate", "13.09%",
+        fmt_pct(quad9), quad9 > 0.06 && quad9 < 0.22);
+  check(checks, "finding-2.4b", "...but barely from near the nameservers",
+        "0.15% (CN)", fmt_pct(quad9_cn), quad9_cn < quad9 / 3.0);
+
+  const auto& perf = study.performance();
+  const double dot_median = perf.overall(false, true);
+  const double doh_median = perf.overall(true, true);
+  check(checks, "finding-3.1a", "reused-connection DoT overhead is a few ms",
+        "+9ms median", fmt(dot_median, 1) + "ms",
+        dot_median > -5.0 && dot_median < 25.0);
+  check(checks, "finding-3.1b", "reused-connection DoH overhead is a few ms",
+        "+6ms median", fmt(doh_median, 1) + "ms",
+        doh_median > -15.0 && doh_median < 30.0);
+
+  const auto& no_reuse = study.no_reuse();
+  double max_overhead = 0.0;
+  for (const auto& row : no_reuse)
+    max_overhead = std::max(max_overhead, row.dot_overhead_ms());
+  check(checks, "finding-3.1c", "no-reuse overhead reaches hundreds of ms",
+        "up to +470ms", "+" + fmt(max_overhead, 0) + "ms", max_overhead > 200.0);
+
+  bool india_doh_faster = false;
+  std::string india_value = "n/a (too few IN clients)";
+  for (const auto& row : perf.by_country(8)) {
+    if (row.country == "IN") {
+      india_doh_faster = row.doh_overhead_median < 0.0;
+      india_value = fmt(row.doh_overhead_median, 1) + "ms";
+    }
+  }
+  check(checks, "finding-3.2", "Cloudflare DoH beats clear text from India",
+        "-96ms median", india_value,
+        india_doh_faster || india_value.starts_with("n/a"));
+
+  // --- Section 5 -------------------------------------------------------------
+  const auto& netflow = study.netflow();
+  const auto jul = netflow.cloudflare_monthly.find(util::Date{2018, 7, 1});
+  const auto dec = netflow.cloudflare_monthly.find(util::Date{2018, 12, 1});
+  double growth = 0.0;
+  if (jul != netflow.cloudflare_monthly.end() &&
+      dec != netflow.cloudflare_monthly.end() && jul->second > 0)
+    growth = static_cast<double>(dec->second) / static_cast<double>(jul->second);
+  check(checks, "finding-4.1a", "Cloudflare DoT grows Jul->Dec 2018", "+56%",
+        util::fmt_growth(1.0, growth), growth > 1.3 && growth < 1.9);
+  check(checks, "finding-4.1b", "heavy egress blocks dominate DoT traffic",
+        "top-5 = 44%", fmt_pct(netflow.top_share(5), 1),
+        netflow.top_share(5) > 0.30 && netflow.top_share(5) < 0.80);
+  check(checks, "finding-4.1c", "~96% of client blocks active under a week",
+        "96%", fmt_pct(netflow.short_lived_block_fraction(7), 1),
+        netflow.short_lived_block_fraction(7) > 0.80);
+  check(checks, "finding-4.1d", "observed DoT clients are not scanners",
+        "no alerts", std::to_string(netflow.flagged_client_blocks) + " flagged",
+        netflow.flagged_client_blocks == 0);
+
+  const auto& pdns = study.passive_dns();
+  const auto popular = pdns.popular_domains(10000);
+  check(checks, "finding-4.2", "few DoH domains exceed 10K lookups",
+        "4 of 17", std::to_string(popular.size()) + " of 17",
+        popular.size() >= 3 && popular.size() <= 6);
+
+  return checks;
+}
+
+util::Table findings_table(const std::vector<FindingCheck>& checks) {
+  util::Table table("Findings report: paper claims vs this reproduction",
+                    {"Check", "Claim", "Paper", "Measured", "OK"});
+  for (const auto& check : checks) {
+    table.add_row({check.id, check.description, check.paper, check.measured,
+                   check.ok ? "yes" : "NO"});
+  }
+  return table;
+}
+
+std::size_t failed_count(const std::vector<FindingCheck>& checks) {
+  std::size_t failed = 0;
+  for (const auto& check : checks)
+    if (!check.ok) ++failed;
+  return failed;
+}
+
+}  // namespace encdns::core

@@ -1,0 +1,32 @@
+// Automated findings report: evaluate every key claim of the paper against
+// the measured study and emit pass/fail verdicts — the machine-checkable
+// version of EXPERIMENTS.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/study.hpp"
+#include "util/table.hpp"
+
+namespace encdns::core {
+
+struct FindingCheck {
+  std::string id;           // e.g. "finding-2.4"
+  std::string description;  // what the paper claims
+  std::string paper;        // the paper's value
+  std::string measured;     // what this reproduction measured
+  bool ok = false;          // shape reproduced?
+};
+
+/// Run every experiment the checks depend on (lazily via the Study) and
+/// evaluate the claims.
+[[nodiscard]] std::vector<FindingCheck> evaluate_findings(Study& study);
+
+/// Render the report.
+[[nodiscard]] util::Table findings_table(const std::vector<FindingCheck>& checks);
+
+/// Count of failed checks (0 = the reproduction matches the paper's shape).
+[[nodiscard]] std::size_t failed_count(const std::vector<FindingCheck>& checks);
+
+}  // namespace encdns::core

@@ -1,0 +1,114 @@
+#include "core/study.hpp"
+
+namespace encdns::core {
+
+StudyConfig StudyConfig::full() {
+  StudyConfig config;
+  config.reachability_global.client_count = 29622;
+  config.reachability_cn.client_count = 20000;  // Zhima, CN-only
+  config.reachability_cn.seed = 19;
+  config.performance.client_count = 8257;
+  config.local_probe.probe_count = 6655;
+  return config;
+}
+
+StudyConfig StudyConfig::quick() {
+  StudyConfig config;
+  config.campaign.scan_count = 4;
+  config.campaign.interval_days = 30;  // Feb 1 .. May 1 with fewer sweeps
+  config.reachability_global.client_count = 2500;
+  config.reachability_cn.client_count = 2000;
+  config.reachability_cn.seed = 19;
+  config.performance.client_count = 900;
+  config.no_reuse.queries = 120;
+  config.local_probe.probe_count = 1500;
+  config.netflow.backbone.tail_blocks = 2200;
+  config.netflow.backbone.medium_blocks = 120;
+  return config;
+}
+
+Study::Study(StudyConfig config) : config_(std::move(config)) {
+  world_ = std::make_unique<world::World>(config_.world);
+
+  proxy::ProxyConfig global;
+  global.name = "ProxyRack";
+  global.kind = proxy::PlatformKind::kGlobal;
+  global_platform_ = std::make_unique<proxy::ProxyNetwork>(
+      *world_, global, config_.world.seed ^ 0x91ACULL);
+
+  proxy::ProxyConfig censored;
+  censored.name = "Zhima";
+  censored.kind = proxy::PlatformKind::kCensoredCn;
+  cn_platform_ = std::make_unique<proxy::ProxyNetwork>(
+      *world_, censored, config_.world.seed ^ 0x2813ULL);
+}
+
+const std::vector<scan::ScanSnapshot>& Study::scans() {
+  if (!scans_) {
+    scan::Scanner scanner(*world_, config_.campaign);
+    scans_ = scanner.run_campaign();
+  }
+  return *scans_;
+}
+
+const scan::DohDiscovery& Study::doh_discovery() {
+  if (!doh_discovery_) {
+    scan::DohProber prober(*world_, world_->make_clean_vantage("US"),
+                           config_.campaign.seed ^ 0xD0DULL);
+    doh_discovery_ =
+        prober.discover(world_->url_dataset(), config_.campaign.start.plus_days(30));
+  }
+  return *doh_discovery_;
+}
+
+const measure::LocalProbeResults& Study::local_probe() {
+  if (!local_probe_)
+    local_probe_ = measure::run_local_resolver_probe(*world_, config_.local_probe);
+  return *local_probe_;
+}
+
+const measure::ReachabilityResults& Study::reachability_global() {
+  if (!reach_global_) {
+    measure::ReachabilityTest test(*world_, *global_platform_,
+                                   config_.reachability_global);
+    reach_global_ = test.run();
+  }
+  return *reach_global_;
+}
+
+const measure::ReachabilityResults& Study::reachability_cn() {
+  if (!reach_cn_) {
+    measure::ReachabilityTest test(*world_, *cn_platform_, config_.reachability_cn);
+    reach_cn_ = test.run();
+  }
+  return *reach_cn_;
+}
+
+const measure::PerformanceResults& Study::performance() {
+  if (!performance_) {
+    measure::PerformanceTest test(*world_, *global_platform_, config_.performance);
+    performance_ = test.run();
+  }
+  return *performance_;
+}
+
+const std::vector<measure::NoReuseRow>& Study::no_reuse() {
+  if (!no_reuse_) no_reuse_ = measure::run_no_reuse_test(*world_, config_.no_reuse);
+  return *no_reuse_;
+}
+
+const traffic::NetflowStudyResults& Study::netflow() {
+  if (!netflow_) {
+    traffic::NetflowStudy study(config_.netflow,
+                                traffic::big_resolver_address_list());
+    netflow_ = study.run();
+  }
+  return *netflow_;
+}
+
+const traffic::PassiveDnsStudyResults& Study::passive_dns() {
+  if (!passive_dns_) passive_dns_ = traffic::run_passive_dns_study(config_.passive_dns);
+  return *passive_dns_;
+}
+
+}  // namespace encdns::core

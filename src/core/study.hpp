@@ -1,0 +1,83 @@
+// The top-level facade: one World, every experiment of the paper, computed
+// lazily and cached. This is the primary public entry point of the library.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "measure/local_probe.hpp"
+#include "measure/performance.hpp"
+#include "measure/reachability.hpp"
+#include "proxy/proxy.hpp"
+#include "scan/doh_prober.hpp"
+#include "scan/scanner.hpp"
+#include "traffic/netflow_study.hpp"
+#include "traffic/passive_dns.hpp"
+#include "world/world.hpp"
+
+namespace encdns::core {
+
+struct StudyConfig {
+  world::WorldConfig world;
+  scan::CampaignConfig campaign;
+  measure::ReachabilityConfig reachability_global;
+  measure::ReachabilityConfig reachability_cn;
+  measure::PerformanceConfig performance;
+  measure::NoReuseConfig no_reuse;
+  measure::LocalProbeConfig local_probe;
+  traffic::NetflowStudyConfig netflow;
+  traffic::PassiveDnsStudyConfig passive_dns;
+
+  /// Full-scale run approximating the paper's dataset sizes. Minutes of CPU.
+  [[nodiscard]] static StudyConfig full();
+  /// Reduced scale for tests and quick demos. Seconds of CPU.
+  [[nodiscard]] static StudyConfig quick();
+};
+
+class Study {
+ public:
+  explicit Study(StudyConfig config = StudyConfig::quick());
+
+  [[nodiscard]] const StudyConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const world::World& world() const noexcept { return *world_; }
+
+  /// §3: the longitudinal DoT scan campaign (cached after first call).
+  [[nodiscard]] const std::vector<scan::ScanSnapshot>& scans();
+
+  /// §3: DoH discovery over the URL dataset.
+  [[nodiscard]] const scan::DohDiscovery& doh_discovery();
+
+  /// §3.1: the local-resolver DoT probe.
+  [[nodiscard]] const measure::LocalProbeResults& local_probe();
+
+  /// §4.2: reachability from the global / censored platforms.
+  [[nodiscard]] const measure::ReachabilityResults& reachability_global();
+  [[nodiscard]] const measure::ReachabilityResults& reachability_cn();
+
+  /// §4.3: performance with reused connections / without reuse.
+  [[nodiscard]] const measure::PerformanceResults& performance();
+  [[nodiscard]] const std::vector<measure::NoReuseRow>& no_reuse();
+
+  /// §5.2 / §5.3: traffic studies.
+  [[nodiscard]] const traffic::NetflowStudyResults& netflow();
+  [[nodiscard]] const traffic::PassiveDnsStudyResults& passive_dns();
+
+ private:
+  StudyConfig config_;
+  std::unique_ptr<world::World> world_;
+  std::unique_ptr<proxy::ProxyNetwork> global_platform_;
+  std::unique_ptr<proxy::ProxyNetwork> cn_platform_;
+
+  std::optional<std::vector<scan::ScanSnapshot>> scans_;
+  std::optional<scan::DohDiscovery> doh_discovery_;
+  std::optional<measure::LocalProbeResults> local_probe_;
+  std::optional<measure::ReachabilityResults> reach_global_;
+  std::optional<measure::ReachabilityResults> reach_cn_;
+  std::optional<measure::PerformanceResults> performance_;
+  std::optional<std::vector<measure::NoReuseRow>> no_reuse_;
+  std::optional<traffic::NetflowStudyResults> netflow_;
+  std::optional<traffic::PassiveDnsStudyResults> passive_dns_;
+};
+
+}  // namespace encdns::core

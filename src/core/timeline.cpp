@@ -1,0 +1,44 @@
+#include "core/timeline.hpp"
+
+namespace encdns::core {
+
+std::string to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kStandard: return "standard";
+    case EventKind::kWorkingGroup: return "IETF WG";
+    case EventKind::kInformational: return "informational/BCP";
+    case EventKind::kDeployment: return "deployment";
+  }
+  return "?";
+}
+
+const std::vector<TimelineEvent>& dns_privacy_timeline() {
+  static const std::vector<TimelineEvent> events = {
+      {{2009, 4, 1}, EventKind::kStandard, "DNSCurve: earliest DNS encryption proposal"},
+      {{2011, 12, 6}, EventKind::kDeployment, "DNSCrypt launched by OpenDNS"},
+      {{2014, 10, 1}, EventKind::kWorkingGroup, "IETF DPRIVE WG chartered"},
+      {{2015, 8, 1}, EventKind::kInformational, "RFC 7626: DNS privacy considerations"},
+      {{2016, 3, 1}, EventKind::kInformational, "RFC 7816: QNAME minimisation"},
+      {{2016, 5, 1}, EventKind::kStandard, "RFC 7858: DNS over TLS (DoT)"},
+      {{2016, 5, 15}, EventKind::kStandard, "RFC 7830: EDNS(0) padding option"},
+      {{2017, 2, 1}, EventKind::kStandard, "RFC 8094: DNS over DTLS (experimental)"},
+      {{2017, 9, 1}, EventKind::kWorkingGroup, "IETF DOH WG chartered"},
+      {{2018, 1, 1}, EventKind::kInformational, "RFC 8310: usage profiles for DoT/DoDTLS"},
+      {{2018, 4, 1}, EventKind::kDeployment, "Cloudflare launches 1.1.1.1 with DoT/DoH"},
+      {{2018, 8, 1}, EventKind::kDeployment, "Android 9 ships built-in DoT"},
+      {{2018, 10, 1}, EventKind::kStandard, "RFC 8484: DNS queries over HTTPS (DoH)"},
+      {{2018, 10, 15}, EventKind::kInformational, "RFC 8467: padding policies (BCP)"},
+      {{2019, 4, 1}, EventKind::kStandard, "draft-huitema-quic-dnsoquic: DNS over QUIC"},
+  };
+  return events;
+}
+
+util::Table timeline_table() {
+  util::Table table("Figure 1: Timeline of important DNS privacy events",
+                    {"Date", "Kind", "Event"});
+  for (const auto& event : dns_privacy_timeline())
+    table.add_row({event.date.to_string(), to_string(event.kind), event.label});
+  return table;
+}
+
+}  // namespace encdns::core

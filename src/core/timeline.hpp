@@ -1,0 +1,33 @@
+// Figure 1: the timeline of DNS-privacy milestones.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/date.hpp"
+#include "util/table.hpp"
+
+namespace encdns::core {
+
+enum class EventKind {
+  kStandard,       // DNS-over-Encryption standards (blue in the paper)
+  kWorkingGroup,   // IETF WGs (orange)
+  kInformational,  // Informational RFC / BCP (purple)
+  kDeployment,     // notable deployments
+};
+
+[[nodiscard]] std::string to_string(EventKind kind);
+
+struct TimelineEvent {
+  util::Date date;
+  EventKind kind;
+  std::string label;
+};
+
+/// Events in chronological order.
+[[nodiscard]] const std::vector<TimelineEvent>& dns_privacy_timeline();
+
+/// Render Figure 1 as a table.
+[[nodiscard]] util::Table timeline_table();
+
+}  // namespace encdns::core

@@ -1,0 +1,97 @@
+#include "dns/edns.hpp"
+
+#include <algorithm>
+
+#include "dns/wire.hpp"
+
+namespace encdns::dns {
+
+ResourceRecord Edns::to_record() const {
+  ResourceRecord rr;
+  rr.name = Name{};  // root
+  rr.type = RrType::kOpt;
+  rr.klass = static_cast<RrClass>(udp_payload_size);
+  std::uint32_t ttl = 0;
+  ttl |= static_cast<std::uint32_t>(extended_rcode_hi) << 24;
+  ttl |= static_cast<std::uint32_t>(version) << 16;
+  if (dnssec_ok) ttl |= 0x8000;
+  rr.ttl = ttl;
+  WireWriter w;
+  for (const auto& opt : options) {
+    w.u16(opt.code);
+    w.u16(static_cast<std::uint16_t>(opt.data.size()));
+    w.bytes(opt.data);
+  }
+  rr.rdata = std::move(w).take();
+  return rr;
+}
+
+std::optional<Edns> Edns::from_record(const ResourceRecord& rr) {
+  if (rr.type != RrType::kOpt || !rr.name.is_root()) return std::nullopt;
+  const auto* raw = std::get_if<RawData>(&rr.rdata);
+  if (raw == nullptr) return std::nullopt;
+  Edns edns;
+  edns.udp_payload_size = static_cast<std::uint16_t>(rr.klass);
+  edns.extended_rcode_hi = static_cast<std::uint8_t>(rr.ttl >> 24);
+  edns.version = static_cast<std::uint8_t>(rr.ttl >> 16);
+  edns.dnssec_ok = (rr.ttl & 0x8000) != 0;
+  WireReader r(*raw);
+  while (r.remaining() > 0) {
+    EdnsOption opt;
+    opt.code = r.u16();
+    const std::uint16_t len = r.u16();
+    opt.data = r.bytes(len);
+    if (!r.ok()) return std::nullopt;
+    edns.options.push_back(std::move(opt));
+  }
+  return edns;
+}
+
+std::optional<std::size_t> Edns::padding_length() const {
+  for (const auto& opt : options)
+    if (opt.code == static_cast<std::uint16_t>(EdnsOptionCode::kPadding))
+      return opt.data.size();
+  return std::nullopt;
+}
+
+void set_edns(Message& message, const Edns& edns) {
+  auto& extra = message.additionals;
+  extra.erase(std::remove_if(extra.begin(), extra.end(),
+                             [](const ResourceRecord& rr) {
+                               return rr.type == RrType::kOpt;
+                             }),
+              extra.end());
+  extra.push_back(edns.to_record());
+}
+
+std::optional<Edns> get_edns(const Message& message) {
+  for (const auto& rr : message.additionals)
+    if (rr.type == RrType::kOpt) return Edns::from_record(rr);
+  return std::nullopt;
+}
+
+std::size_t pad_to_block(Message& message, std::size_t block) {
+  auto edns = get_edns(message);
+  if (!edns || block == 0) return message.encode().size();
+  // Remove any existing padding, then compute the shortfall. The padding
+  // option itself costs 4 octets of option header.
+  edns->options.erase(
+      std::remove_if(edns->options.begin(), edns->options.end(),
+                     [](const EdnsOption& o) {
+                       return o.code ==
+                              static_cast<std::uint16_t>(EdnsOptionCode::kPadding);
+                     }),
+      edns->options.end());
+  set_edns(message, *edns);
+  const std::size_t bare = message.encode().size();
+  const std::size_t with_header = bare + 4;
+  std::size_t target = ((with_header + block - 1) / block) * block;
+  EdnsOption padding;
+  padding.code = static_cast<std::uint16_t>(EdnsOptionCode::kPadding);
+  padding.data.assign(target - with_header, 0);
+  edns->options.push_back(std::move(padding));
+  set_edns(message, *edns);
+  return message.encode().size();
+}
+
+}  // namespace encdns::dns

@@ -1,0 +1,54 @@
+// EDNS(0) (RFC 6891) support, including the padding option (RFC 7830) that
+// DoT/DoH clients use to blunt traffic analysis (paper §2.2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dns/message.hpp"
+
+namespace encdns::dns {
+
+/// EDNS option codes used by the study.
+enum class EdnsOptionCode : std::uint16_t {
+  kPadding = 12,  // RFC 7830
+};
+
+struct EdnsOption {
+  std::uint16_t code = 0;
+  std::vector<std::uint8_t> data;
+
+  bool operator==(const EdnsOption&) const = default;
+};
+
+/// Decoded view of an OPT pseudo-record.
+struct Edns {
+  std::uint16_t udp_payload_size = 1232;
+  std::uint8_t extended_rcode_hi = 0;  // upper 8 bits of the 12-bit rcode
+  std::uint8_t version = 0;
+  bool dnssec_ok = false;  // DO bit
+  std::vector<EdnsOption> options;
+
+  /// Render as an OPT resource record for the additional section.
+  [[nodiscard]] ResourceRecord to_record() const;
+
+  /// Parse an OPT record (returns nullopt if `rr` is not a valid OPT).
+  [[nodiscard]] static std::optional<Edns> from_record(const ResourceRecord& rr);
+
+  /// The padding option's length if present.
+  [[nodiscard]] std::optional<std::size_t> padding_length() const;
+};
+
+/// Attach (or replace) the OPT record on a message.
+void set_edns(Message& message, const Edns& edns);
+
+/// Extract the message's OPT record, if any.
+[[nodiscard]] std::optional<Edns> get_edns(const Message& message);
+
+/// Pad `message` (which must already carry EDNS) so its encoded size becomes
+/// a multiple of `block` octets, per the RFC 8467 "block-length padding"
+/// policy. Returns the padded wire size.
+std::size_t pad_to_block(Message& message, std::size_t block);
+
+}  // namespace encdns::dns

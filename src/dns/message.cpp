@@ -1,0 +1,372 @@
+#include "dns/message.hpp"
+
+#include <algorithm>
+
+#include "dns/wire.hpp"
+
+namespace encdns::dns {
+namespace {
+
+constexpr std::uint16_t kPointerMask = 0xC000;
+constexpr std::size_t kMaxPointerJumps = 64;
+constexpr std::size_t kMaxNameWire = 255;
+
+std::uint16_t flags_word(const Header& h) {
+  std::uint16_t w = 0;
+  if (h.qr) w |= 0x8000;
+  w |= static_cast<std::uint16_t>(static_cast<std::uint16_t>(h.opcode) << 11);
+  if (h.aa) w |= 0x0400;
+  if (h.tc) w |= 0x0200;
+  if (h.rd) w |= 0x0100;
+  if (h.ra) w |= 0x0080;
+  if (h.ad) w |= 0x0020;
+  if (h.cd) w |= 0x0010;
+  w |= static_cast<std::uint16_t>(static_cast<std::uint16_t>(h.rcode) & 0x000F);
+  return w;
+}
+
+Header header_from(std::uint16_t id, std::uint16_t flags) {
+  Header h;
+  h.id = id;
+  h.qr = (flags & 0x8000) != 0;
+  h.opcode = static_cast<Opcode>((flags >> 11) & 0x0F);
+  h.aa = (flags & 0x0400) != 0;
+  h.tc = (flags & 0x0200) != 0;
+  h.rd = (flags & 0x0100) != 0;
+  h.ra = (flags & 0x0080) != 0;
+  h.ad = (flags & 0x0020) != 0;
+  h.cd = (flags & 0x0010) != 0;
+  h.rcode = static_cast<RCode>(flags & 0x000F);
+  return h;
+}
+
+// Canonical suffix string for the compressor key: labels from index i on.
+std::string suffix_key(const Name& name, std::size_t from) {
+  std::string key;
+  const auto& labels = name.labels();
+  for (std::size_t i = from; i < labels.size(); ++i) {
+    for (char c : labels[i])
+      key.push_back(static_cast<char>(
+          c >= 'A' && c <= 'Z' ? c - 'A' + 'a' : c));
+    key.push_back('.');
+  }
+  return key;
+}
+
+void encode_rdata(WireWriter& w, NameCompressor& compressor,
+                  const ResourceRecord& rr) {
+  // RDLENGTH placeholder, patched after writing rdata.
+  const std::size_t len_at = w.size();
+  w.u16(0);
+  const std::size_t rdata_start = w.size();
+  std::visit(
+      [&](const auto& data) {
+        using T = std::decay_t<decltype(data)>;
+        if constexpr (std::is_same_v<T, util::Ipv4>) {
+          w.u32(data.value());
+        } else if constexpr (std::is_same_v<T, Ipv6Bytes>) {
+          w.bytes(std::span<const std::uint8_t>(data.data(), data.size()));
+        } else if constexpr (std::is_same_v<T, Name>) {
+          compressor.encode(w, data);
+        } else if constexpr (std::is_same_v<T, SoaData>) {
+          compressor.encode(w, data.mname);
+          compressor.encode(w, data.rname);
+          w.u32(data.serial);
+          w.u32(data.refresh);
+          w.u32(data.retry);
+          w.u32(data.expire);
+          w.u32(data.minimum);
+        } else if constexpr (std::is_same_v<T, TxtData>) {
+          for (const auto& s : data) {
+            const std::size_t n = std::min<std::size_t>(s.size(), 255);
+            w.u8(static_cast<std::uint8_t>(n));
+            w.text(std::string_view(s).substr(0, n));
+          }
+        } else if constexpr (std::is_same_v<T, RawData>) {
+          w.bytes(data);
+        }
+      },
+      rr.rdata);
+  w.patch_u16(len_at, static_cast<std::uint16_t>(w.size() - rdata_start));
+}
+
+void encode_rr(WireWriter& w, NameCompressor& compressor, const ResourceRecord& rr) {
+  compressor.encode(w, rr.name);
+  w.u16(static_cast<std::uint16_t>(rr.type));
+  w.u16(static_cast<std::uint16_t>(rr.klass));
+  w.u32(rr.ttl);
+  encode_rdata(w, compressor, rr);
+}
+
+std::optional<RData> decode_rdata(WireReader& r, RrType type, std::size_t rdlength) {
+  const std::size_t end = r.position() + rdlength;
+  std::optional<RData> out;
+  switch (type) {
+    case RrType::kA: {
+      if (rdlength != 4) return std::nullopt;
+      out = util::Ipv4{r.u32()};
+      break;
+    }
+    case RrType::kAaaa: {
+      if (rdlength != 16) return std::nullopt;
+      Ipv6Bytes bytes{};
+      const auto raw = r.bytes(16);
+      if (raw.size() == 16) std::copy(raw.begin(), raw.end(), bytes.begin());
+      out = bytes;
+      break;
+    }
+    case RrType::kCname:
+    case RrType::kNs:
+    case RrType::kPtr: {
+      auto name = decode_name(r);
+      if (!name) return std::nullopt;
+      out = std::move(*name);
+      break;
+    }
+    case RrType::kSoa: {
+      SoaData soa;
+      auto mname = decode_name(r);
+      auto rname = decode_name(r);
+      if (!mname || !rname) return std::nullopt;
+      soa.mname = std::move(*mname);
+      soa.rname = std::move(*rname);
+      soa.serial = r.u32();
+      soa.refresh = r.u32();
+      soa.retry = r.u32();
+      soa.expire = r.u32();
+      soa.minimum = r.u32();
+      out = std::move(soa);
+      break;
+    }
+    case RrType::kTxt: {
+      TxtData strings;
+      while (r.ok() && r.position() < end) {
+        const std::uint8_t n = r.u8();
+        const auto raw = r.bytes(n);
+        strings.emplace_back(raw.begin(), raw.end());
+      }
+      out = std::move(strings);
+      break;
+    }
+    default: {
+      out = r.bytes(rdlength);
+      break;
+    }
+  }
+  if (!r.ok() || r.position() != end) return std::nullopt;
+  return out;
+}
+
+std::optional<ResourceRecord> decode_rr(WireReader& r) {
+  ResourceRecord rr;
+  auto name = decode_name(r);
+  if (!name) return std::nullopt;
+  rr.name = std::move(*name);
+  rr.type = static_cast<RrType>(r.u16());
+  rr.klass = static_cast<RrClass>(r.u16());
+  rr.ttl = r.u32();
+  const std::uint16_t rdlength = r.u16();
+  if (!r.ok() || r.remaining() < rdlength) return std::nullopt;
+  auto rdata = decode_rdata(r, rr.type, rdlength);
+  if (!rdata) return std::nullopt;
+  rr.rdata = std::move(*rdata);
+  return rr;
+}
+
+}  // namespace
+
+void NameCompressor::encode(WireWriter& writer, const Name& name) {
+  const auto& labels = name.labels();
+  // Find the longest (i.e. starting earliest) suffix already in the dictionary.
+  std::size_t match_from = labels.size();
+  std::uint16_t match_offset = 0;
+  for (std::size_t from = 0; from < labels.size(); ++from) {
+    const std::string key = suffix_key(name, from);
+    const auto it = std::find_if(
+        suffixes_.begin(), suffixes_.end(),
+        [&](const auto& entry) { return entry.first == key; });
+    if (it != suffixes_.end()) {
+      match_from = from;
+      match_offset = it->second;
+      break;
+    }
+  }
+  // Emit literal labels before the matched suffix, registering each new
+  // suffix position (only while representable as a 14-bit pointer).
+  for (std::size_t i = 0; i < match_from; ++i) {
+    if (writer.size() <= 0x3FFF)
+      suffixes_.emplace_back(suffix_key(name, i),
+                             static_cast<std::uint16_t>(writer.size()));
+    writer.u8(static_cast<std::uint8_t>(labels[i].size()));
+    writer.text(labels[i]);
+  }
+  if (match_from < labels.size()) {
+    writer.u16(static_cast<std::uint16_t>(kPointerMask | match_offset));
+  } else {
+    writer.u8(0);  // root
+  }
+}
+
+std::optional<Name> decode_name(WireReader& reader) {
+  std::vector<std::string> labels;
+  std::size_t wire_len = 1;
+  std::size_t jumps = 0;
+  std::optional<std::size_t> resume;  // position to restore after pointers
+  while (true) {
+    const std::size_t at = reader.position();
+    const std::uint8_t len = reader.u8();
+    if (!reader.ok()) return std::nullopt;
+    if ((len & 0xC0) == 0xC0) {
+      const std::uint8_t lo = reader.u8();
+      if (!reader.ok()) return std::nullopt;
+      const std::size_t target = (static_cast<std::size_t>(len & 0x3F) << 8) | lo;
+      if (target >= at || ++jumps > kMaxPointerJumps) {  // must point backwards
+        reader.fail();
+        return std::nullopt;
+      }
+      if (!resume) resume = reader.position();
+      reader.seek(target);
+      continue;
+    }
+    if ((len & 0xC0) != 0) {  // reserved label types
+      reader.fail();
+      return std::nullopt;
+    }
+    if (len == 0) break;
+    wire_len += 1 + len;
+    if (wire_len > kMaxNameWire) {
+      reader.fail();
+      return std::nullopt;
+    }
+    const auto raw = reader.bytes(len);
+    if (!reader.ok()) return std::nullopt;
+    labels.emplace_back(raw.begin(), raw.end());
+  }
+  if (resume) reader.seek(*resume);
+  auto name = Name::from_labels(std::move(labels));
+  if (!name) {
+    reader.fail();
+    return std::nullopt;
+  }
+  return name;
+}
+
+ResourceRecord ResourceRecord::a(Name name, util::Ipv4 addr, std::uint32_t ttl) {
+  return ResourceRecord{std::move(name), RrType::kA, RrClass::kIn, ttl, addr};
+}
+ResourceRecord ResourceRecord::aaaa(Name name, Ipv6Bytes addr, std::uint32_t ttl) {
+  return ResourceRecord{std::move(name), RrType::kAaaa, RrClass::kIn, ttl, addr};
+}
+ResourceRecord ResourceRecord::cname(Name name, Name target, std::uint32_t ttl) {
+  return ResourceRecord{std::move(name), RrType::kCname, RrClass::kIn, ttl,
+                        std::move(target)};
+}
+ResourceRecord ResourceRecord::ns(Name zone, Name host, std::uint32_t ttl) {
+  return ResourceRecord{std::move(zone), RrType::kNs, RrClass::kIn, ttl,
+                        std::move(host)};
+}
+ResourceRecord ResourceRecord::ptr(Name name, Name target, std::uint32_t ttl) {
+  return ResourceRecord{std::move(name), RrType::kPtr, RrClass::kIn, ttl,
+                        std::move(target)};
+}
+ResourceRecord ResourceRecord::txt(Name name, TxtData strings, std::uint32_t ttl) {
+  return ResourceRecord{std::move(name), RrType::kTxt, RrClass::kIn, ttl,
+                        std::move(strings)};
+}
+ResourceRecord ResourceRecord::soa(Name zone, SoaData data, std::uint32_t ttl) {
+  return ResourceRecord{std::move(zone), RrType::kSoa, RrClass::kIn, ttl,
+                        std::move(data)};
+}
+
+std::vector<std::uint8_t> Message::encode(bool compress) const {
+  WireWriter w;
+  w.u16(header.id);
+  w.u16(flags_word(header));
+  w.u16(static_cast<std::uint16_t>(questions.size()));
+  w.u16(static_cast<std::uint16_t>(answers.size()));
+  w.u16(static_cast<std::uint16_t>(authorities.size()));
+  w.u16(static_cast<std::uint16_t>(additionals.size()));
+
+  NameCompressor shared;
+  for (const auto& q : questions) {
+    if (compress) {
+      shared.encode(w, q.name);
+    } else {
+      NameCompressor no_dict;
+      no_dict.encode(w, q.name);
+    }
+    w.u16(static_cast<std::uint16_t>(q.type));
+    w.u16(static_cast<std::uint16_t>(q.klass));
+  }
+  const auto encode_section = [&](const std::vector<ResourceRecord>& section) {
+    for (const auto& rr : section) {
+      if (compress) {
+        encode_rr(w, shared, rr);
+      } else {
+        NameCompressor no_dict;
+        encode_rr(w, no_dict, rr);
+      }
+    }
+  };
+  encode_section(answers);
+  encode_section(authorities);
+  encode_section(additionals);
+  return std::move(w).take();
+}
+
+std::optional<Message> Message::decode(std::span<const std::uint8_t> wire) {
+  WireReader r(wire);
+  const std::uint16_t id = r.u16();
+  const std::uint16_t flags = r.u16();
+  const std::uint16_t qd = r.u16();
+  const std::uint16_t an = r.u16();
+  const std::uint16_t ns = r.u16();
+  const std::uint16_t ar = r.u16();
+  if (!r.ok()) return std::nullopt;
+
+  Message m;
+  m.header = header_from(id, flags);
+  m.questions.reserve(qd);
+  for (std::uint16_t i = 0; i < qd; ++i) {
+    Question q;
+    auto name = decode_name(r);
+    if (!name) return std::nullopt;
+    q.name = std::move(*name);
+    q.type = static_cast<RrType>(r.u16());
+    q.klass = static_cast<RrClass>(r.u16());
+    if (!r.ok()) return std::nullopt;
+    m.questions.push_back(std::move(q));
+  }
+  const auto decode_section = [&](std::vector<ResourceRecord>& section,
+                                  std::uint16_t count) {
+    section.reserve(count);
+    for (std::uint16_t i = 0; i < count; ++i) {
+      auto rr = decode_rr(r);
+      if (!rr) return false;
+      section.push_back(std::move(*rr));
+    }
+    return true;
+  };
+  if (!decode_section(m.answers, an)) return std::nullopt;
+  if (!decode_section(m.authorities, ns)) return std::nullopt;
+  if (!decode_section(m.additionals, ar)) return std::nullopt;
+  if (r.remaining() != 0) return std::nullopt;  // trailing junk
+  return m;
+}
+
+std::optional<util::Ipv4> Message::first_a() const {
+  for (const auto& rr : answers)
+    if (rr.type == RrType::kA)
+      if (const auto* addr = std::get_if<util::Ipv4>(&rr.rdata)) return *addr;
+  return std::nullopt;
+}
+
+std::vector<util::Ipv4> Message::all_a() const {
+  std::vector<util::Ipv4> out;
+  for (const auto& rr : answers)
+    if (rr.type == RrType::kA)
+      if (const auto* addr = std::get_if<util::Ipv4>(&rr.rdata)) out.push_back(*addr);
+  return out;
+}
+
+}  // namespace encdns::dns

@@ -1,0 +1,133 @@
+// DNS message model and wire codec (RFC 1035 §4) with name compression.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "dns/name.hpp"
+#include "dns/types.hpp"
+#include "util/ipv4.hpp"
+
+namespace encdns::dns {
+
+/// Message header flags and id; section counts are derived at encode time.
+struct Header {
+  std::uint16_t id = 0;
+  bool qr = false;  // response flag
+  Opcode opcode = Opcode::kQuery;
+  bool aa = false;  // authoritative answer
+  bool tc = false;  // truncated
+  bool rd = true;   // recursion desired
+  bool ra = false;  // recursion available
+  bool ad = false;  // authenticated data (DNSSEC)
+  bool cd = false;  // checking disabled
+  RCode rcode = RCode::kNoError;
+};
+
+struct Question {
+  Name name;
+  RrType type = RrType::kA;
+  RrClass klass = RrClass::kIn;
+
+  [[nodiscard]] bool operator==(const Question& other) const {
+    return name == other.name && type == other.type && klass == other.klass;
+  }
+};
+
+/// SOA rdata (RFC 1035 §3.3.13).
+struct SoaData {
+  Name mname;
+  Name rname;
+  std::uint32_t serial = 0;
+  std::uint32_t refresh = 7200;
+  std::uint32_t retry = 900;
+  std::uint32_t expire = 1209600;
+  std::uint32_t minimum = 300;
+
+  bool operator==(const SoaData&) const = default;
+};
+
+/// AAAA rdata: 16 raw octets.
+using Ipv6Bytes = std::array<std::uint8_t, 16>;
+
+/// TXT rdata: one or more character-strings.
+using TxtData = std::vector<std::string>;
+
+/// Catch-all rdata (including OPT options blobs), kept verbatim.
+using RawData = std::vector<std::uint8_t>;
+
+using RData = std::variant<util::Ipv4,  // A
+                           Ipv6Bytes,   // AAAA
+                           Name,        // CNAME / NS / PTR
+                           SoaData,     // SOA
+                           TxtData,     // TXT
+                           RawData>;    // OPT and unknown types
+
+struct ResourceRecord {
+  Name name;
+  RrType type = RrType::kA;
+  RrClass klass = RrClass::kIn;
+  std::uint32_t ttl = 300;
+  RData rdata = RawData{};
+
+  /// Convenience constructors for the common record shapes.
+  [[nodiscard]] static ResourceRecord a(Name name, util::Ipv4 addr, std::uint32_t ttl = 300);
+  [[nodiscard]] static ResourceRecord aaaa(Name name, Ipv6Bytes addr, std::uint32_t ttl = 300);
+  [[nodiscard]] static ResourceRecord cname(Name name, Name target, std::uint32_t ttl = 300);
+  [[nodiscard]] static ResourceRecord ns(Name zone, Name host, std::uint32_t ttl = 86400);
+  [[nodiscard]] static ResourceRecord ptr(Name name, Name target, std::uint32_t ttl = 3600);
+  [[nodiscard]] static ResourceRecord txt(Name name, TxtData strings, std::uint32_t ttl = 300);
+  [[nodiscard]] static ResourceRecord soa(Name zone, SoaData data, std::uint32_t ttl = 3600);
+};
+
+/// A whole DNS message.
+struct Message {
+  Header header;
+  std::vector<Question> questions;
+  std::vector<ResourceRecord> answers;
+  std::vector<ResourceRecord> authorities;
+  std::vector<ResourceRecord> additionals;
+
+  /// Encode to wire format. Owner and rdata names participate in RFC 1035
+  /// compression when `compress` is set.
+  [[nodiscard]] std::vector<std::uint8_t> encode(bool compress = true) const;
+
+  /// Decode a wire-format message. Returns nullopt on malformed input
+  /// (truncation, bad pointers, over-long names, rdata length mismatch).
+  [[nodiscard]] static std::optional<Message> decode(std::span<const std::uint8_t> wire);
+
+  /// First A answer, if any (follows no CNAME chain; resolvers order answers
+  /// so the relevant A records are present directly).
+  [[nodiscard]] std::optional<util::Ipv4> first_a() const;
+
+  /// All A answers.
+  [[nodiscard]] std::vector<util::Ipv4> all_a() const;
+};
+
+class WireWriter;
+class WireReader;
+
+/// RFC 1035 name compression dictionary shared across one message encode.
+/// Maps canonical name suffixes to the wire offset of their first occurrence;
+/// offsets beyond 0x3FFF are not recorded (pointers are 14-bit).
+class NameCompressor {
+ public:
+  /// Encode `name` at the writer's current position, emitting a compression
+  /// pointer for the longest previously seen suffix.
+  void encode(WireWriter& writer, const Name& name);
+
+ private:
+  std::vector<std::pair<std::string, std::uint16_t>> suffixes_;
+};
+
+/// Decode a (possibly compressed) name starting at the reader's position.
+/// Enforces: pointers strictly backwards, bounded jump count, name length
+/// limits. On failure the reader's error flag is latched.
+[[nodiscard]] std::optional<Name> decode_name(WireReader& reader);
+
+}  // namespace encdns::dns

@@ -1,0 +1,125 @@
+#include "dns/name.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace encdns::dns {
+namespace {
+
+constexpr std::size_t kMaxLabel = 63;
+constexpr std::size_t kMaxWire = 255;
+
+bool valid_label_char(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '-' || c == '_';
+}
+
+char lower(char c) noexcept {
+  return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+
+bool ilabel_equals(const std::string& a, const std::string& b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (lower(a[i]) != lower(b[i])) return false;
+  return true;
+}
+
+}  // namespace
+
+std::optional<Name> Name::parse(std::string_view text) {
+  if (!text.empty() && text.back() == '.') text.remove_suffix(1);
+  if (text.empty()) return Name{};  // root
+  std::vector<std::string> labels;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t dot = text.find('.', start);
+    if (dot == std::string_view::npos) dot = text.size();
+    const auto label = text.substr(start, dot - start);
+    if (label.empty() || label.size() > kMaxLabel) return std::nullopt;
+    for (char c : label)
+      if (!valid_label_char(c)) return std::nullopt;
+    labels.emplace_back(label);
+    if (dot == text.size()) break;
+    start = dot + 1;
+  }
+  return from_labels(std::move(labels));
+}
+
+std::optional<Name> Name::from_labels(std::vector<std::string> labels) {
+  std::size_t wire = 1;  // root byte
+  for (const auto& label : labels) {
+    if (label.empty() || label.size() > kMaxLabel) return std::nullopt;
+    wire += 1 + label.size();
+  }
+  if (wire > kMaxWire) return std::nullopt;
+  Name n;
+  n.labels_ = std::move(labels);
+  return n;
+}
+
+std::string Name::to_string() const {
+  if (labels_.empty()) return ".";
+  std::string out;
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (i) out.push_back('.');
+    out += labels_[i];
+  }
+  return out;
+}
+
+std::size_t Name::wire_length() const noexcept {
+  std::size_t len = 1;
+  for (const auto& label : labels_) len += 1 + label.size();
+  return len;
+}
+
+bool Name::is_subdomain_of(const Name& other) const noexcept {
+  if (other.labels_.size() > labels_.size()) return false;
+  const std::size_t offset = labels_.size() - other.labels_.size();
+  for (std::size_t i = 0; i < other.labels_.size(); ++i)
+    if (!ilabel_equals(labels_[offset + i], other.labels_[i])) return false;
+  return true;
+}
+
+Name Name::parent() const {
+  Name n;
+  if (labels_.size() <= 1) return n;
+  n.labels_.assign(labels_.begin() + 1, labels_.end());
+  return n;
+}
+
+std::optional<Name> Name::prefixed_with(std::string_view label) const {
+  std::vector<std::string> labels;
+  labels.reserve(labels_.size() + 1);
+  labels.emplace_back(label);
+  labels.insert(labels.end(), labels_.begin(), labels_.end());
+  for (char c : label)
+    if (!valid_label_char(c)) return std::nullopt;
+  return from_labels(std::move(labels));
+}
+
+Name Name::sld() const {
+  if (labels_.size() <= 2) return *this;
+  Name n;
+  n.labels_.assign(labels_.end() - 2, labels_.end());
+  return n;
+}
+
+bool Name::equals(const Name& other) const noexcept {
+  if (labels_.size() != other.labels_.size()) return false;
+  for (std::size_t i = 0; i < labels_.size(); ++i)
+    if (!ilabel_equals(labels_[i], other.labels_[i])) return false;
+  return true;
+}
+
+std::string Name::canonical() const {
+  std::string out;
+  for (const auto& label : labels_) {
+    for (char c : label) out.push_back(lower(c));
+    out.push_back('.');
+  }
+  if (out.empty()) out.push_back('.');
+  return out;
+}
+
+}  // namespace encdns::dns

@@ -1,0 +1,77 @@
+// Domain names (RFC 1035 §2.3): label sequences with length limits and
+// case-insensitive comparison semantics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace encdns::dns {
+
+/// A fully-qualified domain name as an ordered list of labels, most-specific
+/// first ("www.example.com" -> {"www", "example", "com"}). The root name has
+/// zero labels. Comparison and hashing are case-insensitive, but the original
+/// spelling is preserved for presentation.
+class Name {
+ public:
+  Name() = default;
+
+  /// Parse a presentation-format name. Enforces: labels 1..63 octets, total
+  /// wire length <= 255, labels limited to letters/digits/hyphen/underscore
+  /// (underscore admitted for service labels such as _dns). A single trailing
+  /// dot is accepted. "" and "." both denote the root.
+  [[nodiscard]] static std::optional<Name> parse(std::string_view text);
+
+  /// Construct from raw labels without charset validation (used by the wire
+  /// decoder, which must accept any octets); still enforces length limits.
+  [[nodiscard]] static std::optional<Name> from_labels(std::vector<std::string> labels);
+
+  [[nodiscard]] const std::vector<std::string>& labels() const noexcept {
+    return labels_;
+  }
+  [[nodiscard]] bool is_root() const noexcept { return labels_.empty(); }
+  [[nodiscard]] std::size_t label_count() const noexcept { return labels_.size(); }
+
+  /// Presentation format without trailing dot; root renders as ".".
+  [[nodiscard]] std::string to_string() const;
+
+  /// Length of the uncompressed wire encoding (1 for root).
+  [[nodiscard]] std::size_t wire_length() const noexcept;
+
+  /// True if this name is `other` or a subdomain of it (case-insensitive).
+  [[nodiscard]] bool is_subdomain_of(const Name& other) const noexcept;
+
+  /// The name with its leftmost label removed ("www.example.com" -> "example.com").
+  /// Root maps to root.
+  [[nodiscard]] Name parent() const;
+
+  /// Prepend a label; returns nullopt if limits would be exceeded.
+  [[nodiscard]] std::optional<Name> prefixed_with(std::string_view label) const;
+
+  /// Registrable second-level domain as a Name ({"example","com"}); names with
+  /// fewer than 2 labels return themselves. Used for grouping DoT providers
+  /// by certificate-CN SLD (§3.2).
+  [[nodiscard]] Name sld() const;
+
+  /// Case-insensitive equality.
+  [[nodiscard]] bool equals(const Name& other) const noexcept;
+  bool operator==(const Name& other) const noexcept { return equals(other); }
+
+  /// Canonical (lowercased) form for map keys.
+  [[nodiscard]] std::string canonical() const;
+
+ private:
+  std::vector<std::string> labels_;
+};
+
+}  // namespace encdns::dns
+
+template <>
+struct std::hash<encdns::dns::Name> {
+  std::size_t operator()(const encdns::dns::Name& n) const noexcept {
+    return std::hash<std::string>{}(n.canonical());
+  }
+};

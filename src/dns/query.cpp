@@ -1,0 +1,49 @@
+#include "dns/query.hpp"
+
+namespace encdns::dns {
+
+Message make_query(const Name& qname, RrType type, std::uint16_t id,
+                   const QueryOptions& options) {
+  Message m;
+  m.header.id = id;
+  m.header.qr = false;
+  m.header.rd = options.recursion_desired;
+  m.questions.push_back(Question{qname, type, RrClass::kIn});
+  if (options.with_edns) {
+    Edns edns;
+    edns.udp_payload_size = options.udp_payload_size;
+    set_edns(m, edns);
+    if (options.padding_block > 0) pad_to_block(m, options.padding_block);
+  }
+  return m;
+}
+
+Message make_response(const Message& query, RCode rcode) {
+  Message m;
+  m.header = query.header;
+  m.header.qr = true;
+  m.header.ra = true;
+  m.header.rcode = rcode;
+  m.questions = query.questions;
+  return m;
+}
+
+Message make_a_response(const Message& query, const std::vector<util::Ipv4>& addresses,
+                        std::uint32_t ttl) {
+  Message m = make_response(query, RCode::kNoError);
+  if (!query.questions.empty()) {
+    for (const auto addr : addresses)
+      m.answers.push_back(ResourceRecord::a(query.questions.front().name, addr, ttl));
+  }
+  return m;
+}
+
+bool response_matches(const Message& query, const Message& response) {
+  if (!response.header.qr) return false;
+  if (response.header.id != query.header.id) return false;
+  if (query.questions.empty()) return response.questions.empty();
+  if (response.questions.empty()) return false;
+  return response.questions.front() == query.questions.front();
+}
+
+}  // namespace encdns::dns

@@ -1,0 +1,37 @@
+// Convenience builders for queries and responses, mirroring what a stub
+// resolver (getdns, in the paper's scans) emits.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "dns/edns.hpp"
+#include "dns/message.hpp"
+
+namespace encdns::dns {
+
+struct QueryOptions {
+  bool recursion_desired = true;
+  bool with_edns = true;
+  std::uint16_t udp_payload_size = 1232;
+  /// Pad to this block size (0 = no padding). RFC 8467 recommends 128 for
+  /// queries over encrypted transports.
+  std::size_t padding_block = 0;
+};
+
+/// Build an A-type (or other) query with the given transaction id.
+[[nodiscard]] Message make_query(const Name& qname, RrType type, std::uint16_t id,
+                                 const QueryOptions& options = {});
+
+/// Build a response skeleton echoing the query's id/question, with rcode.
+[[nodiscard]] Message make_response(const Message& query, RCode rcode);
+
+/// Build a positive A response carrying `addresses` for the query's qname.
+[[nodiscard]] Message make_a_response(const Message& query,
+                                      const std::vector<util::Ipv4>& addresses,
+                                      std::uint32_t ttl = 300);
+
+/// Validate that `response` matches `query` (id, question echo, QR flag).
+[[nodiscard]] bool response_matches(const Message& query, const Message& response);
+
+}  // namespace encdns::dns

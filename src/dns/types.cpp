@@ -1,0 +1,31 @@
+#include "dns/types.hpp"
+
+namespace encdns::dns {
+
+std::string to_string(RrType type) {
+  switch (type) {
+    case RrType::kA: return "A";
+    case RrType::kNs: return "NS";
+    case RrType::kCname: return "CNAME";
+    case RrType::kSoa: return "SOA";
+    case RrType::kPtr: return "PTR";
+    case RrType::kTxt: return "TXT";
+    case RrType::kAaaa: return "AAAA";
+    case RrType::kOpt: return "OPT";
+  }
+  return "TYPE" + std::to_string(static_cast<std::uint16_t>(type));
+}
+
+std::string to_string(RCode rcode) {
+  switch (rcode) {
+    case RCode::kNoError: return "NOERROR";
+    case RCode::kFormErr: return "FORMERR";
+    case RCode::kServFail: return "SERVFAIL";
+    case RCode::kNxDomain: return "NXDOMAIN";
+    case RCode::kNotImp: return "NOTIMP";
+    case RCode::kRefused: return "REFUSED";
+  }
+  return "RCODE" + std::to_string(static_cast<std::uint16_t>(rcode));
+}
+
+}  // namespace encdns::dns

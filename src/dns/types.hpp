@@ -1,0 +1,58 @@
+// Core DNS protocol constants (RFC 1035 and friends).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace encdns::dns {
+
+/// Resource record types we implement end-to-end.
+enum class RrType : std::uint16_t {
+  kA = 1,
+  kNs = 2,
+  kCname = 5,
+  kSoa = 6,
+  kPtr = 12,
+  kTxt = 16,
+  kAaaa = 28,
+  kOpt = 41,  // EDNS(0) pseudo-RR
+};
+
+/// Record classes; only IN is used by the study.
+enum class RrClass : std::uint16_t {
+  kIn = 1,
+  kCh = 3,
+  kAny = 255,
+};
+
+/// Response codes (RFC 1035 §4.1.1 + RFC 6891 extension carried in OPT).
+enum class RCode : std::uint16_t {
+  kNoError = 0,
+  kFormErr = 1,
+  kServFail = 2,
+  kNxDomain = 3,
+  kNotImp = 4,
+  kRefused = 5,
+};
+
+/// Operation codes.
+enum class Opcode : std::uint8_t {
+  kQuery = 0,
+  kStatus = 2,
+  kNotify = 4,
+  kUpdate = 5,
+};
+
+[[nodiscard]] std::string to_string(RrType type);
+[[nodiscard]] std::string to_string(RCode rcode);
+
+/// Well-known transport ports from the RFCs this study measures.
+inline constexpr std::uint16_t kDnsPort = 53;    // Do53 (RFC 1035)
+inline constexpr std::uint16_t kDotPort = 853;   // DoT (RFC 7858)
+inline constexpr std::uint16_t kDohPort = 443;   // DoH shares HTTPS (RFC 8484)
+inline constexpr std::uint16_t kDoqPort = 784;   // DNS-over-QUIC draft port
+
+/// Classic UDP payload ceiling without EDNS.
+inline constexpr std::size_t kClassicUdpLimit = 512;
+
+}  // namespace encdns::dns

@@ -1,0 +1,62 @@
+#include "dns/wire.hpp"
+
+namespace encdns::dns {
+
+std::vector<std::uint8_t> frame_stream(std::span<const std::uint8_t> message) {
+  std::vector<std::uint8_t> out;
+  out.reserve(message.size() + 2);
+  out.push_back(static_cast<std::uint8_t>(message.size() >> 8));
+  out.push_back(static_cast<std::uint8_t>(message.size()));
+  out.insert(out.end(), message.begin(), message.end());
+  return out;
+}
+
+std::optional<std::vector<std::uint8_t>> unframe_stream(
+    std::span<const std::uint8_t> framed) {
+  if (framed.size() < 2) return std::nullopt;
+  const std::size_t declared =
+      (static_cast<std::size_t>(framed[0]) << 8) | framed[1];
+  if (declared != framed.size() - 2) return std::nullopt;
+  return std::vector<std::uint8_t>(framed.begin() + 2, framed.end());
+}
+
+std::uint8_t WireReader::u8() noexcept {
+  if (!ok_ || remaining() < 1) {
+    ok_ = false;
+    return 0;
+  }
+  return data_[pos_++];
+}
+
+std::uint16_t WireReader::u16() noexcept {
+  const auto hi = u8();
+  const auto lo = u8();
+  return static_cast<std::uint16_t>((hi << 8) | lo);
+}
+
+std::uint32_t WireReader::u32() noexcept {
+  const auto hi = u16();
+  const auto lo = u16();
+  return (static_cast<std::uint32_t>(hi) << 16) | lo;
+}
+
+std::vector<std::uint8_t> WireReader::bytes(std::size_t n) noexcept {
+  if (!ok_ || remaining() < n) {
+    ok_ = false;
+    return {};
+  }
+  std::vector<std::uint8_t> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+void WireReader::seek(std::size_t offset) noexcept {
+  if (offset > data_.size()) {
+    ok_ = false;
+    return;
+  }
+  pos_ = offset;
+}
+
+}  // namespace encdns::dns

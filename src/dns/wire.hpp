@@ -1,0 +1,88 @@
+// Bounds-checked big-endian wire readers/writers for the DNS codec.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace encdns::dns {
+
+/// Appends big-endian integers and raw bytes to a growable buffer.
+class WireWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v));
+  }
+  void bytes(std::span<const std::uint8_t> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+  void text(std::string_view s) {
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  /// Patch a previously written 16-bit field (e.g. RDLENGTH back-fill).
+  void patch_u16(std::size_t offset, std::uint16_t v) {
+    buf_[offset] = static_cast<std::uint8_t>(v >> 8);
+    buf_[offset + 1] = static_cast<std::uint8_t>(v);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const noexcept { return buf_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() && noexcept { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Wrap a DNS message for stream transports (TCP / DoT): two-octet length
+/// prefix followed by the message (RFC 1035 §4.2.2, RFC 7858 §3.3).
+[[nodiscard]] std::vector<std::uint8_t> frame_stream(
+    std::span<const std::uint8_t> message);
+
+/// Remove the two-octet length prefix; nullopt if the prefix is missing or
+/// disagrees with the actual payload length.
+[[nodiscard]] std::optional<std::vector<std::uint8_t>> unframe_stream(
+    std::span<const std::uint8_t> framed);
+
+/// Cursor over a read-only buffer. All reads are bounds-checked: a failed
+/// read latches the error flag and returns zeroes, so decoders can check
+/// `ok()` once after a sequence of reads.
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::uint8_t> data) noexcept : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8() noexcept;
+  [[nodiscard]] std::uint16_t u16() noexcept;
+  [[nodiscard]] std::uint32_t u32() noexcept;
+  [[nodiscard]] std::vector<std::uint8_t> bytes(std::size_t n) noexcept;
+
+  /// Jump to an absolute offset (for compression pointers). Out-of-range
+  /// offsets latch the error flag.
+  void seek(std::size_t offset) noexcept;
+
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return pos_ <= data_.size() ? data_.size() - pos_ : 0;
+  }
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] std::span<const std::uint8_t> buffer() const noexcept { return data_; }
+
+  /// Force the error state (used when decoders detect semantic errors).
+  void fail() noexcept { ok_ = false; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace encdns::dns

@@ -1,0 +1,89 @@
+#include "dnscrypt/cert.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/rng.hpp"
+
+namespace encdns::dnscrypt {
+
+ProviderKey ProviderKey::derive(const std::string& provider_name) {
+  ProviderKey key;
+  key.provider_name = provider_name;
+  key.public_key = util::mix64(util::fnv1a(provider_name) ^ 0xD45C4117ULL);
+  return key;
+}
+
+std::string Certificate::to_txt() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "DNSC|es=%u|serial=%u|from=%s|to=%s|rk=%016" PRIx64
+                "|sk=%016" PRIx64 "|sig=%d",
+                es_version, serial, ts_start.to_string().c_str(),
+                ts_end.to_string().c_str(), resolver_public_key,
+                signer_public_key, signature_valid ? 1 : 0);
+  return buf;
+}
+
+namespace {
+
+std::optional<util::Date> parse_date(const std::string& text) {
+  int year = 0, month = 0, day = 0;
+  if (std::sscanf(text.c_str(), "%d-%d-%d", &year, &month, &day) != 3)
+    return std::nullopt;
+  if (month < 1 || month > 12 || day < 1 || day > 31) return std::nullopt;
+  return util::Date{year, month, day};
+}
+
+}  // namespace
+
+std::optional<Certificate> Certificate::from_txt(const std::string& txt) {
+  unsigned es = 0, serial = 0;
+  char from[16] = {0}, to[16] = {0};
+  std::uint64_t rk = 0, sk = 0;
+  int sig = 0;
+  const int fields = std::sscanf(
+      txt.c_str(),
+      "DNSC|es=%u|serial=%u|from=%11[0-9-]|to=%11[0-9-]|rk=%" SCNx64
+      "|sk=%" SCNx64 "|sig=%d",
+      &es, &serial, from, to, &rk, &sk, &sig);
+  if (fields != 7) return std::nullopt;
+  const auto ts_start = parse_date(from);
+  const auto ts_end = parse_date(to);
+  if (!ts_start || !ts_end) return std::nullopt;
+  Certificate cert;
+  cert.es_version = static_cast<std::uint16_t>(es);
+  cert.serial = serial;
+  cert.ts_start = *ts_start;
+  cert.ts_end = *ts_end;
+  cert.resolver_public_key = rk;
+  cert.signer_public_key = sk;
+  cert.signature_valid = sig != 0;
+  return cert;
+}
+
+std::string to_string(CertVerdict verdict) {
+  switch (verdict) {
+    case CertVerdict::kValid: return "valid";
+    case CertVerdict::kExpired: return "expired";
+    case CertVerdict::kNotYetValid: return "not yet valid";
+    case CertVerdict::kWrongSigner: return "wrong signer";
+    case CertVerdict::kBadSignature: return "bad signature";
+    case CertVerdict::kUnsupportedVersion: return "unsupported es-version";
+  }
+  return "?";
+}
+
+CertVerdict verify(const Certificate& cert, const ProviderKey& provider,
+                   const util::Date& now) {
+  if (cert.es_version != kEsVersionXSalsa20)
+    return CertVerdict::kUnsupportedVersion;
+  if (cert.signer_public_key != provider.public_key)
+    return CertVerdict::kWrongSigner;
+  if (!cert.signature_valid) return CertVerdict::kBadSignature;
+  if (now < cert.ts_start) return CertVerdict::kNotYetValid;
+  if (now > cert.ts_end) return CertVerdict::kExpired;
+  return CertVerdict::kValid;
+}
+
+}  // namespace encdns::dnscrypt

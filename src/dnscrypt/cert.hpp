@@ -1,0 +1,68 @@
+// DNSCrypt provider certificates (structural model of the v2 spec).
+//
+// A DNSCrypt resolver publishes a certificate under the TXT name
+// `2.dnscrypt-cert.<provider>`: it carries the resolver's short-term public
+// key, a serial, a validity window, and is signed by the provider's
+// long-term key (which clients know out of band, e.g. from an sdns:// stamp).
+// As with the tls module, keys and signatures are structural: what matters
+// for the measurement platform is the key exchange choreography, the
+// validity checks, and the wire framing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/date.hpp"
+
+namespace encdns::dnscrypt {
+
+/// The X25519-XSalsa20Poly1305 construction id from the spec.
+inline constexpr std::uint16_t kEsVersionXSalsa20 = 0x0001;
+
+/// A long-term provider identity (the part distributed out of band).
+struct ProviderKey {
+  std::string provider_name;  // e.g. "2.dnscrypt-cert.opendns.com"
+  std::uint64_t public_key = 0;
+
+  /// Derive a stable provider key from a name (for the world builder).
+  [[nodiscard]] static ProviderKey derive(const std::string& provider_name);
+};
+
+/// The short-term certificate served over TXT.
+struct Certificate {
+  std::uint16_t es_version = kEsVersionXSalsa20;
+  std::uint32_t serial = 1;
+  util::Date ts_start{2019, 1, 1};
+  util::Date ts_end{2019, 12, 31};
+  std::uint64_t resolver_public_key = 0;  // short-term key
+  std::uint64_t signer_public_key = 0;    // must equal the provider key
+  bool signature_valid = true;
+
+  [[nodiscard]] bool valid_at(const util::Date& now) const noexcept {
+    return now >= ts_start && now <= ts_end;
+  }
+
+  /// Serialize into a TXT character-string (one string, self-delimited).
+  [[nodiscard]] std::string to_txt() const;
+
+  /// Parse the TXT form; nullopt on malformed input.
+  [[nodiscard]] static std::optional<Certificate> from_txt(const std::string& txt);
+};
+
+enum class CertVerdict {
+  kValid,
+  kExpired,
+  kNotYetValid,
+  kWrongSigner,      // signed by a key other than the provider's
+  kBadSignature,
+  kUnsupportedVersion,
+};
+
+[[nodiscard]] std::string to_string(CertVerdict verdict);
+
+/// Client-side certificate verification against the out-of-band provider key.
+[[nodiscard]] CertVerdict verify(const Certificate& cert, const ProviderKey& provider,
+                                 const util::Date& now);
+
+}  // namespace encdns::dnscrypt

@@ -1,0 +1,99 @@
+#include "dnscrypt/client.hpp"
+
+#include "dns/query.hpp"
+
+namespace encdns::dnscrypt {
+
+std::optional<Certificate> DnscryptClient::fetch_certificate(
+    util::Ipv4 server, const ProviderKey& provider, const util::Date& date,
+    const Options& options, client::QueryOutcome& outcome, sim::Millis& spent) {
+  if (options.cache_certificate) {
+    const auto it = certificates_.find(provider.provider_name);
+    if (it != certificates_.end()) return it->second;
+  }
+  const auto cert_name = dns::Name::parse(provider.provider_name);
+  if (!cert_name) {
+    outcome.status = client::QueryStatus::kBootstrapFailed;
+    return std::nullopt;
+  }
+  const auto id = static_cast<std::uint16_t>(rng_.below(65536));
+  const dns::Message query = dns::make_query(*cert_name, dns::RrType::kTxt, id);
+  const auto wire = query.encode();
+  const auto result = network_->udp_exchange(context_, rng_, server, dns::kDnsPort,
+                                             wire, date, options.timeout);
+  spent += result.latency;
+  if (result.status != net::Network::UdpResult::Status::kOk) {
+    outcome.status = client::QueryStatus::kTimeout;
+    return std::nullopt;
+  }
+  const auto response = dns::Message::decode(result.payload);
+  if (!response || !dns::response_matches(query, *response) ||
+      response->answers.empty()) {
+    outcome.status = client::QueryStatus::kProtocolError;
+    return std::nullopt;
+  }
+  const auto* strings = std::get_if<dns::TxtData>(&response->answers.front().rdata);
+  if (strings == nullptr || strings->empty()) {
+    outcome.status = client::QueryStatus::kProtocolError;
+    return std::nullopt;
+  }
+  const auto cert = Certificate::from_txt(strings->front());
+  if (!cert) {
+    outcome.status = client::QueryStatus::kProtocolError;
+    return std::nullopt;
+  }
+  // Authenticate against the out-of-band provider key; DNSCrypt has no
+  // opportunistic mode — a bad certificate aborts.
+  if (verify(*cert, provider, date) != CertVerdict::kValid) {
+    outcome.status = client::QueryStatus::kCertRejected;
+    return std::nullopt;
+  }
+  if (options.cache_certificate) certificates_[provider.provider_name] = *cert;
+  return cert;
+}
+
+client::QueryOutcome DnscryptClient::query(util::Ipv4 server,
+                                           const ProviderKey& provider,
+                                           const dns::Name& qname, dns::RrType type,
+                                           const util::Date& date,
+                                           const Options& options) {
+  client::QueryOutcome outcome;
+  sim::Millis spent{0.0};
+
+  const auto cert = fetch_certificate(server, provider, date, options, outcome, spent);
+  if (!cert) {
+    outcome.latency = spent;
+    return outcome;
+  }
+
+  const std::uint64_t secret =
+      shared_secret(client_secret_key_, cert->resolver_public_key);
+  const auto id = static_cast<std::uint16_t>(rng_.below(65536));
+  const dns::Message query = dns::make_query(qname, type, id);
+  const auto sealed =
+      seal(query.encode(), rng_.next(), client_public_key(), secret);
+
+  const auto result = network_->udp_exchange(context_, rng_, server, kDnscryptPort,
+                                             sealed, date, options.timeout);
+  outcome.latency = spent + result.latency;
+  outcome.transaction_latency = result.latency;
+  if (result.status != net::Network::UdpResult::Status::kOk) {
+    outcome.status = client::QueryStatus::kTimeout;
+    return outcome;
+  }
+  const auto plain = open(result.payload, secret);
+  if (!plain) {
+    outcome.status = client::QueryStatus::kProtocolError;
+    return outcome;
+  }
+  auto response = dns::Message::decode(*plain);
+  if (!response || !dns::response_matches(query, *response)) {
+    outcome.status = client::QueryStatus::kProtocolError;
+    return outcome;
+  }
+  outcome.status = client::QueryStatus::kOk;
+  outcome.response = std::move(response);
+  return outcome;
+}
+
+}  // namespace encdns::dnscrypt

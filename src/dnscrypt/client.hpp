@@ -1,0 +1,62 @@
+// DNSCrypt stub client: fetch + verify the provider certificate over plain
+// DNS, then exchange sealed queries over UDP port 443 (no connection setup —
+// the usability/latency profile Table 1 credits DNSCrypt with).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "client/outcome.hpp"
+#include "dnscrypt/cert.hpp"
+#include "dnscrypt/crypto.hpp"
+#include "dnscrypt/service.hpp"
+#include "net/network.hpp"
+
+namespace encdns::dnscrypt {
+
+struct DnscryptOptions {
+  sim::Millis timeout{10000.0};
+  /// Refetch the certificate on every query instead of caching it.
+  bool cache_certificate = true;
+};
+
+class DnscryptClient {
+ public:
+  DnscryptClient(const net::Network& network, net::ClientContext context,
+                 std::uint64_t seed)
+      : network_(&network),
+        context_(std::move(context)),
+        rng_(seed),
+        client_secret_key_(rng_.next()) {}
+
+  using Options = DnscryptOptions;
+
+  /// One DNSCrypt lookup against `server`, whose identity is `provider`.
+  /// The client::QueryOutcome conventions carry over; a certificate the
+  /// provider key does not vouch for aborts the lookup (kCertRejected).
+  [[nodiscard]] client::QueryOutcome query(util::Ipv4 server,
+                                           const ProviderKey& provider,
+                                           const dns::Name& qname, dns::RrType type,
+                                           const util::Date& date,
+                                           const Options& options = {});
+
+  [[nodiscard]] std::uint64_t client_public_key() const noexcept {
+    return util::mix64(client_secret_key_);
+  }
+
+  void forget_certificates() { certificates_.clear(); }
+
+ private:
+  const net::Network* network_;
+  net::ClientContext context_;
+  util::Rng rng_;
+  std::uint64_t client_secret_key_;
+  std::unordered_map<std::string, Certificate> certificates_;  // by provider
+
+  [[nodiscard]] std::optional<Certificate> fetch_certificate(
+      util::Ipv4 server, const ProviderKey& provider, const util::Date& date,
+      const Options& options, client::QueryOutcome& outcome, sim::Millis& spent);
+};
+
+}  // namespace encdns::dnscrypt

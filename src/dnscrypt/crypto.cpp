@@ -1,0 +1,117 @@
+#include "dnscrypt/crypto.hpp"
+
+#include "util/rng.hpp"
+
+namespace encdns::dnscrypt {
+namespace {
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 7; i >= 0; --i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint64_t get_u64(std::span<const std::uint8_t> data, std::size_t at) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8; ++i) v = (v << 8) | data[at + i];
+  return v;
+}
+
+/// Keystream byte i for a (secret, nonce) pair.
+class Keystream {
+ public:
+  Keystream(std::uint64_t secret, std::uint64_t nonce)
+      : state_(util::mix64(secret ^ util::mix64(nonce))) {}
+
+  std::uint8_t next() {
+    if (have_ == 0) {
+      word_ = util::splitmix64(state_);
+      have_ = 8;
+    }
+    const auto byte = static_cast<std::uint8_t>(word_);
+    word_ >>= 8;
+    --have_;
+    return byte;
+  }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t word_ = 0;
+  int have_ = 0;
+};
+
+/// Keyed MAC over the ciphertext (Poly1305 stand-in): FNV over bytes mixed
+/// with the secret and nonce.
+std::uint64_t mac_of(std::span<const std::uint8_t> ciphertext, std::uint64_t secret,
+                     std::uint64_t nonce) {
+  std::uint64_t h = util::mix64(secret ^ (nonce * 0x9E3779B97F4A7C15ULL));
+  for (const std::uint8_t b : ciphertext) {
+    h ^= b;
+    h *= 0x100000001B3ULL;
+  }
+  return util::mix64(h);
+}
+
+}  // namespace
+
+std::uint64_t shared_secret(std::uint64_t secret_key_id,
+                            std::uint64_t peer_public_key) noexcept {
+  // Commutative in the same way X25519 is: DH(a, B) == DH(b, A) when public
+  // keys are derived as pk = mix64(sk). mix64(sk_a) ^ mix64(sk_b) is the
+  // shared value both sides can compute.
+  return util::mix64(secret_key_id) ^ peer_public_key;
+}
+
+std::vector<std::uint8_t> seal(std::span<const std::uint8_t> plain,
+                               std::uint64_t nonce,
+                               std::uint64_t client_public_key,
+                               std::uint64_t secret) {
+  // ISO 7816-4 padding to the 64-byte block.
+  std::vector<std::uint8_t> padded(plain.begin(), plain.end());
+  padded.push_back(0x80);
+  while (padded.size() % kPadBlock != 0) padded.push_back(0x00);
+
+  Keystream keystream(secret, nonce);
+  for (auto& byte : padded) byte = static_cast<std::uint8_t>(byte ^ keystream.next());
+
+  std::vector<std::uint8_t> out;
+  out.reserve(24 + padded.size());
+  put_u64(out, nonce);
+  put_u64(out, client_public_key);
+  put_u64(out, mac_of(padded, secret, nonce));
+  out.insert(out.end(), padded.begin(), padded.end());
+  return out;
+}
+
+std::optional<std::uint64_t> peek_client_key(
+    std::span<const std::uint8_t> boxed) noexcept {
+  if (boxed.size() < 24) return std::nullopt;
+  return get_u64(boxed, 8);
+}
+
+std::optional<std::vector<std::uint8_t>> open(std::span<const std::uint8_t> boxed,
+                                              std::uint64_t secret,
+                                              std::uint64_t* sender_public_key,
+                                              std::uint64_t* nonce_out) {
+  if (boxed.size() < 24 + kPadBlock) return std::nullopt;
+  const std::uint64_t nonce = get_u64(boxed, 0);
+  const std::uint64_t sender = get_u64(boxed, 8);
+  const std::uint64_t mac = get_u64(boxed, 16);
+  const auto ciphertext = boxed.subspan(24);
+  if (ciphertext.size() % kPadBlock != 0) return std::nullopt;
+  if (mac_of(ciphertext, secret, nonce) != mac) return std::nullopt;
+
+  std::vector<std::uint8_t> plain(ciphertext.begin(), ciphertext.end());
+  Keystream keystream(secret, nonce);
+  for (auto& byte : plain) byte = static_cast<std::uint8_t>(byte ^ keystream.next());
+
+  // Strip ISO 7816-4 padding.
+  std::size_t end = plain.size();
+  while (end > 0 && plain[end - 1] == 0x00) --end;
+  if (end == 0 || plain[end - 1] != 0x80) return std::nullopt;
+  plain.resize(end - 1);
+
+  if (sender_public_key != nullptr) *sender_public_key = sender;
+  if (nonce_out != nullptr) *nonce_out = nonce;
+  return plain;
+}
+
+}  // namespace encdns::dnscrypt

@@ -1,0 +1,44 @@
+// The DNSCrypt box construction, modelled with a reversible keystream.
+//
+// Real DNSCrypt seals queries with crypto_box (X25519 key agreement +
+// XSalsa20-Poly1305). Here the shared secret is derived by mixing the two
+// key ids and the keystream comes from splitmix64 — reversible, tamper
+// -evident via a keyed MAC, and byte-for-byte testable, without pulling a
+// crypto library into the simulation. Framing follows the spec: client
+// nonce + client public key + MAC + ciphertext, padded to 64-byte blocks
+// (ISO/IEC 7816-4 style: 0x80 then zeros).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace encdns::dnscrypt {
+
+inline constexpr std::size_t kPadBlock = 64;
+
+/// X25519-style key agreement, structurally: commutative mix of the ids.
+[[nodiscard]] std::uint64_t shared_secret(std::uint64_t secret_key_id,
+                                          std::uint64_t peer_public_key) noexcept;
+
+/// Seal `plain` under (nonce, secret). Output layout:
+///   nonce(8) | client_pk(8) | mac(8) | ciphertext(padded plain)
+[[nodiscard]] std::vector<std::uint8_t> seal(std::span<const std::uint8_t> plain,
+                                             std::uint64_t nonce,
+                                             std::uint64_t client_public_key,
+                                             std::uint64_t secret);
+
+/// Open a sealed box with the secret; nullopt on MAC mismatch, bad padding,
+/// or truncated input. Also returns the sender's public key and nonce via
+/// out-parameters when non-null (the server needs them to reply).
+[[nodiscard]] std::optional<std::vector<std::uint8_t>> open(
+    std::span<const std::uint8_t> boxed, std::uint64_t secret,
+    std::uint64_t* sender_public_key = nullptr, std::uint64_t* nonce = nullptr);
+
+/// The server derives the secret from the box itself plus its own key:
+/// extract the client public key field without authenticating.
+[[nodiscard]] std::optional<std::uint64_t> peek_client_key(
+    std::span<const std::uint8_t> boxed) noexcept;
+
+}  // namespace encdns::dnscrypt

@@ -1,0 +1,77 @@
+#include "dnscrypt/service.hpp"
+
+#include "dns/query.hpp"
+#include "dns/types.hpp"
+#include "util/rng.hpp"
+
+namespace encdns::dnscrypt {
+
+DnscryptService::DnscryptService(DnscryptServiceConfig config)
+    : config_(std::move(config)),
+      resolver_public_key_(util::mix64(config_.resolver_secret_key)),
+      rng_(util::fnv1a(config_.label) ^ 0xDC2ULL) {}
+
+bool DnscryptService::accepts(std::uint16_t port, net::Transport) const {
+  // Plain DNS for the certificate bootstrap; 443 for sealed queries.
+  return port == dns::kDnsPort || port == kDnscryptPort;
+}
+
+Certificate DnscryptService::certificate() const {
+  Certificate cert;
+  cert.serial = config_.cert_serial;
+  cert.ts_start = config_.cert_start;
+  cert.ts_end = config_.cert_end;
+  cert.resolver_public_key = resolver_public_key_;
+  const auto provider = ProviderKey::derive(config_.provider_name);
+  cert.signer_public_key =
+      config_.sign_with_wrong_key ? util::mix64(0xBAD) : provider.public_key;
+  cert.signature_valid = config_.cert_signature_valid;
+  return cert;
+}
+
+net::WireReply DnscryptService::handle(const net::WireRequest& request) {
+  if (request.port == dns::kDnsPort) return handle_cert_query(request);
+  if (request.port == kDnscryptPort) return handle_sealed_query(request);
+  return net::WireReply::none();
+}
+
+net::WireReply DnscryptService::handle_cert_query(const net::WireRequest& request) {
+  const auto query = dns::Message::decode(request.payload);
+  if (!query || query->questions.empty()) return net::WireReply::none();
+  const auto& question = query->questions.front();
+  const auto cert_name = dns::Name::parse(config_.provider_name);
+  if (question.type != dns::RrType::kTxt || !cert_name ||
+      !(question.name == *cert_name)) {
+    return net::WireReply::of(
+        dns::make_response(*query, dns::RCode::kRefused).encode(),
+        sim::Millis{0.2});
+  }
+  auto response = dns::make_response(*query, dns::RCode::kNoError);
+  response.answers.push_back(
+      dns::ResourceRecord::txt(question.name, {certificate().to_txt()}, 3600));
+  return net::WireReply::of(response.encode(), sim::Millis{rng_.uniform(0.2, 0.8)});
+}
+
+net::WireReply DnscryptService::handle_sealed_query(const net::WireRequest& request) {
+  if (config_.backend == nullptr) return net::WireReply::none();
+  const auto client_key = peek_client_key(request.payload);
+  if (!client_key) return net::WireReply::none();
+  const std::uint64_t secret =
+      shared_secret(config_.resolver_secret_key, *client_key);
+  std::uint64_t nonce = 0;
+  const auto plain = open(request.payload, secret, nullptr, &nonce);
+  if (!plain) return net::WireReply::none();  // tampered or wrong keys
+  const auto query = dns::Message::decode(*plain);
+  if (!query) return net::WireReply::none();
+
+  auto result = config_.backend->resolve(*query, request.pop, request.date, rng_);
+  // Response box: server nonce derived from the client nonce, resolver key
+  // in the sender slot.
+  const auto sealed = seal(result.response.encode(), util::mix64(nonce ^ 1),
+                           resolver_public_key_, secret);
+  // Symmetric-crypto cost is negligible; add the usual small server time.
+  result.processing += sim::Millis{rng_.uniform(0.3, 1.5)};
+  return net::WireReply::of(sealed, result.processing);
+}
+
+}  // namespace encdns::dnscrypt

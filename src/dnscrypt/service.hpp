@@ -1,0 +1,56 @@
+// Server side of DNSCrypt: serves the provider certificate over plain DNS
+// (TXT `2.dnscrypt-cert.<provider>`) and answers sealed queries on the
+// DNSCrypt port (443, UDP and TCP — mixed with HTTPS traffic, per §2.2).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "dnscrypt/cert.hpp"
+#include "dnscrypt/crypto.hpp"
+#include "net/service.hpp"
+#include "resolver/backend.hpp"
+
+namespace encdns::dnscrypt {
+
+struct DnscryptServiceConfig {
+  std::string label = "dnscrypt-resolver";
+  /// Provider name whose TXT carries the certificate.
+  std::string provider_name = "2.dnscrypt-cert.example.com";
+  std::shared_ptr<resolver::DnsBackend> backend;
+  /// Short-term resolver secret key (public key is derived).
+  std::uint64_t resolver_secret_key = 0x5EC0DE;
+  util::Date cert_start{2019, 1, 1};
+  util::Date cert_end{2019, 12, 31};
+  std::uint32_t cert_serial = 1;
+  /// Defect knobs for tests/world: serve an expired or missigned cert.
+  bool cert_signature_valid = true;
+  bool sign_with_wrong_key = false;
+};
+
+class DnscryptService final : public net::Service {
+ public:
+  explicit DnscryptService(DnscryptServiceConfig config);
+
+  [[nodiscard]] std::string label() const override { return config_.label; }
+  [[nodiscard]] bool accepts(std::uint16_t port, net::Transport transport) const override;
+  [[nodiscard]] net::WireReply handle(const net::WireRequest& request) override;
+
+  /// The certificate as currently served.
+  [[nodiscard]] Certificate certificate() const;
+  [[nodiscard]] std::uint64_t resolver_public_key() const noexcept {
+    return resolver_public_key_;
+  }
+
+ private:
+  DnscryptServiceConfig config_;
+  std::uint64_t resolver_public_key_;
+  util::Rng rng_;
+
+  [[nodiscard]] net::WireReply handle_cert_query(const net::WireRequest& request);
+  [[nodiscard]] net::WireReply handle_sealed_query(const net::WireRequest& request);
+};
+
+inline constexpr std::uint16_t kDnscryptPort = 443;
+
+}  // namespace encdns::dnscrypt

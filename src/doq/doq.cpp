@@ -1,0 +1,206 @@
+#include "doq/doq.hpp"
+
+#include "dns/query.hpp"
+#include "dns/wire.hpp"
+#include "tls/serialize.hpp"
+#include "tls/verify.hpp"
+
+namespace encdns::doq {
+namespace {
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 7; i >= 0; --i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint64_t get_u64(std::span<const std::uint8_t> data, std::size_t at) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8; ++i) v = (v << 8) | data[at + i];
+  return v;
+}
+
+}  // namespace
+
+DoqService::DoqService(DoqServiceConfig config)
+    : config_(std::move(config)),
+      token_secret_(util::mix64(util::fnv1a(config_.label) ^ 0xD00ULL)),
+      rng_(util::fnv1a(config_.label) ^ 0x784ULL) {}
+
+bool DoqService::accepts(std::uint16_t port, net::Transport transport) const {
+  return port == kDoqPort && transport == net::Transport::kUdp;
+}
+
+std::uint64_t DoqService::token_for(std::uint64_t client_random) const {
+  return util::mix64(token_secret_ ^ client_random);
+}
+
+net::WireReply DoqService::handle(const net::WireRequest& request) {
+  if (request.payload.empty() || config_.backend == nullptr)
+    return net::WireReply::none();
+  const std::uint8_t type = request.payload[0];
+
+  if (type == kPacketInitial) {
+    // Initial: [type | client_random(8) | sni...]. The combined transport +
+    // crypto handshake completes in this single round trip.
+    if (request.payload.size() < 9) return net::WireReply::none();
+    const std::uint64_t client_random = get_u64(request.payload, 1);
+    std::vector<std::uint8_t> reply;
+    reply.push_back(kPacketHandshake);
+    put_u64(reply, token_for(client_random));
+    const std::string chain = tls::serialize_chain(config_.certificate);
+    reply.insert(reply.end(), chain.begin(), chain.end());
+    return net::WireReply::of(std::move(reply),
+                              sim::Millis{rng_.uniform(0.3, 1.2)});
+  }
+
+  if (type == kPacketStream) {
+    // Stream: [type | client_random(8) | token(8) | framed DNS]. 0-RTT data
+    // from returning clients carries the token from a prior handshake.
+    if (request.payload.size() < 17) return net::WireReply::none();
+    const std::uint64_t client_random = get_u64(request.payload, 1);
+    const std::uint64_t token = get_u64(request.payload, 9);
+    if (!config_.accept_0rtt || token != token_for(client_random)) {
+      return net::WireReply::of({kPacketReject}, sim::Millis{0.2});
+    }
+    const auto framed = request.payload.subspan(17);
+    const auto wire = dns::unframe_stream(framed);
+    if (!wire) return net::WireReply::none();
+    const auto query = dns::Message::decode(*wire);
+    if (!query) return net::WireReply::none();
+    auto result = config_.backend->resolve(*query, request.pop, request.date, rng_);
+    std::vector<std::uint8_t> reply;
+    reply.push_back(kPacketStream);
+    put_u64(reply, client_random);
+    put_u64(reply, token);
+    const auto response_frame = dns::frame_stream(result.response.encode());
+    reply.insert(reply.end(), response_frame.begin(), response_frame.end());
+    result.processing += sim::Millis{rng_.uniform(0.3, 1.5)};
+    return net::WireReply::of(std::move(reply), result.processing);
+  }
+
+  return net::WireReply::none();
+}
+
+std::optional<DoqClient::Session> DoqClient::establish(
+    util::Ipv4 server, const util::Date& date, const Options& options,
+    client::QueryOutcome& outcome, sim::Millis& spent) {
+  const std::uint64_t client_random = rng_.next();
+  std::vector<std::uint8_t> initial;
+  initial.push_back(kPacketInitial);
+  put_u64(initial, client_random);
+  for (const char c : options.auth_name)
+    initial.push_back(static_cast<std::uint8_t>(c));
+
+  const auto result = network_->udp_exchange(context_, rng_, server, kDoqPort,
+                                             initial, date, options.timeout);
+  spent += result.latency;
+  if (result.status != net::Network::UdpResult::Status::kOk) {
+    outcome.status = client::QueryStatus::kTimeout;
+    return std::nullopt;
+  }
+  if (result.payload.empty() || result.payload[0] != kPacketHandshake ||
+      result.payload.size() < 9) {
+    outcome.status = client::QueryStatus::kProtocolError;
+    return std::nullopt;
+  }
+  Session session;
+  session.client_random = client_random;
+  session.token = get_u64(result.payload, 1);
+  const std::string chain_text(result.payload.begin() + 9, result.payload.end());
+  const auto chain = tls::parse_chain(chain_text);
+  if (!chain) {
+    outcome.status = client::QueryStatus::kProtocolError;
+    return std::nullopt;
+  }
+  session.chain = *chain;
+  // QUIC mandates TLS 1.3 semantics: strict validation, no fallback inside
+  // the protocol itself.
+  const auto verdict =
+      tls::verify_host(session.chain, options.auth_name, *options.trust_store, date);
+  outcome.cert_status = verdict;
+  outcome.presented_chain = session.chain;
+  if (tls::is_invalid(verdict)) {
+    outcome.status = client::QueryStatus::kCertRejected;
+    return std::nullopt;
+  }
+  return session;
+}
+
+client::QueryOutcome DoqClient::query(util::Ipv4 server, const dns::Name& qname,
+                                      dns::RrType type, const util::Date& date,
+                                      const Options& options) {
+  client::QueryOutcome outcome;
+  sim::Millis spent{0.0};
+
+  Session* session = nullptr;
+  const auto it = sessions_.find(server.value());
+  if (options.enable_0rtt && it != sessions_.end()) {
+    session = &it->second;
+    outcome.reused_connection = true;
+    outcome.cert_status = tls::CertStatus::kValid;  // validated at setup
+    outcome.presented_chain = session->chain;
+  } else {
+    auto fresh = establish(server, date, options, outcome, spent);
+    if (!fresh) {
+      outcome.latency = spent;
+      if (options.fallback_to_dot &&
+          outcome.status != client::QueryStatus::kCertRejected) {
+        // Draft behaviour: a failed QUIC connection falls back to DoT.
+        client::DotClient fallback(*network_, context_, rng_.next());
+        client::DotClient::Options dot_options;
+        dot_options.auth_name = options.auth_name;
+        dot_options.profile = client::PrivacyProfile::kStrict;
+        auto downgraded = fallback.query(server, qname, type, date, dot_options);
+        downgraded.latency += spent;
+        return downgraded;
+      }
+      return outcome;
+    }
+    session = &sessions_.insert_or_assign(server.value(), std::move(*fresh))
+                   .first->second;
+  }
+
+  // Stream packet: the (client_random, token) pair from the handshake.
+  std::vector<std::uint8_t> stream;
+  stream.push_back(kPacketStream);
+  put_u64(stream, session->client_random);
+  put_u64(stream, session->token);
+  const auto id = static_cast<std::uint16_t>(rng_.below(65536));
+  const dns::Message query = dns::make_query(qname, type, id);
+  const auto frame = dns::frame_stream(query.encode());
+  stream.insert(stream.end(), frame.begin(), frame.end());
+
+  const auto result = network_->udp_exchange(context_, rng_, server, kDoqPort,
+                                             stream, date, options.timeout);
+  outcome.latency = spent + result.latency;
+  outcome.transaction_latency = result.latency;
+  if (result.status != net::Network::UdpResult::Status::kOk) {
+    sessions_.erase(server.value());
+    outcome.status = client::QueryStatus::kTimeout;
+    return outcome;
+  }
+  if (result.payload.empty() || result.payload[0] == kPacketReject) {
+    sessions_.erase(server.value());
+    outcome.status = client::QueryStatus::kConnectionReset;
+    return outcome;
+  }
+  if (result.payload[0] != kPacketStream || result.payload.size() < 17) {
+    outcome.status = client::QueryStatus::kProtocolError;
+    return outcome;
+  }
+  const auto framed = std::span<const std::uint8_t>(result.payload).subspan(17);
+  const auto wire = dns::unframe_stream(framed);
+  if (!wire) {
+    outcome.status = client::QueryStatus::kProtocolError;
+    return outcome;
+  }
+  auto response = dns::Message::decode(*wire);
+  if (!response || !dns::response_matches(query, *response)) {
+    outcome.status = client::QueryStatus::kProtocolError;
+    return outcome;
+  }
+  outcome.status = client::QueryStatus::kOk;
+  outcome.response = std::move(response);
+  return outcome;
+}
+
+}  // namespace encdns::doq

@@ -1,0 +1,111 @@
+// A DNS-over-QUIC prototype (draft-huitema-quic-dnsoquic, the paper's
+// "planned, no implementations yet" protocol — Table 1's last column).
+//
+// Modelled QUIC properties that matter for DNS latency:
+//   * UDP transport on the dedicated port 784;
+//   * combined transport + crypto handshake: ONE round trip to a new server
+//     (vs TCP+TLS1.3's two);
+//   * 0-RTT resumption: a returning client sends the query in its first
+//     flight, so a lookup costs exactly one round trip — DNS/UDP parity;
+//   * strict certificate validation (QUIC mandates TLS 1.3 semantics);
+//   * optional fallback to DoT, as the draft specifies.
+//
+// Packet framing (prototype): first byte is a packet type, then type-specific
+// payload. Initial carries the SNI; Handshake answers with the serialized
+// certificate chain and a session token; Stream carries `token | framed DNS`.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "client/dot.hpp"
+#include "client/outcome.hpp"
+#include "net/network.hpp"
+#include "resolver/backend.hpp"
+#include "tls/trust_store.hpp"
+
+namespace encdns::doq {
+
+inline constexpr std::uint16_t kDoqPort = 784;
+
+/// Prototype packet types.
+inline constexpr std::uint8_t kPacketInitial = 0x01;
+inline constexpr std::uint8_t kPacketHandshake = 0x02;
+inline constexpr std::uint8_t kPacketStream = 0x03;
+inline constexpr std::uint8_t kPacketReject = 0x0F;
+
+struct DoqServiceConfig {
+  std::string label = "doq-resolver";
+  std::shared_ptr<resolver::DnsBackend> backend;
+  tls::CertificateChain certificate;
+  /// Accept 0-RTT data from returning clients (token reuse).
+  bool accept_0rtt = true;
+};
+
+class DoqService final : public net::Service {
+ public:
+  explicit DoqService(DoqServiceConfig config);
+
+  [[nodiscard]] std::string label() const override { return config_.label; }
+  [[nodiscard]] bool accepts(std::uint16_t port, net::Transport transport) const override;
+  [[nodiscard]] net::WireReply handle(const net::WireRequest& request) override;
+
+ private:
+  DoqServiceConfig config_;
+  std::uint64_t token_secret_;
+  util::Rng rng_;
+
+  [[nodiscard]] std::uint64_t token_for(std::uint64_t client_random) const;
+};
+
+struct DoqOptions {
+  /// Server name validated against the presented chain (strict, always).
+  std::string auth_name;
+  const tls::TrustStore* trust_store = &tls::TrustStore::mozilla();
+  sim::Millis timeout{10000.0};
+  /// Use a cached session token for 0-RTT when available.
+  bool enable_0rtt = true;
+  /// Draft §5: fall back to DoT when the QUIC connection fails.
+  bool fallback_to_dot = false;
+};
+
+class DoqClient {
+ public:
+  DoqClient(const net::Network& network, net::ClientContext context,
+            std::uint64_t seed)
+      : network_(&network), context_(std::move(context)), rng_(seed) {}
+
+  using Options = DoqOptions;
+
+  [[nodiscard]] client::QueryOutcome query(util::Ipv4 server, const dns::Name& qname,
+                                           dns::RrType type, const util::Date& date,
+                                           const Options& options = {});
+
+  void forget_sessions() { sessions_.clear(); }
+  [[nodiscard]] bool has_session(util::Ipv4 server) const {
+    return sessions_.contains(server.value());
+  }
+
+ private:
+  struct Session {
+    std::uint64_t client_random = 0;  // the random the token was minted for
+    std::uint64_t token = 0;
+    tls::CertificateChain chain;
+  };
+
+  const net::Network* network_;
+  net::ClientContext context_;
+  util::Rng rng_;
+  std::unordered_map<std::uint32_t, Session> sessions_;
+
+  [[nodiscard]] std::optional<Session> establish(util::Ipv4 server,
+                                                 const util::Date& date,
+                                                 const Options& options,
+                                                 client::QueryOutcome& outcome,
+                                                 sim::Millis& spent);
+};
+
+}  // namespace encdns::doq

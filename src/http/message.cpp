@@ -1,0 +1,203 @@
+#include "http/message.hpp"
+
+#include <charconv>
+
+#include "util/strings.hpp"
+
+namespace encdns::http {
+namespace {
+
+constexpr std::string_view kCrlf = "\r\n";
+
+void append_text(std::vector<std::uint8_t>& out, std::string_view text) {
+  out.insert(out.end(), text.begin(), text.end());
+}
+
+/// Split head (start-line + headers) from body at the first CRLFCRLF.
+struct SplitWire {
+  std::string head;
+  std::vector<std::uint8_t> body;
+};
+
+std::optional<SplitWire> split_wire(std::span<const std::uint8_t> wire) {
+  const std::string_view view(reinterpret_cast<const char*>(wire.data()), wire.size());
+  const auto sep = view.find("\r\n\r\n");
+  if (sep == std::string_view::npos) return std::nullopt;
+  SplitWire split;
+  split.head = std::string(view.substr(0, sep));
+  split.body.assign(wire.begin() + static_cast<std::ptrdiff_t>(sep + 4), wire.end());
+  return split;
+}
+
+std::optional<Headers> parse_headers(const std::vector<std::string>& lines,
+                                     std::size_t from) {
+  Headers headers;
+  for (std::size_t i = from; i < lines.size(); ++i) {
+    const auto colon = lines[i].find(':');
+    if (colon == std::string::npos) return std::nullopt;
+    std::string name(util::trim(std::string_view(lines[i]).substr(0, colon)));
+    std::string value(util::trim(std::string_view(lines[i]).substr(colon + 1)));
+    if (name.empty()) return std::nullopt;
+    headers.add(std::move(name), std::move(value));
+  }
+  return headers;
+}
+
+bool body_length_matches(const Headers& headers, std::size_t body_size) {
+  const auto len = headers.get("Content-Length");
+  if (!len) return body_size == 0;
+  std::size_t declared = 0;
+  const auto [next, ec] =
+      std::from_chars(len->data(), len->data() + len->size(), declared);
+  return ec == std::errc{} && next == len->data() + len->size() &&
+         declared == body_size;
+}
+
+}  // namespace
+
+void Headers::set(std::string name, std::string value) {
+  for (auto& entry : entries_) {
+    if (util::iequals(entry.first, name)) {
+      entry.second = std::move(value);
+      return;
+    }
+  }
+  entries_.emplace_back(std::move(name), std::move(value));
+}
+
+void Headers::add(std::string name, std::string value) {
+  entries_.emplace_back(std::move(name), std::move(value));
+}
+
+std::optional<std::string> Headers::get(std::string_view name) const {
+  for (const auto& entry : entries_)
+    if (util::iequals(entry.first, name)) return entry.second;
+  return std::nullopt;
+}
+
+std::vector<std::uint8_t> Request::serialize() const {
+  std::vector<std::uint8_t> out;
+  append_text(out, to_string(method));
+  append_text(out, " ");
+  append_text(out, target.empty() ? "/" : target);
+  append_text(out, " HTTP/1.1");
+  append_text(out, kCrlf);
+  bool has_length = false;
+  for (const auto& [name, value] : headers.entries()) {
+    if (util::iequals(name, "Content-Length")) has_length = true;
+    append_text(out, name);
+    append_text(out, ": ");
+    append_text(out, value);
+    append_text(out, kCrlf);
+  }
+  if (!body.empty() && !has_length) {
+    append_text(out, "Content-Length: " + std::to_string(body.size()));
+    append_text(out, kCrlf);
+  }
+  append_text(out, kCrlf);
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+std::optional<Request> Request::parse(std::span<const std::uint8_t> wire) {
+  auto split = split_wire(wire);
+  if (!split) return std::nullopt;
+  const auto lines = util::split(split->head, '\n');
+  if (lines.empty()) return std::nullopt;
+  // Strip trailing '\r' left by splitting on '\n'.
+  std::vector<std::string> clean;
+  clean.reserve(lines.size());
+  for (const auto& line : lines) {
+    std::string l = line;
+    if (!l.empty() && l.back() == '\r') l.pop_back();
+    clean.push_back(std::move(l));
+  }
+  const auto parts = util::split(clean.front(), ' ');
+  if (parts.size() != 3 || parts[2] != "HTTP/1.1") return std::nullopt;
+  Request req;
+  if (parts[0] == "GET") req.method = Method::kGet;
+  else if (parts[0] == "POST") req.method = Method::kPost;
+  else return std::nullopt;
+  req.target = parts[1];
+  auto headers = parse_headers(clean, 1);
+  if (!headers) return std::nullopt;
+  req.headers = std::move(*headers);
+  req.body = std::move(split->body);
+  if (!body_length_matches(req.headers, req.body.size())) return std::nullopt;
+  return req;
+}
+
+std::string Request::path() const {
+  const auto q = target.find('?');
+  return q == std::string::npos ? target : target.substr(0, q);
+}
+
+std::string Request::query() const {
+  const auto q = target.find('?');
+  return q == std::string::npos ? std::string{} : target.substr(q + 1);
+}
+
+std::vector<std::uint8_t> Response::serialize() const {
+  std::vector<std::uint8_t> out;
+  append_text(out, "HTTP/1.1 " + std::to_string(status) + " " + reason);
+  append_text(out, kCrlf);
+  bool has_length = false;
+  for (const auto& [name, value] : headers.entries()) {
+    if (util::iequals(name, "Content-Length")) has_length = true;
+    append_text(out, name);
+    append_text(out, ": ");
+    append_text(out, value);
+    append_text(out, kCrlf);
+  }
+  if (!has_length) {
+    append_text(out, "Content-Length: " + std::to_string(body.size()));
+    append_text(out, kCrlf);
+  }
+  append_text(out, kCrlf);
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+std::optional<Response> Response::parse(std::span<const std::uint8_t> wire) {
+  auto split = split_wire(wire);
+  if (!split) return std::nullopt;
+  const auto lines = util::split(split->head, '\n');
+  if (lines.empty()) return std::nullopt;
+  std::vector<std::string> clean;
+  clean.reserve(lines.size());
+  for (const auto& line : lines) {
+    std::string l = line;
+    if (!l.empty() && l.back() == '\r') l.pop_back();
+    clean.push_back(std::move(l));
+  }
+  const std::string& status_line = clean.front();
+  if (!status_line.starts_with("HTTP/1.1 ")) return std::nullopt;
+  Response resp;
+  const std::string_view after = std::string_view(status_line).substr(9);
+  const auto space = after.find(' ');
+  const std::string_view code = space == std::string_view::npos ? after : after.substr(0, space);
+  const auto [next, ec] = std::from_chars(code.data(), code.data() + code.size(),
+                                          resp.status);
+  if (ec != std::errc{} || next != code.data() + code.size()) return std::nullopt;
+  resp.reason = space == std::string_view::npos ? "" : std::string(after.substr(space + 1));
+  auto headers = parse_headers(clean, 1);
+  if (!headers) return std::nullopt;
+  resp.headers = std::move(*headers);
+  resp.body = std::move(split->body);
+  if (!body_length_matches(resp.headers, resp.body.size())) return std::nullopt;
+  return resp;
+}
+
+Response Response::make(int status, std::string_view reason,
+                        std::string_view content_type,
+                        std::vector<std::uint8_t> body) {
+  Response resp;
+  resp.status = status;
+  resp.reason = std::string(reason);
+  if (!content_type.empty())
+    resp.headers.set("Content-Type", std::string(content_type));
+  resp.body = std::move(body);
+  return resp;
+}
+
+}  // namespace encdns::http

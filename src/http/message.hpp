@@ -1,0 +1,76 @@
+// HTTP/1.1 request/response model with wire serialization.
+//
+// The DoH client serializes real HTTP requests onto the (simulated) TLS
+// connection and the DoH server parses them back, so the full RFC 8484
+// framing — method choice, content types, the base64url `dns` parameter —
+// is exercised byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace encdns::http {
+
+enum class Method { kGet, kPost };
+
+[[nodiscard]] constexpr const char* to_string(Method m) noexcept {
+  return m == Method::kGet ? "GET" : "POST";
+}
+
+/// Ordered header list with case-insensitive lookup (duplicates preserved).
+class Headers {
+ public:
+  void set(std::string name, std::string value);
+  void add(std::string name, std::string value);
+  [[nodiscard]] std::optional<std::string> get(std::string_view name) const;
+  [[nodiscard]] const std::vector<std::pair<std::string, std::string>>& entries()
+      const noexcept {
+    return entries_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+struct Request {
+  Method method = Method::kGet;
+  std::string target;  // origin-form: path[?query]
+  Headers headers;
+  std::vector<std::uint8_t> body;
+
+  /// Serialize to HTTP/1.1 wire format (adds Content-Length as needed).
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+
+  /// Parse from wire format; nullopt on malformed framing.
+  [[nodiscard]] static std::optional<Request> parse(
+      std::span<const std::uint8_t> wire);
+
+  /// Path and query split out of `target`.
+  [[nodiscard]] std::string path() const;
+  [[nodiscard]] std::string query() const;
+};
+
+struct Response {
+  int status = 200;
+  std::string reason = "OK";
+  Headers headers;
+  std::vector<std::uint8_t> body;
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  [[nodiscard]] static std::optional<Response> parse(
+      std::span<const std::uint8_t> wire);
+
+  [[nodiscard]] static Response make(int status, std::string_view reason,
+                                     std::string_view content_type,
+                                     std::vector<std::uint8_t> body);
+};
+
+/// Media type for DNS messages in DoH (RFC 8484 §6).
+inline constexpr const char* kDnsMessageType = "application/dns-message";
+
+}  // namespace encdns::http

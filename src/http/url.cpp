@@ -1,0 +1,152 @@
+#include "http/url.hpp"
+
+#include <charconv>
+
+#include "util/strings.hpp"
+
+namespace encdns::http {
+
+std::string Url::to_string() const {
+  std::string out = scheme + "://" + host;
+  if (port != 0) out += ":" + std::to_string(port);
+  out += path.empty() ? "/" : path;
+  if (!query.empty()) out += "?" + query;
+  return out;
+}
+
+std::optional<Url> Url::parse(std::string_view text) {
+  Url url;
+  const auto scheme_end = text.find("://");
+  if (scheme_end == std::string_view::npos) return std::nullopt;
+  url.scheme = util::to_lower(text.substr(0, scheme_end));
+  if (url.scheme != "http" && url.scheme != "https") return std::nullopt;
+  text.remove_prefix(scheme_end + 3);
+
+  const auto path_start = text.find('/');
+  std::string_view authority =
+      path_start == std::string_view::npos ? text : text.substr(0, path_start);
+  std::string_view rest =
+      path_start == std::string_view::npos ? std::string_view{} : text.substr(path_start);
+  if (authority.empty() || authority.find('@') != std::string_view::npos)
+    return std::nullopt;
+
+  const auto colon = authority.rfind(':');
+  if (colon != std::string_view::npos) {
+    const auto port_text = authority.substr(colon + 1);
+    unsigned port = 0;
+    const auto [next, ec] =
+        std::from_chars(port_text.data(), port_text.data() + port_text.size(), port);
+    if (ec != std::errc{} || next != port_text.data() + port_text.size() ||
+        port == 0 || port > 65535)
+      return std::nullopt;
+    url.port = static_cast<std::uint16_t>(port);
+    authority = authority.substr(0, colon);
+  }
+  if (authority.empty()) return std::nullopt;
+  url.host = util::to_lower(authority);
+
+  const auto query_start = rest.find('?');
+  if (query_start == std::string_view::npos) {
+    url.path = std::string(rest.empty() ? "/" : rest);
+  } else {
+    url.path = std::string(rest.substr(0, query_start));
+    url.query = std::string(rest.substr(query_start + 1));
+  }
+  if (url.path.empty()) url.path = "/";
+  return url;
+}
+
+std::optional<UriTemplate> UriTemplate::parse(std::string_view text) {
+  UriTemplate tmpl;
+  const auto brace = text.find('{');
+  if (brace == std::string_view::npos) {
+    const auto url = Url::parse(text);
+    if (!url) return std::nullopt;
+    tmpl.base_ = *url;
+    return tmpl;
+  }
+  if (text.substr(brace) != "{?dns}") return std::nullopt;
+  const auto url = Url::parse(text.substr(0, brace));
+  if (!url || !url->query.empty()) return std::nullopt;
+  tmpl.base_ = *url;
+  tmpl.has_dns_var_ = true;
+  return tmpl;
+}
+
+Url UriTemplate::expand_get(const std::string& dns_b64url) const {
+  Url url = base_;
+  const std::string param = "dns=" + percent_encode(dns_b64url);
+  url.query = url.query.empty() ? param : url.query + "&" + param;
+  return url;
+}
+
+std::string UriTemplate::to_string() const {
+  std::string out = base_.to_string();
+  if (has_dns_var_) out += "{?dns}";
+  return out;
+}
+
+std::string percent_encode(std::string_view value) {
+  static constexpr char kHex[] = "0123456789ABCDEF";
+  const auto unreserved = [](char c) {
+    return (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+           (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.' || c == '~';
+  };
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (unreserved(c)) {
+      out.push_back(c);
+    } else {
+      out.push_back('%');
+      out.push_back(kHex[static_cast<unsigned char>(c) >> 4]);
+      out.push_back(kHex[static_cast<unsigned char>(c) & 0xF]);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::optional<char> hex_value(char c) {
+  if (c >= '0' && c <= '9') return static_cast<char>(c - '0');
+  if (c >= 'a' && c <= 'f') return static_cast<char>(c - 'a' + 10);
+  if (c >= 'A' && c <= 'F') return static_cast<char>(c - 'A' + 10);
+  return std::nullopt;
+}
+
+std::optional<std::string> percent_decode(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    if (value[i] == '%') {
+      if (i + 2 >= value.size()) return std::nullopt;
+      const auto hi = hex_value(value[i + 1]);
+      const auto lo = hex_value(value[i + 2]);
+      if (!hi || !lo) return std::nullopt;
+      out.push_back(static_cast<char>((*hi << 4) | *lo));
+      i += 2;
+    } else if (value[i] == '+') {
+      out.push_back(' ');
+    } else {
+      out.push_back(value[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<std::string> query_param(std::string_view query, std::string_view key) {
+  for (const auto& pair : util::split(query, '&')) {
+    const auto eq = pair.find('=');
+    const std::string_view name =
+        eq == std::string::npos ? std::string_view(pair) : std::string_view(pair).substr(0, eq);
+    if (name != key) continue;
+    if (eq == std::string::npos) return std::string{};
+    return percent_decode(std::string_view(pair).substr(eq + 1));
+  }
+  return std::nullopt;
+}
+
+}  // namespace encdns::http

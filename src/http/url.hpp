@@ -1,0 +1,67 @@
+// URLs and the RFC 6570 level-3 form-style query template ("{?dns}") that
+// RFC 8484 uses to locate DoH services.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace encdns::http {
+
+/// A parsed absolute http(s) URL. Userinfo and fragments are not supported —
+/// they never appear in DoH URI templates.
+struct Url {
+  std::string scheme;  // "http" or "https"
+  std::string host;
+  std::uint16_t port = 0;  // 0 = scheme default
+  std::string path;        // always begins with '/'
+  std::string query;       // without '?', may be empty
+
+  [[nodiscard]] std::uint16_t effective_port() const noexcept {
+    if (port != 0) return port;
+    return scheme == "https" ? 443 : 80;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parse an absolute URL. Returns nullopt for anything malformed or with a
+  /// non-http(s) scheme.
+  [[nodiscard]] static std::optional<Url> parse(std::string_view text);
+};
+
+/// A DoH URI template such as "https://dns.example.com/dns-query{?dns}".
+/// Only the single form-style `{?dns}` expression (and the degenerate
+/// template without any expression, used with POST) are supported, which
+/// covers every template in public DoH resolver lists.
+class UriTemplate {
+ public:
+  [[nodiscard]] static std::optional<UriTemplate> parse(std::string_view text);
+
+  [[nodiscard]] const Url& base() const noexcept { return base_; }
+  [[nodiscard]] bool has_dns_variable() const noexcept { return has_dns_var_; }
+
+  /// Expand with a base64url-encoded DNS message for a GET request.
+  /// If the template lacks the {?dns} expression, "?dns=" is appended anyway
+  /// (what curl-style clients do when forced to GET).
+  [[nodiscard]] Url expand_get(const std::string& dns_b64url) const;
+
+  /// The URL to POST to (template with the expression elided).
+  [[nodiscard]] Url post_target() const { return base_; }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  Url base_;
+  bool has_dns_var_ = false;
+};
+
+/// Percent-encode a query value (conservative: unreserved chars pass).
+[[nodiscard]] std::string percent_encode(std::string_view value);
+
+/// Extract a query parameter's (first) value from a raw query string.
+[[nodiscard]] std::optional<std::string> query_param(std::string_view query,
+                                                     std::string_view key);
+
+}  // namespace encdns::http

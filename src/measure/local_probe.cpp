@@ -1,0 +1,30 @@
+#include "measure/local_probe.hpp"
+
+#include "client/dot.hpp"
+
+namespace encdns::measure {
+
+LocalProbeResults run_local_resolver_probe(const world::World& world,
+                                           LocalProbeConfig config) {
+  LocalProbeResults results;
+  util::Rng rng(util::mix64(config.seed ^ 0xA71A5ULL));
+  const auto& resolvers = world.local_resolvers();
+  if (resolvers.empty()) return results;
+
+  for (std::size_t i = 0; i < config.probe_count; ++i) {
+    // Each probe sits in some ISP and uses that ISP's local resolver.
+    const auto& local = resolvers[rng.below(resolvers.size())];
+    world::Vantage vantage = world.make_clean_vantage(local.country);
+    client::DotClient dot(world.network(), vantage.context, rng.next());
+    client::DotClient::Options options;
+    options.profile = client::PrivacyProfile::kOpportunistic;
+    options.timeout = sim::Millis{10000.0};
+    const auto outcome = dot.query(local.address, world.unique_probe_name(rng),
+                                   dns::RrType::kA, config.date, options);
+    ++results.probes;
+    if (outcome.answered()) ++results.dot_succeeded;
+  }
+  return results;
+}
+
+}  // namespace encdns::measure

@@ -1,0 +1,192 @@
+#include "measure/performance.hpp"
+
+#include <algorithm>
+
+#include "http/url.hpp"
+#include "util/stats.hpp"
+
+namespace encdns::measure {
+namespace {
+
+std::optional<double> median_of(const std::vector<double>& values) {
+  return util::median(values);
+}
+
+}  // namespace
+
+double PerformanceResults::overall(bool doh, bool median) const {
+  std::vector<double> overheads;
+  overheads.reserve(clients.size());
+  for (const auto& c : clients)
+    overheads.push_back(doh ? c.doh_overhead() : c.dot_overhead());
+  if (median) return util::median(overheads).value_or(0.0);
+  return util::mean(overheads).value_or(0.0);
+}
+
+std::vector<CountryLatency> PerformanceResults::by_country(
+    std::size_t min_clients) const {
+  std::map<std::string, std::vector<const ClientLatency*>> grouped;
+  for (const auto& c : clients) grouped[c.country].push_back(&c);
+
+  std::vector<CountryLatency> rows;
+  for (const auto& [country, list] : grouped) {
+    if (list.size() < min_clients) continue;
+    CountryLatency row;
+    row.country = country;
+    row.clients = list.size();
+    std::vector<double> dot, doh;
+    dot.reserve(list.size());
+    doh.reserve(list.size());
+    for (const auto* c : list) {
+      dot.push_back(c->dot_overhead());
+      doh.push_back(c->doh_overhead());
+    }
+    row.dot_overhead_mean = util::mean(dot).value_or(0.0);
+    row.dot_overhead_median = util::median(dot).value_or(0.0);
+    row.doh_overhead_mean = util::mean(doh).value_or(0.0);
+    row.doh_overhead_median = util::median(doh).value_or(0.0);
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const CountryLatency& a, const CountryLatency& b) {
+              return a.clients > b.clients;
+            });
+  return rows;
+}
+
+PerformanceTest::PerformanceTest(const world::World& world,
+                                 proxy::ProxyNetwork& platform,
+                                 PerformanceConfig config)
+    : world_(&world), platform_(&platform), config_(config) {
+  for (auto& candidate : default_targets())
+    if (candidate.name == config_.target_name) target_ = candidate;
+}
+
+PerformanceResults PerformanceTest::run() {
+  PerformanceResults results;
+  util::Rng rng(util::mix64(config_.seed ^ 0x9E2FULL));
+  const auto tmpl = http::UriTemplate::parse(*target_.doh_template);
+
+  for (std::size_t i = 0; i < config_.client_count; ++i) {
+    proxy::ProxySession session = platform_->acquire();
+    // Check the platform API for remaining uptime and discard nodes that
+    // would rotate away mid-experiment (§4.1).
+    const double expected_run_ms =
+        3.0 * config_.queries_per_protocol * 400.0;  // generous estimate
+    if (session.remaining_uptime().value < expected_run_ms) {
+      ++results.discarded_clients;
+      continue;
+    }
+    const auto& vantage = session.vantage();
+
+    client::Do53Client do53(world_->network(), vantage.context, rng.next());
+    client::DotClient dot(world_->network(), vantage.context, rng.next());
+    client::DohClient doh(world_->network(), vantage.context, rng.next());
+
+    std::vector<double> dns_times, dot_times, doh_times;
+    bool client_ok = true;
+    for (int q = 0; q < config_.queries_per_protocol && client_ok; ++q) {
+      if (platform_->churn_event()) {  // exit node dropped unexpectedly
+        client_ok = false;
+        break;
+      }
+      const dns::Name qname_dns = world_->unique_probe_name(rng);
+      client::Do53Client::Options do53_options;
+      do53_options.reuse_connection = true;
+      auto r1 = do53.query_tcp(target_.do53_address, qname_dns, dns::RrType::kA,
+                               config_.date, do53_options);
+
+      const dns::Name qname_dot = world_->unique_probe_name(rng);
+      client::DotClient::Options dot_options;
+      dot_options.profile = client::PrivacyProfile::kOpportunistic;
+      auto r2 = dot.query(*target_.dot_address, qname_dot, dns::RrType::kA,
+                          config_.date, dot_options);
+
+      const dns::Name qname_doh = world_->unique_probe_name(rng);
+      client::DohClient::Options doh_options;
+      doh_options.bootstrap_resolver =
+          world_->bootstrap_resolver(vantage.country);
+      auto r3 = doh.query(*tmpl, qname_doh, dns::RrType::kA, config_.date,
+                          doh_options);
+
+      if (!r1.answered() || !r2.answered() || !r3.answered()) {
+        client_ok = false;
+        break;
+      }
+      // T_R as observed at the measurement client: tunnel RTT + the DNS
+      // transaction over the (possibly fresh) connection. The tunnel term is
+      // identical across transports, so it cancels in differences.
+      dns_times.push_back(session.tunnel_rtt().value + r1.latency.value);
+      dot_times.push_back(session.tunnel_rtt().value + r2.latency.value);
+      doh_times.push_back(session.tunnel_rtt().value + r3.latency.value);
+      session.consume(sim::Millis{r1.latency.value + r2.latency.value +
+                                  r3.latency.value});
+    }
+    if (!client_ok || dns_times.empty()) {
+      ++results.discarded_clients;
+      continue;
+    }
+    ClientLatency latency;
+    latency.country = vantage.country;
+    latency.dns_ms = median_of(dns_times).value_or(0.0);
+    latency.dot_ms = median_of(dot_times).value_or(0.0);
+    latency.doh_ms = median_of(doh_times).value_or(0.0);
+    results.clients.push_back(std::move(latency));
+  }
+  return results;
+}
+
+std::vector<NoReuseRow> run_no_reuse_test(const world::World& world,
+                                          NoReuseConfig config) {
+  std::vector<NoReuseRow> rows;
+  util::Rng rng(util::mix64(config.seed ^ 0x70B1ULL));
+  const ResolverTarget target = default_targets().back();  // self-built
+  const auto tmpl = http::UriTemplate::parse(*target.doh_template);
+
+  for (const auto& country : config.vantage_countries) {
+    const world::Vantage vantage = world.make_clean_vantage(country);
+    client::Do53Client do53(world.network(), vantage.context, rng.next());
+    client::DotClient dot(world.network(), vantage.context, rng.next());
+    client::DohClient doh(world.network(), vantage.context, rng.next());
+
+    std::vector<double> dns_times, dot_times, doh_times;
+    for (int q = 0; q < config.queries; ++q) {
+      client::Do53Client::Options do53_options;
+      do53_options.reuse_connection = false;
+      auto r1 = do53.query_tcp(target.do53_address, world.unique_probe_name(rng),
+                               dns::RrType::kA, config.date, do53_options);
+      // query_tcp keeps the pooled connection when reuse is on; with reuse
+      // off the pool entry is dropped after each lookup, so every query pays
+      // the TCP (and TLS) setup.
+      do53.reset_pool();
+
+      client::DotClient::Options dot_options;
+      dot_options.reuse_connection = false;
+      dot_options.tls_version = config.tls_version;
+      auto r2 = dot.query(*target.dot_address, world.unique_probe_name(rng),
+                          dns::RrType::kA, config.date, dot_options);
+      dot.reset_pool();
+
+      client::DohClient::Options doh_options;
+      doh_options.reuse_connection = false;
+      doh_options.tls_version = config.tls_version;
+      doh_options.server_address = target.do53_address;
+      auto r3 = doh.query(*tmpl, world.unique_probe_name(rng), dns::RrType::kA,
+                          config.date, doh_options);
+      doh.reset_pool();
+
+      if (r1.answered()) dns_times.push_back(r1.latency.value);
+      if (r2.answered()) dot_times.push_back(r2.latency.value);
+      if (r3.answered()) doh_times.push_back(r3.latency.value);
+    }
+    NoReuseRow row;
+    row.vantage_country = country;
+    row.dns_s = util::median(dns_times).value_or(0.0) / 1000.0;
+    row.dot_s = util::median(dot_times).value_or(0.0) / 1000.0;
+    row.doh_s = util::median(doh_times).value_or(0.0) / 1000.0;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace encdns::measure

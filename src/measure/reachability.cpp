@@ -1,0 +1,205 @@
+#include "measure/reachability.hpp"
+
+#include <algorithm>
+
+#include "http/url.hpp"
+
+namespace encdns::measure {
+
+double OutcomeCounts::fraction(Outcome outcome) const noexcept {
+  const std::uint64_t n = total();
+  if (n == 0) return 0.0;
+  switch (outcome) {
+    case Outcome::kCorrect: return static_cast<double>(correct) / n;
+    case Outcome::kIncorrect: return static_cast<double>(incorrect) / n;
+    case Outcome::kFailed: return static_cast<double>(failed) / n;
+  }
+  return 0.0;
+}
+
+const OutcomeCounts& ReachabilityResults::cell(const std::string& resolver,
+                                               Protocol protocol) const {
+  static const OutcomeCounts kEmpty;
+  const auto it = cells.find({resolver, protocol});
+  return it == cells.end() ? kEmpty : it->second;
+}
+
+ReachabilityTest::ReachabilityTest(const world::World& world,
+                                   proxy::ProxyNetwork& platform,
+                                   ReachabilityConfig config)
+    : world_(&world),
+      platform_(&platform),
+      config_(config),
+      targets_(default_targets()) {}
+
+Outcome ReachabilityTest::classify(const client::QueryOutcome& outcome) const {
+  if (outcome.status != client::QueryStatus::kOk || !outcome.response)
+    return Outcome::kFailed;  // no DNS response packets at all
+  // "Incorrect: we only see SERVFAIL responses and responses with 0 answers."
+  if (outcome.response->header.rcode != dns::RCode::kNoError ||
+      outcome.response->answers.empty())
+    return Outcome::kIncorrect;
+  return Outcome::kCorrect;
+}
+
+ReachabilityTest::ClientOutcome ReachabilityTest::query_with_retries(
+    const proxy::ProxySession& session, client::Do53Client& do53,
+    client::DotClient& dot, client::DohClient& doh, const ResolverTarget& target,
+    Protocol protocol, util::Rng& rng) {
+  ClientOutcome result;
+  for (int attempt = 0; attempt < config_.max_attempts; ++attempt) {
+    const dns::Name qname = world_->unique_probe_name(rng);
+    client::QueryOutcome outcome;
+    switch (protocol) {
+      case Protocol::kDo53: {
+        // The platforms forward TCP only, so clear-text DNS runs over TCP.
+        client::Do53Client::Options options;
+        options.timeout = config_.timeout;
+        outcome = do53.query_tcp(target.do53_address, qname, dns::RrType::kA,
+                                 config_.date, options);
+        break;
+      }
+      case Protocol::kDoT: {
+        client::DotClient::Options options;
+        options.profile = client::PrivacyProfile::kOpportunistic;
+        options.auth_name.clear();  // opportunistic: no name validation
+        options.timeout = config_.timeout;
+        outcome = dot.query(*target.dot_address, qname, dns::RrType::kA,
+                            config_.date, options);
+        break;
+      }
+      case Protocol::kDoH: {
+        const auto tmpl = http::UriTemplate::parse(*target.doh_template);
+        client::DohClient::Options options;
+        options.timeout = config_.timeout;
+        options.bootstrap_resolver =
+            world_->bootstrap_resolver(session.vantage().country);
+        outcome = doh.query(*tmpl, qname, dns::RrType::kA, config_.date, options);
+        break;
+      }
+    }
+    result.last = std::move(outcome);
+    result.outcome = classify(result.last);
+    if (result.outcome != Outcome::kFailed) return result;  // retry failures only
+  }
+  return result;
+}
+
+ReachabilityResults ReachabilityTest::run() {
+  ReachabilityResults results;
+  results.platform = platform_->config().name;
+  util::Rng rng(util::mix64(config_.seed ^ 0x4EAC4ULL));
+
+  std::vector<proxy::ProxySession> sessions;
+  sessions.reserve(config_.client_count);
+
+  for (std::size_t i = 0; i < config_.client_count; ++i) {
+    proxy::ProxySession session = platform_->acquire();
+    const auto& vantage = session.vantage();
+
+    client::Do53Client do53(world_->network(), vantage.context, rng.next());
+    client::DotClient dot(world_->network(), vantage.context, rng.next());
+    client::DohClient doh(world_->network(), vantage.context, rng.next());
+
+    bool cloudflare_dot_failed = false;
+    InterceptionRecord interception;
+    bool saw_interception = false;
+
+    for (const auto& target : targets_) {
+      for (const Protocol protocol :
+           {Protocol::kDo53, Protocol::kDoT, Protocol::kDoH}) {
+        if (protocol == Protocol::kDoT && !target.dot_address) continue;
+        if (protocol == Protocol::kDoH && !target.doh_template) continue;
+        if (rng.chance(world_->config().flaky_client_rate)) {
+          // Persistently flaky vantage (NAT/firewall quirk, dying node):
+          // every attempt fails — the sub-percent floor of Table 4.
+          ++results.cells[{target.name, protocol}].failed;
+          if (target.name == "Cloudflare" && protocol == Protocol::kDoT)
+            cloudflare_dot_failed = true;
+          continue;
+        }
+        const auto outcome =
+            query_with_retries(session, do53, dot, doh, target, protocol, rng);
+        auto& cell = results.cells[{target.name, protocol}];
+        switch (outcome.outcome) {
+          case Outcome::kCorrect: ++cell.correct; break;
+          case Outcome::kIncorrect: ++cell.incorrect; break;
+          case Outcome::kFailed: ++cell.failed; break;
+        }
+        if (target.name == "Cloudflare" && protocol == Protocol::kDoT &&
+            outcome.outcome == Outcome::kFailed)
+          cloudflare_dot_failed = true;
+
+        // Table 6 evidence: a completed TLS handshake whose chain was
+        // re-signed by an untrusted CA while other fields match the target.
+        if (outcome.last.intercepted && outcome.last.cert_status) {
+          saw_interception = true;
+          interception.untrusted_ca_cn =
+              outcome.last.presented_chain.certs.empty()
+                  ? ""
+                  : outcome.last.presented_chain.certs.front().issuer_cn;
+          if (protocol == Protocol::kDoH) {
+            interception.port_443 = true;
+            interception.doh_lookup_succeeded =
+                outcome.outcome == Outcome::kCorrect;
+          } else if (protocol == Protocol::kDoT) {
+            interception.port_853 = true;
+            interception.dot_lookup_succeeded =
+                outcome.outcome == Outcome::kCorrect;
+          }
+        }
+        // Strict DoH aborts on a resigned chain; record that evidence too.
+        if (protocol == Protocol::kDoH &&
+            outcome.last.status == client::QueryStatus::kCertRejected &&
+            outcome.last.intercepted) {
+          saw_interception = true;
+          interception.port_443 = true;
+          interception.untrusted_ca_cn =
+              outcome.last.presented_chain.certs.empty()
+                  ? ""
+                  : outcome.last.presented_chain.certs.front().issuer_cn;
+        }
+      }
+    }
+
+    if (saw_interception) {
+      interception.client_address = vantage.address;
+      interception.country = vantage.country;
+      interception.asn = vantage.asn;
+      results.interceptions.push_back(interception);
+    }
+
+    // Diagnostics for clients that cannot use Cloudflare DoT (Fig. 7, last
+    // step): port scan + webpage fetch of 1.1.1.1 from this client.
+    if (cloudflare_dot_failed) {
+      ConflictDiagnosis diagnosis;
+      diagnosis.client_address = vantage.address;
+      diagnosis.country = vantage.country;
+      diagnosis.asn = vantage.asn;
+      for (const std::uint16_t port : diagnostic_ports()) {
+        const auto probe = world_->network().probe_tcp(
+            vantage.context, rng, world::addrs::kCloudflarePrimary, port,
+            config_.date, sim::Millis{3000.0});
+        if (probe.status == net::Network::ProbeStatus::kOpen)
+          diagnosis.open_ports.push_back(port);
+      }
+      auto connect = world_->network().tcp_connect(
+          vantage.context, rng, world::addrs::kCloudflarePrimary, 80, config_.date,
+          sim::Millis{3000.0});
+      if (connect.status == net::Network::ConnectResult::Status::kConnected) {
+        diagnosis.webpage_excerpt =
+            connect.connection->endpoint().webpage(80).substr(0, 60);
+      }
+      results.conflict_diagnoses.push_back(std::move(diagnosis));
+    }
+
+    sessions.push_back(std::move(session));
+  }
+
+  results.clients = sessions.size();
+  results.dataset =
+      proxy::ProxyNetwork::summarize(platform_->config().name, sessions);
+  return results;
+}
+
+}  // namespace encdns::measure

@@ -1,0 +1,107 @@
+// The §4.2 reachability experiment (Figure 7's workflow):
+//   1. from every vantage point, issue clear-text DNS, DoT and DoH queries
+//      for a uniquely prefixed probe name to each target resolver (up to 5
+//      attempts, 30 s timeout), collecting certificates on the way;
+//   2. classify each (resolver, protocol) as Correct / Incorrect / Failed;
+//   3. for clients that cannot reach Cloudflare over DoT, probe diagnostic
+//      ports on 1.1.1.1 and fetch its webpage to identify conflicting
+//      devices (Table 5);
+//   4. record clients whose TLS sessions present resigned chains (Table 6).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "client/do53.hpp"
+#include "client/doh.hpp"
+#include "client/dot.hpp"
+#include "measure/targets.hpp"
+#include "proxy/proxy.hpp"
+#include "world/world.hpp"
+
+namespace encdns::measure {
+
+/// Table 4's per-cell classification.
+enum class Outcome { kCorrect, kIncorrect, kFailed };
+
+struct OutcomeCounts {
+  std::uint64_t correct = 0;
+  std::uint64_t incorrect = 0;
+  std::uint64_t failed = 0;
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return correct + incorrect + failed;
+  }
+  [[nodiscard]] double fraction(Outcome outcome) const noexcept;
+};
+
+/// Diagnostics from a client that could not use Cloudflare DoT.
+struct ConflictDiagnosis {
+  util::Ipv4 client_address;
+  std::string country;
+  std::uint32_t asn = 0;
+  std::vector<std::uint16_t> open_ports;  // on 1.1.1.1, from this client
+  std::string webpage_excerpt;            // first bytes of the 1.1.1.1 page
+};
+
+/// A client whose TLS sessions were re-signed in path (Table 6 rows).
+struct InterceptionRecord {
+  util::Ipv4 client_address;
+  std::string country;
+  std::uint32_t asn = 0;
+  std::string untrusted_ca_cn;
+  bool port_443 = false;
+  bool port_853 = false;
+  bool dot_lookup_succeeded = false;  // opportunistic DoT proceeded
+  bool doh_lookup_succeeded = false;  // strict DoH must have failed
+};
+
+struct ReachabilityConfig {
+  std::size_t client_count = 3000;
+  int max_attempts = 5;
+  sim::Millis timeout{30000.0};
+  util::Date date{2019, 3, 15};
+  std::uint64_t seed = 11;
+};
+
+struct ReachabilityResults {
+  std::string platform;
+  std::size_t clients = 0;
+  /// (resolver name, protocol) -> outcome tallies.
+  std::map<std::pair<std::string, Protocol>, OutcomeCounts> cells;
+  std::vector<ConflictDiagnosis> conflict_diagnoses;
+  std::vector<InterceptionRecord> interceptions;
+  proxy::DatasetSummary dataset;
+
+  [[nodiscard]] const OutcomeCounts& cell(const std::string& resolver,
+                                          Protocol protocol) const;
+};
+
+class ReachabilityTest {
+ public:
+  ReachabilityTest(const world::World& world, proxy::ProxyNetwork& platform,
+                   ReachabilityConfig config = {});
+
+  [[nodiscard]] ReachabilityResults run();
+
+ private:
+  const world::World* world_;
+  proxy::ProxyNetwork* platform_;
+  ReachabilityConfig config_;
+  std::vector<ResolverTarget> targets_;
+
+  struct ClientOutcome {
+    Outcome outcome = Outcome::kFailed;
+    client::QueryOutcome last;
+  };
+  [[nodiscard]] ClientOutcome query_with_retries(const proxy::ProxySession& session,
+                                                 client::Do53Client& do53,
+                                                 client::DotClient& dot,
+                                                 client::DohClient& doh,
+                                                 const ResolverTarget& target,
+                                                 Protocol protocol, util::Rng& rng);
+  [[nodiscard]] Outcome classify(const client::QueryOutcome& outcome) const;
+};
+
+}  // namespace encdns::measure

@@ -1,0 +1,41 @@
+#include "measure/targets.hpp"
+
+#include "world/providers.hpp"
+
+namespace encdns::measure {
+
+std::string to_string(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kDo53: return "DNS";
+    case Protocol::kDoT: return "DoT";
+    case Protocol::kDoH: return "DoH";
+  }
+  return "?";
+}
+
+std::vector<ResolverTarget> default_targets() {
+  using namespace world::addrs;
+  std::vector<ResolverTarget> targets;
+  targets.push_back(ResolverTarget{
+      "Cloudflare", kCloudflarePrimary, kCloudflarePrimary,
+      "https://mozilla.cloudflare-dns.com/dns-query{?dns}", "cloudflare-dns.com"});
+  // Google DoT was not announced at the time of the experiment (Table 4 n/a).
+  targets.push_back(ResolverTarget{"Google", kGooglePrimary, std::nullopt,
+                                   "https://dns.google.com/resolve{?dns}",
+                                   "dns.google.com"});
+  targets.push_back(ResolverTarget{"Quad9", kQuad9Primary, kQuad9Primary,
+                                   "https://dns.quad9.net/dns-query{?dns}",
+                                   "dns.quad9.net"});
+  targets.push_back(ResolverTarget{"Self-built", kSelfBuilt, kSelfBuilt,
+                                   world::kSelfBuiltDohTemplate,
+                                   world::kSelfBuiltDotName});
+  return targets;
+}
+
+const std::vector<std::uint16_t>& diagnostic_ports() {
+  static const std::vector<std::uint16_t> ports = {22,  23,  53,  67,  80,
+                                                   123, 139, 161, 179, 443};
+  return ports;
+}
+
+}  // namespace encdns::measure

@@ -1,0 +1,93 @@
+#include "net/connection.hpp"
+
+#include "net/service.hpp"
+
+namespace encdns::net {
+
+sim::Millis TcpConnection::maybe_loss_penalty() {
+  if (rng_->chance(loss_rate_)) {
+    // One retransmission after an RTO in the 200 ms - 1 s range.
+    return sim::Millis{rng_->uniform(200.0, 1000.0)};
+  }
+  return sim::Millis{0.0};
+}
+
+TcpConnection::ExchangeResult TcpConnection::exchange(
+    std::span<const std::uint8_t> payload, sim::Millis timeout) {
+  ExchangeResult result;
+
+  WireRequest request;
+  request.transport = Transport::kTcp;
+  request.dst = dst_;
+  request.port = port_;
+  request.sni = sni_;
+  request.payload = payload;
+  request.date = date_;
+  request.client = client_location_;
+  request.pop = pop_location_;
+
+  WireReply reply = endpoint_->handle(request);
+  sim::Millis latency =
+      rtt_ + per_exchange_penalty_ + maybe_loss_penalty() + reply.processing;
+  if (tls_established_) {
+    latency += tls::record_crypto_cost(payload.size() + reply.payload.size(), *rng_);
+    if (intercepted_) {
+      // The proxying device terminates and re-originates the session; add a
+      // small store-and-forward cost.
+      latency += sim::Millis{rng_->uniform(0.3, 1.5)};
+    }
+  }
+  if (!reply.responded) {
+    result.status = ExchangeResult::Status::kClosed;
+    result.latency = rtt_ * 0.5;  // FIN/RST arrives after half a round trip
+    return result;
+  }
+  if (latency > timeout) {
+    result.status = ExchangeResult::Status::kTimeout;
+    result.latency = timeout;
+    return result;
+  }
+  result.status = ExchangeResult::Status::kOk;
+  result.payload = std::move(reply.payload);
+  result.latency = latency;
+  return result;
+}
+
+TcpConnection::TlsResult TcpConnection::tls_handshake(const std::string& sni,
+                                                      tls::TlsVersion version,
+                                                      bool resumed) {
+  TlsResult result;
+  const auto origin_chain = endpoint_->certificate(port_, sni, date_);
+
+  if (interceptor_ != nullptr) {
+    // The device intercepts TLS on this (dst, port): it completes a handshake
+    // with the client regardless, presenting a resigned version of the origin
+    // chain (or a minted one when the origin is opaque to it).
+    tls::CertificateChain base =
+        origin_chain.value_or(tls::make_self_signed(sni.empty() ? "localhost" : sni,
+                                                    date_.plus_days(-30),
+                                                    date_.plus_days(335)));
+    result.chain = interceptor_->resign(base, date_);
+    result.intercepted = true;
+    intercepted_ = true;
+  } else {
+    if (!origin_chain.has_value()) {
+      // Endpoint does not speak TLS on this port: handshake stalls and the
+      // client gives up after roughly one RTO past the ClientHello.
+      result.status = TlsResult::Status::kNoTls;
+      result.latency = rtt_ + sim::Millis{300.0};
+      return result;
+    }
+    result.chain = *origin_chain;
+  }
+
+  const int rtts = tls::handshake_rtts(version, resumed);
+  result.latency = rtt_ * static_cast<double>(rtts) + maybe_loss_penalty() +
+                   tls::handshake_crypto_cost(version, resumed, *rng_);
+  result.status = TlsResult::Status::kEstablished;
+  tls_established_ = true;
+  sni_ = sni;
+  return result;
+}
+
+}  // namespace encdns::net

@@ -1,0 +1,112 @@
+// An established simulated TCP connection, optionally upgraded to TLS.
+//
+// Latency is accounted per operation and returned to the caller; the
+// connection itself is timeless so one vantage point can reuse it across
+// repeated queries (the paper's dominant scenario, §4.1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/geo.hpp"
+#include "sim/duration.hpp"
+#include "tls/certificate.hpp"
+#include "tls/handshake.hpp"
+#include "tls/intercept.hpp"
+#include "util/date.hpp"
+#include "util/ipv4.hpp"
+#include "util/rng.hpp"
+
+namespace encdns::net {
+
+class Service;
+
+class TcpConnection {
+ public:
+  struct ExchangeResult {
+    enum class Status { kOk, kTimeout, kClosed };
+    Status status = Status::kClosed;
+    std::vector<std::uint8_t> payload;
+    sim::Millis latency{0.0};
+  };
+
+  /// Send one request and await the response over this connection.
+  [[nodiscard]] ExchangeResult exchange(std::span<const std::uint8_t> payload,
+                                        sim::Millis timeout = sim::Millis{5000});
+
+  struct TlsResult {
+    enum class Status { kEstablished, kNoTls, kTimeout };
+    Status status = Status::kNoTls;
+    tls::CertificateChain chain;  // as presented to the client
+    bool intercepted = false;     // chain was resigned by an in-path device
+    sim::Millis latency{0.0};
+  };
+  /// Perform the TLS handshake. On interception the resigned chain is
+  /// presented and subsequent exchanges are proxied (and visible) in-path.
+  [[nodiscard]] TlsResult tls_handshake(const std::string& sni,
+                                        tls::TlsVersion version = tls::TlsVersion::kTls13,
+                                        bool resumed = false);
+
+  /// This connection's sampled round-trip time.
+  [[nodiscard]] sim::Millis rtt() const noexcept { return rtt_; }
+
+  [[nodiscard]] bool tls_established() const noexcept { return tls_established_; }
+  [[nodiscard]] bool intercepted() const noexcept { return intercepted_; }
+
+  /// True when an in-path device hijacked the connection: the endpoint is an
+  /// impersonator, not the service bound at the destination address.
+  [[nodiscard]] bool hijacked() const noexcept { return hijacked_; }
+
+  /// The service actually answering (real PoP, hijacker, or background host).
+  [[nodiscard]] Service& endpoint() const noexcept { return *endpoint_; }
+
+  [[nodiscard]] util::Ipv4 destination() const noexcept { return dst_; }
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] const util::Date& date() const noexcept { return date_; }
+
+ private:
+  friend class Network;
+
+  TcpConnection(Service& endpoint, util::Ipv4 dst, std::uint16_t port,
+                sim::Millis rtt, sim::Millis per_exchange_penalty, double loss_rate,
+                const Location& client_location, const Location& pop_location,
+                const util::Date& date, const tls::TlsInterceptor* interceptor,
+                bool hijacked, util::Rng& rng) noexcept
+      : endpoint_(&endpoint),
+        dst_(dst),
+        port_(port),
+        rtt_(rtt),
+        per_exchange_penalty_(per_exchange_penalty),
+        loss_rate_(loss_rate),
+        client_location_(client_location),
+        pop_location_(pop_location),
+        date_(date),
+        interceptor_(interceptor),
+        hijacked_(hijacked),
+        rng_(&rng) {}
+
+  Service* endpoint_;
+  util::Ipv4 dst_;
+  std::uint16_t port_;
+  sim::Millis rtt_;
+  sim::Millis per_exchange_penalty_{0.0};
+  double loss_rate_;
+  Location client_location_;
+  Location pop_location_;
+  util::Date date_;
+  const tls::TlsInterceptor* interceptor_;  // non-owning; may be nullptr
+  bool hijacked_;
+  util::Rng* rng_;
+
+  bool tls_established_ = false;
+  bool intercepted_ = false;
+  std::string sni_;
+
+  /// Retransmission penalty sampled when a segment is lost.
+  [[nodiscard]] sim::Millis maybe_loss_penalty();
+};
+
+}  // namespace encdns::net

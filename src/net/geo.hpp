@@ -1,0 +1,47 @@
+// Geography-driven latency model.
+//
+// Simulated hosts carry coordinates; round-trip time between two points is
+// derived from great-circle distance at optical-fiber propagation speed with
+// a routing-indirection factor, plus per-endpoint last-mile terms. This gives
+// the country-level latency structure that §4.3 (Figure 9) measures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/duration.hpp"
+
+namespace encdns::net {
+
+struct GeoPoint {
+  double lat = 0.0;  // degrees, +N
+  double lon = 0.0;  // degrees, +E
+};
+
+/// Great-circle distance in kilometres (haversine).
+[[nodiscard]] double great_circle_km(const GeoPoint& a, const GeoPoint& b) noexcept;
+
+/// Propagation round-trip time between two points: light in fiber covers
+/// roughly 100 km per millisecond one-way; real paths detour, so an
+/// indirection factor is applied, with a small floor for serialization.
+[[nodiscard]] sim::Millis propagation_rtt(const GeoPoint& a, const GeoPoint& b) noexcept;
+
+/// Where a simulated actor (client, PoP, middlebox) sits.
+struct Location {
+  GeoPoint geo;
+  std::string country;  // ISO 3166-1 alpha-2
+  std::uint32_t asn = 0;
+};
+
+/// Last-mile and quality parameters of a client's access link.
+struct LinkProfile {
+  sim::Millis last_mile{8.0};   // added to every RTT (both directions combined)
+  double jitter_sigma = 0.12;   // lognormal sigma on the per-connection RTT
+  double loss_rate = 0.003;     // per-round-trip packet loss probability
+  /// Extra queueing delay some access networks impose on traffic to
+  /// non-standard ports (notably 853) — behind the above-average DoT
+  /// overhead the paper measures in a few countries (Fig. 9, Indonesia).
+  sim::Millis dot_port_penalty{0.0};
+};
+
+}  // namespace encdns::net

@@ -1,0 +1,76 @@
+// In-path devices between a client and the open internet.
+//
+// Middleboxes are how the model expresses the §4.2 failure causes: port-53
+// filters and hijackers, censorship (IP blocking / connection reset), devices
+// conflicting with resolver addresses, and TLS interception.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/service.hpp"
+#include "tls/intercept.hpp"
+#include "util/date.hpp"
+#include "util/ipv4.hpp"
+
+namespace encdns::net {
+
+class Middlebox {
+ public:
+  virtual ~Middlebox() = default;
+
+  [[nodiscard]] virtual std::string label() const = 0;
+
+  /// Decision for an outbound TCP SYN.
+  struct TcpVerdict {
+    enum class Action {
+      kPass,    // forward untouched
+      kDrop,    // blackhole (client times out)
+      kReset,   // active RST injection (immediate failure)
+      kHijack,  // terminate locally: `service` impersonates the destination
+    };
+    Action action = Action::kPass;
+    Service* service = nullptr;  // non-owning; set for kHijack
+  };
+  [[nodiscard]] virtual TcpVerdict on_tcp_syn(util::Ipv4 dst, std::uint16_t port,
+                                              const util::Date& date) const {
+    (void)dst;
+    (void)port;
+    (void)date;
+    return {};
+  }
+
+  /// Decision for an outbound UDP datagram.
+  struct UdpVerdict {
+    enum class Action {
+      kPass,
+      kDrop,
+      kSpoof,  // inject a forged response without contacting the destination
+    };
+    Action action = Action::kPass;
+    std::vector<std::uint8_t> spoofed_response;  // for kSpoof
+  };
+  [[nodiscard]] virtual UdpVerdict on_udp(util::Ipv4 dst, std::uint16_t port,
+                                          std::span<const std::uint8_t> payload,
+                                          const util::Date& date) const {
+    (void)dst;
+    (void)port;
+    (void)payload;
+    (void)date;
+    return {};
+  }
+
+  /// If non-null for (dst, port), this box terminates TLS there, presents a
+  /// resigned chain, and proxies the plaintext onward to the origin.
+  [[nodiscard]] virtual const tls::TlsInterceptor* tls_interceptor(
+      util::Ipv4 dst, std::uint16_t port) const {
+    (void)dst;
+    (void)port;
+    return nullptr;
+  }
+};
+
+}  // namespace encdns::net

@@ -1,0 +1,251 @@
+#include "net/network.hpp"
+
+#include <limits>
+
+namespace encdns::net {
+namespace {
+
+class BackgroundHostService final : public Service {
+ public:
+  [[nodiscard]] std::string label() const override { return "background-host"; }
+  [[nodiscard]] bool accepts(std::uint16_t, Transport) const override { return true; }
+  [[nodiscard]] WireReply handle(const WireRequest&) override {
+    return WireReply::none();
+  }
+};
+
+}  // namespace
+
+Service& background_host_service() {
+  static BackgroundHostService instance;
+  return instance;
+}
+
+void Network::bind(Binding binding) {
+  bindings_[binding.addr].push_back(std::move(binding));
+}
+
+std::size_t Network::binding_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [addr, list] : bindings_) n += list.size();
+  return n;
+}
+
+const Pop* Network::route(util::Ipv4 addr, const Location& from,
+                          const util::Date& date) const {
+  const auto it = bindings_.find(addr);
+  if (it == bindings_.end()) return nullptr;
+  const Pop* best = nullptr;
+  double best_km = std::numeric_limits<double>::max();
+  for (const auto& binding : it->second) {
+    if (!date.in_window(binding.active_from, binding.active_to)) continue;
+    for (const auto& pop : binding.pops) {
+      const double km = great_circle_km(from.geo, pop.location.geo);
+      if (km < best_km) {
+        best_km = km;
+        best = &pop;
+      }
+    }
+  }
+  return best;
+}
+
+sim::Millis Network::sample_rtt(const ClientContext& client, const GeoPoint& remote,
+                                sim::Millis extra, util::Rng& rng) {
+  const sim::Millis base =
+      propagation_rtt(client.location.geo, remote) + client.link.last_mile + extra;
+  return base * rng.lognormal(1.0, client.link.jitter_sigma);
+}
+
+Network::ProbeResult Network::probe_tcp(const ClientContext& client, util::Rng& rng,
+                                        util::Ipv4 dst, std::uint16_t port,
+                                        const util::Date& date,
+                                        sim::Millis timeout) const {
+  ProbeResult result;
+  for (const auto* box : client.path) {
+    const auto verdict = box->on_tcp_syn(dst, port, date);
+    using Action = Middlebox::TcpVerdict::Action;
+    switch (verdict.action) {
+      case Action::kPass:
+        break;
+      case Action::kDrop:
+        result.status = ProbeStatus::kFiltered;
+        result.latency = timeout;
+        return result;
+      case Action::kReset:
+        result.status = ProbeStatus::kClosed;
+        result.latency = sample_rtt(client, client.location.geo, sim::Millis{0}, rng);
+        return result;
+      case Action::kHijack: {
+        const bool open = verdict.service != nullptr &&
+                          verdict.service->accepts(port, Transport::kTcp);
+        result.status = open ? ProbeStatus::kOpen : ProbeStatus::kClosed;
+        result.latency = sample_rtt(client, client.location.geo, sim::Millis{1.0}, rng);
+        return result;
+      }
+    }
+  }
+  if (const Pop* pop = route(dst, client.location, date)) {
+    const bool open = pop->service->accepts(port, Transport::kTcp);
+    result.status = open ? ProbeStatus::kOpen : ProbeStatus::kClosed;
+    result.latency = sample_rtt(client, pop->location.geo, pop->extra_processing, rng);
+    return result;
+  }
+  if (background_ && background_(dst, port, date)) {
+    result.status = ProbeStatus::kOpen;
+    // Background hosts are scattered; approximate a mid-range RTT.
+    result.latency = sim::Millis{rng.uniform(20.0, 250.0)};
+    return result;
+  }
+  result.status = ProbeStatus::kClosed;
+  result.latency = sim::Millis{rng.uniform(10.0, 200.0)};
+  return result;
+}
+
+Network::UdpResult Network::udp_exchange(const ClientContext& client, util::Rng& rng,
+                                         util::Ipv4 dst, std::uint16_t port,
+                                         std::span<const std::uint8_t> payload,
+                                         const util::Date& date,
+                                         sim::Millis timeout) const {
+  UdpResult result;
+  for (const auto* box : client.path) {
+    const auto verdict = box->on_udp(dst, port, payload, date);
+    using Action = Middlebox::UdpVerdict::Action;
+    switch (verdict.action) {
+      case Action::kPass:
+        break;
+      case Action::kDrop:
+        result.status = UdpResult::Status::kTimeout;
+        result.latency = timeout;
+        return result;
+      case Action::kSpoof: {
+        result.status = UdpResult::Status::kOk;
+        result.payload = verdict.spoofed_response;
+        result.spoofed = true;
+        // Forged answers come from nearby — characteristically fast.
+        result.latency = client.link.last_mile + sim::Millis{rng.uniform(0.5, 4.0)};
+        return result;
+      }
+    }
+  }
+  const Pop* pop = route(dst, client.location, date);
+  if (pop == nullptr || !pop->service->accepts(port, Transport::kUdp)) {
+    result.status = UdpResult::Status::kTimeout;
+    result.latency = timeout;
+    return result;
+  }
+  if (rng.chance(client.link.loss_rate)) {  // request or response lost
+    result.status = UdpResult::Status::kTimeout;
+    result.latency = timeout;
+    return result;
+  }
+  WireRequest request;
+  request.transport = Transport::kUdp;
+  request.dst = dst;
+  request.port = port;
+  request.payload = payload;
+  request.date = date;
+  request.client = client.location;
+  request.pop = pop->location;
+  WireReply reply = pop->service->handle(request);
+  if (!reply.responded) {
+    result.status = UdpResult::Status::kTimeout;
+    result.latency = timeout;
+    return result;
+  }
+  const sim::Millis latency =
+      sample_rtt(client, pop->location.geo, pop->extra_processing, rng) +
+      reply.processing;
+  if (latency > timeout) {
+    result.status = UdpResult::Status::kTimeout;
+    result.latency = timeout;
+    return result;
+  }
+  result.status = UdpResult::Status::kOk;
+  result.payload = std::move(reply.payload);
+  result.latency = latency;
+  return result;
+}
+
+Network::ConnectResult Network::tcp_connect(const ClientContext& client, util::Rng& rng,
+                                            util::Ipv4 dst, std::uint16_t port,
+                                            const util::Date& date,
+                                            sim::Millis timeout) const {
+  ConnectResult result;
+  const tls::TlsInterceptor* interceptor = nullptr;
+  for (const auto* box : client.path) {
+    if (interceptor == nullptr) interceptor = box->tls_interceptor(dst, port);
+    const auto verdict = box->on_tcp_syn(dst, port, date);
+    using Action = Middlebox::TcpVerdict::Action;
+    switch (verdict.action) {
+      case Action::kPass:
+        break;
+      case Action::kDrop:
+        result.status = ConnectResult::Status::kTimeout;
+        result.latency = timeout;
+        return result;
+      case Action::kReset:
+        result.status = ConnectResult::Status::kReset;
+        result.latency = client.link.last_mile + sim::Millis{rng.uniform(1.0, 10.0)};
+        return result;
+      case Action::kHijack: {
+        if (verdict.service == nullptr ||
+            !verdict.service->accepts(port, Transport::kTcp)) {
+          result.status = ConnectResult::Status::kRefused;
+          result.latency = client.link.last_mile + sim::Millis{rng.uniform(0.5, 5.0)};
+          return result;
+        }
+        const sim::Millis rtt =
+            client.link.last_mile + sim::Millis{rng.uniform(0.5, 3.0)};
+        result.status = ConnectResult::Status::kConnected;
+        result.latency = rtt;
+        result.connection = TcpConnection(
+            *verdict.service, dst, port, rtt, sim::Millis{0.0},
+            client.link.loss_rate, client.location,
+            /*pop_location=*/client.location, date, interceptor,
+            /*hijacked=*/true, rng);
+        return result;
+      }
+    }
+  }
+
+  const Pop* pop = route(dst, client.location, date);
+  Service* endpoint = nullptr;
+  Location pop_location = client.location;
+  sim::Millis rtt{0.0};
+  if (pop != nullptr && pop->service->accepts(port, Transport::kTcp)) {
+    endpoint = pop->service.get();
+    pop_location = pop->location;
+    rtt = sample_rtt(client, pop->location.geo, pop->extra_processing, rng);
+  } else if (pop == nullptr && background_ && background_(dst, port, date)) {
+    endpoint = &background_host_service();
+    rtt = sim::Millis{rng.uniform(20.0, 250.0)};
+  } else {
+    result.status = ConnectResult::Status::kRefused;
+    result.latency = pop != nullptr
+                         ? sample_rtt(client, pop->location.geo, sim::Millis{0}, rng)
+                         : sim::Millis{rng.uniform(10.0, 200.0)};
+    return result;
+  }
+
+  sim::Millis connect_latency = rtt;
+  if (rng.chance(client.link.loss_rate)) {
+    connect_latency += sim::Millis{rng.uniform(200.0, 1000.0)};  // SYN retransmit
+  }
+  if (connect_latency > timeout) {
+    result.status = ConnectResult::Status::kTimeout;
+    result.latency = timeout;
+    return result;
+  }
+  result.status = ConnectResult::Status::kConnected;
+  result.latency = connect_latency;
+  const sim::Millis penalty =
+      port == 853 ? client.link.dot_port_penalty : sim::Millis{0.0};
+  result.connection =
+      TcpConnection(*endpoint, dst, port, rtt, penalty, client.link.loss_rate,
+                    client.location, pop_location, date, interceptor,
+                    /*hijacked=*/false, rng);
+  return result;
+}
+
+}  // namespace encdns::net

@@ -1,0 +1,91 @@
+// The server-side interface of the simulated internet.
+//
+// A Service is anything reachable at an address: a public resolver PoP, a
+// small DoT server, a conflicting CPE device squatting on 1.1.1.1, or a
+// background host with a stray open port. Services see application payloads
+// after transport (and conceptual TLS) framing has been stripped.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/geo.hpp"
+#include "sim/duration.hpp"
+#include "tls/certificate.hpp"
+#include "util/date.hpp"
+#include "util/ipv4.hpp"
+
+namespace encdns::net {
+
+enum class Transport { kUdp, kTcp };
+
+[[nodiscard]] constexpr const char* to_string(Transport t) noexcept {
+  return t == Transport::kUdp ? "udp" : "tcp";
+}
+
+/// One application-layer request as delivered to a Service.
+struct WireRequest {
+  Transport transport = Transport::kTcp;
+  util::Ipv4 dst;
+  std::uint16_t port = 0;
+  std::string sni;  // TLS server name (empty for clear-text or no-SNI)
+  std::span<const std::uint8_t> payload;
+  util::Date date;         // simulation date of the request
+  Location client;         // where the client appears from
+  Location pop;            // which PoP location answered (set by the network)
+};
+
+/// The service's answer to one request.
+struct WireReply {
+  bool responded = false;            // false = silently dropped / no answer
+  std::vector<std::uint8_t> payload;
+  sim::Millis processing{0.5};       // server-side time before the answer
+
+  [[nodiscard]] static WireReply none() { return WireReply{}; }
+  [[nodiscard]] static WireReply of(std::vector<std::uint8_t> bytes,
+                                    sim::Millis processing = sim::Millis{0.5}) {
+    WireReply r;
+    r.responded = true;
+    r.payload = std::move(bytes);
+    r.processing = processing;
+    return r;
+  }
+};
+
+class Service {
+ public:
+  virtual ~Service() = default;
+
+  /// Human-readable identity for reports ("Cloudflare DoT pop-ams", ...).
+  [[nodiscard]] virtual std::string label() const = 0;
+
+  /// Whether a transport-level handshake succeeds on (port, transport) —
+  /// i.e. the SYN scanner sees the port as open.
+  [[nodiscard]] virtual bool accepts(std::uint16_t port, Transport transport) const = 0;
+
+  /// Certificate chain presented when a TLS client connects to `port` with
+  /// server name `sni`. nullopt means the port does not speak TLS (handshake
+  /// failure). The date matters: rotated/expired certs differ over time.
+  [[nodiscard]] virtual std::optional<tls::CertificateChain> certificate(
+      std::uint16_t port, const std::string& sni, const util::Date& date) const {
+    (void)port;
+    (void)sni;
+    (void)date;
+    return std::nullopt;
+  }
+
+  /// Handle one request/response exchange.
+  [[nodiscard]] virtual WireReply handle(const WireRequest& request) = 0;
+
+  /// Body served for a plain-HTTP GET on `port` (the §4.2 webpage check used
+  /// to identify devices conflicting with 1.1.1.1). Empty = no webpage.
+  [[nodiscard]] virtual std::string webpage(std::uint16_t port) const {
+    (void)port;
+    return {};
+  }
+};
+
+}  // namespace encdns::net

@@ -1,0 +1,49 @@
+#include "proxy/proxy.hpp"
+
+#include <unordered_set>
+
+#include "net/geo.hpp"
+#include "world/countries.hpp"
+
+namespace encdns::proxy {
+
+ProxyNetwork::ProxyNetwork(const world::World& world, ProxyConfig config,
+                           std::uint64_t seed)
+    : world_(&world), config_(std::move(config)), rng_(util::mix64(seed ^ 0x9047ULL)) {
+  const auto* info = world::find_country(config_.measurement_client_country);
+  if (info != nullptr) client_geo_ = info->geo;
+}
+
+ProxySession ProxyNetwork::acquire() {
+  world::Vantage vantage = config_.kind == PlatformKind::kGlobal
+                               ? world_->sample_global_vantage(rng_)
+                               : world_->sample_cn_vantage(rng_);
+  // Tunnel RTT: measurement client -> super proxy -> exit node. The super
+  // proxy hop is folded into a fixed platform overhead.
+  const sim::Millis tunnel =
+      net::propagation_rtt(client_geo_, vantage.context.location.geo) +
+      vantage.context.link.last_mile + sim::Millis{rng_.uniform(4.0, 18.0)};
+  const sim::Millis lifetime{
+      rng_.lognormal(config_.median_lifetime.value, config_.lifetime_sigma)};
+  return ProxySession(std::move(vantage), tunnel, lifetime, next_id_++);
+}
+
+DatasetSummary ProxyNetwork::summarize(const std::string& platform,
+                                       const std::vector<ProxySession>& sessions) {
+  DatasetSummary summary;
+  summary.platform = platform;
+  std::unordered_set<std::uint32_t> ips;
+  std::unordered_set<std::string> countries;
+  std::unordered_set<std::uint32_t> ases;
+  for (const auto& session : sessions) {
+    ips.insert(session.vantage().address.value());
+    countries.insert(session.vantage().country);
+    ases.insert(session.vantage().asn);
+  }
+  summary.distinct_ips = ips.size();
+  summary.countries = countries.size();
+  summary.ases = ases.size();
+  return summary;
+}
+
+}  // namespace encdns::proxy

@@ -1,0 +1,30 @@
+#include "resolver/backend.hpp"
+
+#include "dns/query.hpp"
+
+namespace encdns::resolver {
+
+DnsBackend::Result FixedAnswerBackend::resolve(const dns::Message& query,
+                                               const net::Location& pop,
+                                               const util::Date& date,
+                                               util::Rng& rng) {
+  (void)pop;
+  (void)date;
+  Result result;
+  result.response = dns::make_a_response(query, {answer_});
+  result.processing = sim::Millis{rng.uniform(0.2, 1.0)};
+  return result;
+}
+
+DnsBackend::Result ServfailBackend::resolve(const dns::Message& query,
+                                            const net::Location& pop,
+                                            const util::Date& date, util::Rng& rng) {
+  (void)pop;
+  (void)date;
+  Result result;
+  result.response = dns::make_response(query, dns::RCode::kServFail);
+  result.processing = sim::Millis{rng.uniform(0.2, 1.0)};
+  return result;
+}
+
+}  // namespace encdns::resolver

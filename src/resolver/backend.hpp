@@ -1,0 +1,58 @@
+// Resolution backends: the logic behind a resolver service, independent of
+// which transport (Do53/DoT/DoH) the query arrived over.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "dns/message.hpp"
+#include "net/geo.hpp"
+#include "sim/duration.hpp"
+#include "util/date.hpp"
+#include "util/ipv4.hpp"
+#include "util/rng.hpp"
+
+namespace encdns::resolver {
+
+class DnsBackend {
+ public:
+  virtual ~DnsBackend() = default;
+
+  struct Result {
+    dns::Message response;
+    sim::Millis processing{0.5};  // server-side time spent producing it
+  };
+
+  /// Produce the response for `query`, as served from a PoP at `pop`.
+  [[nodiscard]] virtual Result resolve(const dns::Message& query,
+                                       const net::Location& pop,
+                                       const util::Date& date, util::Rng& rng) = 0;
+
+  [[nodiscard]] virtual std::string label() const = 0;
+};
+
+/// Answers every A query with one fixed address — the behaviour the paper
+/// observed from dnsfilter.com resolvers toward non-subscribers (§3.2).
+class FixedAnswerBackend final : public DnsBackend {
+ public:
+  explicit FixedAnswerBackend(util::Ipv4 answer, std::string label = "fixed-answer")
+      : answer_(answer), label_(std::move(label)) {}
+
+  [[nodiscard]] Result resolve(const dns::Message& query, const net::Location& pop,
+                               const util::Date& date, util::Rng& rng) override;
+  [[nodiscard]] std::string label() const override { return label_; }
+
+ private:
+  util::Ipv4 answer_;
+  std::string label_;
+};
+
+/// Always SERVFAILs — for deliberately broken deployments in tests.
+class ServfailBackend final : public DnsBackend {
+ public:
+  [[nodiscard]] Result resolve(const dns::Message& query, const net::Location& pop,
+                               const util::Date& date, util::Rng& rng) override;
+  [[nodiscard]] std::string label() const override { return "servfail"; }
+};
+
+}  // namespace encdns::resolver

@@ -1,0 +1,45 @@
+#include "resolver/recursive.hpp"
+
+#include "dns/query.hpp"
+
+namespace encdns::resolver {
+
+DnsBackend::Result RecursiveBackend::resolve(const dns::Message& query,
+                                             const net::Location& pop,
+                                             const util::Date& date, util::Rng& rng) {
+  Result result;
+  if (query.questions.empty()) {
+    result.response = dns::make_response(query, dns::RCode::kFormErr);
+    result.processing = sim::Millis{0.1};
+    return result;
+  }
+  const auto& q = query.questions.front();
+  const std::string key =
+      q.name.canonical() + "/" + std::to_string(static_cast<int>(q.type));
+  const std::int64_t day = date.to_days();
+
+  if (config_.enable_cache) {
+    const auto it = cache_.find(key);
+    if (it != cache_.end() && it->second.day == day) {
+      ++hits_;
+      result.response = dns::make_response(query, it->second.answer.rcode);
+      result.response.answers = it->second.answer.answers;
+      result.processing = sim::Millis{rng.uniform(config_.hit_min_ms, config_.hit_max_ms)};
+      return result;
+    }
+  }
+
+  ++misses_;
+  const auto upstream = universe_->query(q.name, q.type, pop, date, rng);
+  result.response = dns::make_response(query, upstream.answer.rcode);
+  result.response.answers = upstream.answer.answers;
+  result.processing = upstream.latency + sim::Millis{rng.uniform(0.2, 1.0)};
+
+  if (config_.enable_cache) {
+    if (cache_.size() >= config_.max_cache_entries) cache_.clear();
+    cache_[key] = CacheEntry{day, upstream.answer};
+  }
+  return result;
+}
+
+}  // namespace encdns::resolver

@@ -1,0 +1,54 @@
+// A caching recursive resolver backend over the authoritative universe.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "resolver/backend.hpp"
+#include "resolver/universe.hpp"
+
+namespace encdns::resolver {
+
+struct RecursiveConfig {
+  /// Cache entries are valid within one simulated day (coarse TTL model; the
+  /// study's probe names are uniquely prefixed precisely to defeat caching).
+  bool enable_cache = true;
+  /// Entry cap; the map is cleared when exceeded (rotation, not LRU — the
+  /// measurement workloads use unique names so precision doesn't matter).
+  std::size_t max_cache_entries = 200000;
+  /// Processing time for a cache hit.
+  double hit_min_ms = 0.1;
+  double hit_max_ms = 0.8;
+};
+
+class RecursiveBackend final : public DnsBackend {
+ public:
+  RecursiveBackend(const AuthoritativeUniverse& universe, std::string label,
+                   RecursiveConfig config = {})
+      : universe_(&universe), label_(std::move(label)), config_(config) {}
+
+  [[nodiscard]] Result resolve(const dns::Message& query, const net::Location& pop,
+                               const util::Date& date, util::Rng& rng) override;
+
+  [[nodiscard]] std::string label() const override { return label_; }
+
+  [[nodiscard]] std::size_t cache_size() const noexcept { return cache_.size(); }
+  [[nodiscard]] std::uint64_t cache_hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t cache_misses() const noexcept { return misses_; }
+
+ private:
+  const AuthoritativeUniverse* universe_;
+  std::string label_;
+  RecursiveConfig config_;
+
+  struct CacheEntry {
+    std::int64_t day = 0;  // valid on this day only
+    Answer answer;
+  };
+  std::unordered_map<std::string, CacheEntry> cache_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace encdns::resolver

@@ -1,0 +1,189 @@
+#include "resolver/services.hpp"
+
+#include <algorithm>
+
+#include "dns/edns.hpp"
+#include "dns/query.hpp"
+#include "dns/types.hpp"
+#include "dns/wire.hpp"
+#include "http/message.hpp"
+#include "http/url.hpp"
+#include "util/base64.hpp"
+#include "util/rng.hpp"
+
+namespace encdns::resolver {
+namespace {
+
+std::vector<std::uint8_t> to_bytes(const std::string& text) {
+  return std::vector<std::uint8_t>(text.begin(), text.end());
+}
+
+}  // namespace
+
+ResolverService::ResolverService(ResolverServiceConfig config)
+    : config_(std::move(config)),
+      rng_(util::fnv1a(config_.label) ^ 0x5E2C1CEULL) {}
+
+bool ResolverService::accepts(std::uint16_t port, net::Transport transport) const {
+  switch (port) {
+    case dns::kDnsPort:
+      return transport == net::Transport::kUdp ? config_.serve_do53_udp
+                                               : config_.serve_do53_tcp;
+    case dns::kDotPort:
+      return transport == net::Transport::kTcp && config_.serve_dot;
+    case dns::kDohPort:
+      return transport == net::Transport::kTcp && config_.serve_doh;
+    default:
+      return transport == net::Transport::kTcp &&
+             std::find(config_.extra_tcp_ports.begin(), config_.extra_tcp_ports.end(),
+                       port) != config_.extra_tcp_ports.end();
+  }
+}
+
+std::optional<tls::CertificateChain> ResolverService::certificate(
+    std::uint16_t port, const std::string& sni, const util::Date& date) const {
+  (void)sni;
+  (void)date;
+  if (port == dns::kDotPort && config_.serve_dot) return config_.dot_certificate;
+  if (port == dns::kDohPort && config_.serve_doh) return config_.doh_certificate;
+  return std::nullopt;
+}
+
+std::string ResolverService::webpage(std::uint16_t port) const {
+  return port == 80 ? config_.webpage_body : std::string{};
+}
+
+net::WireReply ResolverService::handle(const net::WireRequest& request) {
+  switch (request.port) {
+    case dns::kDnsPort:
+      return handle_do53(request, request.transport == net::Transport::kTcp);
+    case dns::kDotPort:
+      return handle_do53(request, /*stream_framed=*/true);
+    case dns::kDohPort:
+      return handle_doh(request);
+    case 80: {
+      // Plain HTTP: answer any GET with the configured webpage body.
+      auto response = http::Response::make(200, "OK", "text/html",
+                                           to_bytes(config_.webpage_body));
+      return net::WireReply::of(response.serialize(), sim::Millis{0.3});
+    }
+    default:
+      return net::WireReply::none();
+  }
+}
+
+net::WireReply ResolverService::handle_do53(const net::WireRequest& request,
+                                            bool stream_framed) {
+  if (config_.backend == nullptr) return net::WireReply::none();
+
+  std::vector<std::uint8_t> raw(request.payload.begin(), request.payload.end());
+  if (stream_framed) {
+    auto unframed = dns::unframe_stream(raw);
+    if (!unframed) return net::WireReply::none();
+    raw = std::move(*unframed);
+  }
+  const auto query = dns::Message::decode(raw);
+  if (!query) return net::WireReply::none();
+
+  auto result = config_.backend->resolve(*query, request.pop, request.date, rng_);
+  if (request.port == dns::kDotPort) {
+    // TLS record processing and session bookkeeping on the server side —
+    // the few-millisecond penalty §4.3 attributes to encrypted transports.
+    result.processing += sim::Millis{rng_.uniform(1.0, 6.0)};
+  }
+  auto wire = result.response.encode();
+  if (request.transport == net::Transport::kUdp) {
+    // RFC 1035 §4.2.1 / RFC 6891: a UDP response must fit the client's
+    // advertised payload size (512 without EDNS). Otherwise answer with an
+    // empty, TC-flagged response so the client retries over TCP.
+    std::size_t limit = dns::kClassicUdpLimit;
+    if (const auto edns = dns::get_edns(*query))
+      limit = std::max<std::size_t>(dns::kClassicUdpLimit, edns->udp_payload_size);
+    if (wire.size() > limit) {
+      dns::Message truncated = dns::make_response(*query, result.response.header.rcode);
+      truncated.header.tc = true;
+      wire = truncated.encode();
+    }
+  }
+  if (stream_framed) wire = dns::frame_stream(wire);
+  return net::WireReply::of(std::move(wire), result.processing);
+}
+
+net::WireReply ResolverService::handle_doh(const net::WireRequest& request) {
+  if (config_.backend == nullptr) return net::WireReply::none();
+
+  const auto http_request = http::Request::parse(request.payload);
+  if (!http_request) {
+    auto bad = http::Response::make(400, "Bad Request", "text/plain",
+                                    to_bytes("malformed request"));
+    return net::WireReply::of(bad.serialize(), sim::Millis{0.2});
+  }
+  if (http_request->path() != config_.doh.path) {
+    auto missing = http::Response::make(404, "Not Found", "text/plain",
+                                        to_bytes("no such endpoint"));
+    return net::WireReply::of(missing.serialize(), sim::Millis{0.2});
+  }
+
+  std::vector<std::uint8_t> dns_wire;
+  if (http_request->method == http::Method::kGet) {
+    if (!config_.doh.support_get) {
+      auto err = http::Response::make(405, "Method Not Allowed", "text/plain", {});
+      return net::WireReply::of(err.serialize(), sim::Millis{0.2});
+    }
+    const auto param = http::query_param(http_request->query(), "dns");
+    if (!param) {
+      auto err = http::Response::make(400, "Bad Request", "text/plain",
+                                      to_bytes("missing dns parameter"));
+      return net::WireReply::of(err.serialize(), sim::Millis{0.2});
+    }
+    auto decoded = util::base64url_decode(*param);
+    if (!decoded) {
+      auto err = http::Response::make(400, "Bad Request", "text/plain",
+                                      to_bytes("bad base64url"));
+      return net::WireReply::of(err.serialize(), sim::Millis{0.2});
+    }
+    dns_wire = std::move(*decoded);
+  } else {
+    if (!config_.doh.support_post) {
+      auto err = http::Response::make(405, "Method Not Allowed", "text/plain", {});
+      return net::WireReply::of(err.serialize(), sim::Millis{0.2});
+    }
+    const auto content_type = http_request->headers.get("Content-Type");
+    if (!content_type || *content_type != http::kDnsMessageType) {
+      auto err = http::Response::make(415, "Unsupported Media Type", "text/plain", {});
+      return net::WireReply::of(err.serialize(), sim::Millis{0.2});
+    }
+    dns_wire = http_request->body;
+  }
+
+  const auto query = dns::Message::decode(dns_wire);
+  if (!query) {
+    auto err = http::Response::make(400, "Bad Request", "text/plain",
+                                    to_bytes("malformed dns message"));
+    return net::WireReply::of(err.serialize(), sim::Millis{0.2});
+  }
+
+  auto result = config_.backend->resolve(*query, request.pop, request.date, rng_);
+  // HTTP framing plus TLS record processing on the server side.
+  result.processing += sim::Millis{rng_.uniform(1.5, 7.0)};
+
+  if (config_.doh.forward_to_do53 && rng_.chance(config_.doh.forward_loss_rate)) {
+    // The internal forward was lost; the retry fires after forward_retry.
+    result.processing += config_.doh.forward_retry;
+  }
+  if (config_.doh.forward_to_do53 &&
+      result.processing > config_.doh.forward_timeout) {
+    // The internal Do53 hop did not answer within the frontend's timeout:
+    // the client sees a prompt SERVFAIL rather than a slow answer.
+    auto servfail = dns::make_response(*query, dns::RCode::kServFail);
+    auto response = http::Response::make(200, "OK", http::kDnsMessageType,
+                                         servfail.encode());
+    return net::WireReply::of(response.serialize(), config_.doh.forward_timeout);
+  }
+
+  auto response = http::Response::make(200, "OK", http::kDnsMessageType,
+                                       result.response.encode());
+  return net::WireReply::of(response.serialize(), result.processing);
+}
+
+}  // namespace encdns::resolver

@@ -1,0 +1,87 @@
+// The server side of Do53 / DoT / DoH, as one configurable net::Service.
+//
+// A provider PoP typically serves several transports from one address
+// (Cloudflare answers 53, 443 and 853 on 1.1.1.1); ResolverService models
+// that: it decodes genuine wire-format queries (length-framed on stream
+// transports, HTTP-framed for DoH), hands them to a DnsBackend, and encodes
+// real responses.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/service.hpp"
+#include "resolver/backend.hpp"
+#include "tls/certificate.hpp"
+
+namespace encdns::resolver {
+
+/// DoH frontend behaviour.
+struct DohConfig {
+  std::string path = "/dns-query";
+  bool support_get = true;
+  bool support_post = true;
+  /// When set, the DoH frontend does not recurse itself: it forwards the
+  /// query to the provider's own Do53 service and waits at most
+  /// `forward_timeout` — the Quad9 misconfiguration of Finding 2.4. Slow
+  /// recursions then surface as SERVFAIL instead of a late answer.
+  bool forward_to_do53 = false;
+  sim::Millis forward_timeout{2000.0};
+  /// The internal frontend->Do53 hop crosses a busy network: a lost forward
+  /// is retried after `forward_retry`. Combined with the timeout above, a
+  /// retried forward only survives when the recursion leg is short — which
+  /// is why the SERVFAIL rate is geographic (high from PoPs far from the
+  /// queried zone's nameservers, near zero from close ones).
+  double forward_loss_rate = 0.0;
+  sim::Millis forward_retry{1800.0};
+};
+
+struct ResolverServiceConfig {
+  std::string label = "resolver";
+  std::shared_ptr<DnsBackend> backend;
+
+  bool serve_do53_udp = true;
+  bool serve_do53_tcp = true;
+  bool serve_dot = false;
+  bool serve_doh = false;
+
+  /// Certificates presented on 853 / 443. A DoT port without a certificate
+  /// accepts TCP but fails TLS (seen in the wild as handshake errors).
+  std::optional<tls::CertificateChain> dot_certificate;
+  std::optional<tls::CertificateChain> doh_certificate;
+
+  DohConfig doh;
+
+  /// Additional TCP ports that accept connections (e.g. 80 for the webpage).
+  std::vector<std::uint16_t> extra_tcp_ports;
+  /// Body served for webpage fetches on port 80.
+  std::string webpage_body;
+};
+
+class ResolverService final : public net::Service {
+ public:
+  explicit ResolverService(ResolverServiceConfig config);
+
+  [[nodiscard]] std::string label() const override { return config_.label; }
+  [[nodiscard]] bool accepts(std::uint16_t port, net::Transport transport) const override;
+  [[nodiscard]] std::optional<tls::CertificateChain> certificate(
+      std::uint16_t port, const std::string& sni,
+      const util::Date& date) const override;
+  [[nodiscard]] net::WireReply handle(const net::WireRequest& request) override;
+  [[nodiscard]] std::string webpage(std::uint16_t port) const override;
+
+  [[nodiscard]] DnsBackend& backend() noexcept { return *config_.backend; }
+  [[nodiscard]] const ResolverServiceConfig& config() const noexcept { return config_; }
+
+ private:
+  ResolverServiceConfig config_;
+  util::Rng rng_;  // server-side processing-time sampling
+
+  [[nodiscard]] net::WireReply handle_do53(const net::WireRequest& request,
+                                           bool stream_framed);
+  [[nodiscard]] net::WireReply handle_doh(const net::WireRequest& request);
+};
+
+}  // namespace encdns::resolver

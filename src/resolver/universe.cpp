@@ -1,0 +1,71 @@
+#include "resolver/universe.hpp"
+
+#include "util/rng.hpp"
+
+namespace encdns::resolver {
+
+Answer Answer::a_record(const dns::Name& name, util::Ipv4 addr, std::uint32_t ttl) {
+  Answer a;
+  a.answers.push_back(dns::ResourceRecord::a(name, addr, ttl));
+  return a;
+}
+
+void AuthoritativeUniverse::add_zone(Zone zone) { zones_.push_back(std::move(zone)); }
+
+const Zone* AuthoritativeUniverse::find_zone(const dns::Name& qname) const {
+  const Zone* best = nullptr;
+  std::size_t best_labels = 0;
+  for (const auto& zone : zones_) {
+    if (!qname.is_subdomain_of(zone.apex)) continue;
+    if (best == nullptr || zone.apex.label_count() > best_labels) {
+      best = &zone;
+      best_labels = zone.apex.label_count();
+    }
+  }
+  return best;
+}
+
+AuthoritativeUniverse::Upstream AuthoritativeUniverse::query(
+    const dns::Name& qname, dns::RrType type, const net::Location& from,
+    const util::Date& date, util::Rng& rng) const {
+  Upstream up;
+  const Zone* zone = find_zone(qname);
+
+  net::GeoPoint ns_geo;
+  sim::Millis extra{0.0};
+  double extra_tail = 0.0;
+  if (zone != nullptr) {
+    up.answer = zone->answer_fn(qname, type, date);
+    ns_geo = zone->ns_location.geo;
+    extra = zone->extra_latency;
+    extra_tail = zone->extra_tail_probability;
+  } else if (synthesize_unknown_) {
+    // Deterministic pseudo-content: the same name always maps to the same
+    // address, so repeated background lookups are cache-coherent.
+    const std::uint64_t h = util::fnv1a(qname.canonical());
+    if (type == dns::RrType::kA) {
+      up.answer = Answer::a_record(
+          qname, util::Ipv4{static_cast<std::uint32_t>(0x0B000000u | (h & 0x00FFFFFF))});
+    }
+    // Synthesized nameservers are scattered: derive a stable location.
+    ns_geo.lat = static_cast<double>((h >> 24) % 120) - 60.0;
+    ns_geo.lon = static_cast<double>((h >> 32) % 360) - 180.0;
+  } else {
+    up.answer = Answer::nxdomain();
+    ns_geo = from.geo;  // negative answer synthesized nearby (root/TLD cache)
+  }
+
+  const sim::Millis ns_rtt = net::propagation_rtt(from.geo, ns_geo) + sim::Millis{2.0};
+  const double round_trips =
+      rng.uniform(latency_.min_round_trips, latency_.max_round_trips);
+  sim::Millis latency =
+      (ns_rtt * round_trips) * rng.lognormal(1.0, latency_.jitter_sigma) + extra;
+  if (rng.chance(latency_.tail_probability + extra_tail)) {
+    latency += ns_rtt * rng.uniform(latency_.tail_rtt_multiplier_min,
+                                    latency_.tail_rtt_multiplier_max);
+  }
+  up.latency = latency;
+  return up;
+}
+
+}  // namespace encdns::resolver

@@ -1,0 +1,78 @@
+#include "scan/doh_prober.hpp"
+
+#include <unordered_set>
+
+#include "http/url.hpp"
+#include "util/strings.hpp"
+
+namespace encdns::scan {
+
+const std::vector<std::string>& known_doh_paths() {
+  static const std::vector<std::string> paths = {"/dns-query", "/resolve", "/doh"};
+  return paths;
+}
+
+DohDiscovery DohProber::discover(const std::vector<std::string>& urls,
+                                 const util::Date& date) {
+  DohDiscovery discovery;
+  discovery.urls_in_dataset = urls.size();
+
+  std::unordered_set<std::string> seen_candidates;  // host+path dedup for probing
+  for (const auto& raw : urls) {
+    const auto url = http::Url::parse(raw);
+    if (!url) continue;
+    bool matches = false;
+    for (const auto& prefix : known_doh_paths()) {
+      if (util::istarts_with(url->path, prefix)) {
+        matches = true;
+        break;
+      }
+    }
+    if (!matches) continue;
+    ++discovery.path_candidates;
+
+    DohCandidate candidate;
+    candidate.url = raw;
+    candidate.host = url->host;
+    candidate.path = url->path;
+
+    // Probe: treat the URL as a URI template and issue a real DoH GET with a
+    // uniquely prefixed name. HTTPS only — DoH requires TLS.
+    if (url->scheme == "https") {
+      const auto tmpl =
+          http::UriTemplate::parse("https://" + url->host + url->path + "{?dns}");
+      if (tmpl) {
+        client::DohClient::Options options;
+        options.bootstrap_resolver = world_->bootstrap_resolver(origin_.country);
+        options.timeout = sim::Millis{10000.0};
+        options.reuse_connection = false;
+        const dns::Name qname = world_->unique_probe_name(rng_);
+        auto outcome = client_.query(*tmpl, qname, dns::RrType::kA, date, options);
+        candidate.http_status = outcome.http_status;
+        if (outcome.answered() && outcome.response->first_a() &&
+            *outcome.response->first_a() == world_->probe_answer()) {
+          candidate.probe_ok = true;
+          candidate.cert_valid =
+              outcome.cert_status && *outcome.cert_status == tls::CertStatus::kValid;
+        }
+      }
+    }
+    if (candidate.probe_ok) ++discovery.valid_urls;
+    discovery.candidates.push_back(candidate);
+
+    if (candidate.probe_ok) {
+      const std::string key = candidate.host + candidate.path;
+      if (seen_candidates.insert(key).second) {
+        DiscoveredDoh found;
+        found.uri_template = "https://" + candidate.host + candidate.path + "{?dns}";
+        found.host = candidate.host;
+        found.path = candidate.path;
+        found.cert_valid = candidate.cert_valid;
+        discovery.resolvers.push_back(std::move(found));
+      }
+    }
+  }
+  return discovery;
+}
+
+}  // namespace encdns::scan

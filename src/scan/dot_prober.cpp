@@ -1,0 +1,50 @@
+#include "scan/dot_prober.hpp"
+
+#include "dns/name.hpp"
+
+namespace encdns::scan {
+
+std::string provider_key(const std::string& cert_cn) {
+  if (cert_cn.find('.') == std::string::npos) return cert_cn;
+  const auto name = dns::Name::parse(cert_cn);
+  if (!name) return cert_cn;
+  return name->sld().to_string();
+}
+
+DotProbeResult DotProber::probe(util::Ipv4 address, const util::Date& date) {
+  DotProbeResult result;
+  result.address = address;
+
+  client::DotClient::Options options;
+  options.profile = client::PrivacyProfile::kOpportunistic;
+  options.reuse_connection = false;  // every probe is a fresh host
+  options.timeout = sim::Millis{10000.0};
+
+  const dns::Name qname = world_->unique_probe_name(rng_);
+  auto outcome = client_.query(address, qname, dns::RrType::kA, date, options);
+  result.latency = outcome.latency;
+
+  switch (outcome.status) {
+    case client::QueryStatus::kConnectFailed:
+    case client::QueryStatus::kConnectionReset:
+    case client::QueryStatus::kTimeout:
+      return result;  // port closed / filtered
+    default:
+      break;
+  }
+  result.port_open = true;
+  if (outcome.status == client::QueryStatus::kTlsFailed) return result;
+  if (outcome.cert_status) {
+    result.tls_ok = true;
+    result.cert_status = *outcome.cert_status;
+    result.chain = outcome.presented_chain;
+  }
+  if (outcome.status != client::QueryStatus::kOk || !outcome.response) return result;
+  result.dot_ok = true;
+  result.answer = outcome.response->first_a();
+  result.answer_correct =
+      result.answer.has_value() && *result.answer == world_->probe_answer();
+  return result;
+}
+
+}  // namespace encdns::scan

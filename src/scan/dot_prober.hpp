@@ -1,0 +1,50 @@
+// Application-layer DoT probing (the study's getdns step): connect to
+// TCP/853, complete a TLS handshake, collect the certificate chain, send a
+// uniquely prefixed query for the study's own domain, and validate the
+// answer against the authoritative ground truth.
+#pragma once
+
+#include <optional>
+
+#include "client/dot.hpp"
+#include "tls/verify.hpp"
+#include "world/world.hpp"
+
+namespace encdns::scan {
+
+struct DotProbeResult {
+  util::Ipv4 address;
+  bool port_open = false;
+  bool tls_ok = false;
+  bool dot_ok = false;  // returned a well-formed DNS answer over DoT
+  tls::CertificateChain chain;
+  tls::CertStatus cert_status = tls::CertStatus::kEmptyChain;  // path-only
+  std::optional<util::Ipv4> answer;
+  bool answer_correct = false;  // matches the probe zone's ground truth
+  sim::Millis latency{0.0};
+};
+
+class DotProber {
+ public:
+  DotProber(const world::World& world, world::Vantage origin, std::uint64_t seed)
+      : world_(&world),
+        origin_(std::move(origin)),
+        client_(world.network(), origin_.context, seed),
+        rng_(util::mix64(seed ^ 0xD07ULL)) {}
+
+  /// Probe one address on the standard DoT port.
+  [[nodiscard]] DotProbeResult probe(util::Ipv4 address, const util::Date& date);
+
+ private:
+  const world::World* world_;
+  world::Vantage origin_;
+  client::DotClient client_;
+  util::Rng rng_;
+};
+
+/// The provider-grouping key used in §3.2: the certificate CN's registrable
+/// SLD when the CN is a domain name, the raw CN otherwise (so all FortiGate
+/// factory certificates group into one provider).
+[[nodiscard]] std::string provider_key(const std::string& cert_cn);
+
+}  // namespace encdns::scan

@@ -1,0 +1,54 @@
+// ZMap's address-ordering trick (Durumeric et al., USENIX Security 2013):
+// iterate the multiplicative group of integers modulo a prime p > n using a
+// primitive root g, so every index in [0, n) is visited exactly once in an
+// order that looks random — spreading probe load across networks without
+// keeping per-address state.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace encdns::scan {
+
+/// Deterministic Miller-Rabin for 64-bit integers.
+[[nodiscard]] bool is_prime(std::uint64_t n) noexcept;
+
+/// Smallest prime >= n.
+[[nodiscard]] std::uint64_t next_prime(std::uint64_t n) noexcept;
+
+/// Distinct prime factors (trial division; intended for p-1 of scan-sized p).
+[[nodiscard]] std::vector<std::uint64_t> prime_factors(std::uint64_t n);
+
+/// (base^exp) mod m without overflow.
+[[nodiscard]] std::uint64_t pow_mod(std::uint64_t base, std::uint64_t exp,
+                                    std::uint64_t mod) noexcept;
+
+/// A full-cycle permutation of [0, n).
+class CyclicPermutation {
+ public:
+  /// `seed` selects the generator and the starting point.
+  CyclicPermutation(std::uint64_t n, std::uint64_t seed);
+
+  /// The next index, or nullopt when the cycle has completed. Every value in
+  /// [0, n) is produced exactly once.
+  [[nodiscard]] std::optional<std::uint64_t> next();
+
+  /// Restart the cycle from the beginning.
+  void reset() noexcept;
+
+  [[nodiscard]] std::uint64_t size() const noexcept { return n_; }
+  [[nodiscard]] std::uint64_t prime() const noexcept { return p_; }
+  [[nodiscard]] std::uint64_t generator() const noexcept { return g_; }
+
+ private:
+  std::uint64_t n_;
+  std::uint64_t p_;      // prime > n
+  std::uint64_t g_;      // primitive root mod p
+  std::uint64_t start_;  // first group element
+  std::uint64_t current_;
+  bool exhausted_ = false;
+  bool started_ = false;
+};
+
+}  // namespace encdns::scan

@@ -1,0 +1,105 @@
+#include "scan/scanner.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "scan/permutation.hpp"
+#include "util/stats.hpp"
+
+namespace encdns::scan {
+
+std::vector<std::string> ScanSnapshot::providers() const {
+  std::unordered_set<std::string> set;
+  for (const auto& r : resolvers) set.insert(r.provider);
+  std::vector<std::string> out(set.begin(), set.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> ScanSnapshot::by_country() const {
+  util::Counter counter;
+  for (const auto& r : resolvers) counter.add(r.country);
+  return counter.sorted_desc();
+}
+
+std::vector<std::string> ScanSnapshot::invalid_cert_providers() const {
+  std::unordered_set<std::string> set;
+  for (const auto& r : resolvers)
+    if (tls::is_invalid(r.cert_status)) set.insert(r.provider);
+  std::vector<std::string> out(set.begin(), set.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Scanner::Scanner(const world::World& world, CampaignConfig config)
+    : world_(&world),
+      config_(std::move(config)),
+      space_(world.scan_prefixes()) {
+  for (const auto& country : config_.origin_countries)
+    origins_.push_back(world_->make_clean_vantage(country));
+  // Geolocation oracle: stands in for the commercial IP-geolocation database
+  // the paper uses to attribute resolver addresses to countries.
+  for (const auto& d : world_->deployments().dot)
+    geo_oracle_[d.address.value()] = d.country;
+}
+
+ScanSnapshot Scanner::scan_once(const util::Date& date) {
+  ScanSnapshot snapshot;
+  snapshot.date = date;
+  util::Rng rng(util::mix64(config_.seed ^ (0xAB5C15ULL + scan_serial_)));
+
+  // Phase 1: ZMap sweep of TCP/853 over the whole space in permutation order.
+  CyclicPermutation permutation(space_.size(),
+                                config_.seed * 1315423911ULL + scan_serial_);
+  std::vector<util::Ipv4> open_hosts;
+  std::size_t origin_rotor = 0;
+  while (const auto index = permutation.next()) {
+    const util::Ipv4 addr = space_.at(*index);
+    ++snapshot.addresses_probed;
+    auto& origin = origins_[origin_rotor++ % origins_.size()];
+    const auto probe = world_->network().probe_tcp(origin.context, rng, addr,
+                                                   dns::kDotPort, date);
+    if (probe.status == net::Network::ProbeStatus::kOpen) {
+      ++snapshot.port_open;
+      open_hosts.push_back(addr);
+    }
+  }
+
+  // Phase 2: application-layer DoT probing of every open host.
+  DotProber prober(*world_, origins_[scan_serial_ % origins_.size()],
+                   config_.seed ^ (scan_serial_ * 0x9E3779B97F4A7C15ULL));
+  for (const auto addr : open_hosts) {
+    const auto result = prober.probe(addr, date);
+    if (result.tls_ok) ++snapshot.tls_responsive;
+    if (!result.dot_ok) continue;
+    DiscoveredResolver resolver;
+    resolver.address = addr;
+    resolver.cert_cn = result.chain.leaf_cn();
+    resolver.provider = provider_key(resolver.cert_cn);
+    resolver.cert_status = result.cert_status;
+    resolver.answer_correct = result.answer_correct;
+    resolver.probe_latency = result.latency;
+    const auto it = geo_oracle_.find(addr.value());
+    resolver.country = it == geo_oracle_.end() ? "ZZ" : it->second;
+    snapshot.resolvers.push_back(std::move(resolver));
+  }
+  std::sort(snapshot.resolvers.begin(), snapshot.resolvers.end(),
+            [](const DiscoveredResolver& a, const DiscoveredResolver& b) {
+              return a.address < b.address;
+            });
+  ++scan_serial_;
+  return snapshot;
+}
+
+std::vector<ScanSnapshot> Scanner::run_campaign() {
+  std::vector<ScanSnapshot> snapshots;
+  snapshots.reserve(static_cast<std::size_t>(config_.scan_count));
+  for (int i = 0; i < config_.scan_count; ++i) {
+    const util::Date date = config_.start.plus_days(
+        static_cast<std::int64_t>(i) * config_.interval_days);
+    snapshots.push_back(scan_once(date));
+  }
+  return snapshots;
+}
+
+}  // namespace encdns::scan

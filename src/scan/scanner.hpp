@@ -1,0 +1,74 @@
+// The §3 longitudinal scan campaign: every 10 days from Feb 1 to May 1 2019,
+// sweep the routable space on TCP/853 in ZMap permutation order, then probe
+// every open host with a real DoT query and collect/verify certificates.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "scan/doh_prober.hpp"
+#include "scan/dot_prober.hpp"
+#include "scan/space.hpp"
+#include "world/world.hpp"
+
+namespace encdns::scan {
+
+struct DiscoveredResolver {
+  util::Ipv4 address;
+  std::string cert_cn;
+  std::string provider;  // provider_key(cert_cn)
+  tls::CertStatus cert_status = tls::CertStatus::kEmptyChain;
+  bool answer_correct = false;
+  std::string country;  // via the geolocation oracle
+  sim::Millis probe_latency{0.0};
+};
+
+struct ScanSnapshot {
+  util::Date date;
+  std::uint64_t addresses_probed = 0;
+  std::uint64_t port_open = 0;  // SYN-ACK on 853
+  std::uint64_t tls_responsive = 0;
+  std::vector<DiscoveredResolver> resolvers;
+
+  /// Distinct providers (grouping key) seen in this snapshot.
+  [[nodiscard]] std::vector<std::string> providers() const;
+
+  /// Resolver-address count per country, descending.
+  [[nodiscard]] std::vector<std::pair<std::string, double>> by_country() const;
+
+  /// Providers owning at least one resolver with an invalid certificate.
+  [[nodiscard]] std::vector<std::string> invalid_cert_providers() const;
+};
+
+struct CampaignConfig {
+  util::Date start{2019, 2, 1};
+  int scan_count = 10;
+  int interval_days = 10;
+  std::uint64_t seed = 7;
+  /// Scan origins, as in the paper: cloud machines in the US and China.
+  std::vector<std::string> origin_countries = {"US", "US", "CN"};
+};
+
+class Scanner {
+ public:
+  Scanner(const world::World& world, CampaignConfig config);
+
+  /// One full sweep + application-layer probing at `date`.
+  [[nodiscard]] ScanSnapshot scan_once(const util::Date& date);
+
+  /// The whole campaign (scan_count scans, interval_days apart).
+  [[nodiscard]] std::vector<ScanSnapshot> run_campaign();
+
+  [[nodiscard]] const ScanSpace& space() const noexcept { return space_; }
+
+ private:
+  const world::World* world_;
+  CampaignConfig config_;
+  ScanSpace space_;
+  std::vector<world::Vantage> origins_;
+  std::unordered_map<std::uint32_t, std::string> geo_oracle_;
+  std::uint64_t scan_serial_ = 0;
+};
+
+}  // namespace encdns::scan

@@ -1,0 +1,41 @@
+#include "scan/space.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace encdns::scan {
+
+ScanSpace::ScanSpace(std::vector<util::Cidr> prefixes)
+    : prefixes_(std::move(prefixes)) {
+  std::sort(prefixes_.begin(), prefixes_.end(),
+            [](const util::Cidr& a, const util::Cidr& b) {
+              return a.base() < b.base();
+            });
+  prefixes_.erase(std::unique(prefixes_.begin(), prefixes_.end()), prefixes_.end());
+  cumulative_.reserve(prefixes_.size());
+  for (const auto& prefix : prefixes_) {
+    cumulative_.push_back(total_);
+    total_ += prefix.size();
+  }
+}
+
+util::Ipv4 ScanSpace::at(std::uint64_t i) const {
+  if (i >= total_) throw std::out_of_range("ScanSpace::at");
+  // Find the prefix whose cumulative start is <= i (last such).
+  const auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), i);
+  const std::size_t block = static_cast<std::size_t>(it - cumulative_.begin()) - 1;
+  return prefixes_[block].at(i - cumulative_[block]);
+}
+
+std::optional<std::uint64_t> ScanSpace::index_of(util::Ipv4 addr) const {
+  // Prefixes are sorted and disjoint: binary search by base address.
+  const auto it = std::upper_bound(
+      prefixes_.begin(), prefixes_.end(), addr,
+      [](util::Ipv4 a, const util::Cidr& p) { return a < p.base(); });
+  if (it == prefixes_.begin()) return std::nullopt;
+  const std::size_t block = static_cast<std::size_t>(it - prefixes_.begin()) - 1;
+  if (!prefixes_[block].contains(addr)) return std::nullopt;
+  return cumulative_[block] + (addr.value() - prefixes_[block].base().value());
+}
+
+}  // namespace encdns::scan

@@ -1,0 +1,40 @@
+// The scan space: an indexable union of CIDR prefixes. ZMap-style scanners
+// iterate a permutation of [0, size) and map indices to addresses here.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/ipv4.hpp"
+
+namespace encdns::scan {
+
+class ScanSpace {
+ public:
+  explicit ScanSpace(std::vector<util::Cidr> prefixes);
+
+  /// Total number of addresses across all prefixes.
+  [[nodiscard]] std::uint64_t size() const noexcept { return total_; }
+
+  /// Address at flat index `i` (i < size()).
+  [[nodiscard]] util::Ipv4 at(std::uint64_t i) const;
+
+  /// Inverse mapping; nullopt when the address is outside the space.
+  [[nodiscard]] std::optional<std::uint64_t> index_of(util::Ipv4 addr) const;
+
+  [[nodiscard]] bool contains(util::Ipv4 addr) const {
+    return index_of(addr).has_value();
+  }
+
+  [[nodiscard]] const std::vector<util::Cidr>& prefixes() const noexcept {
+    return prefixes_;
+  }
+
+ private:
+  std::vector<util::Cidr> prefixes_;       // sorted by base address
+  std::vector<std::uint64_t> cumulative_;  // exclusive prefix sums
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace encdns::scan

@@ -1,0 +1,17 @@
+#include "sim/duration.hpp"
+
+#include <cstdio>
+
+namespace encdns::sim {
+
+std::string Millis::to_string() const {
+  char buf[32];
+  if (value >= 1000.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", value / 1000.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fms", value);
+  }
+  return buf;
+}
+
+}  // namespace encdns::sim

@@ -1,0 +1,40 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+namespace encdns::sim {
+
+void EventQueue::schedule_in(Millis delay, Callback fn) {
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+void EventQueue::schedule_at(Millis when, Callback fn) {
+  if (when < now_) when = now_;
+  heap_.push(Event{when.value, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::run_until(Millis until) {
+  while (!heap_.empty() && heap_.top().when <= until.value) {
+    // priority_queue::top() is const; move out via const_cast-free copy of the
+    // callback is wasteful, so pop into a local first.
+    Event ev = heap_.top();
+    heap_.pop();
+    now_ = Millis{ev.when};
+    ev.fn();
+  }
+  if (until > now_) now_ = until;
+}
+
+std::size_t EventQueue::run_all() {
+  std::size_t executed = 0;
+  while (!heap_.empty()) {
+    Event ev = heap_.top();
+    heap_.pop();
+    now_ = Millis{ev.when};
+    ev.fn();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace encdns::sim

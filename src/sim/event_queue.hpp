@@ -1,0 +1,56 @@
+// A minimal discrete-event scheduler. Used by the traffic substrate (flow
+// expiry timers) and available for any component that needs ordered future
+// work. Deterministic: ties are broken by insertion order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/duration.hpp"
+
+namespace encdns::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time (ms since queue epoch).
+  [[nodiscard]] Millis now() const noexcept { return now_; }
+
+  /// Schedule `fn` to run `delay` after the current time.
+  void schedule_in(Millis delay, Callback fn);
+
+  /// Schedule `fn` at an absolute time (clamped to now if in the past).
+  void schedule_at(Millis when, Callback fn);
+
+  /// Run all events with time <= `until`, advancing now() to each event time,
+  /// then to `until`. Events scheduled during execution are honored.
+  void run_until(Millis until);
+
+  /// Run until the queue drains. Returns the number of events executed.
+  std::size_t run_all();
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+
+ private:
+  struct Event {
+    double when;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  Millis now_{0.0};
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace encdns::sim

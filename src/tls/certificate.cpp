@@ -1,0 +1,85 @@
+#include "tls/certificate.hpp"
+
+#include <cstdio>
+
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace encdns::tls {
+
+std::string Certificate::fingerprint() const {
+  std::string identity = subject_cn + "|" + issuer_cn + "|" + not_before.to_string() +
+                         "|" + not_after.to_string();
+  for (const auto& name : san) identity += "|" + name;
+  std::uint64_t h1 = util::fnv1a(identity);
+  const std::uint64_t h2 = util::mix64(h1);
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(h1),
+                static_cast<unsigned long long>(h2));
+  return buf;
+}
+
+namespace {
+
+bool wildcard_match(const std::string& pattern, const std::string& hostname) {
+  if (!util::istarts_with(pattern, "*.")) return util::iequals(pattern, hostname);
+  // "*.example.com" matches exactly one extra leading label.
+  const std::string_view suffix = std::string_view(pattern).substr(1);  // ".example.com"
+  if (!util::iends_with(hostname, suffix)) return false;
+  const std::string_view head =
+      std::string_view(hostname).substr(0, hostname.size() - suffix.size());
+  return !head.empty() && head.find('.') == std::string_view::npos;
+}
+
+}  // namespace
+
+bool Certificate::matches_host(const std::string& hostname) const {
+  if (hostname.empty()) return false;
+  if (!san.empty()) {
+    // Per RFC 6125, when SANs are present the CN is ignored.
+    for (const auto& name : san)
+      if (wildcard_match(name, hostname)) return true;
+    return false;
+  }
+  return wildcard_match(subject_cn, hostname);
+}
+
+CertificateChain make_chain(const std::string& subject_cn, const std::string& ca_cn,
+                            const util::Date& not_before, const util::Date& not_after,
+                            std::vector<std::string> san) {
+  Certificate leaf;
+  leaf.subject_cn = subject_cn;
+  leaf.san = std::move(san);
+  leaf.issuer_cn = ca_cn;
+  leaf.not_before = not_before;
+  leaf.not_after = not_after;
+
+  Certificate root;
+  root.subject_cn = ca_cn;
+  root.issuer_cn = ca_cn;
+  root.is_ca = true;
+  root.not_before = util::Date{2010, 1, 1};
+  root.not_after = util::Date{2035, 1, 1};
+  return CertificateChain{{leaf, root}};
+}
+
+CertificateChain make_self_signed(const std::string& subject_cn,
+                                  const util::Date& not_before,
+                                  const util::Date& not_after) {
+  Certificate cert;
+  cert.subject_cn = subject_cn;
+  cert.issuer_cn = subject_cn;
+  cert.not_before = not_before;
+  cert.not_after = not_after;
+  return CertificateChain{{cert}};
+}
+
+CertificateChain make_untrusted_chain(const std::string& subject_cn,
+                                      const std::string& unknown_ca_cn,
+                                      const util::Date& not_before,
+                                      const util::Date& not_after) {
+  return make_chain(subject_cn, unknown_ca_cn, not_before, not_after);
+}
+
+}  // namespace encdns::tls

@@ -1,0 +1,80 @@
+// Structural X.509 model.
+//
+// The paper's certificate analysis (§3.2, Finding 1.2) depends only on the
+// *outcome* of path validation — expired / self-signed / untrusted chain —
+// and on subject Common Names for provider grouping. We therefore model
+// certificates structurally: subject, issuer, validity window, chain, and a
+// deterministic fingerprint, without real cryptography. Signature validity is
+// represented explicitly (`signed_by_issuer`), so a tampered chain can be
+// expressed in tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/date.hpp"
+
+namespace encdns::tls {
+
+/// A single certificate in a chain.
+struct Certificate {
+  std::string subject_cn;               // e.g. "cloudflare-dns.com"
+  std::vector<std::string> san;         // subjectAltName dNSNames (may be empty)
+  std::string issuer_cn;                // issuing CA's CN
+  util::Date not_before{2019, 1, 1};
+  util::Date not_after{2020, 1, 1};
+  bool is_ca = false;
+  bool signed_by_issuer = true;         // false models a broken signature
+
+  [[nodiscard]] bool self_signed() const noexcept { return subject_cn == issuer_cn; }
+
+  /// True if `now` falls inside [not_before, not_after].
+  [[nodiscard]] bool valid_at(const util::Date& now) const noexcept {
+    return now >= not_before && now <= not_after;
+  }
+
+  /// Deterministic fingerprint string (hash of identity fields), analogous to
+  /// a SHA-256 fingerprint for dedup/grouping.
+  [[nodiscard]] std::string fingerprint() const;
+
+  /// RFC 6125-style host matching against CN and SANs, with single-label
+  /// left-most wildcard support ("*.example.com").
+  [[nodiscard]] bool matches_host(const std::string& hostname) const;
+};
+
+/// A presented chain, leaf first.
+struct CertificateChain {
+  std::vector<Certificate> certs;
+
+  [[nodiscard]] bool empty() const noexcept { return certs.empty(); }
+  [[nodiscard]] const Certificate& leaf() const { return certs.front(); }
+
+  /// The leaf's subject CN, or "" for an empty chain.
+  [[nodiscard]] std::string leaf_cn() const {
+    return certs.empty() ? std::string{} : certs.front().subject_cn;
+  }
+};
+
+/// Helpers for constructing the chains used throughout the world model.
+
+/// Leaf signed by `ca_cn` (assumed 1-intermediate-free chain: leaf + root).
+[[nodiscard]] CertificateChain make_chain(const std::string& subject_cn,
+                                          const std::string& ca_cn,
+                                          const util::Date& not_before,
+                                          const util::Date& not_after,
+                                          std::vector<std::string> san = {});
+
+/// Self-signed single-certificate chain (e.g. FortiGate factory default).
+[[nodiscard]] CertificateChain make_self_signed(const std::string& subject_cn,
+                                                const util::Date& not_before,
+                                                const util::Date& not_after);
+
+/// Chain whose intermediate/root is not anchored anywhere (invalid path).
+[[nodiscard]] CertificateChain make_untrusted_chain(const std::string& subject_cn,
+                                                    const std::string& unknown_ca_cn,
+                                                    const util::Date& not_before,
+                                                    const util::Date& not_after);
+
+}  // namespace encdns::tls

@@ -1,0 +1,58 @@
+// TLS handshake cost model and session cache.
+//
+// The paper's performance analysis (§4.3, Table 7) hinges on how many round
+// trips connection setup costs: with a reused connection an encrypted query
+// is one RTT like clear-text DNS/TCP; without reuse it pays the TCP handshake
+// plus 1 RTT (TLS 1.3) or 2 RTTs (TLS 1.2) plus CPU time for the key exchange.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "sim/duration.hpp"
+#include "tls/certificate.hpp"
+#include "util/rng.hpp"
+
+namespace encdns::tls {
+
+enum class TlsVersion { kTls12, kTls13 };
+
+/// Round trips a full handshake adds on top of an established TCP connection.
+[[nodiscard]] constexpr int handshake_rtts(TlsVersion version, bool resumed) noexcept {
+  if (resumed) return 1;  // TLS 1.3 PSK / TLS 1.2 session ID — one round trip
+  return version == TlsVersion::kTls13 ? 1 : 2;
+}
+
+/// CPU cost of the asymmetric key exchange, sampled per handshake. Resumed
+/// handshakes skip certificate verification and the full key exchange.
+[[nodiscard]] sim::Millis handshake_crypto_cost(TlsVersion version, bool resumed,
+                                                util::Rng& rng);
+
+/// Per-record symmetric encryption overhead for one request/response pair.
+[[nodiscard]] sim::Millis record_crypto_cost(std::size_t payload_bytes,
+                                             util::Rng& rng);
+
+/// Client-side session ticket cache keyed by "host:port". Entries expire
+/// after `lifetime`; the paper cites tens of seconds as typical for DoE
+/// connection lifetimes, tickets customarily live longer.
+class SessionCache {
+ public:
+  explicit SessionCache(sim::Millis lifetime = sim::Millis::seconds(7200)) noexcept
+      : lifetime_(lifetime) {}
+
+  /// True if a live ticket exists at time `now`; refrees the entry on hit.
+  bool try_resume(const std::string& key, sim::Millis now);
+
+  /// Record a ticket issued at `now`.
+  void store(const std::string& key, sim::Millis now);
+
+  void clear() { entries_.clear(); }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  sim::Millis lifetime_;
+  std::unordered_map<std::string, double> entries_;  // key -> issue time (ms)
+};
+
+}  // namespace encdns::tls

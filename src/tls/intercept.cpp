@@ -1,0 +1,25 @@
+#include "tls/intercept.hpp"
+
+namespace encdns::tls {
+
+CertificateChain TlsInterceptor::resign(const CertificateChain& original,
+                                        const util::Date& now) const {
+  Certificate leaf;
+  if (!original.certs.empty()) {
+    leaf = original.certs.front();  // keep subject CN / SANs unchanged
+  }
+  leaf.issuer_cn = ca_cn_;
+  leaf.not_before = now.plus_days(-1);
+  leaf.not_after = now.plus_days(365);
+  leaf.signed_by_issuer = true;
+
+  Certificate ca;
+  ca.subject_cn = ca_cn_;
+  ca.issuer_cn = ca_cn_;
+  ca.is_ca = true;
+  ca.not_before = now.plus_days(-365);
+  ca.not_after = now.plus_days(3650);
+  return CertificateChain{{leaf, ca}};
+}
+
+}  // namespace encdns::tls

@@ -1,0 +1,41 @@
+// TLS interception (MITM) modelling — §4.2 Finding 2.3 / Table 6.
+//
+// Middleboxes such as firewall DPI features terminate the client's TLS
+// session, present a chain re-signed by their own (untrusted) CA with the
+// original subject fields intact, and proxy the plaintext to the origin.
+#pragma once
+
+#include <string>
+
+#include "tls/certificate.hpp"
+#include "util/date.hpp"
+
+namespace encdns::tls {
+
+class TlsInterceptor {
+ public:
+  /// `ca_cn` is the interception CA's Common Name as it appears in the
+  /// resigned chain (Table 6 examples: "SonicWall Firewall DPI-SSL",
+  /// "FortiGate CA", "Sample CA 2"...). `device_label` names the product for
+  /// reporting.
+  TlsInterceptor(std::string ca_cn, std::string device_label)
+      : ca_cn_(std::move(ca_cn)), device_label_(std::move(device_label)) {}
+
+  [[nodiscard]] const std::string& ca_cn() const noexcept { return ca_cn_; }
+  [[nodiscard]] const std::string& device_label() const noexcept {
+    return device_label_;
+  }
+
+  /// Re-sign `original`: the returned chain keeps the leaf's subject and SANs
+  /// but is issued by this interceptor's CA, which no public trust store
+  /// anchors. The validity window is refreshed around `now` (interceptors
+  /// mint certificates on the fly).
+  [[nodiscard]] CertificateChain resign(const CertificateChain& original,
+                                        const util::Date& now) const;
+
+ private:
+  std::string ca_cn_;
+  std::string device_label_;
+};
+
+}  // namespace encdns::tls

@@ -1,0 +1,69 @@
+#include "tls/serialize.hpp"
+
+#include "util/strings.hpp"
+
+namespace encdns::tls {
+namespace {
+
+std::string serialize_cert(const Certificate& cert) {
+  std::string out = cert.subject_cn + "|" + cert.issuer_cn + "|" +
+                    cert.not_before.to_string() + "|" + cert.not_after.to_string() +
+                    "|" + (cert.is_ca ? "1" : "0") + "|" +
+                    (cert.signed_by_issuer ? "1" : "0") + "|";
+  for (std::size_t i = 0; i < cert.san.size(); ++i) {
+    if (i) out += ",";
+    out += cert.san[i];
+  }
+  return out;
+}
+
+std::optional<util::Date> parse_date(const std::string& text) {
+  const auto parts = util::split(text, '-');
+  if (parts.size() != 3) return std::nullopt;
+  try {
+    return util::Date{std::stoi(parts[0]), std::stoi(parts[1]), std::stoi(parts[2])};
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+std::optional<Certificate> parse_cert(const std::string& text) {
+  const auto fields = util::split(text, '|');
+  if (fields.size() != 7) return std::nullopt;
+  Certificate cert;
+  cert.subject_cn = fields[0];
+  cert.issuer_cn = fields[1];
+  const auto not_before = parse_date(fields[2]);
+  const auto not_after = parse_date(fields[3]);
+  if (!not_before || !not_after) return std::nullopt;
+  cert.not_before = *not_before;
+  cert.not_after = *not_after;
+  cert.is_ca = fields[4] == "1";
+  cert.signed_by_issuer = fields[5] == "1";
+  if (!fields[6].empty()) cert.san = util::split(fields[6], ',');
+  return cert;
+}
+
+}  // namespace
+
+std::string serialize_chain(const CertificateChain& chain) {
+  std::string out;
+  for (std::size_t i = 0; i < chain.certs.size(); ++i) {
+    if (i) out += ";";
+    out += serialize_cert(chain.certs[i]);
+  }
+  return out;
+}
+
+std::optional<CertificateChain> parse_chain(const std::string& text) {
+  CertificateChain chain;
+  if (text.empty()) return chain;
+  for (const auto& part : util::split(text, ';')) {
+    const auto cert = parse_cert(part);
+    if (!cert) return std::nullopt;
+    chain.certs.push_back(*cert);
+  }
+  return chain;
+}
+
+}  // namespace encdns::tls

@@ -1,0 +1,20 @@
+// Wire serialization for structural certificate chains — used by transports
+// that must ship the chain inside their own framing (the DoQ prototype's
+// handshake packet).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "tls/certificate.hpp"
+
+namespace encdns::tls {
+
+/// Serialize a chain into a single printable string (certs ';'-joined,
+/// fields '|'-separated, names percent-free by construction of the model).
+[[nodiscard]] std::string serialize_chain(const CertificateChain& chain);
+
+/// Inverse of serialize_chain; nullopt on malformed input.
+[[nodiscard]] std::optional<CertificateChain> parse_chain(const std::string& text);
+
+}  // namespace encdns::tls

@@ -1,0 +1,18 @@
+#include "tls/trust_store.hpp"
+
+namespace encdns::tls {
+
+const TrustStore& TrustStore::mozilla() {
+  static const TrustStore store = [] {
+    TrustStore s;
+    s.add_root(kLetsEncryptCa);
+    s.add_root(kDigicertCa);
+    s.add_root(kGlobalSignCa);
+    s.add_root(kSectigoCa);
+    s.add_root(kGoogleTrustCa);
+    return s;
+  }();
+  return store;
+}
+
+}  // namespace encdns::tls

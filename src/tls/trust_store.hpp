@@ -1,0 +1,38 @@
+// Trust anchors. The paper verifies collected certificates against the
+// system-wide store of CentOS 7.6 (the Mozilla CA list); we model the store
+// as a set of trusted root CA names.
+#pragma once
+
+#include <string>
+#include <unordered_set>
+
+namespace encdns::tls {
+
+class TrustStore {
+ public:
+  TrustStore() = default;
+
+  /// Add a trusted root by its CN.
+  void add_root(std::string ca_cn) { roots_.insert(std::move(ca_cn)); }
+
+  [[nodiscard]] bool trusts(const std::string& ca_cn) const noexcept {
+    return roots_.contains(ca_cn);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return roots_.size(); }
+
+  /// The simulated Mozilla CA bundle: the public CAs the world model issues
+  /// from. Interceptor CAs and vendor-default CAs are deliberately absent.
+  [[nodiscard]] static const TrustStore& mozilla();
+
+ private:
+  std::unordered_set<std::string> roots_;
+};
+
+/// Names of the simulated public CAs (all present in TrustStore::mozilla()).
+inline constexpr const char* kLetsEncryptCa = "Let's Encrypt Authority X3";
+inline constexpr const char* kDigicertCa = "DigiCert Global Root CA";
+inline constexpr const char* kGlobalSignCa = "GlobalSign Root CA";
+inline constexpr const char* kSectigoCa = "Sectigo RSA CA";
+inline constexpr const char* kGoogleTrustCa = "Google Trust Services CA 1O1";
+
+}  // namespace encdns::tls

@@ -1,0 +1,62 @@
+#include "tls/verify.hpp"
+
+namespace encdns::tls {
+
+std::string to_string(CertStatus status) {
+  switch (status) {
+    case CertStatus::kValid: return "valid";
+    case CertStatus::kEmptyChain: return "empty chain";
+    case CertStatus::kExpired: return "expired";
+    case CertStatus::kNotYetValid: return "not yet valid";
+    case CertStatus::kSelfSigned: return "self-signed";
+    case CertStatus::kUntrustedChain: return "invalid certificate chain";
+    case CertStatus::kBrokenSignature: return "broken signature";
+    case CertStatus::kHostnameMismatch: return "hostname mismatch";
+  }
+  return "unknown";
+}
+
+CertStatus verify_path(const CertificateChain& chain, const TrustStore& store,
+                       const util::Date& now) {
+  if (chain.certs.empty()) return CertStatus::kEmptyChain;
+
+  // Validity windows first: an expired cert reports as expired even when it
+  // is also self-signed, matching the paper's categorization precedence
+  // (their 27 "expired" counts include otherwise-fine chains).
+  for (const auto& cert : chain.certs) {
+    if (now < cert.not_before) return CertStatus::kNotYetValid;
+    if (now > cert.not_after) return CertStatus::kExpired;
+  }
+
+  // Chain linkage: each element must be signed by the next one's subject.
+  for (std::size_t i = 0; i + 1 < chain.certs.size(); ++i) {
+    if (!chain.certs[i].signed_by_issuer) return CertStatus::kBrokenSignature;
+    if (chain.certs[i].issuer_cn != chain.certs[i + 1].subject_cn)
+      return CertStatus::kUntrustedChain;
+    if (!chain.certs[i + 1].is_ca) return CertStatus::kUntrustedChain;
+  }
+
+  const Certificate& last = chain.certs.back();
+  if (last.self_signed()) {
+    if (store.trusts(last.subject_cn)) return CertStatus::kValid;
+    // A lone self-signed leaf is the classic "self signed certificate" error;
+    // a longer chain ending in an unknown self-signed root is reported as an
+    // untrusted chain, as openssl does.
+    return chain.certs.size() == 1 ? CertStatus::kSelfSigned
+                                   : CertStatus::kUntrustedChain;
+  }
+  if (!last.signed_by_issuer) return CertStatus::kBrokenSignature;
+  // Chain ends with a non-self-signed cert: its issuer must be an anchor.
+  return store.trusts(last.issuer_cn) ? CertStatus::kValid
+                                      : CertStatus::kUntrustedChain;
+}
+
+CertStatus verify_host(const CertificateChain& chain, const std::string& hostname,
+                       const TrustStore& store, const util::Date& now) {
+  const CertStatus path = verify_path(chain, store, now);
+  if (path != CertStatus::kValid) return path;
+  if (!chain.leaf().matches_host(hostname)) return CertStatus::kHostnameMismatch;
+  return CertStatus::kValid;
+}
+
+}  // namespace encdns::tls

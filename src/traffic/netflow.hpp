@@ -1,0 +1,84 @@
+// NetFlow modelling (§5.1): backbone routers aggregate sampled packets into
+// per-flow records carrying addresses, ports, byte counts and the union of
+// observed TCP flags. The provider ISP samples packets at 1/3000 and expires
+// idle flows after 15 seconds.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/date.hpp"
+#include "util/ipv4.hpp"
+#include "util/rng.hpp"
+
+namespace encdns::traffic {
+
+/// TCP flag bits as they appear in NetFlow records.
+namespace tcpflags {
+inline constexpr std::uint8_t kFin = 0x01;
+inline constexpr std::uint8_t kSyn = 0x02;
+inline constexpr std::uint8_t kRst = 0x04;
+inline constexpr std::uint8_t kPsh = 0x08;
+inline constexpr std::uint8_t kAck = 0x10;
+}  // namespace tcpflags
+
+inline constexpr std::uint8_t kProtoTcp = 6;
+inline constexpr std::uint8_t kProtoUdp = 17;
+
+/// Ground-truth traffic: one transport flow as it crossed the backbone.
+struct RawFlow {
+  util::Ipv4 src;
+  util::Ipv4 dst;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t protocol = kProtoTcp;
+  std::uint32_t packets = 1;   // client->server direction
+  std::uint64_t bytes = 64;
+  bool complete_session = true;  // SYN..ACK/PSH..FIN exchange (false: lone SYN)
+  util::Date date;
+};
+
+/// One exported (sampled) record.
+struct FlowRecord {
+  util::Ipv4 src;
+  util::Ipv4 dst;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t protocol = kProtoTcp;
+  std::uint32_t packets = 0;  // sampled packet count
+  std::uint64_t bytes = 0;
+  std::uint8_t tcp_flags = 0;  // union over sampled packets
+  util::Date date;
+
+  /// §5.2 exclusion rule: a record whose only flag content is one SYN is an
+  /// incomplete handshake and cannot carry DoT queries.
+  [[nodiscard]] bool single_syn() const noexcept {
+    return protocol == kProtoTcp && tcp_flags == tcpflags::kSyn && packets <= 1;
+  }
+};
+
+class NetflowCollector {
+ public:
+  explicit NetflowCollector(double sampling_rate = 1.0 / 3000.0,
+                            std::uint64_t seed = 0x5EEDF10ULL)
+      : rate_(sampling_rate), rng_(util::mix64(seed)) {}
+
+  /// Run one raw flow through packet sampling; a record is exported only if
+  /// at least one of its packets was sampled. Flag union reflects *which*
+  /// packets were sampled: the SYN appears only if the first packet was hit,
+  /// the FIN only if the last one was.
+  [[nodiscard]] std::optional<FlowRecord> observe(const RawFlow& flow);
+
+  [[nodiscard]] double sampling_rate() const noexcept { return rate_; }
+  [[nodiscard]] std::uint64_t flows_seen() const noexcept { return seen_; }
+  [[nodiscard]] std::uint64_t records_exported() const noexcept { return exported_; }
+
+ private:
+  double rate_;
+  util::Rng rng_;
+  std::uint64_t seen_ = 0;
+  std::uint64_t exported_ = 0;
+};
+
+}  // namespace encdns::traffic

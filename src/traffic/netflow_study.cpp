@@ -1,0 +1,129 @@
+#include "traffic/netflow_study.hpp"
+
+#include <algorithm>
+
+#include "world/providers.hpp"
+
+namespace encdns::traffic {
+
+double NetflowStudyResults::top_share(std::size_t k) const {
+  if (total_dot_records == 0) return 0.0;
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < std::min(k, netblocks.size()); ++i)
+    acc += netblocks[i].records;
+  return static_cast<double>(acc) / static_cast<double>(total_dot_records);
+}
+
+double NetflowStudyResults::short_lived_block_fraction(int days) const {
+  if (netblocks.empty()) return 0.0;
+  std::size_t short_lived = 0;
+  for (const auto& nb : netblocks)
+    if (nb.active_days < days) ++short_lived;
+  return static_cast<double>(short_lived) / static_cast<double>(netblocks.size());
+}
+
+double NetflowStudyResults::short_lived_traffic_share(int days) const {
+  if (total_dot_records == 0) return 0.0;
+  std::uint64_t acc = 0;
+  for (const auto& nb : netblocks)
+    if (nb.active_days < days) acc += nb.records;
+  return static_cast<double>(acc) / static_cast<double>(total_dot_records);
+}
+
+std::unordered_map<std::uint32_t, std::string> big_resolver_address_list() {
+  using namespace world::addrs;
+  return {
+      {kCloudflarePrimary.value(), "cloudflare"},
+      {kCloudflareSecondary.value(), "cloudflare"},
+      {kQuad9Primary.value(), "quad9"},
+      {util::Ipv4{149, 112, 112, 112}.value(), "quad9"},
+  };
+}
+
+NetflowStudy::NetflowStudy(
+    NetflowStudyConfig config,
+    std::unordered_map<std::uint32_t, std::string> resolver_addresses)
+    : config_(std::move(config)), resolvers_(std::move(resolver_addresses)) {}
+
+NetflowStudyResults NetflowStudy::run() {
+  NetflowStudyResults results;
+  BackboneModel model(config_.backbone);
+  NetflowCollector collector(config_.sampling_rate, config_.seed);
+  ScanDetector detector;
+
+  struct BlockAccumulator {
+    std::uint64_t records = 0;
+    std::unordered_set<std::int64_t> days;
+    util::Date first, last;
+  };
+  std::unordered_map<std::uint32_t, BlockAccumulator> blocks;
+  std::unordered_set<std::uint32_t> client_blocks;
+
+  model.generate([&](const RawFlow& flow) {
+    detector.observe(flow);
+    const auto record = collector.observe(flow);
+    if (!record) return;
+    if (record->protocol != kProtoTcp || record->dst_port != 853) return;
+    if (record->single_syn()) {
+      ++results.excluded_single_syn;
+      return;
+    }
+    const auto it = resolvers_.find(record->dst.value());
+    if (it == resolvers_.end()) {
+      ++results.unmatched_853_records;
+      return;
+    }
+    ++results.total_dot_records;
+    const util::Date month = record->date.month_start();
+    if (it->second == "cloudflare") ++results.cloudflare_monthly[month];
+    else if (it->second == "quad9") ++results.quad9_monthly[month];
+
+    // Ethics: keep only the /24 of the client address from here on.
+    const util::Ipv4 block = record->src.slash24();
+    client_blocks.insert(block.value());
+    auto& acc = blocks[block.value()];
+    if (acc.records == 0) acc.first = record->date;
+    acc.last = record->date;
+    ++acc.records;
+    acc.days.insert(record->date.to_days());
+  });
+
+  for (const auto& [addr, acc] : blocks) {
+    NetblockStat stat;
+    stat.slash24 = util::Ipv4{addr};
+    stat.records = acc.records;
+    stat.active_days = static_cast<int>(acc.days.size());
+    stat.first_seen = acc.first;
+    stat.last_seen = acc.last;
+    results.netblocks.push_back(stat);
+  }
+  std::sort(results.netblocks.begin(), results.netblocks.end(),
+            [](const NetblockStat& a, const NetblockStat& b) {
+              if (a.records != b.records) return a.records > b.records;
+              return a.slash24 < b.slash24;
+            });
+
+  for (const std::uint32_t block : client_blocks)
+    if (detector.is_scanner(util::Ipv4{block})) ++results.flagged_client_blocks;
+
+  // Traditional-DNS scale estimate: Do53 flows are short (1-2 packets), so a
+  // record exports with probability ~= packets * rate.
+  const auto& adoption = model.adoption();
+  for (util::Date month = config_.backbone.start.month_start();
+       month < config_.backbone.end; month = month.next_month()) {
+    double sampled = 0.0;
+    for (util::Date day = month;
+         day < month.next_month() && day < config_.backbone.end;
+         day = day.plus_days(1)) {
+      const double dot_flows = adoption.daily_raw_flows("cloudflare", day) +
+                               adoption.daily_raw_flows("quad9", day);
+      const double do53_flows =
+          std::max(dot_flows, 20000.0) * config_.backbone.do53_to_dot_ratio;
+      sampled += do53_flows * 1.6 * config_.sampling_rate;
+    }
+    results.do53_monthly_estimate[month] = sampled;
+  }
+  return results;
+}
+
+}  // namespace encdns::traffic

@@ -1,0 +1,82 @@
+// The §5.2 DoT traffic analysis: run the backbone model through the NetFlow
+// collector, select TCP/853 records, exclude single-SYN records, match the
+// destination against the §3 resolver list, truncate clients to their /24
+// (ethics), and aggregate into Figure 11 (monthly flows per resolver) and
+// Figure 12 (per-netblock share and active time).
+#pragma once
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "traffic/backbone.hpp"
+#include "traffic/netflow.hpp"
+#include "traffic/scan_detector.hpp"
+#include "util/date.hpp"
+
+namespace encdns::traffic {
+
+struct NetflowStudyConfig {
+  BackboneConfig backbone;
+  double sampling_rate = 1.0 / 3000.0;
+  std::uint64_t seed = 37;
+};
+
+struct NetblockStat {
+  util::Ipv4 slash24;
+  std::uint64_t records = 0;
+  int active_days = 0;  // days with at least one sampled DoT record
+  util::Date first_seen;
+  util::Date last_seen;
+};
+
+struct NetflowStudyResults {
+  /// Monthly sampled DoT flow counts per resolver (Figure 11). Keyed by the
+  /// first day of the month.
+  std::map<util::Date, std::uint64_t> cloudflare_monthly;
+  std::map<util::Date, std::uint64_t> quad9_monthly;
+
+  /// Estimated monthly sampled traditional-DNS records (for the
+  /// orders-of-magnitude comparison; computed analytically from the model's
+  /// Do53:DoT ratio rather than by simulating billions of flows).
+  std::map<util::Date, double> do53_monthly_estimate;
+
+  std::uint64_t total_dot_records = 0;
+  std::uint64_t excluded_single_syn = 0;
+  std::uint64_t unmatched_853_records = 0;  // port 853 but not a known resolver
+
+  /// Per-/24 statistics, sorted by record count descending (Figure 12).
+  std::vector<NetblockStat> netblocks;
+
+  /// Scanner-verification outcome: how many observed DoT client /24s the
+  /// NetworkScan-Mon-style detector flags (the paper found none).
+  std::size_t flagged_client_blocks = 0;
+
+  [[nodiscard]] double top_share(std::size_t k) const;
+  /// Fraction of client netblocks active fewer than `days` days.
+  [[nodiscard]] double short_lived_block_fraction(int days) const;
+  /// Fraction of DoT records originating from those short-lived blocks.
+  [[nodiscard]] double short_lived_traffic_share(int days) const;
+};
+
+class NetflowStudy {
+ public:
+  /// `resolver_addresses` is the DoT resolver list built in §3 (address ->
+  /// resolver label, e.g. "cloudflare"/"quad9").
+  NetflowStudy(NetflowStudyConfig config,
+               std::unordered_map<std::uint32_t, std::string> resolver_addresses);
+
+  [[nodiscard]] NetflowStudyResults run();
+
+ private:
+  NetflowStudyConfig config_;
+  std::unordered_map<std::uint32_t, std::string> resolvers_;
+};
+
+/// Convenience: the resolver list for the two big DoT targets.
+[[nodiscard]] std::unordered_map<std::uint32_t, std::string>
+big_resolver_address_list();
+
+}  // namespace encdns::traffic

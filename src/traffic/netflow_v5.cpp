@@ -1,0 +1,111 @@
+#include "traffic/netflow_v5.hpp"
+
+#include <stdexcept>
+
+namespace encdns::traffic {
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  put_u16(out, static_cast<std::uint16_t>(v >> 16));
+  put_u16(out, static_cast<std::uint16_t>(v));
+}
+
+std::uint16_t get_u16(std::span<const std::uint8_t> data, std::size_t at) {
+  return static_cast<std::uint16_t>((data[at] << 8) | data[at + 1]);
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> data, std::size_t at) {
+  return (static_cast<std::uint32_t>(get_u16(data, at)) << 16) |
+         get_u16(data, at + 2);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_v5_packet(std::span<const FlowRecord> records,
+                                           std::uint32_t flow_sequence,
+                                           std::uint16_t sampling_interval) {
+  if (records.size() > kV5MaxRecords)
+    throw std::length_error("NetFlow v5 packets carry at most 30 records");
+  std::vector<std::uint8_t> out;
+  out.reserve(kV5HeaderSize + records.size() * kV5RecordSize);
+
+  // Header. Export time: all records in our pipeline carry day-granular
+  // dates; stamp the packet with the first record's midnight.
+  const std::uint32_t unix_secs =
+      records.empty() ? 0
+                      : static_cast<std::uint32_t>(records[0].date.to_days() * 86400);
+  put_u16(out, kV5Version);
+  put_u16(out, static_cast<std::uint16_t>(records.size()));
+  put_u32(out, 0);  // sys_uptime
+  put_u32(out, unix_secs);
+  put_u32(out, 0);  // unix_nsecs
+  put_u32(out, flow_sequence);
+  out.push_back(0);  // engine_type
+  out.push_back(0);  // engine_id
+  // Sampling mode (2 bits) = 1 (packet interval) | interval (14 bits).
+  put_u16(out, static_cast<std::uint16_t>((1u << 14) |
+                                          (sampling_interval & 0x3FFF)));
+
+  for (const auto& record : records) {
+    put_u32(out, record.src.value());
+    put_u32(out, record.dst.value());
+    put_u32(out, 0);  // nexthop
+    put_u16(out, 0);  // input ifindex
+    put_u16(out, 0);  // output ifindex
+    put_u32(out, record.packets);
+    put_u32(out, static_cast<std::uint32_t>(record.bytes));
+    put_u32(out, 0);  // first (sysuptime)
+    put_u32(out, 0);  // last
+    put_u16(out, record.src_port);
+    put_u16(out, record.dst_port);
+    out.push_back(0);  // pad1
+    out.push_back(record.tcp_flags);
+    out.push_back(record.protocol);
+    out.push_back(0);  // tos
+    put_u16(out, 0);   // src_as
+    put_u16(out, 0);   // dst_as
+    out.push_back(24);  // src_mask: the pipeline anonymizes to /24
+    out.push_back(32);  // dst_mask
+    put_u16(out, 0);    // pad2
+  }
+  return out;
+}
+
+std::optional<V5Decoded> decode_v5_packet(std::span<const std::uint8_t> packet) {
+  if (packet.size() < kV5HeaderSize) return std::nullopt;
+  if (get_u16(packet, 0) != kV5Version) return std::nullopt;
+  V5Decoded decoded;
+  decoded.info.count = get_u16(packet, 2);
+  decoded.info.unix_secs = get_u32(packet, 8);
+  decoded.info.flow_sequence = get_u32(packet, 16);
+  decoded.info.sampling_interval =
+      static_cast<std::uint16_t>(get_u16(packet, 22) & 0x3FFF);
+  if (decoded.info.count > kV5MaxRecords) return std::nullopt;
+  if (packet.size() != kV5HeaderSize + decoded.info.count * kV5RecordSize)
+    return std::nullopt;
+
+  const util::Date date =
+      util::Date::from_days(static_cast<std::int64_t>(decoded.info.unix_secs) / 86400);
+  for (std::size_t i = 0; i < decoded.info.count; ++i) {
+    const std::size_t at = kV5HeaderSize + i * kV5RecordSize;
+    FlowRecord record;
+    record.src = util::Ipv4{get_u32(packet, at)};
+    record.dst = util::Ipv4{get_u32(packet, at + 4)};
+    record.packets = get_u32(packet, at + 16);
+    record.bytes = get_u32(packet, at + 20);
+    record.src_port = get_u16(packet, at + 32);
+    record.dst_port = get_u16(packet, at + 34);
+    record.tcp_flags = packet[at + 37];
+    record.protocol = packet[at + 38];
+    record.date = date;
+    decoded.records.push_back(record);
+  }
+  return decoded;
+}
+
+}  // namespace encdns::traffic

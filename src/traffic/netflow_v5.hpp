@@ -1,0 +1,44 @@
+// NetFlow v5 export-packet codec (Cisco's fixed binary layout: a 24-byte
+// header followed by up to 30 records of 48 bytes). The §5 pipeline works on
+// in-memory records; this codec round-trips them through the format an
+// actual collector would receive, so stored captures interoperate.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "traffic/netflow.hpp"
+
+namespace encdns::traffic {
+
+inline constexpr std::uint16_t kV5Version = 5;
+inline constexpr std::size_t kV5HeaderSize = 24;
+inline constexpr std::size_t kV5RecordSize = 48;
+inline constexpr std::size_t kV5MaxRecords = 30;
+
+struct V5PacketInfo {
+  std::uint16_t count = 0;
+  std::uint32_t unix_secs = 0;      // export timestamp
+  std::uint32_t flow_sequence = 0;  // total flows exported before this packet
+  std::uint16_t sampling_interval = 0;  // e.g. 3000 for 1/3000
+};
+
+/// Encode up to kV5MaxRecords into one export packet. Throws
+/// std::length_error beyond the limit (callers paginate).
+[[nodiscard]] std::vector<std::uint8_t> encode_v5_packet(
+    std::span<const FlowRecord> records, std::uint32_t flow_sequence,
+    std::uint16_t sampling_interval);
+
+/// Decode an export packet; nullopt on malformed framing (wrong version,
+/// size/count disagreement). The day-granular FlowRecord::date is recovered
+/// from the header timestamp.
+struct V5Decoded {
+  V5PacketInfo info;
+  std::vector<FlowRecord> records;
+};
+[[nodiscard]] std::optional<V5Decoded> decode_v5_packet(
+    std::span<const std::uint8_t> packet);
+
+}  // namespace encdns::traffic

@@ -1,0 +1,156 @@
+#include "traffic/passive_dns.hpp"
+
+#include <cmath>
+
+namespace encdns::traffic {
+
+void AggregatePassiveDns::record(const std::string& domain, const util::Date& date,
+                                 std::uint64_t count) {
+  if (count == 0) return;
+  auto [it, inserted] = aggregates_.try_emplace(domain);
+  PdnsAggregate& agg = it->second;
+  if (inserted) {
+    agg.domain = domain;
+    agg.first_seen = date;
+    agg.last_seen = date;
+  }
+  if (date < agg.first_seen) agg.first_seen = date;
+  if (date > agg.last_seen) agg.last_seen = date;
+  agg.total_count += count;
+}
+
+std::optional<PdnsAggregate> AggregatePassiveDns::lookup(
+    const std::string& domain) const {
+  const auto it = aggregates_.find(domain);
+  if (it == aggregates_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<PdnsAggregate> AggregatePassiveDns::all() const {
+  std::vector<PdnsAggregate> out;
+  out.reserve(aggregates_.size());
+  for (const auto& [domain, agg] : aggregates_) out.push_back(agg);
+  return out;
+}
+
+void DailyPassiveDns::record(const std::string& domain, const util::Date& date,
+                             std::uint64_t count) {
+  if (count == 0) return;
+  daily_[domain][date.to_days()] += count;
+}
+
+std::map<util::Date, std::uint64_t> DailyPassiveDns::monthly_series(
+    const std::string& domain) const {
+  std::map<util::Date, std::uint64_t> out;
+  const auto it = daily_.find(domain);
+  if (it == daily_.end()) return out;
+  for (const auto& [day, count] : it->second)
+    out[util::Date::from_days(day).month_start()] += count;
+  return out;
+}
+
+const std::vector<std::string>& DohUsageModel::domains() {
+  static const std::vector<std::string> list = {
+      "dns.google.com",
+      "mozilla.cloudflare-dns.com",
+      "doh.cleanbrowsing.org",
+      "doh.crypto.sx",
+      "dns.quad9.net",
+      "doh.securedns.eu",
+      "commons.host",
+      "doh.blahdns.com",
+      "dns.dnsoverhttps.net",
+      "doh.li",
+      "dns.dns-over-https.com",
+      "doh.appliedprivacy.net",
+      "dns.containerpi.com",
+      "doh.captnemo.in",
+      "cloudflare-dns.com",
+      "dns.rubyfish.cn",
+      "dns.233py.com",
+  };
+  return list;
+}
+
+double DohUsageModel::monthly_volume(const std::string& domain,
+                                     const util::Date& month_start) const {
+  const auto months_since = [&](int year, int month) {
+    return util::months_between(util::Date{year, month, 1}, month_start);
+  };
+  double volume = 0.0;
+  if (domain == "dns.google.com") {
+    // Public since 2016: the largest and longest-lived, steady growth.
+    const int m = months_since(2016, 1);
+    if (m >= 0) volume = 20000.0 * std::pow(1.06, m);
+  } else if (domain == "mozilla.cloudflare-dns.com") {
+    // Launched Apr 2018; the Firefox Nightly experiment (Sep 2018) triples it.
+    const int m = months_since(2018, 4);
+    if (m >= 0) {
+      volume = 800.0 * std::pow(1.22, m);
+      if (month_start >= util::Date{2018, 9, 1}) volume *= 3.0;
+    }
+  } else if (domain == "cloudflare-dns.com") {
+    // Not exclusively DoH (the paper excludes it for trend analysis);
+    // carries generic traffic as well.
+    const int m = months_since(2018, 4);
+    if (m >= 0) volume = 5000.0 * std::pow(1.05, m);
+  } else if (domain == "doh.cleanbrowsing.org") {
+    // ~200 (Sep 2018) -> ~1.9K (Mar 2019): the ~10x growth of Fig. 13.
+    const int m = months_since(2018, 9);
+    if (m >= 0) volume = 200.0 * std::pow(1.46, m);
+  } else if (domain == "doh.crypto.sx") {
+    const int m = months_since(2017, 10);
+    if (m >= 0) volume = 150.0 * std::pow(1.12, m);
+  } else if (domain == "dns.quad9.net") {
+    // DoH only since Oct 2018; earlier lookups belong to other services.
+    const int m = months_since(2018, 10);
+    if (m >= 0) volume = 400.0 * std::pow(1.15, m);
+  } else {
+    // The small resolvers: tens of lookups per month once launched.
+    const int m = months_since(2018, 6);
+    if (m >= 0) {
+      const std::uint64_t h = util::fnv1a(domain);
+      volume = 8.0 + static_cast<double>(h % 40);
+    }
+  }
+  if (volume <= 0.0) return 0.0;
+  // Month-to-month noise, deterministic per (domain, month).
+  const std::uint64_t h = util::mix64(
+      seed_ ^ util::fnv1a(domain) ^
+      static_cast<std::uint64_t>(month_start.month_index()));
+  return volume * (0.85 + 0.3 * static_cast<double>(h % 1000) / 1000.0);
+}
+
+std::vector<std::string> PassiveDnsStudyResults::popular_domains(
+    std::uint64_t threshold) const {
+  std::vector<std::string> out;
+  for (const auto& agg : aggregate_db.all())
+    if (agg.total_count > threshold) out.push_back(agg.domain);
+  return out;
+}
+
+PassiveDnsStudyResults run_passive_dns_study(PassiveDnsStudyConfig config) {
+  PassiveDnsStudyResults results;
+  DohUsageModel model(config.seed);
+  util::Rng rng(util::mix64(config.seed ^ 0x9D45ULL));
+
+  for (util::Date month = config.start.month_start(); month < config.end;
+       month = month.next_month()) {
+    for (const auto& domain : DohUsageModel::domains()) {
+      const double monthly = model.monthly_volume(domain, month);
+      if (monthly <= 0.0) continue;
+      // Daily store: spread the month's volume across days.
+      const int days = util::days_in_month(month.year, month.month);
+      for (int d = 0; d < days; ++d) {
+        const auto daily = rng.poisson(monthly / days);
+        if (daily > 0) results.daily_db.record(domain, month.plus_days(d), daily);
+      }
+      // Aggregate store: wider coverage, coarser granularity.
+      const auto aggregate = rng.poisson(monthly * config.aggregate_coverage_factor);
+      if (aggregate > 0) results.aggregate_db.record(domain, month, aggregate);
+    }
+  }
+  return results;
+}
+
+}  // namespace encdns::traffic

@@ -1,0 +1,43 @@
+#include "traffic/scan_detector.hpp"
+
+#include <algorithm>
+
+namespace encdns::traffic {
+namespace {
+constexpr std::size_t kDstSetCap = 4096;
+}
+
+void ScanDetector::observe(const RawFlow& flow) {
+  auto& stats = sources_[flow.src.slash24().value()];
+  ++stats.flows;
+  if (!flow.complete_session) ++stats.incomplete;
+  if (stats.dsts.size() < kDstSetCap) stats.dsts.insert(flow.dst.value());
+  update_state(stats);
+}
+
+void ScanDetector::update_state(SourceStats& stats) const {
+  if (stats.flows < config_.min_flows) return;
+  const double incomplete_ratio =
+      static_cast<double>(stats.incomplete) / static_cast<double>(stats.flows);
+  const bool fanout = stats.dsts.size() >= config_.distinct_dst_threshold;
+  // Benign -> Suspicious on fan-out; Suspicious -> Scanner once the flows
+  // are also overwhelmingly handshake-less.
+  if (!fanout) return;
+  if (stats.state == State::kBenign) stats.state = State::kSuspicious;
+  if (incomplete_ratio >= config_.syn_only_threshold) stats.state = State::kScanner;
+}
+
+ScanDetector::State ScanDetector::state_of(util::Ipv4 src_slash24) const {
+  const auto it = sources_.find(src_slash24.slash24().value());
+  return it == sources_.end() ? State::kBenign : it->second.state;
+}
+
+std::vector<util::Ipv4> ScanDetector::scanners() const {
+  std::vector<util::Ipv4> out;
+  for (const auto& [addr, stats] : sources_)
+    if (stats.state == State::kScanner) out.push_back(util::Ipv4{addr});
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace encdns::traffic

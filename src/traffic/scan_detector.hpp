@@ -1,0 +1,51 @@
+// A NetworkScan-Mon-style scan detector (§5.2): per source /24, track
+// destination fan-out and the fraction of single-SYN (handshake-less) flows;
+// a state-transition heuristic flags sources as scanners. Used to verify
+// that observed DoT client networks are not measurement scanners.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "traffic/netflow.hpp"
+#include "util/ipv4.hpp"
+
+namespace encdns::traffic {
+
+struct ScanDetectorConfig {
+  std::size_t distinct_dst_threshold = 64;  // suspicious fan-out
+  double syn_only_threshold = 0.8;          // of flows with no completed session
+  std::size_t min_flows = 32;
+};
+
+class ScanDetector {
+ public:
+  explicit ScanDetector(ScanDetectorConfig config = {}) : config_(config) {}
+
+  enum class State { kBenign, kSuspicious, kScanner };
+
+  void observe(const RawFlow& flow);
+
+  [[nodiscard]] State state_of(util::Ipv4 src_slash24) const;
+  [[nodiscard]] bool is_scanner(util::Ipv4 src_slash24) const {
+    return state_of(src_slash24) == State::kScanner;
+  }
+  [[nodiscard]] std::vector<util::Ipv4> scanners() const;
+
+ private:
+  struct SourceStats {
+    std::unordered_set<std::uint32_t> dsts;  // capped
+    std::uint64_t flows = 0;
+    std::uint64_t incomplete = 0;
+    State state = State::kBenign;
+  };
+
+  ScanDetectorConfig config_;
+  std::unordered_map<std::uint32_t, SourceStats> sources_;
+
+  void update_state(SourceStats& stats) const;
+};
+
+}  // namespace encdns::traffic

@@ -1,0 +1,98 @@
+#include "util/base64.hpp"
+
+#include <array>
+
+namespace encdns::util {
+namespace {
+
+constexpr std::string_view kUrlAlphabet =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-_";
+constexpr std::string_view kStdAlphabet =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+std::string encode_with(std::span<const std::uint8_t> data, std::string_view alphabet,
+                        bool pad) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  while (i + 3 <= data.size()) {
+    const std::uint32_t n = (static_cast<std::uint32_t>(data[i]) << 16) |
+                            (static_cast<std::uint32_t>(data[i + 1]) << 8) |
+                            static_cast<std::uint32_t>(data[i + 2]);
+    out.push_back(alphabet[(n >> 18) & 0x3F]);
+    out.push_back(alphabet[(n >> 12) & 0x3F]);
+    out.push_back(alphabet[(n >> 6) & 0x3F]);
+    out.push_back(alphabet[n & 0x3F]);
+    i += 3;
+  }
+  const std::size_t rem = data.size() - i;
+  if (rem == 1) {
+    const std::uint32_t n = static_cast<std::uint32_t>(data[i]) << 16;
+    out.push_back(alphabet[(n >> 18) & 0x3F]);
+    out.push_back(alphabet[(n >> 12) & 0x3F]);
+    if (pad) out.append("==");
+  } else if (rem == 2) {
+    const std::uint32_t n = (static_cast<std::uint32_t>(data[i]) << 16) |
+                            (static_cast<std::uint32_t>(data[i + 1]) << 8);
+    out.push_back(alphabet[(n >> 18) & 0x3F]);
+    out.push_back(alphabet[(n >> 12) & 0x3F]);
+    out.push_back(alphabet[(n >> 6) & 0x3F]);
+    if (pad) out.push_back('=');
+  }
+  return out;
+}
+
+constexpr std::array<std::int8_t, 256> make_url_reverse() {
+  std::array<std::int8_t, 256> table{};
+  for (auto& v : table) v = -1;
+  for (int i = 0; i < 64; ++i)
+    table[static_cast<unsigned char>(kUrlAlphabet[static_cast<std::size_t>(i)])] =
+        static_cast<std::int8_t>(i);
+  return table;
+}
+
+constexpr auto kUrlReverse = make_url_reverse();
+
+}  // namespace
+
+std::string base64url_encode(std::span<const std::uint8_t> data) {
+  return encode_with(data, kUrlAlphabet, /*pad=*/false);
+}
+
+std::string base64_encode(std::span<const std::uint8_t> data) {
+  return encode_with(data, kStdAlphabet, /*pad=*/true);
+}
+
+std::optional<std::vector<std::uint8_t>> base64url_decode(std::string_view text) {
+  if (text.size() % 4 == 1) return std::nullopt;
+  std::vector<std::uint8_t> out;
+  out.reserve(text.size() / 4 * 3 + 2);
+  std::uint32_t acc = 0;
+  int bits = 0;
+  for (char c : text) {
+    const std::int8_t v = kUrlReverse[static_cast<unsigned char>(c)];
+    if (v < 0) return std::nullopt;
+    acc = (acc << 6) | static_cast<std::uint32_t>(v);
+    bits += 6;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<std::uint8_t>((acc >> bits) & 0xFF));
+    }
+  }
+  // Leftover bits must be zero padding of the final group.
+  if (bits > 0 && (acc & ((1U << bits) - 1)) != 0) return std::nullopt;
+  return out;
+}
+
+std::string hex_encode(std::span<const std::uint8_t> data) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xF]);
+  }
+  return out;
+}
+
+}  // namespace encdns::util

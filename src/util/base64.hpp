@@ -1,0 +1,28 @@
+// Base64url (RFC 4648 §5, unpadded) — the encoding RFC 8484 mandates for the
+// `dns` parameter of DoH GET requests — plus standard base64 and hex helpers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace encdns::util {
+
+/// Encode bytes as unpadded base64url.
+[[nodiscard]] std::string base64url_encode(std::span<const std::uint8_t> data);
+
+/// Decode unpadded base64url. Returns nullopt on any invalid character or an
+/// impossible length (len % 4 == 1).
+[[nodiscard]] std::optional<std::vector<std::uint8_t>> base64url_decode(
+    std::string_view text);
+
+/// Encode bytes as standard base64 with '=' padding.
+[[nodiscard]] std::string base64_encode(std::span<const std::uint8_t> data);
+
+/// Lowercase hex encoding, e.g. for certificate fingerprints.
+[[nodiscard]] std::string hex_encode(std::span<const std::uint8_t> data);
+
+}  // namespace encdns::util

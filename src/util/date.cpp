@@ -1,0 +1,75 @@
+#include "util/date.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace encdns::util {
+namespace {
+
+constexpr std::array<const char*, 12> kMonthAbbrev = {
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+
+}  // namespace
+
+std::int64_t Date::to_days() const noexcept {
+  // Howard Hinnant, "chrono-Compatible Low-Level Date Algorithms".
+  const int y = year - (month <= 2 ? 1 : 0);
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);               // [0, 399]
+  const unsigned doy = static_cast<unsigned>(
+      (153 * (month + (month > 2 ? -3 : 9)) + 2) / 5 + day - 1);           // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;              // [0, 146096]
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+Date Date::from_days(std::int64_t days) noexcept {
+  const std::int64_t z = days + 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);            // [0, 146096]
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);            // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                                 // [0, 11]
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;                         // [1, 31]
+  const unsigned m = mp + (mp < 10 ? 3 : static_cast<unsigned>(-9));       // [1, 12]
+  return Date{static_cast<int>(y + (m <= 2 ? 1 : 0)), static_cast<int>(m),
+              static_cast<int>(d)};
+}
+
+Date Date::plus_days(std::int64_t n) const noexcept { return from_days(to_days() + n); }
+
+Date Date::month_start() const noexcept { return Date{year, month, 1}; }
+
+Date Date::next_month() const noexcept {
+  if (month == 12) return Date{year + 1, 1, 1};
+  return Date{year, month + 1, 1};
+}
+
+std::string Date::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", year, month, day);
+  return buf;
+}
+
+std::string Date::month_label() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%s %04d",
+                kMonthAbbrev[static_cast<std::size_t>(month - 1)], year);
+  return buf;
+}
+
+std::int64_t days_between(const Date& a, const Date& b) noexcept {
+  return b.to_days() - a.to_days();
+}
+
+int months_between(const Date& a, const Date& b) noexcept {
+  return b.month_index() - a.month_index();
+}
+
+int days_in_month(int year, int month) noexcept {
+  const Date first{year, month, 1};
+  return static_cast<int>(days_between(first, first.next_month()));
+}
+
+}  // namespace encdns::util

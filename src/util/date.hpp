@@ -1,0 +1,63 @@
+// Civil-date arithmetic for the simulation timeline.
+//
+// The study spans real calendar ranges (NetFlow: Jul 2017 – Jan 2019; scans:
+// Feb 1 – May 1 2019), so experiments are scheduled against civil dates. The
+// conversion uses Howard Hinnant's days_from_civil algorithm; day numbers are
+// counted from the Unix epoch (1970-01-01 == day 0).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace encdns::util {
+
+/// A civil (proleptic Gregorian) calendar date.
+struct Date {
+  int year = 1970;
+  int month = 1;  // 1..12
+  int day = 1;    // 1..31
+
+  auto operator<=>(const Date&) const = default;
+
+  /// Days since 1970-01-01 (may be negative).
+  [[nodiscard]] std::int64_t to_days() const noexcept;
+
+  /// Inverse of to_days().
+  [[nodiscard]] static Date from_days(std::int64_t days) noexcept;
+
+  /// This date plus `n` days.
+  [[nodiscard]] Date plus_days(std::int64_t n) const noexcept;
+
+  /// First day of this date's month.
+  [[nodiscard]] Date month_start() const noexcept;
+
+  /// First day of the following month.
+  [[nodiscard]] Date next_month() const noexcept;
+
+  /// Months elapsed since year 0 (for month bucketing: year*12 + month-1).
+  [[nodiscard]] int month_index() const noexcept { return year * 12 + (month - 1); }
+
+  /// ISO "YYYY-MM-DD".
+  [[nodiscard]] std::string to_string() const;
+
+  /// Abbreviated "Mon YYYY" (e.g. "Jul 2018") as used in the paper's prose.
+  [[nodiscard]] std::string month_label() const;
+
+  /// Whether this date falls in [from, to) — the convention for service
+  /// activation windows.
+  [[nodiscard]] bool in_window(const Date& from, const Date& to) const noexcept {
+    return *this >= from && *this < to;
+  }
+};
+
+/// Whole days between two dates (b - a).
+[[nodiscard]] std::int64_t days_between(const Date& a, const Date& b) noexcept;
+
+/// Whole-month difference (b - a) in month buckets.
+[[nodiscard]] int months_between(const Date& a, const Date& b) noexcept;
+
+/// Number of days in the given month of the given year.
+[[nodiscard]] int days_in_month(int year, int month) noexcept;
+
+}  // namespace encdns::util

@@ -1,0 +1,51 @@
+#include "util/ipv4.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace encdns::util {
+
+std::string Ipv4::to_string() const {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", octet(0), octet(1), octet(2),
+                octet(3));
+  return buf;
+}
+
+std::optional<Ipv4> Ipv4::parse(std::string_view text) {
+  std::uint32_t value = 0;
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  for (int i = 0; i < 4; ++i) {
+    unsigned octet = 0;
+    const auto [next, ec] = std::from_chars(p, end, octet);
+    if (ec != std::errc{} || octet > 255 || next == p) return std::nullopt;
+    value = (value << 8) | octet;
+    p = next;
+    if (i < 3) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+  }
+  if (p != end) return std::nullopt;
+  return Ipv4{value};
+}
+
+std::string Cidr::to_string() const {
+  return base_.to_string() + "/" + std::to_string(prefix_len_);
+}
+
+std::optional<Cidr> Cidr::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = Ipv4::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  int len = 0;
+  const auto tail = text.substr(slash + 1);
+  const auto [next, ec] = std::from_chars(tail.data(), tail.data() + tail.size(), len);
+  if (ec != std::errc{} || next != tail.data() + tail.size() || len < 0 || len > 32)
+    return std::nullopt;
+  return Cidr{*addr, len};
+}
+
+}  // namespace encdns::util

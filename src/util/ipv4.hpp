@@ -1,0 +1,98 @@
+// IPv4 address and CIDR netblock value types.
+//
+// These live in util (rather than net) because both the DNS wire codec
+// (A-record rdata) and the network simulation use them.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace encdns::util {
+
+/// An IPv4 address stored host-ordered.
+class Ipv4 {
+ public:
+  constexpr Ipv4() = default;
+  constexpr explicit Ipv4(std::uint32_t value) noexcept : value_(value) {}
+  constexpr Ipv4(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d) noexcept
+      : value_((static_cast<std::uint32_t>(a) << 24) |
+               (static_cast<std::uint32_t>(b) << 16) |
+               (static_cast<std::uint32_t>(c) << 8) | d) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
+  [[nodiscard]] constexpr std::uint8_t octet(int i) const noexcept {
+    return static_cast<std::uint8_t>(value_ >> (8 * (3 - i)));
+  }
+
+  /// Dotted-quad representation.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parse "a.b.c.d"; nullopt on malformed input.
+  [[nodiscard]] static std::optional<Ipv4> parse(std::string_view text);
+
+  /// The address truncated to its /24 (client anonymization in §5.1).
+  [[nodiscard]] constexpr Ipv4 slash24() const noexcept {
+    return Ipv4{value_ & 0xFFFFFF00u};
+  }
+
+  auto operator<=>(const Ipv4&) const = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// A CIDR prefix, e.g. 104.16.0.0/12.
+class Cidr {
+ public:
+  constexpr Cidr() = default;
+  constexpr Cidr(Ipv4 base, int prefix_len) noexcept
+      : base_(Ipv4{prefix_len == 0 ? 0 : (base.value() & mask(prefix_len))}),
+        prefix_len_(prefix_len) {}
+
+  [[nodiscard]] constexpr Ipv4 base() const noexcept { return base_; }
+  [[nodiscard]] constexpr int prefix_len() const noexcept { return prefix_len_; }
+
+  /// Number of addresses covered (2^(32-len)).
+  [[nodiscard]] constexpr std::uint64_t size() const noexcept {
+    return 1ULL << (32 - prefix_len_);
+  }
+
+  [[nodiscard]] constexpr bool contains(Ipv4 addr) const noexcept {
+    if (prefix_len_ == 0) return true;
+    return (addr.value() & mask(prefix_len_)) == base_.value();
+  }
+
+  /// The i-th address inside the block (i < size()).
+  [[nodiscard]] constexpr Ipv4 at(std::uint64_t i) const noexcept {
+    return Ipv4{base_.value() + static_cast<std::uint32_t>(i)};
+  }
+
+  /// "a.b.c.d/len".
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parse "a.b.c.d/len".
+  [[nodiscard]] static std::optional<Cidr> parse(std::string_view text);
+
+  auto operator<=>(const Cidr&) const = default;
+
+ private:
+  Ipv4 base_{};
+  int prefix_len_ = 32;
+
+  [[nodiscard]] static constexpr std::uint32_t mask(int len) noexcept {
+    return len == 0 ? 0u : ~0u << (32 - len);
+  }
+};
+
+}  // namespace encdns::util
+
+template <>
+struct std::hash<encdns::util::Ipv4> {
+  std::size_t operator()(const encdns::util::Ipv4& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};

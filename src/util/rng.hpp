@@ -1,0 +1,100 @@
+// Deterministic pseudo-random number generation for the simulation.
+//
+// Every stochastic decision in encdns flows from a seeded generator so that a
+// whole measurement study is reproducible bit-for-bit from a single seed.
+// We use xoshiro256++ (Blackman & Vigna) seeded through splitmix64, which is
+// the customary way to expand a 64-bit seed into xoshiro's 256-bit state.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <string_view>
+#include <vector>
+
+namespace encdns::util {
+
+/// One step of the splitmix64 sequence starting at `x`. Also usable as a
+/// high-quality 64-bit integer mixer/finalizer.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& x) noexcept;
+
+/// Stateless mix of a 64-bit value (splitmix64 finalizer). Used to derive
+/// independent child seeds and for procedural "is this address special?"
+/// predicates that must not consume generator state.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x) noexcept;
+
+/// FNV-1a hash of a byte string, for deterministic keyed lookups.
+[[nodiscard]] std::uint64_t fnv1a(std::string_view s) noexcept;
+
+/// xoshiro256++ generator. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0xEC0DD5EC0DD5ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next(); }
+  result_type next() noexcept;
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift rejection.
+  /// bound == 0 returns 0.
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept;
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  [[nodiscard]] bool chance(double p) noexcept;
+
+  /// Standard normal deviate (Box-Muller, cached second value).
+  [[nodiscard]] double normal() noexcept;
+
+  /// Normal deviate with mean/stddev.
+  [[nodiscard]] double normal(double mean, double stddev) noexcept;
+
+  /// Exponential deviate with the given mean (mean <= 0 returns 0).
+  [[nodiscard]] double exponential(double mean) noexcept;
+
+  /// Log-normal deviate parameterized by the median and a multiplicative
+  /// sigma (log-space stddev). Handy for heavy-tailed latency components.
+  [[nodiscard]] double lognormal(double median, double sigma) noexcept;
+
+  /// Pareto (power-law) deviate with scale xm > 0 and shape alpha > 0.
+  [[nodiscard]] double pareto(double xm, double alpha) noexcept;
+
+  /// Poisson deviate (Knuth for small lambda, normal approx for large).
+  [[nodiscard]] std::uint64_t poisson(double lambda) noexcept;
+
+  /// Index drawn according to non-negative `weights` (all-zero -> 0).
+  [[nodiscard]] std::size_t weighted(const std::vector<double>& weights) noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[below(i)]);
+    }
+  }
+
+  /// Derive an independent child generator; `stream` distinguishes siblings.
+  [[nodiscard]] Rng fork(std::uint64_t stream) const noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace encdns::util

@@ -1,0 +1,124 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace encdns::util {
+
+std::optional<double> percentile(std::vector<double> sample, double q) {
+  if (sample.empty()) return std::nullopt;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(sample.begin(), sample.end());
+  const double pos = q * static_cast<double>(sample.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sample.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sample[lo] + frac * (sample[hi] - sample[lo]);
+}
+
+std::optional<double> median(std::vector<double> sample) {
+  return percentile(std::move(sample), 0.5);
+}
+
+std::optional<double> mean(const std::vector<double>& sample) {
+  if (sample.empty()) return std::nullopt;
+  double sum = 0.0;
+  for (double v : sample) sum += v;
+  return sum / static_cast<double>(sample.size());
+}
+
+std::optional<double> stddev(const std::vector<double>& sample) {
+  if (sample.size() < 2) return std::nullopt;
+  const double m = *mean(sample);
+  double acc = 0.0;
+  for (double v : sample) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(sample.size() - 1));
+}
+
+Summary summarize(std::vector<double> sample) {
+  Summary s;
+  if (sample.empty()) return s;
+  std::sort(sample.begin(), sample.end());
+  const auto q = [&](double p) {
+    const double pos = p * static_cast<double>(sample.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sample.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sample[lo] + frac * (sample[hi] - sample[lo]);
+  };
+  s.count = sample.size();
+  s.min = sample.front();
+  s.max = sample.back();
+  s.p25 = q(0.25);
+  s.median = q(0.5);
+  s.p75 = q(0.75);
+  s.p90 = q(0.9);
+  double sum = 0.0;
+  for (double v : sample) sum += v;
+  s.mean = sum / static_cast<double>(sample.size());
+  return s;
+}
+
+Cdf::Cdf(std::vector<double> sample) : sorted_(std::move(sample)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Cdf::at(double x) const noexcept {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Cdf::quantile(double q) const {
+  if (sorted_.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] + frac * (sorted_[hi] - sorted_[lo]);
+}
+
+std::vector<std::pair<double, double>> Cdf::points(std::size_t n) const {
+  std::vector<std::pair<double, double>> out;
+  if (sorted_.empty() || n == 0) return out;
+  out.reserve(n);
+  const double lo = sorted_.front();
+  const double hi = sorted_.back();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x =
+        n == 1 ? hi : lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(n - 1);
+    out.emplace_back(x, at(x));
+  }
+  return out;
+}
+
+void Counter::add(const std::string& key, double amount) {
+  total_ += amount;
+  entries_[key] += amount;
+}
+
+double Counter::get(const std::string& key) const noexcept {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? 0.0 : it->second;
+}
+
+std::vector<std::pair<std::string, double>> Counter::sorted_desc() const {
+  std::vector<std::pair<std::string, double>> out(entries_.begin(), entries_.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+double Counter::top_share(std::size_t k) const {
+  if (total_ <= 0.0) return 0.0;
+  auto sorted = sorted_desc();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < std::min(k, sorted.size()); ++i) acc += sorted[i].second;
+  return acc / total_;
+}
+
+}  // namespace encdns::util

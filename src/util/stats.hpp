@@ -1,0 +1,85 @@
+// Descriptive statistics used throughout the measurement pipelines:
+// medians/percentiles for latency comparisons (paper §4.3), CDFs for
+// provider/address distributions (Figure 4), and simple accumulators.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace encdns::util {
+
+/// Percentile of a sample using linear interpolation between order statistics
+/// (the "R-7" rule, same as numpy's default). `q` in [0,1]. Empty -> nullopt.
+[[nodiscard]] std::optional<double> percentile(std::vector<double> sample, double q);
+
+/// Median convenience wrapper.
+[[nodiscard]] std::optional<double> median(std::vector<double> sample);
+
+/// Arithmetic mean. Empty -> nullopt.
+[[nodiscard]] std::optional<double> mean(const std::vector<double>& sample);
+
+/// Sample standard deviation (n-1 denominator). Fewer than 2 values -> nullopt.
+[[nodiscard]] std::optional<double> stddev(const std::vector<double>& sample);
+
+/// Five-number-plus summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p90 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+};
+
+/// Compute a Summary; empty input yields a zeroed Summary with count == 0.
+[[nodiscard]] Summary summarize(std::vector<double> sample);
+
+/// Empirical CDF over a sample: evaluate fraction of values <= x, and extract
+/// evenly spaced points for plotting/printing.
+class Cdf {
+ public:
+  explicit Cdf(std::vector<double> sample);
+
+  [[nodiscard]] std::size_t count() const noexcept { return sorted_.size(); }
+
+  /// P(X <= x); 0 for empty sample.
+  [[nodiscard]] double at(double x) const noexcept;
+
+  /// Inverse CDF (quantile); empty -> 0.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// `n` (x, F(x)) points spanning the sample range, for rendering.
+  [[nodiscard]] std::vector<std::pair<double, double>> points(std::size_t n) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Streaming counter keyed by string, with sorted extraction. Used for
+/// per-country / per-provider / per-netblock tallies.
+class Counter {
+ public:
+  void add(const std::string& key, double amount = 1.0);
+
+  [[nodiscard]] double get(const std::string& key) const noexcept;
+  [[nodiscard]] double total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t distinct() const noexcept { return entries_.size(); }
+
+  /// Entries sorted by descending count (ties broken by key).
+  [[nodiscard]] std::vector<std::pair<std::string, double>> sorted_desc() const;
+
+  /// Top-k share of the total (0 if empty).
+  [[nodiscard]] double top_share(std::size_t k) const;
+
+ private:
+  std::unordered_map<std::string, double> entries_;
+  double total_ = 0.0;
+};
+
+}  // namespace encdns::util

@@ -1,0 +1,30 @@
+// Small string utilities shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace encdns::util {
+
+/// Split on a separator character; empty fields are preserved.
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char sep);
+
+/// Join with a separator string.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// ASCII lowercase copy.
+[[nodiscard]] std::string to_lower(std::string_view text);
+
+/// Case-insensitive ASCII equality.
+[[nodiscard]] bool iequals(std::string_view a, std::string_view b) noexcept;
+
+/// Trim ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view text) noexcept;
+
+/// True if `text` starts with / ends with the given suffix, case-insensitive.
+[[nodiscard]] bool istarts_with(std::string_view text, std::string_view prefix) noexcept;
+[[nodiscard]] bool iends_with(std::string_view text, std::string_view suffix) noexcept;
+
+}  // namespace encdns::util

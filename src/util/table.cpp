@@ -1,0 +1,112 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+namespace encdns::util {
+
+Table::Table(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+std::string Table::render() const {
+  const std::size_t cols = headers_.size();
+  std::vector<std::size_t> widths(cols, 0);
+  for (std::size_t c = 0; c < cols; ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < cols && c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  const auto rule = [&](char fill, char joint) {
+    std::string line = "+";
+    for (std::size_t c = 0; c < cols; ++c) {
+      line.append(widths[c] + 2, fill);
+      line.push_back(joint);
+    }
+    line.back() = '+';
+    return line + "\n";
+  };
+  const auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      line.push_back(' ');
+      line += cell;
+      line.append(widths[c] - cell.size() + 1, ' ');
+      line.push_back('|');
+    }
+    return line + "\n";
+  };
+
+  std::string out;
+  if (!title_.empty()) out += "== " + title_ + " ==\n";
+  out += rule('-', '+');
+  out += render_row(headers_);
+  out += rule('=', '+');
+  for (const auto& row : rows_) out += render_row(row);
+  out += rule('-', '+');
+  return out;
+}
+
+std::string Table::to_csv() const {
+  const auto escape = [](const std::string& field) {
+    if (field.find_first_of(",\"\n") == std::string::npos) return field;
+    std::string quoted = "\"";
+    for (char ch : field) {
+      if (ch == '"') quoted += "\"\"";
+      else quoted.push_back(ch);
+    }
+    quoted.push_back('"');
+    return quoted;
+  };
+  std::string out;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) out.push_back(',');
+    out += escape(headers_[c]);
+  }
+  out.push_back('\n');
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out.push_back(',');
+      out += escape(row[c]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string fmt(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string fmt_pct(double fraction, int decimals) {
+  return fmt(fraction * 100.0, decimals) + "%";
+}
+
+std::string fmt_count(std::int64_t value) {
+  const bool neg = value < 0;
+  std::string digits = std::to_string(neg ? -value : value);
+  std::string out;
+  const std::size_t first = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - first) % 3 == 0 && i >= first) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return neg ? "-" + out : out;
+}
+
+std::string fmt_growth(double before, double after) {
+  if (before <= 0.0) return "n/a";
+  const double pct = (after - before) / before * 100.0;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.0f%%", pct);
+  return buf;
+}
+
+}  // namespace encdns::util

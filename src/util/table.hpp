@@ -1,0 +1,79 @@
+// ASCII table rendering and CSV export. Every experiment runner produces a
+// Table, so the bench binaries can print paper-style rows and the dataset can
+// be exported for external plotting.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace encdns::util {
+
+/// A rectangular table of strings with a title and column headers.
+class Table {
+ public:
+  Table() = default;
+  Table(std::string title, std::vector<std::string> headers);
+
+  void set_title(std::string title) { title_ = std::move(title); }
+  void set_headers(std::vector<std::string> headers) { headers_ = std::move(headers); }
+
+  /// Append a row; it is padded/truncated to the header width on render.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: start a row builder.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(Table& table) : table_(table) {}
+    ~RowBuilder() { table_.add_row(std::move(cells_)); }
+    RowBuilder(const RowBuilder&) = delete;
+    RowBuilder& operator=(const RowBuilder&) = delete;
+
+    RowBuilder& cell(std::string value) & {
+      cells_.push_back(std::move(value));
+      return *this;
+    }
+    RowBuilder&& cell(std::string value) && {
+      cells_.push_back(std::move(value));
+      return std::move(*this);
+    }
+
+   private:
+    Table& table_;
+    std::vector<std::string> cells_;
+  };
+
+  [[nodiscard]] const std::string& title() const noexcept { return title_; }
+  [[nodiscard]] const std::vector<std::string>& headers() const noexcept {
+    return headers_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const noexcept {
+    return rows_;
+  }
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Render with box-drawing rules, padded columns, title banner.
+  [[nodiscard]] std::string render() const;
+
+  /// RFC-4180-ish CSV (quotes fields containing comma/quote/newline).
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `decimals` fraction digits.
+[[nodiscard]] std::string fmt(double value, int decimals = 2);
+
+/// Format as a percentage string, e.g. fmt_pct(0.1646) == "16.46%".
+[[nodiscard]] std::string fmt_pct(double fraction, int decimals = 2);
+
+/// Thousands-separated integer, e.g. 29622 -> "29,622".
+[[nodiscard]] std::string fmt_count(std::int64_t value);
+
+/// Signed growth percentage, e.g. +108% / -84% (paper Table 2 style).
+[[nodiscard]] std::string fmt_growth(double before, double after);
+
+}  // namespace encdns::util

@@ -1,0 +1,245 @@
+#include "world/countries.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace encdns::world {
+namespace {
+
+using T = LinkTier;
+
+// code, name, lat, lon, internet users (millions, rough 2019 figures), tier.
+const std::vector<CountryInfo> kCountries = {
+    {"CN", "China", {35.0, 105.0}, 850, T::kGood},
+    {"IN", "India", {21.0, 78.0}, 560, T::kFair},
+    {"US", "United States", {39.0, -98.0}, 290, T::kExcellent},
+    {"ID", "Indonesia", {-2.5, 118.0}, 170, T::kFair},
+    {"BR", "Brazil", {-10.0, -52.0}, 150, T::kFair},
+    {"NG", "Nigeria", {9.0, 8.0}, 120, T::kPoor},
+    {"JP", "Japan", {36.0, 138.0}, 117, T::kExcellent},
+    {"RU", "Russia", {56.0, 38.0}, 110, T::kGood},
+    {"BD", "Bangladesh", {24.0, 90.0}, 95, T::kPoor},
+    {"MX", "Mexico", {23.0, -102.0}, 88, T::kFair},
+    {"DE", "Germany", {51.0, 9.0}, 78, T::kExcellent},
+    {"PH", "Philippines", {12.0, 122.0}, 73, T::kFair},
+    {"TR", "Turkey", {39.0, 35.0}, 69, T::kGood},
+    {"VN", "Vietnam", {16.0, 106.0}, 68, T::kFair},
+    {"GB", "United Kingdom", {54.0, -2.0}, 63, T::kExcellent},
+    {"IR", "Iran", {32.0, 53.0}, 62, T::kFair},
+    {"FR", "France", {47.0, 2.0}, 60, T::kExcellent},
+    {"TH", "Thailand", {15.0, 101.0}, 57, T::kGood},
+    {"IT", "Italy", {43.0, 12.0}, 54, T::kGood},
+    {"EG", "Egypt", {27.0, 30.0}, 49, T::kFair},
+    {"KR", "South Korea", {36.5, 128.0}, 47, T::kExcellent},
+    {"ES", "Spain", {40.0, -4.0}, 42, T::kGood},
+    {"PK", "Pakistan", {30.0, 70.0}, 44, T::kPoor},
+    {"CA", "Canada", {56.0, -106.0}, 33, T::kExcellent},
+    {"AR", "Argentina", {-34.0, -64.0}, 33, T::kFair},
+    {"PL", "Poland", {52.0, 19.0}, 28, T::kGood},
+    {"CO", "Colombia", {4.0, -73.0}, 28, T::kFair},
+    {"ZA", "South Africa", {-29.0, 24.0}, 28, T::kFair},
+    {"UA", "Ukraine", {49.0, 32.0}, 26, T::kGood},
+    {"MY", "Malaysia", {3.0, 102.0}, 25, T::kGood},
+    {"SA", "Saudi Arabia", {24.0, 45.0}, 24, T::kGood},
+    {"MA", "Morocco", {32.0, -6.0}, 20, T::kFair},
+    {"AU", "Australia", {-25.0, 134.0}, 21, T::kGood},
+    {"TW", "Taiwan", {23.7, 121.0}, 20, T::kExcellent},
+    {"VE", "Venezuela", {8.0, -66.0}, 17, T::kPoor},
+    {"NL", "Netherlands", {52.2, 5.3}, 16, T::kExcellent},
+    {"KE", "Kenya", {0.5, 37.5}, 16, T::kPoor},
+    {"PE", "Peru", {-10.0, -76.0}, 15, T::kFair},
+    {"RO", "Romania", {46.0, 25.0}, 14, T::kGood},
+    {"UZ", "Uzbekistan", {41.0, 64.0}, 13, T::kPoor},
+    {"CL", "Chile", {-33.5, -70.7}, 13, T::kGood},
+    {"MM", "Myanmar", {21.0, 96.0}, 13, T::kPoor},
+    {"IQ", "Iraq", {33.0, 44.0}, 13, T::kPoor},
+    {"DZ", "Algeria", {28.0, 2.0}, 13, T::kFair},
+    {"KZ", "Kazakhstan", {48.0, 68.0}, 12, T::kFair},
+    {"LK", "Sri Lanka", {7.5, 80.7}, 8, T::kFair},
+    {"GH", "Ghana", {8.0, -1.0}, 10, T::kPoor},
+    {"SE", "Sweden", {62.0, 15.0}, 9, T::kExcellent},
+    {"BE", "Belgium", {50.6, 4.5}, 9, T::kExcellent},
+    {"CZ", "Czechia", {49.8, 15.5}, 8, T::kGood},
+    {"HU", "Hungary", {47.0, 20.0}, 8, T::kGood},
+    {"PT", "Portugal", {39.5, -8.0}, 8, T::kGood},
+    {"GR", "Greece", {39.0, 22.0}, 8, T::kGood},
+    {"AZ", "Azerbaijan", {40.5, 47.5}, 8, T::kFair},
+    {"CH", "Switzerland", {46.8, 8.2}, 8, T::kExcellent},
+    {"AT", "Austria", {47.5, 14.5}, 8, T::kExcellent},
+    {"IL", "Israel", {31.5, 34.9}, 7, T::kExcellent},
+    {"HK", "Hong Kong", {22.3, 114.2}, 7, T::kExcellent},
+    {"BY", "Belarus", {53.5, 28.0}, 7, T::kGood},
+    {"TZ", "Tanzania", {-6.0, 35.0}, 7, T::kPoor},
+    {"AE", "United Arab Emirates", {24.0, 54.0}, 9, T::kGood},
+    {"EC", "Ecuador", {-1.8, -78.2}, 9, T::kFair},
+    {"GT", "Guatemala", {15.5, -90.3}, 7, T::kFair},
+    {"NP", "Nepal", {28.0, 84.0}, 7, T::kPoor},
+    {"DO", "Dominican Republic", {19.0, -70.7}, 6, T::kFair},
+    {"BO", "Bolivia", {-17.0, -65.0}, 6, T::kPoor},
+    {"TN", "Tunisia", {34.0, 9.0}, 6, T::kFair},
+    {"SG", "Singapore", {1.35, 103.8}, 5, T::kExcellent},
+    {"DK", "Denmark", {56.0, 10.0}, 5, T::kExcellent},
+    {"FI", "Finland", {64.0, 26.0}, 5, T::kExcellent},
+    {"NO", "Norway", {61.0, 9.0}, 5, T::kExcellent},
+    {"SK", "Slovakia", {48.7, 19.5}, 5, T::kGood},
+    {"IE", "Ireland", {53.2, -7.6}, 4, T::kExcellent},
+    {"NZ", "New Zealand", {-41.0, 174.0}, 4, T::kGood},
+    {"CR", "Costa Rica", {10.0, -84.0}, 4, T::kFair},
+    {"HR", "Croatia", {45.2, 15.5}, 4, T::kGood},
+    {"JO", "Jordan", {31.0, 36.0}, 6, T::kFair},
+    {"RS", "Serbia", {44.0, 21.0}, 6, T::kGood},
+    {"BG", "Bulgaria", {43.0, 25.0}, 5, T::kGood},
+    {"LB", "Lebanon", {33.9, 35.9}, 4, T::kFair},
+    {"KH", "Cambodia", {12.5, 105.0}, 8, T::kPoor},
+    {"SN", "Senegal", {14.5, -14.5}, 5, T::kPoor},
+    {"CI", "Ivory Coast", {7.5, -5.5}, 6, T::kPoor},
+    {"CM", "Cameroon", {5.5, 12.5}, 6, T::kPoor},
+    {"UG", "Uganda", {1.3, 32.3}, 8, T::kPoor},
+    {"ET", "Ethiopia", {9.0, 39.5}, 11, T::kPoor},
+    {"SD", "Sudan", {15.5, 30.5}, 9, T::kPoor},
+    {"AO", "Angola", {-12.5, 18.5}, 6, T::kPoor},
+    {"MZ", "Mozambique", {-18.0, 35.5}, 5, T::kPoor},
+    {"ZM", "Zambia", {-14.0, 27.8}, 4, T::kPoor},
+    {"ZW", "Zimbabwe", {-19.0, 29.8}, 4, T::kPoor},
+    {"LY", "Libya", {27.0, 17.0}, 3, T::kPoor},
+    {"PY", "Paraguay", {-23.3, -58.0}, 4, T::kFair},
+    {"UY", "Uruguay", {-32.8, -56.0}, 3, T::kGood},
+    {"PA", "Panama", {8.5, -80.0}, 3, T::kFair},
+    {"HN", "Honduras", {14.8, -86.5}, 3, T::kPoor},
+    {"NI", "Nicaragua", {13.0, -85.0}, 2, T::kPoor},
+    {"SV", "El Salvador", {13.8, -88.9}, 3, T::kFair},
+    {"JM", "Jamaica", {18.1, -77.3}, 2, T::kFair},
+    {"TT", "Trinidad and Tobago", {10.5, -61.3}, 1, T::kFair},
+    {"CU", "Cuba", {21.5, -79.5}, 3, T::kPoor},
+    {"HT", "Haiti", {19.0, -72.5}, 2, T::kPoor},
+    {"GE", "Georgia", {42.0, 43.5}, 3, T::kFair},
+    {"AM", "Armenia", {40.3, 45.0}, 2, T::kFair},
+    {"MD", "Moldova", {47.2, 28.5}, 2, T::kGood},
+    {"LT", "Lithuania", {55.2, 23.9}, 2, T::kGood},
+    {"LV", "Latvia", {56.9, 24.9}, 2, T::kGood},
+    {"EE", "Estonia", {58.7, 25.5}, 1, T::kExcellent},
+    {"SI", "Slovenia", {46.1, 14.8}, 2, T::kGood},
+    {"BA", "Bosnia and Herzegovina", {44.2, 17.8}, 2, T::kFair},
+    {"MK", "North Macedonia", {41.6, 21.7}, 1, T::kFair},
+    {"AL", "Albania", {41.0, 20.0}, 2, T::kFair},
+    {"CY", "Cyprus", {35.0, 33.2}, 1, T::kGood},
+    {"MT", "Malta", {35.9, 14.4}, 0.5, T::kGood},
+    {"LU", "Luxembourg", {49.8, 6.1}, 0.6, T::kExcellent},
+    {"IS", "Iceland", {65.0, -18.5}, 0.3, T::kExcellent},
+    {"QA", "Qatar", {25.3, 51.2}, 2.8, T::kGood},
+    {"KW", "Kuwait", {29.3, 47.7}, 4, T::kGood},
+    {"BH", "Bahrain", {26.1, 50.5}, 1.5, T::kGood},
+    {"OM", "Oman", {21.0, 57.0}, 3, T::kGood},
+    {"YE", "Yemen", {15.5, 47.5}, 7, T::kPoor},
+    {"SY", "Syria", {35.0, 38.0}, 6, T::kPoor},
+    {"AF", "Afghanistan", {34.0, 66.0}, 4, T::kPoor},
+    {"MN", "Mongolia", {46.9, 103.8}, 2, T::kFair},
+    {"LA", "Laos", {18.0, 103.8}, 2, T::kPoor},
+    {"BN", "Brunei", {4.5, 114.7}, 0.4, T::kGood},
+    {"PG", "Papua New Guinea", {-6.5, 145.0}, 1, T::kPoor},
+    {"FJ", "Fiji", {-17.8, 178.0}, 0.5, T::kFair},
+    {"MV", "Maldives", {3.2, 73.2}, 0.3, T::kFair},
+    {"BT", "Bhutan", {27.5, 90.5}, 0.4, T::kPoor},
+    {"MO", "Macao", {22.2, 113.5}, 0.6, T::kExcellent},
+    {"TJ", "Tajikistan", {38.8, 71.0}, 2, T::kPoor},
+    {"KG", "Kyrgyzstan", {41.3, 74.8}, 2, T::kPoor},
+    {"TM", "Turkmenistan", {39.0, 59.5}, 1, T::kPoor},
+    {"RW", "Rwanda", {-2.0, 30.0}, 2, T::kPoor},
+    {"BI", "Burundi", {-3.4, 29.9}, 0.6, T::kPoor},
+    {"MW", "Malawi", {-13.5, 34.3}, 2, T::kPoor},
+    {"MG", "Madagascar", {-19.5, 46.5}, 2, T::kPoor},
+    {"MU", "Mauritius", {-20.3, 57.6}, 0.8, T::kFair},
+    {"BW", "Botswana", {-22.3, 24.7}, 1, T::kFair},
+    {"NA", "Namibia", {-22.0, 17.0}, 1, T::kFair},
+    {"LS", "Lesotho", {-29.5, 28.2}, 0.6, T::kPoor},
+    {"SZ", "Eswatini", {-26.5, 31.5}, 0.5, T::kPoor},
+    {"GA", "Gabon", {-0.8, 11.6}, 1, T::kPoor},
+    {"CG", "Congo", {-1.0, 15.5}, 1, T::kPoor},
+    {"CD", "DR Congo", {-3.0, 23.5}, 7, T::kPoor},
+    {"ML", "Mali", {17.5, -4.0}, 3, T::kPoor},
+    {"BF", "Burkina Faso", {12.3, -1.7}, 3, T::kPoor},
+    {"NE", "Niger", {17.5, 8.0}, 2, T::kPoor},
+    {"TD", "Chad", {15.5, 18.7}, 1, T::kPoor},
+    {"TG", "Togo", {8.6, 1.0}, 1, T::kPoor},
+    {"BJ", "Benin", {9.5, 2.3}, 2, T::kPoor},
+    {"GN", "Guinea", {10.5, -10.7}, 2, T::kPoor},
+    {"SL", "Sierra Leone", {8.5, -11.8}, 1, T::kPoor},
+    {"LR", "Liberia", {6.5, -9.5}, 1, T::kPoor},
+    {"MR", "Mauritania", {20.3, -10.3}, 1, T::kPoor},
+    {"GM", "Gambia", {13.5, -15.5}, 0.5, T::kPoor},
+    {"SO", "Somalia", {5.5, 46.0}, 1, T::kPoor},
+    {"DJ", "Djibouti", {11.8, 42.6}, 0.4, T::kPoor},
+    {"ER", "Eritrea", {15.2, 39.0}, 0.3, T::kPoor},
+    {"SS", "South Sudan", {7.0, 30.0}, 1, T::kPoor},
+    {"CF", "Central African Republic", {6.5, 20.5}, 0.4, T::kPoor},
+    {"PS", "Palestine", {31.9, 35.2}, 3, T::kFair},
+    {"BZ", "Belize", {17.2, -88.5}, 0.3, T::kFair},
+    {"GY", "Guyana", {5.0, -58.8}, 0.5, T::kFair},
+    {"SR", "Suriname", {4.0, -56.0}, 0.4, T::kFair},
+    {"BS", "Bahamas", {24.3, -76.0}, 0.3, T::kGood},
+    {"BB", "Barbados", {13.2, -59.5}, 0.3, T::kGood},
+    {"AW", "Aruba", {12.5, -70.0}, 0.1, T::kGood},
+    {"CW", "Curacao", {12.2, -69.0}, 0.1, T::kGood},
+    {"GP", "Guadeloupe", {16.2, -61.5}, 0.3, T::kGood},
+    {"MQ", "Martinique", {14.6, -61.0}, 0.3, T::kGood},
+    {"RE", "Reunion", {-21.1, 55.5}, 0.6, T::kGood},
+    {"NC", "New Caledonia", {-21.3, 165.5}, 0.2, T::kGood},
+    {"PF", "French Polynesia", {-17.6, -149.5}, 0.2, T::kFair},
+    {"GU", "Guam", {13.5, 144.8}, 0.1, T::kGood},
+    {"VU", "Vanuatu", {-16.5, 168.0}, 0.1, T::kPoor},
+    {"SB", "Solomon Islands", {-9.5, 160.0}, 0.1, T::kPoor},
+    {"WS", "Samoa", {-13.8, -172.1}, 0.1, T::kPoor},
+    {"TO", "Tonga", {-21.2, -175.2}, 0.1, T::kPoor},
+    {"KI", "Kiribati", {1.4, 173.0}, 0.05, T::kPoor},
+    {"TL", "Timor-Leste", {-8.8, 125.8}, 0.3, T::kPoor},
+    {"MH", "Marshall Islands", {7.1, 171.1}, 0.04, T::kPoor},
+    {"FM", "Micronesia", {6.9, 158.2}, 0.05, T::kPoor},
+    {"PW", "Palau", {7.5, 134.6}, 0.03, T::kGood},
+};
+
+}  // namespace
+
+const std::vector<CountryInfo>& countries() { return kCountries; }
+
+const CountryInfo* find_country(std::string_view code) {
+  const auto it = std::find_if(kCountries.begin(), kCountries.end(),
+                               [&](const CountryInfo& c) { return c.code == code; });
+  return it == kCountries.end() ? nullptr : &*it;
+}
+
+net::LinkProfile default_link_profile(LinkTier tier) {
+  net::LinkProfile profile;
+  switch (tier) {
+    case LinkTier::kExcellent:
+      profile.last_mile = sim::Millis{4.0};
+      profile.jitter_sigma = 0.08;
+      profile.loss_rate = 0.001;
+      break;
+    case LinkTier::kGood:
+      profile.last_mile = sim::Millis{9.0};
+      profile.jitter_sigma = 0.12;
+      profile.loss_rate = 0.003;
+      break;
+    case LinkTier::kFair:
+      profile.last_mile = sim::Millis{18.0};
+      profile.jitter_sigma = 0.20;
+      profile.loss_rate = 0.008;
+      break;
+    case LinkTier::kPoor:
+      profile.last_mile = sim::Millis{35.0};
+      profile.jitter_sigma = 0.30;
+      profile.loss_rate = 0.02;
+      break;
+  }
+  return profile;
+}
+
+std::uint32_t asn_for(std::string_view code, std::uint32_t index) {
+  // Stable synthetic AS numbers in the 32-bit private-use-adjacent range,
+  // derived from the country code so reports are reproducible.
+  const std::uint64_t base = util::fnv1a(code) % 60000;
+  return static_cast<std::uint32_t>(1000 + base + index);
+}
+
+}  // namespace encdns::world

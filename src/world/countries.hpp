@@ -1,0 +1,45 @@
+// Country reference data for the simulated internet: coordinates (population
+// centroids, approximate), internet-user weights for sampling vantage points,
+// and per-country access-link quality classes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/geo.hpp"
+
+namespace encdns::world {
+
+/// Broad access-network quality tiers, driving last-mile latency and loss.
+enum class LinkTier {
+  kExcellent,  // dense fiber markets (KR, JP, Western EU, US metros)
+  kGood,       // most developed markets
+  kFair,       // emerging markets
+  kPoor,       // constrained/remote markets
+};
+
+struct CountryInfo {
+  std::string_view code;  // ISO 3166-1 alpha-2
+  std::string_view name;
+  net::GeoPoint geo;      // population-weighted centroid, approximate
+  double weight;          // relative internet-user population (millions, rough)
+  LinkTier tier;
+};
+
+/// The full country table (~170 entries).
+[[nodiscard]] const std::vector<CountryInfo>& countries();
+
+/// Lookup by ISO code; nullptr when unknown.
+[[nodiscard]] const CountryInfo* find_country(std::string_view code);
+
+/// Last-mile latency/loss defaults per tier.
+[[nodiscard]] net::LinkProfile default_link_profile(LinkTier tier);
+
+/// A deterministic block of AS numbers for a country (synthetic but stable):
+/// `asn_for(code, i)` with i in [0, asn_count) — used to label vantage points.
+[[nodiscard]] std::uint32_t asn_for(std::string_view code, std::uint32_t index);
+
+}  // namespace encdns::world

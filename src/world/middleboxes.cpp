@@ -1,0 +1,172 @@
+#include "world/middleboxes.hpp"
+
+#include <algorithm>
+
+#include "dns/message.hpp"
+#include "dns/query.hpp"
+#include "dns/types.hpp"
+#include "http/message.hpp"
+
+namespace encdns::world {
+
+// --- Port53FilterBox --------------------------------------------------------
+
+Port53FilterBox::Port53FilterBox(std::vector<util::Ipv4> targets)
+    : targets_(targets.begin(), targets.end()) {}
+
+net::Middlebox::TcpVerdict Port53FilterBox::on_tcp_syn(util::Ipv4 dst,
+                                                       std::uint16_t port,
+                                                       const util::Date&) const {
+  TcpVerdict verdict;
+  if (port == dns::kDnsPort && targets_.contains(dst))
+    verdict.action = TcpVerdict::Action::kDrop;
+  return verdict;
+}
+
+net::Middlebox::UdpVerdict Port53FilterBox::on_udp(util::Ipv4 dst, std::uint16_t port,
+                                                   std::span<const std::uint8_t>,
+                                                   const util::Date&) const {
+  UdpVerdict verdict;
+  if (port == dns::kDnsPort && targets_.contains(dst))
+    verdict.action = UdpVerdict::Action::kDrop;
+  return verdict;
+}
+
+// --- Dns53SpooferBox --------------------------------------------------------
+
+Dns53SpooferBox::Dns53SpooferBox(std::vector<util::Ipv4> targets,
+                                 util::Ipv4 forged_answer)
+    : targets_(targets.begin(), targets.end()), forged_answer_(forged_answer) {}
+
+net::Middlebox::UdpVerdict Dns53SpooferBox::on_udp(util::Ipv4 dst, std::uint16_t port,
+                                                   std::span<const std::uint8_t> payload,
+                                                   const util::Date&) const {
+  UdpVerdict verdict;
+  if (port != dns::kDnsPort || !targets_.contains(dst)) return verdict;
+  const auto query = dns::Message::decode(payload);
+  if (!query) {
+    verdict.action = UdpVerdict::Action::kDrop;
+    return verdict;
+  }
+  verdict.action = UdpVerdict::Action::kSpoof;
+  verdict.spoofed_response = dns::make_a_response(*query, {forged_answer_}).encode();
+  return verdict;
+}
+
+// --- BlackholeBox -----------------------------------------------------------
+
+BlackholeBox::BlackholeBox(std::vector<util::Ipv4> targets, std::string label)
+    : targets_(targets.begin(), targets.end()), label_(std::move(label)) {}
+
+net::Middlebox::TcpVerdict BlackholeBox::on_tcp_syn(util::Ipv4 dst, std::uint16_t,
+                                                    const util::Date&) const {
+  TcpVerdict verdict;
+  if (targets_.contains(dst)) verdict.action = TcpVerdict::Action::kDrop;
+  return verdict;
+}
+
+net::Middlebox::UdpVerdict BlackholeBox::on_udp(util::Ipv4 dst, std::uint16_t,
+                                                std::span<const std::uint8_t>,
+                                                const util::Date&) const {
+  UdpVerdict verdict;
+  if (targets_.contains(dst)) verdict.action = UdpVerdict::Action::kDrop;
+  return verdict;
+}
+
+// --- DeviceService ----------------------------------------------------------
+
+DeviceService::DeviceService(std::string label,
+                             std::vector<std::uint16_t> open_tcp_ports,
+                             std::string webpage_body)
+    : label_(std::move(label)),
+      ports_(std::move(open_tcp_ports)),
+      webpage_(std::move(webpage_body)) {}
+
+bool DeviceService::accepts(std::uint16_t port, net::Transport transport) const {
+  if (transport != net::Transport::kTcp) return false;
+  return std::find(ports_.begin(), ports_.end(), port) != ports_.end();
+}
+
+net::WireReply DeviceService::handle(const net::WireRequest& request) {
+  if (request.port == 80 && !webpage_.empty()) {
+    http::Response page = http::Response::make(
+        200, "OK", "text/html",
+        std::vector<std::uint8_t>(webpage_.begin(), webpage_.end()));
+    return net::WireReply::of(page.serialize(), sim::Millis{0.4});
+  }
+  // Other services (SSH banners, SNMP, ...) are opaque to the DNS prober.
+  return net::WireReply::none();
+}
+
+std::string DeviceService::webpage(std::uint16_t port) const {
+  return port == 80 ? webpage_ : std::string{};
+}
+
+// --- AddressConflictBox ------------------------------------------------------
+
+AddressConflictBox::AddressConflictBox(util::Ipv4 taken_address,
+                                       std::shared_ptr<DeviceService> device)
+    : taken_(taken_address), device_(std::move(device)) {}
+
+std::string AddressConflictBox::label() const {
+  return "conflict:" + device_->label();
+}
+
+net::Middlebox::TcpVerdict AddressConflictBox::on_tcp_syn(util::Ipv4 dst,
+                                                          std::uint16_t,
+                                                          const util::Date&) const {
+  TcpVerdict verdict;
+  if (dst == taken_) {
+    verdict.action = TcpVerdict::Action::kHijack;
+    verdict.service = device_.get();
+  }
+  return verdict;
+}
+
+net::Middlebox::UdpVerdict AddressConflictBox::on_udp(util::Ipv4 dst, std::uint16_t,
+                                                      std::span<const std::uint8_t>,
+                                                      const util::Date&) const {
+  UdpVerdict verdict;
+  if (dst == taken_) verdict.action = UdpVerdict::Action::kDrop;
+  return verdict;
+}
+
+// --- CensorBox ---------------------------------------------------------------
+
+CensorBox::CensorBox(std::vector<util::Ipv4> blocked)
+    : blocked_(blocked.begin(), blocked.end()) {}
+
+net::Middlebox::TcpVerdict CensorBox::on_tcp_syn(util::Ipv4 dst, std::uint16_t,
+                                                 const util::Date&) const {
+  TcpVerdict verdict;
+  if (blocked_.contains(dst)) verdict.action = TcpVerdict::Action::kDrop;
+  return verdict;
+}
+
+net::Middlebox::UdpVerdict CensorBox::on_udp(util::Ipv4 dst, std::uint16_t,
+                                             std::span<const std::uint8_t>,
+                                             const util::Date&) const {
+  UdpVerdict verdict;
+  if (blocked_.contains(dst)) verdict.action = UdpVerdict::Action::kDrop;
+  return verdict;
+}
+
+// --- TlsInterceptBox ----------------------------------------------------------
+
+TlsInterceptBox::TlsInterceptBox(std::string ca_cn, std::string device_label,
+                                 bool intercept_853)
+    : interceptor_(std::move(ca_cn), std::move(device_label)),
+      intercept_853_(intercept_853) {}
+
+std::string TlsInterceptBox::label() const {
+  return "tls-intercept:" + interceptor_.device_label();
+}
+
+const tls::TlsInterceptor* TlsInterceptBox::tls_interceptor(util::Ipv4,
+                                                            std::uint16_t port) const {
+  if (port == dns::kDohPort) return &interceptor_;
+  if (port == dns::kDotPort && intercept_853_) return &interceptor_;
+  return nullptr;
+}
+
+}  // namespace encdns::world

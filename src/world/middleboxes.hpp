@@ -1,0 +1,151 @@
+// Concrete in-path devices populating client paths, one class per §4.2
+// failure cause: port-53 filtering/hijacking, address conflicts (Table 5),
+// censorship, and TLS interception (Table 6).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "net/middlebox.hpp"
+#include "net/service.hpp"
+#include "tls/intercept.hpp"
+#include "util/ipv4.hpp"
+#include "util/rng.hpp"
+
+namespace encdns::world {
+
+/// Drops traffic to port 53 of a set of prominent resolver addresses — the
+/// "filtering policies on a particular port" the paper suspects behind the
+/// 16% clear-text failure rate. Ports 443/853 pass untouched.
+class Port53FilterBox final : public net::Middlebox {
+ public:
+  explicit Port53FilterBox(std::vector<util::Ipv4> targets);
+
+  [[nodiscard]] std::string label() const override { return "port53-filter"; }
+  [[nodiscard]] TcpVerdict on_tcp_syn(util::Ipv4 dst, std::uint16_t port,
+                                      const util::Date& date) const override;
+  [[nodiscard]] UdpVerdict on_udp(util::Ipv4 dst, std::uint16_t port,
+                                  std::span<const std::uint8_t> payload,
+                                  const util::Date& date) const override;
+
+ private:
+  std::unordered_set<util::Ipv4> targets_;
+};
+
+/// Hijacks port-53 queries to the targets and forges an answer pointing at
+/// `forged_answer` — produces the paper's small "Incorrect" fraction.
+class Dns53SpooferBox final : public net::Middlebox {
+ public:
+  Dns53SpooferBox(std::vector<util::Ipv4> targets, util::Ipv4 forged_answer);
+
+  [[nodiscard]] std::string label() const override { return "dns53-spoofer"; }
+  [[nodiscard]] UdpVerdict on_udp(util::Ipv4 dst, std::uint16_t port,
+                                  std::span<const std::uint8_t> payload,
+                                  const util::Date& date) const override;
+
+ private:
+  std::unordered_set<util::Ipv4> targets_;
+  util::Ipv4 forged_answer_;
+};
+
+/// Silently blackholes every packet to a set of addresses (address taken for
+/// internal routing, or a routing-level block like 1.1.1.1 inside some
+/// Chinese ASes).
+class BlackholeBox final : public net::Middlebox {
+ public:
+  explicit BlackholeBox(std::vector<util::Ipv4> targets, std::string label);
+
+  [[nodiscard]] std::string label() const override { return label_; }
+  [[nodiscard]] TcpVerdict on_tcp_syn(util::Ipv4 dst, std::uint16_t port,
+                                      const util::Date& date) const override;
+  [[nodiscard]] UdpVerdict on_udp(util::Ipv4 dst, std::uint16_t port,
+                                  std::span<const std::uint8_t> payload,
+                                  const util::Date& date) const override;
+
+ private:
+  std::unordered_set<util::Ipv4> targets_;
+  std::string label_;
+};
+
+/// A CPE/infrastructure device squatting on a resolver address: TCP to that
+/// address terminates at the device, whose open ports and webpage identify it
+/// (Table 5: routers, modems, auth portals, crypto-hijacked MikroTiks).
+class DeviceService final : public net::Service {
+ public:
+  DeviceService(std::string label, std::vector<std::uint16_t> open_tcp_ports,
+                std::string webpage_body);
+
+  [[nodiscard]] std::string label() const override { return label_; }
+  [[nodiscard]] bool accepts(std::uint16_t port, net::Transport transport) const override;
+  [[nodiscard]] net::WireReply handle(const net::WireRequest& request) override;
+  [[nodiscard]] std::string webpage(std::uint16_t port) const override;
+
+  [[nodiscard]] const std::vector<std::uint16_t>& open_ports() const noexcept {
+    return ports_;
+  }
+
+ private:
+  std::string label_;
+  std::vector<std::uint16_t> ports_;
+  std::string webpage_;
+};
+
+/// Routes connections to `taken_address` into the local device.
+class AddressConflictBox final : public net::Middlebox {
+ public:
+  AddressConflictBox(util::Ipv4 taken_address, std::shared_ptr<DeviceService> device);
+
+  [[nodiscard]] std::string label() const override;
+  [[nodiscard]] TcpVerdict on_tcp_syn(util::Ipv4 dst, std::uint16_t port,
+                                      const util::Date& date) const override;
+  [[nodiscard]] UdpVerdict on_udp(util::Ipv4 dst, std::uint16_t port,
+                                  std::span<const std::uint8_t> payload,
+                                  const util::Date& date) const override;
+
+  [[nodiscard]] const DeviceService& device() const noexcept { return *device_; }
+
+ private:
+  util::Ipv4 taken_;
+  std::shared_ptr<DeviceService> device_;
+};
+
+/// National censorship: drops all traffic to a set of blocked addresses
+/// (Google DoH endpoints from the censored platform, §4.2 Finding 2.2).
+class CensorBox final : public net::Middlebox {
+ public:
+  explicit CensorBox(std::vector<util::Ipv4> blocked);
+
+  [[nodiscard]] std::string label() const override { return "national-censor"; }
+  [[nodiscard]] TcpVerdict on_tcp_syn(util::Ipv4 dst, std::uint16_t port,
+                                      const util::Date& date) const override;
+  [[nodiscard]] UdpVerdict on_udp(util::Ipv4 dst, std::uint16_t port,
+                                  std::span<const std::uint8_t> payload,
+                                  const util::Date& date) const override;
+
+ private:
+  std::unordered_set<util::Ipv4> blocked_;
+};
+
+/// Enterprise TLS interception: resigns TLS on 443 (and optionally 853) with
+/// the vendor CA, proxying plaintext to the origin (Table 6).
+class TlsInterceptBox final : public net::Middlebox {
+ public:
+  TlsInterceptBox(std::string ca_cn, std::string device_label, bool intercept_853);
+
+  [[nodiscard]] std::string label() const override;
+  [[nodiscard]] const tls::TlsInterceptor* tls_interceptor(
+      util::Ipv4 dst, std::uint16_t port) const override;
+
+  [[nodiscard]] const tls::TlsInterceptor& interceptor() const noexcept {
+    return interceptor_;
+  }
+  [[nodiscard]] bool intercepts_853() const noexcept { return intercept_853_; }
+
+ private:
+  tls::TlsInterceptor interceptor_;
+  bool intercept_853_;
+};
+
+}  // namespace encdns::world

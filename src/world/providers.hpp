@@ -1,0 +1,100 @@
+// The DNS-over-Encryption deployment catalogue: who operates DoT/DoH
+// services in the simulated internet, where, with what certificates, and how
+// the deployment evolves across the paper's scan window (Feb 1 – May 1 2019).
+//
+// The catalogue is the *ground truth* that the §3 scanner must rediscover.
+// Aggregates are calibrated to the paper's findings: ~1.5K-2K open DoT
+// resolver addresses, country mix per Table 2 (Ireland/US growth, the Chinese
+// cloud platform shutdown), ~25% of providers with at least one invalid
+// certificate (27 expired / 67 self-signed (47 FortiGate) / 28 bad chains at
+// May 1), 70% of providers operating a single address, and 17 DoH resolvers.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tls/certificate.hpp"
+#include "util/date.hpp"
+#include "util/ipv4.hpp"
+#include "util/rng.hpp"
+
+namespace encdns::world {
+
+enum class CertKind {
+  kValid,             // CA-signed, current
+  kSelfSigned,        // operator-generated
+  kFortigateDefault,  // factory default of a FortiGate DoT proxy
+  kExpired,           // validity window ended recently
+  kExpiredLong,       // expired back in 2018 (out of maintenance)
+  kBadChain,          // issued by a CA no store anchors
+};
+
+[[nodiscard]] std::string to_string(CertKind kind);
+
+/// One DoT resolver address and the provider behind it.
+struct DotDeployment {
+  std::string provider;   // grouping identity (certificate CN's SLD)
+  std::string cert_cn;    // leaf CN presented on 853
+  CertKind cert_kind = CertKind::kValid;
+  util::Date cert_expiry{2019, 12, 1};  // leaf notAfter (relevant when expired)
+  util::Ipv4 address;
+  std::string country;    // ISO2 of the hosting location
+  util::Date active_from{2018, 1, 1};
+  util::Date active_to{2100, 1, 1};
+  bool in_public_list = false;   // appears in dnsprivacy.org-style lists
+  bool fixed_answer = false;     // answers every query with one fixed address
+  bool is_large_provider = false;
+  bool is_dot_proxy = false;     // TLS-inspection device acting as DoT proxy
+};
+
+/// One public DoH service.
+struct DohDeployment {
+  std::string provider;
+  std::string uri_template;            // e.g. https://dns.example.com/dns-query{?dns}
+  std::vector<util::Ipv4> addresses;   // where the hostname resolves
+  std::string pop_country = "US";
+  bool in_public_list = true;
+  bool forwarding_frontend = false;    // Quad9-style Do53 forwarding w/ timeout
+  bool anycast = false;
+};
+
+/// The full generated catalogue.
+struct Deployments {
+  std::vector<DotDeployment> dot;
+  std::vector<DohDeployment> doh;
+};
+
+/// Generate the deployment ground truth. Deterministic for a given seed.
+[[nodiscard]] Deployments make_deployments(std::uint64_t seed);
+
+/// The /16 prefixes that make up the simulated routable space (the scan
+/// space), as strings; includes every prefix the catalogue allocates from.
+[[nodiscard]] const std::vector<std::string>& routable_prefixes();
+
+/// A deterministic, collision-free address inside one of `country`'s
+/// prefixes. `salt` distinguishes providers, `index` addresses.
+[[nodiscard]] util::Ipv4 address_in_country(const std::string& country,
+                                            std::uint64_t salt, std::uint32_t index);
+
+/// Well-known literal addresses used throughout the study.
+namespace addrs {
+inline const util::Ipv4 kCloudflarePrimary{1, 1, 1, 1};
+inline const util::Ipv4 kCloudflareSecondary{1, 0, 0, 1};
+inline const util::Ipv4 kGooglePrimary{8, 8, 8, 8};
+inline const util::Ipv4 kQuad9Primary{9, 9, 9, 9};
+inline const util::Ipv4 kSelfBuilt{45, 90, 77, 10};
+inline const util::Ipv4 kCloudflareDohA{104, 16, 248, 249};
+inline const util::Ipv4 kCloudflareDohB{104, 16, 249, 249};
+inline const util::Ipv4 kGoogleDohA{216, 58, 192, 10};
+inline const util::Ipv4 kGoogleDohB{216, 58, 192, 74};
+inline const util::Ipv4 kDnsfilterFixedAnswer{198, 251, 90, 7};
+}  // namespace addrs
+
+/// Hostnames of the study's own infrastructure.
+inline constexpr const char* kProbeDomain = "probe.dnsmeasure.net";
+inline constexpr const char* kSelfBuiltDotName = "dot.dnsmeasure.net";
+inline constexpr const char* kSelfBuiltDohTemplate =
+    "https://doh.dnsmeasure.net/dns-query{?dns}";
+
+}  // namespace encdns::world

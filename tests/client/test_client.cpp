@@ -1,0 +1,235 @@
+// Stub-resolver clients exercised against a full World.
+#include <gtest/gtest.h>
+
+#include "client/do53.hpp"
+#include "client/doh.hpp"
+#include "client/dot.hpp"
+#include "http/url.hpp"
+#include "world/world.hpp"
+
+namespace encdns::client {
+namespace {
+
+const util::Date kDay{2019, 3, 10};
+
+struct ClientFixture : ::testing::Test {
+  static world::World& shared_world() {
+    static world::World world;
+    return world;
+  }
+  world::World& world = shared_world();
+  world::Vantage vantage = world.make_clean_vantage("US");
+  util::Rng rng{991};
+};
+
+TEST_F(ClientFixture, Do53UdpResolvesProbeName) {
+  Do53Client client(world.network(), vantage.context, 1);
+  const auto outcome = client.query_udp(world::addrs::kGooglePrimary,
+                                        world.unique_probe_name(rng),
+                                        dns::RrType::kA, kDay);
+  ASSERT_TRUE(outcome.answered());
+  EXPECT_EQ(*outcome.response->first_a(), world.probe_answer());
+}
+
+TEST_F(ClientFixture, Do53TcpReusesConnections) {
+  Do53Client client(world.network(), vantage.context, 2);
+  const auto first = client.query_tcp(world::addrs::kCloudflarePrimary,
+                                      world.unique_probe_name(rng),
+                                      dns::RrType::kA, kDay);
+  ASSERT_TRUE(first.answered());
+  EXPECT_FALSE(first.reused_connection);
+  const auto second = client.query_tcp(world::addrs::kCloudflarePrimary,
+                                       world.unique_probe_name(rng),
+                                       dns::RrType::kA, kDay);
+  ASSERT_TRUE(second.answered());
+  EXPECT_TRUE(second.reused_connection);
+  // The reused query pays no connection setup: its total equals its
+  // transaction time, while the first query's total exceeds it.
+  EXPECT_DOUBLE_EQ(second.latency.value, second.transaction_latency.value);
+  EXPECT_GT(first.latency.value, first.transaction_latency.value);
+  client.reset_pool();
+  const auto third = client.query_tcp(world::addrs::kCloudflarePrimary,
+                                      world.unique_probe_name(rng),
+                                      dns::RrType::kA, kDay);
+  EXPECT_FALSE(third.reused_connection);
+}
+
+TEST_F(ClientFixture, Do53TcpToUnboundAddressFails) {
+  Do53Client client(world.network(), vantage.context, 3);
+  const auto outcome = client.query_tcp(util::Ipv4{192, 0, 2, 1},
+                                        world.unique_probe_name(rng),
+                                        dns::RrType::kA, kDay);
+  EXPECT_EQ(outcome.status, QueryStatus::kConnectFailed);
+}
+
+TEST_F(ClientFixture, DotOpportunisticCollectsValidCert) {
+  DotClient client(world.network(), vantage.context, 4);
+  DotClient::Options options;
+  options.profile = PrivacyProfile::kOpportunistic;
+  const auto outcome = client.query(world::addrs::kCloudflarePrimary,
+                                    world.unique_probe_name(rng), dns::RrType::kA,
+                                    kDay, options);
+  ASSERT_TRUE(outcome.answered());
+  ASSERT_TRUE(outcome.cert_status);
+  EXPECT_EQ(*outcome.cert_status, tls::CertStatus::kValid);
+  EXPECT_EQ(outcome.presented_chain.leaf_cn(), "cloudflare-dns.com");
+}
+
+TEST_F(ClientFixture, DotStrictValidatesName) {
+  DotClient client(world.network(), vantage.context, 5);
+  DotClient::Options options;
+  options.profile = PrivacyProfile::kStrict;
+  options.auth_name = "cloudflare-dns.com";
+  EXPECT_TRUE(client.query(world::addrs::kCloudflarePrimary,
+                           world.unique_probe_name(rng), dns::RrType::kA, kDay,
+                           options)
+                  .answered());
+  // Strict with the wrong authentication name must abort.
+  options.auth_name = "wrong.example";
+  client.reset_pool();
+  const auto rejected = client.query(world::addrs::kCloudflarePrimary,
+                                     world.unique_probe_name(rng), dns::RrType::kA,
+                                     kDay, options);
+  EXPECT_EQ(rejected.status, QueryStatus::kCertRejected);
+  EXPECT_EQ(*rejected.cert_status, tls::CertStatus::kHostnameMismatch);
+}
+
+TEST_F(ClientFixture, DotStrictRejectsSelfSignedProvider) {
+  // Find a self-signed deployment from the catalogue ground truth.
+  const world::DotDeployment* self_signed = nullptr;
+  for (const auto& d : world.deployments().dot) {
+    if (d.cert_kind == world::CertKind::kSelfSigned &&
+        kDay.in_window(d.active_from, d.active_to)) {
+      self_signed = &d;
+      break;
+    }
+  }
+  ASSERT_NE(self_signed, nullptr);
+  DotClient client(world.network(), vantage.context, 6);
+  DotClient::Options options;
+  options.profile = PrivacyProfile::kStrict;
+  options.auth_name = self_signed->cert_cn;
+  const auto strict = client.query(self_signed->address,
+                                   world.unique_probe_name(rng), dns::RrType::kA,
+                                   kDay, options);
+  EXPECT_EQ(strict.status, QueryStatus::kCertRejected);
+
+  // Opportunistic proceeds and records the invalid status.
+  options.profile = PrivacyProfile::kOpportunistic;
+  options.auth_name.clear();
+  client.reset_pool();
+  const auto opportunistic = client.query(self_signed->address,
+                                          world.unique_probe_name(rng),
+                                          dns::RrType::kA, kDay, options);
+  ASSERT_TRUE(opportunistic.answered());
+  EXPECT_TRUE(tls::is_invalid(*opportunistic.cert_status));
+}
+
+TEST_F(ClientFixture, DohStrictAgainstCloudflare) {
+  DohClient client(world.network(), vantage.context, 7);
+  const auto tmpl =
+      *http::UriTemplate::parse("https://mozilla.cloudflare-dns.com/dns-query{?dns}");
+  DohClient::Options options;
+  options.bootstrap_resolver = world.bootstrap_resolver("US");
+  const auto outcome = client.query(tmpl, world.unique_probe_name(rng),
+                                    dns::RrType::kA, kDay, options);
+  ASSERT_TRUE(outcome.answered());
+  EXPECT_EQ(outcome.http_status, 200);
+  EXPECT_EQ(*outcome.response->first_a(), world.probe_answer());
+}
+
+TEST_F(ClientFixture, DohPostWorksToo) {
+  DohClient client(world.network(), vantage.context, 8);
+  const auto tmpl = *http::UriTemplate::parse(world::kSelfBuiltDohTemplate);
+  DohClient::Options options;
+  options.method = http::Method::kPost;
+  options.server_address = world::addrs::kSelfBuilt;
+  const auto outcome = client.query(tmpl, world.unique_probe_name(rng),
+                                    dns::RrType::kA, kDay, options);
+  ASSERT_TRUE(outcome.answered());
+}
+
+TEST_F(ClientFixture, DohBootstrapFailureSurfaces) {
+  DohClient client(world.network(), vantage.context, 9);
+  const auto tmpl = *http::UriTemplate::parse("https://doh.example.invalid/dns-query{?dns}");
+  DohClient::Options options;
+  // No bootstrap resolver configured at all:
+  const auto no_bootstrap = client.query(tmpl, world.unique_probe_name(rng),
+                                         dns::RrType::kA, kDay, options);
+  EXPECT_EQ(no_bootstrap.status, QueryStatus::kBootstrapFailed);
+  // With bootstrap, the unknown host synthesizes an address with no service:
+  options.bootstrap_resolver = world.bootstrap_resolver("US");
+  const auto no_service = client.query(tmpl, world.unique_probe_name(rng),
+                                       dns::RrType::kA, kDay, options);
+  EXPECT_EQ(no_service.status, QueryStatus::kConnectFailed);
+}
+
+TEST_F(ClientFixture, DohWrongHostCertRejected) {
+  DohClient client(world.network(), vantage.context, 10);
+  // Point a template with the wrong hostname at Cloudflare's DoH address:
+  // strict validation must reject the mismatching certificate.
+  const auto tmpl = *http::UriTemplate::parse("https://evil.example/dns-query{?dns}");
+  DohClient::Options options;
+  options.server_address = world::addrs::kCloudflareDohA;
+  const auto outcome = client.query(tmpl, world.unique_probe_name(rng),
+                                    dns::RrType::kA, kDay, options);
+  EXPECT_EQ(outcome.status, QueryStatus::kCertRejected);
+  EXPECT_EQ(*outcome.cert_status, tls::CertStatus::kHostnameMismatch);
+}
+
+TEST_F(ClientFixture, DotCleartextFallback) {
+  // Self-built resolver: TLS is available, so no fallback; for a port with
+  // TLS unavailable, opportunistic+fallback downgrades to Do53/TCP.
+  DotClient client(world.network(), vantage.context, 11);
+  DotClient::Options options;
+  options.profile = PrivacyProfile::kOpportunistic;
+  options.allow_cleartext_fallback = true;
+  // Google serves Do53 but not DoT: the DoT connect is refused, and the
+  // fallback succeeds over clear-text TCP/53.
+  const auto outcome = client.query(world::addrs::kGooglePrimary,
+                                    world.unique_probe_name(rng), dns::RrType::kA,
+                                    kDay, options);
+  EXPECT_TRUE(outcome.answered());
+}
+
+TEST_F(ClientFixture, SessionResumptionShortensReconnects) {
+  DotClient client(world.network(), vantage.context, 13);
+  DotClient::Options options;
+  options.reuse_connection = false;  // force a new connection per query
+  options.use_session_resumption = true;
+  options.tls_version = tls::TlsVersion::kTls12;  // full handshake = 2 RTTs
+  const auto first = client.query(world::addrs::kCloudflarePrimary,
+                                  world.unique_probe_name(rng), dns::RrType::kA,
+                                  kDay, options);
+  ASSERT_TRUE(first.answered());
+  EXPECT_FALSE(first.resumed_session);  // no ticket yet
+  const auto second = client.query(world::addrs::kCloudflarePrimary,
+                                   world.unique_probe_name(rng), dns::RrType::kA,
+                                   kDay, options);
+  ASSERT_TRUE(second.answered());
+  EXPECT_TRUE(second.resumed_session);
+  // Resumption is off by default (the paper's Table 7 methodology).
+  DotClient fresh_client(world.network(), vantage.context, 14);
+  DotClient::Options defaults;
+  defaults.reuse_connection = false;
+  (void)fresh_client.query(world::addrs::kCloudflarePrimary,
+                           world.unique_probe_name(rng), dns::RrType::kA, kDay,
+                           defaults);
+  const auto still_full = fresh_client.query(world::addrs::kCloudflarePrimary,
+                                             world.unique_probe_name(rng),
+                                             dns::RrType::kA, kDay, defaults);
+  EXPECT_FALSE(still_full.resumed_session);
+}
+
+TEST_F(ClientFixture, PaddingAppliedToEncryptedQueries) {
+  DotClient client(world.network(), vantage.context, 12);
+  DotClient::Options options;
+  options.padding_block = 128;
+  const auto outcome = client.query(world::addrs::kCloudflarePrimary,
+                                    world.unique_probe_name(rng), dns::RrType::kA,
+                                    kDay, options);
+  ASSERT_TRUE(outcome.answered());  // server handles padded queries fine
+}
+
+}  // namespace
+}  // namespace encdns::client

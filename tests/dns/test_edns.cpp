@@ -1,0 +1,117 @@
+#include "dns/edns.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dns/query.hpp"
+
+namespace encdns::dns {
+namespace {
+
+TEST(Edns, RecordRoundTrip) {
+  Edns edns;
+  edns.udp_payload_size = 4096;
+  edns.dnssec_ok = true;
+  edns.options.push_back(EdnsOption{42, {1, 2, 3}});
+  const auto rr = edns.to_record();
+  EXPECT_EQ(rr.type, RrType::kOpt);
+  EXPECT_TRUE(rr.name.is_root());
+  const auto parsed = Edns::from_record(rr);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->udp_payload_size, 4096);
+  EXPECT_TRUE(parsed->dnssec_ok);
+  ASSERT_EQ(parsed->options.size(), 1u);
+  EXPECT_EQ(parsed->options[0], (EdnsOption{42, {1, 2, 3}}));
+}
+
+TEST(Edns, FromRecordRejectsNonOpt) {
+  const auto rr = ResourceRecord::a(*Name::parse("a.com"), util::Ipv4(1, 2, 3, 4));
+  EXPECT_FALSE(Edns::from_record(rr));
+}
+
+TEST(Edns, SetAndGetOnMessage) {
+  Message m = make_query(*Name::parse("x.com"), RrType::kA, 1,
+                         QueryOptions{.with_edns = false});
+  EXPECT_FALSE(get_edns(m));
+  Edns edns;
+  edns.udp_payload_size = 1232;
+  set_edns(m, edns);
+  const auto got = get_edns(m);
+  ASSERT_TRUE(got);
+  EXPECT_EQ(got->udp_payload_size, 1232);
+  // Setting again replaces rather than duplicates.
+  edns.udp_payload_size = 512;
+  set_edns(m, edns);
+  EXPECT_EQ(m.additionals.size(), 1u);
+  EXPECT_EQ(get_edns(m)->udp_payload_size, 512);
+}
+
+TEST(Edns, EdnsSurvivesWireRoundTrip) {
+  Message m = make_query(*Name::parse("x.com"), RrType::kA, 1, QueryOptions{});
+  const auto decoded = Message::decode(m.encode());
+  ASSERT_TRUE(decoded);
+  const auto edns = get_edns(*decoded);
+  ASSERT_TRUE(edns);
+  EXPECT_EQ(edns->udp_payload_size, 1232);
+}
+
+TEST(Edns, PaddingLength) {
+  Edns edns;
+  EXPECT_FALSE(edns.padding_length().has_value());
+  edns.options.push_back(
+      EdnsOption{static_cast<std::uint16_t>(EdnsOptionCode::kPadding),
+                 std::vector<std::uint8_t>(17, 0)});
+  EXPECT_EQ(*edns.padding_length(), 17u);
+}
+
+class PaddingBlocks : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PaddingBlocks, PadsToMultiple) {
+  const std::size_t block = GetParam();
+  Message m = make_query(*Name::parse("some.padded.example.org"), RrType::kA, 9,
+                         QueryOptions{});
+  const std::size_t padded = pad_to_block(m, block);
+  EXPECT_EQ(padded % block, 0u);
+  EXPECT_EQ(m.encode().size(), padded);
+  // Message still decodes and carries a padding option.
+  const auto decoded = Message::decode(m.encode());
+  ASSERT_TRUE(decoded);
+  EXPECT_TRUE(get_edns(*decoded)->padding_length().has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, PaddingBlocks,
+                         ::testing::Values(16, 32, 64, 128, 256, 468));
+
+TEST(Padding, RepaddingIsStable) {
+  Message m = make_query(*Name::parse("x.example.com"), RrType::kA, 9,
+                         QueryOptions{});
+  const std::size_t first = pad_to_block(m, 128);
+  const std::size_t second = pad_to_block(m, 128);
+  EXPECT_EQ(first, second);  // removing and re-adding padding is idempotent
+}
+
+TEST(Padding, DifferentNamesSameBlockSize) {
+  // The point of block padding: names of different length produce the same
+  // wire size class (defeats length-based traffic analysis).
+  Message a = make_query(*Name::parse("ab.example.com"), RrType::kA, 1,
+                         QueryOptions{});
+  Message b = make_query(*Name::parse("much-longer-name.example.com"), RrType::kA,
+                         1, QueryOptions{});
+  EXPECT_EQ(pad_to_block(a, 128), pad_to_block(b, 128));
+}
+
+TEST(Padding, NoEdnsNoPadding) {
+  Message m = make_query(*Name::parse("x.com"), RrType::kA, 1,
+                         QueryOptions{.with_edns = false});
+  const std::size_t size = pad_to_block(m, 128);
+  EXPECT_EQ(size, m.encode().size());
+  EXPECT_FALSE(get_edns(m));
+}
+
+TEST(Padding, ZeroBlockIsNoop) {
+  Message m = make_query(*Name::parse("x.com"), RrType::kA, 1, QueryOptions{});
+  const std::size_t before = m.encode().size();
+  EXPECT_EQ(pad_to_block(m, 0), before);
+}
+
+}  // namespace
+}  // namespace encdns::dns

@@ -1,0 +1,245 @@
+#include "dns/message.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dns/query.hpp"
+#include "dns/wire.hpp"
+#include "util/rng.hpp"
+
+namespace encdns::dns {
+namespace {
+
+Message sample_query() {
+  return make_query(*Name::parse("www.example.com"), RrType::kA, 0x1234,
+                    QueryOptions{.with_edns = false});
+}
+
+TEST(Message, QueryRoundTrip) {
+  const Message query = sample_query();
+  const auto decoded = Message::decode(query.encode());
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->header.id, 0x1234);
+  EXPECT_FALSE(decoded->header.qr);
+  EXPECT_TRUE(decoded->header.rd);
+  ASSERT_EQ(decoded->questions.size(), 1u);
+  EXPECT_EQ(decoded->questions[0].name, *Name::parse("www.example.com"));
+  EXPECT_EQ(decoded->questions[0].type, RrType::kA);
+}
+
+TEST(Message, HeaderFlagsRoundTrip) {
+  Message m;
+  m.header.id = 77;
+  m.header.qr = true;
+  m.header.aa = true;
+  m.header.tc = true;
+  m.header.rd = false;
+  m.header.ra = true;
+  m.header.ad = true;
+  m.header.cd = true;
+  m.header.rcode = RCode::kNxDomain;
+  const auto decoded = Message::decode(m.encode());
+  ASSERT_TRUE(decoded);
+  EXPECT_TRUE(decoded->header.qr);
+  EXPECT_TRUE(decoded->header.aa);
+  EXPECT_TRUE(decoded->header.tc);
+  EXPECT_FALSE(decoded->header.rd);
+  EXPECT_TRUE(decoded->header.ra);
+  EXPECT_TRUE(decoded->header.ad);
+  EXPECT_TRUE(decoded->header.cd);
+  EXPECT_EQ(decoded->header.rcode, RCode::kNxDomain);
+}
+
+TEST(Message, AllRecordTypesRoundTrip) {
+  const auto owner = *Name::parse("host.example.com");
+  Message m;
+  m.header.qr = true;
+  m.answers.push_back(ResourceRecord::a(owner, util::Ipv4(1, 2, 3, 4), 60));
+  Ipv6Bytes v6{};
+  v6[0] = 0x20;
+  v6[1] = 0x01;
+  v6[15] = 0x01;
+  m.answers.push_back(ResourceRecord::aaaa(owner, v6));
+  m.answers.push_back(ResourceRecord::cname(owner, *Name::parse("alias.example.com")));
+  m.answers.push_back(ResourceRecord::txt(owner, {"hello", "world"}));
+  m.authorities.push_back(
+      ResourceRecord::ns(*Name::parse("example.com"), *Name::parse("ns1.example.com")));
+  SoaData soa;
+  soa.mname = *Name::parse("ns1.example.com");
+  soa.rname = *Name::parse("hostmaster.example.com");
+  soa.serial = 2019050199;
+  m.authorities.push_back(ResourceRecord::soa(*Name::parse("example.com"), soa));
+  m.answers.push_back(
+      ResourceRecord::ptr(*Name::parse("4.3.2.1.in-addr.arpa"), owner));
+
+  const auto decoded = Message::decode(m.encode());
+  ASSERT_TRUE(decoded);
+  ASSERT_EQ(decoded->answers.size(), 5u);
+  ASSERT_EQ(decoded->authorities.size(), 2u);
+  EXPECT_EQ(std::get<util::Ipv4>(decoded->answers[0].rdata), util::Ipv4(1, 2, 3, 4));
+  EXPECT_EQ(decoded->answers[0].ttl, 60u);
+  EXPECT_EQ(std::get<Ipv6Bytes>(decoded->answers[1].rdata), v6);
+  EXPECT_EQ(std::get<Name>(decoded->answers[2].rdata), *Name::parse("alias.example.com"));
+  EXPECT_EQ(std::get<TxtData>(decoded->answers[3].rdata),
+            (TxtData{"hello", "world"}));
+  const auto& decoded_soa = std::get<SoaData>(decoded->authorities[1].rdata);
+  EXPECT_EQ(decoded_soa.serial, 2019050199u);
+  EXPECT_EQ(decoded_soa.mname, soa.mname);
+}
+
+TEST(Message, CompressionShrinksEncoding) {
+  Message m;
+  const auto owner = *Name::parse("host.subdomain.example.com");
+  for (int i = 0; i < 5; ++i)
+    m.answers.push_back(ResourceRecord::a(owner, util::Ipv4(10, 0, 0, 1)));
+  const auto compressed = m.encode(true);
+  const auto expanded = m.encode(false);
+  EXPECT_LT(compressed.size(), expanded.size());
+  // Both decode to the same message.
+  const auto a = Message::decode(compressed);
+  const auto b = Message::decode(expanded);
+  ASSERT_TRUE(a);
+  ASSERT_TRUE(b);
+  EXPECT_EQ(a->answers.size(), b->answers.size());
+  EXPECT_EQ(a->answers[4].name, b->answers[4].name);
+}
+
+TEST(Message, CompressionSharesSuffixes) {
+  // Question: www.example.com; answer CNAME example.com -> compression must
+  // reuse the "example.com" suffix across names.
+  Message m;
+  m.questions.push_back(Question{*Name::parse("www.example.com"), RrType::kA,
+                                 RrClass::kIn});
+  m.answers.push_back(ResourceRecord::cname(*Name::parse("www.example.com"),
+                                            *Name::parse("example.com")));
+  const auto wire = m.encode(true);
+  const auto decoded = Message::decode(wire);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(std::get<Name>(decoded->answers[0].rdata), *Name::parse("example.com"));
+  // The cname target should be a pure 2-byte pointer inside the rdata.
+  EXPECT_EQ(decoded->answers[0].name, *Name::parse("www.example.com"));
+}
+
+TEST(Message, DecodeRejectsTruncation) {
+  const auto wire = sample_query().encode();
+  for (std::size_t cut = 1; cut < wire.size(); ++cut) {
+    const std::span<const std::uint8_t> prefix(wire.data(), wire.size() - cut);
+    EXPECT_FALSE(Message::decode(prefix)) << "cut=" << cut;
+  }
+}
+
+TEST(Message, DecodeRejectsTrailingJunk) {
+  auto wire = sample_query().encode();
+  wire.push_back(0);
+  EXPECT_FALSE(Message::decode(wire));
+}
+
+TEST(Message, DecodeRejectsForwardPointer) {
+  // Header + question whose name is a pointer to a later offset.
+  WireWriter w;
+  w.u16(1);    // id
+  w.u16(0);    // flags
+  w.u16(1);    // qdcount
+  w.u16(0);
+  w.u16(0);
+  w.u16(0);
+  w.u16(0xC0FF);  // pointer to offset 0xFF (forward/out of range)
+  w.u16(1);       // qtype
+  w.u16(1);       // qclass
+  EXPECT_FALSE(Message::decode(w.data()));
+}
+
+TEST(Message, DecodeRejectsPointerLoop) {
+  // Name at offset 12 pointing to itself.
+  WireWriter w;
+  w.u16(1);
+  w.u16(0);
+  w.u16(1);
+  w.u16(0);
+  w.u16(0);
+  w.u16(0);
+  w.u16(0xC00C);  // points at offset 12 == itself
+  w.u16(1);
+  w.u16(1);
+  EXPECT_FALSE(Message::decode(w.data()));
+}
+
+TEST(Message, DecodeRejectsBadRdlength) {
+  Message m;
+  m.answers.push_back(
+      ResourceRecord::a(*Name::parse("x.com"), util::Ipv4(1, 2, 3, 4)));
+  auto wire = m.encode();
+  // Find the RDLENGTH (last 6 bytes are len(2)+addr(4)); corrupt it.
+  wire[wire.size() - 5] = 7;
+  EXPECT_FALSE(Message::decode(wire));
+}
+
+TEST(Message, FirstAAndAllA) {
+  Message m = make_a_response(sample_query(),
+                              {util::Ipv4(1, 1, 1, 1), util::Ipv4(1, 0, 0, 1)});
+  EXPECT_EQ(*m.first_a(), util::Ipv4(1, 1, 1, 1));
+  EXPECT_EQ(m.all_a().size(), 2u);
+  Message empty;
+  EXPECT_FALSE(empty.first_a().has_value());
+}
+
+// Property: random well-formed messages round-trip bit-exactly in content.
+class MessageFuzzRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MessageFuzzRoundTrip, RandomMessages) {
+  util::Rng rng(GetParam());
+  for (int iteration = 0; iteration < 40; ++iteration) {
+    Message m;
+    m.header.id = static_cast<std::uint16_t>(rng.below(65536));
+    m.header.qr = rng.chance(0.5);
+    m.header.rcode = static_cast<RCode>(rng.below(6));
+    const auto random_name = [&rng]() {
+      std::vector<std::string> labels;
+      const auto count = 1 + rng.below(4);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        std::string label;
+        const auto len = 1 + rng.below(12);
+        for (std::uint64_t j = 0; j < len; ++j)
+          label.push_back(static_cast<char>('a' + rng.below(26)));
+        labels.push_back(std::move(label));
+      }
+      return *Name::from_labels(std::move(labels));
+    };
+    m.questions.push_back(Question{random_name(), RrType::kA, RrClass::kIn});
+    const auto answers = rng.below(5);
+    for (std::uint64_t i = 0; i < answers; ++i) {
+      switch (rng.below(3)) {
+        case 0:
+          m.answers.push_back(ResourceRecord::a(
+              random_name(), util::Ipv4{static_cast<std::uint32_t>(rng.next())},
+              static_cast<std::uint32_t>(rng.below(86400))));
+          break;
+        case 1:
+          m.answers.push_back(ResourceRecord::cname(random_name(), random_name()));
+          break;
+        default:
+          m.answers.push_back(ResourceRecord::txt(random_name(), {"data"}));
+          break;
+      }
+    }
+    const auto decoded = Message::decode(m.encode());
+    ASSERT_TRUE(decoded);
+    EXPECT_EQ(decoded->header.id, m.header.id);
+    EXPECT_EQ(decoded->questions.size(), m.questions.size());
+    ASSERT_EQ(decoded->answers.size(), m.answers.size());
+    for (std::size_t i = 0; i < m.answers.size(); ++i) {
+      EXPECT_EQ(decoded->answers[i].name, m.answers[i].name);
+      EXPECT_EQ(decoded->answers[i].type, m.answers[i].type);
+      EXPECT_EQ(decoded->answers[i].ttl, m.answers[i].ttl);
+    }
+    // Idempotence: decode(encode(decode(x))) == decode(x).
+    const auto re = Message::decode(decoded->encode());
+    ASSERT_TRUE(re);
+    EXPECT_EQ(re->answers.size(), decoded->answers.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MessageFuzzRoundTrip,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace encdns::dns

@@ -1,0 +1,116 @@
+#include "dns/name.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace encdns::dns {
+namespace {
+
+TEST(Name, ParseBasic) {
+  const auto name = Name::parse("www.example.com");
+  ASSERT_TRUE(name);
+  EXPECT_EQ(name->label_count(), 3u);
+  EXPECT_EQ(name->labels()[0], "www");
+  EXPECT_EQ(name->to_string(), "www.example.com");
+}
+
+TEST(Name, RootForms) {
+  for (const char* text : {"", "."}) {
+    const auto root = Name::parse(text);
+    ASSERT_TRUE(root);
+    EXPECT_TRUE(root->is_root());
+    EXPECT_EQ(root->to_string(), ".");
+    EXPECT_EQ(root->wire_length(), 1u);
+  }
+}
+
+TEST(Name, TrailingDotAccepted) {
+  EXPECT_EQ(Name::parse("example.com.")->to_string(), "example.com");
+}
+
+TEST(Name, RejectsBadLabels) {
+  EXPECT_FALSE(Name::parse("exa mple.com"));
+  EXPECT_FALSE(Name::parse("a..b"));
+  EXPECT_FALSE(Name::parse(".leading.dot"));
+  EXPECT_FALSE(Name::parse("bad!char.com"));
+}
+
+TEST(Name, AcceptsServiceUnderscore) {
+  EXPECT_TRUE(Name::parse("_dns.resolver.arpa"));
+}
+
+TEST(Name, LabelLengthLimit) {
+  const std::string max_label(63, 'a');
+  EXPECT_TRUE(Name::parse(max_label + ".com"));
+  const std::string too_long(64, 'a');
+  EXPECT_FALSE(Name::parse(too_long + ".com"));
+}
+
+TEST(Name, TotalLengthLimit) {
+  // Four 63-byte labels need 4*64+1 = 257 > 255 wire bytes.
+  const std::string label(63, 'a');
+  std::string too_long = label + "." + label + "." + label + "." + label;
+  EXPECT_FALSE(Name::parse(too_long));
+  // Three labels plus one shorter one fits.
+  std::string fits = label + "." + label + "." + label + "." + std::string(61, 'b');
+  EXPECT_TRUE(Name::parse(fits));
+}
+
+TEST(Name, WireLength) {
+  EXPECT_EQ(Name::parse("example.com")->wire_length(), 13u);  // 7+1 + 3+1 + 1
+}
+
+TEST(Name, CaseInsensitiveEquality) {
+  EXPECT_EQ(*Name::parse("WWW.Example.COM"), *Name::parse("www.example.com"));
+  EXPECT_EQ(Name::parse("WWW.Example.COM")->canonical(), "www.example.com.");
+}
+
+TEST(Name, PreservesOriginalSpelling) {
+  EXPECT_EQ(Name::parse("CloudFlare-DNS.com")->to_string(), "CloudFlare-DNS.com");
+}
+
+TEST(Name, Subdomain) {
+  const auto apex = *Name::parse("probe.dnsmeasure.net");
+  EXPECT_TRUE(Name::parse("p123.probe.dnsmeasure.net")->is_subdomain_of(apex));
+  EXPECT_TRUE(apex.is_subdomain_of(apex));
+  EXPECT_FALSE(Name::parse("dnsmeasure.net")->is_subdomain_of(apex));
+  EXPECT_FALSE(Name::parse("probe.other.net")->is_subdomain_of(apex));
+  EXPECT_TRUE(apex.is_subdomain_of(Name{}));  // everything under root
+}
+
+TEST(Name, Parent) {
+  EXPECT_EQ(Name::parse("a.b.c")->parent(), *Name::parse("b.c"));
+  EXPECT_TRUE(Name::parse("com")->parent().is_root());
+  EXPECT_TRUE(Name{}.parent().is_root());
+}
+
+TEST(Name, PrefixedWith) {
+  const auto base = *Name::parse("probe.net");
+  const auto child = base.prefixed_with("p42");
+  ASSERT_TRUE(child);
+  EXPECT_EQ(child->to_string(), "p42.probe.net");
+  EXPECT_FALSE(base.prefixed_with("bad label"));
+}
+
+TEST(Name, Sld) {
+  EXPECT_EQ(Name::parse("dns.quad9.net")->sld().to_string(), "quad9.net");
+  EXPECT_EQ(Name::parse("a.b.cloudflare-dns.com")->sld().to_string(),
+            "cloudflare-dns.com");
+  EXPECT_EQ(Name::parse("example.com")->sld().to_string(), "example.com");
+  EXPECT_EQ(Name::parse("com")->sld().to_string(), "com");
+}
+
+TEST(Name, HashConsistentWithEquality) {
+  const std::hash<Name> hasher;
+  EXPECT_EQ(hasher(*Name::parse("Foo.COM")), hasher(*Name::parse("foo.com")));
+}
+
+TEST(Name, FromLabelsValidatesLimits) {
+  EXPECT_TRUE(Name::from_labels({"any", "bytes"}));
+  EXPECT_FALSE(Name::from_labels({std::string(64, 'x')}));
+  EXPECT_FALSE(Name::from_labels({""}));
+}
+
+}  // namespace
+}  // namespace encdns::dns

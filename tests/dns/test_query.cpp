@@ -1,0 +1,73 @@
+#include "dns/query.hpp"
+
+#include <gtest/gtest.h>
+
+namespace encdns::dns {
+namespace {
+
+TEST(MakeQuery, Defaults) {
+  const auto q = make_query(*Name::parse("example.com"), RrType::kA, 7);
+  EXPECT_EQ(q.header.id, 7);
+  EXPECT_FALSE(q.header.qr);
+  EXPECT_TRUE(q.header.rd);
+  ASSERT_EQ(q.questions.size(), 1u);
+  EXPECT_TRUE(get_edns(q).has_value());
+}
+
+TEST(MakeQuery, PaddingOption) {
+  QueryOptions options;
+  options.padding_block = 128;
+  const auto q = make_query(*Name::parse("example.com"), RrType::kA, 7, options);
+  EXPECT_EQ(q.encode().size() % 128, 0u);
+}
+
+TEST(MakeResponse, EchoesQuestionAndId) {
+  const auto q = make_query(*Name::parse("a.b.c"), RrType::kTxt, 99);
+  const auto r = make_response(q, RCode::kRefused);
+  EXPECT_TRUE(r.header.qr);
+  EXPECT_TRUE(r.header.ra);
+  EXPECT_EQ(r.header.id, 99);
+  EXPECT_EQ(r.header.rcode, RCode::kRefused);
+  ASSERT_EQ(r.questions.size(), 1u);
+  EXPECT_EQ(r.questions[0], q.questions[0]);
+}
+
+TEST(MakeAResponse, CarriesAddresses) {
+  const auto q = make_query(*Name::parse("probe.net"), RrType::kA, 3);
+  const auto r = make_a_response(q, {util::Ipv4(9, 9, 9, 9)}, 42);
+  ASSERT_EQ(r.answers.size(), 1u);
+  EXPECT_EQ(r.answers[0].ttl, 42u);
+  EXPECT_EQ(*r.first_a(), util::Ipv4(9, 9, 9, 9));
+  EXPECT_EQ(r.answers[0].name, q.questions[0].name);
+}
+
+TEST(ResponseMatches, Accepts) {
+  const auto q = make_query(*Name::parse("x.com"), RrType::kA, 5);
+  EXPECT_TRUE(response_matches(q, make_response(q, RCode::kNoError)));
+}
+
+TEST(ResponseMatches, RejectsWrongId) {
+  const auto q = make_query(*Name::parse("x.com"), RrType::kA, 5);
+  auto r = make_response(q, RCode::kNoError);
+  r.header.id = 6;
+  EXPECT_FALSE(response_matches(q, r));
+}
+
+TEST(ResponseMatches, RejectsNonResponse) {
+  const auto q = make_query(*Name::parse("x.com"), RrType::kA, 5);
+  auto r = make_response(q, RCode::kNoError);
+  r.header.qr = false;
+  EXPECT_FALSE(response_matches(q, r));
+}
+
+TEST(ResponseMatches, RejectsQuestionMismatch) {
+  const auto q = make_query(*Name::parse("x.com"), RrType::kA, 5);
+  auto r = make_response(q, RCode::kNoError);
+  r.questions[0].name = *Name::parse("other.com");
+  EXPECT_FALSE(response_matches(q, r));
+  r.questions.clear();
+  EXPECT_FALSE(response_matches(q, r));
+}
+
+}  // namespace
+}  // namespace encdns::dns

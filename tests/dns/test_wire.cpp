@@ -1,0 +1,97 @@
+#include "dns/wire.hpp"
+
+#include <gtest/gtest.h>
+
+namespace encdns::dns {
+namespace {
+
+TEST(WireWriter, BigEndianIntegers) {
+  WireWriter w;
+  w.u8(0xAB);
+  w.u16(0x0102);
+  w.u32(0x03040506);
+  const auto& data = w.data();
+  ASSERT_EQ(data.size(), 7u);
+  EXPECT_EQ(data[0], 0xAB);
+  EXPECT_EQ(data[1], 0x01);
+  EXPECT_EQ(data[2], 0x02);
+  EXPECT_EQ(data[3], 0x03);
+  EXPECT_EQ(data[6], 0x06);
+}
+
+TEST(WireWriter, PatchU16) {
+  WireWriter w;
+  w.u16(0);
+  w.text("abc");
+  w.patch_u16(0, 3);
+  EXPECT_EQ(w.data()[0], 0);
+  EXPECT_EQ(w.data()[1], 3);
+}
+
+TEST(WireReader, ReadsBackWhatWasWritten) {
+  WireWriter w;
+  w.u8(7);
+  w.u16(853);
+  w.u32(123456789);
+  WireReader r(w.data());
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u16(), 853);
+  EXPECT_EQ(r.u32(), 123456789u);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(WireReader, OverreadLatchesError) {
+  const std::vector<std::uint8_t> data = {1, 2};
+  WireReader r(data);
+  EXPECT_EQ(r.u16(), 0x0102);
+  EXPECT_EQ(r.u16(), 0);  // past end
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.u8(), 0);  // stays failed
+}
+
+TEST(WireReader, BytesBoundsChecked) {
+  const std::vector<std::uint8_t> data = {1, 2, 3};
+  WireReader r(data);
+  EXPECT_EQ(r.bytes(2).size(), 2u);
+  EXPECT_TRUE(r.bytes(5).empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(WireReader, SeekWithinBounds) {
+  const std::vector<std::uint8_t> data = {9, 8, 7};
+  WireReader r(data);
+  r.seek(2);
+  EXPECT_EQ(r.u8(), 7);
+  r.seek(0);
+  EXPECT_EQ(r.u8(), 9);
+  r.seek(10);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(StreamFraming, RoundTrip) {
+  const std::vector<std::uint8_t> message = {0xDE, 0xAD, 0xBE, 0xEF};
+  const auto framed = frame_stream(message);
+  ASSERT_EQ(framed.size(), 6u);
+  EXPECT_EQ(framed[0], 0);
+  EXPECT_EQ(framed[1], 4);
+  const auto unframed = unframe_stream(framed);
+  ASSERT_TRUE(unframed);
+  EXPECT_EQ(*unframed, message);
+}
+
+TEST(StreamFraming, EmptyMessage) {
+  const auto framed = frame_stream({});
+  EXPECT_EQ(framed.size(), 2u);
+  EXPECT_TRUE(unframe_stream(framed)->empty());
+}
+
+TEST(StreamFraming, RejectsBadPrefix) {
+  EXPECT_FALSE(unframe_stream(std::vector<std::uint8_t>{}));
+  EXPECT_FALSE(unframe_stream(std::vector<std::uint8_t>{0}));
+  EXPECT_FALSE(unframe_stream(std::vector<std::uint8_t>{0, 3, 1, 2}));  // short
+  EXPECT_FALSE(unframe_stream(std::vector<std::uint8_t>{0, 1, 1, 2}));  // long
+}
+
+}  // namespace
+}  // namespace encdns::dns

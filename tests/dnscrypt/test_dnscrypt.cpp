@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "dnscrypt/cert.hpp"
+#include "dnscrypt/client.hpp"
+#include "dnscrypt/crypto.hpp"
+#include "dnscrypt/service.hpp"
+#include "world/world.hpp"
+
+namespace encdns::dnscrypt {
+namespace {
+
+const util::Date kDay{2019, 3, 10};
+
+TEST(DnscryptCert, TxtRoundTrip) {
+  Certificate cert;
+  cert.serial = 42;
+  cert.ts_start = {2019, 2, 1};
+  cert.ts_end = {2019, 8, 1};
+  cert.resolver_public_key = 0xAABBCCDDEEFF0011ULL;
+  cert.signer_public_key = 0x1122334455667788ULL;
+  const auto parsed = Certificate::from_txt(cert.to_txt());
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->serial, 42u);
+  EXPECT_EQ(parsed->ts_start, cert.ts_start);
+  EXPECT_EQ(parsed->ts_end, cert.ts_end);
+  EXPECT_EQ(parsed->resolver_public_key, cert.resolver_public_key);
+  EXPECT_EQ(parsed->signer_public_key, cert.signer_public_key);
+  EXPECT_TRUE(parsed->signature_valid);
+}
+
+TEST(DnscryptCert, RejectsGarbageTxt) {
+  EXPECT_FALSE(Certificate::from_txt(""));
+  EXPECT_FALSE(Certificate::from_txt("v=spf1 include:_spf.example.com ~all"));
+  EXPECT_FALSE(Certificate::from_txt("DNSC|es=1|serial=x"));
+}
+
+TEST(DnscryptCert, VerificationMatrix) {
+  const auto provider = ProviderKey::derive("2.dnscrypt-cert.opendns.com");
+  Certificate cert;
+  cert.ts_start = {2019, 1, 1};
+  cert.ts_end = {2019, 12, 31};
+  cert.resolver_public_key = 7;
+  cert.signer_public_key = provider.public_key;
+  EXPECT_EQ(verify(cert, provider, kDay), CertVerdict::kValid);
+
+  auto expired = cert;
+  expired.ts_end = {2019, 2, 1};
+  EXPECT_EQ(verify(expired, provider, kDay), CertVerdict::kExpired);
+
+  auto future = cert;
+  future.ts_start = {2019, 6, 1};
+  EXPECT_EQ(verify(future, provider, kDay), CertVerdict::kNotYetValid);
+
+  auto missigned = cert;
+  missigned.signer_public_key ^= 1;
+  EXPECT_EQ(verify(missigned, provider, kDay), CertVerdict::kWrongSigner);
+
+  auto broken = cert;
+  broken.signature_valid = false;
+  EXPECT_EQ(verify(broken, provider, kDay), CertVerdict::kBadSignature);
+
+  auto vnext = cert;
+  vnext.es_version = 9;
+  EXPECT_EQ(verify(vnext, provider, kDay), CertVerdict::kUnsupportedVersion);
+}
+
+TEST(DnscryptCrypto, SharedSecretIsCommutative) {
+  const std::uint64_t client_sk = 111, resolver_sk = 222;
+  const std::uint64_t client_pk = util::mix64(client_sk);
+  const std::uint64_t resolver_pk = util::mix64(resolver_sk);
+  EXPECT_EQ(shared_secret(client_sk, resolver_pk),
+            shared_secret(resolver_sk, client_pk));
+  EXPECT_NE(shared_secret(client_sk, resolver_pk),
+            shared_secret(client_sk + 1, resolver_pk));
+}
+
+TEST(DnscryptCrypto, SealOpenRoundTrip) {
+  const std::vector<std::uint8_t> plain = {1, 2, 3, 4, 5};
+  const std::uint64_t secret = 0xFEED;
+  const auto boxed = seal(plain, /*nonce=*/99, /*client_pk=*/7, secret);
+  EXPECT_EQ(boxed.size() % kPadBlock, 24u);  // header + padded blocks
+  std::uint64_t sender = 0, nonce = 0;
+  const auto opened = open(boxed, secret, &sender, &nonce);
+  ASSERT_TRUE(opened);
+  EXPECT_EQ(*opened, plain);
+  EXPECT_EQ(sender, 7u);
+  EXPECT_EQ(nonce, 99u);
+}
+
+TEST(DnscryptCrypto, PaddingHidesLength) {
+  const std::uint64_t secret = 1;
+  const auto a = seal(std::vector<std::uint8_t>(10, 0xAA), 1, 2, secret);
+  const auto b = seal(std::vector<std::uint8_t>(40, 0xBB), 1, 2, secret);
+  EXPECT_EQ(a.size(), b.size());  // both inside one 64-byte block
+}
+
+TEST(DnscryptCrypto, TamperDetection) {
+  const std::vector<std::uint8_t> plain = {9, 9, 9};
+  auto boxed = seal(plain, 5, 6, 0xABC);
+  boxed[30] ^= 1;  // flip a ciphertext bit
+  EXPECT_FALSE(open(boxed, 0xABC));
+  // Wrong secret also fails the MAC.
+  const auto intact = seal(plain, 5, 6, 0xABC);
+  EXPECT_FALSE(open(intact, 0xABD));
+  // Truncated input.
+  EXPECT_FALSE(open(std::vector<std::uint8_t>(10), 0xABC));
+}
+
+TEST(DnscryptCrypto, PeekClientKey) {
+  const auto boxed = seal(std::vector<std::uint8_t>{1}, 2, 0xC11E57, 3);
+  EXPECT_EQ(*peek_client_key(boxed), 0xC11E57u);
+  EXPECT_FALSE(peek_client_key(std::vector<std::uint8_t>(4)));
+}
+
+// --- end-to-end through the world --------------------------------------------
+
+world::World& shared_world() {
+  static world::World world;
+  return world;
+}
+
+TEST(DnscryptEndToEnd, OpenDnsResolvesProbeName) {
+  world::World& world = shared_world();
+  const auto vantage = world.make_clean_vantage("US");
+  DnscryptClient client(world.network(), vantage.context, 71);
+  const auto provider = ProviderKey::derive("2.dnscrypt-cert.opendns.com");
+  util::Rng rng(72);
+  const auto outcome =
+      client.query(util::Ipv4{208, 67, 220, 220}, provider,
+                   world.unique_probe_name(rng), dns::RrType::kA, kDay);
+  ASSERT_TRUE(outcome.answered()) << to_string(outcome.status);
+  EXPECT_EQ(*outcome.response->first_a(), world.probe_answer());
+}
+
+TEST(DnscryptEndToEnd, CertificateCachedAcrossQueries) {
+  world::World& world = shared_world();
+  const auto vantage = world.make_clean_vantage("US");
+  DnscryptClient client(world.network(), vantage.context, 73);
+  const auto provider = ProviderKey::derive("2.dnscrypt-cert.opendns.com");
+  util::Rng rng(74);
+  const auto first = client.query(util::Ipv4{208, 67, 220, 220}, provider,
+                                  world.unique_probe_name(rng), dns::RrType::kA,
+                                  kDay);
+  const auto second = client.query(util::Ipv4{208, 67, 220, 220}, provider,
+                                   world.unique_probe_name(rng), dns::RrType::kA,
+                                   kDay);
+  ASSERT_TRUE(first.answered());
+  ASSERT_TRUE(second.answered());
+  // The second query skips the TXT bootstrap: only the sealed exchange.
+  EXPECT_DOUBLE_EQ(second.latency.value, second.transaction_latency.value);
+  EXPECT_GT(first.latency.value, first.transaction_latency.value);
+}
+
+TEST(DnscryptEndToEnd, WrongProviderKeyRejected) {
+  world::World& world = shared_world();
+  const auto vantage = world.make_clean_vantage("US");
+  DnscryptClient client(world.network(), vantage.context, 75);
+  // The right provider name (so the TXT bootstrap succeeds) but a different
+  // long-term key than the certificate is signed with.
+  auto wrong = ProviderKey::derive("2.dnscrypt-cert.opendns.com");
+  wrong.public_key ^= 0xBAD;
+  util::Rng rng(76);
+  const auto outcome =
+      client.query(util::Ipv4{208, 67, 220, 220}, wrong,
+                   world.unique_probe_name(rng), dns::RrType::kA, kDay);
+  EXPECT_EQ(outcome.status, client::QueryStatus::kCertRejected);
+}
+
+TEST(DnscryptEndToEnd, YandexDeploymentServes) {
+  world::World& world = shared_world();
+  ASSERT_GE(world.dnscrypt_deployments().size(), 3u);
+  const auto vantage = world.make_clean_vantage("RU");
+  DnscryptClient client(world.network(), vantage.context, 77);
+  const auto provider = ProviderKey::derive("2.dnscrypt-cert.browser.yandex.net");
+  util::Rng rng(78);
+  const auto outcome =
+      client.query(util::Ipv4{77, 88, 8, 88}, provider,
+                   world.unique_probe_name(rng), dns::RrType::kA, kDay);
+  EXPECT_TRUE(outcome.answered());
+}
+
+TEST(DnscryptService, ExpiredCertificateAborts) {
+  resolver::AuthoritativeUniverse universe;
+  DnscryptServiceConfig config;
+  config.provider_name = "2.dnscrypt-cert.stale.example";
+  config.backend = std::make_shared<resolver::ServfailBackend>();
+  config.cert_end = {2018, 6, 1};  // long expired
+  auto service = std::make_shared<DnscryptService>(config);
+
+  net::Network network;
+  net::Pop pop;
+  pop.location = net::Location{{39, -98}, "US", 1};
+  pop.service = service;
+  network.bind(net::Binding{util::Ipv4{10, 0, 0, 1}, {pop}});
+
+  net::ClientContext context;
+  context.location = pop.location;
+  DnscryptClient client(network, context, 79);
+  util::Rng rng(80);
+  const auto outcome = client.query(
+      util::Ipv4{10, 0, 0, 1}, ProviderKey::derive(config.provider_name),
+      *dns::Name::parse("x.example"), dns::RrType::kA, kDay);
+  EXPECT_EQ(outcome.status, client::QueryStatus::kCertRejected);
+}
+
+}  // namespace
+}  // namespace encdns::dnscrypt

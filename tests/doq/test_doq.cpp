@@ -1,0 +1,161 @@
+#include "doq/doq.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tls/serialize.hpp"
+#include "world/world.hpp"
+
+namespace encdns::doq {
+namespace {
+
+const util::Date kDay{2019, 3, 20};
+
+world::World& shared_world() {
+  static world::World world;
+  return world;
+}
+
+TEST(TlsSerialize, ChainRoundTrip) {
+  const auto chain = tls::make_chain(
+      "doq.dnsmeasure.net", tls::kLetsEncryptCa, {2018, 10, 1}, {2019, 12, 15},
+      {"doq.dnsmeasure.net", "*.dnsmeasure.net"});
+  const auto parsed = tls::parse_chain(tls::serialize_chain(chain));
+  ASSERT_TRUE(parsed);
+  ASSERT_EQ(parsed->certs.size(), 2u);
+  EXPECT_EQ(parsed->leaf_cn(), "doq.dnsmeasure.net");
+  EXPECT_EQ(parsed->certs[0].san, chain.certs[0].san);
+  EXPECT_EQ(parsed->certs[0].not_after, chain.certs[0].not_after);
+  EXPECT_TRUE(parsed->certs[1].is_ca);
+  EXPECT_FALSE(tls::parse_chain("garbage without pipes"));
+  EXPECT_TRUE(tls::parse_chain("")->certs.empty());
+}
+
+TEST(DoqClient, FreshQueryTakesTwoRoundTrips) {
+  world::World& world = shared_world();
+  const auto vantage = world.make_clean_vantage("US");
+  DoqClient client(world.network(), vantage.context, 81);
+  util::Rng rng(82);
+  DoqClient::Options options;
+  options.auth_name = world::World::kDoqHostname;
+  const auto outcome = client.query(world.doq_address(), world.unique_probe_name(rng),
+                                    dns::RrType::kA, kDay, options);
+  ASSERT_TRUE(outcome.answered()) << to_string(outcome.status);
+  EXPECT_EQ(*outcome.response->first_a(), world.probe_answer());
+  EXPECT_FALSE(outcome.reused_connection);
+  ASSERT_TRUE(outcome.cert_status);
+  EXPECT_EQ(*outcome.cert_status, tls::CertStatus::kValid);
+  // One Initial round trip happened before the query round trip.
+  EXPECT_GT(outcome.latency.value, outcome.transaction_latency.value);
+  EXPECT_TRUE(client.has_session(world.doq_address()));
+}
+
+TEST(DoqClient, ZeroRttIsSingleRoundTrip) {
+  world::World& world = shared_world();
+  const auto vantage = world.make_clean_vantage("US");
+  DoqClient client(world.network(), vantage.context, 83);
+  util::Rng rng(84);
+  DoqClient::Options options;
+  options.auth_name = world::World::kDoqHostname;
+  (void)client.query(world.doq_address(), world.unique_probe_name(rng),
+                     dns::RrType::kA, kDay, options);
+  const auto resumed = client.query(world.doq_address(), world.unique_probe_name(rng),
+                                    dns::RrType::kA, kDay, options);
+  ASSERT_TRUE(resumed.answered());
+  EXPECT_TRUE(resumed.reused_connection);
+  // 0-RTT: the whole lookup is the single stream exchange.
+  EXPECT_DOUBLE_EQ(resumed.latency.value, resumed.transaction_latency.value);
+}
+
+TEST(DoqClient, WrongHostnameRejected) {
+  world::World& world = shared_world();
+  const auto vantage = world.make_clean_vantage("US");
+  DoqClient client(world.network(), vantage.context, 85);
+  util::Rng rng(86);
+  DoqClient::Options options;
+  options.auth_name = "wrong.example";
+  const auto outcome = client.query(world.doq_address(), world.unique_probe_name(rng),
+                                    dns::RrType::kA, kDay, options);
+  EXPECT_EQ(outcome.status, client::QueryStatus::kCertRejected);
+  EXPECT_EQ(*outcome.cert_status, tls::CertStatus::kHostnameMismatch);
+  EXPECT_FALSE(client.has_session(world.doq_address()));
+}
+
+TEST(DoqClient, NoServiceTimesOut) {
+  world::World& world = shared_world();
+  const auto vantage = world.make_clean_vantage("US");
+  DoqClient client(world.network(), vantage.context, 87);
+  util::Rng rng(88);
+  DoqClient::Options options;
+  options.auth_name = world::World::kDoqHostname;
+  options.timeout = sim::Millis{500.0};
+  // 1.1.1.1 runs no DoQ service on 784.
+  const auto outcome =
+      client.query(world::addrs::kCloudflarePrimary, world.unique_probe_name(rng),
+                   dns::RrType::kA, kDay, options);
+  EXPECT_EQ(outcome.status, client::QueryStatus::kTimeout);
+}
+
+TEST(DoqClient, FallbackToDotWhenQuicUnavailable) {
+  world::World& world = shared_world();
+  const auto vantage = world.make_clean_vantage("US");
+  DoqClient client(world.network(), vantage.context, 89);
+  util::Rng rng(90);
+  DoqClient::Options options;
+  options.auth_name = "cloudflare-dns.com";
+  options.timeout = sim::Millis{500.0};
+  options.fallback_to_dot = true;
+  // Cloudflare has no DoQ but serves DoT on 853: the draft's fallback path.
+  const auto outcome =
+      client.query(world::addrs::kCloudflarePrimary, world.unique_probe_name(rng),
+                   dns::RrType::kA, kDay, options);
+  ASSERT_TRUE(outcome.answered());
+  EXPECT_EQ(outcome.presented_chain.leaf_cn(), "cloudflare-dns.com");
+}
+
+TEST(DoqClient, StaleTokenRejectedAfterServerRestartEquivalent) {
+  // Stream packets with a token not minted by this server are rejected.
+  world::World& world = shared_world();
+  const auto vantage = world.make_clean_vantage("US");
+  util::Rng rng(91);
+  std::vector<std::uint8_t> bogus;
+  bogus.push_back(kPacketStream);
+  for (int i = 0; i < 16; ++i) bogus.push_back(static_cast<std::uint8_t>(i));
+  bogus.push_back(0);  // malformed frame tail
+  util::Rng packet_rng(92);
+  const auto result = world.network().udp_exchange(
+      vantage.context, packet_rng, world.doq_address(), kDoqPort, bogus, kDay);
+  ASSERT_EQ(result.status, net::Network::UdpResult::Status::kOk);
+  ASSERT_FALSE(result.payload.empty());
+  EXPECT_EQ(result.payload[0], kPacketReject);
+}
+
+TEST(DoqVsDot, WarmDoqMatchesClearTextLatency) {
+  // The protocol's pitch (Table 1): DNS/UDP-like latency with DoT-like
+  // security. Warm DoQ should sit well below warm DoT + handshake paths.
+  world::World& world = shared_world();
+  const auto vantage = world.make_clean_vantage("US");
+  DoqClient doq(world.network(), vantage.context, 93);
+  util::Rng rng(94);
+  DoqClient::Options options;
+  options.auth_name = world::World::kDoqHostname;
+  (void)doq.query(world.doq_address(), world.unique_probe_name(rng), dns::RrType::kA,
+                  kDay, options);
+  double warm_total = 0;
+  int warm_count = 0;
+  for (int i = 0; i < 30; ++i) {
+    const auto outcome = doq.query(world.doq_address(), world.unique_probe_name(rng),
+                                   dns::RrType::kA, kDay, options);
+    if (outcome.answered()) {
+      warm_total += outcome.transaction_latency.value;
+      ++warm_count;
+    }
+  }
+  ASSERT_GT(warm_count, 20);
+  // Single round trip to a US PoP plus recursion: the average must stay far
+  // below a fresh TCP+TLS DoT setup to the same place (~3 RTTs + recursion).
+  EXPECT_LT(warm_total / warm_count, 1500.0);
+  EXPECT_GT(warm_total / warm_count, 10.0);
+}
+
+}  // namespace
+}  // namespace encdns::doq

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "http/message.hpp"
+#include "http/url.hpp"
+
+namespace encdns::http {
+namespace {
+
+TEST(Url, ParseBasic) {
+  const auto url = Url::parse("https://dns.example.com/dns-query");
+  ASSERT_TRUE(url);
+  EXPECT_EQ(url->scheme, "https");
+  EXPECT_EQ(url->host, "dns.example.com");
+  EXPECT_EQ(url->port, 0);
+  EXPECT_EQ(url->effective_port(), 443);
+  EXPECT_EQ(url->path, "/dns-query");
+}
+
+TEST(Url, ParseWithPortAndQuery) {
+  const auto url = Url::parse("http://host:8080/p/a?x=1&y=2");
+  ASSERT_TRUE(url);
+  EXPECT_EQ(url->port, 8080);
+  EXPECT_EQ(url->effective_port(), 8080);
+  EXPECT_EQ(url->path, "/p/a");
+  EXPECT_EQ(url->query, "x=1&y=2");
+}
+
+TEST(Url, DefaultsAndNormalization) {
+  const auto url = Url::parse("HTTPS://Mixed.Case.COM");
+  ASSERT_TRUE(url);
+  EXPECT_EQ(url->scheme, "https");
+  EXPECT_EQ(url->host, "mixed.case.com");
+  EXPECT_EQ(url->path, "/");
+  EXPECT_EQ(Url::parse("http://h")->effective_port(), 80);
+}
+
+TEST(Url, RejectsMalformed) {
+  EXPECT_FALSE(Url::parse("no-scheme.com/path"));
+  EXPECT_FALSE(Url::parse("ftp://host/file"));
+  EXPECT_FALSE(Url::parse("https://"));
+  EXPECT_FALSE(Url::parse("https://host:0/"));
+  EXPECT_FALSE(Url::parse("https://host:99999/"));
+  EXPECT_FALSE(Url::parse("https://user@host/"));
+}
+
+TEST(Url, ToStringRoundTrip) {
+  const char* text = "https://dns.example.com:8443/dns-query?dns=abc";
+  EXPECT_EQ(Url::parse(text)->to_string(), text);
+}
+
+TEST(UriTemplate, ParseWithDnsVariable) {
+  const auto tmpl = UriTemplate::parse("https://dns.example.com/dns-query{?dns}");
+  ASSERT_TRUE(tmpl);
+  EXPECT_TRUE(tmpl->has_dns_variable());
+  EXPECT_EQ(tmpl->base().host, "dns.example.com");
+  EXPECT_EQ(tmpl->to_string(), "https://dns.example.com/dns-query{?dns}");
+}
+
+TEST(UriTemplate, ParseWithoutExpression) {
+  const auto tmpl = UriTemplate::parse("https://commons.host/dns-query");
+  ASSERT_TRUE(tmpl);
+  EXPECT_FALSE(tmpl->has_dns_variable());
+}
+
+TEST(UriTemplate, RejectsUnknownExpressions) {
+  EXPECT_FALSE(UriTemplate::parse("https://h/q{?name}"));
+  EXPECT_FALSE(UriTemplate::parse("https://h/{segment}/q"));
+}
+
+TEST(UriTemplate, ExpandGet) {
+  const auto tmpl = *UriTemplate::parse("https://d.example/dns-query{?dns}");
+  const Url url = tmpl.expand_get("AAABAA");
+  EXPECT_EQ(url.query, "dns=AAABAA");
+  EXPECT_EQ(url.to_string(), "https://d.example/dns-query?dns=AAABAA");
+}
+
+TEST(PercentEncoding, UnreservedPassThrough) {
+  EXPECT_EQ(percent_encode("AZaz09-_.~"), "AZaz09-_.~");
+  EXPECT_EQ(percent_encode("a b&c"), "a%20b%26c");
+}
+
+TEST(QueryParam, ExtractsAndDecodes) {
+  EXPECT_EQ(*query_param("dns=abc&x=1", "dns"), "abc");
+  EXPECT_EQ(*query_param("x=1&dns=a%2Bb", "dns"), "a+b");
+  EXPECT_EQ(*query_param("flag", "flag"), "");
+  EXPECT_FALSE(query_param("x=1", "dns"));
+  EXPECT_FALSE(query_param("dns=%GG", "dns"));  // bad escape
+}
+
+TEST(Request, SerializeParseRoundTrip) {
+  Request req;
+  req.method = Method::kGet;
+  req.target = "/dns-query?dns=AAAA";
+  req.headers.set("Host", "dns.example.com");
+  req.headers.set("Accept", kDnsMessageType);
+  const auto parsed = Request::parse(req.serialize());
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->method, Method::kGet);
+  EXPECT_EQ(parsed->target, "/dns-query?dns=AAAA");
+  EXPECT_EQ(*parsed->headers.get("host"), "dns.example.com");
+  EXPECT_EQ(parsed->path(), "/dns-query");
+  EXPECT_EQ(parsed->query(), "dns=AAAA");
+}
+
+TEST(Request, PostWithBody) {
+  Request req;
+  req.method = Method::kPost;
+  req.target = "/dns-query";
+  req.headers.set("Content-Type", kDnsMessageType);
+  req.body = {1, 2, 3, 4};
+  const auto wire = req.serialize();
+  const std::string text(wire.begin(), wire.end());
+  EXPECT_NE(text.find("Content-Length: 4"), std::string::npos);
+  const auto parsed = Request::parse(wire);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->body, (std::vector<std::uint8_t>{1, 2, 3, 4}));
+}
+
+TEST(Request, RejectsMalformed) {
+  const auto as_bytes = [](std::string_view s) {
+    return std::vector<std::uint8_t>(s.begin(), s.end());
+  };
+  EXPECT_FALSE(Request::parse(as_bytes("GET /")));                     // no CRLFCRLF
+  EXPECT_FALSE(Request::parse(as_bytes("GET / HTTP/1.0\r\n\r\n")));    // version
+  EXPECT_FALSE(Request::parse(as_bytes("PATCH / HTTP/1.1\r\n\r\n")));  // method
+  EXPECT_FALSE(Request::parse(as_bytes("GET / HTTP/1.1\r\nBadHeader\r\n\r\n")));
+  // Content-Length disagreeing with the actual body.
+  EXPECT_FALSE(Request::parse(
+      as_bytes("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")));
+}
+
+TEST(Response, SerializeParseRoundTrip) {
+  auto resp = Response::make(200, "OK", kDnsMessageType, {9, 9});
+  const auto parsed = Response::parse(resp.serialize());
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->status, 200);
+  EXPECT_EQ(parsed->reason, "OK");
+  EXPECT_EQ(*parsed->headers.get("Content-Type"), kDnsMessageType);
+  EXPECT_EQ(parsed->body, (std::vector<std::uint8_t>{9, 9}));
+}
+
+TEST(Response, ErrorStatuses) {
+  for (int status : {400, 404, 405, 415, 500}) {
+    auto resp = Response::make(status, "Err", "text/plain", {});
+    const auto parsed = Response::parse(resp.serialize());
+    ASSERT_TRUE(parsed);
+    EXPECT_EQ(parsed->status, status);
+  }
+}
+
+TEST(Headers, CaseInsensitiveSetAndGet) {
+  Headers headers;
+  headers.set("Content-Type", "a");
+  headers.set("content-type", "b");  // replaces
+  EXPECT_EQ(headers.entries().size(), 1u);
+  EXPECT_EQ(*headers.get("CONTENT-TYPE"), "b");
+  headers.add("X-Dup", "1");
+  headers.add("X-Dup", "2");
+  EXPECT_EQ(headers.entries().size(), 3u);
+  EXPECT_EQ(*headers.get("x-dup"), "1");  // first wins on lookup
+}
+
+}  // namespace
+}  // namespace encdns::http

@@ -1,0 +1,252 @@
+// End-to-end integration tests: run the whole study at reduced scale and
+// assert the *shape* of every key finding the paper reports.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/experiments.hpp"
+#include "core/report.hpp"
+#include "core/study.hpp"
+#include "util/stats.hpp"
+
+namespace encdns::core {
+namespace {
+
+/// One shared quick-scale Study for the whole suite (building it per-test
+/// would re-run the scans and measurements repeatedly).
+Study& study() {
+  static Study instance{[] {
+    StudyConfig config = StudyConfig::quick();
+    config.campaign.scan_count = 2;
+    config.campaign.interval_days = 89;  // Feb 1 and May 1 snapshots
+    return config;
+  }()};
+  return instance;
+}
+
+// --- Section 3: servers -------------------------------------------------------
+
+TEST(Finding11, ThousandsOfOpenHostsFewResolvers) {
+  const auto& scans = study().scans();
+  ASSERT_EQ(scans.size(), 2u);
+  for (const auto& snapshot : scans) {
+    // Vast majority of port-853-open hosts fail the DoT probe.
+    EXPECT_GT(snapshot.port_open, snapshot.resolvers.size() * 10);
+    EXPECT_GT(snapshot.resolvers.size(), 1200u);  // ">1.5K resolvers"
+    EXPECT_GT(snapshot.providers().size(), 150u);  // ">150 providers"
+  }
+}
+
+TEST(Finding11, ManySmallProvidersNotInPublicLists) {
+  const auto& last = study().scans().back();
+  // Count discovered providers present in public lists, via ground truth.
+  std::unordered_set<std::string> listed;
+  for (const auto& d : study().world().deployments().dot)
+    if (d.in_public_list) listed.insert(scan::provider_key(d.cert_cn));
+  std::size_t unlisted = 0;
+  for (const auto& provider : last.providers())
+    if (!listed.contains(provider)) ++unlisted;
+  EXPECT_GT(unlisted, last.providers().size() / 2);
+}
+
+TEST(Finding11, SeventyPercentProvidersRunOneAddress) {
+  const auto& last = study().scans().back();
+  util::Counter per_provider;
+  for (const auto& resolver : last.resolvers) per_provider.add(resolver.provider);
+  std::size_t single = 0;
+  for (const auto& [provider, count] : per_provider.sorted_desc())
+    if (count <= 1.0) ++single;
+  const double share = static_cast<double>(single) / per_provider.distinct();
+  EXPECT_GT(share, 0.55);  // paper: 70%
+  EXPECT_LT(share, 0.85);
+}
+
+TEST(Finding12, QuarterOfProvidersUseInvalidCertificates) {
+  const auto& last = study().scans().back();
+  const double share = static_cast<double>(last.invalid_cert_providers().size()) /
+                       last.providers().size();
+  EXPECT_GT(share, 0.15);  // paper: ~25%
+  EXPECT_LT(share, 0.35);
+  // Breakdown: 27 expired / 67 self-signed / 28 bad chains (paper, May 1).
+  int expired = 0, self_signed = 0, bad_chain = 0;
+  for (const auto& resolver : last.resolvers) {
+    switch (resolver.cert_status) {
+      case tls::CertStatus::kExpired: ++expired; break;
+      case tls::CertStatus::kSelfSigned: ++self_signed; break;
+      case tls::CertStatus::kUntrustedChain: ++bad_chain; break;
+      default: break;
+    }
+  }
+  EXPECT_NEAR(expired, 27, 8);
+  EXPECT_NEAR(self_signed, 67, 10);
+  EXPECT_NEAR(bad_chain, 28, 8);
+}
+
+TEST(Finding12, FortiGateProxiesGroupAsOneProvider) {
+  const auto& last = study().scans().back();
+  int fortigate_resolvers = 0;
+  for (const auto& resolver : last.resolvers)
+    if (resolver.provider == "FortiGate") ++fortigate_resolvers;
+  EXPECT_NEAR(fortigate_resolvers, 47, 6);
+}
+
+TEST(Table2, CountryGrowthShapes) {
+  const auto& scans = study().scans();
+  util::Counter first, last;
+  for (const auto& r : scans.front().resolvers) first.add(r.country);
+  for (const auto& r : scans.back().resolvers) last.add(r.country);
+  EXPECT_GT(last.get("IE") / first.get("IE"), 1.7);   // +108%
+  EXPECT_LT(last.get("CN") / first.get("CN"), 0.35);  // -84%
+  EXPECT_GT(last.get("US") / first.get("US"), 3.0);   // +431%
+  EXPECT_GT(last.get("BR") / first.get("BR"), 1.5);   // +122%
+}
+
+TEST(DohDiscovery, SeventeenResolversTwoBeyondLists) {
+  const auto& discovery = study().doh_discovery();
+  EXPECT_EQ(discovery.resolvers.size(), 17u);
+  EXPECT_GE(discovery.valid_urls, 17u);
+  EXPECT_LE(discovery.valid_urls, 80u);  // paper: 61 valid URLs
+}
+
+TEST(LocalResolvers, IspDotScarce) {
+  EXPECT_LT(study().local_probe().success_rate(), 0.03);  // paper: 0.3%
+}
+
+// --- Section 4: clients -------------------------------------------------------
+
+TEST(Finding21, EncryptedDnsMoreReachableThanClearText) {
+  const auto& global = study().reachability_global();
+  using P = measure::Protocol;
+  using O = measure::Outcome;
+  const double dns_failed = global.cell("Cloudflare", P::kDo53).fraction(O::kFailed);
+  const double dot_failed = global.cell("Cloudflare", P::kDoT).fraction(O::kFailed);
+  const double doh_failed = global.cell("Cloudflare", P::kDoH).fraction(O::kFailed);
+  EXPECT_GT(dns_failed, 0.10);
+  EXPECT_LT(dot_failed, 0.04);
+  EXPECT_LT(doh_failed, 0.02);
+  // Over 99% can use the DoE services normally.
+  EXPECT_GT(global.cell("Cloudflare", P::kDoH).fraction(O::kCorrect), 0.97);
+  EXPECT_GT(global.cell("Quad9", P::kDoT).fraction(O::kCorrect), 0.97);
+}
+
+TEST(Finding22, CensorshipBlocksGoogleDohFromCn) {
+  const auto& cn = study().reachability_cn();
+  using P = measure::Protocol;
+  using O = measure::Outcome;
+  EXPECT_GT(cn.cell("Google", P::kDoH).fraction(O::kFailed), 0.99);
+  EXPECT_LT(cn.cell("Google", P::kDo53).fraction(O::kFailed), 0.05);
+  EXPECT_LT(cn.cell("Cloudflare", P::kDoH).fraction(O::kFailed), 0.05);
+}
+
+TEST(Finding23, TlsInterceptionBreaksStrictDohNotOpportunisticDot) {
+  const auto& global = study().reachability_global();
+  ASSERT_FALSE(global.interceptions.empty());
+  for (const auto& record : global.interceptions) {
+    EXPECT_FALSE(record.doh_lookup_succeeded);
+    if (record.port_853) EXPECT_TRUE(record.dot_lookup_succeeded);
+  }
+  // Rare: a fraction of a percent of clients.
+  EXPECT_LT(global.interceptions.size(), global.clients / 100);
+}
+
+TEST(Finding24, Quad9DohServfails) {
+  const auto& global = study().reachability_global();
+  const double incorrect = global.cell("Quad9", measure::Protocol::kDoH)
+                               .fraction(measure::Outcome::kIncorrect);
+  EXPECT_GT(incorrect, 0.06);  // paper: 13.09%
+  EXPECT_LT(incorrect, 0.22);
+  // The censored platform's clients sit near the probe zone's nameservers
+  // and barely trip the 2-second forwarding timeout.
+  const double cn_incorrect = study().reachability_cn()
+                                  .cell("Quad9", measure::Protocol::kDoH)
+                                  .fraction(measure::Outcome::kIncorrect);
+  EXPECT_LT(cn_incorrect, incorrect / 3);
+}
+
+TEST(Table5, ConflictingDevicesProfile) {
+  const auto& global = study().reachability_global();
+  ASSERT_GT(global.conflict_diagnoses.size(), 5u);
+  std::size_t none = 0;
+  for (const auto& diagnosis : global.conflict_diagnoses)
+    if (diagnosis.open_ports.empty()) ++none;
+  // Most conflicting destinations expose no ports at all (Table 5 "None").
+  EXPECT_GT(static_cast<double>(none) / global.conflict_diagnoses.size(), 0.3);
+}
+
+TEST(Finding31, ReusedConnectionOverheadIsMilliseconds) {
+  const auto& perf = study().performance();
+  ASSERT_GT(perf.clients.size(), 300u);
+  EXPECT_LT(std::abs(perf.overall(false, true)), 25.0);  // DoT median, ms
+  EXPECT_LT(std::abs(perf.overall(true, true)), 30.0);   // DoH median, ms
+}
+
+TEST(Finding31, NoReuseOverheadIsHundredsOfMs) {
+  const auto& rows = study().no_reuse();
+  ASSERT_EQ(rows.size(), 4u);
+  double max_overhead = 0;
+  for (const auto& row : rows)
+    max_overhead = std::max(max_overhead, row.dot_overhead_ms());
+  EXPECT_GT(max_overhead, 200.0);  // "up to hundreds of milliseconds"
+}
+
+TEST(Finding32, DohFasterThanClearTextInIndia) {
+  const auto& perf = study().performance();
+  for (const auto& row : perf.by_country(8)) {
+    if (row.country == "IN") {
+      EXPECT_LT(row.doh_overhead_median, 0.0);  // paper: -96ms median
+      return;
+    }
+  }
+  GTEST_SKIP() << "not enough IN clients at this scale";
+}
+
+// --- Section 5: usage ---------------------------------------------------------
+
+TEST(Finding41, DotTrafficSmallButGrowing) {
+  const auto& netflow = study().netflow();
+  const auto jul = netflow.cloudflare_monthly.find(util::Date{2018, 7, 1});
+  const auto dec = netflow.cloudflare_monthly.find(util::Date{2018, 12, 1});
+  ASSERT_NE(jul, netflow.cloudflare_monthly.end());
+  ASSERT_NE(dec, netflow.cloudflare_monthly.end());
+  EXPECT_GT(static_cast<double>(dec->second) / jul->second, 1.3);  // +56%
+  EXPECT_EQ(netflow.flagged_client_blocks, 0u);
+}
+
+TEST(Finding41, CentralizedClientsAndTemporaryUsers) {
+  const auto& netflow = study().netflow();
+  EXPECT_GT(netflow.top_share(5), 0.30);                      // paper: 44%
+  EXPECT_GT(netflow.short_lived_block_fraction(7), 0.80);     // paper: 96%
+  EXPECT_LT(netflow.short_lived_traffic_share(7), 0.45);      // paper: 25%
+}
+
+TEST(Finding42, LargeProvidersDominateDoh) {
+  const auto& pdns = study().passive_dns();
+  const auto popular = pdns.popular_domains(10000);
+  EXPECT_GE(popular.size(), 3u);
+  EXPECT_LE(popular.size(), 6u);  // paper: only 4 domains above 10K lookups
+}
+
+// --- Experiment runners produce well-formed tables ---------------------------
+
+TEST(Experiments, AllRunnersProduceRows) {
+  for (const auto& experiment : all_experiments()) {
+    const auto table = experiment.run(study());
+    EXPECT_GT(table.row_count(), 0u) << experiment.id;
+    EXPECT_FALSE(table.render().empty()) << experiment.id;
+  }
+}
+
+TEST(Report, EveryPaperClaimReproduces) {
+  const auto checks = evaluate_findings(study());
+  EXPECT_GE(checks.size(), 20u);
+  for (const auto& check : checks) {
+    EXPECT_TRUE(check.ok) << check.id << ": " << check.description << " (paper "
+                          << check.paper << ", measured " << check.measured << ")";
+    EXPECT_FALSE(check.measured.empty());
+  }
+  EXPECT_EQ(failed_count(checks), 0u);
+  EXPECT_EQ(findings_table(checks).row_count(), checks.size());
+}
+
+}  // namespace
+}  // namespace encdns::core

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "measure/local_probe.hpp"
+#include "measure/performance.hpp"
+#include "measure/reachability.hpp"
+#include "measure/targets.hpp"
+
+namespace encdns::measure {
+namespace {
+
+world::World& shared_world() {
+  static world::World world;
+  return world;
+}
+
+TEST(Targets, FourResolversWithExpectedCapabilities) {
+  const auto targets = default_targets();
+  ASSERT_EQ(targets.size(), 4u);
+  EXPECT_EQ(targets[0].name, "Cloudflare");
+  EXPECT_TRUE(targets[0].dot_address.has_value());
+  EXPECT_TRUE(targets[0].doh_template.has_value());
+  EXPECT_EQ(targets[1].name, "Google");
+  EXPECT_FALSE(targets[1].dot_address.has_value());  // "n/a" in Table 4
+  EXPECT_TRUE(targets[1].doh_template.has_value());
+  EXPECT_EQ(targets[3].name, "Self-built");
+}
+
+TEST(Targets, DiagnosticPortsMatchFigure7) {
+  const auto& ports = diagnostic_ports();
+  for (const std::uint16_t port : {22, 23, 53, 67, 80, 123, 139, 161, 179, 443})
+    EXPECT_NE(std::find(ports.begin(), ports.end(), port), ports.end()) << port;
+}
+
+TEST(OutcomeCounts, Fractions) {
+  OutcomeCounts counts;
+  counts.correct = 80;
+  counts.incorrect = 5;
+  counts.failed = 15;
+  EXPECT_DOUBLE_EQ(counts.fraction(Outcome::kCorrect), 0.80);
+  EXPECT_DOUBLE_EQ(counts.fraction(Outcome::kIncorrect), 0.05);
+  EXPECT_DOUBLE_EQ(counts.fraction(Outcome::kFailed), 0.15);
+  EXPECT_DOUBLE_EQ(OutcomeCounts{}.fraction(Outcome::kFailed), 0.0);
+}
+
+struct ReachabilityFixture : ::testing::Test {
+  static const ReachabilityResults& global_results() {
+    static const ReachabilityResults results = [] {
+      proxy::ProxyNetwork platform(shared_world(), proxy::ProxyConfig{}, 21);
+      ReachabilityConfig config;
+      config.client_count = 1200;
+      ReachabilityTest test(shared_world(), platform, config);
+      return test.run();
+    }();
+    return results;
+  }
+  static const ReachabilityResults& cn_results() {
+    static const ReachabilityResults results = [] {
+      proxy::ProxyConfig proxy_config;
+      proxy_config.name = "Zhima";
+      proxy_config.kind = proxy::PlatformKind::kCensoredCn;
+      proxy::ProxyNetwork platform(shared_world(), proxy_config, 22);
+      ReachabilityConfig config;
+      config.client_count = 800;
+      config.seed = 23;
+      ReachabilityTest test(shared_world(), platform, config);
+      return test.run();
+    }();
+    return results;
+  }
+};
+
+TEST_F(ReachabilityFixture, CloudflareClearTextFailsFarMoreThanDoT) {
+  const auto& results = global_results();
+  const double dns_failed =
+      results.cell("Cloudflare", Protocol::kDo53).fraction(Outcome::kFailed);
+  const double dot_failed =
+      results.cell("Cloudflare", Protocol::kDoT).fraction(Outcome::kFailed);
+  const double doh_failed =
+      results.cell("Cloudflare", Protocol::kDoH).fraction(Outcome::kFailed);
+  EXPECT_GT(dns_failed, 0.10);  // paper: 16.46%
+  EXPECT_LT(dns_failed, 0.25);
+  EXPECT_GT(dot_failed, 0.003);  // paper: 1.14%
+  EXPECT_LT(dot_failed, 0.04);
+  EXPECT_LT(doh_failed, 0.02);   // paper: 0.05%
+  EXPECT_GT(dns_failed, dot_failed * 5);
+}
+
+TEST_F(ReachabilityFixture, EncryptedTransportsBeatClearTextEverywhere) {
+  const auto& results = global_results();
+  for (const char* resolver : {"Cloudflare", "Google"}) {
+    const double dns =
+        results.cell(resolver, Protocol::kDo53).fraction(Outcome::kFailed);
+    const double doh =
+        results.cell(resolver, Protocol::kDoH).fraction(Outcome::kFailed);
+    EXPECT_GT(dns, doh) << resolver;
+  }
+}
+
+TEST_F(ReachabilityFixture, Quad9DohServfailsAtHighRate) {
+  const auto& results = global_results();
+  const double incorrect =
+      results.cell("Quad9", Protocol::kDoH).fraction(Outcome::kIncorrect);
+  EXPECT_GT(incorrect, 0.06);  // paper: 13.09%
+  EXPECT_LT(incorrect, 0.22);
+  // Its clear-text and DoT paths stay clean.
+  EXPECT_LT(results.cell("Quad9", Protocol::kDo53).fraction(Outcome::kFailed), 0.02);
+  EXPECT_LT(results.cell("Quad9", Protocol::kDoT).fraction(Outcome::kFailed), 0.02);
+}
+
+TEST_F(ReachabilityFixture, SelfBuiltNearlyPerfect) {
+  const auto& results = global_results();
+  for (const Protocol protocol :
+       {Protocol::kDo53, Protocol::kDoT, Protocol::kDoH}) {
+    EXPECT_GT(results.cell("Self-built", protocol).fraction(Outcome::kCorrect),
+              0.985);
+  }
+}
+
+TEST_F(ReachabilityFixture, ConflictDiagnosesShapeTable5) {
+  const auto& results = global_results();
+  ASSERT_FALSE(results.conflict_diagnoses.empty());
+  std::size_t none = 0, with_80 = 0;
+  for (const auto& diagnosis : results.conflict_diagnoses) {
+    if (diagnosis.open_ports.empty()) ++none;
+    for (const std::uint16_t port : diagnosis.open_ports)
+      if (port == 80) ++with_80;
+  }
+  // Most conflicting destinations have no ports open (blackholed), and the
+  // device population exposes 80/443 most often.
+  EXPECT_GT(none, results.conflict_diagnoses.size() / 3);
+  EXPECT_GT(with_80, 0u);
+}
+
+TEST_F(ReachabilityFixture, InterceptionRecordsCarryUntrustedCa) {
+  const auto& results = global_results();
+  for (const auto& record : results.interceptions) {
+    EXPECT_FALSE(record.untrusted_ca_cn.empty());
+    EXPECT_TRUE(record.port_443 || record.port_853);
+    // DoH is strict: it can never have answered through an interceptor.
+    EXPECT_FALSE(record.doh_lookup_succeeded);
+  }
+}
+
+TEST_F(ReachabilityFixture, CensoredPlatformBlocksGoogleDoh) {
+  const auto& results = cn_results();
+  EXPECT_GT(results.cell("Google", Protocol::kDoH).fraction(Outcome::kFailed),
+            0.99);  // paper: 99.99%
+  // Clear-text Google DNS mostly works from CN.
+  EXPECT_LT(results.cell("Google", Protocol::kDo53).fraction(Outcome::kFailed),
+            0.05);
+  // Cloudflare 1.1.1.1 blackholed for a sizable minority on 53 AND 853.
+  const double dns =
+      results.cell("Cloudflare", Protocol::kDo53).fraction(Outcome::kFailed);
+  const double dot =
+      results.cell("Cloudflare", Protocol::kDoT).fraction(Outcome::kFailed);
+  EXPECT_GT(dns, 0.08);
+  EXPECT_NEAR(dns, dot, 0.05);  // same root cause, same rate
+  // Cloudflare DoH rides different addresses and stays reachable.
+  EXPECT_LT(results.cell("Cloudflare", Protocol::kDoH).fraction(Outcome::kFailed),
+            0.05);
+}
+
+TEST(Performance, ReusedConnectionOverheadIsSmall) {
+  proxy::ProxyNetwork platform(shared_world(), proxy::ProxyConfig{}, 31);
+  PerformanceConfig config;
+  config.client_count = 400;
+  PerformanceTest test(shared_world(), platform, config);
+  const auto results = test.run();
+  ASSERT_GT(results.clients.size(), 250u);
+  const double dot_median = results.overall(false, true);
+  const double doh_median = results.overall(true, true);
+  EXPECT_GT(dot_median, -5.0);
+  EXPECT_LT(dot_median, 25.0);  // paper: several ms
+  EXPECT_GT(doh_median, -15.0);
+  EXPECT_LT(doh_median, 25.0);
+  const auto rows = results.by_country(10);
+  EXPECT_FALSE(rows.empty());
+}
+
+TEST(Performance, NoReuseOverheadIsLarge) {
+  const auto rows = run_no_reuse_test(shared_world());
+  ASSERT_EQ(rows.size(), 4u);
+  for (const auto& row : rows) {
+    EXPECT_GT(row.dns_s, 0.05);
+    // TLS setup costs at least ~2 extra RTTs: tens to hundreds of ms.
+    EXPECT_GT(row.dot_overhead_ms(), 30.0);
+    EXPECT_GT(row.doh_overhead_ms(), 30.0);
+    EXPECT_LT(row.dot_overhead_ms(), 1200.0);
+  }
+  // Farther vantages pay more (paper: US < NL < AU).
+  const auto find = [&](const char* country) {
+    for (const auto& row : rows)
+      if (row.vantage_country == country) return row;
+    return rows.front();
+  };
+  EXPECT_LT(find("US").dot_overhead_ms(), find("AU").dot_overhead_ms());
+}
+
+TEST(LocalProbe, IspDotDeploymentIsScarce) {
+  LocalProbeConfig config;
+  config.probe_count = 2000;
+  const auto results = run_local_resolver_probe(shared_world(), config);
+  EXPECT_EQ(results.probes, 2000u);
+  EXPECT_LT(results.success_rate(), 0.03);  // paper: 0.3%
+}
+
+}  // namespace
+}  // namespace encdns::measure

@@ -1,0 +1,283 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/geo.hpp"
+#include "tls/trust_store.hpp"
+#include "tls/verify.hpp"
+
+namespace encdns::net {
+namespace {
+
+const util::Date kDay{2019, 3, 1};
+
+/// Echo service: answers every TCP request with its payload reversed; has a
+/// TLS certificate on port 853 and a webpage on 80.
+class EchoService final : public Service {
+ public:
+  std::string label() const override { return "echo"; }
+  bool accepts(std::uint16_t port, Transport transport) const override {
+    if (transport == Transport::kUdp) return port == 53;
+    return port == 53 || port == 80 || port == 853;
+  }
+  std::optional<tls::CertificateChain> certificate(
+      std::uint16_t port, const std::string&, const util::Date&) const override {
+    if (port != 853) return std::nullopt;
+    return tls::make_chain("echo.example", tls::kLetsEncryptCa, {2019, 1, 1},
+                           {2019, 12, 1});
+  }
+  WireReply handle(const WireRequest& request) override {
+    last_pop_country = request.pop.country;
+    std::vector<std::uint8_t> reversed(request.payload.rbegin(),
+                                       request.payload.rend());
+    return WireReply::of(std::move(reversed), sim::Millis{1.0});
+  }
+  std::string webpage(std::uint16_t port) const override {
+    return port == 80 ? "echo home page" : "";
+  }
+
+  std::string last_pop_country;
+};
+
+class DropBox final : public Middlebox {
+ public:
+  std::string label() const override { return "drop"; }
+  TcpVerdict on_tcp_syn(util::Ipv4, std::uint16_t port,
+                        const util::Date&) const override {
+    TcpVerdict v;
+    if (port == 53) v.action = TcpVerdict::Action::kDrop;
+    return v;
+  }
+  UdpVerdict on_udp(util::Ipv4, std::uint16_t port, std::span<const std::uint8_t>,
+                    const util::Date&) const override {
+    UdpVerdict v;
+    if (port == 53) v.action = UdpVerdict::Action::kDrop;
+    return v;
+  }
+};
+
+class InterceptAllBox final : public Middlebox {
+ public:
+  InterceptAllBox() : interceptor_("Evil CA", "dpi-box") {}
+  std::string label() const override { return "intercept"; }
+  const tls::TlsInterceptor* tls_interceptor(util::Ipv4,
+                                             std::uint16_t) const override {
+    return &interceptor_;
+  }
+
+ private:
+  tls::TlsInterceptor interceptor_;
+};
+
+ClientContext make_client(double lat = 40.0, double lon = -100.0) {
+  ClientContext ctx;
+  ctx.location.geo = {lat, lon};
+  ctx.location.country = "US";
+  ctx.link.last_mile = sim::Millis{5.0};
+  ctx.link.loss_rate = 0.0;
+  ctx.link.jitter_sigma = 0.01;
+  return ctx;
+}
+
+struct NetFixture : ::testing::Test {
+  Network network;
+  std::shared_ptr<EchoService> service = std::make_shared<EchoService>();
+  util::Rng rng{123};
+  ClientContext client = make_client();
+  util::Ipv4 addr{10, 1, 1, 1};
+
+  void SetUp() override {
+    Pop us_pop{Location{{39.0, -98.0}, "US", 1}, service, sim::Millis{0.1}};
+    Pop eu_pop{Location{{51.0, 9.0}, "DE", 2}, service, sim::Millis{0.1}};
+    network.bind(Binding{addr, {us_pop, eu_pop}, {2019, 1, 1}, {2019, 6, 1}});
+  }
+};
+
+TEST_F(NetFixture, RoutesToNearestPop) {
+  const Pop* pop = network.route(addr, client.location, kDay);
+  ASSERT_NE(pop, nullptr);
+  EXPECT_EQ(pop->location.country, "US");
+
+  Location eu_client{{48.0, 11.0}, "DE", 3};
+  EXPECT_EQ(network.route(addr, eu_client, kDay)->location.country, "DE");
+}
+
+TEST_F(NetFixture, ActivationWindowRespected) {
+  EXPECT_NE(network.route(addr, client.location, kDay), nullptr);
+  EXPECT_EQ(network.route(addr, client.location, {2018, 12, 31}), nullptr);
+  EXPECT_EQ(network.route(addr, client.location, {2019, 6, 1}), nullptr);
+}
+
+TEST_F(NetFixture, OverlappingWindowsSelectByDate) {
+  auto later = std::make_shared<EchoService>();
+  network.bind(Binding{addr,
+                       {Pop{Location{{39.0, -98.0}, "US", 1}, later, {}}},
+                       {2019, 6, 1},
+                       {2020, 1, 1}});
+  EXPECT_EQ(network.route(addr, client.location, {2019, 7, 1})->service.get(),
+            later.get());
+}
+
+TEST_F(NetFixture, ProbeOpenClosed) {
+  EXPECT_EQ(network.probe_tcp(client, rng, addr, 853, kDay).status,
+            Network::ProbeStatus::kOpen);
+  EXPECT_EQ(network.probe_tcp(client, rng, addr, 22, kDay).status,
+            Network::ProbeStatus::kClosed);
+  EXPECT_EQ(network.probe_tcp(client, rng, util::Ipv4{10, 2, 2, 2}, 853, kDay).status,
+            Network::ProbeStatus::kClosed);
+}
+
+TEST_F(NetFixture, UdpExchangeEcho) {
+  const std::vector<std::uint8_t> payload = {1, 2, 3};
+  const auto result = network.udp_exchange(client, rng, addr, 53, payload, kDay);
+  ASSERT_EQ(result.status, Network::UdpResult::Status::kOk);
+  EXPECT_EQ(result.payload, (std::vector<std::uint8_t>{3, 2, 1}));
+  EXPECT_GT(result.latency.value, 0.0);
+  EXPECT_FALSE(result.spoofed);
+  EXPECT_EQ(service->last_pop_country, "US");
+}
+
+TEST_F(NetFixture, UdpToClosedPortTimesOut) {
+  const auto result = network.udp_exchange(client, rng, addr, 123, {}, kDay,
+                                           sim::Millis{700.0});
+  EXPECT_EQ(result.status, Network::UdpResult::Status::kTimeout);
+  EXPECT_EQ(result.latency.value, 700.0);
+}
+
+TEST_F(NetFixture, TcpConnectAndExchange) {
+  auto connect = network.tcp_connect(client, rng, addr, 853, kDay);
+  ASSERT_EQ(connect.status, Network::ConnectResult::Status::kConnected);
+  ASSERT_TRUE(connect.connection);
+  const std::vector<std::uint8_t> payload = {9, 8, 7};
+  auto exchange = connect.connection->exchange(payload);
+  ASSERT_EQ(exchange.status, net::TcpConnection::ExchangeResult::Status::kOk);
+  EXPECT_EQ(exchange.payload, (std::vector<std::uint8_t>{7, 8, 9}));
+  EXPECT_FALSE(connect.connection->hijacked());
+}
+
+TEST_F(NetFixture, TcpConnectRefusedOnClosedPort) {
+  auto connect = network.tcp_connect(client, rng, addr, 4444, kDay);
+  EXPECT_EQ(connect.status, Network::ConnectResult::Status::kRefused);
+}
+
+TEST_F(NetFixture, TlsHandshakeCollectsChain) {
+  auto connect = network.tcp_connect(client, rng, addr, 853, kDay);
+  ASSERT_TRUE(connect.connection);
+  auto tls = connect.connection->tls_handshake("echo.example");
+  ASSERT_EQ(tls.status, TcpConnection::TlsResult::Status::kEstablished);
+  EXPECT_FALSE(tls.intercepted);
+  EXPECT_EQ(tls.chain.leaf_cn(), "echo.example");
+  EXPECT_TRUE(connect.connection->tls_established());
+  EXPECT_EQ(tls::verify_path(tls.chain, tls::TrustStore::mozilla(), kDay),
+            tls::CertStatus::kValid);
+}
+
+TEST_F(NetFixture, TlsHandshakeFailsOnPlainPort) {
+  auto connect = network.tcp_connect(client, rng, addr, 80, kDay);
+  ASSERT_TRUE(connect.connection);
+  auto tls = connect.connection->tls_handshake("echo.example");
+  EXPECT_EQ(tls.status, TcpConnection::TlsResult::Status::kNoTls);
+}
+
+TEST_F(NetFixture, MiddleboxDropsPort53) {
+  DropBox box;
+  client.path.push_back(&box);
+  EXPECT_EQ(network.probe_tcp(client, rng, addr, 53, kDay).status,
+            Network::ProbeStatus::kFiltered);
+  EXPECT_EQ(network.udp_exchange(client, rng, addr, 53, {}, kDay).status,
+            Network::UdpResult::Status::kTimeout);
+  EXPECT_EQ(network.tcp_connect(client, rng, addr, 53, kDay).status,
+            Network::ConnectResult::Status::kTimeout);
+  // Other ports unaffected.
+  EXPECT_EQ(network.probe_tcp(client, rng, addr, 853, kDay).status,
+            Network::ProbeStatus::kOpen);
+}
+
+TEST_F(NetFixture, HijackTerminatesAtDevice) {
+  EchoService device;
+  class HijackBox final : public Middlebox {
+   public:
+    explicit HijackBox(Service* device) : device_(device) {}
+    std::string label() const override { return "hijack"; }
+    TcpVerdict on_tcp_syn(util::Ipv4, std::uint16_t,
+                          const util::Date&) const override {
+      return TcpVerdict{TcpVerdict::Action::kHijack, device_};
+    }
+
+   private:
+    Service* device_;
+  } box(&device);
+  client.path.push_back(&box);
+  auto connect = network.tcp_connect(client, rng, addr, 80, kDay);
+  ASSERT_EQ(connect.status, Network::ConnectResult::Status::kConnected);
+  EXPECT_TRUE(connect.connection->hijacked());
+  EXPECT_EQ(&connect.connection->endpoint(), &device);
+}
+
+TEST_F(NetFixture, InterceptionResignsChain) {
+  InterceptAllBox box;
+  client.path.push_back(&box);
+  auto connect = network.tcp_connect(client, rng, addr, 853, kDay);
+  ASSERT_TRUE(connect.connection);
+  auto tls = connect.connection->tls_handshake("echo.example");
+  ASSERT_EQ(tls.status, TcpConnection::TlsResult::Status::kEstablished);
+  EXPECT_TRUE(tls.intercepted);
+  EXPECT_EQ(tls.chain.leaf().issuer_cn, "Evil CA");
+  EXPECT_EQ(tls.chain.leaf().subject_cn, "echo.example");  // subject preserved
+  // Exchanges still reach the origin (proxied).
+  const std::vector<std::uint8_t> payload = {5, 6};
+  auto exchange = connect.connection->exchange(payload);
+  ASSERT_EQ(exchange.status, TcpConnection::ExchangeResult::Status::kOk);
+  EXPECT_EQ(exchange.payload, (std::vector<std::uint8_t>{6, 5}));
+}
+
+TEST_F(NetFixture, BackgroundHostsAcceptButDontSpeak) {
+  network.set_background([](util::Ipv4 a, std::uint16_t port, const util::Date&) {
+    return a == util::Ipv4{10, 99, 99, 99} && port == 853;
+  });
+  EXPECT_EQ(network.probe_tcp(client, rng, util::Ipv4{10, 99, 99, 99}, 853, kDay)
+                .status,
+            Network::ProbeStatus::kOpen);
+  auto connect =
+      network.tcp_connect(client, rng, util::Ipv4{10, 99, 99, 99}, 853, kDay);
+  ASSERT_EQ(connect.status, Network::ConnectResult::Status::kConnected);
+  auto tls = connect.connection->tls_handshake("x");
+  EXPECT_EQ(tls.status, TcpConnection::TlsResult::Status::kNoTls);
+  // Other addresses stay closed.
+  EXPECT_EQ(network.probe_tcp(client, rng, util::Ipv4{10, 99, 99, 98}, 853, kDay)
+                .status,
+            Network::ProbeStatus::kClosed);
+}
+
+TEST_F(NetFixture, LatencyGrowsWithDistance) {
+  ClientContext nearby = make_client(39.0, -98.0);
+  ClientContext far = make_client(-35.0, 149.0);  // Australia
+  double near_sum = 0, far_sum = 0;
+  for (int i = 0; i < 30; ++i) {
+    near_sum += network.probe_tcp(nearby, rng, addr, 853, kDay).latency.value;
+    far_sum += network.probe_tcp(far, rng, addr, 853, kDay).latency.value;
+  }
+  EXPECT_GT(far_sum, near_sum * 2);
+}
+
+TEST(Geo, KnownDistances) {
+  const GeoPoint beijing{39.9, 116.4};
+  const GeoPoint virginia{38.9, -77.0};
+  const double km = great_circle_km(beijing, virginia);
+  EXPECT_NEAR(km, 11150, 300);  // great-circle Beijing - DC
+  EXPECT_NEAR(great_circle_km(beijing, beijing), 0.0, 1e-9);
+}
+
+TEST(Geo, RttMonotoneInDistance) {
+  const GeoPoint origin{0, 0};
+  double prev = 0.0;
+  for (double lon = 0; lon <= 180; lon += 20) {
+    const double rtt = propagation_rtt(origin, GeoPoint{0, lon}).value;
+    EXPECT_GE(rtt, prev);
+    prev = rtt;
+  }
+  EXPECT_GT(propagation_rtt(origin, origin).value, 0.0);  // floor
+}
+
+}  // namespace
+}  // namespace encdns::net

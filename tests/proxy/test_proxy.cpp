@@ -1,0 +1,90 @@
+#include "proxy/proxy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace encdns::proxy {
+namespace {
+
+world::World& shared_world() {
+  static world::World world;
+  return world;
+}
+
+TEST(ProxyNetwork, GlobalPlatformSamplesManyCountries) {
+  ProxyNetwork network(shared_world(), ProxyConfig{}, 1);
+  std::unordered_set<std::string> countries;
+  std::unordered_set<std::uint64_t> ids;
+  for (int i = 0; i < 3000; ++i) {
+    const auto session = network.acquire();
+    countries.insert(session.vantage().country);
+    EXPECT_TRUE(ids.insert(session.id()).second);
+    EXPECT_GT(session.tunnel_rtt().value, 0.0);
+    EXPECT_GT(session.remaining_uptime().value, 0.0);
+  }
+  EXPECT_GT(countries.size(), 80u);
+}
+
+TEST(ProxyNetwork, CensoredPlatformIsCnOnly) {
+  ProxyConfig config;
+  config.name = "Zhima";
+  config.kind = PlatformKind::kCensoredCn;
+  ProxyNetwork network(shared_world(), config, 2);
+  for (int i = 0; i < 200; ++i)
+    EXPECT_EQ(network.acquire().vantage().country, "CN");
+}
+
+TEST(ProxySession, LifetimeConsumption) {
+  ProxyNetwork network(shared_world(), ProxyConfig{}, 3);
+  auto session = network.acquire();
+  const double initial = session.remaining_uptime().value;
+  EXPECT_TRUE(session.consume(sim::Millis{initial / 2}));
+  EXPECT_NEAR(session.remaining_uptime().value, initial / 2, 1e-6);
+  EXPECT_FALSE(session.consume(sim::Millis{initial}));
+}
+
+TEST(ProxyNetwork, ChurnRateApproximatesConfig) {
+  ProxyConfig config;
+  config.churn_per_query = 0.01;
+  ProxyNetwork network(shared_world(), config, 4);
+  int churned = 0;
+  for (int i = 0; i < 50000; ++i)
+    if (network.churn_event()) ++churned;
+  EXPECT_NEAR(churned / 50000.0, 0.01, 0.003);
+}
+
+TEST(ProxyNetwork, SummarizeCountsDistinct) {
+  ProxyNetwork network(shared_world(), ProxyConfig{}, 5);
+  std::vector<ProxySession> sessions;
+  for (int i = 0; i < 500; ++i) sessions.push_back(network.acquire());
+  const auto summary = ProxyNetwork::summarize("ProxyRack", sessions);
+  EXPECT_EQ(summary.platform, "ProxyRack");
+  EXPECT_GT(summary.distinct_ips, 490u);  // rare hash collisions tolerated
+  EXPECT_LE(summary.distinct_ips, 500u);
+  EXPECT_GT(summary.countries, 50u);
+  EXPECT_GT(summary.ases, 100u);
+}
+
+TEST(ProxyNetwork, TunnelRttGrowsWithDistance) {
+  // The measurement client sits in CN; far exit nodes cost more tunnel RTT.
+  ProxyNetwork network(shared_world(), ProxyConfig{}, 6);
+  double cn_like = 0, far = 0;
+  int cn_count = 0, far_count = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const auto session = network.acquire();
+    const auto& country = session.vantage().country;
+    if (country == "JP" || country == "KR" || country == "TW") {
+      cn_like += session.tunnel_rtt().value;
+      ++cn_count;
+    } else if (country == "BR" || country == "AR" || country == "CL") {
+      far += session.tunnel_rtt().value;
+      ++far_count;
+    }
+  }
+  if (cn_count > 5 && far_count > 5)
+    EXPECT_GT(far / far_count, cn_like / cn_count);
+}
+
+}  // namespace
+}  // namespace encdns::proxy

@@ -1,0 +1,126 @@
+// RFC 1035 §4.2.1 truncation: oversized UDP responses come back empty with
+// TC set; clients retry over TCP.
+#include <gtest/gtest.h>
+
+#include "client/do53.hpp"
+#include "dns/edns.hpp"
+#include "dns/query.hpp"
+#include "resolver/recursive.hpp"
+#include "resolver/services.hpp"
+#include "resolver/universe.hpp"
+#include "tls/trust_store.hpp"
+
+namespace encdns::resolver {
+namespace {
+
+const util::Date kDay{2019, 3, 1};
+
+/// A zone whose answers carry many A records — large enough to exceed the
+/// classic 512-byte UDP limit.
+AuthoritativeUniverse fat_universe() {
+  AuthoritativeUniverse universe;
+  Zone zone;
+  zone.apex = *dns::Name::parse("fat.test");
+  zone.ns_location = net::Location{{39, -98}, "US", 1};
+  zone.answer_fn = [](const dns::Name& qname, dns::RrType type, const util::Date&) {
+    Answer answer;
+    if (type != dns::RrType::kA) return answer;
+    for (std::uint32_t i = 0; i < 60; ++i)
+      answer.answers.push_back(
+          dns::ResourceRecord::a(qname, util::Ipv4{0x0A000000u + i}, 60));
+    return answer;
+  };
+  universe.add_zone(std::move(zone));
+  return universe;
+}
+
+struct TruncationFixture : ::testing::Test {
+  AuthoritativeUniverse universe = fat_universe();
+  net::Network network;
+  net::ClientContext client_context;
+  util::Ipv4 addr{10, 7, 7, 7};
+
+  void SetUp() override {
+    ResolverServiceConfig config;
+    config.label = "fat-resolver";
+    config.backend = std::make_shared<RecursiveBackend>(universe, "fat");
+    auto service = std::make_shared<ResolverService>(std::move(config));
+    net::Pop pop;
+    pop.location = net::Location{{39, -98}, "US", 1};
+    pop.service = service;
+    network.bind(net::Binding{addr, {pop}});
+    client_context.location = pop.location;
+    client_context.link.loss_rate = 0.0;
+  }
+};
+
+TEST_F(TruncationFixture, OversizedUdpResponseIsTruncated) {
+  util::Rng rng(1);
+  // Without EDNS the limit is 512 bytes; 60 A records cannot fit.
+  dns::QueryOptions options;
+  options.with_edns = false;
+  const auto query =
+      dns::make_query(*dns::Name::parse("big.fat.test"), dns::RrType::kA, 7, options);
+  const auto wire = query.encode();
+  const auto result =
+      network.udp_exchange(client_context, rng, addr, dns::kDnsPort, wire, kDay);
+  ASSERT_EQ(result.status, net::Network::UdpResult::Status::kOk);
+  const auto response = dns::Message::decode(result.payload);
+  ASSERT_TRUE(response);
+  EXPECT_TRUE(response->header.tc);
+  EXPECT_TRUE(response->answers.empty());
+  EXPECT_LE(result.payload.size(), 512u);
+}
+
+TEST_F(TruncationFixture, LargeEdnsPayloadAvoidsTruncation) {
+  util::Rng rng(2);
+  dns::QueryOptions options;
+  options.udp_payload_size = 4096;
+  const auto query =
+      dns::make_query(*dns::Name::parse("big.fat.test"), dns::RrType::kA, 8, options);
+  const auto result = network.udp_exchange(client_context, rng, addr, dns::kDnsPort,
+                                           query.encode(), kDay);
+  ASSERT_EQ(result.status, net::Network::UdpResult::Status::kOk);
+  const auto response = dns::Message::decode(result.payload);
+  ASSERT_TRUE(response);
+  EXPECT_FALSE(response->header.tc);
+  EXPECT_EQ(response->answers.size(), 60u);
+}
+
+TEST_F(TruncationFixture, ClientRetriesOverTcp) {
+  client::Do53Client client(network, client_context, 3);
+  client::Do53Client::Options options;
+  options.query.with_edns = false;  // force the 512-byte limit
+  const auto outcome = client.query_udp(addr, *dns::Name::parse("r.fat.test"),
+                                        dns::RrType::kA, kDay, options);
+  ASSERT_TRUE(outcome.answered());
+  EXPECT_TRUE(outcome.truncated_retry);
+  EXPECT_EQ(outcome.response->answers.size(), 60u);  // full answer via TCP
+}
+
+TEST_F(TruncationFixture, RetryDisabledSurfacesTruncatedResponse) {
+  client::Do53Client client(network, client_context, 4);
+  client::Do53Client::Options options;
+  options.query.with_edns = false;
+  options.retry_tcp_on_truncation = false;
+  const auto outcome = client.query_udp(addr, *dns::Name::parse("n.fat.test"),
+                                        dns::RrType::kA, kDay, options);
+  ASSERT_EQ(outcome.status, client::QueryStatus::kOk);
+  EXPECT_TRUE(outcome.response->header.tc);
+  EXPECT_FALSE(outcome.answered());  // no answers in the truncated response
+  EXPECT_FALSE(outcome.truncated_retry);
+}
+
+TEST_F(TruncationFixture, TcpNeverTruncates) {
+  client::Do53Client client(network, client_context, 5);
+  client::Do53Client::Options options;
+  options.query.with_edns = false;
+  const auto outcome = client.query_tcp(addr, *dns::Name::parse("t.fat.test"),
+                                        dns::RrType::kA, kDay, options);
+  ASSERT_TRUE(outcome.answered());
+  EXPECT_FALSE(outcome.response->header.tc);
+  EXPECT_EQ(outcome.response->answers.size(), 60u);
+}
+
+}  // namespace
+}  // namespace encdns::resolver

@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "scan/doh_prober.hpp"
+#include "scan/dot_prober.hpp"
+#include "scan/permutation.hpp"
+#include "scan/scanner.hpp"
+#include "scan/space.hpp"
+#include "util/stats.hpp"
+#include "world/world.hpp"
+
+namespace encdns::scan {
+namespace {
+
+const util::Date kFeb{2019, 2, 1};
+
+world::World& shared_world() {
+  static world::World world;
+  return world;
+}
+
+TEST(Primes, MillerRabin) {
+  EXPECT_FALSE(is_prime(0));
+  EXPECT_FALSE(is_prime(1));
+  EXPECT_TRUE(is_prime(2));
+  EXPECT_TRUE(is_prime(3));
+  EXPECT_FALSE(is_prime(4));
+  EXPECT_TRUE(is_prime(101));
+  EXPECT_FALSE(is_prime(1000000));
+  EXPECT_TRUE(is_prime(1000003));
+  EXPECT_TRUE(is_prime(2147483647));        // Mersenne prime 2^31-1
+  EXPECT_FALSE(is_prime(3215031751ULL));    // strong pseudoprime to 2,3,5,7
+  EXPECT_TRUE(is_prime(67280421310721ULL)); // large prime
+}
+
+TEST(Primes, NextPrime) {
+  EXPECT_EQ(next_prime(10), 11u);
+  EXPECT_EQ(next_prime(11), 11u);
+  EXPECT_EQ(next_prime(4194304), 4194319u);
+}
+
+TEST(Primes, Factorization) {
+  EXPECT_EQ(prime_factors(12), (std::vector<std::uint64_t>{2, 3}));
+  EXPECT_EQ(prime_factors(97), (std::vector<std::uint64_t>{97}));
+  EXPECT_EQ(prime_factors(1000002), (std::vector<std::uint64_t>{2, 3, 166667}));
+}
+
+TEST(Primes, PowMod) {
+  EXPECT_EQ(pow_mod(2, 10, 1000), 24u);
+  EXPECT_EQ(pow_mod(3, 0, 7), 1u);
+  EXPECT_EQ(pow_mod(123456789, 987654321, 1000000007), 652541198u);
+}
+
+class PermutationFullCycle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PermutationFullCycle, VisitsEveryIndexOnce) {
+  const std::uint64_t n = GetParam();
+  CyclicPermutation permutation(n, 0xFEED + n);
+  std::vector<bool> seen(n, false);
+  std::uint64_t count = 0;
+  while (const auto index = permutation.next()) {
+    ASSERT_LT(*index, n);
+    ASSERT_FALSE(seen[*index]) << "revisited " << *index;
+    seen[*index] = true;
+    ++count;
+  }
+  EXPECT_EQ(count, n);
+  EXPECT_FALSE(permutation.next().has_value());  // stays exhausted
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PermutationFullCycle,
+                         ::testing::Values(1, 2, 3, 10, 97, 100, 1021, 4096, 65536));
+
+TEST(Permutation, OrderLooksScattered) {
+  CyclicPermutation permutation(10000, 42);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 100; ++i) first.push_back(*permutation.next());
+  // Consecutive outputs should not be sequential addresses.
+  int adjacent = 0;
+  for (std::size_t i = 1; i < first.size(); ++i)
+    if (first[i] == first[i - 1] + 1) ++adjacent;
+  EXPECT_LT(adjacent, 3);
+}
+
+TEST(Permutation, ResetRestartsSameOrder) {
+  CyclicPermutation permutation(1000, 7);
+  std::vector<std::uint64_t> a, b;
+  for (int i = 0; i < 50; ++i) a.push_back(*permutation.next());
+  permutation.reset();
+  for (int i = 0; i < 50; ++i) b.push_back(*permutation.next());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Permutation, DifferentSeedsDifferentOrder) {
+  CyclicPermutation a(100000, 1), b(100000, 2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (*a.next() == *b.next()) ++same;
+  EXPECT_LT(same, 5);
+}
+
+TEST(ScanSpace, IndexAddressBijection) {
+  ScanSpace space({*util::Cidr::parse("10.0.0.0/24"),
+                   *util::Cidr::parse("192.168.0.0/30")});
+  EXPECT_EQ(space.size(), 260u);
+  for (std::uint64_t i = 0; i < space.size(); ++i) {
+    EXPECT_EQ(*space.index_of(space.at(i)), i);
+  }
+  EXPECT_FALSE(space.index_of(util::Ipv4{10, 0, 1, 0}).has_value());
+  EXPECT_TRUE(space.contains(util::Ipv4{192, 168, 0, 3}));
+  EXPECT_FALSE(space.contains(util::Ipv4{192, 168, 0, 4}));
+  EXPECT_THROW((void)space.at(space.size()), std::out_of_range);
+}
+
+TEST(ScanSpace, DeduplicatesAndSorts) {
+  ScanSpace space({*util::Cidr::parse("10.1.0.0/24"),
+                   *util::Cidr::parse("10.0.0.0/24"),
+                   *util::Cidr::parse("10.1.0.0/24")});
+  EXPECT_EQ(space.prefixes().size(), 2u);
+  EXPECT_EQ(space.size(), 512u);
+  EXPECT_EQ(space.at(0), util::Ipv4(10, 0, 0, 0));
+}
+
+TEST(ProviderKey, SldGroupingAndRawCn) {
+  EXPECT_EQ(provider_key("dns.quad9.net"), "quad9.net");
+  EXPECT_EQ(provider_key("cloudflare-dns.com"), "cloudflare-dns.com");
+  EXPECT_EQ(provider_key("a.b.c.example.org"), "example.org");
+  // Non-domain CNs (FortiGate factory certs) group by raw CN.
+  EXPECT_EQ(provider_key("FortiGate"), "FortiGate");
+}
+
+TEST(DotProber, IdentifiesRealResolverAndBackgroundHost) {
+  world::World& world = shared_world();
+  DotProber prober(world, world.make_clean_vantage("US"), 3);
+  const auto hit = prober.probe(world::addrs::kCloudflarePrimary, kFeb);
+  EXPECT_TRUE(hit.port_open);
+  EXPECT_TRUE(hit.tls_ok);
+  EXPECT_TRUE(hit.dot_ok);
+  EXPECT_TRUE(hit.answer_correct);
+  EXPECT_EQ(hit.cert_status, tls::CertStatus::kValid);
+  EXPECT_EQ(hit.chain.leaf_cn(), "cloudflare-dns.com");
+
+  // Find a background host (port open, no DoT).
+  util::Rng rng(4);
+  const auto& prefixes = world.scan_prefixes();
+  util::Ipv4 background{0};
+  for (int i = 0; i < 100000 && background.value() == 0; ++i) {
+    const auto& prefix = prefixes[rng.below(prefixes.size())];
+    const util::Ipv4 addr = prefix.at(rng.below(prefix.size()));
+    if (world.background_open_853(addr, kFeb) &&
+        world.network().route(addr, world.make_clean_vantage("US").context.location,
+                              kFeb) == nullptr)
+      background = addr;
+  }
+  ASSERT_NE(background.value(), 0u);
+  const auto miss = prober.probe(background, kFeb);
+  EXPECT_TRUE(miss.port_open);
+  EXPECT_FALSE(miss.dot_ok);
+}
+
+TEST(DotProber, FlagsFixedAnswerResolvers) {
+  world::World& world = shared_world();
+  DotProber prober(world, world.make_clean_vantage("US"), 5);
+  const util::Ipv4 dnsfilter{103, 247, 37, 37};
+  const auto result = prober.probe(dnsfilter, kFeb);
+  ASSERT_TRUE(result.dot_ok);
+  EXPECT_FALSE(result.answer_correct);  // fixed answer != ground truth
+}
+
+TEST(DohProber, FindsAllSeventeenResolvers) {
+  world::World& world = shared_world();
+  DohProber prober(world, world.make_clean_vantage("US"), 6);
+  const auto discovery = prober.discover(world.url_dataset(), kFeb);
+  EXPECT_EQ(discovery.resolvers.size(), 17u);
+  EXPECT_GT(discovery.path_candidates, discovery.valid_urls);
+  EXPECT_GE(discovery.valid_urls, 17u);
+  std::unordered_set<std::string> hosts;
+  for (const auto& resolver : discovery.resolvers) {
+    hosts.insert(resolver.host);
+    EXPECT_TRUE(resolver.cert_valid);  // Finding 1.2: DoH certs all valid
+  }
+  EXPECT_TRUE(hosts.contains("dns.rubyfish.cn"));
+  EXPECT_TRUE(hosts.contains("dns.233py.com"));
+  EXPECT_TRUE(hosts.contains("mozilla.cloudflare-dns.com"));
+}
+
+TEST(Scanner, SnapshotMatchesGroundTruth) {
+  world::World& world = shared_world();
+  CampaignConfig config;
+  Scanner scanner(world, config);
+  const auto snapshot = scanner.scan_once(kFeb);
+
+  // Ground-truth active deployments at the scan date.
+  std::unordered_set<std::uint32_t> expected;
+  for (const auto& d : world.deployments().dot)
+    if (kFeb.in_window(d.active_from, d.active_to)) expected.insert(d.address.value());
+
+  std::size_t found_expected = 0;
+  for (const auto& resolver : snapshot.resolvers)
+    if (expected.contains(resolver.address.value())) ++found_expected;
+  // Recall: nearly every active deployment is discovered.
+  EXPECT_GT(found_expected, expected.size() * 95 / 100);
+  // Precision: few resolvers outside the catalogue (our own infra + the
+  // big providers' DoH addresses legitimately speak DoT too).
+  EXPECT_LT(snapshot.resolvers.size() - found_expected, 8u);
+  EXPECT_EQ(snapshot.addresses_probed, scanner.space().size());
+  EXPECT_GT(snapshot.port_open, snapshot.resolvers.size() * 5);
+}
+
+TEST(Scanner, CampaignShowsGrowthAndChurn) {
+  world::World& world = shared_world();
+  CampaignConfig config;
+  config.scan_count = 2;
+  config.interval_days = 89;  // Feb 1 and May 1
+  Scanner scanner(world, config);
+  const auto snapshots = scanner.run_campaign();
+  ASSERT_EQ(snapshots.size(), 2u);
+  EXPECT_GT(snapshots[1].resolvers.size(), snapshots[0].resolvers.size());
+  // CN shrinks, US grows (Table 2).
+  util::Counter first, last;
+  for (const auto& r : snapshots[0].resolvers) first.add(r.country);
+  for (const auto& r : snapshots[1].resolvers) last.add(r.country);
+  EXPECT_LT(last.get("CN"), first.get("CN") * 0.3);
+  EXPECT_GT(last.get("US"), first.get("US") * 3);
+  EXPECT_GT(last.get("IE"), first.get("IE") * 1.5);
+}
+
+}  // namespace
+}  // namespace encdns::scan

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "tls/certificate.hpp"
+#include "tls/handshake.hpp"
+#include "tls/intercept.hpp"
+#include "tls/trust_store.hpp"
+#include "tls/verify.hpp"
+#include "util/rng.hpp"
+
+namespace encdns::tls {
+namespace {
+
+const util::Date kNow{2019, 3, 1};
+
+TEST(Certificate, FingerprintStableAndDistinct) {
+  const auto a = make_chain("a.com", kLetsEncryptCa, {2019, 1, 1}, {2019, 12, 1});
+  const auto b = make_chain("b.com", kLetsEncryptCa, {2019, 1, 1}, {2019, 12, 1});
+  EXPECT_EQ(a.leaf().fingerprint(), a.leaf().fingerprint());
+  EXPECT_NE(a.leaf().fingerprint(), b.leaf().fingerprint());
+}
+
+TEST(Certificate, HostMatchingExactAndWildcard) {
+  Certificate cert;
+  cert.subject_cn = "cloudflare-dns.com";
+  cert.san = {"cloudflare-dns.com", "*.cloudflare-dns.com"};
+  EXPECT_TRUE(cert.matches_host("cloudflare-dns.com"));
+  EXPECT_TRUE(cert.matches_host("mozilla.cloudflare-dns.com"));
+  EXPECT_TRUE(cert.matches_host("MOZILLA.CLOUDFLARE-DNS.COM"));
+  EXPECT_FALSE(cert.matches_host("a.b.cloudflare-dns.com"));  // one label only
+  EXPECT_FALSE(cert.matches_host("cloudflare-dns.org"));
+  EXPECT_FALSE(cert.matches_host(""));
+}
+
+TEST(Certificate, SanPresenceIgnoresCn) {
+  Certificate cert;
+  cert.subject_cn = "cn-only.example";
+  cert.san = {"other.example"};
+  EXPECT_FALSE(cert.matches_host("cn-only.example"));
+  EXPECT_TRUE(cert.matches_host("other.example"));
+}
+
+TEST(Certificate, CnUsedWithoutSans) {
+  Certificate cert;
+  cert.subject_cn = "dns.quad9.net";
+  EXPECT_TRUE(cert.matches_host("dns.quad9.net"));
+}
+
+TEST(VerifyPath, ValidChain) {
+  const auto chain = make_chain("dot.example.com", kLetsEncryptCa, {2019, 1, 1},
+                                {2019, 12, 1});
+  EXPECT_EQ(verify_path(chain, TrustStore::mozilla(), kNow), CertStatus::kValid);
+}
+
+TEST(VerifyPath, EmptyChain) {
+  EXPECT_EQ(verify_path(CertificateChain{}, TrustStore::mozilla(), kNow),
+            CertStatus::kEmptyChain);
+}
+
+TEST(VerifyPath, Expired) {
+  const auto chain = make_chain("old.example.com", kLetsEncryptCa, {2018, 1, 1},
+                                {2018, 7, 1});
+  EXPECT_EQ(verify_path(chain, TrustStore::mozilla(), kNow), CertStatus::kExpired);
+}
+
+TEST(VerifyPath, NotYetValid) {
+  const auto chain = make_chain("future.example.com", kLetsEncryptCa, {2019, 6, 1},
+                                {2020, 6, 1});
+  EXPECT_EQ(verify_path(chain, TrustStore::mozilla(), kNow),
+            CertStatus::kNotYetValid);
+}
+
+TEST(VerifyPath, SelfSigned) {
+  const auto chain = make_self_signed("FortiGate", {2016, 8, 1}, {2026, 8, 1});
+  EXPECT_EQ(verify_path(chain, TrustStore::mozilla(), kNow),
+            CertStatus::kSelfSigned);
+}
+
+TEST(VerifyPath, UntrustedChain) {
+  const auto chain = make_untrusted_chain("corp.example.com",
+                                          "Internal Corporate Root CA",
+                                          {2019, 1, 1}, {2020, 1, 1});
+  EXPECT_EQ(verify_path(chain, TrustStore::mozilla(), kNow),
+            CertStatus::kUntrustedChain);
+}
+
+TEST(VerifyPath, BrokenSignature) {
+  auto chain = make_chain("dot.example.com", kLetsEncryptCa, {2019, 1, 1},
+                          {2019, 12, 1});
+  chain.certs[0].signed_by_issuer = false;
+  EXPECT_EQ(verify_path(chain, TrustStore::mozilla(), kNow),
+            CertStatus::kBrokenSignature);
+}
+
+TEST(VerifyPath, BrokenLinkage) {
+  auto chain = make_chain("dot.example.com", kLetsEncryptCa, {2019, 1, 1},
+                          {2019, 12, 1});
+  chain.certs[0].issuer_cn = "Somebody Else";
+  EXPECT_EQ(verify_path(chain, TrustStore::mozilla(), kNow),
+            CertStatus::kUntrustedChain);
+}
+
+TEST(VerifyPath, ExpiredTakesPrecedenceOverSelfSigned) {
+  // The paper's categorization counts an expired self-signed cert as expired.
+  const auto chain = make_self_signed("old.device", {2017, 1, 1}, {2018, 7, 1});
+  EXPECT_EQ(verify_path(chain, TrustStore::mozilla(), kNow), CertStatus::kExpired);
+}
+
+TEST(VerifyPath, TrustedSelfSignedRootAccepted) {
+  CertificateChain chain;
+  Certificate root;
+  root.subject_cn = kDigicertCa;
+  root.issuer_cn = kDigicertCa;
+  root.is_ca = true;
+  root.not_before = {2010, 1, 1};
+  root.not_after = {2035, 1, 1};
+  chain.certs = {root};
+  EXPECT_EQ(verify_path(chain, TrustStore::mozilla(), kNow), CertStatus::kValid);
+}
+
+TEST(VerifyHost, HostnameMismatchOnlyAfterValidPath) {
+  const auto chain = make_chain("dns.quad9.net", kDigicertCa, {2019, 1, 1},
+                                {2019, 12, 1}, {"dns.quad9.net"});
+  EXPECT_EQ(verify_host(chain, "dns.quad9.net", TrustStore::mozilla(), kNow),
+            CertStatus::kValid);
+  EXPECT_EQ(verify_host(chain, "other.example", TrustStore::mozilla(), kNow),
+            CertStatus::kHostnameMismatch);
+}
+
+TEST(VerifyHost, PathErrorsWinOverHostname) {
+  const auto chain = make_self_signed("whatever", {2019, 1, 1}, {2020, 1, 1});
+  EXPECT_EQ(verify_host(chain, "whatever", TrustStore::mozilla(), kNow),
+            CertStatus::kSelfSigned);
+}
+
+TEST(TrustStore, MozillaAnchors) {
+  const auto& store = TrustStore::mozilla();
+  EXPECT_TRUE(store.trusts(kLetsEncryptCa));
+  EXPECT_TRUE(store.trusts(kDigicertCa));
+  EXPECT_FALSE(store.trusts("SonicWall Firewall DPI-SSL"));
+  EXPECT_GE(store.size(), 5u);
+}
+
+TEST(Interceptor, ResignKeepsSubjectChangesIssuer) {
+  const auto original = make_chain("cloudflare-dns.com", kDigicertCa,
+                                   {2018, 10, 1}, {2019, 12, 1},
+                                   {"cloudflare-dns.com", "*.cloudflare-dns.com"});
+  const TlsInterceptor interceptor("SonicWall Firewall DPI-SSL", "SonicWall NSA");
+  const auto resigned = interceptor.resign(original, kNow);
+  ASSERT_EQ(resigned.certs.size(), 2u);
+  EXPECT_EQ(resigned.leaf().subject_cn, "cloudflare-dns.com");
+  EXPECT_EQ(resigned.leaf().san, original.leaf().san);
+  EXPECT_EQ(resigned.leaf().issuer_cn, "SonicWall Firewall DPI-SSL");
+  // The resigned chain fails public validation but passes hostname matching.
+  EXPECT_EQ(verify_path(resigned, TrustStore::mozilla(), kNow),
+            CertStatus::kUntrustedChain);
+  EXPECT_TRUE(resigned.leaf().matches_host("mozilla.cloudflare-dns.com"));
+}
+
+TEST(Handshake, RoundTripCounts) {
+  EXPECT_EQ(handshake_rtts(TlsVersion::kTls13, false), 1);
+  EXPECT_EQ(handshake_rtts(TlsVersion::kTls12, false), 2);
+  EXPECT_EQ(handshake_rtts(TlsVersion::kTls13, true), 1);
+}
+
+TEST(Handshake, CryptoCostsOrdered) {
+  util::Rng rng(3);
+  double full12 = 0, full13 = 0, resumed = 0;
+  for (int i = 0; i < 500; ++i) {
+    full12 += handshake_crypto_cost(TlsVersion::kTls12, false, rng).value;
+    full13 += handshake_crypto_cost(TlsVersion::kTls13, false, rng).value;
+    resumed += handshake_crypto_cost(TlsVersion::kTls13, true, rng).value;
+  }
+  EXPECT_GT(full12, full13);
+  EXPECT_GT(full13, resumed);
+}
+
+TEST(Handshake, RecordCostScalesWithSize) {
+  util::Rng rng(5);
+  double small = 0, big = 0;
+  for (int i = 0; i < 200; ++i) {
+    small += record_crypto_cost(100, rng).value;
+    big += record_crypto_cost(100000, rng).value;
+  }
+  EXPECT_GT(big, small);
+}
+
+TEST(SessionCache, ExpiryAndRefresh) {
+  SessionCache cache(sim::Millis{1000.0});
+  cache.store("host:853", sim::Millis{0.0});
+  EXPECT_TRUE(cache.try_resume("host:853", sim::Millis{500.0}));
+  // The hit at t=500 refreshed the entry; alive at 1400.
+  EXPECT_TRUE(cache.try_resume("host:853", sim::Millis{1400.0}));
+  EXPECT_FALSE(cache.try_resume("host:853", sim::Millis{5000.0}));
+  EXPECT_FALSE(cache.try_resume("unknown", sim::Millis{0.0}));
+  EXPECT_EQ(cache.size(), 0u);  // expired entry was evicted
+}
+
+}  // namespace
+}  // namespace encdns::tls

@@ -1,0 +1,98 @@
+#include "traffic/netflow_v5.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace encdns::traffic {
+namespace {
+
+FlowRecord sample_record(std::uint32_t i) {
+  FlowRecord record;
+  record.src = util::Ipv4{0x72000000u + i};
+  record.dst = util::Ipv4{1, 1, 1, 1};
+  record.src_port = static_cast<std::uint16_t>(40000 + i);
+  record.dst_port = 853;
+  record.protocol = kProtoTcp;
+  record.packets = 3 + i;
+  record.bytes = 300 + i * 10;
+  record.tcp_flags = tcpflags::kSyn | tcpflags::kAck | tcpflags::kPsh;
+  record.date = {2018, 8, 15};
+  return record;
+}
+
+TEST(NetflowV5, SizesMatchTheSpec) {
+  std::vector<FlowRecord> records = {sample_record(0), sample_record(1)};
+  const auto packet = encode_v5_packet(records, 100, 3000);
+  EXPECT_EQ(packet.size(), kV5HeaderSize + 2 * kV5RecordSize);
+  EXPECT_EQ(packet[0], 0);
+  EXPECT_EQ(packet[1], 5);  // version field
+}
+
+TEST(NetflowV5, RoundTripPreservesFields) {
+  std::vector<FlowRecord> records;
+  for (std::uint32_t i = 0; i < 7; ++i) records.push_back(sample_record(i));
+  const auto packet = encode_v5_packet(records, 424242, 3000);
+  const auto decoded = decode_v5_packet(packet);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->info.count, 7);
+  EXPECT_EQ(decoded->info.flow_sequence, 424242u);
+  EXPECT_EQ(decoded->info.sampling_interval, 3000);
+  ASSERT_EQ(decoded->records.size(), 7u);
+  for (std::uint32_t i = 0; i < 7; ++i) {
+    const auto& original = records[i];
+    const auto& copy = decoded->records[i];
+    EXPECT_EQ(copy.src, original.src);
+    EXPECT_EQ(copy.dst, original.dst);
+    EXPECT_EQ(copy.src_port, original.src_port);
+    EXPECT_EQ(copy.dst_port, original.dst_port);
+    EXPECT_EQ(copy.protocol, original.protocol);
+    EXPECT_EQ(copy.packets, original.packets);
+    EXPECT_EQ(copy.bytes, original.bytes);
+    EXPECT_EQ(copy.tcp_flags, original.tcp_flags);
+    EXPECT_EQ(copy.date, original.date);
+  }
+}
+
+TEST(NetflowV5, EmptyPacketRoundTrips) {
+  const auto packet = encode_v5_packet({}, 0, 3000);
+  EXPECT_EQ(packet.size(), kV5HeaderSize);
+  const auto decoded = decode_v5_packet(packet);
+  ASSERT_TRUE(decoded);
+  EXPECT_TRUE(decoded->records.empty());
+}
+
+TEST(NetflowV5, RejectsOversizedBatch) {
+  std::vector<FlowRecord> records;
+  for (std::uint32_t i = 0; i < kV5MaxRecords + 1; ++i)
+    records.push_back(sample_record(i));
+  EXPECT_THROW((void)encode_v5_packet(records, 0, 3000), std::length_error);
+}
+
+TEST(NetflowV5, RejectsMalformedPackets) {
+  EXPECT_FALSE(decode_v5_packet(std::vector<std::uint8_t>(10)));  // short header
+  std::vector<FlowRecord> one = {sample_record(0)};
+  auto packet = encode_v5_packet(one, 0, 3000);
+  packet[1] = 9;  // wrong version
+  EXPECT_FALSE(decode_v5_packet(packet));
+  packet[1] = 5;
+  packet.pop_back();  // size/count mismatch
+  EXPECT_FALSE(decode_v5_packet(packet));
+  // Count larger than the size allows.
+  auto truncated = encode_v5_packet(one, 0, 3000);
+  truncated[3] = 2;
+  EXPECT_FALSE(decode_v5_packet(truncated));
+}
+
+TEST(NetflowV5, SingleSynSurvivesTheCodec) {
+  FlowRecord probe = sample_record(0);
+  probe.tcp_flags = tcpflags::kSyn;
+  probe.packets = 1;
+  const auto decoded = decode_v5_packet(
+      encode_v5_packet(std::vector<FlowRecord>{probe}, 0, 3000));
+  ASSERT_TRUE(decoded);
+  EXPECT_TRUE(decoded->records[0].single_syn());
+}
+
+}  // namespace
+}  // namespace encdns::traffic

@@ -1,0 +1,93 @@
+#include "util/base64.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace encdns::util {
+namespace {
+
+std::vector<std::uint8_t> bytes(std::string_view s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(Base64Url, Rfc4648Vectors) {
+  EXPECT_EQ(base64url_encode(bytes("")), "");
+  EXPECT_EQ(base64url_encode(bytes("f")), "Zg");
+  EXPECT_EQ(base64url_encode(bytes("fo")), "Zm8");
+  EXPECT_EQ(base64url_encode(bytes("foo")), "Zm9v");
+  EXPECT_EQ(base64url_encode(bytes("foob")), "Zm9vYg");
+  EXPECT_EQ(base64url_encode(bytes("fooba")), "Zm9vYmE");
+  EXPECT_EQ(base64url_encode(bytes("foobar")), "Zm9vYmFy");
+}
+
+TEST(Base64Url, UsesUrlSafeAlphabet) {
+  // 0xFB 0xEF in standard base64 contains '+' and '/'; url-safe uses -_.
+  const std::vector<std::uint8_t> data = {0xFB, 0xEF, 0xFF};
+  const std::string encoded = base64url_encode(data);
+  EXPECT_EQ(encoded.find('+'), std::string::npos);
+  EXPECT_EQ(encoded.find('/'), std::string::npos);
+  EXPECT_EQ(encoded.find('='), std::string::npos);
+  const auto decoded = base64url_decode(encoded);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(*decoded, data);
+}
+
+TEST(Base64Url, Rfc8484Example) {
+  // RFC 8484 uses this very encoding for the dns parameter; a query for
+  // "www.example.com" begins with the 12-byte header.
+  const auto decoded =
+      base64url_decode("AAABAAABAAAAAAAAA3d3dwdleGFtcGxlA2NvbQAAAQAB");
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->size(), 33u);
+  EXPECT_EQ((*decoded)[0], 0u);
+}
+
+TEST(Base64Url, RejectsInvalidCharacters) {
+  EXPECT_FALSE(base64url_decode("Zm9v!"));
+  EXPECT_FALSE(base64url_decode("Zm9v+"));
+  EXPECT_FALSE(base64url_decode("Zm9v/"));
+  EXPECT_FALSE(base64url_decode("Zm9v="));  // padding not accepted (unpadded form)
+}
+
+TEST(Base64Url, RejectsImpossibleLength) {
+  EXPECT_FALSE(base64url_decode("A"));       // length % 4 == 1
+  EXPECT_FALSE(base64url_decode("AAAAA"));
+}
+
+TEST(Base64Url, RejectsNonZeroTrailingBits) {
+  // "Zh" decodes 'f' only if trailing 4 bits are zero; "Zj" has them set.
+  EXPECT_TRUE(base64url_decode("Zg"));
+  EXPECT_FALSE(base64url_decode("Zh"));
+}
+
+TEST(Base64Std, PaddedVectors) {
+  EXPECT_EQ(base64_encode(bytes("f")), "Zg==");
+  EXPECT_EQ(base64_encode(bytes("fo")), "Zm8=");
+  EXPECT_EQ(base64_encode(bytes("foo")), "Zm9v");
+}
+
+TEST(Hex, Encode) {
+  const std::vector<std::uint8_t> data = {0x00, 0xAB, 0xFF};
+  EXPECT_EQ(hex_encode(data), "00abff");
+  EXPECT_EQ(hex_encode(std::vector<std::uint8_t>{}), "");
+}
+
+class Base64RoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Base64RoundTrip, RandomBuffers) {
+  Rng rng(GetParam() * 977 + 5);
+  for (int iteration = 0; iteration < 50; ++iteration) {
+    std::vector<std::uint8_t> data(GetParam());
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.below(256));
+    const auto decoded = base64url_decode(base64url_encode(data));
+    ASSERT_TRUE(decoded);
+    EXPECT_EQ(*decoded, data);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Base64RoundTrip,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 16, 63, 64, 255, 1024));
+
+}  // namespace
+}  // namespace encdns::util

@@ -1,0 +1,94 @@
+#include "util/date.hpp"
+
+#include <gtest/gtest.h>
+
+namespace encdns::util {
+namespace {
+
+TEST(Date, EpochIsDayZero) {
+  EXPECT_EQ((Date{1970, 1, 1}).to_days(), 0);
+  EXPECT_EQ(Date::from_days(0), (Date{1970, 1, 1}));
+}
+
+TEST(Date, KnownDayNumbers) {
+  EXPECT_EQ((Date{1970, 1, 2}).to_days(), 1);
+  EXPECT_EQ((Date{1969, 12, 31}).to_days(), -1);
+  EXPECT_EQ((Date{2000, 3, 1}).to_days(), 11017);
+  EXPECT_EQ((Date{2019, 2, 1}).to_days(), 17928);
+}
+
+TEST(Date, LeapYearHandling) {
+  EXPECT_EQ(days_in_month(2016, 2), 29);
+  EXPECT_EQ(days_in_month(2019, 2), 28);
+  EXPECT_EQ(days_in_month(2000, 2), 29);   // divisible by 400
+  EXPECT_EQ(days_in_month(1900, 2), 28);   // divisible by 100 but not 400
+  EXPECT_EQ((Date{2016, 2, 29}).plus_days(1), (Date{2016, 3, 1}));
+}
+
+TEST(Date, PlusDaysCrossesBoundaries) {
+  EXPECT_EQ((Date{2018, 12, 31}).plus_days(1), (Date{2019, 1, 1}));
+  EXPECT_EQ((Date{2019, 2, 1}).plus_days(89), (Date{2019, 5, 1}));
+  EXPECT_EQ((Date{2019, 1, 10}).plus_days(-10), (Date{2018, 12, 31}));
+}
+
+TEST(Date, Comparisons) {
+  EXPECT_LT((Date{2018, 12, 31}), (Date{2019, 1, 1}));
+  EXPECT_EQ((Date{2019, 5, 1}), (Date{2019, 5, 1}));
+  EXPECT_GT((Date{2019, 5, 2}), (Date{2019, 5, 1}));
+}
+
+TEST(Date, MonthHelpers) {
+  EXPECT_EQ((Date{2019, 2, 15}).month_start(), (Date{2019, 2, 1}));
+  EXPECT_EQ((Date{2019, 12, 15}).next_month(), (Date{2020, 1, 1}));
+  EXPECT_EQ(months_between(Date{2018, 7, 1}, Date{2018, 12, 31}), 5);
+  EXPECT_EQ(months_between(Date{2018, 12, 1}, Date{2019, 1, 1}), 1);
+}
+
+TEST(Date, Formatting) {
+  EXPECT_EQ((Date{2019, 2, 1}).to_string(), "2019-02-01");
+  EXPECT_EQ((Date{2018, 7, 1}).month_label(), "Jul 2018");
+  EXPECT_EQ((Date{2019, 12, 25}).month_label(), "Dec 2019");
+}
+
+TEST(Date, InWindow) {
+  const Date from{2019, 2, 1}, to{2019, 5, 1};
+  EXPECT_TRUE((Date{2019, 2, 1}).in_window(from, to));   // inclusive start
+  EXPECT_TRUE((Date{2019, 4, 30}).in_window(from, to));
+  EXPECT_FALSE((Date{2019, 5, 1}).in_window(from, to));  // exclusive end
+  EXPECT_FALSE((Date{2019, 1, 31}).in_window(from, to));
+}
+
+TEST(Date, DaysBetween) {
+  EXPECT_EQ(days_between(Date{2019, 2, 1}, Date{2019, 5, 1}), 89);
+  EXPECT_EQ(days_between(Date{2019, 5, 1}, Date{2019, 2, 1}), -89);
+}
+
+class DateRoundTrip : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(DateRoundTrip, ToDaysFromDaysIdentity) {
+  const std::int64_t day = GetParam();
+  const Date date = Date::from_days(day);
+  EXPECT_EQ(date.to_days(), day);
+  EXPECT_GE(date.month, 1);
+  EXPECT_LE(date.month, 12);
+  EXPECT_GE(date.day, 1);
+  EXPECT_LE(date.day, 31);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DateRoundTrip,
+                         ::testing::Values(-100000, -1, 0, 1, 10957, 17928, 18382,
+                                           20000, 50000, 100000));
+
+// Every day of the study window round-trips and advances by exactly 1.
+TEST(DateRoundTrip, StudyWindowContiguous) {
+  Date date{2017, 7, 1};
+  std::int64_t prev = date.to_days() - 1;
+  while (date < Date{2019, 5, 2}) {
+    EXPECT_EQ(date.to_days(), prev + 1);
+    prev = date.to_days();
+    date = date.plus_days(1);
+  }
+}
+
+}  // namespace
+}  // namespace encdns::util

@@ -1,0 +1,91 @@
+#include "util/ipv4.hpp"
+
+#include <gtest/gtest.h>
+
+namespace encdns::util {
+namespace {
+
+TEST(Ipv4, OctetConstruction) {
+  const Ipv4 addr(1, 2, 3, 4);
+  EXPECT_EQ(addr.value(), 0x01020304u);
+  EXPECT_EQ(addr.octet(0), 1);
+  EXPECT_EQ(addr.octet(3), 4);
+}
+
+TEST(Ipv4, ToString) {
+  EXPECT_EQ(Ipv4(1, 1, 1, 1).to_string(), "1.1.1.1");
+  EXPECT_EQ(Ipv4(255, 255, 255, 255).to_string(), "255.255.255.255");
+  EXPECT_EQ(Ipv4(0, 0, 0, 0).to_string(), "0.0.0.0");
+}
+
+TEST(Ipv4, ParseValid) {
+  EXPECT_EQ(*Ipv4::parse("9.9.9.9"), Ipv4(9, 9, 9, 9));
+  EXPECT_EQ(*Ipv4::parse("104.16.248.249"), Ipv4(104, 16, 248, 249));
+}
+
+TEST(Ipv4, ParseInvalid) {
+  EXPECT_FALSE(Ipv4::parse(""));
+  EXPECT_FALSE(Ipv4::parse("1.2.3"));
+  EXPECT_FALSE(Ipv4::parse("1.2.3.4.5"));
+  EXPECT_FALSE(Ipv4::parse("256.1.1.1"));
+  EXPECT_FALSE(Ipv4::parse("1.2.3.x"));
+  EXPECT_FALSE(Ipv4::parse("1..3.4"));
+  EXPECT_FALSE(Ipv4::parse(" 1.2.3.4"));
+  EXPECT_FALSE(Ipv4::parse("1.2.3.4 "));
+}
+
+TEST(Ipv4, ParseFormatRoundTrip) {
+  for (std::uint32_t v : {0u, 1u, 0x01010101u, 0xC0A80001u, 0xFFFFFFFFu}) {
+    const Ipv4 addr{v};
+    EXPECT_EQ(*Ipv4::parse(addr.to_string()), addr);
+  }
+}
+
+TEST(Ipv4, Slash24) {
+  EXPECT_EQ(Ipv4(10, 20, 30, 40).slash24(), Ipv4(10, 20, 30, 0));
+}
+
+TEST(Ipv4, Ordering) {
+  EXPECT_LT(Ipv4(1, 0, 0, 1), Ipv4(1, 1, 1, 1));
+  EXPECT_LT(Ipv4(9, 9, 9, 9), Ipv4(104, 16, 0, 0));
+}
+
+TEST(Cidr, NormalizesBase) {
+  const Cidr cidr(Ipv4(10, 20, 30, 40), 16);
+  EXPECT_EQ(cidr.base(), Ipv4(10, 20, 0, 0));
+}
+
+TEST(Cidr, SizeAndAt) {
+  const Cidr cidr(Ipv4(192, 168, 0, 0), 24);
+  EXPECT_EQ(cidr.size(), 256u);
+  EXPECT_EQ(cidr.at(0), Ipv4(192, 168, 0, 0));
+  EXPECT_EQ(cidr.at(255), Ipv4(192, 168, 0, 255));
+}
+
+TEST(Cidr, Contains) {
+  const Cidr cidr = *Cidr::parse("185.228.0.0/16");
+  EXPECT_TRUE(cidr.contains(Ipv4(185, 228, 168, 9)));
+  EXPECT_FALSE(cidr.contains(Ipv4(185, 229, 0, 1)));
+  EXPECT_TRUE(Cidr(Ipv4(0, 0, 0, 0), 0).contains(Ipv4(255, 1, 2, 3)));
+}
+
+TEST(Cidr, ParseValidAndInvalid) {
+  const auto cidr = Cidr::parse("1.1.0.0/16");
+  ASSERT_TRUE(cidr);
+  EXPECT_EQ(cidr->prefix_len(), 16);
+  EXPECT_EQ(cidr->to_string(), "1.1.0.0/16");
+  EXPECT_FALSE(Cidr::parse("1.1.0.0"));
+  EXPECT_FALSE(Cidr::parse("1.1.0.0/33"));
+  EXPECT_FALSE(Cidr::parse("1.1.0.0/-1"));
+  EXPECT_FALSE(Cidr::parse("bogus/16"));
+}
+
+TEST(Cidr, HostOrderIteration) {
+  const Cidr cidr = *Cidr::parse("10.0.0.0/30");
+  ASSERT_EQ(cidr.size(), 4u);
+  for (std::uint64_t i = 0; i + 1 < cidr.size(); ++i)
+    EXPECT_LT(cidr.at(i), cidr.at(i + 1));
+}
+
+}  // namespace
+}  // namespace encdns::util

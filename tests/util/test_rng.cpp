@@ -1,0 +1,213 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace encdns::util {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, BelowZeroReturnsZero) {
+  Rng rng(7);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, BelowStaysInBounds) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kBuckets)];
+  for (int count : counts) {
+    EXPECT_GT(count, kDraws / kBuckets * 0.9);
+    EXPECT_LT(count, kDraws / kBuckets * 1.1);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(17);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000, 0.5, 0.01);
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng rng(19);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_FALSE(rng.chance(-1.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_TRUE(rng.chance(2.0));
+  }
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng(23);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i)
+    if (rng.chance(0.3)) ++hits;
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(29);
+  double sum = 0.0, sum2 = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sum2 += v * v;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / kN, 1.0, 0.05);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(31);
+  std::vector<double> draws;
+  for (int i = 0; i < 20001; ++i) draws.push_back(rng.lognormal(100.0, 0.5));
+  std::nth_element(draws.begin(), draws.begin() + 10000, draws.end());
+  EXPECT_NEAR(draws[10000], 100.0, 5.0);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(37);
+  double sum = 0.0;
+  for (int i = 0; i < 50000; ++i) sum += rng.exponential(40.0);
+  EXPECT_NEAR(sum / 50000, 40.0, 2.0);
+  EXPECT_EQ(rng.exponential(0.0), 0.0);
+  EXPECT_EQ(rng.exponential(-1.0), 0.0);
+}
+
+TEST(Rng, ParetoAboveScale) {
+  Rng rng(41);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+  EXPECT_EQ(rng.pareto(0.0, 1.0), 0.0);
+}
+
+TEST(Rng, PoissonMeanSmallLambda) {
+  Rng rng(43);
+  double sum = 0.0;
+  for (int i = 0; i < 50000; ++i) sum += static_cast<double>(rng.poisson(3.5));
+  EXPECT_NEAR(sum / 50000, 3.5, 0.1);
+}
+
+TEST(Rng, PoissonMeanLargeLambda) {
+  Rng rng(47);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) sum += static_cast<double>(rng.poisson(200.0));
+  EXPECT_NEAR(sum / 20000, 200.0, 2.0);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, WeightedRespectsWeights) {
+  Rng rng(53);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[rng.weighted(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.25);
+}
+
+TEST(Rng, WeightedAllZeroPicksFirst) {
+  Rng rng(59);
+  std::vector<double> weights = {0.0, 0.0};
+  EXPECT_EQ(rng.weighted(weights), 0u);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(61);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, ForkIndependentStreams) {
+  Rng base(67);
+  Rng a = base.fork(1);
+  Rng b = base.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Mix64, DeterministicAndSpread) {
+  EXPECT_EQ(mix64(1), mix64(1));
+  std::set<std::uint64_t> values;
+  for (std::uint64_t i = 0; i < 1000; ++i) values.insert(mix64(i));
+  EXPECT_EQ(values.size(), 1000u);
+}
+
+TEST(Fnv1a, KnownVector) {
+  // FNV-1a 64-bit of empty string is the offset basis.
+  EXPECT_EQ(fnv1a(""), 0xCBF29CE484222325ULL);
+  EXPECT_NE(fnv1a("a"), fnv1a("b"));
+  EXPECT_EQ(fnv1a("example.com"), fnv1a("example.com"));
+}
+
+// Property sweep: determinism of every distribution across seeds.
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, AllDistributionsDeterministic) {
+  Rng a(GetParam()), b(GetParam());
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.below(1000), b.below(1000));
+    EXPECT_EQ(a.uniform(), b.uniform());
+    EXPECT_EQ(a.normal(), b.normal());
+    EXPECT_EQ(a.poisson(5.0), b.poisson(5.0));
+    EXPECT_EQ(a.lognormal(10, 0.3), b.lognormal(10, 0.3));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0, 1, 42, 2019, 0xFFFFFFFFFFFFFFFFULL));
+
+}  // namespace
+}  // namespace encdns::util

@@ -1,0 +1,156 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace encdns::util {
+namespace {
+
+TEST(Percentile, EmptyIsNullopt) {
+  EXPECT_FALSE(percentile({}, 0.5).has_value());
+  EXPECT_FALSE(median({}).has_value());
+  EXPECT_FALSE(mean({}).has_value());
+}
+
+TEST(Percentile, SingleValue) {
+  EXPECT_DOUBLE_EQ(*percentile({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(*percentile({7.0}, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(*percentile({7.0}, 1.0), 7.0);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(*percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(*percentile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(*percentile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(*percentile(v, 1.0 / 3.0), 2.0);
+}
+
+TEST(Percentile, UnsortedInputHandled) {
+  EXPECT_DOUBLE_EQ(*median({5.0, 1.0, 3.0}), 3.0);
+}
+
+TEST(Percentile, ClampsQuantile) {
+  const std::vector<double> v = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(*percentile(v, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(*percentile(v, 1.5), 2.0);
+}
+
+TEST(Mean, Basic) { EXPECT_DOUBLE_EQ(*mean({1.0, 2.0, 6.0}), 3.0); }
+
+TEST(Stddev, KnownValue) {
+  // Sample stddev of {2, 4, 4, 4, 5, 5, 7, 9} is ~2.138.
+  EXPECT_NEAR(*stddev({2, 4, 4, 4, 5, 5, 7, 9}), 2.138, 0.001);
+  EXPECT_FALSE(stddev({1.0}).has_value());
+}
+
+TEST(Summarize, EmptyIsZeroed) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Summarize, OrderedFields) {
+  const Summary s = summarize({5.0, 1.0, 9.0, 3.0, 7.0});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_LE(s.p25, s.median);
+  EXPECT_LE(s.median, s.p75);
+  EXPECT_LE(s.p75, s.p90);
+}
+
+TEST(Cdf, EmptySample) {
+  const Cdf cdf{std::vector<double>{}};
+  EXPECT_EQ(cdf.count(), 0u);
+  EXPECT_EQ(cdf.at(1.0), 0.0);
+  EXPECT_EQ(cdf.quantile(0.5), 0.0);
+  EXPECT_TRUE(cdf.points(5).empty());
+}
+
+TEST(Cdf, StepFunction) {
+  const Cdf cdf{{1.0, 2.0, 3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(100.0), 1.0);
+}
+
+TEST(Cdf, QuantileInverse) {
+  const Cdf cdf{{10.0, 20.0, 30.0}};
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 30.0);
+}
+
+TEST(Cdf, MonotoneProperty) {
+  Rng rng(5);
+  std::vector<double> sample;
+  for (int i = 0; i < 500; ++i) sample.push_back(rng.uniform(0, 1000));
+  const Cdf cdf{sample};
+  double prev = -1.0;
+  for (const auto& [x, f] : cdf.points(50)) {
+    EXPECT_GE(f, prev);
+    prev = f;
+  }
+  EXPECT_DOUBLE_EQ(prev, 1.0);
+}
+
+TEST(Counter, AddAndGet) {
+  Counter counter;
+  counter.add("a");
+  counter.add("b", 2.5);
+  counter.add("a", 3.0);
+  EXPECT_DOUBLE_EQ(counter.get("a"), 4.0);
+  EXPECT_DOUBLE_EQ(counter.get("b"), 2.5);
+  EXPECT_DOUBLE_EQ(counter.get("missing"), 0.0);
+  EXPECT_DOUBLE_EQ(counter.total(), 6.5);
+  EXPECT_EQ(counter.distinct(), 2u);
+}
+
+TEST(Counter, SortedDescWithTies) {
+  Counter counter;
+  counter.add("x", 2);
+  counter.add("a", 2);
+  counter.add("big", 10);
+  const auto sorted = counter.sorted_desc();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].first, "big");
+  EXPECT_EQ(sorted[1].first, "a");  // tie broken alphabetically
+  EXPECT_EQ(sorted[2].first, "x");
+}
+
+TEST(Counter, TopShare) {
+  Counter counter;
+  counter.add("a", 44);
+  counter.add("b", 16);
+  counter.add("c", 40);
+  EXPECT_DOUBLE_EQ(counter.top_share(1), 0.44);
+  EXPECT_DOUBLE_EQ(counter.top_share(2), 0.84);
+  EXPECT_DOUBLE_EQ(counter.top_share(10), 1.0);
+  EXPECT_DOUBLE_EQ(Counter{}.top_share(3), 0.0);
+}
+
+// Property: percentile is monotone in q for random samples.
+class PercentileMonotone : public ::testing::TestWithParam<int> {};
+
+TEST_P(PercentileMonotone, MonotoneInQuantile) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<double> sample;
+  const int n = 1 + static_cast<int>(rng.below(200));
+  for (int i = 0; i < n; ++i) sample.push_back(rng.normal(0, 100));
+  double prev = *percentile(sample, 0.0);
+  for (double q = 0.1; q <= 1.0001; q += 0.1) {
+    const double v = *percentile(sample, q);
+    EXPECT_GE(v, prev - 1e-9);
+    prev = v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PercentileMonotone, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace encdns::util

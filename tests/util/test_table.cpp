@@ -1,0 +1,85 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace encdns::util {
+namespace {
+
+TEST(Table, RenderContainsAllCells) {
+  Table table("Demo", {"A", "B"});
+  table.add_row({"one", "two"});
+  table.add_row({"three", "four"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("== Demo =="), std::string::npos);
+  for (const char* cell : {"A", "B", "one", "two", "three", "four"})
+    EXPECT_NE(out.find(cell), std::string::npos) << cell;
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table table("t", {"A", "B", "C"});
+  table.add_row({"only"});
+  EXPECT_NO_THROW({ const auto out = table.render(); });
+  EXPECT_EQ(table.row_count(), 1u);
+}
+
+TEST(Table, ColumnsAlign) {
+  Table table("t", {"A"});
+  table.add_row({"x"});
+  table.add_row({"longer"});
+  const std::string out = table.render();
+  // All lines between rules should be equally wide.
+  std::size_t width = 0;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const auto eol = out.find('\n', pos);
+    const auto line = out.substr(pos, eol - pos);
+    if (!line.empty() && (line[0] == '|' || line[0] == '+')) {
+      if (width == 0) width = line.size();
+      EXPECT_EQ(line.size(), width) << line;
+    }
+    pos = eol + 1;
+  }
+}
+
+TEST(Table, CsvEscaping) {
+  Table table("t", {"name", "value"});
+  table.add_row({"plain", "a,b"});
+  table.add_row({"quo\"te", "line\nbreak"});
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quo\"\"te\""), std::string::npos);
+  EXPECT_NE(csv.find("\"line\nbreak\""), std::string::npos);
+  EXPECT_EQ(csv.substr(0, 11), "name,value\n");
+}
+
+TEST(Fmt, Decimals) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.0, 0), "3");
+  EXPECT_EQ(fmt(-1.005, 1), "-1.0");
+}
+
+TEST(FmtPct, PaperStyle) {
+  EXPECT_EQ(fmt_pct(0.1646), "16.46%");
+  EXPECT_EQ(fmt_pct(0.0), "0.00%");
+  EXPECT_EQ(fmt_pct(1.0), "100.00%");
+  EXPECT_EQ(fmt_pct(0.25, 0), "25%");
+}
+
+TEST(FmtCount, ThousandsSeparators) {
+  EXPECT_EQ(fmt_count(0), "0");
+  EXPECT_EQ(fmt_count(999), "999");
+  EXPECT_EQ(fmt_count(1000), "1,000");
+  EXPECT_EQ(fmt_count(29622), "29,622");
+  EXPECT_EQ(fmt_count(1234567), "1,234,567");
+  EXPECT_EQ(fmt_count(-1234), "-1,234");
+}
+
+TEST(FmtGrowth, PaperStyle) {
+  EXPECT_EQ(fmt_growth(456, 951), "+109%");
+  EXPECT_EQ(fmt_growth(257, 40), "-84%");
+  EXPECT_EQ(fmt_growth(100, 531), "+431%");
+  EXPECT_EQ(fmt_growth(0, 10), "n/a");
+}
+
+}  // namespace
+}  // namespace encdns::util

@@ -1,0 +1,116 @@
+// Direct unit tests for the §4.2 failure-cause middleboxes.
+#include <gtest/gtest.h>
+
+#include "dns/query.hpp"
+#include "world/middleboxes.hpp"
+#include "world/providers.hpp"
+
+namespace encdns::world {
+namespace {
+
+const util::Date kDay{2019, 3, 1};
+using TcpAction = net::Middlebox::TcpVerdict::Action;
+using UdpAction = net::Middlebox::UdpVerdict::Action;
+
+TEST(Port53FilterBox, DropsOnlyPort53ToTargets) {
+  const Port53FilterBox box({addrs::kCloudflarePrimary, addrs::kGooglePrimary});
+  EXPECT_EQ(box.on_tcp_syn(addrs::kCloudflarePrimary, 53, kDay).action,
+            TcpAction::kDrop);
+  EXPECT_EQ(box.on_udp(addrs::kGooglePrimary, 53, {}, kDay).action,
+            UdpAction::kDrop);
+  // Ports 443/853 pass — the paper's hypothesis for why DoE works where
+  // clear text does not.
+  EXPECT_EQ(box.on_tcp_syn(addrs::kCloudflarePrimary, 853, kDay).action,
+            TcpAction::kPass);
+  EXPECT_EQ(box.on_tcp_syn(addrs::kCloudflarePrimary, 443, kDay).action,
+            TcpAction::kPass);
+  // Non-prominent resolvers pass even on 53.
+  EXPECT_EQ(box.on_tcp_syn(addrs::kQuad9Primary, 53, kDay).action,
+            TcpAction::kPass);
+}
+
+TEST(Dns53SpooferBox, ForgesParseableResponse) {
+  const Dns53SpooferBox box({addrs::kGooglePrimary}, util::Ipv4{31, 13, 64, 7});
+  const auto query =
+      dns::make_query(*dns::Name::parse("victim.example"), dns::RrType::kA, 99);
+  const auto wire = query.encode();
+  const auto verdict = box.on_udp(addrs::kGooglePrimary, 53, wire, kDay);
+  ASSERT_EQ(verdict.action, UdpAction::kSpoof);
+  const auto forged = dns::Message::decode(verdict.spoofed_response);
+  ASSERT_TRUE(forged);
+  EXPECT_TRUE(dns::response_matches(query, *forged));
+  EXPECT_EQ(*forged->first_a(), util::Ipv4(31, 13, 64, 7));
+  // Unparseable payloads are dropped rather than answered.
+  const std::vector<std::uint8_t> junk = {1, 2, 3};
+  EXPECT_EQ(box.on_udp(addrs::kGooglePrimary, 53, junk, kDay).action,
+            UdpAction::kDrop);
+  // Other destinations pass.
+  EXPECT_EQ(box.on_udp(addrs::kQuad9Primary, 53, wire, kDay).action,
+            UdpAction::kPass);
+}
+
+TEST(BlackholeBox, SwallowsEverythingToTargets) {
+  const BlackholeBox box({addrs::kCloudflarePrimary}, "test-blackhole");
+  for (const std::uint16_t port : {53, 80, 443, 853}) {
+    EXPECT_EQ(box.on_tcp_syn(addrs::kCloudflarePrimary, port, kDay).action,
+              TcpAction::kDrop);
+  }
+  EXPECT_EQ(box.on_udp(addrs::kCloudflarePrimary, 53, {}, kDay).action,
+            UdpAction::kDrop);
+  EXPECT_EQ(box.on_tcp_syn(addrs::kGooglePrimary, 443, kDay).action,
+            TcpAction::kPass);
+}
+
+TEST(DeviceService, PortsAndWebpage) {
+  DeviceService device("MikroTik RouterOS", {22, 23, 53, 80},
+                       "<html>RouterOS login</html>");
+  EXPECT_TRUE(device.accepts(22, net::Transport::kTcp));
+  EXPECT_TRUE(device.accepts(80, net::Transport::kTcp));
+  EXPECT_FALSE(device.accepts(443, net::Transport::kTcp));
+  EXPECT_FALSE(device.accepts(80, net::Transport::kUdp));
+  EXPECT_EQ(device.webpage(80), "<html>RouterOS login</html>");
+  EXPECT_EQ(device.webpage(22), "");
+}
+
+TEST(AddressConflictBox, HijacksOnlyTheTakenAddress) {
+  auto device = std::make_shared<DeviceService>("modem", std::vector<std::uint16_t>{80},
+                                                "modem page");
+  const AddressConflictBox box(addrs::kCloudflarePrimary, device);
+  const auto hijack = box.on_tcp_syn(addrs::kCloudflarePrimary, 80, kDay);
+  EXPECT_EQ(hijack.action, TcpAction::kHijack);
+  EXPECT_EQ(hijack.service, device.get());
+  EXPECT_EQ(box.on_udp(addrs::kCloudflarePrimary, 53, {}, kDay).action,
+            UdpAction::kDrop);
+  EXPECT_EQ(box.on_tcp_syn(addrs::kCloudflareSecondary, 80, kDay).action,
+            TcpAction::kPass);
+}
+
+TEST(CensorBox, DropsBlockedAddressesOnAllPorts) {
+  const CensorBox box({addrs::kGoogleDohA, addrs::kGoogleDohB});
+  EXPECT_EQ(box.on_tcp_syn(addrs::kGoogleDohA, 443, kDay).action, TcpAction::kDrop);
+  EXPECT_EQ(box.on_tcp_syn(addrs::kGoogleDohB, 80, kDay).action, TcpAction::kDrop);
+  EXPECT_EQ(box.on_udp(addrs::kGoogleDohA, 443, {}, kDay).action, UdpAction::kDrop);
+  // 8.8.8.8 itself is not on the blocklist (Table 4: Google Do53 works in CN).
+  EXPECT_EQ(box.on_tcp_syn(addrs::kGooglePrimary, 53, kDay).action,
+            TcpAction::kPass);
+}
+
+TEST(TlsInterceptBox, PortScopeRespectsConfiguration) {
+  const TlsInterceptBox both("Sample CA 2", "dpi", /*intercept_853=*/true);
+  EXPECT_NE(both.tls_interceptor(addrs::kCloudflarePrimary, 443), nullptr);
+  EXPECT_NE(both.tls_interceptor(addrs::kCloudflarePrimary, 853), nullptr);
+  EXPECT_EQ(both.tls_interceptor(addrs::kCloudflarePrimary, 53), nullptr);
+
+  const TlsInterceptBox https_only("NThmYzgyYT", "proxy", /*intercept_853=*/false);
+  EXPECT_NE(https_only.tls_interceptor(addrs::kCloudflarePrimary, 443), nullptr);
+  EXPECT_EQ(https_only.tls_interceptor(addrs::kCloudflarePrimary, 853), nullptr);
+}
+
+TEST(TlsInterceptBox, NeverBlocksTransport) {
+  const TlsInterceptBox box("None", "dpi", true);
+  EXPECT_EQ(box.on_tcp_syn(addrs::kCloudflarePrimary, 443, kDay).action,
+            TcpAction::kPass);
+}
+
+}  // namespace
+}  // namespace encdns::world

@@ -1,0 +1,102 @@
+// The study runner CLI: run any (or every) experiment at quick or full
+// scale, print the tables, and optionally export CSVs — the reproduction's
+// counterpart of the paper's dataset release (https://dnsencryption.info).
+//
+// Usage:
+//   encdns_study --list
+//   encdns_study [--id <experiment>] [--full] [--seed N] [--csv-dir DIR]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "core/experiments.hpp"
+#include "core/report.hpp"
+#include "core/study.hpp"
+
+using namespace encdns;
+
+namespace {
+
+void print_usage() {
+  std::printf(
+      "usage: encdns_study [options]\n"
+      "  --list            list experiment ids and exit\n"
+      "  --id <exp>        run one experiment (default: all)\n"
+      "  --full            paper-scale populations (minutes of CPU)\n"
+      "  --seed <n>        world seed (default 2019)\n"
+      "  --csv-dir <dir>   also export each table as CSV into <dir>\n"
+      "  --report          evaluate every paper claim, print verdicts;\n"
+      "                    exit code = number of failed checks\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string only_id;
+  std::string csv_dir;
+  bool full = false;
+  bool report = false;
+  std::uint64_t seed = 2019;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list") {
+      for (const auto& experiment : core::all_experiments())
+        std::printf("%-14s %s\n", experiment.id.c_str(), experiment.title.c_str());
+      return 0;
+    }
+    if (arg == "--full") {
+      full = true;
+    } else if (arg == "--report") {
+      report = true;
+    } else if (arg == "--id" && i + 1 < argc) {
+      only_id = argv[++i];
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--csv-dir" && i + 1 < argc) {
+      csv_dir = argv[++i];
+    } else {
+      print_usage();
+      return arg == "--help" || arg == "-h" ? 0 : 1;
+    }
+  }
+
+  core::StudyConfig config =
+      full ? core::StudyConfig::full() : core::StudyConfig::quick();
+  config.world.seed = seed;
+  core::Study study(config);
+
+  if (report) {
+    const auto checks = core::evaluate_findings(study);
+    std::printf("%s\n", core::findings_table(checks).render().c_str());
+    const auto failed = core::failed_count(checks);
+    std::printf("%zu/%zu checks passed\n", checks.size() - failed, checks.size());
+    return static_cast<int>(failed);
+  }
+
+  if (!csv_dir.empty()) std::filesystem::create_directories(csv_dir);
+
+  bool found = only_id.empty();
+  for (const auto& experiment : core::all_experiments()) {
+    if (!only_id.empty() && experiment.id != only_id) continue;
+    found = true;
+    const auto table = experiment.run(study);
+    std::printf("%s\n", table.render().c_str());
+    if (!csv_dir.empty()) {
+      const auto path =
+          std::filesystem::path(csv_dir) / (experiment.id + ".csv");
+      std::ofstream out(path);
+      out << table.to_csv();
+      std::printf("[wrote %s]\n\n", path.c_str());
+    }
+  }
+  if (!found) {
+    std::fprintf(stderr, "unknown experiment id: %s (try --list)\n",
+                 only_id.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_scan_order"
+  "../bench/bench_ablation_scan_order.pdb"
+  "CMakeFiles/bench_ablation_scan_order.dir/bench_ablation_scan_order.cpp.o"
+  "CMakeFiles/bench_ablation_scan_order.dir/bench_ablation_scan_order.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_scan_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_protocol_matchup"
+  "../bench/bench_ext_protocol_matchup.pdb"
+  "CMakeFiles/bench_ext_protocol_matchup.dir/bench_ext_protocol_matchup.cpp.o"
+  "CMakeFiles/bench_ext_protocol_matchup.dir/bench_ext_protocol_matchup.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_protocol_matchup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

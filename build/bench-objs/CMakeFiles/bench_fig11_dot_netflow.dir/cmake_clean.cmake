@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_dot_netflow"
+  "../bench/bench_fig11_dot_netflow.pdb"
+  "CMakeFiles/bench_fig11_dot_netflow.dir/bench_fig11_dot_netflow.cpp.o"
+  "CMakeFiles/bench_fig11_dot_netflow.dir/bench_fig11_dot_netflow.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_dot_netflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_dot_netblocks"
+  "../bench/bench_fig12_dot_netblocks.pdb"
+  "CMakeFiles/bench_fig12_dot_netblocks.dir/bench_fig12_dot_netblocks.cpp.o"
+  "CMakeFiles/bench_fig12_dot_netblocks.dir/bench_fig12_dot_netblocks.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_dot_netblocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_doh_passivedns"
+  "../bench/bench_fig13_doh_passivedns.pdb"
+  "CMakeFiles/bench_fig13_doh_passivedns.dir/bench_fig13_doh_passivedns.cpp.o"
+  "CMakeFiles/bench_fig13_doh_passivedns.dir/bench_fig13_doh_passivedns.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_doh_passivedns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_doh_requests"
+  "../bench/bench_fig2_doh_requests.pdb"
+  "CMakeFiles/bench_fig2_doh_requests.dir/bench_fig2_doh_requests.cpp.o"
+  "CMakeFiles/bench_fig2_doh_requests.dir/bench_fig2_doh_requests.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_doh_requests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

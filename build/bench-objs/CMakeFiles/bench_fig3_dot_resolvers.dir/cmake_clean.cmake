@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_dot_resolvers"
+  "../bench/bench_fig3_dot_resolvers.pdb"
+  "CMakeFiles/bench_fig3_dot_resolvers.dir/bench_fig3_dot_resolvers.cpp.o"
+  "CMakeFiles/bench_fig3_dot_resolvers.dir/bench_fig3_dot_resolvers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_dot_resolvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

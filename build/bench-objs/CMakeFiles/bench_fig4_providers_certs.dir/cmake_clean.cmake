@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_providers_certs"
+  "../bench/bench_fig4_providers_certs.pdb"
+  "CMakeFiles/bench_fig4_providers_certs.dir/bench_fig4_providers_certs.cpp.o"
+  "CMakeFiles/bench_fig4_providers_certs.dir/bench_fig4_providers_certs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_providers_certs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

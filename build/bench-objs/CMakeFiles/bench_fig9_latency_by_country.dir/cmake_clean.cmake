@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_latency_by_country"
+  "../bench/bench_fig9_latency_by_country.pdb"
+  "CMakeFiles/bench_fig9_latency_by_country.dir/bench_fig9_latency_by_country.cpp.o"
+  "CMakeFiles/bench_fig9_latency_by_country.dir/bench_fig9_latency_by_country.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_latency_by_country.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

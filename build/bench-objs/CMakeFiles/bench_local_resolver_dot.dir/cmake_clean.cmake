@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_local_resolver_dot"
+  "../bench/bench_local_resolver_dot.pdb"
+  "CMakeFiles/bench_local_resolver_dot.dir/bench_local_resolver_dot.cpp.o"
+  "CMakeFiles/bench_local_resolver_dot.dir/bench_local_resolver_dot.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_local_resolver_dot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

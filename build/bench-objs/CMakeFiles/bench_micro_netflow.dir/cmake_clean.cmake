@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_netflow"
+  "../bench/bench_micro_netflow.pdb"
+  "CMakeFiles/bench_micro_netflow.dir/bench_micro_netflow.cpp.o"
+  "CMakeFiles/bench_micro_netflow.dir/bench_micro_netflow.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_netflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_scanner"
+  "../bench/bench_micro_scanner.pdb"
+  "CMakeFiles/bench_micro_scanner.dir/bench_micro_scanner.cpp.o"
+  "CMakeFiles/bench_micro_scanner.dir/bench_micro_scanner.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_scanner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_tls"
+  "../bench/bench_micro_tls.pdb"
+  "CMakeFiles/bench_micro_tls.dir/bench_micro_tls.cpp.o"
+  "CMakeFiles/bench_micro_tls.dir/bench_micro_tls.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_tls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

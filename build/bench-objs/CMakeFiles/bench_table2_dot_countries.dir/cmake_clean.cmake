@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_dot_countries"
+  "../bench/bench_table2_dot_countries.pdb"
+  "CMakeFiles/bench_table2_dot_countries.dir/bench_table2_dot_countries.cpp.o"
+  "CMakeFiles/bench_table2_dot_countries.dir/bench_table2_dot_countries.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_dot_countries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

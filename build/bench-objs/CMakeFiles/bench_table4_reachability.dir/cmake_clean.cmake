@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_reachability"
+  "../bench/bench_table4_reachability.pdb"
+  "CMakeFiles/bench_table4_reachability.dir/bench_table4_reachability.cpp.o"
+  "CMakeFiles/bench_table4_reachability.dir/bench_table4_reachability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_reachability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

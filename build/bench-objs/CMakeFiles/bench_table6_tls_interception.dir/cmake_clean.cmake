@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table6_tls_interception"
+  "../bench/bench_table6_tls_interception.pdb"
+  "CMakeFiles/bench_table6_tls_interception.dir/bench_table6_tls_interception.cpp.o"
+  "CMakeFiles/bench_table6_tls_interception.dir/bench_table6_tls_interception.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_tls_interception.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

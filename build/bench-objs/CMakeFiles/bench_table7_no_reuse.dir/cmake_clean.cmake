@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table7_no_reuse"
+  "../bench/bench_table7_no_reuse.pdb"
+  "CMakeFiles/bench_table7_no_reuse.dir/bench_table7_no_reuse.cpp.o"
+  "CMakeFiles/bench_table7_no_reuse.dir/bench_table7_no_reuse.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_no_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

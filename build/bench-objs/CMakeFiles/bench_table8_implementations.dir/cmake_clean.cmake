@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table8_implementations"
+  "../bench/bench_table8_implementations.pdb"
+  "CMakeFiles/bench_table8_implementations.dir/bench_table8_implementations.cpp.o"
+  "CMakeFiles/bench_table8_implementations.dir/bench_table8_implementations.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_implementations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encdns_bench_common.dir/common.cpp.o"
+  "CMakeFiles/encdns_bench_common.dir/common.cpp.o.d"
+  "libencdns_bench_common.a"
+  "libencdns_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encdns_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reachability_probe.dir/reachability_probe.cpp.o"
+  "CMakeFiles/reachability_probe.dir/reachability_probe.cpp.o.d"
+  "reachability_probe"
+  "reachability_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reachability_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("dns")
+subdirs("sim")
+subdirs("net")
+subdirs("tls")
+subdirs("http")
+subdirs("resolver")
+subdirs("client")
+subdirs("dnscrypt")
+subdirs("doq")
+subdirs("world")
+subdirs("scan")
+subdirs("proxy")
+subdirs("measure")
+subdirs("traffic")
+subdirs("core")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encdns_client.dir/do53.cpp.o"
+  "CMakeFiles/encdns_client.dir/do53.cpp.o.d"
+  "CMakeFiles/encdns_client.dir/doh.cpp.o"
+  "CMakeFiles/encdns_client.dir/doh.cpp.o.d"
+  "CMakeFiles/encdns_client.dir/dot.cpp.o"
+  "CMakeFiles/encdns_client.dir/dot.cpp.o.d"
+  "CMakeFiles/encdns_client.dir/outcome.cpp.o"
+  "CMakeFiles/encdns_client.dir/outcome.cpp.o.d"
+  "libencdns_client.a"
+  "libencdns_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encdns_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

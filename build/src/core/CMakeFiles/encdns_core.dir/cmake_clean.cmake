@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encdns_core.dir/experiments.cpp.o"
+  "CMakeFiles/encdns_core.dir/experiments.cpp.o.d"
+  "CMakeFiles/encdns_core.dir/implementation_survey.cpp.o"
+  "CMakeFiles/encdns_core.dir/implementation_survey.cpp.o.d"
+  "CMakeFiles/encdns_core.dir/protocol_matrix.cpp.o"
+  "CMakeFiles/encdns_core.dir/protocol_matrix.cpp.o.d"
+  "CMakeFiles/encdns_core.dir/report.cpp.o"
+  "CMakeFiles/encdns_core.dir/report.cpp.o.d"
+  "CMakeFiles/encdns_core.dir/study.cpp.o"
+  "CMakeFiles/encdns_core.dir/study.cpp.o.d"
+  "CMakeFiles/encdns_core.dir/timeline.cpp.o"
+  "CMakeFiles/encdns_core.dir/timeline.cpp.o.d"
+  "libencdns_core.a"
+  "libencdns_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encdns_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encdns_dns.dir/edns.cpp.o"
+  "CMakeFiles/encdns_dns.dir/edns.cpp.o.d"
+  "CMakeFiles/encdns_dns.dir/message.cpp.o"
+  "CMakeFiles/encdns_dns.dir/message.cpp.o.d"
+  "CMakeFiles/encdns_dns.dir/name.cpp.o"
+  "CMakeFiles/encdns_dns.dir/name.cpp.o.d"
+  "CMakeFiles/encdns_dns.dir/query.cpp.o"
+  "CMakeFiles/encdns_dns.dir/query.cpp.o.d"
+  "CMakeFiles/encdns_dns.dir/types.cpp.o"
+  "CMakeFiles/encdns_dns.dir/types.cpp.o.d"
+  "CMakeFiles/encdns_dns.dir/wire.cpp.o"
+  "CMakeFiles/encdns_dns.dir/wire.cpp.o.d"
+  "libencdns_dns.a"
+  "libencdns_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encdns_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encdns_dnscrypt.dir/cert.cpp.o"
+  "CMakeFiles/encdns_dnscrypt.dir/cert.cpp.o.d"
+  "CMakeFiles/encdns_dnscrypt.dir/client.cpp.o"
+  "CMakeFiles/encdns_dnscrypt.dir/client.cpp.o.d"
+  "CMakeFiles/encdns_dnscrypt.dir/crypto.cpp.o"
+  "CMakeFiles/encdns_dnscrypt.dir/crypto.cpp.o.d"
+  "CMakeFiles/encdns_dnscrypt.dir/service.cpp.o"
+  "CMakeFiles/encdns_dnscrypt.dir/service.cpp.o.d"
+  "libencdns_dnscrypt.a"
+  "libencdns_dnscrypt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encdns_dnscrypt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for encdns_dnscrypt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encdns_doq.dir/doq.cpp.o"
+  "CMakeFiles/encdns_doq.dir/doq.cpp.o.d"
+  "libencdns_doq.a"
+  "libencdns_doq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encdns_doq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

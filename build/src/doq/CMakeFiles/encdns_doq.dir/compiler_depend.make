@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for encdns_doq.
+# This may be replaced when dependencies are built.

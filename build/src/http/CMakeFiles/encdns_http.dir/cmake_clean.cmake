@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encdns_http.dir/message.cpp.o"
+  "CMakeFiles/encdns_http.dir/message.cpp.o.d"
+  "CMakeFiles/encdns_http.dir/url.cpp.o"
+  "CMakeFiles/encdns_http.dir/url.cpp.o.d"
+  "libencdns_http.a"
+  "libencdns_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encdns_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encdns_measure.dir/local_probe.cpp.o"
+  "CMakeFiles/encdns_measure.dir/local_probe.cpp.o.d"
+  "CMakeFiles/encdns_measure.dir/performance.cpp.o"
+  "CMakeFiles/encdns_measure.dir/performance.cpp.o.d"
+  "CMakeFiles/encdns_measure.dir/reachability.cpp.o"
+  "CMakeFiles/encdns_measure.dir/reachability.cpp.o.d"
+  "CMakeFiles/encdns_measure.dir/targets.cpp.o"
+  "CMakeFiles/encdns_measure.dir/targets.cpp.o.d"
+  "libencdns_measure.a"
+  "libencdns_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encdns_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

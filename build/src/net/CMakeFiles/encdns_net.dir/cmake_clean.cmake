@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encdns_net.dir/connection.cpp.o"
+  "CMakeFiles/encdns_net.dir/connection.cpp.o.d"
+  "CMakeFiles/encdns_net.dir/geo.cpp.o"
+  "CMakeFiles/encdns_net.dir/geo.cpp.o.d"
+  "CMakeFiles/encdns_net.dir/network.cpp.o"
+  "CMakeFiles/encdns_net.dir/network.cpp.o.d"
+  "libencdns_net.a"
+  "libencdns_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encdns_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

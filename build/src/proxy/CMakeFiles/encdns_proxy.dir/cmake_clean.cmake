@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encdns_proxy.dir/proxy.cpp.o"
+  "CMakeFiles/encdns_proxy.dir/proxy.cpp.o.d"
+  "libencdns_proxy.a"
+  "libencdns_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encdns_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encdns_resolver.dir/backend.cpp.o"
+  "CMakeFiles/encdns_resolver.dir/backend.cpp.o.d"
+  "CMakeFiles/encdns_resolver.dir/recursive.cpp.o"
+  "CMakeFiles/encdns_resolver.dir/recursive.cpp.o.d"
+  "CMakeFiles/encdns_resolver.dir/services.cpp.o"
+  "CMakeFiles/encdns_resolver.dir/services.cpp.o.d"
+  "CMakeFiles/encdns_resolver.dir/universe.cpp.o"
+  "CMakeFiles/encdns_resolver.dir/universe.cpp.o.d"
+  "libencdns_resolver.a"
+  "libencdns_resolver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encdns_resolver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encdns_scan.dir/doh_prober.cpp.o"
+  "CMakeFiles/encdns_scan.dir/doh_prober.cpp.o.d"
+  "CMakeFiles/encdns_scan.dir/dot_prober.cpp.o"
+  "CMakeFiles/encdns_scan.dir/dot_prober.cpp.o.d"
+  "CMakeFiles/encdns_scan.dir/permutation.cpp.o"
+  "CMakeFiles/encdns_scan.dir/permutation.cpp.o.d"
+  "CMakeFiles/encdns_scan.dir/scanner.cpp.o"
+  "CMakeFiles/encdns_scan.dir/scanner.cpp.o.d"
+  "CMakeFiles/encdns_scan.dir/space.cpp.o"
+  "CMakeFiles/encdns_scan.dir/space.cpp.o.d"
+  "libencdns_scan.a"
+  "libencdns_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encdns_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encdns_sim.dir/duration.cpp.o"
+  "CMakeFiles/encdns_sim.dir/duration.cpp.o.d"
+  "CMakeFiles/encdns_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/encdns_sim.dir/event_queue.cpp.o.d"
+  "libencdns_sim.a"
+  "libencdns_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encdns_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libencdns_sim.a"
+)

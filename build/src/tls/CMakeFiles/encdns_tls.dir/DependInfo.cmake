@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tls/certificate.cpp" "src/tls/CMakeFiles/encdns_tls.dir/certificate.cpp.o" "gcc" "src/tls/CMakeFiles/encdns_tls.dir/certificate.cpp.o.d"
+  "/root/repo/src/tls/handshake.cpp" "src/tls/CMakeFiles/encdns_tls.dir/handshake.cpp.o" "gcc" "src/tls/CMakeFiles/encdns_tls.dir/handshake.cpp.o.d"
+  "/root/repo/src/tls/intercept.cpp" "src/tls/CMakeFiles/encdns_tls.dir/intercept.cpp.o" "gcc" "src/tls/CMakeFiles/encdns_tls.dir/intercept.cpp.o.d"
+  "/root/repo/src/tls/serialize.cpp" "src/tls/CMakeFiles/encdns_tls.dir/serialize.cpp.o" "gcc" "src/tls/CMakeFiles/encdns_tls.dir/serialize.cpp.o.d"
+  "/root/repo/src/tls/trust_store.cpp" "src/tls/CMakeFiles/encdns_tls.dir/trust_store.cpp.o" "gcc" "src/tls/CMakeFiles/encdns_tls.dir/trust_store.cpp.o.d"
+  "/root/repo/src/tls/verify.cpp" "src/tls/CMakeFiles/encdns_tls.dir/verify.cpp.o" "gcc" "src/tls/CMakeFiles/encdns_tls.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/encdns_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/encdns_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encdns_tls.dir/certificate.cpp.o"
+  "CMakeFiles/encdns_tls.dir/certificate.cpp.o.d"
+  "CMakeFiles/encdns_tls.dir/handshake.cpp.o"
+  "CMakeFiles/encdns_tls.dir/handshake.cpp.o.d"
+  "CMakeFiles/encdns_tls.dir/intercept.cpp.o"
+  "CMakeFiles/encdns_tls.dir/intercept.cpp.o.d"
+  "CMakeFiles/encdns_tls.dir/serialize.cpp.o"
+  "CMakeFiles/encdns_tls.dir/serialize.cpp.o.d"
+  "CMakeFiles/encdns_tls.dir/trust_store.cpp.o"
+  "CMakeFiles/encdns_tls.dir/trust_store.cpp.o.d"
+  "CMakeFiles/encdns_tls.dir/verify.cpp.o"
+  "CMakeFiles/encdns_tls.dir/verify.cpp.o.d"
+  "libencdns_tls.a"
+  "libencdns_tls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encdns_tls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encdns_traffic.dir/backbone.cpp.o"
+  "CMakeFiles/encdns_traffic.dir/backbone.cpp.o.d"
+  "CMakeFiles/encdns_traffic.dir/netflow.cpp.o"
+  "CMakeFiles/encdns_traffic.dir/netflow.cpp.o.d"
+  "CMakeFiles/encdns_traffic.dir/netflow_study.cpp.o"
+  "CMakeFiles/encdns_traffic.dir/netflow_study.cpp.o.d"
+  "CMakeFiles/encdns_traffic.dir/netflow_v5.cpp.o"
+  "CMakeFiles/encdns_traffic.dir/netflow_v5.cpp.o.d"
+  "CMakeFiles/encdns_traffic.dir/passive_dns.cpp.o"
+  "CMakeFiles/encdns_traffic.dir/passive_dns.cpp.o.d"
+  "CMakeFiles/encdns_traffic.dir/scan_detector.cpp.o"
+  "CMakeFiles/encdns_traffic.dir/scan_detector.cpp.o.d"
+  "libencdns_traffic.a"
+  "libencdns_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encdns_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encdns_util.dir/base64.cpp.o"
+  "CMakeFiles/encdns_util.dir/base64.cpp.o.d"
+  "CMakeFiles/encdns_util.dir/date.cpp.o"
+  "CMakeFiles/encdns_util.dir/date.cpp.o.d"
+  "CMakeFiles/encdns_util.dir/ipv4.cpp.o"
+  "CMakeFiles/encdns_util.dir/ipv4.cpp.o.d"
+  "CMakeFiles/encdns_util.dir/rng.cpp.o"
+  "CMakeFiles/encdns_util.dir/rng.cpp.o.d"
+  "CMakeFiles/encdns_util.dir/stats.cpp.o"
+  "CMakeFiles/encdns_util.dir/stats.cpp.o.d"
+  "CMakeFiles/encdns_util.dir/strings.cpp.o"
+  "CMakeFiles/encdns_util.dir/strings.cpp.o.d"
+  "CMakeFiles/encdns_util.dir/table.cpp.o"
+  "CMakeFiles/encdns_util.dir/table.cpp.o.d"
+  "libencdns_util.a"
+  "libencdns_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encdns_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encdns_world.dir/countries.cpp.o"
+  "CMakeFiles/encdns_world.dir/countries.cpp.o.d"
+  "CMakeFiles/encdns_world.dir/middleboxes.cpp.o"
+  "CMakeFiles/encdns_world.dir/middleboxes.cpp.o.d"
+  "CMakeFiles/encdns_world.dir/providers.cpp.o"
+  "CMakeFiles/encdns_world.dir/providers.cpp.o.d"
+  "CMakeFiles/encdns_world.dir/world.cpp.o"
+  "CMakeFiles/encdns_world.dir/world.cpp.o.d"
+  "libencdns_world.a"
+  "libencdns_world.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encdns_world.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dns.dir/dns/test_edns.cpp.o"
+  "CMakeFiles/test_dns.dir/dns/test_edns.cpp.o.d"
+  "CMakeFiles/test_dns.dir/dns/test_message.cpp.o"
+  "CMakeFiles/test_dns.dir/dns/test_message.cpp.o.d"
+  "CMakeFiles/test_dns.dir/dns/test_name.cpp.o"
+  "CMakeFiles/test_dns.dir/dns/test_name.cpp.o.d"
+  "CMakeFiles/test_dns.dir/dns/test_query.cpp.o"
+  "CMakeFiles/test_dns.dir/dns/test_query.cpp.o.d"
+  "CMakeFiles/test_dns.dir/dns/test_wire.cpp.o"
+  "CMakeFiles/test_dns.dir/dns/test_wire.cpp.o.d"
+  "test_dns"
+  "test_dns.pdb"
+  "test_dns[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

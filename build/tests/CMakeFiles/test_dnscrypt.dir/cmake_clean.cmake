@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dnscrypt.dir/dnscrypt/test_dnscrypt.cpp.o"
+  "CMakeFiles/test_dnscrypt.dir/dnscrypt/test_dnscrypt.cpp.o.d"
+  "test_dnscrypt"
+  "test_dnscrypt.pdb"
+  "test_dnscrypt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dnscrypt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

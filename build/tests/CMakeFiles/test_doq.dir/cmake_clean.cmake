@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_doq.dir/doq/test_doq.cpp.o"
+  "CMakeFiles/test_doq.dir/doq/test_doq.cpp.o.d"
+  "test_doq"
+  "test_doq.pdb"
+  "test_doq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_doq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

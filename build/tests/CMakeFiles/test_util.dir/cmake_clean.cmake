@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util.dir/util/test_base64.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_base64.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_date.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_date.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_ipv4.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_ipv4.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_rng.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_rng.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_stats.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_stats.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_strings.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_strings.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_table.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_table.cpp.o.d"
+  "test_util"
+  "test_util.pdb"
+  "test_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

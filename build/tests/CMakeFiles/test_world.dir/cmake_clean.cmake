@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_world.dir/world/test_middleboxes.cpp.o"
+  "CMakeFiles/test_world.dir/world/test_middleboxes.cpp.o.d"
+  "CMakeFiles/test_world.dir/world/test_world.cpp.o"
+  "CMakeFiles/test_world.dir/world/test_world.cpp.o.d"
+  "test_world"
+  "test_world.pdb"
+  "test_world[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_world.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

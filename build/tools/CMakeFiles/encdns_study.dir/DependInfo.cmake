@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/encdns_study.cpp" "tools/CMakeFiles/encdns_study.dir/encdns_study.cpp.o" "gcc" "tools/CMakeFiles/encdns_study.dir/encdns_study.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/encdns_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/encdns_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/encdns_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/scan/CMakeFiles/encdns_scan.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/encdns_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/encdns_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnscrypt/CMakeFiles/encdns_dnscrypt.dir/DependInfo.cmake"
+  "/root/repo/build/src/doq/CMakeFiles/encdns_doq.dir/DependInfo.cmake"
+  "/root/repo/build/src/resolver/CMakeFiles/encdns_resolver.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/encdns_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/encdns_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/encdns_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/encdns_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/encdns_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/encdns_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/encdns_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encdns_study.dir/encdns_study.cpp.o"
+  "CMakeFiles/encdns_study.dir/encdns_study.cpp.o.d"
+  "encdns_study"
+  "encdns_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encdns_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,8 +1,16 @@
 // Microbenchmarks for the scanning machinery: the ZMap-style permutation,
 // the scan-space index math, and SYN-probe throughput against the world.
+//
+// After the google-benchmark suite, main() hand-times a full scan_once at
+// 1 vs 4 worker threads and records the comparison in BENCH_micro_scanner.json.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
 #include "scan/permutation.hpp"
+#include "scan/scanner.hpp"
 #include "scan/space.hpp"
 #include "world/world.hpp"
 
@@ -60,6 +68,58 @@ void BM_SynProbe(benchmark::State& state) {
 }
 BENCHMARK(BM_SynProbe);
 
+// Wall-clock of one full sweep + probe pass at a pinned thread count. A fresh
+// world per run keeps the comparison fair: scanning warms resolver caches, so
+// reuse would hand the second run cheaper lookups.
+double time_scan_once_ms(unsigned threads) {
+  world::World world;
+  scan::CampaignConfig config;
+  config.thread_count = threads;
+  scan::Scanner scanner(world, config);
+  const auto start = std::chrono::steady_clock::now();
+  const auto snapshot = scanner.scan_once(util::Date{2019, 2, 1});
+  const std::chrono::duration<double, std::milli> elapsed =
+      std::chrono::steady_clock::now() - start;
+  benchmark::DoNotOptimize(snapshot.resolvers.size());
+  return elapsed.count();
+}
+
+int write_scan_speedup_json() {
+  constexpr unsigned kParallelThreads = 4;
+  const double serial_ms = time_scan_once_ms(1);
+  const double parallel_ms = time_scan_once_ms(kParallelThreads);
+  const double speedup = serial_ms / parallel_ms;
+  const unsigned hardware = std::thread::hardware_concurrency();
+
+  std::printf("scan_once: serial %.0f ms, %u threads %.0f ms, speedup %.2fx "
+              "(%u hardware threads)\n",
+              serial_ms, kParallelThreads, parallel_ms, speedup, hardware);
+
+  std::FILE* f = std::fopen("BENCH_micro_scanner.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write BENCH_micro_scanner.json\n");
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"experiment\": \"micro_scanner\",\n"
+               "  \"threads\": %u,\n"
+               "  \"hardware_concurrency\": %u,\n"
+               "  \"serial_ms\": %.3f,\n"
+               "  \"parallel_ms\": %.3f,\n"
+               "  \"speedup\": %.3f\n"
+               "}\n",
+               kParallelThreads, hardware, serial_ms, parallel_ms, speedup);
+  std::fclose(f);
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return write_scan_speedup_json();
+}

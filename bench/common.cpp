@@ -2,11 +2,57 @@
 
 #include <chrono>
 #include <cstdio>
+#include <string>
 
 #include "core/experiments.hpp"
 #include "core/study.hpp"
+#include "exec/executor.hpp"
 
 namespace encdns::bench {
+
+namespace {
+
+// Build a fresh quick-scale Study pinned to `threads` workers, run the
+// experiment, and report the wall-clock cost. A fresh Study per run keeps the
+// two timings comparable: each pays the same world construction and starts
+// from identical (cold) resolver caches.
+double run_once(const core::Experiment& experiment, unsigned threads,
+                std::string* rendered) {
+  core::StudyConfig config = core::StudyConfig::quick();
+  config.thread_count = threads;
+  const auto start = std::chrono::steady_clock::now();
+  core::Study study(config);
+  const auto table = experiment.run(study);
+  const std::chrono::duration<double, std::milli> elapsed =
+      std::chrono::steady_clock::now() - start;
+  if (rendered != nullptr) *rendered = table.render();
+  return elapsed.count();
+}
+
+void write_json(const std::string& id, unsigned threads, double serial_ms,
+                double parallel_ms, bool identical) {
+  const std::string path = "BENCH_" + id + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"experiment\": \"%s\",\n"
+               "  \"threads\": %u,\n"
+               "  \"hardware_concurrency\": %u,\n"
+               "  \"serial_ms\": %.3f,\n"
+               "  \"parallel_ms\": %.3f,\n"
+               "  \"speedup\": %.3f,\n"
+               "  \"results_identical\": %s\n"
+               "}\n",
+               id.c_str(), threads, exec::resolve_thread_count(0), serial_ms,
+               parallel_ms, serial_ms / parallel_ms, identical ? "true" : "false");
+  std::fclose(f);
+}
+
+}  // namespace
 
 int run_experiment(const std::string& id,
                    const std::vector<std::string>& paper_reference) {
@@ -29,16 +75,28 @@ int run_experiment(const std::string& id,
     std::printf("\n");
   }
 
-  const auto start = std::chrono::steady_clock::now();
-  core::Study study(core::StudyConfig::quick());
-  const auto table = experiment->run(study);
-  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
-      std::chrono::steady_clock::now() - start);
+  // Serial run, then a run at the auto thread count. The execution engine
+  // guarantees bit-identical results, so the rendered tables must agree —
+  // a mismatch is a determinism bug worth failing the bench over.
+  std::string serial_table, parallel_table;
+  const double serial_ms = run_once(*experiment, 1, &serial_table);
+  const unsigned threads = exec::resolve_thread_count(0);
+  const double parallel_ms = run_once(*experiment, 0, &parallel_table);
+  const bool identical = serial_table == parallel_table;
 
   std::printf("Measured (this reproduction, quick scale):\n%s\n",
-              table.render().c_str());
-  std::printf("[experiment %s completed in %lld ms]\n", experiment->id.c_str(),
-              static_cast<long long>(elapsed.count()));
+              serial_table.c_str());
+  std::printf("[experiment %s: serial %.0f ms, parallel %.0f ms at %u thread%s, "
+              "speedup %.2fx]\n",
+              experiment->id.c_str(), serial_ms, parallel_ms, threads,
+              threads == 1 ? "" : "s", serial_ms / parallel_ms);
+  write_json(experiment->id, threads, serial_ms, parallel_ms, identical);
+  if (!identical) {
+    std::fprintf(stderr,
+                 "DETERMINISM VIOLATION: serial and %u-thread runs disagree\n",
+                 threads);
+    return 1;
+  }
   return 0;
 }
 

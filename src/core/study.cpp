@@ -28,6 +28,19 @@ StudyConfig StudyConfig::quick() {
 }
 
 Study::Study(StudyConfig config) : config_(std::move(config)) {
+  // Propagate the top-level thread knob into every experiment that has not
+  // been given its own.
+  if (config_.campaign.thread_count == 0)
+    config_.campaign.thread_count = config_.thread_count;
+  if (config_.reachability_global.thread_count == 0)
+    config_.reachability_global.thread_count = config_.thread_count;
+  if (config_.reachability_cn.thread_count == 0)
+    config_.reachability_cn.thread_count = config_.thread_count;
+  if (config_.performance.thread_count == 0)
+    config_.performance.thread_count = config_.thread_count;
+  if (config_.netflow.thread_count == 0)
+    config_.netflow.thread_count = config_.thread_count;
+
   world_ = std::make_unique<world::World>(config_.world);
 
   proxy::ProxyConfig global;

@@ -29,6 +29,11 @@ struct StudyConfig {
   traffic::NetflowStudyConfig netflow;
   traffic::PassiveDnsStudyConfig passive_dns;
 
+  /// Worker threads for every parallel experiment; 0 = auto (ENCDNS_THREADS
+  /// env or hardware_concurrency). Propagated into each sub-config whose own
+  /// thread_count is 0. Results are identical for every value.
+  unsigned thread_count = 0;
+
   /// Full-scale run approximating the paper's dataset sizes. Minutes of CPU.
   [[nodiscard]] static StudyConfig full();
   /// Reduced scale for tests and quick demos. Seconds of CPU.

@@ -1,5 +1,7 @@
 #include "dnscrypt/service.hpp"
 
+#include <string_view>
+
 #include "dns/query.hpp"
 #include "dns/types.hpp"
 #include "util/rng.hpp"
@@ -9,7 +11,16 @@ namespace encdns::dnscrypt {
 DnscryptService::DnscryptService(DnscryptServiceConfig config)
     : config_(std::move(config)),
       resolver_public_key_(util::mix64(config_.resolver_secret_key)),
-      rng_(util::fnv1a(config_.label) ^ 0xDC2ULL) {}
+      rng_salt_(util::fnv1a(config_.label) ^ 0xDC2ULL) {}
+
+util::Rng DnscryptService::request_rng(const net::WireRequest& request) const {
+  const std::string_view payload(
+      reinterpret_cast<const char*>(request.payload.data()),
+      request.payload.size());
+  return util::Rng(util::mix64(rng_salt_ ^ util::fnv1a(payload) ^
+                               static_cast<std::uint64_t>(request.date.to_days()) ^
+                               (static_cast<std::uint64_t>(request.port) << 48)));
+}
 
 bool DnscryptService::accepts(std::uint16_t port, net::Transport) const {
   // Plain DNS for the certificate bootstrap; 443 for sealed queries.
@@ -49,7 +60,8 @@ net::WireReply DnscryptService::handle_cert_query(const net::WireRequest& reques
   auto response = dns::make_response(*query, dns::RCode::kNoError);
   response.answers.push_back(
       dns::ResourceRecord::txt(question.name, {certificate().to_txt()}, 3600));
-  return net::WireReply::of(response.encode(), sim::Millis{rng_.uniform(0.2, 0.8)});
+  util::Rng rng = request_rng(request);
+  return net::WireReply::of(response.encode(), sim::Millis{rng.uniform(0.2, 0.8)});
 }
 
 net::WireReply DnscryptService::handle_sealed_query(const net::WireRequest& request) {
@@ -64,13 +76,14 @@ net::WireReply DnscryptService::handle_sealed_query(const net::WireRequest& requ
   const auto query = dns::Message::decode(*plain);
   if (!query) return net::WireReply::none();
 
-  auto result = config_.backend->resolve(*query, request.pop, request.date, rng_);
+  util::Rng rng = request_rng(request);
+  auto result = config_.backend->resolve(*query, request.pop, request.date, rng);
   // Response box: server nonce derived from the client nonce, resolver key
   // in the sender slot.
   const auto sealed = seal(result.response.encode(), util::mix64(nonce ^ 1),
                            resolver_public_key_, secret);
   // Symmetric-crypto cost is negligible; add the usual small server time.
-  result.processing += sim::Millis{rng_.uniform(0.3, 1.5)};
+  result.processing += sim::Millis{rng.uniform(0.3, 1.5)};
   return net::WireReply::of(sealed, result.processing);
 }
 

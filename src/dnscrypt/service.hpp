@@ -45,7 +45,10 @@ class DnscryptService final : public net::Service {
  private:
   DnscryptServiceConfig config_;
   std::uint64_t resolver_public_key_;
-  util::Rng rng_;
+  std::uint64_t rng_salt_;  // per-request rng: replies are pure functions
+                            // of the request (stateless, thread-safe)
+
+  [[nodiscard]] util::Rng request_rng(const net::WireRequest& request) const;
 
   [[nodiscard]] net::WireReply handle_cert_query(const net::WireRequest& request);
   [[nodiscard]] net::WireReply handle_sealed_query(const net::WireRequest& request);

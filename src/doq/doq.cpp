@@ -1,5 +1,7 @@
 #include "doq/doq.hpp"
 
+#include <string_view>
+
 #include "dns/query.hpp"
 #include "dns/wire.hpp"
 #include "tls/serialize.hpp"
@@ -23,7 +25,16 @@ std::uint64_t get_u64(std::span<const std::uint8_t> data, std::size_t at) {
 DoqService::DoqService(DoqServiceConfig config)
     : config_(std::move(config)),
       token_secret_(util::mix64(util::fnv1a(config_.label) ^ 0xD00ULL)),
-      rng_(util::fnv1a(config_.label) ^ 0x784ULL) {}
+      rng_salt_(util::fnv1a(config_.label) ^ 0x784ULL) {}
+
+util::Rng DoqService::request_rng(const net::WireRequest& request) const {
+  const std::string_view payload(
+      reinterpret_cast<const char*>(request.payload.data()),
+      request.payload.size());
+  return util::Rng(util::mix64(rng_salt_ ^ util::fnv1a(payload) ^
+                               static_cast<std::uint64_t>(request.date.to_days()) ^
+                               (static_cast<std::uint64_t>(request.port) << 48)));
+}
 
 bool DoqService::accepts(std::uint16_t port, net::Transport transport) const {
   return port == kDoqPort && transport == net::Transport::kUdp;
@@ -48,8 +59,9 @@ net::WireReply DoqService::handle(const net::WireRequest& request) {
     put_u64(reply, token_for(client_random));
     const std::string chain = tls::serialize_chain(config_.certificate);
     reply.insert(reply.end(), chain.begin(), chain.end());
+    util::Rng rng = request_rng(request);
     return net::WireReply::of(std::move(reply),
-                              sim::Millis{rng_.uniform(0.3, 1.2)});
+                              sim::Millis{rng.uniform(0.3, 1.2)});
   }
 
   if (type == kPacketStream) {
@@ -66,14 +78,15 @@ net::WireReply DoqService::handle(const net::WireRequest& request) {
     if (!wire) return net::WireReply::none();
     const auto query = dns::Message::decode(*wire);
     if (!query) return net::WireReply::none();
-    auto result = config_.backend->resolve(*query, request.pop, request.date, rng_);
+    util::Rng rng = request_rng(request);
+    auto result = config_.backend->resolve(*query, request.pop, request.date, rng);
     std::vector<std::uint8_t> reply;
     reply.push_back(kPacketStream);
     put_u64(reply, client_random);
     put_u64(reply, token);
     const auto response_frame = dns::frame_stream(result.response.encode());
     reply.insert(reply.end(), response_frame.begin(), response_frame.end());
-    result.processing += sim::Millis{rng_.uniform(0.3, 1.5)};
+    result.processing += sim::Millis{rng.uniform(0.3, 1.5)};
     return net::WireReply::of(std::move(reply), result.processing);
   }
 

@@ -56,8 +56,10 @@ class DoqService final : public net::Service {
  private:
   DoqServiceConfig config_;
   std::uint64_t token_secret_;
-  util::Rng rng_;
+  std::uint64_t rng_salt_;  // per-request rng: replies are pure functions
+                            // of the request (stateless, thread-safe)
 
+  [[nodiscard]] util::Rng request_rng(const net::WireRequest& request) const;
   [[nodiscard]] std::uint64_t token_for(std::uint64_t client_random) const;
 };
 

@@ -1,0 +1,139 @@
+#include "exec/executor.hpp"
+
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace encdns::exec {
+
+unsigned resolve_thread_count(unsigned requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("ENCDNS_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<unsigned>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+std::pair<std::size_t, std::size_t> shard_range(std::size_t total,
+                                                std::size_t shards,
+                                                std::size_t shard) noexcept {
+  if (shards == 0) return {0, total};
+  const std::size_t base = total / shards;
+  const std::size_t extra = total % shards;
+  const std::size_t first = shard * base + std::min(shard, extra);
+  const std::size_t size = base + (shard < extra ? 1 : 0);
+  return {first, first + size};
+}
+
+// All job state lives under one mutex; shards are claimed with the lock held
+// and executed without it. Shards are coarse (a slice of an address sweep, a
+// whole proxy session), so two brief critical sections per shard cost nothing
+// next to the work itself, and the single-lock discipline keeps the pool
+// trivially race-free.
+struct WorkerPool::Impl {
+  std::mutex mutex;
+  std::condition_variable cv_work;
+  std::condition_variable cv_done;
+  std::vector<std::thread> threads;
+
+  std::uint64_t serial = 0;  // bumped per job so sleeping workers notice work
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t total = 0;      // shards in the current job
+  std::size_t next = 0;       // next unclaimed shard
+  std::size_t remaining = 0;  // shards not yet retired
+  std::size_t active = 0;     // threads currently inside drain()
+  std::exception_ptr error;
+  bool shutdown = false;
+
+  /// Claim and run shards until none remain. Called and returns with `lock`
+  /// held. After the first exception, later shards are claimed but skipped.
+  void drain(std::unique_lock<std::mutex>& lock) {
+    while (next < total) {
+      const std::size_t shard = next++;
+      const auto* job = fn;
+      const bool skip = error != nullptr;
+      lock.unlock();
+      std::exception_ptr thrown;
+      if (!skip) {
+        try {
+          (*job)(shard);
+        } catch (...) {
+          thrown = std::current_exception();
+        }
+      }
+      lock.lock();
+      if (thrown && !error) error = thrown;
+      if (--remaining == 0) cv_done.notify_all();
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(mutex);
+    for (;;) {
+      cv_work.wait(lock, [&] { return shutdown || serial != seen; });
+      if (shutdown) return;
+      seen = serial;
+      ++active;
+      drain(lock);
+      if (--active == 0) cv_done.notify_all();
+    }
+  }
+};
+
+WorkerPool::WorkerPool(unsigned threads)
+    : thread_count_(resolve_thread_count(threads)) {
+  if (thread_count_ <= 1) return;
+  impl_ = new Impl;
+  impl_->threads.reserve(thread_count_ - 1);
+  for (unsigned i = 0; i + 1 < thread_count_; ++i)
+    impl_->threads.emplace_back([this] { impl_->worker_loop(); });
+}
+
+WorkerPool::~WorkerPool() {
+  if (impl_ == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->shutdown = true;
+  }
+  impl_->cv_work.notify_all();
+  for (auto& thread : impl_->threads) thread.join();
+  delete impl_;
+}
+
+void WorkerPool::parallel_for_shards(
+    std::size_t n_shards, const std::function<void(std::size_t)>& fn) {
+  if (n_shards == 0) return;
+  if (impl_ == nullptr || n_shards == 1) {
+    for (std::size_t shard = 0; shard < n_shards; ++shard) fn(shard);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  impl_->fn = &fn;
+  impl_->total = n_shards;
+  impl_->next = 0;
+  impl_->remaining = n_shards;
+  impl_->error = nullptr;
+  ++impl_->serial;
+  ++impl_->active;
+  impl_->cv_work.notify_all();
+  impl_->drain(lock);  // the submitting thread pulls shards too
+  if (--impl_->active == 0) impl_->cv_done.notify_all();
+  // Wait until every shard retired AND every participant left drain(): only
+  // then is it safe for the caller to reuse the pool (or destroy `fn`).
+  impl_->cv_done.wait(
+      lock, [&] { return impl_->remaining == 0 && impl_->active == 0; });
+  impl_->fn = nullptr;
+  if (impl_->error) {
+    const std::exception_ptr error = impl_->error;
+    impl_->error = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace encdns::exec

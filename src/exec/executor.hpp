@@ -1,0 +1,98 @@
+// Deterministic parallel execution for the measurement pipelines.
+//
+// The paper's platform is intrinsically parallel (ZMap sweeps from several
+// origins, §4 fans out over ~123k proxy vantages), but parallelism must not
+// change results: speedup with bit-identical output is the contract. The
+// scheme is determinism by construction:
+//   * work is split into a FIXED number of shards — a property of the
+//     workload, never of the thread count;
+//   * each shard derives its own util::Rng from util::mix64(seed ^ shard),
+//     so no random stream is shared across shards;
+//   * shards produce independent partial results that the caller merges in
+//     canonical shard order.
+// Threads only schedule shards; they never shape results. A run with
+// threads=1 and threads=N therefore produce identical bytes.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace encdns::exec {
+
+/// Effective worker count: `requested` when > 0, else the ENCDNS_THREADS
+/// environment variable when set to a positive integer, else
+/// hardware_concurrency() (minimum 1).
+[[nodiscard]] unsigned resolve_thread_count(unsigned requested = 0);
+
+/// Contiguous index range [first, last) owned by shard `shard` of `shards`
+/// over `total` items. Ranges partition [0, total) and differ in size by at
+/// most one.
+[[nodiscard]] std::pair<std::size_t, std::size_t> shard_range(
+    std::size_t total, std::size_t shards, std::size_t shard) noexcept;
+
+/// The canonical per-shard generator: Rng(mix64(seed ^ shard)). Using this
+/// everywhere keeps the derivation rule in one place.
+[[nodiscard]] inline util::Rng shard_rng(std::uint64_t seed,
+                                         std::uint64_t shard) noexcept {
+  return util::Rng(util::mix64(seed ^ shard));
+}
+
+/// A fixed-size pool of persistent worker threads. One job runs at a time;
+/// the submitting thread participates in the work, so a pool of size 1 (or a
+/// single-shard job) degenerates to a plain inline loop.
+class WorkerPool {
+ public:
+  /// `threads` as for resolve_thread_count (0 = auto).
+  explicit WorkerPool(unsigned threads = 0);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  [[nodiscard]] unsigned thread_count() const noexcept { return thread_count_; }
+
+  /// Invoke fn(shard) for every shard in [0, n_shards), distributed over the
+  /// pool. fn must confine writes to shard-local state. The first exception
+  /// thrown by any shard is rethrown here after the job drains; remaining
+  /// shards are skipped.
+  void parallel_for_shards(std::size_t n_shards,
+                           const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Impl;
+  unsigned thread_count_;
+  Impl* impl_ = nullptr;  // null when thread_count_ <= 1 (inline mode)
+};
+
+/// Map fn over items, one task per item, preserving item order in the result.
+/// fn is called as fn(item, index) and its result type must be
+/// default-constructible. Deterministic provided fn(item, index) is a pure
+/// function of its arguments (derive any randomness via shard_rng(seed, index)).
+template <typename T, typename Fn>
+auto parallel_map(WorkerPool& pool, const std::vector<T>& items, Fn&& fn)
+    -> std::vector<decltype(fn(items.front(), std::size_t{}))> {
+  using R = decltype(fn(items.front(), std::size_t{}));
+  std::vector<R> results(items.size());
+  pool.parallel_for_shards(items.size(), [&](std::size_t i) {
+    results[i] = fn(items[i], i);
+  });
+  return results;
+}
+
+/// As above, but each task owns (and may mutate) its item.
+template <typename T, typename Fn>
+auto parallel_map(WorkerPool& pool, std::vector<T>& items, Fn&& fn)
+    -> std::vector<decltype(fn(items.front(), std::size_t{}))> {
+  using R = decltype(fn(items.front(), std::size_t{}));
+  std::vector<R> results(items.size());
+  pool.parallel_for_shards(items.size(), [&](std::size_t i) {
+    results[i] = fn(items[i], i);
+  });
+  return results;
+}
+
+}  // namespace encdns::exec

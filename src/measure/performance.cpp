@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "exec/executor.hpp"
 #include "http/url.hpp"
 #include "util/stats.hpp"
 
@@ -64,74 +65,87 @@ PerformanceTest::PerformanceTest(const world::World& world,
 
 PerformanceResults PerformanceTest::run() {
   PerformanceResults results;
-  util::Rng rng(util::mix64(config_.seed ^ 0x9E2FULL));
   const auto tmpl = http::UriTemplate::parse(*target_.doh_template);
 
-  for (std::size_t i = 0; i < config_.client_count; ++i) {
-    proxy::ProxySession session = platform_->acquire();
-    // Check the platform API for remaining uptime and discard nodes that
-    // would rotate away mid-experiment (§4.1).
-    const double expected_run_ms =
-        3.0 * config_.queries_per_protocol * 400.0;  // generous estimate
-    if (session.remaining_uptime().value < expected_run_ms) {
+  // Serial batch acquisition fixes the vantage set independently of worker
+  // scheduling; every client then runs on its own derived rng stream
+  // (including its churn draws, which used to come from the platform's
+  // shared stream) and yields one optional partial, merged in client order.
+  std::vector<proxy::ProxySession> sessions =
+      platform_->acquire_batch(config_.client_count);
+
+  exec::WorkerPool pool(config_.thread_count);
+  const auto partials = exec::parallel_map(
+      pool, sessions,
+      [&](proxy::ProxySession& session,
+          std::size_t i) -> std::optional<ClientLatency> {
+        util::Rng rng = exec::shard_rng(config_.seed ^ 0x9E2FULL, i);
+        // Check the platform API for remaining uptime and discard nodes that
+        // would rotate away mid-experiment (§4.1).
+        const double expected_run_ms =
+            3.0 * config_.queries_per_protocol * 400.0;  // generous estimate
+        if (session.remaining_uptime().value < expected_run_ms)
+          return std::nullopt;
+        const auto& vantage = session.vantage();
+
+        client::Do53Client do53(world_->network(), vantage.context, rng.next());
+        client::DotClient dot(world_->network(), vantage.context, rng.next());
+        client::DohClient doh(world_->network(), vantage.context, rng.next());
+
+        std::vector<double> dns_times, dot_times, doh_times;
+        bool client_ok = true;
+        for (int q = 0; q < config_.queries_per_protocol && client_ok; ++q) {
+          if (rng.chance(platform_->config().churn_per_query)) {
+            // Exit node dropped unexpectedly.
+            client_ok = false;
+            break;
+          }
+          const dns::Name qname_dns = world_->unique_probe_name(rng);
+          client::Do53Client::Options do53_options;
+          do53_options.reuse_connection = true;
+          auto r1 = do53.query_tcp(target_.do53_address, qname_dns,
+                                   dns::RrType::kA, config_.date, do53_options);
+
+          const dns::Name qname_dot = world_->unique_probe_name(rng);
+          client::DotClient::Options dot_options;
+          dot_options.profile = client::PrivacyProfile::kOpportunistic;
+          auto r2 = dot.query(*target_.dot_address, qname_dot, dns::RrType::kA,
+                              config_.date, dot_options);
+
+          const dns::Name qname_doh = world_->unique_probe_name(rng);
+          client::DohClient::Options doh_options;
+          doh_options.bootstrap_resolver =
+              world_->bootstrap_resolver(vantage.country);
+          auto r3 = doh.query(*tmpl, qname_doh, dns::RrType::kA, config_.date,
+                              doh_options);
+
+          if (!r1.answered() || !r2.answered() || !r3.answered()) {
+            client_ok = false;
+            break;
+          }
+          // T_R as observed at the measurement client: tunnel RTT + the DNS
+          // transaction over the (possibly fresh) connection. The tunnel term
+          // is identical across transports, so it cancels in differences.
+          dns_times.push_back(session.tunnel_rtt().value + r1.latency.value);
+          dot_times.push_back(session.tunnel_rtt().value + r2.latency.value);
+          doh_times.push_back(session.tunnel_rtt().value + r3.latency.value);
+          session.consume(sim::Millis{r1.latency.value + r2.latency.value +
+                                      r3.latency.value});
+        }
+        if (!client_ok || dns_times.empty()) return std::nullopt;
+        ClientLatency latency;
+        latency.country = vantage.country;
+        latency.dns_ms = median_of(dns_times).value_or(0.0);
+        latency.dot_ms = median_of(dot_times).value_or(0.0);
+        latency.doh_ms = median_of(doh_times).value_or(0.0);
+        return latency;
+      });
+
+  for (const auto& partial : partials) {  // canonical client-order merge
+    if (partial)
+      results.clients.push_back(*partial);
+    else
       ++results.discarded_clients;
-      continue;
-    }
-    const auto& vantage = session.vantage();
-
-    client::Do53Client do53(world_->network(), vantage.context, rng.next());
-    client::DotClient dot(world_->network(), vantage.context, rng.next());
-    client::DohClient doh(world_->network(), vantage.context, rng.next());
-
-    std::vector<double> dns_times, dot_times, doh_times;
-    bool client_ok = true;
-    for (int q = 0; q < config_.queries_per_protocol && client_ok; ++q) {
-      if (platform_->churn_event()) {  // exit node dropped unexpectedly
-        client_ok = false;
-        break;
-      }
-      const dns::Name qname_dns = world_->unique_probe_name(rng);
-      client::Do53Client::Options do53_options;
-      do53_options.reuse_connection = true;
-      auto r1 = do53.query_tcp(target_.do53_address, qname_dns, dns::RrType::kA,
-                               config_.date, do53_options);
-
-      const dns::Name qname_dot = world_->unique_probe_name(rng);
-      client::DotClient::Options dot_options;
-      dot_options.profile = client::PrivacyProfile::kOpportunistic;
-      auto r2 = dot.query(*target_.dot_address, qname_dot, dns::RrType::kA,
-                          config_.date, dot_options);
-
-      const dns::Name qname_doh = world_->unique_probe_name(rng);
-      client::DohClient::Options doh_options;
-      doh_options.bootstrap_resolver =
-          world_->bootstrap_resolver(vantage.country);
-      auto r3 = doh.query(*tmpl, qname_doh, dns::RrType::kA, config_.date,
-                          doh_options);
-
-      if (!r1.answered() || !r2.answered() || !r3.answered()) {
-        client_ok = false;
-        break;
-      }
-      // T_R as observed at the measurement client: tunnel RTT + the DNS
-      // transaction over the (possibly fresh) connection. The tunnel term is
-      // identical across transports, so it cancels in differences.
-      dns_times.push_back(session.tunnel_rtt().value + r1.latency.value);
-      dot_times.push_back(session.tunnel_rtt().value + r2.latency.value);
-      doh_times.push_back(session.tunnel_rtt().value + r3.latency.value);
-      session.consume(sim::Millis{r1.latency.value + r2.latency.value +
-                                  r3.latency.value});
-    }
-    if (!client_ok || dns_times.empty()) {
-      ++results.discarded_clients;
-      continue;
-    }
-    ClientLatency latency;
-    latency.country = vantage.country;
-    latency.dns_ms = median_of(dns_times).value_or(0.0);
-    latency.dot_ms = median_of(dot_times).value_or(0.0);
-    latency.doh_ms = median_of(doh_times).value_or(0.0);
-    results.clients.push_back(std::move(latency));
   }
   return results;
 }

@@ -53,6 +53,9 @@ struct PerformanceConfig {
   std::uint64_t seed = 13;
   /// Resolver under test (Figure 9/10 use Cloudflare).
   std::string target_name = "Cloudflare";
+  /// Worker threads for the per-client fan-out; 0 = auto (ENCDNS_THREADS env
+  /// or hardware_concurrency). Results are identical for every value.
+  unsigned thread_count = 0;
 };
 
 struct PerformanceResults {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "exec/executor.hpp"
 #include "http/url.hpp"
 
 namespace encdns::measure {
@@ -30,7 +31,15 @@ ReachabilityTest::ReachabilityTest(const world::World& world,
     : world_(&world),
       platform_(&platform),
       config_(config),
-      targets_(default_targets()) {}
+      targets_(default_targets()) {
+  // Parse every DoH URI template once, not once per query attempt.
+  doh_templates_.reserve(targets_.size());
+  for (const auto& target : targets_) {
+    doh_templates_.push_back(target.doh_template
+                                 ? http::UriTemplate::parse(*target.doh_template)
+                                 : std::nullopt);
+  }
+}
 
 Outcome ReachabilityTest::classify(const client::QueryOutcome& outcome) const {
   if (outcome.status != client::QueryStatus::kOk || !outcome.response)
@@ -44,8 +53,9 @@ Outcome ReachabilityTest::classify(const client::QueryOutcome& outcome) const {
 
 ReachabilityTest::ClientOutcome ReachabilityTest::query_with_retries(
     const proxy::ProxySession& session, client::Do53Client& do53,
-    client::DotClient& dot, client::DohClient& doh, const ResolverTarget& target,
+    client::DotClient& dot, client::DohClient& doh, std::size_t target_index,
     Protocol protocol, util::Rng& rng) {
+  const ResolverTarget& target = targets_[target_index];
   ClientOutcome result;
   for (int attempt = 0; attempt < config_.max_attempts; ++attempt) {
     const dns::Name qname = world_->unique_probe_name(rng);
@@ -69,12 +79,12 @@ ReachabilityTest::ClientOutcome ReachabilityTest::query_with_retries(
         break;
       }
       case Protocol::kDoH: {
-        const auto tmpl = http::UriTemplate::parse(*target.doh_template);
         client::DohClient::Options options;
         options.timeout = config_.timeout;
         options.bootstrap_resolver =
             world_->bootstrap_resolver(session.vantage().country);
-        outcome = doh.query(*tmpl, qname, dns::RrType::kA, config_.date, options);
+        outcome = doh.query(*doh_templates_[target_index], qname,
+                            dns::RrType::kA, config_.date, options);
         break;
       }
     }
@@ -85,115 +95,140 @@ ReachabilityTest::ClientOutcome ReachabilityTest::query_with_retries(
   return result;
 }
 
+ReachabilityTest::SessionPartial ReachabilityTest::run_session(
+    const proxy::ProxySession& session, util::Rng& rng) {
+  SessionPartial partial;
+  const auto& vantage = session.vantage();
+
+  client::Do53Client do53(world_->network(), vantage.context, rng.next());
+  client::DotClient dot(world_->network(), vantage.context, rng.next());
+  client::DohClient doh(world_->network(), vantage.context, rng.next());
+
+  bool cloudflare_dot_failed = false;
+  InterceptionRecord interception;
+  bool saw_interception = false;
+
+  for (std::size_t t = 0; t < targets_.size(); ++t) {
+    const auto& target = targets_[t];
+    for (const Protocol protocol :
+         {Protocol::kDo53, Protocol::kDoT, Protocol::kDoH}) {
+      if (protocol == Protocol::kDoT && !target.dot_address) continue;
+      if (protocol == Protocol::kDoH && !target.doh_template) continue;
+      if (rng.chance(world_->config().flaky_client_rate)) {
+        // Persistently flaky vantage (NAT/firewall quirk, dying node):
+        // every attempt fails — the sub-percent floor of Table 4.
+        ++partial.cells[{target.name, protocol}].failed;
+        if (target.name == "Cloudflare" && protocol == Protocol::kDoT)
+          cloudflare_dot_failed = true;
+        continue;
+      }
+      const auto outcome =
+          query_with_retries(session, do53, dot, doh, t, protocol, rng);
+      auto& cell = partial.cells[{target.name, protocol}];
+      switch (outcome.outcome) {
+        case Outcome::kCorrect: ++cell.correct; break;
+        case Outcome::kIncorrect: ++cell.incorrect; break;
+        case Outcome::kFailed: ++cell.failed; break;
+      }
+      if (target.name == "Cloudflare" && protocol == Protocol::kDoT &&
+          outcome.outcome == Outcome::kFailed)
+        cloudflare_dot_failed = true;
+
+      // Table 6 evidence: a completed TLS handshake whose chain was
+      // re-signed by an untrusted CA while other fields match the target.
+      if (outcome.last.intercepted && outcome.last.cert_status) {
+        saw_interception = true;
+        interception.untrusted_ca_cn =
+            outcome.last.presented_chain.certs.empty()
+                ? ""
+                : outcome.last.presented_chain.certs.front().issuer_cn;
+        if (protocol == Protocol::kDoH) {
+          interception.port_443 = true;
+          interception.doh_lookup_succeeded =
+              outcome.outcome == Outcome::kCorrect;
+        } else if (protocol == Protocol::kDoT) {
+          interception.port_853 = true;
+          interception.dot_lookup_succeeded =
+              outcome.outcome == Outcome::kCorrect;
+        }
+      }
+      // Strict DoH aborts on a resigned chain; record that evidence too.
+      if (protocol == Protocol::kDoH &&
+          outcome.last.status == client::QueryStatus::kCertRejected &&
+          outcome.last.intercepted) {
+        saw_interception = true;
+        interception.port_443 = true;
+        interception.untrusted_ca_cn =
+            outcome.last.presented_chain.certs.empty()
+                ? ""
+                : outcome.last.presented_chain.certs.front().issuer_cn;
+      }
+    }
+  }
+
+  if (saw_interception) {
+    interception.client_address = vantage.address;
+    interception.country = vantage.country;
+    interception.asn = vantage.asn;
+    partial.interception = std::move(interception);
+  }
+
+  // Diagnostics for clients that cannot use Cloudflare DoT (Fig. 7, last
+  // step): port scan + webpage fetch of 1.1.1.1 from this client.
+  if (cloudflare_dot_failed) {
+    ConflictDiagnosis diagnosis;
+    diagnosis.client_address = vantage.address;
+    diagnosis.country = vantage.country;
+    diagnosis.asn = vantage.asn;
+    for (const std::uint16_t port : diagnostic_ports()) {
+      const auto probe = world_->network().probe_tcp(
+          vantage.context, rng, world::addrs::kCloudflarePrimary, port,
+          config_.date, sim::Millis{3000.0});
+      if (probe.status == net::Network::ProbeStatus::kOpen)
+        diagnosis.open_ports.push_back(port);
+    }
+    auto connect = world_->network().tcp_connect(
+        vantage.context, rng, world::addrs::kCloudflarePrimary, 80, config_.date,
+        sim::Millis{3000.0});
+    if (connect.status == net::Network::ConnectResult::Status::kConnected) {
+      diagnosis.webpage_excerpt =
+          connect.connection->endpoint().webpage(80).substr(0, 60);
+    }
+    partial.diagnosis = std::move(diagnosis);
+  }
+
+  return partial;
+}
+
 ReachabilityResults ReachabilityTest::run() {
   ReachabilityResults results;
   results.platform = platform_->config().name;
-  util::Rng rng(util::mix64(config_.seed ^ 0x4EAC4ULL));
 
-  std::vector<proxy::ProxySession> sessions;
-  sessions.reserve(config_.client_count);
+  // The platform's rng stream is consumed by a serial batch acquisition, so
+  // the recruited vantage set is identical for every thread count; each
+  // session then runs on its own derived rng stream and fills its own
+  // partial, merged below in session order.
+  std::vector<proxy::ProxySession> sessions =
+      platform_->acquire_batch(config_.client_count);
 
-  for (std::size_t i = 0; i < config_.client_count; ++i) {
-    proxy::ProxySession session = platform_->acquire();
-    const auto& vantage = session.vantage();
+  exec::WorkerPool pool(config_.thread_count);
+  std::vector<SessionPartial> partials(sessions.size());
+  pool.parallel_for_shards(sessions.size(), [&](std::size_t i) {
+    util::Rng rng = exec::shard_rng(config_.seed ^ 0x4EAC4ULL, i);
+    partials[i] = run_session(sessions[i], rng);
+  });
 
-    client::Do53Client do53(world_->network(), vantage.context, rng.next());
-    client::DotClient dot(world_->network(), vantage.context, rng.next());
-    client::DohClient doh(world_->network(), vantage.context, rng.next());
-
-    bool cloudflare_dot_failed = false;
-    InterceptionRecord interception;
-    bool saw_interception = false;
-
-    for (const auto& target : targets_) {
-      for (const Protocol protocol :
-           {Protocol::kDo53, Protocol::kDoT, Protocol::kDoH}) {
-        if (protocol == Protocol::kDoT && !target.dot_address) continue;
-        if (protocol == Protocol::kDoH && !target.doh_template) continue;
-        if (rng.chance(world_->config().flaky_client_rate)) {
-          // Persistently flaky vantage (NAT/firewall quirk, dying node):
-          // every attempt fails — the sub-percent floor of Table 4.
-          ++results.cells[{target.name, protocol}].failed;
-          if (target.name == "Cloudflare" && protocol == Protocol::kDoT)
-            cloudflare_dot_failed = true;
-          continue;
-        }
-        const auto outcome =
-            query_with_retries(session, do53, dot, doh, target, protocol, rng);
-        auto& cell = results.cells[{target.name, protocol}];
-        switch (outcome.outcome) {
-          case Outcome::kCorrect: ++cell.correct; break;
-          case Outcome::kIncorrect: ++cell.incorrect; break;
-          case Outcome::kFailed: ++cell.failed; break;
-        }
-        if (target.name == "Cloudflare" && protocol == Protocol::kDoT &&
-            outcome.outcome == Outcome::kFailed)
-          cloudflare_dot_failed = true;
-
-        // Table 6 evidence: a completed TLS handshake whose chain was
-        // re-signed by an untrusted CA while other fields match the target.
-        if (outcome.last.intercepted && outcome.last.cert_status) {
-          saw_interception = true;
-          interception.untrusted_ca_cn =
-              outcome.last.presented_chain.certs.empty()
-                  ? ""
-                  : outcome.last.presented_chain.certs.front().issuer_cn;
-          if (protocol == Protocol::kDoH) {
-            interception.port_443 = true;
-            interception.doh_lookup_succeeded =
-                outcome.outcome == Outcome::kCorrect;
-          } else if (protocol == Protocol::kDoT) {
-            interception.port_853 = true;
-            interception.dot_lookup_succeeded =
-                outcome.outcome == Outcome::kCorrect;
-          }
-        }
-        // Strict DoH aborts on a resigned chain; record that evidence too.
-        if (protocol == Protocol::kDoH &&
-            outcome.last.status == client::QueryStatus::kCertRejected &&
-            outcome.last.intercepted) {
-          saw_interception = true;
-          interception.port_443 = true;
-          interception.untrusted_ca_cn =
-              outcome.last.presented_chain.certs.empty()
-                  ? ""
-                  : outcome.last.presented_chain.certs.front().issuer_cn;
-        }
-      }
+  for (auto& partial : partials) {  // canonical session-order merge
+    for (const auto& [key, counts] : partial.cells) {
+      auto& cell = results.cells[key];
+      cell.correct += counts.correct;
+      cell.incorrect += counts.incorrect;
+      cell.failed += counts.failed;
     }
-
-    if (saw_interception) {
-      interception.client_address = vantage.address;
-      interception.country = vantage.country;
-      interception.asn = vantage.asn;
-      results.interceptions.push_back(interception);
-    }
-
-    // Diagnostics for clients that cannot use Cloudflare DoT (Fig. 7, last
-    // step): port scan + webpage fetch of 1.1.1.1 from this client.
-    if (cloudflare_dot_failed) {
-      ConflictDiagnosis diagnosis;
-      diagnosis.client_address = vantage.address;
-      diagnosis.country = vantage.country;
-      diagnosis.asn = vantage.asn;
-      for (const std::uint16_t port : diagnostic_ports()) {
-        const auto probe = world_->network().probe_tcp(
-            vantage.context, rng, world::addrs::kCloudflarePrimary, port,
-            config_.date, sim::Millis{3000.0});
-        if (probe.status == net::Network::ProbeStatus::kOpen)
-          diagnosis.open_ports.push_back(port);
-      }
-      auto connect = world_->network().tcp_connect(
-          vantage.context, rng, world::addrs::kCloudflarePrimary, 80, config_.date,
-          sim::Millis{3000.0});
-      if (connect.status == net::Network::ConnectResult::Status::kConnected) {
-        diagnosis.webpage_excerpt =
-            connect.connection->endpoint().webpage(80).substr(0, 60);
-      }
-      results.conflict_diagnoses.push_back(std::move(diagnosis));
-    }
-
-    sessions.push_back(std::move(session));
+    if (partial.interception)
+      results.interceptions.push_back(std::move(*partial.interception));
+    if (partial.diagnosis)
+      results.conflict_diagnoses.push_back(std::move(*partial.diagnosis));
   }
 
   results.clients = sessions.size();

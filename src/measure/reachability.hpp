@@ -16,6 +16,7 @@
 #include "client/do53.hpp"
 #include "client/doh.hpp"
 #include "client/dot.hpp"
+#include "http/url.hpp"
 #include "measure/targets.hpp"
 #include "proxy/proxy.hpp"
 #include "world/world.hpp"
@@ -63,6 +64,9 @@ struct ReachabilityConfig {
   sim::Millis timeout{30000.0};
   util::Date date{2019, 3, 15};
   std::uint64_t seed = 11;
+  /// Worker threads for the per-vantage fan-out; 0 = auto (ENCDNS_THREADS env
+  /// or hardware_concurrency). Results are identical for every value.
+  unsigned thread_count = 0;
 };
 
 struct ReachabilityResults {
@@ -90,16 +94,26 @@ class ReachabilityTest {
   proxy::ProxyNetwork* platform_;
   ReachabilityConfig config_;
   std::vector<ResolverTarget> targets_;
+  /// Pre-parsed DoH URI templates, aligned with targets_ (parsed once at
+  /// construction instead of once per query attempt).
+  std::vector<std::optional<http::UriTemplate>> doh_templates_;
 
   struct ClientOutcome {
     Outcome outcome = Outcome::kFailed;
     client::QueryOutcome last;
   };
+  struct SessionPartial {
+    std::map<std::pair<std::string, Protocol>, OutcomeCounts> cells;
+    std::optional<InterceptionRecord> interception;
+    std::optional<ConflictDiagnosis> diagnosis;
+  };
+  [[nodiscard]] SessionPartial run_session(const proxy::ProxySession& session,
+                                           util::Rng& rng);
   [[nodiscard]] ClientOutcome query_with_retries(const proxy::ProxySession& session,
                                                  client::Do53Client& do53,
                                                  client::DotClient& dot,
                                                  client::DohClient& doh,
-                                                 const ResolverTarget& target,
+                                                 std::size_t target_index,
                                                  Protocol protocol, util::Rng& rng);
   [[nodiscard]] Outcome classify(const client::QueryOutcome& outcome) const;
 };

@@ -28,6 +28,13 @@ ProxySession ProxyNetwork::acquire() {
   return ProxySession(std::move(vantage), tunnel, lifetime, next_id_++);
 }
 
+std::vector<ProxySession> ProxyNetwork::acquire_batch(std::size_t n) {
+  std::vector<ProxySession> sessions;
+  sessions.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) sessions.push_back(acquire());
+  return sessions;
+}
+
 DatasetSummary ProxyNetwork::summarize(const std::string& platform,
                                        const std::vector<ProxySession>& sessions) {
   DatasetSummary summary;

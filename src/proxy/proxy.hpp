@@ -85,6 +85,11 @@ class ProxyNetwork {
   /// Recruit a fresh exit node (the platform rotates them on every connect).
   [[nodiscard]] ProxySession acquire();
 
+  /// Recruit `n` exit nodes in one serial pass. Parallel experiments
+  /// pre-acquire their whole vantage batch this way so the platform's rng
+  /// stream is consumed in a fixed order regardless of worker scheduling.
+  [[nodiscard]] std::vector<ProxySession> acquire_batch(std::size_t n);
+
   /// True if a query through the platform hits unexpected node churn.
   [[nodiscard]] bool churn_event() { return rng_.chance(config_.churn_per_query); }
 

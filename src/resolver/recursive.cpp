@@ -14,11 +14,25 @@ DnsBackend::Result RecursiveBackend::resolve(const dns::Message& query,
     return result;
   }
   const auto& q = query.questions.front();
+
+  // Popular zones are warm in every resolver's cache: answer without touching
+  // shared state, so the outcome never depends on other sessions.
+  if (config_.enable_cache && universe_->popular(q.name)) {
+    ++hits_;
+    const Answer answer = universe_->authoritative_answer(q.name, q.type, date);
+    result.response = dns::make_response(query, answer.rcode);
+    result.response.answers = answer.answers;
+    result.processing =
+        sim::Millis{rng.uniform(config_.hit_min_ms, config_.hit_max_ms)};
+    return result;
+  }
+
   const std::string key =
       q.name.canonical() + "/" + std::to_string(static_cast<int>(q.type));
   const std::int64_t day = date.to_days();
 
   if (config_.enable_cache) {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
     const auto it = cache_.find(key);
     if (it != cache_.end() && it->second.day == day) {
       ++hits_;
@@ -36,6 +50,7 @@ DnsBackend::Result RecursiveBackend::resolve(const dns::Message& query,
   result.processing = upstream.latency + sim::Millis{rng.uniform(0.2, 1.0)};
 
   if (config_.enable_cache) {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
     if (cache_.size() >= config_.max_cache_entries) cache_.clear();
     cache_[key] = CacheEntry{day, upstream.answer};
   }

@@ -1,7 +1,9 @@
 // A caching recursive resolver backend over the authoritative universe.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -22,6 +24,12 @@ struct RecursiveConfig {
   double hit_max_ms = 0.8;
 };
 
+/// Thread-safe: the shared cache is mutex-guarded and the hit/miss tallies
+/// are atomic, so concurrent sessions may resolve through one backend.
+/// Queries for *popular* zones (see Zone::popular) are answered from an
+/// always-warm path that never touches the shared cache — their results are
+/// pure functions of the query, independent of what other sessions resolved
+/// first, which is what keeps parallel measurement runs deterministic.
 class RecursiveBackend final : public DnsBackend {
  public:
   RecursiveBackend(const AuthoritativeUniverse& universe, std::string label,
@@ -33,7 +41,10 @@ class RecursiveBackend final : public DnsBackend {
 
   [[nodiscard]] std::string label() const override { return label_; }
 
-  [[nodiscard]] std::size_t cache_size() const noexcept { return cache_.size(); }
+  [[nodiscard]] std::size_t cache_size() const noexcept {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    return cache_.size();
+  }
   [[nodiscard]] std::uint64_t cache_hits() const noexcept { return hits_; }
   [[nodiscard]] std::uint64_t cache_misses() const noexcept { return misses_; }
 
@@ -46,9 +57,10 @@ class RecursiveBackend final : public DnsBackend {
     std::int64_t day = 0;  // valid on this day only
     Answer answer;
   };
+  mutable std::mutex cache_mutex_;
   std::unordered_map<std::string, CacheEntry> cache_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
 };
 
 }  // namespace encdns::resolver

@@ -1,6 +1,7 @@
 #include "resolver/services.hpp"
 
 #include <algorithm>
+#include <string_view>
 
 #include "dns/edns.hpp"
 #include "dns/query.hpp"
@@ -22,7 +23,16 @@ std::vector<std::uint8_t> to_bytes(const std::string& text) {
 
 ResolverService::ResolverService(ResolverServiceConfig config)
     : config_(std::move(config)),
-      rng_(util::fnv1a(config_.label) ^ 0x5E2C1CEULL) {}
+      rng_salt_(util::fnv1a(config_.label) ^ 0x5E2C1CEULL) {}
+
+util::Rng ResolverService::request_rng(const net::WireRequest& request) const {
+  const std::string_view payload(
+      reinterpret_cast<const char*>(request.payload.data()),
+      request.payload.size());
+  return util::Rng(util::mix64(rng_salt_ ^ util::fnv1a(payload) ^
+                               static_cast<std::uint64_t>(request.date.to_days()) ^
+                               (static_cast<std::uint64_t>(request.port) << 48)));
+}
 
 bool ResolverService::accepts(std::uint16_t port, net::Transport transport) const {
   switch (port) {
@@ -85,11 +95,12 @@ net::WireReply ResolverService::handle_do53(const net::WireRequest& request,
   const auto query = dns::Message::decode(raw);
   if (!query) return net::WireReply::none();
 
-  auto result = config_.backend->resolve(*query, request.pop, request.date, rng_);
+  util::Rng rng = request_rng(request);
+  auto result = config_.backend->resolve(*query, request.pop, request.date, rng);
   if (request.port == dns::kDotPort) {
     // TLS record processing and session bookkeeping on the server side —
     // the few-millisecond penalty §4.3 attributes to encrypted transports.
-    result.processing += sim::Millis{rng_.uniform(1.0, 6.0)};
+    result.processing += sim::Millis{rng.uniform(1.0, 6.0)};
   }
   auto wire = result.response.encode();
   if (request.transport == net::Transport::kUdp) {
@@ -163,11 +174,12 @@ net::WireReply ResolverService::handle_doh(const net::WireRequest& request) {
     return net::WireReply::of(err.serialize(), sim::Millis{0.2});
   }
 
-  auto result = config_.backend->resolve(*query, request.pop, request.date, rng_);
+  util::Rng rng = request_rng(request);
+  auto result = config_.backend->resolve(*query, request.pop, request.date, rng);
   // HTTP framing plus TLS record processing on the server side.
-  result.processing += sim::Millis{rng_.uniform(1.5, 7.0)};
+  result.processing += sim::Millis{rng.uniform(1.5, 7.0)};
 
-  if (config_.doh.forward_to_do53 && rng_.chance(config_.doh.forward_loss_rate)) {
+  if (config_.doh.forward_to_do53 && rng.chance(config_.doh.forward_loss_rate)) {
     // The internal forward was lost; the retry fires after forward_retry.
     result.processing += config_.doh.forward_retry;
   }

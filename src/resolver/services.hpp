@@ -77,7 +77,13 @@ class ResolverService final : public net::Service {
 
  private:
   ResolverServiceConfig config_;
-  util::Rng rng_;  // server-side processing-time sampling
+  std::uint64_t rng_salt_;  // per-service salt for per-request rng streams
+
+  /// Server-side processing-time sampling. Derived per request from the
+  /// service salt and the request bytes: a reply is a pure function of the
+  /// request, so the service is stateless and safe under concurrent handle()
+  /// calls — and replies don't depend on request arrival order.
+  [[nodiscard]] util::Rng request_rng(const net::WireRequest& request) const;
 
   [[nodiscard]] net::WireReply handle_do53(const net::WireRequest& request,
                                            bool stream_framed);

@@ -25,6 +25,28 @@ const Zone* AuthoritativeUniverse::find_zone(const dns::Name& qname) const {
   return best;
 }
 
+bool AuthoritativeUniverse::popular(const dns::Name& qname) const {
+  const Zone* zone = find_zone(qname);
+  return zone != nullptr && zone->popular;
+}
+
+Answer AuthoritativeUniverse::authoritative_answer(const dns::Name& qname,
+                                                   dns::RrType type,
+                                                   const util::Date& date) const {
+  const Zone* zone = find_zone(qname);
+  if (zone != nullptr) return zone->answer_fn(qname, type, date);
+  if (synthesize_unknown_) {
+    const std::uint64_t h = util::fnv1a(qname.canonical());
+    if (type == dns::RrType::kA) {
+      return Answer::a_record(
+          qname,
+          util::Ipv4{static_cast<std::uint32_t>(0x0B000000u | (h & 0x00FFFFFF))});
+    }
+    return Answer{};
+  }
+  return Answer::nxdomain();
+}
+
 AuthoritativeUniverse::Upstream AuthoritativeUniverse::query(
     const dns::Name& qname, dns::RrType type, const net::Location& from,
     const util::Date& date, util::Rng& rng) const {

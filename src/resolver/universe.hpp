@@ -50,6 +50,10 @@ struct Zone {
   /// modest, occasionally slow authoritative deployment (like the study's
   /// own probe domain).
   double extra_tail_probability = 0.0;
+  /// Popular content (bootstrap hostnames, the platform's own apex): every
+  /// recursive resolver keeps it warm, so lookups are answered from cache
+  /// without touching the resolver's shared cache state.
+  bool popular = false;
 };
 
 /// Latency knobs for cold recursions. Tail episodes (retries over a congested
@@ -92,6 +96,16 @@ class AuthoritativeUniverse {
 
   /// The zone owning `qname` (longest-suffix match), if any.
   [[nodiscard]] const Zone* find_zone(const dns::Name& qname) const;
+
+  /// True if `qname` belongs to a zone marked popular.
+  [[nodiscard]] bool popular(const dns::Name& qname) const;
+
+  /// The authoritative answer content for `qname`, with no latency draw and
+  /// no rng: a pure function of (name, type, date). Used for cache-warm
+  /// answers, where only content matters.
+  [[nodiscard]] Answer authoritative_answer(const dns::Name& qname,
+                                            dns::RrType type,
+                                            const util::Date& date) const;
 
   [[nodiscard]] std::size_t zone_count() const noexcept { return zones_.size(); }
 

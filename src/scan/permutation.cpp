@@ -1,5 +1,7 @@
 #include "scan/permutation.hpp"
 
+#include <algorithm>
+
 #include "util/rng.hpp"
 
 namespace encdns::scan {
@@ -92,6 +94,30 @@ CyclicPermutation::CyclicPermutation(std::uint64_t n, std::uint64_t seed) : n_(n
   }
   start_ = 1 + rng.below(p_ - 1);  // any element of [1, p-1]
   current_ = start_;
+}
+
+std::uint64_t CyclicPermutation::element_at(std::uint64_t step) const noexcept {
+  return static_cast<std::uint64_t>(
+      static_cast<__uint128_t>(start_) * pow_mod(g_, step, p_) % p_);
+}
+
+CyclicPermutation::Walker CyclicPermutation::walk(
+    std::uint64_t first_step, std::uint64_t last_step) const noexcept {
+  first_step = std::min(first_step, steps());
+  last_step = std::min(last_step, steps());
+  const std::uint64_t count = last_step > first_step ? last_step - first_step : 0;
+  return Walker(n_, p_, g_, element_at(first_step), count);
+}
+
+std::optional<std::uint64_t> CyclicPermutation::Walker::next() noexcept {
+  while (remaining_ > 0) {
+    --remaining_;
+    const std::uint64_t value = current_ - 1;  // group element -> index
+    current_ = static_cast<std::uint64_t>(
+        static_cast<__uint128_t>(current_) * g_ % p_);
+    if (value < n_) return value;
+  }
+  return std::nullopt;
 }
 
 void CyclicPermutation::reset() noexcept {

@@ -41,6 +41,32 @@ class CyclicPermutation {
   [[nodiscard]] std::uint64_t prime() const noexcept { return p_; }
   [[nodiscard]] std::uint64_t generator() const noexcept { return g_; }
 
+  /// Group steps in one full cycle (= p-1). Only steps whose element-1 falls
+  /// below n emit an index, so steps() >= size().
+  [[nodiscard]] std::uint64_t steps() const noexcept { return p_ - 1; }
+
+  /// The group element visited at `step` (start * g^step mod p), computed in
+  /// O(log step) — the jump that makes sharded sweeps possible.
+  [[nodiscard]] std::uint64_t element_at(std::uint64_t step) const noexcept;
+
+  /// A read-only cursor over the step range [first, last) of the cycle.
+  /// Walking every shard of a partition of [0, steps()) visits exactly the
+  /// indices the serial cycle visits, each exactly once.
+  class Walker {
+   public:
+    /// The next index in [0, n), or nullopt once the range is exhausted.
+    [[nodiscard]] std::optional<std::uint64_t> next() noexcept;
+
+   private:
+    friend class CyclicPermutation;
+    Walker(std::uint64_t n, std::uint64_t p, std::uint64_t g,
+           std::uint64_t current, std::uint64_t remaining) noexcept
+        : n_(n), p_(p), g_(g), current_(current), remaining_(remaining) {}
+    std::uint64_t n_, p_, g_, current_, remaining_;
+  };
+  [[nodiscard]] Walker walk(std::uint64_t first_step,
+                            std::uint64_t last_step) const noexcept;
+
  private:
   std::uint64_t n_;
   std::uint64_t p_;      // prime > n

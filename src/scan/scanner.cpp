@@ -3,10 +3,17 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "exec/executor.hpp"
 #include "scan/permutation.hpp"
 #include "util/stats.hpp"
 
 namespace encdns::scan {
+
+namespace {
+// Fixed Phase-1 shard count. Part of the deterministic contract: it pins the
+// per-shard rng streams, so it must never track the thread count.
+constexpr std::size_t kSweepShards = 64;
+}  // namespace
 
 std::vector<std::string> ScanSnapshot::providers() const {
   std::unordered_set<std::string> set;
@@ -46,32 +53,62 @@ Scanner::Scanner(const world::World& world, CampaignConfig config)
 ScanSnapshot Scanner::scan_once(const util::Date& date) {
   ScanSnapshot snapshot;
   snapshot.date = date;
-  util::Rng rng(util::mix64(config_.seed ^ (0xAB5C15ULL + scan_serial_)));
+  exec::WorkerPool pool(config_.thread_count);
 
-  // Phase 1: ZMap sweep of TCP/853 over the whole space in permutation order.
+  // Phase 1: ZMap sweep of TCP/853 over the whole space in permutation order,
+  // split into a FIXED number of step-range shards. The shard count is part
+  // of the deterministic contract (it fixes the per-shard rng streams), so it
+  // never depends on the thread count; threads only schedule shards.
   CyclicPermutation permutation(space_.size(),
                                 config_.seed * 1315423911ULL + scan_serial_);
-  std::vector<util::Ipv4> open_hosts;
-  std::size_t origin_rotor = 0;
-  while (const auto index = permutation.next()) {
-    const util::Ipv4 addr = space_.at(*index);
-    ++snapshot.addresses_probed;
-    auto& origin = origins_[origin_rotor++ % origins_.size()];
-    const auto probe = world_->network().probe_tcp(origin.context, rng, addr,
-                                                   dns::kDotPort, date);
-    if (probe.status == net::Network::ProbeStatus::kOpen) {
-      ++snapshot.port_open;
-      open_hosts.push_back(addr);
+  struct SweepPartial {
+    std::uint64_t probed = 0;
+    std::vector<util::Ipv4> open_hosts;
+  };
+  std::vector<SweepPartial> partials(kSweepShards);
+  const std::uint64_t sweep_seed = config_.seed ^ (0xAB5C15ULL + scan_serial_);
+  pool.parallel_for_shards(kSweepShards, [&](std::size_t shard) {
+    const auto [first, last] =
+        exec::shard_range(permutation.steps(), kSweepShards, shard);
+    util::Rng rng = exec::shard_rng(sweep_seed, shard);
+    SweepPartial& partial = partials[shard];
+    auto walker = permutation.walk(first, last);
+    while (const auto index = walker.next()) {
+      const util::Ipv4 addr = space_.at(*index);
+      ++partial.probed;
+      // Rotate origins by address so the assignment is shard-independent.
+      const auto& origin = origins_[addr.value() % origins_.size()];
+      const auto probe = world_->network().probe_tcp(origin.context, rng, addr,
+                                                     dns::kDotPort, date);
+      if (probe.status == net::Network::ProbeStatus::kOpen)
+        partial.open_hosts.push_back(addr);
     }
+  });
+  std::vector<util::Ipv4> open_hosts;
+  for (const auto& partial : partials) {  // canonical shard-order merge
+    snapshot.addresses_probed += partial.probed;
+    open_hosts.insert(open_hosts.end(), partial.open_hosts.begin(),
+                      partial.open_hosts.end());
   }
+  snapshot.port_open = open_hosts.size();
 
-  // Phase 2: application-layer DoT probing of every open host.
-  DotProber prober(*world_, origins_[scan_serial_ % origins_.size()],
-                   config_.seed ^ (scan_serial_ * 0x9E3779B97F4A7C15ULL));
-  for (const auto addr : open_hosts) {
-    const auto result = prober.probe(addr, date);
+  // Phase 2: application-layer DoT probing of every open host, one task per
+  // host with an address-derived rng stream (shard-count independent); the
+  // final sort-by-address canonicalizes the output order.
+  const std::uint64_t probe_seed =
+      config_.seed ^ (scan_serial_ * 0x9E3779B97F4A7C15ULL);
+  const world::Vantage& probe_origin = origins_[scan_serial_ % origins_.size()];
+  const auto probe_results = exec::parallel_map(
+      pool, open_hosts, [&](const util::Ipv4 addr, std::size_t) {
+        DotProber prober(*world_, probe_origin,
+                         util::mix64(probe_seed ^ addr.value()));
+        return prober.probe(addr, date);
+      });
+  for (std::size_t i = 0; i < open_hosts.size(); ++i) {
+    const auto& result = probe_results[i];
     if (result.tls_ok) ++snapshot.tls_responsive;
     if (!result.dot_ok) continue;
+    const util::Ipv4 addr = open_hosts[i];
     DiscoveredResolver resolver;
     resolver.address = addr;
     resolver.cert_cn = result.chain.leaf_cn();

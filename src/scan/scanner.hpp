@@ -48,6 +48,10 @@ struct CampaignConfig {
   std::uint64_t seed = 7;
   /// Scan origins, as in the paper: cloud machines in the US and China.
   std::vector<std::string> origin_countries = {"US", "US", "CN"};
+  /// Worker threads for the sweep and the DoT probing; 0 = auto
+  /// (ENCDNS_THREADS env or hardware_concurrency). Results are identical for
+  /// every value — see exec::WorkerPool.
+  unsigned thread_count = 0;
 };
 
 class Scanner {

@@ -61,6 +61,14 @@ class BackboneModel {
   /// Stream every raw flow of the period into `sink`, day by day.
   void generate(const std::function<void(const RawFlow&)>& sink);
 
+  /// Stream one day's raw flows into `sink`. Each day draws from its own rng
+  /// stream derived from the seed and the day, so days are independent —
+  /// parallel consumers can shard the date range and still see exactly the
+  /// flows generate() would produce, day by day. `const`: safe to call
+  /// concurrently from several threads on disjoint days.
+  void generate_day(const util::Date& day,
+                    const std::function<void(const RawFlow&)>& sink) const;
+
   [[nodiscard]] const std::vector<NetblockInfo>& netblocks() const noexcept {
     return netblocks_;
   }

@@ -3,23 +3,28 @@
 namespace encdns::traffic {
 
 std::optional<FlowRecord> NetflowCollector::observe(const RawFlow& flow) {
+  return observe(flow, rng_);
+}
+
+std::optional<FlowRecord> NetflowCollector::observe(const RawFlow& flow,
+                                                    util::Rng& rng) {
   ++seen_;
   if (flow.packets == 0) return std::nullopt;
 
   // First (SYN) and last (FIN) packets are sampled individually; the middle
   // of the flow is approximated with a Poisson draw at the sampling rate.
-  const bool syn_sampled = flow.protocol == kProtoTcp && rng_.chance(rate_);
+  const bool syn_sampled = flow.protocol == kProtoTcp && rng.chance(rate_);
   const bool fin_sampled = flow.protocol == kProtoTcp && flow.complete_session &&
-                           flow.packets > 1 && rng_.chance(rate_);
+                           flow.packets > 1 && rng.chance(rate_);
   const std::uint32_t middle =
       flow.packets > 2 ? flow.packets - 2 : 0;
   const auto middle_sampled =
-      static_cast<std::uint32_t>(rng_.poisson(static_cast<double>(middle) * rate_));
+      static_cast<std::uint32_t>(rng.poisson(static_cast<double>(middle) * rate_));
 
   std::uint32_t sampled = middle_sampled + (syn_sampled ? 1 : 0) +
                           (fin_sampled ? 1 : 0);
   if (flow.packets == 1 && flow.protocol == kProtoUdp)
-    sampled = rng_.chance(rate_) ? 1 : 0;
+    sampled = rng.chance(rate_) ? 1 : 0;
   if (sampled == 0) return std::nullopt;
 
   FlowRecord record;

@@ -70,6 +70,19 @@ class NetflowCollector {
   /// the FIN only if the last one was.
   [[nodiscard]] std::optional<FlowRecord> observe(const RawFlow& flow);
 
+  /// As above, but drawing sampling decisions from a caller-supplied rng
+  /// instead of the collector's own stream. Parallel aggregation uses this
+  /// with a per-day rng so sampling is independent of processing order.
+  [[nodiscard]] std::optional<FlowRecord> observe(const RawFlow& flow,
+                                                  util::Rng& rng);
+
+  /// Fold another collector's tallies into this one (canonical-order merge of
+  /// per-shard collectors).
+  void merge(const NetflowCollector& other) noexcept {
+    seen_ += other.seen_;
+    exported_ += other.exported_;
+  }
+
   [[nodiscard]] double sampling_rate() const noexcept { return rate_; }
   [[nodiscard]] std::uint64_t flows_seen() const noexcept { return seen_; }
   [[nodiscard]] std::uint64_t records_exported() const noexcept { return exported_; }

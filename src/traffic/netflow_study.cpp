@@ -2,9 +2,17 @@
 
 #include <algorithm>
 
+#include "exec/executor.hpp"
 #include "world/providers.hpp"
 
 namespace encdns::traffic {
+
+namespace {
+// Fixed shard count for the day-range partition. Part of the deterministic
+// contract (shards bound the per-shard accumulator structure), so it never
+// tracks the thread count.
+constexpr std::size_t kNetflowShards = 16;
+}  // namespace
 
 double NetflowStudyResults::top_share(std::size_t k) const {
   if (total_dot_records == 0) return 0.0;
@@ -48,45 +56,104 @@ NetflowStudy::NetflowStudy(
 NetflowStudyResults NetflowStudy::run() {
   NetflowStudyResults results;
   BackboneModel model(config_.backbone);
-  NetflowCollector collector(config_.sampling_rate, config_.seed);
-  ScanDetector detector;
 
   struct BlockAccumulator {
     std::uint64_t records = 0;
     std::unordered_set<std::int64_t> days;
     util::Date first, last;
   };
+
+  // The 18-month period is partitioned into a fixed number of contiguous
+  // day-range shards. Each shard generates its days (per-day rng streams),
+  // samples them with a per-day sampling rng, and fills its own accumulators;
+  // the partials are then folded in ascending shard order, which reproduces
+  // the serial day-by-day pass exactly.
+  struct ShardPartial {
+    NetflowCollector collector;
+    ScanDetector detector;
+    std::uint64_t excluded_single_syn = 0;
+    std::uint64_t unmatched_853_records = 0;
+    std::uint64_t total_dot_records = 0;
+    std::map<util::Date, std::uint64_t> cloudflare_monthly;
+    std::map<util::Date, std::uint64_t> quad9_monthly;
+    std::unordered_map<std::uint32_t, BlockAccumulator> blocks;
+    std::unordered_set<std::uint32_t> client_blocks;
+
+    explicit ShardPartial(double rate) : collector(rate) {}
+  };
+
+  const std::int64_t total_days =
+      util::days_between(config_.backbone.start, config_.backbone.end);
+  const auto n_days =
+      static_cast<std::size_t>(total_days > 0 ? total_days : 0);
+
+  std::vector<ShardPartial> partials(kNetflowShards,
+                                     ShardPartial(config_.sampling_rate));
+  exec::WorkerPool pool(config_.thread_count);
+  pool.parallel_for_shards(kNetflowShards, [&](std::size_t shard) {
+    const auto [first, last] = exec::shard_range(n_days, kNetflowShards, shard);
+    ShardPartial& partial = partials[shard];
+    for (std::size_t d = first; d < last; ++d) {
+      const util::Date day =
+          config_.backbone.start.plus_days(static_cast<std::int64_t>(d));
+      // Sampling decisions are a pure function of (seed, day): independent of
+      // both the shard layout and the processing order.
+      util::Rng day_rng(util::mix64(config_.seed ^ 0x5A3DULL ^
+                                    static_cast<std::uint64_t>(day.to_days())));
+      model.generate_day(day, [&](const RawFlow& flow) {
+        partial.detector.observe(flow);
+        const auto record = partial.collector.observe(flow, day_rng);
+        if (!record) return;
+        if (record->protocol != kProtoTcp || record->dst_port != 853) return;
+        if (record->single_syn()) {
+          ++partial.excluded_single_syn;
+          return;
+        }
+        const auto it = resolvers_.find(record->dst.value());
+        if (it == resolvers_.end()) {
+          ++partial.unmatched_853_records;
+          return;
+        }
+        ++partial.total_dot_records;
+        const util::Date month = record->date.month_start();
+        if (it->second == "cloudflare") ++partial.cloudflare_monthly[month];
+        else if (it->second == "quad9") ++partial.quad9_monthly[month];
+
+        // Ethics: keep only the /24 of the client address from here on.
+        const util::Ipv4 block = record->src.slash24();
+        partial.client_blocks.insert(block.value());
+        auto& acc = partial.blocks[block.value()];
+        if (acc.records == 0) acc.first = record->date;
+        acc.last = record->date;
+        ++acc.records;
+        acc.days.insert(record->date.to_days());
+      });
+    }
+  });
+
+  // Canonical merge: ascending shard order = ascending day order, so first/
+  // last seen dates fold exactly as the serial pass would set them.
+  ScanDetector detector;
   std::unordered_map<std::uint32_t, BlockAccumulator> blocks;
   std::unordered_set<std::uint32_t> client_blocks;
-
-  model.generate([&](const RawFlow& flow) {
-    detector.observe(flow);
-    const auto record = collector.observe(flow);
-    if (!record) return;
-    if (record->protocol != kProtoTcp || record->dst_port != 853) return;
-    if (record->single_syn()) {
-      ++results.excluded_single_syn;
-      return;
+  for (auto& partial : partials) {
+    detector.merge(partial.detector);
+    results.excluded_single_syn += partial.excluded_single_syn;
+    results.unmatched_853_records += partial.unmatched_853_records;
+    results.total_dot_records += partial.total_dot_records;
+    for (const auto& [month, count] : partial.cloudflare_monthly)
+      results.cloudflare_monthly[month] += count;
+    for (const auto& [month, count] : partial.quad9_monthly)
+      results.quad9_monthly[month] += count;
+    for (auto& [addr, theirs] : partial.blocks) {
+      auto& acc = blocks[addr];
+      if (acc.records == 0) acc.first = theirs.first;
+      acc.last = theirs.last;
+      acc.records += theirs.records;
+      acc.days.merge(theirs.days);
     }
-    const auto it = resolvers_.find(record->dst.value());
-    if (it == resolvers_.end()) {
-      ++results.unmatched_853_records;
-      return;
-    }
-    ++results.total_dot_records;
-    const util::Date month = record->date.month_start();
-    if (it->second == "cloudflare") ++results.cloudflare_monthly[month];
-    else if (it->second == "quad9") ++results.quad9_monthly[month];
-
-    // Ethics: keep only the /24 of the client address from here on.
-    const util::Ipv4 block = record->src.slash24();
-    client_blocks.insert(block.value());
-    auto& acc = blocks[block.value()];
-    if (acc.records == 0) acc.first = record->date;
-    acc.last = record->date;
-    ++acc.records;
-    acc.days.insert(record->date.to_days());
-  });
+    client_blocks.merge(partial.client_blocks);
+  }
 
   for (const auto& [addr, acc] : blocks) {
     NetblockStat stat;

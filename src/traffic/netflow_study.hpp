@@ -22,6 +22,9 @@ struct NetflowStudyConfig {
   BackboneConfig backbone;
   double sampling_rate = 1.0 / 3000.0;
   std::uint64_t seed = 37;
+  /// Worker threads for the day-sharded aggregation; 0 = auto (ENCDNS_THREADS
+  /// env or hardware_concurrency). Results are identical for every value.
+  unsigned thread_count = 0;
 };
 
 struct NetblockStat {

@@ -15,6 +15,26 @@ void ScanDetector::observe(const RawFlow& flow) {
   update_state(stats);
 }
 
+void ScanDetector::merge(const ScanDetector& other) {
+  for (const auto& [addr, theirs] : other.sources_) {
+    auto& ours = sources_[addr];
+    ours.flows += theirs.flows;
+    ours.incomplete += theirs.incomplete;
+    // Deterministic union under the cap: merge the two sets in sorted value
+    // order so the survivors don't depend on which shard inserted first.
+    if (ours.dsts.size() < kDstSetCap && !theirs.dsts.empty()) {
+      std::vector<std::uint32_t> merged(ours.dsts.begin(), ours.dsts.end());
+      merged.insert(merged.end(), theirs.dsts.begin(), theirs.dsts.end());
+      std::sort(merged.begin(), merged.end());
+      merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+      if (merged.size() > kDstSetCap) merged.resize(kDstSetCap);
+      ours.dsts = std::unordered_set<std::uint32_t>(merged.begin(), merged.end());
+    }
+    ours.state = std::max(ours.state, theirs.state);
+    update_state(ours);
+  }
+}
+
 void ScanDetector::update_state(SourceStats& stats) const {
   if (stats.flows < config_.min_flows) return;
   const double incomplete_ratio =

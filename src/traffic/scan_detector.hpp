@@ -28,6 +28,13 @@ class ScanDetector {
 
   void observe(const RawFlow& flow);
 
+  /// Fold another detector's per-source tallies into this one. Destination
+  /// sets are united in sorted order before re-applying the cap, so the merge
+  /// result does not depend on insertion order; states are recomputed from
+  /// the merged tallies. Merging the per-shard detectors of a day-sharded
+  /// run in canonical shard order yields a deterministic detector.
+  void merge(const ScanDetector& other);
+
   [[nodiscard]] State state_of(util::Ipv4 src_slash24) const;
   [[nodiscard]] bool is_scanner(util::Ipv4 src_slash24) const {
     return state_of(src_slash24) == State::kScanner;

@@ -170,6 +170,7 @@ void World::build_universe() {
     if (type != dns::RrType::kA) return resolver::Answer{};
     return resolver::Answer::a_record(qname, addrs::kSelfBuilt, 300);
   };
+  own.popular = true;  // the platform's apex stays warm in resolver caches
   universe_.add_zone(std::move(own));
 
   // Bootstrap zones for every DoH hostname in the catalogue.
@@ -190,6 +191,10 @@ void World::build_universe() {
         a.answers.push_back(dns::ResourceRecord::a(qname, addr, 300));
       return a;
     };
+    // Bootstrap hostnames are looked up constantly by every DoH client; they
+    // are warm in every resolver cache (and the warm path keeps concurrent
+    // bootstrap lookups order-independent).
+    zone.popular = true;
     universe_.add_zone(std::move(zone));
   }
 }

@@ -1,0 +1,193 @@
+// The deterministic parallel execution engine: pool correctness, sharding
+// arithmetic, rng derivation, and the determinism contract itself.
+#include "exec/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace encdns {
+namespace {
+
+TEST(ResolveThreadCount, ExplicitRequestWins) {
+  EXPECT_EQ(exec::resolve_thread_count(3), 3u);
+  EXPECT_EQ(exec::resolve_thread_count(1), 1u);
+}
+
+TEST(ResolveThreadCount, AutoIsAtLeastOne) {
+  ::unsetenv("ENCDNS_THREADS");
+  EXPECT_GE(exec::resolve_thread_count(0), 1u);
+}
+
+TEST(ResolveThreadCount, EnvOverrideApplies) {
+  ::setenv("ENCDNS_THREADS", "5", 1);
+  EXPECT_EQ(exec::resolve_thread_count(0), 5u);
+  // Garbage and non-positive values fall through to hardware_concurrency.
+  ::setenv("ENCDNS_THREADS", "0", 1);
+  EXPECT_GE(exec::resolve_thread_count(0), 1u);
+  ::setenv("ENCDNS_THREADS", "lots", 1);
+  EXPECT_GE(exec::resolve_thread_count(0), 1u);
+  ::unsetenv("ENCDNS_THREADS");
+}
+
+TEST(ShardRange, PartitionsWithoutGapsOrOverlap) {
+  for (const std::size_t total : {0ul, 1ul, 7ul, 64ul, 1000ul, 1001ul}) {
+    for (const std::size_t shards : {1ul, 2ul, 16ul, 64ul}) {
+      std::size_t covered = 0;
+      std::size_t expected_next = 0;
+      for (std::size_t s = 0; s < shards; ++s) {
+        const auto [first, last] = exec::shard_range(total, shards, s);
+        EXPECT_EQ(first, expected_next);
+        EXPECT_LE(first, last);
+        covered += last - first;
+        expected_next = last;
+      }
+      EXPECT_EQ(covered, total);
+      EXPECT_EQ(expected_next, total);
+    }
+  }
+}
+
+TEST(ShardRange, SizesDifferByAtMostOne) {
+  std::size_t min_size = SIZE_MAX, max_size = 0;
+  for (std::size_t s = 0; s < 16; ++s) {
+    const auto [first, last] = exec::shard_range(1003, 16, s);
+    min_size = std::min(min_size, last - first);
+    max_size = std::max(max_size, last - first);
+  }
+  EXPECT_LE(max_size - min_size, 1u);
+}
+
+TEST(ShardRng, DistinctShardsGetDistinctStreams) {
+  util::Rng a = exec::shard_rng(42, 0);
+  util::Rng b = exec::shard_rng(42, 1);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(ShardRng, SameDerivationIsReproducible) {
+  util::Rng a = exec::shard_rng(42, 7);
+  util::Rng b = exec::shard_rng(42, 7);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(WorkerPool, EveryShardRunsExactlyOnce) {
+  exec::WorkerPool pool(4);
+  constexpr std::size_t kShards = 1000;
+  std::vector<std::atomic<int>> hits(kShards);
+  pool.parallel_for_shards(kShards, [&](std::size_t s) { ++hits[s]; });
+  for (std::size_t s = 0; s < kShards; ++s) EXPECT_EQ(hits[s].load(), 1);
+}
+
+TEST(WorkerPool, InlineModeMatchesPooledMode) {
+  const auto run = [](unsigned threads) {
+    exec::WorkerPool pool(threads);
+    std::vector<std::uint64_t> out(257);
+    pool.parallel_for_shards(out.size(), [&](std::size_t s) {
+      out[s] = exec::shard_rng(99, s).next();
+    });
+    return out;
+  };
+  EXPECT_EQ(run(1), run(8));
+}
+
+TEST(WorkerPool, ZeroShardsIsANoop) {
+  exec::WorkerPool pool(4);
+  bool ran = false;
+  pool.parallel_for_shards(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(WorkerPool, SingleShardRunsInline) {
+  exec::WorkerPool pool(4);
+  int calls = 0;
+  pool.parallel_for_shards(1, [&](std::size_t s) {
+    EXPECT_EQ(s, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(WorkerPool, ReusableAcrossJobs) {
+  exec::WorkerPool pool(4);
+  for (int job = 0; job < 50; ++job) {
+    std::atomic<std::size_t> sum{0};
+    pool.parallel_for_shards(100, [&](std::size_t s) { sum += s; });
+    EXPECT_EQ(sum.load(), 4950u);
+  }
+}
+
+TEST(WorkerPool, PropagatesTheFirstException) {
+  exec::WorkerPool pool(4);
+  EXPECT_THROW(pool.parallel_for_shards(
+                   64,
+                   [](std::size_t s) {
+                     if (s == 13) throw std::runtime_error("shard 13");
+                   }),
+               std::runtime_error);
+  // The pool must still be usable after a throwing job.
+  std::atomic<int> ok{0};
+  pool.parallel_for_shards(8, [&](std::size_t) { ++ok; });
+  EXPECT_EQ(ok.load(), 8);
+}
+
+TEST(ParallelMap, PreservesItemOrder) {
+  exec::WorkerPool pool(4);
+  std::vector<int> items(500);
+  std::iota(items.begin(), items.end(), 0);
+  const auto doubled = exec::parallel_map(
+      pool, items, [](int item, std::size_t) { return item * 2; });
+  ASSERT_EQ(doubled.size(), items.size());
+  for (std::size_t i = 0; i < items.size(); ++i)
+    EXPECT_EQ(doubled[i], static_cast<int>(i) * 2);
+}
+
+TEST(ParallelMap, IndexMatchesItemPosition) {
+  exec::WorkerPool pool(4);
+  const std::vector<std::string> items = {"a", "b", "c", "d"};
+  const auto tagged = exec::parallel_map(
+      pool, items,
+      [](const std::string& item, std::size_t i) { return item + std::to_string(i); });
+  EXPECT_EQ(tagged, (std::vector<std::string>{"a0", "b1", "c2", "d3"}));
+}
+
+TEST(ParallelMap, MutableOverloadSeesMutations) {
+  exec::WorkerPool pool(4);
+  std::vector<int> items(100, 1);
+  const auto out = exec::parallel_map(pool, items, [](int& item, std::size_t) {
+    item += 1;
+    return item;
+  });
+  for (const int v : out) EXPECT_EQ(v, 2);
+  for (const int v : items) EXPECT_EQ(v, 2);
+}
+
+// The core contract, end to end: identical results for 1 vs N threads and
+// for repeated N-thread runs, with per-shard rng streams.
+TEST(Determinism, ShardedRngWorkloadIsThreadCountInvariant) {
+  const auto run = [](unsigned threads) {
+    exec::WorkerPool pool(threads);
+    constexpr std::size_t kShards = 64;
+    std::vector<std::vector<std::uint64_t>> partials(kShards);
+    pool.parallel_for_shards(kShards, [&](std::size_t s) {
+      util::Rng rng = exec::shard_rng(0xFEEDULL, s);
+      for (int i = 0; i < 100; ++i) partials[s].push_back(rng.next());
+    });
+    std::vector<std::uint64_t> merged;
+    for (const auto& p : partials) merged.insert(merged.end(), p.begin(), p.end());
+    return merged;
+  };
+  const auto serial = run(1);
+  const auto parallel_a = run(8);
+  const auto parallel_b = run(8);
+  EXPECT_EQ(serial, parallel_a);
+  EXPECT_EQ(parallel_a, parallel_b);
+}
+
+}  // namespace
+}  // namespace encdns

@@ -160,6 +160,87 @@ TEST_F(ReachabilityFixture, CensoredPlatformBlocksGoogleDoh) {
             0.05);
 }
 
+// The parallel engine's contract for the vantage fan-out: identical results
+// for every thread count, and repeated parallel runs agree.
+// Each run gets a fresh world: measurements warm resolver caches, so reusing
+// a world would legitimately change later runs' latencies and outcomes.
+TEST(Reachability, ResultsAreThreadCountInvariant) {
+  const auto run_with_threads = [](unsigned threads) {
+    world::World world;
+    proxy::ProxyNetwork platform(world, proxy::ProxyConfig{}, 27);
+    ReachabilityConfig config;
+    config.client_count = 150;
+    config.thread_count = threads;
+    ReachabilityTest test(world, platform, config);
+    return test.run();
+  };
+  const auto serial = run_with_threads(1);
+  const auto parallel_a = run_with_threads(8);
+  const auto parallel_b = run_with_threads(8);
+
+  const auto equal = [](const ReachabilityResults& a,
+                        const ReachabilityResults& b) {
+    if (a.clients != b.clients) return false;
+    if (a.cells.size() != b.cells.size()) return false;
+    for (const auto& [key, counts] : a.cells) {
+      const auto it = b.cells.find(key);
+      if (it == b.cells.end()) return false;
+      if (counts.correct != it->second.correct ||
+          counts.incorrect != it->second.incorrect ||
+          counts.failed != it->second.failed)
+        return false;
+    }
+    if (a.interceptions.size() != b.interceptions.size()) return false;
+    for (std::size_t i = 0; i < a.interceptions.size(); ++i) {
+      if (a.interceptions[i].client_address != b.interceptions[i].client_address ||
+          a.interceptions[i].untrusted_ca_cn != b.interceptions[i].untrusted_ca_cn)
+        return false;
+    }
+    if (a.conflict_diagnoses.size() != b.conflict_diagnoses.size()) return false;
+    for (std::size_t i = 0; i < a.conflict_diagnoses.size(); ++i) {
+      if (a.conflict_diagnoses[i].client_address !=
+              b.conflict_diagnoses[i].client_address ||
+          a.conflict_diagnoses[i].open_ports != b.conflict_diagnoses[i].open_ports ||
+          a.conflict_diagnoses[i].webpage_excerpt !=
+              b.conflict_diagnoses[i].webpage_excerpt)
+        return false;
+    }
+    return true;
+  };
+  EXPECT_TRUE(equal(serial, parallel_a));
+  EXPECT_TRUE(equal(parallel_a, parallel_b));
+}
+
+TEST(Performance, ResultsAreThreadCountInvariant) {
+  const auto run_with_threads = [](unsigned threads) {
+    world::World world;
+    proxy::ProxyNetwork platform(world, proxy::ProxyConfig{}, 33);
+    PerformanceConfig config;
+    config.client_count = 150;
+    config.thread_count = threads;
+    PerformanceTest test(world, platform, config);
+    return test.run();
+  };
+  const auto serial = run_with_threads(1);
+  const auto parallel_a = run_with_threads(8);
+  const auto parallel_b = run_with_threads(8);
+
+  const auto equal = [](const PerformanceResults& a, const PerformanceResults& b) {
+    if (a.discarded_clients != b.discarded_clients) return false;
+    if (a.clients.size() != b.clients.size()) return false;
+    for (std::size_t i = 0; i < a.clients.size(); ++i) {
+      if (a.clients[i].country != b.clients[i].country ||
+          a.clients[i].dns_ms != b.clients[i].dns_ms ||
+          a.clients[i].dot_ms != b.clients[i].dot_ms ||
+          a.clients[i].doh_ms != b.clients[i].doh_ms)
+        return false;
+    }
+    return true;
+  };
+  EXPECT_TRUE(equal(serial, parallel_a));
+  EXPECT_TRUE(equal(parallel_a, parallel_b));
+}
+
 TEST(Performance, ReusedConnectionOverheadIsSmall) {
   proxy::ProxyNetwork platform(shared_world(), proxy::ProxyConfig{}, 31);
   PerformanceConfig config;

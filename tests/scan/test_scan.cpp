@@ -209,6 +209,42 @@ TEST(Scanner, SnapshotMatchesGroundTruth) {
   EXPECT_GT(snapshot.port_open, snapshot.resolvers.size() * 5);
 }
 
+// The parallel engine's contract: starting from identical state, the snapshot
+// is bit-identical for every thread count, and repeated parallel runs agree
+// with each other. Each run gets a fresh world because a scan warms resolver
+// caches (shared state that legitimately changes later runs' latencies).
+TEST(Scanner, SnapshotIsThreadCountInvariant) {
+  const auto snapshot_with_threads = [](unsigned threads) {
+    world::World world;
+    CampaignConfig config;
+    config.thread_count = threads;
+    Scanner scanner(world, config);
+    return scanner.scan_once(kFeb);
+  };
+  const auto serial = snapshot_with_threads(1);
+  const auto parallel_a = snapshot_with_threads(8);
+  const auto parallel_b = snapshot_with_threads(8);
+
+  const auto equal = [](const ScanSnapshot& a, const ScanSnapshot& b) {
+    if (a.addresses_probed != b.addresses_probed) return false;
+    if (a.port_open != b.port_open) return false;
+    if (a.tls_responsive != b.tls_responsive) return false;
+    if (a.resolvers.size() != b.resolvers.size()) return false;
+    for (std::size_t i = 0; i < a.resolvers.size(); ++i) {
+      const auto& x = a.resolvers[i];
+      const auto& y = b.resolvers[i];
+      if (x.address != y.address || x.cert_cn != y.cert_cn ||
+          x.provider != y.provider || x.cert_status != y.cert_status ||
+          x.answer_correct != y.answer_correct || x.country != y.country ||
+          x.probe_latency.value != y.probe_latency.value)
+        return false;
+    }
+    return true;
+  };
+  EXPECT_TRUE(equal(serial, parallel_a));
+  EXPECT_TRUE(equal(parallel_a, parallel_b));
+}
+
 TEST(Scanner, CampaignShowsGrowthAndChurn) {
   world::World& world = shared_world();
   CampaignConfig config;

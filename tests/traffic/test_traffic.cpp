@@ -198,6 +198,44 @@ TEST_F(NetflowStudyFixture, SingleSynExcludedAndNoScannerClients) {
   EXPECT_GT(r.total_dot_records, 1000u);
 }
 
+// The day-sharded aggregation's contract: identical results for every thread
+// count, and repeated parallel runs agree.
+TEST(NetflowStudy, ResultsAreThreadCountInvariant) {
+  const auto run_with_threads = [](unsigned threads) {
+    NetflowStudyConfig config;
+    config.backbone.tail_blocks = 300;  // keep the test quick
+    config.backbone.medium_blocks = 30;
+    config.thread_count = threads;
+    NetflowStudy study(config, big_resolver_address_list());
+    return study.run();
+  };
+  const auto serial = run_with_threads(1);
+  const auto parallel_a = run_with_threads(8);
+  const auto parallel_b = run_with_threads(8);
+
+  const auto equal = [](const NetflowStudyResults& a,
+                        const NetflowStudyResults& b) {
+    if (a.cloudflare_monthly != b.cloudflare_monthly) return false;
+    if (a.quad9_monthly != b.quad9_monthly) return false;
+    if (a.total_dot_records != b.total_dot_records) return false;
+    if (a.excluded_single_syn != b.excluded_single_syn) return false;
+    if (a.unmatched_853_records != b.unmatched_853_records) return false;
+    if (a.flagged_client_blocks != b.flagged_client_blocks) return false;
+    if (a.netblocks.size() != b.netblocks.size()) return false;
+    for (std::size_t i = 0; i < a.netblocks.size(); ++i) {
+      const auto& x = a.netblocks[i];
+      const auto& y = b.netblocks[i];
+      if (x.slash24 != y.slash24 || x.records != y.records ||
+          x.active_days != y.active_days || !(x.first_seen == y.first_seen) ||
+          !(x.last_seen == y.last_seen))
+        return false;
+    }
+    return true;
+  };
+  EXPECT_TRUE(equal(serial, parallel_a));
+  EXPECT_TRUE(equal(parallel_a, parallel_b));
+}
+
 TEST(PassiveDns, AggregateStoreSemantics) {
   AggregatePassiveDns db;
   db.record("a.example", {2018, 3, 1}, 10);

@@ -5,6 +5,7 @@
 // 1 vs 4 worker threads and records the comparison in BENCH_micro_scanner.json.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <thread>
@@ -71,8 +72,9 @@ BENCHMARK(BM_SynProbe);
 // Wall-clock of one full sweep + probe pass at a pinned thread count. A fresh
 // world per run keeps the comparison fair: scanning warms resolver caches, so
 // reuse would hand the second run cheaper lookups.
-double time_scan_once_ms(unsigned threads) {
+double time_scan_once_ms(unsigned threads, bool fault_hooks_installed = true) {
   world::World world;
+  if (!fault_hooks_installed) world.disable_fault_injection();
   scan::CampaignConfig config;
   config.thread_count = threads;
   scan::Scanner scanner(world, config);
@@ -84,16 +86,38 @@ double time_scan_once_ms(unsigned threads) {
   return elapsed.count();
 }
 
+// Cost of the fault-injection hooks themselves when no profile is active: the
+// transport checks a disabled injector on every connect/exchange/probe, and
+// that check must stay in the noise (< 2% on a full scan_once). Min-of-N
+// timing on each side filters scheduler jitter.
+double disabled_injector_overhead_pct() {
+  constexpr int kRuns = 3;
+  double hooked = 1e300, bypassed = 1e300;
+  for (int i = 0; i < kRuns; ++i) {
+    hooked = std::min(hooked, time_scan_once_ms(1, /*fault_hooks_installed=*/true));
+    bypassed =
+        std::min(bypassed, time_scan_once_ms(1, /*fault_hooks_installed=*/false));
+  }
+  return (hooked - bypassed) / bypassed * 100.0;
+}
+
 int write_scan_speedup_json() {
   constexpr unsigned kParallelThreads = 4;
   const double serial_ms = time_scan_once_ms(1);
   const double parallel_ms = time_scan_once_ms(kParallelThreads);
   const double speedup = serial_ms / parallel_ms;
+  const double overhead_pct = disabled_injector_overhead_pct();
   const unsigned hardware = std::thread::hardware_concurrency();
 
   std::printf("scan_once: serial %.0f ms, %u threads %.0f ms, speedup %.2fx "
               "(%u hardware threads)\n",
               serial_ms, kParallelThreads, parallel_ms, speedup, hardware);
+  std::printf("disabled fault injector overhead: %.2f%% (guard: < 2%%)\n",
+              overhead_pct);
+  if (overhead_pct >= 2.0)
+    std::fprintf(stderr,
+                 "warning: disabled fault injector costs %.2f%% >= 2%% guard\n",
+                 overhead_pct);
 
   std::FILE* f = std::fopen("BENCH_micro_scanner.json", "w");
   if (f == nullptr) {
@@ -107,9 +131,11 @@ int write_scan_speedup_json() {
                "  \"hardware_concurrency\": %u,\n"
                "  \"serial_ms\": %.3f,\n"
                "  \"parallel_ms\": %.3f,\n"
-               "  \"speedup\": %.3f\n"
+               "  \"speedup\": %.3f,\n"
+               "  \"disabled_fault_injector_overhead_pct\": %.3f\n"
                "}\n",
-               kParallelThreads, hardware, serial_ms, parallel_ms, speedup);
+               kParallelThreads, hardware, serial_ms, parallel_ms, speedup,
+               overhead_pct);
   std::fclose(f);
   return 0;
 }

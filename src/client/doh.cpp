@@ -31,7 +31,9 @@ QueryOutcome DohClient::query(const http::UriTemplate& uri_template,
       return outcome;
     }
     Do53Client::Options bootstrap_options;
-    bootstrap_options.timeout = sim::Millis{5000.0};
+    // The bootstrap lookup shares the caller's deadline: a 30 s DoH query
+    // must not be cut short by a hidden 5 s bootstrap constant.
+    bootstrap_options.timeout = options.timeout;
     const auto bootstrap = bootstrap_client_.query_udp(
         *options.bootstrap_resolver, *host_name, dns::RrType::kA, date,
         bootstrap_options);
@@ -80,7 +82,10 @@ QueryOutcome DohClient::query(const http::UriTemplate& uri_template,
     setup += connect.latency + tls.latency;
     if (tls.status != net::TcpConnection::TlsResult::Status::kEstablished) {
       outcome.latency = setup;
-      outcome.status = QueryStatus::kTlsFailed;
+      outcome.status =
+          tls.status == net::TcpConnection::TlsResult::Status::kTimeout
+              ? QueryStatus::kTimeout
+              : QueryStatus::kTlsFailed;
       return outcome;
     }
     // DoH is Strict-Privacy-only: full validation against the template host.

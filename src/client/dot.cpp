@@ -51,7 +51,11 @@ DotClient::Session* DotClient::establish(util::Ipv4 server, const util::Date& da
   session_clock_ += handshake_total;
   if (tls.status != net::TcpConnection::TlsResult::Status::kEstablished) {
     outcome.latency = handshake_total;
-    outcome.status = QueryStatus::kTlsFailed;
+    // A stalled handshake is a deadline problem (transient, worth retrying);
+    // an endpoint that does not speak TLS is not.
+    outcome.status = tls.status == net::TcpConnection::TlsResult::Status::kTimeout
+                         ? QueryStatus::kTimeout
+                         : QueryStatus::kTlsFailed;
     return nullptr;
   }
 

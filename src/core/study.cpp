@@ -119,6 +119,19 @@ const traffic::NetflowStudyResults& Study::netflow() {
   return *netflow_;
 }
 
+fault::RobustnessReport Study::robustness_report() {
+  fault::RobustnessReport report;
+  const auto& reach = reachability_global();
+  const auto& perf = performance();
+  report.client += reach.client_faults;
+  report.client += perf.client_faults;
+  report.proxy += reach.proxy_faults;
+  report.proxy += perf.proxy_faults;
+  for (const auto& snapshot : scans()) report.scanner += snapshot.faults;
+  report.scanner += doh_discovery().faults;
+  return report;
+}
+
 const traffic::PassiveDnsStudyResults& Study::passive_dns() {
   if (!passive_dns_) passive_dns_ = traffic::run_passive_dns_study(config_.passive_dns);
   return *passive_dns_;

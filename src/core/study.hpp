@@ -6,6 +6,7 @@
 #include <optional>
 #include <vector>
 
+#include "fault/retry.hpp"
 #include "measure/local_probe.hpp"
 #include "measure/performance.hpp"
 #include "measure/reachability.hpp"
@@ -67,6 +68,13 @@ class Study {
   /// §5.2 / §5.3: traffic studies.
   [[nodiscard]] const traffic::NetflowStudyResults& netflow();
   [[nodiscard]] const traffic::PassiveDnsStudyResults& passive_dns();
+
+  /// Fault accounting across the fault-injected experiments: per-layer
+  /// injected / recovered / surfaced tallies from the global reachability
+  /// run, the performance run, the scan campaign and DoH discovery. Forces
+  /// those experiments (cached as usual). All-zero when the world's fault
+  /// profile is disabled.
+  [[nodiscard]] fault::RobustnessReport robustness_report();
 
  private:
   StudyConfig config_;

@@ -1,0 +1,164 @@
+// Deterministic fault injection for the simulated internet.
+//
+// The paper's methodology (up to 5 attempts, 30 s timeouts, discarding
+// churned proxy nodes) is a resilience protocol against an internet that
+// misbehaves transiently: SYNs blackhole, RSTs appear mid-stream, TLS
+// handshakes stall, exit nodes die. The substrate's Middlebox chains model
+// only *persistent* path conditions, so this module supplies the transient
+// half: a FaultInjector consulted by every Network transport primitive.
+//
+// Determinism contract: every fault is drawn from a stream keyed
+// mix64(seed ^ target ^ attempt) — never from wall-clock or shared mutable
+// state. The "attempt" entropy is one rng.next() token taken from the
+// *caller's* per-shard stream, so two attempts against the same target see
+// independent fault draws while any thread count reproduces bit-identical
+// results. When the profile is disabled decide() consumes nothing, so a
+// fault-free run is byte-identical to a build without the hooks.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/duration.hpp"
+#include "util/date.hpp"
+#include "util/ipv4.hpp"
+#include "util/rng.hpp"
+
+namespace encdns::fault {
+
+/// Where in the transport stack a fault draw happens.
+enum class Channel {
+  kConnect,   // TCP three-way handshake (Network::tcp_connect)
+  kProbe,     // stateless SYN probe (Network::probe_tcp)
+  kUdp,       // UDP request/response (Network::udp_exchange)
+  kExchange,  // established TCP stream (TcpConnection::exchange)
+  kTls,       // TLS handshake (TcpConnection::tls_handshake)
+};
+
+inline constexpr int kChannelCount = 5;
+
+[[nodiscard]] constexpr int channel_index(Channel channel) noexcept {
+  return static_cast<int>(channel);
+}
+
+[[nodiscard]] const char* to_string(Channel channel) noexcept;
+
+/// Outcome of one fault draw. kNone with zero extra latency means the
+/// operation proceeds untouched.
+struct Decision {
+  enum class Kind {
+    kNone,      // no fault
+    kDrop,      // packets blackholed: connect/probe/udp times out
+    kReset,     // RST injected: connect refused or stream torn down
+    kStall,     // TLS handshake hangs until the handshake deadline
+    kGarble,    // response bytes truncated and corrupted in flight
+    kServfail,  // resolver answers SERVFAIL instead of the real answer
+    kSpike,     // operation succeeds but with extra_latency added
+  };
+  Kind kind = Kind::kNone;
+  sim::Millis extra_latency{0.0};
+};
+
+/// Composable per-fault-class rates. All rates are per-operation
+/// probabilities in [0, 1]; a default-constructed profile is fully off.
+struct FaultProfile {
+  double syn_drop = 0.0;         // kConnect/kProbe: SYN blackholed
+  double connect_reset = 0.0;    // kConnect: RST during handshake
+  double exchange_reset = 0.0;   // kExchange: RST mid-stream
+  double exchange_garble = 0.0;  // kExchange: reply truncated/corrupted
+  double servfail = 0.0;         // kUdp/kExchange on DNS ports: SERVFAIL burst
+  double tls_stall = 0.0;        // kTls: handshake hangs
+  double udp_drop = 0.0;         // kUdp: datagram lost (on top of link loss)
+  double latency_spike = 0.0;    // any channel: success with added delay
+  double flap_rate = 0.0;        // fraction of (host, day) windows flapping
+  double flap_fail = 0.6;        // per-attempt failure rate while flapping
+  double exit_death = 0.0;       // per-query proxy exit-node death
+  sim::Millis spike_min{250.0};
+  sim::Millis spike_max{1200.0};
+  sim::Millis tls_stall_hang{5000.0};
+
+  /// True when any fault class has a nonzero rate.
+  [[nodiscard]] bool enabled() const noexcept;
+
+  /// The calibrated profile used by the robustness acceptance tests: every
+  /// fault class active, rates low enough that Table-4 headline fractions
+  /// move < 1 pp (each class recovers through retries/failover).
+  [[nodiscard]] static FaultProfile canonical() noexcept;
+
+  /// ENCDNS_FAULTS env override: "canonical"/"on"/"1" forces the canonical
+  /// profile, "off"/"none"/"0" disables injection, anything else (or unset)
+  /// keeps `fallback`.
+  [[nodiscard]] static FaultProfile from_env(FaultProfile fallback);
+};
+
+/// Per-channel injected-fault counters. Atomics because decide() runs from
+/// worker threads; sums are order-independent so totals stay deterministic.
+struct ChannelCounters {
+  std::uint64_t connect = 0;
+  std::uint64_t probe = 0;
+  std::uint64_t udp = 0;
+  std::uint64_t exchange = 0;
+  std::uint64_t tls = 0;
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return connect + probe + udp + exchange + tls;
+  }
+};
+
+/// Draws transient faults for transport operations. Stateless apart from
+/// the (order-independent) injection counters; safe to share across worker
+/// threads. Owned by world::World; net::Network holds a non-owning pointer.
+class FaultInjector {
+ public:
+  FaultInjector(const FaultProfile& profile, std::uint64_t seed);
+
+  /// Draw the fault (if any) for one attempt of an operation against
+  /// dst:port on `date`. Consumes exactly one token from `rng` when the
+  /// profile is enabled and nothing otherwise.
+  [[nodiscard]] Decision decide(Channel channel, util::Ipv4 dst,
+                                std::uint16_t port, const util::Date& date,
+                                util::Rng& rng) const;
+
+  /// Whether dst is inside a service-flapping window on `date`. Keyed
+  /// statelessly by (seed, dst, day) so every attempt — from any thread —
+  /// agrees on the window.
+  [[nodiscard]] bool flapping(util::Ipv4 dst, const util::Date& date) const;
+
+  /// Whether the proxy exit node behind `session_id` dies before the next
+  /// query. Consumes one token from `rng` when enabled.
+  [[nodiscard]] bool exit_node_dies(std::uint64_t session_id,
+                                    util::Rng& rng) const;
+
+  /// Cached at construction: transport hot paths (millions of probes per
+  /// sweep) branch on this inline instead of re-scanning the profile's rates.
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+  [[nodiscard]] const FaultProfile& profile() const noexcept {
+    return profile_;
+  }
+  /// Snapshot of per-channel injected-fault counts.
+  [[nodiscard]] ChannelCounters counters() const noexcept;
+
+ private:
+  [[nodiscard]] std::uint64_t stream_key(Channel channel, util::Ipv4 dst,
+                                         std::uint16_t port,
+                                         const util::Date& date) const noexcept;
+
+  FaultProfile profile_;
+  bool enabled_;
+  std::uint64_t seed_;
+  mutable std::atomic<std::uint64_t> injected_[kChannelCount];
+};
+
+/// Patch a DNS request into the matching SERVFAIL response: QR=1, RA=1,
+/// RCODE=2, question untouched so dns::response_matches accepts it. `framed`
+/// selects the TCP 2-byte length prefix layout.
+[[nodiscard]] std::vector<std::uint8_t> make_servfail_reply(
+    std::span<const std::uint8_t> request, bool framed);
+
+/// Corrupt a response in flight: truncate to half and flip bits, so framed
+/// decodes fail and clients surface kProtocolError.
+void garble(std::vector<std::uint8_t>& payload);
+
+}  // namespace encdns::fault

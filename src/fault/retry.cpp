@@ -1,0 +1,65 @@
+#include "fault/retry.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace encdns::fault {
+
+bool is_transient(client::QueryStatus status) noexcept {
+  switch (status) {
+    case client::QueryStatus::kTimeout:
+    case client::QueryStatus::kConnectionReset:
+    case client::QueryStatus::kProtocolError:
+    case client::QueryStatus::kHttpError:
+    case client::QueryStatus::kBootstrapFailed:
+      return true;
+    case client::QueryStatus::kOk:
+    case client::QueryStatus::kConnectFailed:
+    case client::QueryStatus::kTlsFailed:
+    case client::QueryStatus::kCertRejected:
+      return false;
+  }
+  return false;
+}
+
+bool should_retry(client::QueryStatus status) noexcept {
+  return status != client::QueryStatus::kOk && is_transient(status);
+}
+
+sim::Millis backoff_delay(const RetryPolicy& policy, int attempt,
+                          util::Rng& rng) {
+  double delay = policy.base_backoff.value;
+  for (int i = 0; i < attempt; ++i) delay *= policy.backoff_multiplier;
+  delay = std::min(delay, policy.max_backoff.value);
+  const double spread = policy.jitter * delay;
+  delay += rng.uniform(-0.5 * spread, 0.5 * spread);
+  return sim::Millis{std::max(0.0, delay)};
+}
+
+LayerTally RobustnessReport::total() const noexcept {
+  LayerTally sum;
+  sum += client;
+  sum += scanner;
+  sum += proxy;
+  return sum;
+}
+
+std::string RobustnessReport::to_string() const {
+  const auto line = [](const char* name, const LayerTally& tally) {
+    char row[128];
+    std::snprintf(row, sizeof(row),
+                  "  %-8s injected %8llu  recovered %8llu  surfaced %8llu\n",
+                  name, static_cast<unsigned long long>(tally.injected),
+                  static_cast<unsigned long long>(tally.recovered),
+                  static_cast<unsigned long long>(tally.surfaced));
+    return std::string(row);
+  };
+  std::string out = "RobustnessReport\n";
+  out += line("client", client);
+  out += line("scanner", scanner);
+  out += line("proxy", proxy);
+  out += line("total", total());
+  return out;
+}
+
+}  // namespace encdns::fault

@@ -13,6 +13,14 @@ std::optional<double> median_of(const std::vector<double>& values) {
   return util::median(values);
 }
 
+/// One client's contribution: the latency row (when it survived) plus its
+/// fault accounting, merged in canonical client order.
+struct ClientPartial {
+  std::optional<ClientLatency> latency;
+  fault::LayerTally client_faults;
+  fault::LayerTally proxy_faults;
+};
+
 }  // namespace
 
 double PerformanceResults::overall(bool doh, bool median) const {
@@ -77,75 +85,134 @@ PerformanceResults PerformanceTest::run() {
   exec::WorkerPool pool(config_.thread_count);
   const auto partials = exec::parallel_map(
       pool, sessions,
-      [&](proxy::ProxySession& session,
-          std::size_t i) -> std::optional<ClientLatency> {
+      [&](proxy::ProxySession& session, std::size_t i) -> ClientPartial {
+        ClientPartial partial;
         util::Rng rng = exec::shard_rng(config_.seed ^ 0x9E2FULL, i);
         // Check the platform API for remaining uptime and discard nodes that
         // would rotate away mid-experiment (§4.1).
         const double expected_run_ms =
             3.0 * config_.queries_per_protocol * 400.0;  // generous estimate
-        if (session.remaining_uptime().value < expected_run_ms)
-          return std::nullopt;
-        const auto& vantage = session.vantage();
+        if (session.remaining_uptime().value < expected_run_ms) return partial;
 
-        client::Do53Client do53(world_->network(), vantage.context, rng.next());
-        client::DotClient dot(world_->network(), vantage.context, rng.next());
-        client::DohClient doh(world_->network(), vantage.context, rng.next());
+        proxy::ProxySession current = session;
+        fault::RetryPolicy policy = {};
+        policy.max_attempts = config_.query_attempts;
 
+        // Re-issue one query while it fails transiently (the successful
+        // attempt's latency is the one recorded — a retried timeout is a
+        // lost sample, not a 30 s data point). A well-formed non-answer
+        // (SERVFAIL burst) counts as transient too: the target resolvers
+        // answer unique probe names by construction, so fault-free runs
+        // never take this branch.
+        const auto transient_failure = [](const client::QueryOutcome& o) {
+          return fault::should_retry(o.status) ||
+                 (o.status == client::QueryStatus::kOk && !o.answered());
+        };
+        const auto with_retries = [&](auto&& issue) {
+          client::QueryOutcome outcome = issue();
+          int transient = 0;
+          while (transient_failure(outcome) &&
+                 transient + 1 < policy.max_attempts) {
+            (void)fault::backoff_delay(policy, transient, rng);
+            ++transient;
+            outcome = issue();
+          }
+          if (transient > 0) {
+            partial.client_faults.injected +=
+                static_cast<std::uint64_t>(transient);
+            if (outcome.answered()) {
+              ++partial.client_faults.recovered;
+            } else {
+              ++partial.client_faults.surfaced;
+            }
+          }
+          return outcome;
+        };
+
+        enum class Round { kOk, kChurn, kFailed };
         std::vector<double> dns_times, dot_times, doh_times;
-        bool client_ok = true;
-        for (int q = 0; q < config_.queries_per_protocol && client_ok; ++q) {
-          if (rng.chance(platform_->config().churn_per_query)) {
-            // Exit node dropped unexpectedly.
-            client_ok = false;
-            break;
+        const auto run_round = [&]() -> Round {
+          dns_times.clear();
+          dot_times.clear();
+          doh_times.clear();
+          const auto& vantage = current.vantage();
+          client::Do53Client do53(world_->network(), vantage.context,
+                                  rng.next());
+          client::DotClient dot(world_->network(), vantage.context, rng.next());
+          client::DohClient doh(world_->network(), vantage.context, rng.next());
+          for (int q = 0; q < config_.queries_per_protocol; ++q) {
+            // Exit node dropped unexpectedly (platform churn, or an injected
+            // exit-node death under a fault profile).
+            if (rng.chance(platform_->config().churn_per_query)) return Round::kChurn;
+            if (world_->fault_injector().exit_node_dies(current.id(), rng))
+              return Round::kChurn;
+
+            auto r1 = with_retries([&] {
+              client::Do53Client::Options do53_options;
+              do53_options.reuse_connection = true;
+              return do53.query_tcp(target_.do53_address,
+                                    world_->unique_probe_name(rng),
+                                    dns::RrType::kA, config_.date, do53_options);
+            });
+            auto r2 = with_retries([&] {
+              client::DotClient::Options dot_options;
+              dot_options.profile = client::PrivacyProfile::kOpportunistic;
+              return dot.query(*target_.dot_address,
+                               world_->unique_probe_name(rng), dns::RrType::kA,
+                               config_.date, dot_options);
+            });
+            auto r3 = with_retries([&] {
+              client::DohClient::Options doh_options;
+              doh_options.bootstrap_resolver =
+                  world_->bootstrap_resolver(vantage.country);
+              return doh.query(*tmpl, world_->unique_probe_name(rng),
+                               dns::RrType::kA, config_.date, doh_options);
+            });
+            if (!r1.answered() || !r2.answered() || !r3.answered())
+              return Round::kFailed;
+            // T_R as observed at the measurement client: tunnel RTT + the DNS
+            // transaction over the (possibly fresh) connection. The tunnel term
+            // is identical across transports, so it cancels in differences.
+            dns_times.push_back(current.tunnel_rtt().value + r1.latency.value);
+            dot_times.push_back(current.tunnel_rtt().value + r2.latency.value);
+            doh_times.push_back(current.tunnel_rtt().value + r3.latency.value);
+            current.consume(sim::Millis{r1.latency.value + r2.latency.value +
+                                        r3.latency.value});
           }
-          const dns::Name qname_dns = world_->unique_probe_name(rng);
-          client::Do53Client::Options do53_options;
-          do53_options.reuse_connection = true;
-          auto r1 = do53.query_tcp(target_.do53_address, qname_dns,
-                                   dns::RrType::kA, config_.date, do53_options);
+          return Round::kOk;
+        };
 
-          const dns::Name qname_dot = world_->unique_probe_name(rng);
-          client::DotClient::Options dot_options;
-          dot_options.profile = client::PrivacyProfile::kOpportunistic;
-          auto r2 = dot.query(*target_.dot_address, qname_dot, dns::RrType::kA,
-                              config_.date, dot_options);
-
-          const dns::Name qname_doh = world_->unique_probe_name(rng);
-          client::DohClient::Options doh_options;
-          doh_options.bootstrap_resolver =
-              world_->bootstrap_resolver(vantage.country);
-          auto r3 = doh.query(*tmpl, qname_doh, dns::RrType::kA, config_.date,
-                              doh_options);
-
-          if (!r1.answered() || !r2.answered() || !r3.answered()) {
-            client_ok = false;
-            break;
+        // On churn, fail over to a replacement session and restart the round
+        // there (the vantage survives instead of silently dropping out).
+        int failovers_left = config_.max_failovers;
+        Round round;
+        while ((round = run_round()) == Round::kChurn) {
+          ++partial.proxy_faults.injected;
+          if (failovers_left == 0) {
+            ++partial.proxy_faults.surfaced;
+            return partial;  // discarded: out of failover budget
           }
-          // T_R as observed at the measurement client: tunnel RTT + the DNS
-          // transaction over the (possibly fresh) connection. The tunnel term
-          // is identical across transports, so it cancels in differences.
-          dns_times.push_back(session.tunnel_rtt().value + r1.latency.value);
-          dot_times.push_back(session.tunnel_rtt().value + r2.latency.value);
-          doh_times.push_back(session.tunnel_rtt().value + r3.latency.value);
-          session.consume(sim::Millis{r1.latency.value + r2.latency.value +
-                                      r3.latency.value});
+          --failovers_left;
+          current = platform_->failover(current, rng);
+          ++partial.proxy_faults.recovered;
         }
-        if (!client_ok || dns_times.empty()) return std::nullopt;
+        if (round != Round::kOk || dns_times.empty()) return partial;
         ClientLatency latency;
-        latency.country = vantage.country;
+        latency.country = current.vantage().country;
         latency.dns_ms = median_of(dns_times).value_or(0.0);
         latency.dot_ms = median_of(dot_times).value_or(0.0);
         latency.doh_ms = median_of(doh_times).value_or(0.0);
-        return latency;
+        partial.latency = std::move(latency);
+        return partial;
       });
 
   for (const auto& partial : partials) {  // canonical client-order merge
-    if (partial)
-      results.clients.push_back(*partial);
+    if (partial.latency)
+      results.clients.push_back(*partial.latency);
     else
       ++results.discarded_clients;
+    results.client_faults += partial.client_faults;
+    results.proxy_faults += partial.proxy_faults;
   }
   return results;
 }

@@ -19,6 +19,7 @@
 #include "client/do53.hpp"
 #include "client/doh.hpp"
 #include "client/dot.hpp"
+#include "fault/retry.hpp"
 #include "measure/targets.hpp"
 #include "proxy/proxy.hpp"
 #include "world/world.hpp"
@@ -56,11 +57,22 @@ struct PerformanceConfig {
   /// Worker threads for the per-client fan-out; 0 = auto (ENCDNS_THREADS env
   /// or hardware_concurrency). Results are identical for every value.
   unsigned thread_count = 0;
+  /// Attempts per query before the client is considered failed (transient
+  /// statuses only; the successful attempt's latency is what gets recorded).
+  int query_attempts = 3;
+  /// Session failovers allowed when the exit node churns mid-run; the query
+  /// round restarts on the replacement node, mirroring the paper's
+  /// node-discard-and-continue method without losing the vantage.
+  int max_failovers = 2;
 };
 
 struct PerformanceResults {
   std::vector<ClientLatency> clients;  // only clients where all transports worked
   std::size_t discarded_clients = 0;   // failures or expiring exit nodes
+  /// Fault accounting: per-query transient retries and exit-node churn
+  /// vs failover recoveries.
+  fault::LayerTally client_faults;
+  fault::LayerTally proxy_faults;
 
   /// Global mean/median overhead across clients.
   [[nodiscard]] double overall(bool doh, bool median) const;

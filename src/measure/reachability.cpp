@@ -1,6 +1,8 @@
 #include "measure/reachability.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <tuple>
 
 #include "exec/executor.hpp"
 #include "http/url.hpp"
@@ -57,7 +59,13 @@ ReachabilityTest::ClientOutcome ReachabilityTest::query_with_retries(
     Protocol protocol, util::Rng& rng) {
   const ResolverTarget& target = targets_[target_index];
   ClientOutcome result;
-  for (int attempt = 0; attempt < config_.max_attempts; ++attempt) {
+  fault::RetryPolicy policy = config_.retry;
+  policy.max_attempts = config_.max_attempts;
+  policy.per_attempt = config_.timeout;
+  policy.total_budget =
+      sim::Millis{config_.timeout.value * config_.max_attempts};
+  sim::Millis spent{0.0};
+  for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
     const dns::Name qname = world_->unique_probe_name(rng);
     client::QueryOutcome outcome;
     switch (protocol) {
@@ -88,25 +96,46 @@ ReachabilityTest::ClientOutcome ReachabilityTest::query_with_retries(
         break;
       }
     }
+    result.attempts = attempt + 1;
     result.last = std::move(outcome);
     result.outcome = classify(result.last);
     if (result.outcome != Outcome::kFailed) return result;  // retry failures only
+    // Persistent failures (refused connect, no TLS, rejected certificate)
+    // cannot change on a later attempt: stop early instead of burning the
+    // remaining budget. Classification is per lookup, so Table 4 tallies
+    // are unchanged — only wasted attempts disappear.
+    if (!fault::is_transient(result.last.status)) return result;
+    ++result.transient_failures;
+    spent += result.last.latency;
+    if (attempt + 1 < policy.max_attempts) {
+      spent += fault::backoff_delay(policy, attempt, rng);
+      if (spent.value > policy.total_budget.value) return result;
+    }
   }
   return result;
 }
 
 ReachabilityTest::SessionPartial ReachabilityTest::run_session(
-    const proxy::ProxySession& session, util::Rng& rng) {
+    proxy::ProxySession session, util::Rng& rng) {
   SessionPartial partial;
-  const auto& vantage = session.vantage();
 
-  client::Do53Client do53(world_->network(), vantage.context, rng.next());
-  client::DotClient dot(world_->network(), vantage.context, rng.next());
-  client::DohClient doh(world_->network(), vantage.context, rng.next());
+  auto make_clients = [&] {
+    const auto& context = session.vantage().context;
+    return std::tuple(
+        std::make_unique<client::Do53Client>(world_->network(), context,
+                                             rng.next()),
+        std::make_unique<client::DotClient>(world_->network(), context,
+                                            rng.next()),
+        std::make_unique<client::DohClient>(world_->network(), context,
+                                            rng.next()));
+  };
+  auto [do53, dot, doh] = make_clients();
 
   bool cloudflare_dot_failed = false;
   InterceptionRecord interception;
   bool saw_interception = false;
+  int failovers_left = config_.max_failovers;
+  bool session_dead = false;
 
   for (std::size_t t = 0; t < targets_.size(); ++t) {
     const auto& target = targets_[t];
@@ -122,8 +151,38 @@ ReachabilityTest::SessionPartial ReachabilityTest::run_session(
           cloudflare_dot_failed = true;
         continue;
       }
+      // Exit-node death: fail over to a replacement session (the paper's
+      // node-discard-and-continue method) until the budget runs out.
+      if (!session_dead &&
+          world_->fault_injector().exit_node_dies(session.id(), rng)) {
+        ++partial.proxy_faults.injected;
+        if (failovers_left > 0) {
+          --failovers_left;
+          session = platform_->failover(session, rng);
+          std::tie(do53, dot, doh) = make_clients();
+          ++partial.proxy_faults.recovered;
+        } else {
+          ++partial.proxy_faults.surfaced;
+          session_dead = true;
+        }
+      }
+      if (session_dead) {
+        ++partial.cells[{target.name, protocol}].failed;
+        if (target.name == "Cloudflare" && protocol == Protocol::kDoT)
+          cloudflare_dot_failed = true;
+        continue;
+      }
       const auto outcome =
-          query_with_retries(session, do53, dot, doh, t, protocol, rng);
+          query_with_retries(session, *do53, *dot, *doh, t, protocol, rng);
+      if (outcome.transient_failures > 0) {
+        partial.client_faults.injected +=
+            static_cast<std::uint64_t>(outcome.transient_failures);
+        if (outcome.outcome == Outcome::kFailed) {
+          ++partial.client_faults.surfaced;
+        } else {
+          ++partial.client_faults.recovered;
+        }
+      }
       auto& cell = partial.cells[{target.name, protocol}];
       switch (outcome.outcome) {
         case Outcome::kCorrect: ++cell.correct; break;
@@ -166,6 +225,7 @@ ReachabilityTest::SessionPartial ReachabilityTest::run_session(
     }
   }
 
+  const auto& vantage = session.vantage();
   if (saw_interception) {
     interception.client_address = vantage.address;
     interception.country = vantage.country;
@@ -229,6 +289,8 @@ ReachabilityResults ReachabilityTest::run() {
       results.interceptions.push_back(std::move(*partial.interception));
     if (partial.diagnosis)
       results.conflict_diagnoses.push_back(std::move(*partial.diagnosis));
+    results.client_faults += partial.client_faults;
+    results.proxy_faults += partial.proxy_faults;
   }
 
   results.clients = sessions.size();

@@ -16,6 +16,7 @@
 #include "client/do53.hpp"
 #include "client/doh.hpp"
 #include "client/dot.hpp"
+#include "fault/retry.hpp"
 #include "http/url.hpp"
 #include "measure/targets.hpp"
 #include "proxy/proxy.hpp"
@@ -67,6 +68,12 @@ struct ReachabilityConfig {
   /// Worker threads for the per-vantage fan-out; 0 = auto (ENCDNS_THREADS env
   /// or hardware_concurrency). Results are identical for every value.
   unsigned thread_count = 0;
+  /// Backoff knobs for the retry loop (max_attempts/timeout above stay
+  /// authoritative for the attempt count and per-attempt deadline).
+  fault::RetryPolicy retry;
+  /// Session failovers allowed when an exit node dies mid-run; beyond this
+  /// the remaining cells for the session count as failed.
+  int max_failovers = 3;
 };
 
 struct ReachabilityResults {
@@ -77,6 +84,10 @@ struct ReachabilityResults {
   std::vector<ConflictDiagnosis> conflict_diagnoses;
   std::vector<InterceptionRecord> interceptions;
   proxy::DatasetSummary dataset;
+  /// Fault accounting: transient attempt failures seen by the clients and
+  /// exit-node deaths seen by the platform (injected / recovered / surfaced).
+  fault::LayerTally client_faults;
+  fault::LayerTally proxy_faults;
 
   [[nodiscard]] const OutcomeCounts& cell(const std::string& resolver,
                                           Protocol protocol) const;
@@ -101,13 +112,18 @@ class ReachabilityTest {
   struct ClientOutcome {
     Outcome outcome = Outcome::kFailed;
     client::QueryOutcome last;
+    int attempts = 0;
+    int transient_failures = 0;
   };
   struct SessionPartial {
     std::map<std::pair<std::string, Protocol>, OutcomeCounts> cells;
     std::optional<InterceptionRecord> interception;
     std::optional<ConflictDiagnosis> diagnosis;
+    fault::LayerTally client_faults;
+    fault::LayerTally proxy_faults;
   };
-  [[nodiscard]] SessionPartial run_session(const proxy::ProxySession& session,
+  // `session` by value: on exit-node death the session is replaced in place.
+  [[nodiscard]] SessionPartial run_session(proxy::ProxySession session,
                                            util::Rng& rng);
   [[nodiscard]] ClientOutcome query_with_retries(const proxy::ProxySession& session,
                                                  client::Do53Client& do53,

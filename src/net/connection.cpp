@@ -15,6 +15,16 @@ sim::Millis TcpConnection::maybe_loss_penalty() {
 TcpConnection::ExchangeResult TcpConnection::exchange(
     std::span<const std::uint8_t> payload, sim::Millis timeout) {
   ExchangeResult result;
+  fault::Decision fd;
+  if (injector_ != nullptr && injector_->enabled()) {
+    fd = injector_->decide(fault::Channel::kExchange, dst_, port_, date_, *rng_);
+  }
+  if (fd.kind == fault::Decision::Kind::kReset) {
+    // RST mid-stream: the request never completes.
+    result.status = ExchangeResult::Status::kClosed;
+    result.latency = rtt_ * 0.5;
+    return result;
+  }
 
   WireRequest request;
   request.transport = Transport::kTcp;
@@ -27,8 +37,8 @@ TcpConnection::ExchangeResult TcpConnection::exchange(
   request.pop = pop_location_;
 
   WireReply reply = endpoint_->handle(request);
-  sim::Millis latency =
-      rtt_ + per_exchange_penalty_ + maybe_loss_penalty() + reply.processing;
+  sim::Millis latency = rtt_ + per_exchange_penalty_ + maybe_loss_penalty() +
+                        reply.processing + fd.extra_latency;
   if (tls_established_) {
     latency += tls::record_crypto_cost(payload.size() + reply.payload.size(), *rng_);
     if (intercepted_) {
@@ -48,7 +58,14 @@ TcpConnection::ExchangeResult TcpConnection::exchange(
     return result;
   }
   result.status = ExchangeResult::Status::kOk;
-  result.payload = std::move(reply.payload);
+  if (fd.kind == fault::Decision::Kind::kServfail) {
+    // SERVFAIL burst: the resolver's frontend answers with a matching
+    // failure response instead of the real answer.
+    result.payload = fault::make_servfail_reply(payload, /*framed=*/true);
+  } else {
+    result.payload = std::move(reply.payload);
+    if (fd.kind == fault::Decision::Kind::kGarble) fault::garble(result.payload);
+  }
   result.latency = latency;
   return result;
 }
@@ -57,6 +74,19 @@ TcpConnection::TlsResult TcpConnection::tls_handshake(const std::string& sni,
                                                       tls::TlsVersion version,
                                                       bool resumed) {
   TlsResult result;
+  sim::Millis fault_extra{0.0};
+  if (injector_ != nullptr && injector_->enabled()) {
+    const fault::Decision fd =
+        injector_->decide(fault::Channel::kTls, dst_, port_, date_, *rng_);
+    if (fd.kind == fault::Decision::Kind::kStall) {
+      // Handshake hangs (lost ServerHello / stalled record): the client
+      // gives up after its handshake deadline.
+      result.status = TlsResult::Status::kTimeout;
+      result.latency = rtt_ + injector_->profile().tls_stall_hang;
+      return result;
+    }
+    fault_extra = fd.extra_latency;  // spike rides on top of the handshake
+  }
   const auto origin_chain = endpoint_->certificate(port_, sni, date_);
 
   if (interceptor_ != nullptr) {
@@ -83,7 +113,8 @@ TcpConnection::TlsResult TcpConnection::tls_handshake(const std::string& sni,
 
   const int rtts = tls::handshake_rtts(version, resumed);
   result.latency = rtt_ * static_cast<double>(rtts) + maybe_loss_penalty() +
-                   tls::handshake_crypto_cost(version, resumed, *rng_);
+                   tls::handshake_crypto_cost(version, resumed, *rng_) +
+                   fault_extra;
   result.status = TlsResult::Status::kEstablished;
   tls_established_ = true;
   sni_ = sni;

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "net/geo.hpp"
 #include "sim/duration.hpp"
 #include "tls/certificate.hpp"
@@ -33,9 +34,10 @@ class TcpConnection {
     sim::Millis latency{0.0};
   };
 
-  /// Send one request and await the response over this connection.
+  /// Send one request and await the response over this connection. The
+  /// deadline is the caller's own query timeout (no hidden default).
   [[nodiscard]] ExchangeResult exchange(std::span<const std::uint8_t> payload,
-                                        sim::Millis timeout = sim::Millis{5000});
+                                        sim::Millis timeout);
 
   struct TlsResult {
     enum class Status { kEstablished, kNoTls, kTimeout };
@@ -74,7 +76,8 @@ class TcpConnection {
                 sim::Millis rtt, sim::Millis per_exchange_penalty, double loss_rate,
                 const Location& client_location, const Location& pop_location,
                 const util::Date& date, const tls::TlsInterceptor* interceptor,
-                bool hijacked, util::Rng& rng) noexcept
+                bool hijacked, util::Rng& rng,
+                const fault::FaultInjector* injector) noexcept
       : endpoint_(&endpoint),
         dst_(dst),
         port_(port),
@@ -86,7 +89,8 @@ class TcpConnection {
         date_(date),
         interceptor_(interceptor),
         hijacked_(hijacked),
-        rng_(&rng) {}
+        rng_(&rng),
+        injector_(injector) {}
 
   Service* endpoint_;
   util::Ipv4 dst_;
@@ -100,6 +104,7 @@ class TcpConnection {
   const tls::TlsInterceptor* interceptor_;  // non-owning; may be nullptr
   bool hijacked_;
   util::Rng* rng_;
+  const fault::FaultInjector* injector_;  // non-owning; may be nullptr
 
   bool tls_established_ = false;
   bool intercepted_ = false;

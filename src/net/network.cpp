@@ -62,6 +62,20 @@ Network::ProbeResult Network::probe_tcp(const ClientContext& client, util::Rng& 
                                         const util::Date& date,
                                         sim::Millis timeout) const {
   ProbeResult result;
+  fault::Decision fd;
+  if (injector_ != nullptr && injector_->enabled()) {
+    fd = injector_->decide(fault::Channel::kProbe, dst, port, date, rng);
+  }
+  if (fd.kind == fault::Decision::Kind::kDrop) {
+    result.status = ProbeStatus::kFiltered;  // SYN blackholed in transit
+    result.latency = timeout;
+    return result;
+  }
+  if (fd.kind == fault::Decision::Kind::kReset) {
+    result.status = ProbeStatus::kClosed;  // spurious RST
+    result.latency = sample_rtt(client, client.location.geo, sim::Millis{0}, rng);
+    return result;
+  }
   for (const auto* box : client.path) {
     const auto verdict = box->on_tcp_syn(dst, port, date);
     using Action = Middlebox::TcpVerdict::Action;
@@ -88,17 +102,18 @@ Network::ProbeResult Network::probe_tcp(const ClientContext& client, util::Rng& 
   if (const Pop* pop = route(dst, client.location, date)) {
     const bool open = pop->service->accepts(port, Transport::kTcp);
     result.status = open ? ProbeStatus::kOpen : ProbeStatus::kClosed;
-    result.latency = sample_rtt(client, pop->location.geo, pop->extra_processing, rng);
+    result.latency = sample_rtt(client, pop->location.geo, pop->extra_processing, rng) +
+                     fd.extra_latency;
     return result;
   }
   if (background_ && background_(dst, port, date)) {
     result.status = ProbeStatus::kOpen;
     // Background hosts are scattered; approximate a mid-range RTT.
-    result.latency = sim::Millis{rng.uniform(20.0, 250.0)};
+    result.latency = sim::Millis{rng.uniform(20.0, 250.0)} + fd.extra_latency;
     return result;
   }
   result.status = ProbeStatus::kClosed;
-  result.latency = sim::Millis{rng.uniform(10.0, 200.0)};
+  result.latency = sim::Millis{rng.uniform(10.0, 200.0)} + fd.extra_latency;
   return result;
 }
 
@@ -108,6 +123,15 @@ Network::UdpResult Network::udp_exchange(const ClientContext& client, util::Rng&
                                          const util::Date& date,
                                          sim::Millis timeout) const {
   UdpResult result;
+  fault::Decision fd;
+  if (injector_ != nullptr && injector_->enabled()) {
+    fd = injector_->decide(fault::Channel::kUdp, dst, port, date, rng);
+  }
+  if (fd.kind == fault::Decision::Kind::kDrop) {
+    result.status = UdpResult::Status::kTimeout;  // datagram lost in transit
+    result.latency = timeout;
+    return result;
+  }
   for (const auto* box : client.path) {
     const auto verdict = box->on_udp(dst, port, payload, date);
     using Action = Middlebox::UdpVerdict::Action;
@@ -155,14 +179,18 @@ Network::UdpResult Network::udp_exchange(const ClientContext& client, util::Rng&
   }
   const sim::Millis latency =
       sample_rtt(client, pop->location.geo, pop->extra_processing, rng) +
-      reply.processing;
+      reply.processing + fd.extra_latency;
   if (latency > timeout) {
     result.status = UdpResult::Status::kTimeout;
     result.latency = timeout;
     return result;
   }
   result.status = UdpResult::Status::kOk;
-  result.payload = std::move(reply.payload);
+  // A SERVFAIL burst answers from the resolver's frontend: the request comes
+  // back patched into a matching failure response.
+  result.payload = fd.kind == fault::Decision::Kind::kServfail
+                       ? fault::make_servfail_reply(payload, /*framed=*/false)
+                       : std::move(reply.payload);
   result.latency = latency;
   return result;
 }
@@ -172,6 +200,20 @@ Network::ConnectResult Network::tcp_connect(const ClientContext& client, util::R
                                             const util::Date& date,
                                             sim::Millis timeout) const {
   ConnectResult result;
+  fault::Decision fd;
+  if (injector_ != nullptr && injector_->enabled()) {
+    fd = injector_->decide(fault::Channel::kConnect, dst, port, date, rng);
+  }
+  if (fd.kind == fault::Decision::Kind::kDrop) {
+    result.status = ConnectResult::Status::kTimeout;  // SYNs blackholed
+    result.latency = timeout;
+    return result;
+  }
+  if (fd.kind == fault::Decision::Kind::kReset) {
+    result.status = ConnectResult::Status::kReset;  // RST during handshake
+    result.latency = client.link.last_mile + sim::Millis{rng.uniform(1.0, 10.0)};
+    return result;
+  }
   const tls::TlsInterceptor* interceptor = nullptr;
   for (const auto* box : client.path) {
     if (interceptor == nullptr) interceptor = box->tls_interceptor(dst, port);
@@ -198,12 +240,12 @@ Network::ConnectResult Network::tcp_connect(const ClientContext& client, util::R
         const sim::Millis rtt =
             client.link.last_mile + sim::Millis{rng.uniform(0.5, 3.0)};
         result.status = ConnectResult::Status::kConnected;
-        result.latency = rtt;
+        result.latency = rtt + fd.extra_latency;
         result.connection = TcpConnection(
             *verdict.service, dst, port, rtt, sim::Millis{0.0},
             client.link.loss_rate, client.location,
             /*pop_location=*/client.location, date, interceptor,
-            /*hijacked=*/true, rng);
+            /*hijacked=*/true, rng, injector_);
         return result;
       }
     }
@@ -228,7 +270,7 @@ Network::ConnectResult Network::tcp_connect(const ClientContext& client, util::R
     return result;
   }
 
-  sim::Millis connect_latency = rtt;
+  sim::Millis connect_latency = rtt + fd.extra_latency;
   if (rng.chance(client.link.loss_rate)) {
     connect_latency += sim::Millis{rng.uniform(200.0, 1000.0)};  // SYN retransmit
   }
@@ -244,7 +286,7 @@ Network::ConnectResult Network::tcp_connect(const ClientContext& client, util::R
   result.connection =
       TcpConnection(*endpoint, dst, port, rtt, penalty, client.link.loss_rate,
                     client.location, pop_location, date, interceptor,
-                    /*hijacked=*/false, rng);
+                    /*hijacked=*/false, rng, injector_);
   return result;
 }
 

@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "net/connection.hpp"
 #include "net/geo.hpp"
 #include "net/middlebox.hpp"
@@ -57,6 +58,16 @@ class Network {
       std::function<bool(util::Ipv4, std::uint16_t, const util::Date&)>;
   void set_background(BackgroundProbe probe) { background_ = std::move(probe); }
 
+  /// Install the transient-fault injector consulted by every transport
+  /// primitive (nullptr disables injection entirely). Non-owning; the World
+  /// owns the injector and keeps it alive for the network's lifetime.
+  void set_fault_injector(const fault::FaultInjector* injector) noexcept {
+    injector_ = injector;
+  }
+  [[nodiscard]] const fault::FaultInjector* fault_injector() const noexcept {
+    return injector_;
+  }
+
   /// Nearest active PoP for `addr` as seen from `from` at `date`; nullptr if
   /// the address has no active binding.
   [[nodiscard]] const Pop* route(util::Ipv4 addr, const Location& from,
@@ -85,12 +96,13 @@ class Network {
     sim::Millis latency{0.0};
     bool spoofed = false;  // answer forged in-path, never reached dst
   };
-  /// One UDP request/response exchange.
+  /// One UDP request/response exchange. The deadline is the caller's: the
+  /// client's own query timeout, not a transport-layer constant.
   [[nodiscard]] UdpResult udp_exchange(const ClientContext& client, util::Rng& rng,
                                        util::Ipv4 dst, std::uint16_t port,
                                        std::span<const std::uint8_t> payload,
                                        const util::Date& date,
-                                       sim::Millis timeout = sim::Millis{5000}) const;
+                                       sim::Millis timeout) const;
 
   struct ConnectResult {
     enum class Status { kConnected, kTimeout, kReset, kRefused };
@@ -98,15 +110,18 @@ class Network {
     std::optional<TcpConnection> connection;  // set iff kConnected
     sim::Millis latency{0.0};
   };
-  /// Establish a TCP connection (one RTT on success).
+  /// Establish a TCP connection (one RTT on success). The deadline is the
+  /// caller's own — there is deliberately no default: a hidden 5 s constant
+  /// here used to silently undercut the clients' 30 s query timeouts.
   [[nodiscard]] ConnectResult tcp_connect(const ClientContext& client, util::Rng& rng,
                                           util::Ipv4 dst, std::uint16_t port,
                                           const util::Date& date,
-                                          sim::Millis timeout = sim::Millis{5000}) const;
+                                          sim::Millis timeout) const;
 
  private:
   std::unordered_map<util::Ipv4, std::vector<Binding>> bindings_;
   BackgroundProbe background_;
+  const fault::FaultInjector* injector_ = nullptr;
 
   /// Sample this client's RTT to a point, with per-call jitter.
   [[nodiscard]] static sim::Millis sample_rtt(const ClientContext& client,

@@ -28,6 +28,20 @@ ProxySession ProxyNetwork::acquire() {
   return ProxySession(std::move(vantage), tunnel, lifetime, next_id_++);
 }
 
+ProxySession ProxyNetwork::failover(const ProxySession& dead,
+                                    util::Rng& rng) const {
+  world::Vantage vantage = config_.kind == PlatformKind::kGlobal
+                               ? world_->sample_global_vantage(rng)
+                               : world_->sample_cn_vantage(rng);
+  const sim::Millis tunnel =
+      net::propagation_rtt(client_geo_, vantage.context.location.geo) +
+      vantage.context.link.last_mile + sim::Millis{rng.uniform(4.0, 18.0)};
+  const sim::Millis lifetime{
+      rng.lognormal(config_.median_lifetime.value, config_.lifetime_sigma)};
+  return ProxySession(std::move(vantage), tunnel, lifetime,
+                      util::mix64(dead.id() ^ 0xFA170E4ULL));
+}
+
 std::vector<ProxySession> ProxyNetwork::acquire_batch(std::size_t n) {
   std::vector<ProxySession> sessions;
   sessions.reserve(n);

@@ -93,6 +93,14 @@ class ProxyNetwork {
   /// True if a query through the platform hits unexpected node churn.
   [[nodiscard]] bool churn_event() { return rng_.chance(config_.churn_per_query); }
 
+  /// Replacement for a session whose exit node died mid-measurement: the
+  /// platform rotates in a fresh node on reconnect. Samples exclusively from
+  /// the caller's rng stream (never the platform's own), so parallel
+  /// experiments that fail over stay bit-identical for any thread count; the
+  /// replacement id is derived from the dead session's.
+  [[nodiscard]] ProxySession failover(const ProxySession& dead,
+                                      util::Rng& rng) const;
+
   /// Recruit `n` sessions and summarize the dataset they form.
   [[nodiscard]] static DatasetSummary summarize(const std::string& platform,
                                                 const std::vector<ProxySession>& s);

@@ -46,8 +46,32 @@ DohDiscovery DohProber::discover(const std::vector<std::string>& urls,
         options.bootstrap_resolver = world_->bootstrap_resolver(origin_.country);
         options.timeout = sim::Millis{10000.0};
         options.reuse_connection = false;
-        const dns::Name qname = world_->unique_probe_name(rng_);
-        auto outcome = client_.query(*tmpl, qname, dns::RrType::kA, date, options);
+        const auto issue = [&] {
+          const dns::Name qname = world_->unique_probe_name(rng_);
+          return client_.query(*tmpl, qname, dns::RrType::kA, date, options);
+        };
+        // Retry transient failures only. An HTTP error below 500 is the
+        // server's deterministic answer (a non-DoH endpoint serving 404),
+        // not noise — retrying it would burn attempts and rng draws on
+        // every fault-free candidate.
+        const auto retryable = [](const client::QueryOutcome& o) {
+          if (!fault::should_retry(o.status)) return false;
+          return o.status != client::QueryStatus::kHttpError ||
+                 o.http_status >= 500;
+        };
+        auto outcome = issue();
+        int transient = 0;
+        while (retryable(outcome) && transient + 1 < attempts_) {
+          ++transient;
+          outcome = issue();
+        }
+        if (transient > 0) {
+          discovery.faults.injected += static_cast<std::uint64_t>(transient);
+          if (retryable(outcome))
+            ++discovery.faults.surfaced;
+          else
+            ++discovery.faults.recovered;
+        }
         candidate.http_status = outcome.http_status;
         if (outcome.answered() && outcome.response->first_a() &&
             *outcome.response->first_a() == world_->probe_answer()) {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "client/doh.hpp"
+#include "fault/retry.hpp"
 #include "world/world.hpp"
 
 namespace encdns::scan {
@@ -38,15 +39,19 @@ struct DohDiscovery {
   std::size_t valid_urls = 0;       // candidates that answered DoH correctly
   std::vector<DohCandidate> candidates;
   std::vector<DiscoveredDoh> resolvers;  // deduplicated by (host, path)
+  /// Retry accounting for the candidate probes (transient failures only).
+  fault::LayerTally faults;
 };
 
 class DohProber {
  public:
-  DohProber(const world::World& world, world::Vantage origin, std::uint64_t seed)
+  DohProber(const world::World& world, world::Vantage origin, std::uint64_t seed,
+            int attempts = 3)
       : world_(&world),
         origin_(std::move(origin)),
         client_(world.network(), origin_.context, seed),
-        rng_(util::mix64(seed ^ 0xD0417ULL)) {}
+        rng_(util::mix64(seed ^ 0xD0417ULL)),
+        attempts_(attempts < 1 ? 1 : attempts) {}
 
   /// Run discovery over the full URL dataset at `date`.
   [[nodiscard]] DohDiscovery discover(const std::vector<std::string>& urls,
@@ -57,6 +62,7 @@ class DohProber {
   world::Vantage origin_;
   client::DohClient client_;
   util::Rng rng_;
+  int attempts_;
 };
 
 }  // namespace encdns::scan

@@ -20,8 +20,20 @@ DotProbeResult DotProber::probe(util::Ipv4 address, const util::Date& date) {
   options.reuse_connection = false;  // every probe is a fresh host
   options.timeout = sim::Millis{10000.0};
 
-  const dns::Name qname = world_->unique_probe_name(rng_);
-  auto outcome = client_.query(address, qname, dns::RrType::kA, date, options);
+  // Re-issue the probe while its failure is transient (dropped SYN, reset
+  // stream, TLS stall). Persistent verdicts — closed port, no TLS, bad
+  // certificate — end the loop immediately; fault-free probes never retry,
+  // so the rng stream is untouched unless a fault profile is active.
+  client::QueryOutcome outcome;
+  for (int attempt = 0;; ++attempt) {
+    const dns::Name qname = world_->unique_probe_name(rng_);
+    outcome = client_.query(address, qname, dns::RrType::kA, date, options);
+    result.attempts = attempt + 1;
+    if (!fault::should_retry(outcome.status) || attempt + 1 >= attempts_) break;
+  }
+  result.last_status = outcome.status;
+  result.recovered =
+      result.attempts > 1 && !fault::is_transient(outcome.status);
   result.latency = outcome.latency;
 
   switch (outcome.status) {

@@ -7,6 +7,7 @@
 #include <optional>
 
 #include "client/dot.hpp"
+#include "fault/retry.hpp"
 #include "tls/verify.hpp"
 #include "world/world.hpp"
 
@@ -22,15 +23,22 @@ struct DotProbeResult {
   std::optional<util::Ipv4> answer;
   bool answer_correct = false;  // matches the probe zone's ground truth
   sim::Millis latency{0.0};
+  /// Retry accounting: attempts issued, whether a retry turned a transient
+  /// failure into a definitive verdict, and the final attempt's status.
+  int attempts = 1;
+  bool recovered = false;
+  client::QueryStatus last_status = client::QueryStatus::kOk;
 };
 
 class DotProber {
  public:
-  DotProber(const world::World& world, world::Vantage origin, std::uint64_t seed)
+  DotProber(const world::World& world, world::Vantage origin, std::uint64_t seed,
+            int attempts = 3)
       : world_(&world),
         origin_(std::move(origin)),
         client_(world.network(), origin_.context, seed),
-        rng_(util::mix64(seed ^ 0xD07ULL)) {}
+        rng_(util::mix64(seed ^ 0xD07ULL)),
+        attempts_(attempts < 1 ? 1 : attempts) {}
 
   /// Probe one address on the standard DoT port.
   [[nodiscard]] DotProbeResult probe(util::Ipv4 address, const util::Date& date);
@@ -40,6 +48,7 @@ class DotProber {
   world::Vantage origin_;
   client::DotClient client_;
   util::Rng rng_;
+  int attempts_;
 };
 
 /// The provider-grouping key used in §3.2: the certificate CN's registrable

@@ -1,6 +1,7 @@
 #include "scan/scanner.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_set>
 
 #include "exec/executor.hpp"
@@ -41,7 +42,8 @@ std::vector<std::string> ScanSnapshot::invalid_cert_providers() const {
 Scanner::Scanner(const world::World& world, CampaignConfig config)
     : world_(&world),
       config_(std::move(config)),
-      space_(world.scan_prefixes()) {
+      space_(world.scan_prefixes()),
+      breaker_(config_.breaker_threshold) {
   for (const auto& country : config_.origin_countries)
     origins_.push_back(world_->make_clean_vantage(country));
   // Geolocation oracle: stands in for the commercial IP-geolocation database
@@ -64,6 +66,7 @@ ScanSnapshot Scanner::scan_once(const util::Date& date) {
   struct SweepPartial {
     std::uint64_t probed = 0;
     std::vector<util::Ipv4> open_hosts;
+    fault::LayerTally faults;
   };
   std::vector<SweepPartial> partials(kSweepShards);
   const std::uint64_t sweep_seed = config_.seed ^ (0xAB5C15ULL + scan_serial_);
@@ -78,8 +81,26 @@ ScanSnapshot Scanner::scan_once(const util::Date& date) {
       ++partial.probed;
       // Rotate origins by address so the assignment is shard-independent.
       const auto& origin = origins_[addr.value() % origins_.size()];
-      const auto probe = world_->network().probe_tcp(origin.context, rng, addr,
-                                                     dns::kDotPort, date);
+      auto probe = world_->network().probe_tcp(origin.context, rng, addr,
+                                               dns::kDotPort, date);
+      if (probe.status == net::Network::ProbeStatus::kFiltered) {
+        // From a clean origin a filtered verdict means the SYN (or its ACK)
+        // was dropped in flight, not a middlebox: re-probe before writing
+        // the host off. Extra rng draws happen only on this path, so
+        // fault-free sweeps remain byte-identical.
+        for (int retry = 0;
+             retry < config_.sweep_retries &&
+             probe.status == net::Network::ProbeStatus::kFiltered;
+             ++retry) {
+          ++partial.faults.injected;
+          probe = world_->network().probe_tcp(origin.context, rng, addr,
+                                              dns::kDotPort, date);
+        }
+        if (probe.status == net::Network::ProbeStatus::kFiltered)
+          ++partial.faults.surfaced;
+        else
+          ++partial.faults.recovered;
+      }
       if (probe.status == net::Network::ProbeStatus::kOpen)
         partial.open_hosts.push_back(addr);
     }
@@ -89,6 +110,7 @@ ScanSnapshot Scanner::scan_once(const util::Date& date) {
     snapshot.addresses_probed += partial.probed;
     open_hosts.insert(open_hosts.end(), partial.open_hosts.begin(),
                       partial.open_hosts.end());
+    snapshot.faults += partial.faults;
   }
   snapshot.port_open = open_hosts.size();
 
@@ -98,17 +120,42 @@ ScanSnapshot Scanner::scan_once(const util::Date& date) {
   const std::uint64_t probe_seed =
       config_.seed ^ (scan_serial_ * 0x9E3779B97F4A7C15ULL);
   const world::Vantage& probe_origin = origins_[scan_serial_ % origins_.size()];
+  // The circuit breaker is read-only inside the parallel map; strikes are
+  // recorded serially after the merge, in canonical address order, so the
+  // breaker state entering the next scan is thread-count independent.
   const auto probe_results = exec::parallel_map(
-      pool, open_hosts, [&](const util::Ipv4 addr, std::size_t) {
+      pool, open_hosts,
+      [&](const util::Ipv4 addr, std::size_t) -> std::optional<DotProbeResult> {
+        if (breaker_.open(addr.value())) return std::nullopt;
         DotProber prober(*world_, probe_origin,
-                         util::mix64(probe_seed ^ addr.value()));
+                         util::mix64(probe_seed ^ addr.value()),
+                         config_.probe_attempts);
         return prober.probe(addr, date);
       });
   for (std::size_t i = 0; i < open_hosts.size(); ++i) {
-    const auto& result = probe_results[i];
+    const util::Ipv4 addr = open_hosts[i];
+    if (!probe_results[i]) {
+      ++snapshot.breaker_skipped;
+      continue;
+    }
+    const auto& result = *probe_results[i];
+    if (result.attempts > 1) {
+      snapshot.faults.injected +=
+          static_cast<std::uint64_t>(result.attempts - 1);
+      if (result.recovered)
+        ++snapshot.faults.recovered;
+      else
+        ++snapshot.faults.surfaced;
+    }
+    // A host the sweep saw open but the application probe could not reach
+    // even with retries is flaky: strike it. A reachable probe (whatever it
+    // spoke at the application layer) clears the strikes.
+    if (result.port_open)
+      breaker_.record_success(addr.value());
+    else
+      breaker_.record_failure(addr.value());
     if (result.tls_ok) ++snapshot.tls_responsive;
     if (!result.dot_ok) continue;
-    const util::Ipv4 addr = open_hosts[i];
     DiscoveredResolver resolver;
     resolver.address = addr;
     resolver.cert_cn = result.chain.leaf_cn();

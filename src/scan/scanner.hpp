@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fault/retry.hpp"
 #include "scan/doh_prober.hpp"
 #include "scan/dot_prober.hpp"
 #include "scan/space.hpp"
@@ -30,6 +31,12 @@ struct ScanSnapshot {
   std::uint64_t port_open = 0;  // SYN-ACK on 853
   std::uint64_t tls_responsive = 0;
   std::vector<DiscoveredResolver> resolvers;
+  /// Retry accounting: transient sweep and probe failures and whether a
+  /// retry recovered them (all zero without an active fault profile).
+  fault::LayerTally faults;
+  /// Hosts skipped in Phase 2 because the circuit breaker was open after
+  /// repeated flaky probes in earlier scans of the campaign.
+  std::uint64_t breaker_skipped = 0;
 
   /// Distinct providers (grouping key) seen in this snapshot.
   [[nodiscard]] std::vector<std::string> providers() const;
@@ -52,6 +59,15 @@ struct CampaignConfig {
   /// (ENCDNS_THREADS env or hardware_concurrency). Results are identical for
   /// every value — see exec::WorkerPool.
   unsigned thread_count = 0;
+  /// Extra SYN attempts when a sweep probe comes back filtered. From the
+  /// clean scan origins a filtered verdict means a dropped SYN, never a
+  /// middlebox, so fault-free sweeps never retry (and stay byte-identical).
+  int sweep_retries = 2;
+  /// Application-layer probe attempts on transient failures (Phase 2).
+  int probe_attempts = 3;
+  /// Consecutive scans in which a port-open host must flake out of the
+  /// application-layer probe before the circuit breaker skips it.
+  int breaker_threshold = 3;
 };
 
 class Scanner {
@@ -73,6 +89,9 @@ class Scanner {
   std::vector<world::Vantage> origins_;
   std::unordered_map<std::uint32_t, std::string> geo_oracle_;
   std::uint64_t scan_serial_ = 0;
+  /// Read-only during the parallel Phase 2; updated serially in canonical
+  /// address order after the merge, so campaign state is deterministic.
+  fault::CircuitBreaker breaker_;
 };
 
 }  // namespace encdns::scan

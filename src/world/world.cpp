@@ -114,6 +114,11 @@ World::World(WorldConfig config) : config_(config) {
                                  const util::Date& date) {
     return port == dns::kDotPort && background_open_853(addr, date);
   });
+
+  config_.fault_profile = fault::FaultProfile::from_env(config_.fault_profile);
+  fault_injector_ = std::make_unique<fault::FaultInjector>(
+      config_.fault_profile, util::mix64(config_.seed ^ 0xFA017ULL));
+  network_.set_fault_injector(fault_injector_.get());
 }
 
 double World::proxy_weight(const CountryInfo& info) const {

@@ -13,6 +13,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "net/network.hpp"
 #include "resolver/recursive.hpp"
 #include "resolver/services.hpp"
@@ -66,6 +67,12 @@ struct WorldConfig {
   /// ISP local resolvers created for the §3.1 local-resolver DoT test.
   std::size_t local_resolver_count = 220;
   double local_resolver_dot_rate = 0.004;
+
+  /// Transient-fault injection profile (DESIGN.md §8). Off by default so
+  /// baseline runs stay byte-identical; FaultProfile::canonical() turns on
+  /// every fault class at calibrated rates. The ENCDNS_FAULTS environment
+  /// variable ("canonical"/"off") overrides this at World construction.
+  fault::FaultProfile fault_profile{};
 };
 
 /// One recruited vantage point, with simulation ground truth attached.
@@ -176,9 +183,20 @@ class World {
   /// Per-country probability that a client sits behind a port-53 filter.
   [[nodiscard]] double port53_rate(const std::string& country) const;
 
+  /// The transient-fault injector wired into the network's transport
+  /// primitives (disabled-profile injectors still exist, so counters read 0).
+  [[nodiscard]] const fault::FaultInjector& fault_injector() const noexcept {
+    return *fault_injector_;
+  }
+
+  /// Unhook the injector from the network entirely (benchmark ablations:
+  /// measures the cost of the hook itself rather than of a disabled draw).
+  void disable_fault_injection() noexcept { network_.set_fault_injector(nullptr); }
+
  private:
   WorldConfig config_;
   net::Network network_;
+  std::unique_ptr<fault::FaultInjector> fault_injector_;
   resolver::AuthoritativeUniverse universe_;
   Deployments deployments_;
   std::vector<util::Cidr> scan_prefixes_;

@@ -1,6 +1,10 @@
 // Stub-resolver clients exercised against a full World.
 #include <gtest/gtest.h>
 
+#include <iterator>
+#include <set>
+#include <string>
+
 #include "client/do53.hpp"
 #include "client/doh.hpp"
 #include "client/dot.hpp"
@@ -229,6 +233,140 @@ TEST_F(ClientFixture, PaddingAppliedToEncryptedQueries) {
                                     world.unique_probe_name(rng), dns::RrType::kA,
                                     kDay, options);
   ASSERT_TRUE(outcome.answered());  // server handles padded queries fine
+}
+
+TEST(QueryStatusNames, ToStringCoversEveryStatus) {
+  const QueryStatus all[] = {
+      QueryStatus::kOk,           QueryStatus::kTimeout,
+      QueryStatus::kConnectFailed, QueryStatus::kConnectionReset,
+      QueryStatus::kTlsFailed,    QueryStatus::kCertRejected,
+      QueryStatus::kBootstrapFailed, QueryStatus::kHttpError,
+      QueryStatus::kProtocolError};
+  std::set<std::string> names;
+  for (const QueryStatus status : all) {
+    const std::string name = to_string(status);
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, "unknown") << "unhandled enumerator";
+    names.insert(name);
+  }
+  EXPECT_EQ(names.size(), std::size(all)) << "two statuses share a name";
+}
+
+// --- middlebox verdict matrix ----------------------------------------------
+// Exhaustive kDrop / kReset / kHijack x Do53-TCP / DoT / DoH: pins which
+// QueryStatus each client surfaces for each in-path TCP verdict, so the
+// transient-vs-persistent retry classification rests on tested ground.
+
+using TcpAction = net::Middlebox::TcpVerdict::Action;
+
+/// Returns one fixed TCP verdict for every destination.
+class FixedVerdictBox final : public net::Middlebox {
+ public:
+  FixedVerdictBox(TcpAction action, net::Service* service = nullptr)
+      : action_(action), service_(service) {}
+  [[nodiscard]] std::string label() const override { return "fixed-verdict"; }
+  [[nodiscard]] TcpVerdict on_tcp_syn(util::Ipv4, std::uint16_t,
+                                      const util::Date&) const override {
+    return {action_, service_};
+  }
+
+ private:
+  TcpAction action_;
+  net::Service* service_;
+};
+
+struct VerdictMatrixFixture : ClientFixture {
+  // The hijacking device answers SYNs on the DNS/DoT/DoH ports but speaks
+  // none of the protocols (no TLS, no DNS framing) — the paper's "another
+  // device answers for 1.1.1.1" case.
+  world::DeviceService device{"conflict-device",
+                              std::vector<std::uint16_t>{53, 443, 853},
+                              "<html>device</html>"};
+
+  enum class Protocol { kDo53, kDoT, kDoH };
+
+  [[nodiscard]] net::ClientContext context_with(const net::Middlebox& box) {
+    net::ClientContext context = vantage.context;
+    context.path.push_back(&box);
+    return context;
+  }
+
+  [[nodiscard]] QueryOutcome run(Protocol protocol,
+                                 const net::ClientContext& context) {
+    switch (protocol) {
+      case Protocol::kDo53: {
+        Do53Client client(world.network(), context, 21);
+        return client.query_tcp(world::addrs::kCloudflarePrimary,
+                                world.unique_probe_name(rng), dns::RrType::kA,
+                                kDay);
+      }
+      case Protocol::kDoT: {
+        DotClient client(world.network(), context, 22);
+        DotClient::Options options;
+        options.profile = PrivacyProfile::kOpportunistic;
+        return client.query(world::addrs::kCloudflarePrimary,
+                            world.unique_probe_name(rng), dns::RrType::kA, kDay,
+                            options);
+      }
+      case Protocol::kDoH: {
+        DohClient client(world.network(), context, 23);
+        DohClient::Options options;
+        // Pin the server address: bootstrap runs over UDP and would dodge
+        // the TCP middlebox under test.
+        options.server_address = world::addrs::kCloudflarePrimary;
+        const auto tmpl =
+            http::UriTemplate::parse("https://cloudflare-dns.com/dns-query{?dns}");
+        return client.query(*tmpl, world.unique_probe_name(rng), dns::RrType::kA,
+                            kDay, options);
+      }
+    }
+    return {};
+  }
+};
+
+TEST_F(VerdictMatrixFixture, DropTimesOutEveryTransport) {
+  const FixedVerdictBox box(TcpAction::kDrop);
+  const auto context = context_with(box);
+  for (const Protocol protocol :
+       {Protocol::kDo53, Protocol::kDoT, Protocol::kDoH}) {
+    EXPECT_EQ(run(protocol, context).status, QueryStatus::kTimeout)
+        << static_cast<int>(protocol);
+  }
+}
+
+TEST_F(VerdictMatrixFixture, ResetSurfacesAsConnectionResetEveryTransport) {
+  const FixedVerdictBox box(TcpAction::kReset);
+  const auto context = context_with(box);
+  for (const Protocol protocol :
+       {Protocol::kDo53, Protocol::kDoT, Protocol::kDoH}) {
+    EXPECT_EQ(run(protocol, context).status, QueryStatus::kConnectionReset)
+        << static_cast<int>(protocol);
+  }
+}
+
+TEST_F(VerdictMatrixFixture, HijackByNonDnsDeviceSplitsByTransport) {
+  const FixedVerdictBox box(TcpAction::kHijack, &device);
+  const auto context = context_with(box);
+  // Do53/TCP connects but the device never frames a DNS reply: the stream
+  // closes under the client (transient-looking reset).
+  EXPECT_EQ(run(Protocol::kDo53, context).status,
+            QueryStatus::kConnectionReset);
+  // DoT/DoH connect but the device has no certificate: TLS fails, which the
+  // retry policy rightly treats as persistent.
+  EXPECT_EQ(run(Protocol::kDoT, context).status, QueryStatus::kTlsFailed);
+  EXPECT_EQ(run(Protocol::kDoH, context).status, QueryStatus::kTlsFailed);
+}
+
+TEST_F(VerdictMatrixFixture, HijackByDeafDeviceRefusesEveryTransport) {
+  world::DeviceService deaf{"deaf-device", std::vector<std::uint16_t>{22},
+                            ""};
+  const FixedVerdictBox box(TcpAction::kHijack, &deaf);
+  const auto context = context_with(box);
+  for (const Protocol protocol :
+       {Protocol::kDo53, Protocol::kDoT, Protocol::kDoH}) {
+    EXPECT_EQ(run(protocol, context).status, QueryStatus::kConnectFailed)
+        << static_cast<int>(protocol);
+  }
 }
 
 }  // namespace

@@ -3,7 +3,9 @@
 #include "core/experiments.hpp"
 #include "core/implementation_survey.hpp"
 #include "core/protocol_matrix.hpp"
+#include "core/study.hpp"
 #include "core/timeline.hpp"
+#include "fault/fault.hpp"
 
 namespace encdns::core {
 namespace {
@@ -160,6 +162,25 @@ TEST(Experiments, RegistryCoversPaper) {
         "table8", "fig1", "fig2", "fig3", "fig4", "fig9", "fig10", "fig11",
         "fig12", "fig13"})
     EXPECT_TRUE(ids.contains(id)) << id;
+}
+
+// Acceptance for the fault-injection stack (DESIGN.md §8): a quick study under
+// the canonical profile must show every layer both absorbing faults (injected)
+// and recovering from them (recovered) — client retries, scanner
+// retries/breaker, and proxy failover all demonstrably in the loop.
+TEST(Study, RobustnessReportCoversEveryLayerUnderCanonicalFaults) {
+  StudyConfig config = StudyConfig::quick();
+  config.world.fault_profile = fault::FaultProfile::canonical();
+  Study study(config);
+  const fault::RobustnessReport report = study.robustness_report();
+
+  EXPECT_GT(report.client.injected, 0u);
+  EXPECT_GT(report.client.recovered, 0u);
+  EXPECT_GT(report.scanner.injected, 0u);
+  EXPECT_GT(report.scanner.recovered, 0u);
+  EXPECT_GT(report.proxy.injected, 0u);
+  EXPECT_GT(report.proxy.recovered, 0u);
+  EXPECT_FALSE(report.to_string().empty());
 }
 
 }  // namespace

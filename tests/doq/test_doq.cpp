@@ -123,7 +123,8 @@ TEST(DoqClient, StaleTokenRejectedAfterServerRestartEquivalent) {
   bogus.push_back(0);  // malformed frame tail
   util::Rng packet_rng(92);
   const auto result = world.network().udp_exchange(
-      vantage.context, packet_rng, world.doq_address(), kDoqPort, bogus, kDay);
+      vantage.context, packet_rng, world.doq_address(), kDoqPort, bogus, kDay,
+      sim::Millis{5000.0});
   ASSERT_EQ(result.status, net::Network::UdpResult::Status::kOk);
   ASSERT_FALSE(result.payload.empty());
   EXPECT_EQ(result.payload[0], kPacketReject);

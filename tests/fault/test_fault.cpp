@@ -1,0 +1,425 @@
+// Unit tests for the deterministic fault-injection layer: profile/env
+// parsing, draw determinism, the retry/backoff/circuit-breaker helpers, and
+// the rate-1.0 behavior of every Network transport hook.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+
+#include "client/do53.hpp"
+#include "client/dot.hpp"
+#include "dns/query.hpp"
+#include "fault/fault.hpp"
+#include "fault/retry.hpp"
+#include "world/world.hpp"
+
+namespace encdns::fault {
+namespace {
+
+const util::Date kDay{2019, 3, 10};
+const util::Ipv4 kDst{9, 9, 9, 9};
+
+TEST(FaultProfile, DefaultIsOffCanonicalIsOn) {
+  EXPECT_FALSE(FaultProfile{}.enabled());
+  EXPECT_TRUE(FaultProfile::canonical().enabled());
+  // Every fault class participates in the canonical profile.
+  const FaultProfile c = FaultProfile::canonical();
+  EXPECT_GT(c.syn_drop, 0.0);
+  EXPECT_GT(c.connect_reset, 0.0);
+  EXPECT_GT(c.exchange_reset, 0.0);
+  EXPECT_GT(c.exchange_garble, 0.0);
+  EXPECT_GT(c.servfail, 0.0);
+  EXPECT_GT(c.tls_stall, 0.0);
+  EXPECT_GT(c.udp_drop, 0.0);
+  EXPECT_GT(c.latency_spike, 0.0);
+  EXPECT_GT(c.flap_rate, 0.0);
+  EXPECT_GT(c.exit_death, 0.0);
+}
+
+TEST(FaultProfile, EnvOverrideWins) {
+  FaultProfile fallback;
+  fallback.syn_drop = 0.25;
+
+  ::setenv("ENCDNS_FAULTS", "canonical", 1);
+  EXPECT_DOUBLE_EQ(FaultProfile::from_env(fallback).syn_drop,
+                   FaultProfile::canonical().syn_drop);
+  ::setenv("ENCDNS_FAULTS", "off", 1);
+  EXPECT_FALSE(FaultProfile::from_env(fallback).enabled());
+  ::setenv("ENCDNS_FAULTS", "ON", 1);  // case-insensitive
+  EXPECT_TRUE(FaultProfile::from_env(fallback).enabled());
+  ::unsetenv("ENCDNS_FAULTS");
+  EXPECT_DOUBLE_EQ(FaultProfile::from_env(fallback).syn_drop, 0.25);
+}
+
+TEST(FaultInjector, DisabledConsumesNoRngTokens) {
+  const FaultInjector injector(FaultProfile{}, 42);
+  util::Rng rng(7);
+  util::Rng untouched(7);
+  const auto decision =
+      injector.decide(Channel::kConnect, kDst, 853, kDay, rng);
+  EXPECT_EQ(decision.kind, Decision::Kind::kNone);
+  EXPECT_DOUBLE_EQ(decision.extra_latency.value, 0.0);
+  EXPECT_FALSE(injector.exit_node_dies(1, rng));
+  // Fault-free runs must stay byte-identical to the pre-hook build: the
+  // caller's stream advanced by exactly zero tokens.
+  EXPECT_EQ(rng.next(), untouched.next());
+}
+
+TEST(FaultInjector, EnabledConsumesExactlyOneToken) {
+  const FaultInjector injector(FaultProfile::canonical(), 42);
+  util::Rng rng(7);
+  util::Rng mirror(7);
+  (void)injector.decide(Channel::kUdp, kDst, 53, kDay, rng);
+  (void)mirror.next();
+  EXPECT_EQ(rng.next(), mirror.next());
+}
+
+TEST(FaultInjector, DecisionIsAFunctionOfSeedTargetAndToken) {
+  const FaultInjector a(FaultProfile::canonical(), 42);
+  const FaultInjector b(FaultProfile::canonical(), 42);
+  for (int i = 0; i < 200; ++i) {
+    util::Rng ra(static_cast<std::uint64_t>(i) + 1);
+    util::Rng rb(static_cast<std::uint64_t>(i) + 1);
+    const auto da = a.decide(Channel::kExchange, kDst, 853, kDay, ra);
+    const auto db = b.decide(Channel::kExchange, kDst, 853, kDay, rb);
+    EXPECT_EQ(da.kind, db.kind);
+    EXPECT_DOUBLE_EQ(da.extra_latency.value, db.extra_latency.value);
+  }
+}
+
+TEST(FaultInjector, RateOneAlwaysFires) {
+  FaultProfile profile;
+  profile.syn_drop = 1.0;
+  const FaultInjector injector(profile, 1);
+  util::Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(injector.decide(Channel::kConnect, kDst, 853, kDay, rng).kind,
+              Decision::Kind::kDrop);
+    EXPECT_EQ(injector.decide(Channel::kProbe, kDst, 853, kDay, rng).kind,
+              Decision::Kind::kDrop);
+  }
+  EXPECT_EQ(injector.counters().connect, 20u);
+  EXPECT_EQ(injector.counters().probe, 20u);
+  EXPECT_EQ(injector.counters().total(), 40u);
+}
+
+TEST(FaultInjector, ServfailFiresOnlyOnDnsPorts) {
+  FaultProfile profile;
+  profile.servfail = 1.0;
+  const FaultInjector injector(profile, 1);
+  util::Rng rng(3);
+  EXPECT_EQ(injector.decide(Channel::kUdp, kDst, 53, kDay, rng).kind,
+            Decision::Kind::kServfail);
+  EXPECT_EQ(injector.decide(Channel::kExchange, kDst, 853, kDay, rng).kind,
+            Decision::Kind::kServfail);
+  // Port 443 carries HTTP framing, not bare DNS: no SERVFAIL patching there.
+  EXPECT_EQ(injector.decide(Channel::kExchange, kDst, 443, kDay, rng).kind,
+            Decision::Kind::kNone);
+}
+
+TEST(FaultInjector, LatencySpikeStaysWithinConfiguredBand) {
+  FaultProfile profile;
+  profile.latency_spike = 1.0;
+  profile.spike_min = sim::Millis{100.0};
+  profile.spike_max = sim::Millis{200.0};
+  const FaultInjector injector(profile, 9);
+  util::Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const auto d = injector.decide(Channel::kConnect, kDst, 443, kDay, rng);
+    ASSERT_EQ(d.kind, Decision::Kind::kSpike);
+    EXPECT_GE(d.extra_latency.value, 100.0);
+    EXPECT_LE(d.extra_latency.value, 200.0);
+  }
+}
+
+TEST(FaultInjector, FlappingWindowsAreStablePerDay) {
+  FaultProfile profile;
+  profile.flap_rate = 0.5;
+  const FaultInjector injector(profile, 11);
+  int flapping = 0;
+  for (std::uint32_t host = 0; host < 400; ++host) {
+    const util::Ipv4 addr{host * 2654435761u + 17u};
+    const bool now = injector.flapping(addr, kDay);
+    // Stateless keying: every query against this host today agrees.
+    EXPECT_EQ(now, injector.flapping(addr, kDay));
+    if (now) ++flapping;
+  }
+  // Roughly half the (host, day) windows flap at rate 0.5.
+  EXPECT_GT(flapping, 120);
+  EXPECT_LT(flapping, 280);
+}
+
+TEST(FaultInjector, ExitDeathAtRateOne) {
+  FaultProfile profile;
+  profile.exit_death = 1.0;
+  const FaultInjector injector(profile, 2);
+  util::Rng rng(8);
+  EXPECT_TRUE(injector.exit_node_dies(123, rng));
+}
+
+TEST(ServfailReply, MatchesQueryAndCarriesServfail) {
+  const auto query =
+      dns::make_query(*dns::Name::parse("probe.example"), dns::RrType::kA, 77);
+  for (const bool framed : {false, true}) {
+    auto wire = query.encode();
+    if (framed) {
+      std::vector<std::uint8_t> tcp = {
+          static_cast<std::uint8_t>(wire.size() >> 8),
+          static_cast<std::uint8_t>(wire.size() & 0xFF)};
+      tcp.insert(tcp.end(), wire.begin(), wire.end());
+      wire = std::move(tcp);
+    }
+    const auto reply = make_servfail_reply(wire, framed);
+    const std::size_t offset = framed ? 2 : 0;
+    const auto message = dns::Message::decode(
+        {reply.data() + offset, reply.size() - offset});
+    ASSERT_TRUE(message);
+    EXPECT_TRUE(dns::response_matches(query, *message));
+    EXPECT_EQ(message->header.rcode, dns::RCode::kServFail);
+    EXPECT_TRUE(message->answers.empty());
+  }
+}
+
+TEST(Garble, CorruptsAndTruncates) {
+  std::vector<std::uint8_t> payload(64, 0xAA);
+  const auto original = payload;
+  garble(payload);
+  EXPECT_LT(payload.size(), original.size());
+  EXPECT_NE(payload, std::vector<std::uint8_t>(payload.size(), 0xAA));
+}
+
+TEST(Retry, TransientClassificationIsExhaustive) {
+  using client::QueryStatus;
+  EXPECT_FALSE(is_transient(QueryStatus::kOk));
+  EXPECT_TRUE(is_transient(QueryStatus::kTimeout));
+  EXPECT_FALSE(is_transient(QueryStatus::kConnectFailed));
+  EXPECT_TRUE(is_transient(QueryStatus::kConnectionReset));
+  EXPECT_FALSE(is_transient(QueryStatus::kTlsFailed));
+  EXPECT_FALSE(is_transient(QueryStatus::kCertRejected));
+  EXPECT_TRUE(is_transient(QueryStatus::kBootstrapFailed));
+  EXPECT_TRUE(is_transient(QueryStatus::kHttpError));
+  EXPECT_TRUE(is_transient(QueryStatus::kProtocolError));
+  // should_retry is is_transient minus success.
+  EXPECT_FALSE(should_retry(QueryStatus::kOk));
+  EXPECT_TRUE(should_retry(QueryStatus::kTimeout));
+  EXPECT_FALSE(should_retry(QueryStatus::kCertRejected));
+}
+
+TEST(Retry, BackoffGrowsAndCaps) {
+  RetryPolicy policy;
+  policy.base_backoff = sim::Millis{100.0};
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff = sim::Millis{500.0};
+  policy.jitter = 0.0;  // isolate the exponential part
+  util::Rng rng(1);
+  EXPECT_DOUBLE_EQ(backoff_delay(policy, 0, rng).value, 100.0);
+  EXPECT_DOUBLE_EQ(backoff_delay(policy, 1, rng).value, 200.0);
+  EXPECT_DOUBLE_EQ(backoff_delay(policy, 2, rng).value, 400.0);
+  EXPECT_DOUBLE_EQ(backoff_delay(policy, 3, rng).value, 500.0);  // capped
+  EXPECT_DOUBLE_EQ(backoff_delay(policy, 9, rng).value, 500.0);
+}
+
+TEST(Retry, JitterIsBoundedAndDeterministic) {
+  RetryPolicy policy;
+  policy.base_backoff = sim::Millis{100.0};
+  policy.jitter = 0.5;
+  util::Rng a(33);
+  util::Rng b(33);
+  for (int i = 0; i < 50; ++i) {
+    const double delay = backoff_delay(policy, 0, a).value;
+    EXPECT_GE(delay, 75.0);
+    EXPECT_LE(delay, 125.0);
+    EXPECT_DOUBLE_EQ(delay, backoff_delay(policy, 0, b).value);
+  }
+}
+
+TEST(CircuitBreaker, OpensAfterThresholdAndClearsOnSuccess) {
+  CircuitBreaker breaker(3);
+  EXPECT_FALSE(breaker.open(5));
+  breaker.record_failure(5);
+  breaker.record_failure(5);
+  EXPECT_FALSE(breaker.open(5));
+  breaker.record_failure(5);
+  EXPECT_TRUE(breaker.open(5));
+  EXPECT_EQ(breaker.open_count(), 1u);
+  // One success closes the breaker and resets the strikes.
+  breaker.record_success(5);
+  EXPECT_FALSE(breaker.open(5));
+  EXPECT_EQ(breaker.open_count(), 0u);
+  // Keys are independent.
+  breaker.record_failure(6);
+  EXPECT_FALSE(breaker.open(6));
+}
+
+TEST(RobustnessReport, TalliesAccumulateAndPrint) {
+  RobustnessReport report;
+  report.client = {10, 8, 2};
+  report.scanner = {4, 4, 0};
+  report.proxy = {3, 2, 1};
+  const LayerTally total = report.total();
+  EXPECT_EQ(total.injected, 17u);
+  EXPECT_EQ(total.recovered, 14u);
+  EXPECT_EQ(total.surfaced, 3u);
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("client"), std::string::npos);
+  EXPECT_NE(text.find("scanner"), std::string::npos);
+  EXPECT_NE(text.find("proxy"), std::string::npos);
+  EXPECT_NE(text.find("17"), std::string::npos);
+}
+
+TEST(Channel, NamesAreDistinct) {
+  std::set<std::string> names;
+  for (const Channel channel :
+       {Channel::kConnect, Channel::kProbe, Channel::kUdp, Channel::kExchange,
+        Channel::kTls}) {
+    names.insert(to_string(channel));
+  }
+  EXPECT_EQ(names.size(), 5u);
+  EXPECT_EQ(names.count("unknown"), 0u);
+}
+
+// --- transport-hook behavior at rate 1.0 -----------------------------------
+// A world whose profile forces one fault class lets us pin the exact
+// QueryStatus each hook surfaces, without any statistical slack.
+
+world::WorldConfig config_with(FaultProfile profile) {
+  world::WorldConfig config;
+  config.fault_profile = profile;
+  return config;
+}
+
+TEST(NetworkHooks, SynDropTimesOutConnectAndFiltersProbe) {
+  FaultProfile profile;
+  profile.syn_drop = 1.0;
+  world::World world(config_with(profile));
+  const auto vantage = world.make_clean_vantage("US");
+  util::Rng rng(4);
+
+  const auto connect = world.network().tcp_connect(
+      vantage.context, rng, world::addrs::kCloudflarePrimary, 853, kDay,
+      sim::Millis{30000.0});
+  EXPECT_EQ(connect.status, net::Network::ConnectResult::Status::kTimeout);
+  EXPECT_DOUBLE_EQ(connect.latency.value, 30000.0);  // caller's deadline
+
+  const auto probe = world.network().probe_tcp(
+      vantage.context, rng, world::addrs::kCloudflarePrimary, 853, kDay);
+  EXPECT_EQ(probe.status, net::Network::ProbeStatus::kFiltered);
+}
+
+TEST(NetworkHooks, ConnectResetSurfacesAsConnectionReset) {
+  FaultProfile profile;
+  profile.connect_reset = 1.0;
+  world::World world(config_with(profile));
+  const auto vantage = world.make_clean_vantage("US");
+  util::Rng rng(4);
+  client::Do53Client client(world.network(), vantage.context, 1);
+  const auto outcome =
+      client.query_tcp(world::addrs::kCloudflarePrimary,
+                       world.unique_probe_name(rng), dns::RrType::kA, kDay);
+  EXPECT_EQ(outcome.status, client::QueryStatus::kConnectionReset);
+}
+
+TEST(NetworkHooks, ExchangeResetTearsDownEstablishedStream) {
+  FaultProfile profile;
+  profile.exchange_reset = 1.0;
+  world::World world(config_with(profile));
+  const auto vantage = world.make_clean_vantage("US");
+  util::Rng rng(4);
+  client::Do53Client client(world.network(), vantage.context, 1);
+  const auto outcome =
+      client.query_tcp(world::addrs::kCloudflarePrimary,
+                       world.unique_probe_name(rng), dns::RrType::kA, kDay);
+  EXPECT_EQ(outcome.status, client::QueryStatus::kConnectionReset);
+}
+
+TEST(NetworkHooks, TlsStallSurfacesAsTransientTimeout) {
+  FaultProfile profile;
+  profile.tls_stall = 1.0;
+  world::World world(config_with(profile));
+  const auto vantage = world.make_clean_vantage("US");
+  util::Rng rng(4);
+  client::DotClient client(world.network(), vantage.context, 1);
+  client::DotClient::Options options;
+  options.profile = client::PrivacyProfile::kOpportunistic;
+  const auto outcome =
+      client.query(world::addrs::kCloudflarePrimary,
+                   world.unique_probe_name(rng), dns::RrType::kA, kDay, options);
+  // kTimeout (transient, retryable), NOT kTlsFailed (persistent): a stalled
+  // handshake against a known-good endpoint deserves another attempt.
+  EXPECT_EQ(outcome.status, client::QueryStatus::kTimeout);
+  EXPECT_TRUE(is_transient(outcome.status));
+}
+
+TEST(NetworkHooks, ServfailBurstYieldsWellFormedServfail) {
+  FaultProfile profile;
+  profile.servfail = 1.0;
+  world::World world(config_with(profile));
+  const auto vantage = world.make_clean_vantage("US");
+  util::Rng rng(4);
+  client::Do53Client client(world.network(), vantage.context, 1);
+  const auto outcome =
+      client.query_udp(world::addrs::kGooglePrimary,
+                       world.unique_probe_name(rng), dns::RrType::kA, kDay);
+  // The response parses and matches the query — the paper's "Incorrect"
+  // bucket — rather than failing at the transport.
+  ASSERT_EQ(outcome.status, client::QueryStatus::kOk);
+  ASSERT_TRUE(outcome.response);
+  EXPECT_EQ(outcome.response->header.rcode, dns::RCode::kServFail);
+  EXPECT_FALSE(outcome.answered());
+}
+
+TEST(NetworkHooks, GarbledExchangeSurfacesAsProtocolError) {
+  FaultProfile profile;
+  profile.exchange_garble = 1.0;
+  world::World world(config_with(profile));
+  const auto vantage = world.make_clean_vantage("US");
+  util::Rng rng(4);
+  client::Do53Client client(world.network(), vantage.context, 1);
+  const auto outcome =
+      client.query_tcp(world::addrs::kCloudflarePrimary,
+                       world.unique_probe_name(rng), dns::RrType::kA, kDay);
+  EXPECT_EQ(outcome.status, client::QueryStatus::kProtocolError);
+  EXPECT_TRUE(is_transient(outcome.status));
+}
+
+TEST(NetworkHooks, UdpDropTimesOut) {
+  FaultProfile profile;
+  profile.udp_drop = 1.0;
+  world::World world(config_with(profile));
+  const auto vantage = world.make_clean_vantage("US");
+  util::Rng rng(4);
+  client::Do53Client client(world.network(), vantage.context, 1);
+  client::Do53Client::Options options;
+  options.retry_tcp_on_truncation = false;
+  const auto outcome =
+      client.query_udp(world::addrs::kGooglePrimary,
+                       world.unique_probe_name(rng), dns::RrType::kA, kDay,
+                       options);
+  EXPECT_EQ(outcome.status, client::QueryStatus::kTimeout);
+}
+
+TEST(NetworkHooks, DisabledInjectionMatchesSeedBehavior) {
+  // Two worlds, one with the hooks explicitly disabled mid-flight: byte-for-
+  // byte identical outcomes, because decide() never touches the caller's rng
+  // stream when the profile is off.
+  world::World baseline;
+  world::World hooked;
+  hooked.disable_fault_injection();
+  util::Rng rng_a(6);
+  util::Rng rng_b(6);
+  const auto va = baseline.make_clean_vantage("DE");
+  const auto vb = hooked.make_clean_vantage("DE");
+  client::DotClient ca(baseline.network(), va.context, 9);
+  client::DotClient cb(hooked.network(), vb.context, 9);
+  const auto qa = baseline.unique_probe_name(rng_a);
+  const auto qb = hooked.unique_probe_name(rng_b);
+  const auto oa =
+      ca.query(world::addrs::kCloudflarePrimary, qa, dns::RrType::kA, kDay);
+  const auto ob =
+      cb.query(world::addrs::kCloudflarePrimary, qb, dns::RrType::kA, kDay);
+  EXPECT_EQ(oa.status, ob.status);
+  EXPECT_DOUBLE_EQ(oa.latency.value, ob.latency.value);
+}
+
+}  // namespace
+}  // namespace encdns::fault

@@ -129,7 +129,7 @@ TEST_F(NetFixture, ProbeOpenClosed) {
 
 TEST_F(NetFixture, UdpExchangeEcho) {
   const std::vector<std::uint8_t> payload = {1, 2, 3};
-  const auto result = network.udp_exchange(client, rng, addr, 53, payload, kDay);
+  const auto result = network.udp_exchange(client, rng, addr, 53, payload, kDay, sim::Millis{5000.0});
   ASSERT_EQ(result.status, Network::UdpResult::Status::kOk);
   EXPECT_EQ(result.payload, (std::vector<std::uint8_t>{3, 2, 1}));
   EXPECT_GT(result.latency.value, 0.0);
@@ -145,23 +145,23 @@ TEST_F(NetFixture, UdpToClosedPortTimesOut) {
 }
 
 TEST_F(NetFixture, TcpConnectAndExchange) {
-  auto connect = network.tcp_connect(client, rng, addr, 853, kDay);
+  auto connect = network.tcp_connect(client, rng, addr, 853, kDay, sim::Millis{5000.0});
   ASSERT_EQ(connect.status, Network::ConnectResult::Status::kConnected);
   ASSERT_TRUE(connect.connection);
   const std::vector<std::uint8_t> payload = {9, 8, 7};
-  auto exchange = connect.connection->exchange(payload);
+  auto exchange = connect.connection->exchange(payload, sim::Millis{5000.0});
   ASSERT_EQ(exchange.status, net::TcpConnection::ExchangeResult::Status::kOk);
   EXPECT_EQ(exchange.payload, (std::vector<std::uint8_t>{7, 8, 9}));
   EXPECT_FALSE(connect.connection->hijacked());
 }
 
 TEST_F(NetFixture, TcpConnectRefusedOnClosedPort) {
-  auto connect = network.tcp_connect(client, rng, addr, 4444, kDay);
+  auto connect = network.tcp_connect(client, rng, addr, 4444, kDay, sim::Millis{5000.0});
   EXPECT_EQ(connect.status, Network::ConnectResult::Status::kRefused);
 }
 
 TEST_F(NetFixture, TlsHandshakeCollectsChain) {
-  auto connect = network.tcp_connect(client, rng, addr, 853, kDay);
+  auto connect = network.tcp_connect(client, rng, addr, 853, kDay, sim::Millis{5000.0});
   ASSERT_TRUE(connect.connection);
   auto tls = connect.connection->tls_handshake("echo.example");
   ASSERT_EQ(tls.status, TcpConnection::TlsResult::Status::kEstablished);
@@ -173,7 +173,7 @@ TEST_F(NetFixture, TlsHandshakeCollectsChain) {
 }
 
 TEST_F(NetFixture, TlsHandshakeFailsOnPlainPort) {
-  auto connect = network.tcp_connect(client, rng, addr, 80, kDay);
+  auto connect = network.tcp_connect(client, rng, addr, 80, kDay, sim::Millis{5000.0});
   ASSERT_TRUE(connect.connection);
   auto tls = connect.connection->tls_handshake("echo.example");
   EXPECT_EQ(tls.status, TcpConnection::TlsResult::Status::kNoTls);
@@ -184,9 +184,9 @@ TEST_F(NetFixture, MiddleboxDropsPort53) {
   client.path.push_back(&box);
   EXPECT_EQ(network.probe_tcp(client, rng, addr, 53, kDay).status,
             Network::ProbeStatus::kFiltered);
-  EXPECT_EQ(network.udp_exchange(client, rng, addr, 53, {}, kDay).status,
+  EXPECT_EQ(network.udp_exchange(client, rng, addr, 53, {}, kDay, sim::Millis{5000.0}).status,
             Network::UdpResult::Status::kTimeout);
-  EXPECT_EQ(network.tcp_connect(client, rng, addr, 53, kDay).status,
+  EXPECT_EQ(network.tcp_connect(client, rng, addr, 53, kDay, sim::Millis{5000.0}).status,
             Network::ConnectResult::Status::kTimeout);
   // Other ports unaffected.
   EXPECT_EQ(network.probe_tcp(client, rng, addr, 853, kDay).status,
@@ -208,7 +208,7 @@ TEST_F(NetFixture, HijackTerminatesAtDevice) {
     Service* device_;
   } box(&device);
   client.path.push_back(&box);
-  auto connect = network.tcp_connect(client, rng, addr, 80, kDay);
+  auto connect = network.tcp_connect(client, rng, addr, 80, kDay, sim::Millis{5000.0});
   ASSERT_EQ(connect.status, Network::ConnectResult::Status::kConnected);
   EXPECT_TRUE(connect.connection->hijacked());
   EXPECT_EQ(&connect.connection->endpoint(), &device);
@@ -217,7 +217,7 @@ TEST_F(NetFixture, HijackTerminatesAtDevice) {
 TEST_F(NetFixture, InterceptionResignsChain) {
   InterceptAllBox box;
   client.path.push_back(&box);
-  auto connect = network.tcp_connect(client, rng, addr, 853, kDay);
+  auto connect = network.tcp_connect(client, rng, addr, 853, kDay, sim::Millis{5000.0});
   ASSERT_TRUE(connect.connection);
   auto tls = connect.connection->tls_handshake("echo.example");
   ASSERT_EQ(tls.status, TcpConnection::TlsResult::Status::kEstablished);
@@ -226,7 +226,7 @@ TEST_F(NetFixture, InterceptionResignsChain) {
   EXPECT_EQ(tls.chain.leaf().subject_cn, "echo.example");  // subject preserved
   // Exchanges still reach the origin (proxied).
   const std::vector<std::uint8_t> payload = {5, 6};
-  auto exchange = connect.connection->exchange(payload);
+  auto exchange = connect.connection->exchange(payload, sim::Millis{5000.0});
   ASSERT_EQ(exchange.status, TcpConnection::ExchangeResult::Status::kOk);
   EXPECT_EQ(exchange.payload, (std::vector<std::uint8_t>{6, 5}));
 }
@@ -239,7 +239,8 @@ TEST_F(NetFixture, BackgroundHostsAcceptButDontSpeak) {
                 .status,
             Network::ProbeStatus::kOpen);
   auto connect =
-      network.tcp_connect(client, rng, util::Ipv4{10, 99, 99, 99}, 853, kDay);
+      network.tcp_connect(client, rng, util::Ipv4{10, 99, 99, 99}, 853, kDay,
+                          sim::Millis{5000.0});
   ASSERT_EQ(connect.status, Network::ConnectResult::Status::kConnected);
   auto tls = connect.connection->tls_handshake("x");
   EXPECT_EQ(tls.status, TcpConnection::TlsResult::Status::kNoTls);

@@ -86,5 +86,35 @@ TEST(ProxyNetwork, TunnelRttGrowsWithDistance) {
     EXPECT_GT(far / far_count, cn_like / cn_count);
 }
 
+TEST(ProxyNetwork, FailoverRotatesInAFreshNodeDeterministically) {
+  ProxyNetwork network(shared_world(), ProxyConfig{}, 7);
+  const ProxySession dead = network.acquire();
+
+  util::Rng rng_a(42), rng_b(42), rng_c(43);
+  const ProxySession replacement_a = network.failover(dead, rng_a);
+  const ProxySession replacement_b = network.failover(dead, rng_b);
+  const ProxySession replacement_c = network.failover(dead, rng_c);
+
+  // The platform rotates in a genuinely different exit node.
+  EXPECT_NE(replacement_a.id(), dead.id());
+  // Same caller rng stream => same replacement (determinism under any thread
+  // count: failover only ever consumes the caller's per-shard stream).
+  EXPECT_EQ(replacement_a.id(), replacement_b.id());
+  EXPECT_EQ(replacement_a.vantage().country, replacement_b.vantage().country);
+  EXPECT_EQ(replacement_a.tunnel_rtt().value, replacement_b.tunnel_rtt().value);
+  EXPECT_EQ(replacement_a.remaining_uptime().value,
+            replacement_b.remaining_uptime().value);
+  // The replacement id is derived from the dead session's id (so it is the
+  // same for every rng stream), but a different stream lands on a different
+  // exit node.
+  EXPECT_EQ(replacement_a.id(), replacement_c.id());
+  EXPECT_NE(replacement_a.tunnel_rtt().value, replacement_c.tunnel_rtt().value);
+  // The replacement is a usable vantage: it has a live uptime budget and a
+  // plausible tunnel cost.
+  EXPECT_GT(replacement_a.remaining_uptime().value, 0.0);
+  EXPECT_GT(replacement_a.tunnel_rtt().value, 0.0);
+  EXPECT_FALSE(replacement_a.vantage().country.empty());
+}
+
 }  // namespace
 }  // namespace encdns::proxy

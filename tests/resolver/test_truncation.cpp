@@ -63,7 +63,8 @@ TEST_F(TruncationFixture, OversizedUdpResponseIsTruncated) {
       dns::make_query(*dns::Name::parse("big.fat.test"), dns::RrType::kA, 7, options);
   const auto wire = query.encode();
   const auto result =
-      network.udp_exchange(client_context, rng, addr, dns::kDnsPort, wire, kDay);
+      network.udp_exchange(client_context, rng, addr, dns::kDnsPort, wire, kDay,
+                           sim::Millis{5000.0});
   ASSERT_EQ(result.status, net::Network::UdpResult::Status::kOk);
   const auto response = dns::Message::decode(result.payload);
   ASSERT_TRUE(response);
@@ -79,7 +80,8 @@ TEST_F(TruncationFixture, LargeEdnsPayloadAvoidsTruncation) {
   const auto query =
       dns::make_query(*dns::Name::parse("big.fat.test"), dns::RrType::kA, 8, options);
   const auto result = network.udp_exchange(client_context, rng, addr, dns::kDnsPort,
-                                           query.encode(), kDay);
+                                           query.encode(), kDay,
+                                           sim::Millis{5000.0});
   ASSERT_EQ(result.status, net::Network::UdpResult::Status::kOk);
   const auto response = dns::Message::decode(result.payload);
   ASSERT_TRUE(response);

@@ -3,6 +3,7 @@
 #include <set>
 #include <unordered_set>
 
+#include "fault/fault.hpp"
 #include "scan/doh_prober.hpp"
 #include "scan/dot_prober.hpp"
 #include "scan/permutation.hpp"
@@ -243,6 +244,41 @@ TEST(Scanner, SnapshotIsThreadCountInvariant) {
   };
   EXPECT_TRUE(equal(serial, parallel_a));
   EXPECT_TRUE(equal(parallel_a, parallel_b));
+}
+
+// Same contract with the canonical fault profile switched on: faults are keyed
+// off (seed, target, attempt), never scheduling, so retries, circuit-breaker
+// trips, and the fault tallies themselves must all be bit-identical whether
+// the sweep runs on one worker or eight.
+TEST(Scanner, FaultySnapshotIsThreadCountInvariant) {
+  const auto snapshot_with_threads = [](unsigned threads) {
+    world::WorldConfig world_config;
+    world_config.fault_profile = fault::FaultProfile::canonical();
+    world::World world(world_config);
+    CampaignConfig config;
+    config.thread_count = threads;
+    Scanner scanner(world, config);
+    return scanner.scan_once(kFeb);
+  };
+  const auto serial = snapshot_with_threads(1);
+  const auto parallel = snapshot_with_threads(8);
+
+  EXPECT_EQ(serial.addresses_probed, parallel.addresses_probed);
+  EXPECT_EQ(serial.port_open, parallel.port_open);
+  EXPECT_EQ(serial.tls_responsive, parallel.tls_responsive);
+  EXPECT_EQ(serial.breaker_skipped, parallel.breaker_skipped);
+  EXPECT_EQ(serial.faults.injected, parallel.faults.injected);
+  EXPECT_EQ(serial.faults.recovered, parallel.faults.recovered);
+  EXPECT_EQ(serial.faults.surfaced, parallel.faults.surfaced);
+  ASSERT_EQ(serial.resolvers.size(), parallel.resolvers.size());
+  for (std::size_t i = 0; i < serial.resolvers.size(); ++i) {
+    EXPECT_EQ(serial.resolvers[i].address, parallel.resolvers[i].address);
+    EXPECT_EQ(serial.resolvers[i].probe_latency.value,
+              parallel.resolvers[i].probe_latency.value);
+  }
+  // The injector actually fired, and the retry layer absorbed real faults.
+  EXPECT_GT(serial.faults.injected, 0u);
+  EXPECT_GT(serial.faults.recovered, 0u);
 }
 
 TEST(Scanner, CampaignShowsGrowthAndChurn) {

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Full verification sweep: plain, AddressSanitizer, and ThreadSanitizer
+# builds, each followed by the complete ctest suite. The sanitizer passes
+# exist for the fault/retry stack in particular — the injector's counters and
+# the scanner's circuit breaker are exercised from many worker threads, and
+# tsan is the tool that proves those accesses race-free.
+#
+# Usage: tools/check.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+run_pass() {
+  local name="$1" build_dir="$2" sanitize="$3"
+  echo "=== ${name} build ==="
+  cmake -B "${build_dir}" -S . -DENCDNS_SANITIZE="${sanitize}" >/dev/null
+  cmake --build "${build_dir}" -j "${JOBS}"
+  echo "=== ${name} ctest ==="
+  (cd "${build_dir}" && ctest --output-on-failure -j "${JOBS}")
+}
+
+run_pass "plain" build ""
+run_pass "asan" build-asan address
+run_pass "tsan" build-tsan thread
+
+echo "All check passes succeeded."

@@ -208,6 +208,82 @@ util::Table experiment_doh_discovery(Study& study) {
   return table;
 }
 
+util::Table experiment_figure5(Study& study) {
+  // The URL-dataset workflow of §3.2 as a funnel: how many URLs survive each
+  // filtering/probing stage on the way to distinct working DoH resolvers.
+  const auto& discovery = study.doh_discovery();
+  util::Table table("Figure 5: DoH discovery workflow (URL dataset funnel)",
+                    {"Stage", "Count", "Share of dataset"});
+  const auto total = static_cast<double>(discovery.urls_in_dataset);
+  const auto share = [&](std::size_t n) {
+    return total <= 0.0 ? fmt_pct(0.0, 2)
+                        : fmt_pct(static_cast<double>(n) / total, 2);
+  };
+  table.add_row({"URLs in dataset",
+                 fmt_count(static_cast<std::int64_t>(discovery.urls_in_dataset)),
+                 share(discovery.urls_in_dataset)});
+  table.add_row({"Match known DoH paths",
+                 fmt_count(static_cast<std::int64_t>(discovery.path_candidates)),
+                 share(discovery.path_candidates)});
+  table.add_row({"Answer DoH probes correctly",
+                 fmt_count(static_cast<std::int64_t>(discovery.valid_urls)),
+                 share(discovery.valid_urls)});
+  table.add_row({"Distinct (host, path) resolvers",
+                 fmt_count(static_cast<std::int64_t>(discovery.resolvers.size())),
+                 share(discovery.resolvers.size())});
+  return table;
+}
+
+util::Table experiment_figure7(Study& study) {
+  // The reachability workflow of §4.2: clients recruited, lookups issued,
+  // and the diagnostic tail for clients that cannot use Cloudflare DoT
+  // (port scan of 1.1.1.1 + webpage fetch).
+  const auto& reach = study.reachability_global();
+  util::Table table("Figure 7: Reachability test workflow (global platform)",
+                    {"Step", "Count"});
+  std::uint64_t lookups = 0;
+  for (const auto& [key, counts] : reach.cells) lookups += counts.total();
+  table.add_row(
+      {"Clients recruited", fmt_count(static_cast<std::int64_t>(reach.clients))});
+  table.add_row({"Lookups classified", fmt_count(static_cast<std::int64_t>(lookups))});
+  table.add_row({"Clients diagnosed (Cloudflare DoT failed)",
+                 fmt_count(static_cast<std::int64_t>(reach.conflict_diagnoses.size()))});
+  std::size_t port_853_open = 0;
+  std::size_t webpage_fetched = 0;
+  for (const auto& diagnosis : reach.conflict_diagnoses) {
+    for (const std::uint16_t port : diagnosis.open_ports)
+      if (port == 853) ++port_853_open;
+    if (!diagnosis.webpage_excerpt.empty()) ++webpage_fetched;
+  }
+  table.add_row({"Diagnosed clients with 853 open",
+                 fmt_count(static_cast<std::int64_t>(port_853_open))});
+  table.add_row({"Diagnosed clients fetching 1.1.1.1 webpage",
+                 fmt_count(static_cast<std::int64_t>(webpage_fetched))});
+  table.add_row({"TLS interceptions recorded",
+                 fmt_count(static_cast<std::int64_t>(reach.interceptions.size()))});
+  return table;
+}
+
+util::Table experiment_figure8(Study& study) {
+  // The performance workflow of §4.3: vantage intake vs clients that
+  // produced a complete latency row, plus the headline overheads.
+  const auto& perf = study.performance();
+  util::Table table("Figure 8: Performance test workflow (client funnel)",
+                    {"Step", "Value"});
+  const std::size_t recruited = perf.clients.size() + perf.discarded_clients;
+  table.add_row(
+      {"Clients recruited", fmt_count(static_cast<std::int64_t>(recruited))});
+  table.add_row({"Clients with complete measurements",
+                 fmt_count(static_cast<std::int64_t>(perf.clients.size()))});
+  table.add_row({"Clients discarded (churn/failure)",
+                 fmt_count(static_cast<std::int64_t>(perf.discarded_clients))});
+  table.add_row(
+      {"Median DoT overhead vs Do53", fmt(perf.overall(false, true), 2) + " ms"});
+  table.add_row(
+      {"Median DoH overhead vs Do53", fmt(perf.overall(true, true), 2) + " ms"});
+  return table;
+}
+
 util::Table experiment_local_probe(Study& study) {
   const auto& results = study.local_probe();
   util::Table table("Local-resolver DoT probe (Section 3.1, RIPE-Atlas-style)",
@@ -498,6 +574,8 @@ const std::vector<Experiment>& all_experiments() {
        [](Study& s) { return experiment_figure4(s); }},
       {"doh-discovery", "DoH discovery from the URL dataset",
        [](Study& s) { return experiment_doh_discovery(s); }},
+      {"fig5", "DoH discovery workflow (URL dataset funnel)",
+       [](Study& s) { return experiment_figure5(s); }},
       {"local-probe", "ISP local-resolver DoT probe",
        [](Study& s) { return experiment_local_probe(s); }},
       {"fig6", "Geo-distribution of proxy endpoints",
@@ -510,6 +588,10 @@ const std::vector<Experiment>& all_experiments() {
        [](Study& s) { return experiment_table5(s); }},
       {"table6", "Example clients affected by TLS interception",
        [](Study& s) { return experiment_table6(s); }},
+      {"fig7", "Reachability test workflow",
+       [](Study& s) { return experiment_figure7(s); }},
+      {"fig8", "Performance test workflow",
+       [](Study& s) { return experiment_figure8(s); }},
       {"fig9", "Query performance per country",
        [](Study& s) { return experiment_figure9(s); }},
       {"fig10", "Query time of DNS and DoH/DoT on individual clients",

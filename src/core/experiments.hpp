@@ -19,8 +19,11 @@ namespace encdns::core {
 [[nodiscard]] util::Table experiment_table2(Study& study);
 [[nodiscard]] util::Table experiment_figure4(Study& study);
 [[nodiscard]] util::Table experiment_doh_discovery(Study& study);
+[[nodiscard]] util::Table experiment_figure5(Study& study);
 [[nodiscard]] util::Table experiment_local_probe(Study& study);
 [[nodiscard]] util::Table experiment_figure6(Study& study);
+[[nodiscard]] util::Table experiment_figure7(Study& study);
+[[nodiscard]] util::Table experiment_figure8(Study& study);
 [[nodiscard]] util::Table experiment_table3(Study& study);
 [[nodiscard]] util::Table experiment_table4(Study& study);
 [[nodiscard]] util::Table experiment_table5(Study& study);

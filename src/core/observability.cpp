@@ -1,0 +1,115 @@
+// Study-level observability: drives the six paper phases under one
+// PhaseProfiler and assembles the ObservabilityReport (DESIGN.md §9).
+#include <sstream>
+
+#include "core/study.hpp"
+#include "obs/span.hpp"
+#include "tls/verify.hpp"
+
+namespace encdns::core {
+
+const ObservabilityReport& Study::observability_report() {
+  if (obs_report_) return *obs_report_;
+
+  // On a fresh Study the registry starts from zero so the report (and its
+  // JSON) is a pure function of the config. If the caller already forced
+  // experiments, their metrics must survive — skip the reset and leave those
+  // contributions outside any phase.
+  const bool fresh = !scans_ && !doh_discovery_ && !local_probe_ &&
+                     !reach_global_ && !reach_cn_ && !performance_ &&
+                     !no_reuse_ && !netflow_ && !passive_dns_;
+  if (fresh) obs::MetricsRegistry::global().reset();
+
+  obs::PhaseProfiler profiler;
+
+  profiler.begin("scan");
+  (void)scans();
+  (void)doh_discovery();
+  (void)local_probe();
+  profiler.end();
+
+  // Certificate analysis of the final scan snapshot (§3.2, Table 2 input):
+  // serial pass, so plain counter adds are already deterministic.
+  profiler.begin("certs");
+  {
+    OBS_SPAN("certs.analyze");
+    auto& registry = obs::MetricsRegistry::global();
+    const auto& snapshots = scans();
+    if (!snapshots.empty()) {
+      for (const auto& resolver : snapshots.back().resolvers) {
+        registry.counter("certs.analyzed").add(1);
+        if (resolver.cert_status == tls::CertStatus::kValid)
+          registry.counter("certs.valid").add(1);
+        else
+          registry.counter("certs.invalid").add(1);
+        if (resolver.cert_status == tls::CertStatus::kSelfSigned)
+          registry.counter("certs.self_signed").add(1);
+        if (resolver.cert_status == tls::CertStatus::kExpired)
+          registry.counter("certs.expired").add(1);
+      }
+    }
+  }
+  profiler.end();
+
+  profiler.begin("reachability");
+  (void)reachability_global();
+  (void)reachability_cn();
+  profiler.end();
+
+  profiler.begin("performance");
+  (void)performance();
+  (void)no_reuse();
+  profiler.end();
+
+  profiler.begin("netflow");
+  (void)netflow();
+  profiler.end();
+
+  profiler.begin("passive_dns");
+  (void)passive_dns();
+  profiler.end();
+
+  ObservabilityReport report;
+  report.metrics = obs::MetricsRegistry::global().snapshot();
+  report.phases = profiler.records();
+  report.robustness = robustness_report();
+  obs_report_ = std::move(report);
+  return *obs_report_;
+}
+
+namespace {
+
+std::string tally_json(const fault::LayerTally& tally) {
+  return "{\"injected\": " + std::to_string(tally.injected) +
+         ", \"recovered\": " + std::to_string(tally.recovered) +
+         ", \"surfaced\": " + std::to_string(tally.surfaced) + "}";
+}
+
+}  // namespace
+
+std::string ObservabilityReport::to_json() const {
+  // Splice the phase array and robustness object into the snapshot's JSON
+  // (drop the snapshot's closing "}\n" first). Integers only throughout.
+  std::string out = metrics.to_json(/*include_diagnostic=*/false);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '}'))
+    out.pop_back();
+  out += ",\n  \"phases\": ";
+  out += obs::PhaseProfiler::to_json(phases);
+  out += ",\n  \"robustness\": {";
+  out += "\"client\": " + tally_json(robustness.client);
+  out += ", \"scanner\": " + tally_json(robustness.scanner);
+  out += ", \"proxy\": " + tally_json(robustness.proxy);
+  out += "}\n}\n";
+  return out;
+}
+
+std::string ObservabilityReport::to_text() const {
+  std::ostringstream out;
+  out << "ENCDNS OBSERVABILITY REPORT\n";
+  out << obs::PhaseProfiler::to_text(phases);
+  out << metrics.to_text();
+  out << "== robustness ==\n" << robustness.to_string();
+  return out.str();
+}
+
+}  // namespace encdns::core

@@ -8,6 +8,7 @@
 
 #include "fault/retry.hpp"
 #include "measure/local_probe.hpp"
+#include "obs/profiler.hpp"
 #include "measure/performance.hpp"
 #include "measure/reachability.hpp"
 #include "proxy/proxy.hpp"
@@ -18,6 +19,21 @@
 #include "world/world.hpp"
 
 namespace encdns::core {
+
+/// Everything the obs layer saw while the study ran: the full metrics
+/// snapshot, the six-phase profile (scan → certs → reachability →
+/// performance → netflow → passive_dns), and the fault-layer roll-up.
+/// to_json() emits only deterministic fields — it is bit-identical across
+/// thread counts for a fixed config (the acceptance surface); to_text()
+/// adds the diagnostic metrics and wall-clock timings.
+struct ObservabilityReport {
+  obs::Snapshot metrics;
+  std::vector<obs::PhaseRecord> phases;
+  fault::RobustnessReport robustness;
+
+  [[nodiscard]] std::string to_json() const;
+  [[nodiscard]] std::string to_text() const;
+};
 
 struct StudyConfig {
   world::WorldConfig world;
@@ -76,6 +92,13 @@ class Study {
   /// profile is disabled.
   [[nodiscard]] fault::RobustnessReport robustness_report();
 
+  /// Run (and cache) the full study under a PhaseProfiler and return the
+  /// observability report. When no experiment has been forced yet the global
+  /// MetricsRegistry is reset first, so a fresh Study yields a complete,
+  /// deterministic report; experiments forced earlier keep their cached
+  /// results and their metrics stay attributed to no phase.
+  [[nodiscard]] const ObservabilityReport& observability_report();
+
  private:
   StudyConfig config_;
   std::unique_ptr<world::World> world_;
@@ -91,6 +114,7 @@ class Study {
   std::optional<std::vector<measure::NoReuseRow>> no_reuse_;
   std::optional<traffic::NetflowStudyResults> netflow_;
   std::optional<traffic::PassiveDnsStudyResults> passive_dns_;
+  std::optional<ObservabilityReport> obs_report_;
 };
 
 }  // namespace encdns::core

@@ -6,7 +6,27 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/metrics.hpp"
+
 namespace encdns::exec {
+
+namespace {
+// Deterministic job/task counters feed the PhaseProfiler; steal counts and
+// queue occupancy depend on scheduling order, so they are diagnostic-only.
+struct ExecMetrics {
+  obs::Counter& jobs = obs::MetricsRegistry::global().counter("exec.jobs");
+  obs::Counter& tasks = obs::MetricsRegistry::global().counter("exec.tasks");
+  obs::Counter& steals =
+      obs::MetricsRegistry::global().counter("exec.steals", true);
+  obs::Gauge& queue_peak =
+      obs::MetricsRegistry::global().gauge("exec.queue_peak", true);
+
+  static ExecMetrics& get() {
+    static ExecMetrics metrics;
+    return metrics;
+  }
+};
+}  // namespace
 
 unsigned resolve_thread_count(unsigned requested) {
   if (requested > 0) return requested;
@@ -51,9 +71,15 @@ struct WorkerPool::Impl {
 
   /// Claim and run shards until none remain. Called and returns with `lock`
   /// held. After the first exception, later shards are claimed but skipped.
-  void drain(std::unique_lock<std::mutex>& lock) {
+  /// `is_worker` distinguishes pool threads from the submitting thread for
+  /// the (diagnostic) steal tally.
+  void drain(std::unique_lock<std::mutex>& lock, bool is_worker) {
+    std::uint64_t executed = 0;
     while (next < total) {
       const std::size_t shard = next++;
+      ExecMetrics::get().queue_peak.set_max(
+          static_cast<std::int64_t>(total - next));
+      ++executed;
       const auto* job = fn;
       const bool skip = error != nullptr;
       lock.unlock();
@@ -69,6 +95,7 @@ struct WorkerPool::Impl {
       if (thrown && !error) error = thrown;
       if (--remaining == 0) cv_done.notify_all();
     }
+    if (is_worker && executed > 0) ExecMetrics::get().steals.add(executed);
   }
 
   void worker_loop() {
@@ -79,7 +106,7 @@ struct WorkerPool::Impl {
       if (shutdown) return;
       seen = serial;
       ++active;
-      drain(lock);
+      drain(lock, /*is_worker=*/true);
       if (--active == 0) cv_done.notify_all();
     }
   }
@@ -108,6 +135,8 @@ WorkerPool::~WorkerPool() {
 void WorkerPool::parallel_for_shards(
     std::size_t n_shards, const std::function<void(std::size_t)>& fn) {
   if (n_shards == 0) return;
+  ExecMetrics::get().jobs.add(1);
+  ExecMetrics::get().tasks.add(n_shards);
   if (impl_ == nullptr || n_shards == 1) {
     for (std::size_t shard = 0; shard < n_shards; ++shard) fn(shard);
     return;
@@ -121,7 +150,7 @@ void WorkerPool::parallel_for_shards(
   ++impl_->serial;
   ++impl_->active;
   impl_->cv_work.notify_all();
-  impl_->drain(lock);  // the submitting thread pulls shards too
+  impl_->drain(lock, /*is_worker=*/false);  // the submitting thread pulls too
   if (--impl_->active == 0) impl_->cv_done.notify_all();
   // Wait until every shard retired AND every participant left drain(): only
   // then is it safe for the caller to reuse the pool (or destroy `fn`).

@@ -1,11 +1,13 @@
 #include "measure/local_probe.hpp"
 
 #include "client/dot.hpp"
+#include "obs/span.hpp"
 
 namespace encdns::measure {
 
 LocalProbeResults run_local_resolver_probe(const world::World& world,
                                            LocalProbeConfig config) {
+  OBS_SPAN_VAR(probe_span, "scan.local_probe");
   LocalProbeResults results;
   util::Rng rng(util::mix64(config.seed ^ 0xA71A5ULL));
   const auto& resolvers = world.local_resolvers();
@@ -23,7 +25,11 @@ LocalProbeResults run_local_resolver_probe(const world::World& world,
                                    dns::RrType::kA, config.date, options);
     ++results.probes;
     if (outcome.answered()) ++results.dot_succeeded;
+    probe_span.add_sim(outcome.latency);
   }
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter("scan.local_probe.probes").add(results.probes);
+  registry.counter("scan.local_probe.dot_ok").add(results.dot_succeeded);
   return results;
 }
 

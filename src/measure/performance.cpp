@@ -4,6 +4,7 @@
 
 #include "exec/executor.hpp"
 #include "http/url.hpp"
+#include "obs/span.hpp"
 #include "util/stats.hpp"
 
 namespace encdns::measure {
@@ -72,6 +73,7 @@ PerformanceTest::PerformanceTest(const world::World& world,
 }
 
 PerformanceResults PerformanceTest::run() {
+  OBS_SPAN_VAR(perf_span, "measure.perf");
   PerformanceResults results;
   const auto tmpl = http::UriTemplate::parse(*target_.doh_template);
 
@@ -206,19 +208,41 @@ PerformanceResults PerformanceTest::run() {
         return partial;
       });
 
+  auto& registry = obs::MetricsRegistry::global();
+  static obs::Histogram& do53_ms =
+      registry.histogram("measure.perf.do53_ms", obs::latency_buckets_ms());
+  static obs::Histogram& dot_ms =
+      registry.histogram("measure.perf.dot_ms", obs::latency_buckets_ms());
+  static obs::Histogram& doh_ms =
+      registry.histogram("measure.perf.doh_ms", obs::latency_buckets_ms());
   for (const auto& partial : partials) {  // canonical client-order merge
-    if (partial.latency)
+    if (partial.latency) {
       results.clients.push_back(*partial.latency);
-    else
+      do53_ms.observe(partial.latency->dns_ms);
+      dot_ms.observe(partial.latency->dot_ms);
+      doh_ms.observe(partial.latency->doh_ms);
+      perf_span.add_sim(sim::Millis{partial.latency->dns_ms +
+                                    partial.latency->dot_ms +
+                                    partial.latency->doh_ms});
+    } else {
       ++results.discarded_clients;
+    }
     results.client_faults += partial.client_faults;
     results.proxy_faults += partial.proxy_faults;
   }
+  registry.counter("measure.perf.sessions").add(sessions.size());
+  registry.counter("measure.perf.clients").add(results.clients.size());
+  registry.counter("measure.perf.discarded").add(results.discarded_clients);
+  registry.counter("measure.perf.client_faults")
+      .add(results.client_faults.injected);
+  registry.counter("measure.perf.proxy_faults")
+      .add(results.proxy_faults.injected);
   return results;
 }
 
 std::vector<NoReuseRow> run_no_reuse_test(const world::World& world,
                                           NoReuseConfig config) {
+  OBS_SPAN_VAR(no_reuse_span, "measure.no_reuse");
   std::vector<NoReuseRow> rows;
   util::Rng rng(util::mix64(config.seed ^ 0x70B1ULL));
   const ResolverTarget target = default_targets().back();  // self-built
@@ -259,6 +283,10 @@ std::vector<NoReuseRow> run_no_reuse_test(const world::World& world,
       if (r1.answered()) dns_times.push_back(r1.latency.value);
       if (r2.answered()) dot_times.push_back(r2.latency.value);
       if (r3.answered()) doh_times.push_back(r3.latency.value);
+      no_reuse_span.add_sim(r1.latency + r2.latency + r3.latency);
+      static obs::Counter& nr_queries =
+          obs::MetricsRegistry::global().counter("measure.no_reuse.queries");
+      nr_queries.add(3);
     }
     NoReuseRow row;
     row.vantage_country = country;

@@ -6,6 +6,7 @@
 
 #include "exec/executor.hpp"
 #include "http/url.hpp"
+#include "obs/span.hpp"
 
 namespace encdns::measure {
 
@@ -174,6 +175,13 @@ ReachabilityTest::SessionPartial ReachabilityTest::run_session(
       }
       const auto outcome =
           query_with_retries(session, *do53, *dot, *doh, t, protocol, rng);
+      ++partial.queries;
+      partial.sim_elapsed += outcome.last.latency;
+      // Histogram adds are commutative integers, so recording straight from
+      // the worker keeps the merged snapshot thread-count independent.
+      static obs::Histogram& rtt = obs::MetricsRegistry::global().histogram(
+          "measure.reach.rtt_ms", obs::latency_buckets_ms());
+      rtt.observe(outcome.last.latency.value);
       if (outcome.transient_failures > 0) {
         partial.client_faults.injected +=
             static_cast<std::uint64_t>(outcome.transient_failures);
@@ -261,6 +269,7 @@ ReachabilityTest::SessionPartial ReachabilityTest::run_session(
 }
 
 ReachabilityResults ReachabilityTest::run() {
+  OBS_SPAN_VAR(reach_span, "measure.reach");
   ReachabilityResults results;
   results.platform = platform_->config().name;
 
@@ -278,6 +287,7 @@ ReachabilityResults ReachabilityTest::run() {
     partials[i] = run_session(sessions[i], rng);
   });
 
+  std::uint64_t queries = 0;
   for (auto& partial : partials) {  // canonical session-order merge
     for (const auto& [key, counts] : partial.cells) {
       auto& cell = results.cells[key];
@@ -291,7 +301,20 @@ ReachabilityResults ReachabilityTest::run() {
       results.conflict_diagnoses.push_back(std::move(*partial.diagnosis));
     results.client_faults += partial.client_faults;
     results.proxy_faults += partial.proxy_faults;
+    queries += partial.queries;
+    reach_span.add_sim(partial.sim_elapsed);
   }
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter("measure.reach.sessions").add(sessions.size());
+  registry.counter("measure.reach.queries").add(queries);
+  registry.counter("measure.reach.interceptions")
+      .add(results.interceptions.size());
+  registry.counter("measure.reach.diagnoses")
+      .add(results.conflict_diagnoses.size());
+  registry.counter("measure.reach.client_faults")
+      .add(results.client_faults.injected);
+  registry.counter("measure.reach.proxy_faults")
+      .add(results.proxy_faults.injected);
 
   results.clients = sessions.size();
   results.dataset =

@@ -121,6 +121,8 @@ class ReachabilityTest {
     std::optional<ConflictDiagnosis> diagnosis;
     fault::LayerTally client_faults;
     fault::LayerTally proxy_faults;
+    std::uint64_t queries = 0;
+    sim::Millis sim_elapsed{0.0};  // credited to the reach span at merge
   };
   // `session` by value: on exit-node death the session is replaced in place.
   [[nodiscard]] SessionPartial run_session(proxy::ProxySession session,

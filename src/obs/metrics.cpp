@@ -1,0 +1,297 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <thread>
+
+namespace encdns::obs {
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+/// llround is the one float->int step; it happens per-observation (not as a
+/// running sum) so it is order-independent.
+[[nodiscard]] std::int64_t to_us(double value_ms) noexcept {
+  return static_cast<std::int64_t>(std::llround(value_ms * 1000.0));
+}
+
+/// Compact %.6g rendering for bucket edges — stable across platforms for
+/// the small human-chosen edge values we use.
+[[nodiscard]] std::string format_edge(double edge) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", edge);
+  return buf;
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c; break;
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+namespace detail {
+std::size_t thread_shard() noexcept {
+  static thread_local const std::size_t shard =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kCounterShards;
+  return shard;
+}
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+Histogram::Histogram(std::vector<double> bounds_ms, bool diagnostic)
+    : bounds_ms_(std::move(bounds_ms)), diagnostic_(diagnostic) {
+  bounds_us_.reserve(bounds_ms_.size());
+  for (const double edge : bounds_ms_) bounds_us_.push_back(to_us(edge));
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+      bounds_ms_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_ms_.size(); ++i)
+    buckets_[i].store(0, std::memory_order_relaxed);
+}
+
+void Histogram::observe(double value_ms) noexcept {
+  if (!enabled()) return;
+  const std::int64_t us = to_us(value_ms);
+  const auto it =
+      std::lower_bound(bounds_us_.begin(), bounds_us_.end(), us);
+  const auto index = static_cast<std::size_t>(it - bounds_us_.begin());
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_us_.fetch_add(static_cast<std::uint64_t>(us < 0 ? 0 : us),
+                    std::memory_order_relaxed);
+  std::int64_t seen = min_us_.load(std::memory_order_relaxed);
+  while (us < seen &&
+         !min_us_.compare_exchange_weak(seen, us, std::memory_order_relaxed)) {
+  }
+  seen = max_us_.load(std::memory_order_relaxed);
+  while (us > seen &&
+         !max_us_.compare_exchange_weak(seen, us, std::memory_order_relaxed)) {
+  }
+}
+
+std::int64_t Histogram::min_us() const noexcept {
+  return count() == 0 ? 0 : min_us_.load(std::memory_order_relaxed);
+}
+
+std::int64_t Histogram::max_us() const noexcept {
+  return count() == 0 ? 0 : max_us_.load(std::memory_order_relaxed);
+}
+
+void Histogram::reset() noexcept {
+  for (std::size_t i = 0; i <= bounds_ms_.size(); ++i)
+    buckets_[i].store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_us_.store(0, std::memory_order_relaxed);
+  min_us_.store(INT64_MAX, std::memory_order_relaxed);
+  max_us_.store(INT64_MIN, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry instance;
+  return instance;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, bool diagnostic) {
+  std::lock_guard lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  return *counters_.emplace(std::string(name),
+                            std::make_unique<Counter>(diagnostic))
+              .first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, bool diagnostic) {
+  std::lock_guard lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  return *gauges_.emplace(std::string(name),
+                          std::make_unique<Gauge>(diagnostic))
+              .first->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds_ms,
+                                      bool diagnostic) {
+  std::lock_guard lock(mutex_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  return *histograms_
+              .emplace(std::string(name),
+                       std::make_unique<Histogram>(std::move(bounds_ms),
+                                                   diagnostic))
+              .first->second;
+}
+
+SpanStat& MetricsRegistry::span(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  const auto it = spans_.find(name);
+  if (it != spans_.end()) return *it->second;
+  return *spans_.emplace(std::string(name), std::make_unique<SpanStat>())
+              .first->second;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
+  for (auto& [name, histogram] : histograms_) histogram->reset();
+  for (auto& [name, span] : spans_) span->reset();
+}
+
+Snapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  Snapshot snap;
+  // std::map iteration is already canonical name order.
+  for (const auto& [name, counter] : counters_)
+    snap.counters.push_back({name, counter->value(), counter->diagnostic()});
+  for (const auto& [name, gauge] : gauges_)
+    snap.gauges.push_back({name, gauge->value(), gauge->diagnostic()});
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSample sample;
+    sample.name = name;
+    sample.bounds_ms = histogram->bounds_ms();
+    sample.buckets.reserve(sample.bounds_ms.size() + 1);
+    for (std::size_t i = 0; i <= sample.bounds_ms.size(); ++i)
+      sample.buckets.push_back(histogram->bucket(i));
+    sample.count = histogram->count();
+    sample.sum_us = histogram->sum_us();
+    sample.min_us = histogram->min_us();
+    sample.max_us = histogram->max_us();
+    sample.diagnostic = histogram->diagnostic();
+    snap.histograms.push_back(std::move(sample));
+  }
+  for (const auto& [name, span] : spans_)
+    snap.spans.push_back({name, span->count.load(std::memory_order_relaxed),
+                          span->sim_us.load(std::memory_order_relaxed),
+                          span->wall_ns.load(std::memory_order_relaxed)});
+  return snap;
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+
+std::string Snapshot::to_json(bool include_diagnostic) const {
+  std::string out;
+  out.reserve(4096);
+  out += "{\n  \"schema\": \"encdns.obs.v1\",\n  \"counters\": {";
+  bool first = true;
+  for (const auto& c : counters) {
+    if (c.diagnostic && !include_diagnostic) continue;
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    append_json_string(out, c.name);
+    out += ": " + std::to_string(c.value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& g : gauges) {
+    if (g.diagnostic && !include_diagnostic) continue;
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    append_json_string(out, g.name);
+    out += ": " + std::to_string(g.value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& h : histograms) {
+    if (h.diagnostic && !include_diagnostic) continue;
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    append_json_string(out, h.name);
+    out += ": {\"count\": " + std::to_string(h.count);
+    out += ", \"sum_us\": " + std::to_string(h.sum_us);
+    out += ", \"min_us\": " + std::to_string(h.min_us);
+    out += ", \"max_us\": " + std::to_string(h.max_us);
+    out += ", \"buckets\": [";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i) out += ", ";
+      out += "{\"le\": \"";
+      out += i < h.bounds_ms.size() ? format_edge(h.bounds_ms[i]) : "+inf";
+      out += "\", \"count\": " + std::to_string(h.buckets[i]) + "}";
+    }
+    out += "]}";
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"spans\": [";
+  first = true;
+  for (const auto& s : spans) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\": ";
+    append_json_string(out, s.name);
+    out += ", \"count\": " + std::to_string(s.count);
+    out += ", \"sim_us\": " + std::to_string(s.sim_us);
+    if (include_diagnostic)
+      out += ", \"wall_ns\": " + std::to_string(s.wall_ns);
+    out += "}";
+  }
+  out += first ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+std::string Snapshot::to_text() const {
+  std::ostringstream out;
+  out << "== metrics ==\n";
+  for (const auto& c : counters)
+    out << "  " << c.name << " = " << c.value
+        << (c.diagnostic ? "  (diagnostic)" : "") << "\n";
+  for (const auto& g : gauges)
+    out << "  " << g.name << " = " << g.value
+        << (g.diagnostic ? "  (diagnostic)" : "") << "\n";
+  out << "== histograms ==\n";
+  for (const auto& h : histograms) {
+    out << "  " << h.name << ": count=" << h.count << " sum=" << h.sum_us
+        << "us min=" << h.min_us << "us max=" << h.max_us << "us"
+        << (h.diagnostic ? "  (diagnostic)" : "") << "\n";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (h.buckets[i] == 0) continue;
+      out << "    le "
+          << (i < h.bounds_ms.size() ? format_edge(h.bounds_ms[i]) + "ms"
+                                     : std::string("+inf"))
+          << ": " << h.buckets[i] << "\n";
+    }
+  }
+  out << "== spans (sim time) ==\n";
+  for (const auto& s : spans) {
+    // Indent by dotted depth so the sorted list reads as the trace tree.
+    const auto depth =
+        static_cast<std::size_t>(std::count(s.name.begin(), s.name.end(), '.'));
+    out << "  " << std::string(2 * depth, ' ') << s.name << ": n=" << s.count
+        << " sim=" << s.sim_us / 1000 << "ms wall=" << s.wall_ns / 1000000
+        << "ms\n";
+  }
+  return out.str();
+}
+
+const std::vector<double>& latency_buckets_ms() {
+  static const std::vector<double> buckets{1,   2,   5,    10,   20,  50,
+                                           100, 200, 500,  1000, 2000, 5000};
+  return buckets;
+}
+
+}  // namespace encdns::obs

@@ -1,0 +1,260 @@
+// Deterministic observability: named counters, gauges and fixed-bucket
+// histograms behind one process-wide MetricsRegistry.
+//
+// The determinism contract mirrors the exec/fault layers: every metric a
+// worker thread touches is commutative (unsigned adds, integer min/max,
+// bucket increments), so the merged totals are bit-identical for any thread
+// count. Counters are sharded across cache-line-padded atomics and summed
+// in canonical shard order at snapshot time; histograms store their sum as
+// scaled integer microseconds so no order-dependent floating-point addition
+// ever happens on a hot path.
+//
+// Metrics that *are* inherently thread-dependent (steal counts, queue
+// peaks, wall-clock timings) are registered with `diagnostic = true`: they
+// appear in the human-readable text report but are excluded from the
+// stable JSON export, which is the surface the thread-count-invariance
+// acceptance test locks down byte-for-byte.
+//
+// Naming convention (DESIGN.md §9): dotted lower_snake path
+// `<module>.<unit>.<what>`, e.g. "scan.sweep.probes", "exec.tasks",
+// "measure.reach.rtt_ms". Histogram names end in their unit.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace encdns::obs {
+
+/// Global instrumentation switch. When false every record path is a single
+/// relaxed load + branch, which is what the bench_micro_obs <2% overhead
+/// guard measures. Defaults to enabled.
+[[nodiscard]] bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+namespace detail {
+/// Stable small shard index for the calling thread. The count is fixed (not
+/// the worker count) so shard *assignment* never affects totals — addition
+/// is commutative — only contention.
+inline constexpr std::size_t kCounterShards = 16;
+[[nodiscard]] std::size_t thread_shard() noexcept;
+}  // namespace detail
+
+/// Monotonic counter, sharded to keep parallel-phase increments off a
+/// single contended cache line. Values are merged in canonical shard order.
+class Counter {
+ public:
+  explicit Counter(bool diagnostic) noexcept : diagnostic_(diagnostic) {}
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(std::uint64_t n = 1) noexcept {
+    if (!enabled()) return;
+    shards_[detail::thread_shard()].value.fetch_add(n,
+                                                    std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_)
+      total += shard.value.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  void reset() noexcept {
+    for (auto& shard : shards_) shard.value.store(0, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool diagnostic() const noexcept { return diagnostic_; }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+  Shard shards_[detail::kCounterShards];
+  bool diagnostic_;
+};
+
+/// Point-in-time signed value. set()/add() are intended for serial sections;
+/// set_max() is safe from workers (integer max is commutative) and is what
+/// the exec queue-occupancy peak uses.
+class Gauge {
+ public:
+  explicit Gauge(bool diagnostic) noexcept : diagnostic_(diagnostic) {}
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(std::int64_t v) noexcept {
+    if (!enabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t v) noexcept {
+    if (!enabled()) return;
+    value_.fetch_add(v, std::memory_order_relaxed);
+  }
+  void set_max(std::int64_t v) noexcept {
+    if (!enabled()) return;
+    std::int64_t seen = value_.load(std::memory_order_relaxed);
+    while (v > seen &&
+           !value_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+  [[nodiscard]] bool diagnostic() const noexcept { return diagnostic_; }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+  bool diagnostic_;
+};
+
+/// Fixed-bucket latency histogram. Bounds are upper edges in milliseconds,
+/// fixed at registration; observations are scaled to integer microseconds
+/// before any accumulation so count, sum, min, max and bucket tallies are
+/// all commutative integers — bit-identical totals for any thread count.
+class Histogram {
+ public:
+  Histogram(std::vector<double> bounds_ms, bool diagnostic);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void observe(double value_ms) noexcept;
+
+  [[nodiscard]] const std::vector<double>& bounds_ms() const noexcept {
+    return bounds_ms_;
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum_us() const noexcept {
+    return sum_us_.load(std::memory_order_relaxed);
+  }
+  /// 0 when empty.
+  [[nodiscard]] std::int64_t min_us() const noexcept;
+  [[nodiscard]] std::int64_t max_us() const noexcept;
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  void reset() noexcept;
+  [[nodiscard]] bool diagnostic() const noexcept { return diagnostic_; }
+
+ private:
+  std::vector<double> bounds_ms_;       // ascending upper edges
+  std::vector<std::int64_t> bounds_us_; // same edges, scaled once
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds + overflow
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_us_{0};
+  std::atomic<std::int64_t> min_us_{INT64_MAX};
+  std::atomic<std::int64_t> max_us_{INT64_MIN};
+  bool diagnostic_;
+};
+
+/// Aggregated call-site statistics for one span name (see span.hpp). All
+/// fields commutative; wall_ns is diagnostic-only by construction.
+struct SpanStat {
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> sim_us{0};
+  std::atomic<std::uint64_t> wall_ns{0};
+
+  void reset() noexcept {
+    count.store(0, std::memory_order_relaxed);
+    sim_us.store(0, std::memory_order_relaxed);
+    wall_ns.store(0, std::memory_order_relaxed);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Snapshot: an owning, name-sorted copy of every registered metric.
+
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+  bool diagnostic = false;
+};
+
+struct GaugeSample {
+  std::string name;
+  std::int64_t value = 0;
+  bool diagnostic = false;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::vector<double> bounds_ms;
+  std::vector<std::uint64_t> buckets;  // bounds_ms.size() + 1 (overflow last)
+  std::uint64_t count = 0;
+  std::uint64_t sum_us = 0;
+  std::int64_t min_us = 0;
+  std::int64_t max_us = 0;
+  bool diagnostic = false;
+};
+
+struct SpanSample {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sim_us = 0;
+  std::uint64_t wall_ns = 0;  // diagnostic: excluded from JSON
+};
+
+struct Snapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+  std::vector<SpanSample> spans;
+
+  /// Stable JSON (schema "encdns.obs.v1"): integers only, name-sorted,
+  /// diagnostic metrics and wall-clock fields excluded unless asked for.
+  /// This string is the byte-identical surface of the invariance test.
+  [[nodiscard]] std::string to_json(bool include_diagnostic = false) const;
+
+  /// Human-readable report: everything, including diagnostics and wall
+  /// time, with the span list indented into its dotted-name tree.
+  [[nodiscard]] std::string to_text() const;
+};
+
+/// Process-wide registry. Registration takes a mutex (cold path, done once
+/// per call site through function-local statics); recording touches only
+/// the returned metric's atomics. Metrics are never deallocated while the
+/// process lives, so cached references stay valid across reset().
+class MetricsRegistry {
+ public:
+  [[nodiscard]] static MetricsRegistry& global();
+
+  /// Get-or-create. The diagnostic flag and histogram bounds are fixed by
+  /// the first registration of a name.
+  [[nodiscard]] Counter& counter(std::string_view name,
+                                 bool diagnostic = false);
+  [[nodiscard]] Gauge& gauge(std::string_view name, bool diagnostic = false);
+  [[nodiscard]] Histogram& histogram(std::string_view name,
+                                     std::vector<double> bounds_ms,
+                                     bool diagnostic = false);
+  [[nodiscard]] SpanStat& span(std::string_view name);
+
+  /// Zero every value, keeping registrations (and outstanding references).
+  void reset();
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<SpanStat>, std::less<>> spans_;
+};
+
+/// Default RTT bucket edges (ms) shared by every latency histogram so the
+/// families line up in reports.
+[[nodiscard]] const std::vector<double>& latency_buckets_ms();
+
+}  // namespace encdns::obs

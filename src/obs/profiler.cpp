@@ -1,0 +1,98 @@
+#include "obs/profiler.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <unordered_map>
+
+namespace encdns::obs {
+namespace {
+
+[[nodiscard]] bool is_fault_counter(const std::string& name) {
+  return name.find("fault") != std::string::npos;
+}
+
+}  // namespace
+
+void PhaseProfiler::begin(std::string name) {
+  if (open_) end();
+  open_ = true;
+  open_name_ = std::move(name);
+  before_ = registry_->snapshot();
+  wall_start_ = std::chrono::steady_clock::now();
+}
+
+void PhaseProfiler::end() {
+  if (!open_) return;
+  open_ = false;
+  const Snapshot after = registry_->snapshot();
+
+  PhaseRecord record;
+  record.name = std::move(open_name_);
+  record.wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - wall_start_)
+          .count();
+
+  std::unordered_map<std::string, std::uint64_t> counters_before;
+  for (const auto& c : before_.counters) counters_before[c.name] = c.value;
+  for (const auto& c : after.counters) {
+    const auto it = counters_before.find(c.name);
+    const std::uint64_t delta =
+        c.value - (it == counters_before.end() ? 0 : it->second);
+    if (delta == 0) continue;
+    if (is_fault_counter(c.name)) record.faults += delta;
+    if (c.name == "exec.tasks") record.tasks = delta;
+    if (c.name == "exec.jobs") record.jobs = delta;
+    if (!c.diagnostic) record.counters.push_back({c.name, delta, false});
+  }
+
+  std::unordered_map<std::string, std::uint64_t> sim_before;
+  for (const auto& s : before_.spans) sim_before[s.name] = s.sim_us;
+  for (const auto& s : after.spans) {
+    const auto it = sim_before.find(s.name);
+    record.sim_us += s.sim_us - (it == sim_before.end() ? 0 : it->second);
+  }
+
+  records_.push_back(std::move(record));
+}
+
+std::string PhaseProfiler::to_json(const std::vector<PhaseRecord>& records) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    out += i ? ",\n    " : "\n    ";
+    out += "{\"name\": \"" + r.name + "\"";
+    out += ", \"sim_us\": " + std::to_string(r.sim_us);
+    out += ", \"tasks\": " + std::to_string(r.tasks);
+    out += ", \"jobs\": " + std::to_string(r.jobs);
+    out += ", \"faults\": " + std::to_string(r.faults);
+    out += ", \"counters\": {";
+    for (std::size_t j = 0; j < r.counters.size(); ++j) {
+      if (j) out += ", ";
+      out += "\"" + r.counters[j].name +
+             "\": " + std::to_string(r.counters[j].value);
+    }
+    out += "}}";
+  }
+  out += records.empty() ? "]" : "\n  ]";
+  return out;
+}
+
+std::string PhaseProfiler::to_text(const std::vector<PhaseRecord>& records) {
+  std::ostringstream out;
+  out << "== phases ==\n";
+  char line[160];
+  for (const auto& r : records) {
+    std::snprintf(line, sizeof line,
+                  "  %-12s sim=%9.1fs wall=%8.1fms tasks=%-6llu jobs=%-4llu "
+                  "faults=%llu\n",
+                  r.name.c_str(), static_cast<double>(r.sim_us) / 1e6,
+                  r.wall_ms, static_cast<unsigned long long>(r.tasks),
+                  static_cast<unsigned long long>(r.jobs),
+                  static_cast<unsigned long long>(r.faults));
+    out << line;
+  }
+  return out.str();
+}
+
+}  // namespace encdns::obs

@@ -1,0 +1,62 @@
+// PhaseProfiler: bracketed snapshot deltas over the MetricsRegistry.
+//
+// begin("scan") snapshots the registry; end() diffs against the snapshot and
+// records one PhaseRecord: the phase's sim time (sum of span sim-time
+// deltas), its wall time (diagnostic), the exec task/job deltas, its fault
+// tally (delta of every counter whose name mentions faults), and the full
+// list of non-zero deterministic counter deltas. Study::observability_report
+// runs the six paper phases through one profiler.
+//
+// Everything except wall_ms is derived from deterministic metrics, so the
+// phase list participates in the byte-identical JSON export.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace encdns::obs {
+
+struct PhaseRecord {
+  std::string name;
+  std::uint64_t sim_us = 0;   // span sim-time credited during the phase
+  std::uint64_t tasks = 0;    // exec.tasks delta (shards executed)
+  std::uint64_t jobs = 0;     // exec.jobs delta (parallel jobs launched)
+  std::uint64_t faults = 0;   // sum of *fault* counter deltas
+  double wall_ms = 0.0;       // diagnostic only, never in stable JSON
+  std::vector<CounterSample> counters;  // non-zero deterministic deltas
+};
+
+class PhaseProfiler {
+ public:
+  explicit PhaseProfiler(MetricsRegistry& registry = MetricsRegistry::global())
+      : registry_(&registry) {}
+
+  /// Open a phase. A still-open phase is closed first.
+  void begin(std::string name);
+  /// Close the open phase and append its record. No-op when none is open.
+  void end();
+
+  [[nodiscard]] const std::vector<PhaseRecord>& records() const noexcept {
+    return records_;
+  }
+
+  /// Stable JSON array of the records (no wall time).
+  [[nodiscard]] static std::string to_json(
+      const std::vector<PhaseRecord>& records);
+  /// Human-readable table of the records, wall time included.
+  [[nodiscard]] static std::string to_text(
+      const std::vector<PhaseRecord>& records);
+
+ private:
+  MetricsRegistry* registry_;
+  std::vector<PhaseRecord> records_;
+  bool open_ = false;
+  std::string open_name_;
+  Snapshot before_;
+  std::chrono::steady_clock::time_point wall_start_{};
+};
+
+}  // namespace encdns::obs

@@ -1,0 +1,13 @@
+#include "obs/span.hpp"
+
+#include <cmath>
+
+namespace encdns::obs {
+
+std::uint64_t SpanScope::to_sim_us(sim::Millis elapsed) noexcept {
+  const double us = elapsed.value * 1000.0;
+  if (!(us > 0.0)) return 0;
+  return static_cast<std::uint64_t>(std::llround(us));
+}
+
+}  // namespace encdns::obs

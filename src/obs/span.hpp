@@ -1,0 +1,83 @@
+// Lightweight spans over the *simulated* clock.
+//
+// A span names a region of the study ("scan.sweep", "measure.reach.session")
+// with a dotted path; the sorted set of names forms the trace tree in
+// reports. Because the platform simulates the internet, elapsed wall time
+// says nothing about what the paper's pipeline would experience — so a span
+// is credited with sim time explicitly, via add_sim(), exactly once per
+// simulated latency by the code that knows it (usually a serial merge
+// section, keeping credit deterministic). Wall time is still captured for
+// the profiler's self-timing but is diagnostic-only: it never reaches the
+// stable JSON export.
+//
+//   void Scanner::scan_once(...) {
+//     OBS_SPAN("scan.sweep");
+//     ...
+//     obs_span.add_sim(total_sweep_latency);   // via OBS_SPAN_VAR
+//   }
+//
+// OBS_SPAN(name) declares an anonymous scope; OBS_SPAN_VAR(var, name) names
+// the scope variable so the body can call var.add_sim(...).
+#pragma once
+
+#include <chrono>
+
+#include "obs/metrics.hpp"
+#include "sim/duration.hpp"
+
+namespace encdns::obs {
+
+/// RAII scope that aggregates into a SpanStat on destruction. When the obs
+/// layer is disabled at construction the scope is inert: no clock read, no
+/// atomic writes.
+class SpanScope {
+ public:
+  explicit SpanScope(SpanStat& stat) noexcept
+      : stat_(enabled() ? &stat : nullptr) {
+    if (stat_) start_ = std::chrono::steady_clock::now();
+  }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  ~SpanScope() {
+    if (!stat_) return;
+    const auto wall = std::chrono::steady_clock::now() - start_;
+    stat_->count.fetch_add(1, std::memory_order_relaxed);
+    stat_->sim_us.fetch_add(sim_us_, std::memory_order_relaxed);
+    stat_->wall_ns.fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(wall)
+                .count()),
+        std::memory_order_relaxed);
+  }
+
+  /// Credit simulated elapsed time to this span. Call once per simulated
+  /// latency; sums are scaled to integer microseconds per call so the
+  /// accumulation is order-independent.
+  void add_sim(sim::Millis elapsed) noexcept {
+    if (!stat_) return;
+    sim_us_ += to_sim_us(elapsed);
+  }
+
+  [[nodiscard]] static std::uint64_t to_sim_us(sim::Millis elapsed) noexcept;
+
+ private:
+  SpanStat* stat_;
+  std::uint64_t sim_us_ = 0;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+#define ENCDNS_OBS_CONCAT_(a, b) a##b
+#define ENCDNS_OBS_CONCAT(a, b) ENCDNS_OBS_CONCAT_(a, b)
+
+/// Named span scope: `OBS_SPAN_VAR(span, "scan.sweep"); ... span.add_sim(t);`
+#define OBS_SPAN_VAR(var, name)                                        \
+  static ::encdns::obs::SpanStat& ENCDNS_OBS_CONCAT(var, _stat) =      \
+      ::encdns::obs::MetricsRegistry::global().span(name);             \
+  ::encdns::obs::SpanScope var(ENCDNS_OBS_CONCAT(var, _stat))
+
+/// Anonymous span scope for regions that only need count + wall time.
+#define OBS_SPAN(name) \
+  OBS_SPAN_VAR(ENCDNS_OBS_CONCAT(obs_span_, __LINE__), name)
+
+}  // namespace encdns::obs

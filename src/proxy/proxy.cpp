@@ -3,9 +3,26 @@
 #include <unordered_set>
 
 #include "net/geo.hpp"
+#include "obs/metrics.hpp"
 #include "world/countries.hpp"
 
 namespace encdns::proxy {
+
+namespace {
+// acquire() runs serially (platform rng discipline); failover() runs from
+// workers but counter adds are commutative, so both totals are deterministic.
+struct ProxyMetrics {
+  obs::Counter& acquires =
+      obs::MetricsRegistry::global().counter("proxy.acquires");
+  obs::Counter& failovers =
+      obs::MetricsRegistry::global().counter("proxy.failovers");
+
+  static ProxyMetrics& get() {
+    static ProxyMetrics metrics;
+    return metrics;
+  }
+};
+}  // namespace
 
 ProxyNetwork::ProxyNetwork(const world::World& world, ProxyConfig config,
                            std::uint64_t seed)
@@ -15,6 +32,7 @@ ProxyNetwork::ProxyNetwork(const world::World& world, ProxyConfig config,
 }
 
 ProxySession ProxyNetwork::acquire() {
+  ProxyMetrics::get().acquires.add(1);
   world::Vantage vantage = config_.kind == PlatformKind::kGlobal
                                ? world_->sample_global_vantage(rng_)
                                : world_->sample_cn_vantage(rng_);
@@ -30,6 +48,7 @@ ProxySession ProxyNetwork::acquire() {
 
 ProxySession ProxyNetwork::failover(const ProxySession& dead,
                                     util::Rng& rng) const {
+  ProxyMetrics::get().failovers.add(1);
   world::Vantage vantage = config_.kind == PlatformKind::kGlobal
                                ? world_->sample_global_vantage(rng)
                                : world_->sample_cn_vantage(rng);

@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "http/url.hpp"
+#include "obs/span.hpp"
 #include "util/strings.hpp"
 
 namespace encdns::scan {
@@ -14,6 +15,7 @@ const std::vector<std::string>& known_doh_paths() {
 
 DohDiscovery DohProber::discover(const std::vector<std::string>& urls,
                                  const util::Date& date) {
+  OBS_SPAN("scan.doh");
   DohDiscovery discovery;
   discovery.urls_in_dataset = urls.size();
 
@@ -96,6 +98,13 @@ DohDiscovery DohProber::discover(const std::vector<std::string>& urls,
       }
     }
   }
+  // Serial discovery: counters record the funnel after the fact.
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter("scan.doh.urls").add(discovery.urls_in_dataset);
+  registry.counter("scan.doh.path_candidates").add(discovery.path_candidates);
+  registry.counter("scan.doh.valid_urls").add(discovery.valid_urls);
+  registry.counter("scan.doh.resolvers").add(discovery.resolvers.size());
+  registry.counter("scan.doh.faults").add(discovery.faults.injected);
   return discovery;
 }
 

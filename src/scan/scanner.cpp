@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "exec/executor.hpp"
+#include "obs/span.hpp"
 #include "scan/permutation.hpp"
 #include "util/stats.hpp"
 
@@ -14,6 +15,33 @@ namespace {
 // Fixed Phase-1 shard count. Part of the deterministic contract: it pins the
 // per-shard rng streams, so it must never track the thread count.
 constexpr std::size_t kSweepShards = 64;
+
+// Per-probe counter updates are batched into the existing shard partials and
+// flushed at the serial merge: the sweep issues millions of probes per
+// snapshot, and per-probe atomics would show up in the <2% overhead guard.
+struct ScanMetrics {
+  obs::Counter& probes =
+      obs::MetricsRegistry::global().counter("scan.sweep.probes");
+  obs::Counter& open = obs::MetricsRegistry::global().counter("scan.sweep.open");
+  obs::Counter& sweep_faults =
+      obs::MetricsRegistry::global().counter("scan.sweep.faults");
+  obs::Counter& hosts = obs::MetricsRegistry::global().counter("scan.probe.hosts");
+  obs::Counter& attempts =
+      obs::MetricsRegistry::global().counter("scan.probe.attempts");
+  obs::Counter& probe_faults =
+      obs::MetricsRegistry::global().counter("scan.probe.faults");
+  obs::Counter& breaker_skips =
+      obs::MetricsRegistry::global().counter("scan.probe.breaker_skips");
+  obs::Counter& tls_ok = obs::MetricsRegistry::global().counter("scan.probe.tls_ok");
+  obs::Counter& dot_ok = obs::MetricsRegistry::global().counter("scan.probe.dot_ok");
+  obs::Histogram& latency = obs::MetricsRegistry::global().histogram(
+      "scan.probe.latency_ms", obs::latency_buckets_ms());
+
+  static ScanMetrics& get() {
+    static ScanMetrics metrics;
+    return metrics;
+  }
+};
 }  // namespace
 
 std::vector<std::string> ScanSnapshot::providers() const {
@@ -67,7 +95,9 @@ ScanSnapshot Scanner::scan_once(const util::Date& date) {
     std::uint64_t probed = 0;
     std::vector<util::Ipv4> open_hosts;
     fault::LayerTally faults;
+    sim::Millis sim_elapsed{0.0};  // credited to the sweep span at merge
   };
+  OBS_SPAN_VAR(sweep_span, "scan.sweep");
   std::vector<SweepPartial> partials(kSweepShards);
   const std::uint64_t sweep_seed = config_.seed ^ (0xAB5C15ULL + scan_serial_);
   pool.parallel_for_shards(kSweepShards, [&](std::size_t shard) {
@@ -83,6 +113,7 @@ ScanSnapshot Scanner::scan_once(const util::Date& date) {
       const auto& origin = origins_[addr.value() % origins_.size()];
       auto probe = world_->network().probe_tcp(origin.context, rng, addr,
                                                dns::kDotPort, date);
+      partial.sim_elapsed += probe.latency;
       if (probe.status == net::Network::ProbeStatus::kFiltered) {
         // From a clean origin a filtered verdict means the SYN (or its ACK)
         // was dropped in flight, not a middlebox: re-probe before writing
@@ -95,6 +126,7 @@ ScanSnapshot Scanner::scan_once(const util::Date& date) {
           ++partial.faults.injected;
           probe = world_->network().probe_tcp(origin.context, rng, addr,
                                               dns::kDotPort, date);
+          partial.sim_elapsed += probe.latency;
         }
         if (probe.status == net::Network::ProbeStatus::kFiltered)
           ++partial.faults.surfaced;
@@ -111,12 +143,17 @@ ScanSnapshot Scanner::scan_once(const util::Date& date) {
     open_hosts.insert(open_hosts.end(), partial.open_hosts.begin(),
                       partial.open_hosts.end());
     snapshot.faults += partial.faults;
+    sweep_span.add_sim(partial.sim_elapsed);
   }
   snapshot.port_open = open_hosts.size();
+  ScanMetrics::get().probes.add(snapshot.addresses_probed);
+  ScanMetrics::get().open.add(snapshot.port_open);
+  ScanMetrics::get().sweep_faults.add(snapshot.faults.injected);
 
   // Phase 2: application-layer DoT probing of every open host, one task per
   // host with an address-derived rng stream (shard-count independent); the
   // final sort-by-address canonicalizes the output order.
+  OBS_SPAN_VAR(probe_span, "scan.probe");
   const std::uint64_t probe_seed =
       config_.seed ^ (scan_serial_ * 0x9E3779B97F4A7C15ULL);
   const world::Vantage& probe_origin = origins_[scan_serial_ % origins_.size()];
@@ -132,6 +169,7 @@ ScanSnapshot Scanner::scan_once(const util::Date& date) {
                          config_.probe_attempts);
         return prober.probe(addr, date);
       });
+  ScanMetrics::get().hosts.add(open_hosts.size());
   for (std::size_t i = 0; i < open_hosts.size(); ++i) {
     const util::Ipv4 addr = open_hosts[i];
     if (!probe_results[i]) {
@@ -139,7 +177,12 @@ ScanSnapshot Scanner::scan_once(const util::Date& date) {
       continue;
     }
     const auto& result = *probe_results[i];
+    ScanMetrics::get().attempts.add(static_cast<std::uint64_t>(result.attempts));
+    ScanMetrics::get().latency.observe(result.latency.value);
+    probe_span.add_sim(result.latency);
     if (result.attempts > 1) {
+      ScanMetrics::get().probe_faults.add(
+          static_cast<std::uint64_t>(result.attempts - 1));
       snapshot.faults.injected +=
           static_cast<std::uint64_t>(result.attempts - 1);
       if (result.recovered)
@@ -171,6 +214,9 @@ ScanSnapshot Scanner::scan_once(const util::Date& date) {
             [](const DiscoveredResolver& a, const DiscoveredResolver& b) {
               return a.address < b.address;
             });
+  ScanMetrics::get().breaker_skips.add(snapshot.breaker_skipped);
+  ScanMetrics::get().tls_ok.add(snapshot.tls_responsive);
+  ScanMetrics::get().dot_ok.add(snapshot.resolvers.size());
   ++scan_serial_;
   return snapshot;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "exec/executor.hpp"
+#include "obs/span.hpp"
 #include "world/providers.hpp"
 
 namespace encdns::traffic {
@@ -54,6 +55,7 @@ NetflowStudy::NetflowStudy(
     : config_(std::move(config)), resolvers_(std::move(resolver_addresses)) {}
 
 NetflowStudyResults NetflowStudy::run() {
+  OBS_SPAN("traffic.netflow");
   NetflowStudyResults results;
   BackboneModel model(config_.backbone);
 
@@ -71,6 +73,10 @@ NetflowStudyResults NetflowStudy::run() {
   struct ShardPartial {
     NetflowCollector collector;
     ScanDetector detector;
+    // Per-flow tallies stay in the shard partial (the backbone emits millions
+    // of flows) and reach the counters once, at the serial merge.
+    std::uint64_t flows_observed = 0;
+    std::uint64_t records_sampled = 0;
     std::uint64_t excluded_single_syn = 0;
     std::uint64_t unmatched_853_records = 0;
     std::uint64_t total_dot_records = 0;
@@ -101,9 +107,11 @@ NetflowStudyResults NetflowStudy::run() {
       util::Rng day_rng(util::mix64(config_.seed ^ 0x5A3DULL ^
                                     static_cast<std::uint64_t>(day.to_days())));
       model.generate_day(day, [&](const RawFlow& flow) {
+        ++partial.flows_observed;
         partial.detector.observe(flow);
         const auto record = partial.collector.observe(flow, day_rng);
         if (!record) return;
+        ++partial.records_sampled;
         if (record->protocol != kProtoTcp || record->dst_port != 853) return;
         if (record->single_syn()) {
           ++partial.excluded_single_syn;
@@ -136,8 +144,12 @@ NetflowStudyResults NetflowStudy::run() {
   ScanDetector detector;
   std::unordered_map<std::uint32_t, BlockAccumulator> blocks;
   std::unordered_set<std::uint32_t> client_blocks;
+  std::uint64_t flows_observed = 0;
+  std::uint64_t records_sampled = 0;
   for (auto& partial : partials) {
     detector.merge(partial.detector);
+    flows_observed += partial.flows_observed;
+    records_sampled += partial.records_sampled;
     results.excluded_single_syn += partial.excluded_single_syn;
     results.unmatched_853_records += partial.unmatched_853_records;
     results.total_dot_records += partial.total_dot_records;
@@ -154,6 +166,14 @@ NetflowStudyResults NetflowStudy::run() {
     }
     client_blocks.merge(partial.client_blocks);
   }
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter("traffic.netflow.flows").add(flows_observed);
+  registry.counter("traffic.netflow.records").add(records_sampled);
+  registry.counter("traffic.netflow.dot_records").add(results.total_dot_records);
+  registry.counter("traffic.netflow.excluded_single_syn")
+      .add(results.excluded_single_syn);
+  registry.counter("traffic.netflow.unmatched_853")
+      .add(results.unmatched_853_records);
 
   for (const auto& [addr, acc] : blocks) {
     NetblockStat stat;

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/span.hpp"
+
 namespace encdns::traffic {
 
 void AggregatePassiveDns::record(const std::string& domain, const util::Date& date,
@@ -130,7 +132,10 @@ std::vector<std::string> PassiveDnsStudyResults::popular_domains(
 }
 
 PassiveDnsStudyResults run_passive_dns_study(PassiveDnsStudyConfig config) {
+  OBS_SPAN("traffic.pdns");
   PassiveDnsStudyResults results;
+  static obs::Counter& records =
+      obs::MetricsRegistry::global().counter("traffic.pdns.records");
   DohUsageModel model(config.seed);
   util::Rng rng(util::mix64(config.seed ^ 0x9D45ULL));
 
@@ -143,11 +148,17 @@ PassiveDnsStudyResults run_passive_dns_study(PassiveDnsStudyConfig config) {
       const int days = util::days_in_month(month.year, month.month);
       for (int d = 0; d < days; ++d) {
         const auto daily = rng.poisson(monthly / days);
-        if (daily > 0) results.daily_db.record(domain, month.plus_days(d), daily);
+        if (daily > 0) {
+          results.daily_db.record(domain, month.plus_days(d), daily);
+          records.add(1);
+        }
       }
       // Aggregate store: wider coverage, coarser granularity.
       const auto aggregate = rng.poisson(monthly * config.aggregate_coverage_factor);
-      if (aggregate > 0) results.aggregate_db.record(domain, month, aggregate);
+      if (aggregate > 0) {
+        results.aggregate_db.record(domain, month, aggregate);
+        records.add(1);
+      }
     }
   }
   return results;

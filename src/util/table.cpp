@@ -79,6 +79,39 @@ std::string Table::to_csv() const {
   return out;
 }
 
+std::string Table::to_json() const {
+  const auto escape = [](const std::string& field) {
+    std::string out = "\"";
+    for (const char ch : field) {
+      switch (ch) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        default: out.push_back(ch); break;
+      }
+    }
+    out.push_back('"');
+    return out;
+  };
+  const auto row_json = [&](const std::vector<std::string>& row) {
+    std::string out = "[";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out += ", ";
+      out += escape(row[c]);
+    }
+    return out + "]";
+  };
+  std::string out = "{\n  \"title\": " + escape(title_);
+  out += ",\n  \"headers\": " + row_json(headers_);
+  out += ",\n  \"rows\": [";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    out += r ? ",\n    " : "\n    ";
+    out += row_json(rows_[r]);
+  }
+  out += rows_.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
 std::string fmt(double value, int decimals) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);

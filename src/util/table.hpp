@@ -58,6 +58,11 @@ class Table {
   /// RFC-4180-ish CSV (quotes fields containing comma/quote/newline).
   [[nodiscard]] std::string to_csv() const;
 
+  /// Stable JSON object {title, headers, rows}. Cells are the already
+  /// formatted strings, so the bytes are deterministic — this is the golden
+  /// snapshot format (tests/golden).
+  [[nodiscard]] std::string to_json() const;
+
  private:
   std::string title_;
   std::vector<std::string> headers_;

@@ -160,6 +160,47 @@ TEST_F(NetFixture, TcpConnectRefusedOnClosedPort) {
   EXPECT_EQ(connect.status, Network::ConnectResult::Status::kRefused);
 }
 
+TEST_F(NetFixture, TcpConnectHonorsCallerDeadline) {
+  // A client on the other side of the planet needs more than 100 ms for the
+  // handshake RTT; the caller's deadline must win and be surfaced as a
+  // Timeout whose reported latency is exactly the deadline (the caller
+  // waited that long, no longer).
+  ClientContext far_client = make_client(-33.9, 151.2);  // Sydney
+  far_client.location.country = "AU";
+  auto connect =
+      network.tcp_connect(far_client, rng, addr, 853, kDay, sim::Millis{100.0});
+  EXPECT_EQ(connect.status, Network::ConnectResult::Status::kTimeout);
+  EXPECT_EQ(connect.latency.value, 100.0);
+  EXPECT_FALSE(connect.connection.has_value());
+  // The same path connects fine when the caller allows a realistic deadline,
+  // proving the timeout above came from the deadline and not the route.
+  auto patient =
+      network.tcp_connect(far_client, rng, addr, 853, kDay, sim::Millis{5000.0});
+  EXPECT_EQ(patient.status, Network::ConnectResult::Status::kConnected);
+}
+
+TEST_F(NetFixture, DroppedSynSurfacesDeadlineAsTimeout) {
+  // When a middlebox blackholes the SYN there is no answer at all: the
+  // caller's 100 ms deadline is the only thing that ends the wait.
+  DropBox box;
+  client.path.push_back(&box);
+  auto connect =
+      network.tcp_connect(client, rng, addr, 53, kDay, sim::Millis{100.0});
+  EXPECT_EQ(connect.status, Network::ConnectResult::Status::kTimeout);
+  EXPECT_EQ(connect.latency.value, 100.0);
+}
+
+TEST_F(NetFixture, ExchangeHonorsCallerDeadline) {
+  auto connect =
+      network.tcp_connect(client, rng, addr, 853, kDay, sim::Millis{5000.0});
+  ASSERT_TRUE(connect.connection);
+  // The established connection's RTT dwarfs a 1 ms per-request deadline.
+  const std::vector<std::uint8_t> payload = {1, 2, 3};
+  auto exchange = connect.connection->exchange(payload, sim::Millis{1.0});
+  EXPECT_EQ(exchange.status, TcpConnection::ExchangeResult::Status::kTimeout);
+  EXPECT_EQ(exchange.latency.value, 1.0);
+}
+
 TEST_F(NetFixture, TlsHandshakeCollectsChain) {
   auto connect = network.tcp_connect(client, rng, addr, 853, kDay, sim::Millis{5000.0});
   ASSERT_TRUE(connect.connection);

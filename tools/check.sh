@@ -20,7 +20,24 @@ run_pass() {
   (cd "${build_dir}" && ctest --output-on-failure -j "${JOBS}")
 }
 
+run_golden() {
+  # The golden ctest suite already diffs experiment-by-experiment; this step
+  # additionally proves the checked-in corpus is exactly what the current
+  # binary writes (no stale, missing, or hand-edited snapshot survives).
+  echo "=== golden snapshot sync ==="
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "${tmp}"' RETURN
+  ./build/tools/encdns_study --golden-dir "${tmp}" >/dev/null
+  if ! diff -ru tests/golden/data "${tmp}"; then
+    echo "golden corpus out of sync — run tools/regen_golden.sh" >&2
+    return 1
+  fi
+  echo "tests/golden/data matches a fresh --golden-dir run."
+}
+
 run_pass "plain" build ""
+run_golden
 run_pass "asan" build-asan address
 run_pass "tsan" build-tsan thread
 

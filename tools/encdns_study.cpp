@@ -5,6 +5,8 @@
 // Usage:
 //   encdns_study --list
 //   encdns_study [--id <experiment>] [--full] [--seed N] [--csv-dir DIR]
+//   encdns_study --obs [--obs-json FILE]     observability report
+//   encdns_study --golden-dir DIR            write golden JSON snapshots
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,7 +31,13 @@ void print_usage() {
       "  --seed <n>        world seed (default 2019)\n"
       "  --csv-dir <dir>   also export each table as CSV into <dir>\n"
       "  --report          evaluate every paper claim, print verdicts;\n"
-      "                    exit code = number of failed checks\n");
+      "                    exit code = number of failed checks\n"
+      "  --obs             run the study, print the observability report\n"
+      "  --obs-json <f>    write the stable observability JSON to <f>\n"
+      "                    ('-' = stdout); implies running the full study\n"
+      "  --golden-dir <d>  run every experiment at quick scale with faults\n"
+      "                    off and write <id>.json snapshots into <d>\n"
+      "                    (the tests/golden corpus format)\n");
 }
 
 }  // namespace
@@ -37,8 +45,11 @@ void print_usage() {
 int main(int argc, char** argv) {
   std::string only_id;
   std::string csv_dir;
+  std::string obs_json;
+  std::string golden_dir;
   bool full = false;
   bool report = false;
+  bool obs_text = false;
   std::uint64_t seed = 2019;
 
   for (int i = 1; i < argc; ++i) {
@@ -58,16 +69,56 @@ int main(int argc, char** argv) {
       seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--csv-dir" && i + 1 < argc) {
       csv_dir = argv[++i];
+    } else if (arg == "--obs") {
+      obs_text = true;
+    } else if (arg == "--obs-json" && i + 1 < argc) {
+      obs_json = argv[++i];
+    } else if (arg == "--golden-dir" && i + 1 < argc) {
+      golden_dir = argv[++i];
     } else {
       print_usage();
       return arg == "--help" || arg == "-h" ? 0 : 1;
     }
   }
 
+  if (!golden_dir.empty()) {
+    // Golden snapshots pin the canonical quick-scale run: fixed seed, faults
+    // forced off regardless of ENCDNS_FAULTS (World reads the env at
+    // construction, so this must happen before the Study is built).
+    setenv("ENCDNS_FAULTS", "off", 1);
+    core::StudyConfig config = core::StudyConfig::quick();
+    config.world.seed = seed;
+    core::Study study(config);
+    std::filesystem::create_directories(golden_dir);
+    for (const auto& experiment : core::all_experiments()) {
+      const auto path =
+          std::filesystem::path(golden_dir) / (experiment.id + ".json");
+      std::ofstream out(path);
+      out << experiment.run(study).to_json();
+      std::printf("[wrote %s]\n", path.c_str());
+    }
+    return 0;
+  }
+
   core::StudyConfig config =
       full ? core::StudyConfig::full() : core::StudyConfig::quick();
   config.world.seed = seed;
   core::Study study(config);
+
+  if (obs_text || !obs_json.empty()) {
+    const auto& obs_report = study.observability_report();
+    if (obs_text) std::printf("%s\n", obs_report.to_text().c_str());
+    if (!obs_json.empty()) {
+      if (obs_json == "-") {
+        std::printf("%s", obs_report.to_json().c_str());
+      } else {
+        std::ofstream out(obs_json);
+        out << obs_report.to_json();
+        std::printf("[wrote %s]\n", obs_json.c_str());
+      }
+    }
+    return 0;
+  }
 
   if (report) {
     const auto checks = core::evaluate_findings(study);

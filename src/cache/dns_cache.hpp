@@ -1,0 +1,197 @@
+// Sharded, TTL-aware DNS record cache (DESIGN.md §10).
+//
+// This replaces the resolver backends' old single-mutex map, which had three
+// correctness defects: it wiped *everything* when full (a latency cliff for
+// every concurrent client), it expired entries on civil-day boundaries
+// regardless of record TTL, and it cached SERVFAIL upstream answers for a
+// full day — RFC 2308 permits negative caching only for NXDOMAIN/NODATA,
+// with a bounded TTL, and never for server failures.
+//
+// Design:
+//   * Sharding — keys hash (fnv1a) onto a power-of-two shard array; each
+//     shard holds its own mutex, hash index and LRU list, so concurrent
+//     sessions contend only when they collide on a shard.
+//   * Eviction — when a shard reaches its capacity slice it evicts its
+//     least-recently-used entry, one at a time. A full cache degrades
+//     marginally (cold tail entries churn) instead of collapsing to a 0%
+//     hit rate the way flush-on-full did.
+//   * TTL — positive entries live for the minimum TTL across the answer's
+//     records, clamped to [min_ttl_s, max_ttl_s]. Negative entries
+//     (NXDOMAIN, or NOERROR with no records = NODATA) live for the bounded
+//     negative_ttl_s (RFC 2308 §5). SERVFAIL and other error rcodes are
+//     never stored.
+//   * Serve-stale (RFC 8767) — optionally, entries that expired less than
+//     max_stale_s ago can still be served via lookup_stale() when the
+//     caller knows its upstream is failing.
+//
+// Determinism contract: all tallies are commutative atomics (summed obs
+// counters), so totals are bit-identical for any thread count provided the
+// workload's per-request hit/miss outcome is schedule-independent — unique
+// or popular query names and a capacity at least the working-set size, the
+// same contract the measurement experiments already relied on. Eviction
+// order within a shard is a pure function of the operation sequence applied
+// to it, which is what the deterministic-eviction unit tests pin down.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "dns/message.hpp"
+#include "dns/types.hpp"
+
+namespace encdns::obs {
+class Counter;
+}  // namespace encdns::obs
+
+namespace encdns::cache {
+
+/// Tuning knobs. README "Resolver cache" documents the user-facing subset;
+/// every field has an ENCDNS_* environment override via from_env().
+struct CacheConfig {
+  /// Total entry budget, divided evenly across shards (each shard evicts
+  /// independently once its slice is full).
+  std::size_t max_entries = 200000;
+  /// Number of shards; clamped to a power of two in [1, 256].
+  std::size_t shards = 16;
+  /// Positive-entry TTL clamp (seconds).
+  std::uint32_t min_ttl_s = 1;
+  std::uint32_t max_ttl_s = 86400;
+  /// RFC 2308 bounded negative TTL for NXDOMAIN/NODATA entries (seconds).
+  std::uint32_t negative_ttl_s = 900;
+  /// RFC 8767 serve-stale: answer from expired entries (within the window
+  /// below) when the caller reports upstream failure. Off by default.
+  bool serve_stale = false;
+  std::uint32_t max_stale_s = 3600;
+
+  /// Environment overrides, applied over `fallback`:
+  ///   ENCDNS_CACHE_ENTRIES      — max_entries (positive integer)
+  ///   ENCDNS_CACHE_NEG_TTL      — negative_ttl_s (seconds)
+  ///   ENCDNS_CACHE_SERVE_STALE  — "on"/"1"/"true" or "off"/"0"/"false"
+  [[nodiscard]] static CacheConfig from_env(CacheConfig fallback);
+};
+
+/// The cached payload: what a resolver needs to rebuild a response. Mirrors
+/// resolver::Answer without depending on the resolver library (the resolver
+/// depends on this module, not the other way around).
+struct CachedAnswer {
+  dns::RCode rcode = dns::RCode::kNoError;
+  std::vector<dns::ResourceRecord> answers;
+
+  /// Negatively cacheable content per RFC 2308: name error or no data.
+  [[nodiscard]] bool negative() const noexcept {
+    return rcode == dns::RCode::kNxDomain ||
+           (rcode == dns::RCode::kNoError && answers.empty());
+  }
+};
+
+/// Order-independent tallies (every field is a sum of per-operation
+/// increments, so totals are thread-count invariant).
+struct CacheStats {
+  std::uint64_t hits = 0;           // fresh lookups answered
+  std::uint64_t negative_hits = 0;  // subset of hits from negative entries
+  std::uint64_t misses = 0;         // fresh lookups not answered
+  std::uint64_t stale_served = 0;   // lookup_stale answers (RFC 8767)
+  std::uint64_t stores = 0;         // inserts + refreshes
+  std::uint64_t evictions = 0;      // LRU evictions at capacity
+  std::uint64_t rejected = 0;       // uncacheable stores (SERVFAIL etc.)
+};
+
+class DnsCache {
+ public:
+  explicit DnsCache(CacheConfig config = {});
+  DnsCache(const DnsCache&) = delete;
+  DnsCache& operator=(const DnsCache&) = delete;
+
+  struct Hit {
+    CachedAnswer answer;
+    bool stale = false;  // true only from lookup_stale()
+  };
+
+  /// Fresh lookup: returns the entry iff it exists and now_s is strictly
+  /// before its expiry. A hit refreshes the entry's LRU position; a lookup
+  /// of an expired entry does not (expired entries age out of the shard).
+  [[nodiscard]] std::optional<Hit> lookup(std::string_view key,
+                                          std::int64_t now_s);
+
+  /// RFC 8767 stale lookup: returns an *expired* entry that lapsed no more
+  /// than max_stale_s ago. Also answers fresh entries (a caller that lost
+  /// its upstream should still get the best local answer). Returns nullopt
+  /// whenever serve_stale is disabled.
+  [[nodiscard]] std::optional<Hit> lookup_stale(std::string_view key,
+                                                std::int64_t now_s);
+
+  /// Store (insert or refresh) if the answer is cacheable; SERVFAIL and
+  /// other error rcodes are rejected per RFC 2308. Returns whether stored.
+  bool store(std::string_view key, const CachedAnswer& answer,
+             std::int64_t now_s);
+
+  /// Whether an rcode may be cached at all.
+  [[nodiscard]] static bool cacheable(dns::RCode rcode) noexcept {
+    return rcode == dns::RCode::kNoError || rcode == dns::RCode::kNxDomain;
+  }
+
+  /// Effective lifetime for an answer under this config: the bounded
+  /// negative TTL for negative content, else min-across-records clamped to
+  /// [min_ttl_s, max_ttl_s].
+  [[nodiscard]] std::uint32_t ttl_for(const CachedAnswer& answer) const noexcept;
+
+  [[nodiscard]] std::size_t size() const;
+  /// Live entry count per shard (diagnostics + shard-distribution tests).
+  [[nodiscard]] std::vector<std::size_t> shard_sizes() const;
+  [[nodiscard]] CacheStats stats() const noexcept;
+  [[nodiscard]] const CacheConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
+  [[nodiscard]] std::size_t per_shard_capacity() const noexcept {
+    return per_shard_capacity_;
+  }
+
+  void clear();
+
+ private:
+  struct Entry {
+    std::string key;
+    CachedAnswer answer;
+    std::int64_t expiry_s = 0;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+  };
+
+  [[nodiscard]] Shard& shard_for(std::string_view key) noexcept;
+  [[nodiscard]] const Shard& shard_for(std::string_view key) const noexcept;
+
+  CacheConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t shard_mask_ = 0;
+  std::size_t per_shard_capacity_ = 1;
+
+  // Local tallies (exact, per-instance) plus process-wide obs counters
+  // ("cache.lookup.*" / "cache.entry.*", DESIGN.md §9 naming) cached at
+  // construction so hot paths never take the registry mutex.
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> negative_hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> stale_served_{0};
+  std::atomic<std::uint64_t> stores_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  obs::Counter* obs_hit_;
+  obs::Counter* obs_negative_;
+  obs::Counter* obs_miss_;
+  obs::Counter* obs_stale_;
+  obs::Counter* obs_store_;
+  obs::Counter* obs_evict_;
+  obs::Counter* obs_reject_;
+};
+
+}  // namespace encdns::cache

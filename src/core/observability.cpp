@@ -99,6 +99,7 @@ std::string ObservabilityReport::to_json() const {
   out += "\"client\": " + tally_json(robustness.client);
   out += ", \"scanner\": " + tally_json(robustness.scanner);
   out += ", \"proxy\": " + tally_json(robustness.proxy);
+  out += ", \"resolver\": " + tally_json(robustness.resolver);
   out += "}\n}\n";
   return out;
 }

@@ -129,6 +129,12 @@ fault::RobustnessReport Study::robustness_report() {
   report.proxy += perf.proxy_faults;
   for (const auto& snapshot : scans()) report.scanner += snapshot.faults;
   report.scanner += doh_discovery().faults;
+  // Resolver layer: upstream recursion faults drawn inside the backends,
+  // recovered when an RFC 8767 stale answer covered for the failure.
+  const auto cache_tally = world_->resolver_cache_tally();
+  report.resolver.injected = cache_tally.upstream_faults;
+  report.resolver.recovered = cache_tally.stale_served;
+  report.resolver.surfaced = cache_tally.upstream_faults - cache_tally.stale_served;
   return report;
 }
 

@@ -29,6 +29,7 @@ const char* to_string(Channel channel) noexcept {
     case Channel::kUdp: return "udp";
     case Channel::kExchange: return "exchange";
     case Channel::kTls: return "tls";
+    case Channel::kRecursion: return "recursion";
   }
   return "unknown";
 }
@@ -36,8 +37,8 @@ const char* to_string(Channel channel) noexcept {
 bool FaultProfile::enabled() const noexcept {
   return syn_drop > 0.0 || connect_reset > 0.0 || exchange_reset > 0.0 ||
          exchange_garble > 0.0 || servfail > 0.0 || tls_stall > 0.0 ||
-         udp_drop > 0.0 || latency_spike > 0.0 || flap_rate > 0.0 ||
-         exit_death > 0.0;
+         udp_drop > 0.0 || upstream_fail > 0.0 || latency_spike > 0.0 ||
+         flap_rate > 0.0 || exit_death > 0.0;
 }
 
 FaultProfile FaultProfile::canonical() noexcept {
@@ -49,6 +50,7 @@ FaultProfile FaultProfile::canonical() noexcept {
   profile.servfail = 0.0015;
   profile.tls_stall = 0.004;
   profile.udp_drop = 0.015;
+  profile.upstream_fail = 0.0015;
   profile.latency_spike = 0.020;
   profile.flap_rate = 0.003;
   profile.flap_fail = 0.6;
@@ -135,6 +137,16 @@ Decision FaultInjector::decide(Channel channel, util::Ipv4 dst,
         decision.kind = Decision::Kind::kStall;
       }
       break;
+    case Channel::kRecursion:
+      // The resolver's own authoritative leg: a flapping nameserver or a
+      // transient recursion failure surfaces as SERVFAIL unless the caller
+      // can serve stale (RFC 8767).
+      if (flap && draw.chance(profile_.flap_fail)) {
+        decision.kind = Decision::Kind::kServfail;
+      } else if (draw.chance(profile_.upstream_fail)) {
+        decision.kind = Decision::Kind::kServfail;
+      }
+      break;
   }
 
   if (decision.kind == Decision::Kind::kNone &&
@@ -179,6 +191,8 @@ ChannelCounters FaultInjector::counters() const noexcept {
       std::memory_order_relaxed);
   counters.tls =
       injected_[channel_index(Channel::kTls)].load(std::memory_order_relaxed);
+  counters.recursion = injected_[channel_index(Channel::kRecursion)].load(
+      std::memory_order_relaxed);
   return counters;
 }
 

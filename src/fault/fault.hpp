@@ -36,9 +36,10 @@ enum class Channel {
   kUdp,       // UDP request/response (Network::udp_exchange)
   kExchange,  // established TCP stream (TcpConnection::exchange)
   kTls,       // TLS handshake (TcpConnection::tls_handshake)
+  kRecursion, // resolver-to-authoritative recursion (RecursiveBackend)
 };
 
-inline constexpr int kChannelCount = 5;
+inline constexpr int kChannelCount = 6;
 
 [[nodiscard]] constexpr int channel_index(Channel channel) noexcept {
   return static_cast<int>(channel);
@@ -72,6 +73,8 @@ struct FaultProfile {
   double servfail = 0.0;         // kUdp/kExchange on DNS ports: SERVFAIL burst
   double tls_stall = 0.0;        // kTls: handshake hangs
   double udp_drop = 0.0;         // kUdp: datagram lost (on top of link loss)
+  double upstream_fail = 0.0;    // kRecursion: authoritative leg fails inside
+                                 // the resolver (serve-stale's trigger)
   double latency_spike = 0.0;    // any channel: success with added delay
   double flap_rate = 0.0;        // fraction of (host, day) windows flapping
   double flap_fail = 0.6;        // per-attempt failure rate while flapping
@@ -102,8 +105,9 @@ struct ChannelCounters {
   std::uint64_t udp = 0;
   std::uint64_t exchange = 0;
   std::uint64_t tls = 0;
+  std::uint64_t recursion = 0;
   [[nodiscard]] std::uint64_t total() const noexcept {
-    return connect + probe + udp + exchange + tls;
+    return connect + probe + udp + exchange + tls + recursion;
   }
 };
 

@@ -41,6 +41,7 @@ LayerTally RobustnessReport::total() const noexcept {
   sum += client;
   sum += scanner;
   sum += proxy;
+  sum += resolver;
   return sum;
 }
 
@@ -58,6 +59,7 @@ std::string RobustnessReport::to_string() const {
   out += line("client", client);
   out += line("scanner", scanner);
   out += line("proxy", proxy);
+  out += line("resolver", resolver);
   out += line("total", total());
   return out;
 }

@@ -60,9 +60,10 @@ struct LayerTally {
 
 /// Per-layer roll-up of fault accounting across a study.
 struct RobustnessReport {
-  LayerTally client;   // reachability + performance query retries
-  LayerTally scanner;  // sweep re-probes + application-probe retries
-  LayerTally proxy;    // exit-node deaths vs session failovers
+  LayerTally client;    // reachability + performance query retries
+  LayerTally scanner;   // sweep re-probes + application-probe retries
+  LayerTally proxy;     // exit-node deaths vs session failovers
+  LayerTally resolver;  // upstream recursion faults vs serve-stale answers
 
   [[nodiscard]] LayerTally total() const noexcept;
   [[nodiscard]] std::string to_string() const;

@@ -1,8 +1,45 @@
 #include "resolver/recursive.hpp"
 
 #include "dns/query.hpp"
+#include "obs/metrics.hpp"
 
 namespace encdns::resolver {
+namespace {
+
+/// Seconds since the epoch for the simulation's civil-date clock. Dates are
+/// the finest time the experiments schedule against, so "now" moves in whole
+/// 86400 s steps; the cache itself is second-accurate for unit tests and any
+/// future sub-day clock.
+[[nodiscard]] std::int64_t to_seconds(const util::Date& date) noexcept {
+  return date.to_days() * 86400;
+}
+
+/// Stable pseudo-address for the authoritative side of a recursion, so the
+/// fault injector's per-(target, day) streams and flap windows apply to the
+/// resolver->nameserver leg exactly as they do to client transports.
+[[nodiscard]] util::Ipv4 upstream_target(const std::string& key) noexcept {
+  return util::Ipv4{static_cast<std::uint32_t>(util::fnv1a(key))};
+}
+
+[[nodiscard]] cache::CacheConfig effective_cache_config(
+    const RecursiveConfig& config) {
+  cache::CacheConfig cache_config = config.cache;
+  cache_config.max_entries = config.max_cache_entries;
+  return cache::CacheConfig::from_env(cache_config);
+}
+
+}  // namespace
+
+RecursiveBackend::RecursiveBackend(const AuthoritativeUniverse& universe,
+                                   std::string label, RecursiveConfig config,
+                                   const fault::FaultInjector* faults)
+    : universe_(&universe),
+      label_(std::move(label)),
+      config_(config),
+      faults_(faults),
+      cache_(effective_cache_config(config)) {
+  config_.cache = cache_.config();
+}
 
 DnsBackend::Result RecursiveBackend::resolve(const dns::Message& query,
                                              const net::Location& pop,
@@ -19,6 +56,9 @@ DnsBackend::Result RecursiveBackend::resolve(const dns::Message& query,
   // shared state, so the outcome never depends on other sessions.
   if (config_.enable_cache && universe_->popular(q.name)) {
     ++hits_;
+    static obs::Counter& warm_hits =
+        obs::MetricsRegistry::global().counter("cache.lookup.warm_hit");
+    warm_hits.add();
     const Answer answer = universe_->authoritative_answer(q.name, q.type, date);
     result.response = dns::make_response(query, answer.rcode);
     result.response.answers = answer.answers;
@@ -29,30 +69,73 @@ DnsBackend::Result RecursiveBackend::resolve(const dns::Message& query,
 
   const std::string key =
       q.name.canonical() + "/" + std::to_string(static_cast<int>(q.type));
-  const std::int64_t day = date.to_days();
+  const std::int64_t now_s = to_seconds(date);
 
   if (config_.enable_cache) {
-    const std::lock_guard<std::mutex> lock(cache_mutex_);
-    const auto it = cache_.find(key);
-    if (it != cache_.end() && it->second.day == day) {
+    if (const auto hit = cache_.lookup(key, now_s)) {
       ++hits_;
-      result.response = dns::make_response(query, it->second.answer.rcode);
-      result.response.answers = it->second.answer.answers;
-      result.processing = sim::Millis{rng.uniform(config_.hit_min_ms, config_.hit_max_ms)};
+      result.response = dns::make_response(query, hit->answer.rcode);
+      result.response.answers = hit->answer.answers;
+      result.processing =
+          sim::Millis{rng.uniform(config_.hit_min_ms, config_.hit_max_ms)};
       return result;
     }
   }
 
   ++misses_;
+
+  // Transient upstream failure (Channel::kRecursion): serve stale if the
+  // config allows and an expired-but-recent entry exists, else SERVFAIL —
+  // which is never cached (RFC 2308). Gated on the profile so fault-free
+  // and pre-serve-stale canonical runs consume no extra rng tokens.
+  sim::Millis upstream_extra{0.0};
+  if (faults_ != nullptr && faults_->enabled() &&
+      faults_->profile().upstream_fail > 0.0) {
+    const fault::Decision decision = faults_->decide(
+        fault::Channel::kRecursion, upstream_target(key), dns::kDnsPort, date, rng);
+    if (decision.kind == fault::Decision::Kind::kSpike) {
+      upstream_extra = decision.extra_latency;  // slow, not failed
+    } else if (decision.kind != fault::Decision::Kind::kNone) {
+      ++upstream_faults_;
+      auto& registry = obs::MetricsRegistry::global();
+      static obs::Counter& fault_counter =
+          registry.counter("resolver.upstream.fault");
+      fault_counter.add();
+      if (config_.enable_cache && config_.cache.serve_stale) {
+        if (const auto stale = cache_.lookup_stale(key, now_s)) {
+          ++stale_;
+          static obs::Counter& stale_counter =
+              registry.counter("resolver.upstream.stale_served");
+          stale_counter.add();
+          result.response = dns::make_response(query, stale->answer.rcode);
+          result.response.answers = stale->answer.answers;
+          result.processing =
+              sim::Millis{rng.uniform(config_.hit_min_ms, config_.hit_max_ms)};
+          return result;
+        }
+      }
+      static obs::Counter& servfail_counter =
+          registry.counter("resolver.upstream.servfail");
+      servfail_counter.add();
+      result.response = dns::make_response(query, dns::RCode::kServFail);
+      result.processing =
+          sim::Millis{rng.uniform(0.2, 1.0)} + decision.extra_latency;
+      return result;
+    }
+  }
+
   const auto upstream = universe_->query(q.name, q.type, pop, date, rng);
   result.response = dns::make_response(query, upstream.answer.rcode);
   result.response.answers = upstream.answer.answers;
-  result.processing = upstream.latency + sim::Millis{rng.uniform(0.2, 1.0)};
+  result.processing =
+      upstream.latency + sim::Millis{rng.uniform(0.2, 1.0)} + upstream_extra;
 
   if (config_.enable_cache) {
-    const std::lock_guard<std::mutex> lock(cache_mutex_);
-    if (cache_.size() >= config_.max_cache_entries) cache_.clear();
-    cache_[key] = CacheEntry{day, upstream.answer};
+    // store() rejects SERVFAIL and other uncacheable rcodes itself; the old
+    // map cached them for a day, so one upstream hiccup kept answering.
+    (void)cache_.store(key, cache::CachedAnswer{upstream.answer.rcode,
+                                                upstream.answer.answers},
+                       now_s);
   }
   return result;
 }

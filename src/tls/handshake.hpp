@@ -41,7 +41,9 @@ class SessionCache {
   explicit SessionCache(sim::Millis lifetime = sim::Millis::seconds(7200)) noexcept
       : lifetime_(lifetime) {}
 
-  /// True if a live ticket exists at time `now`; refrees the entry on hit.
+  /// True if a live ticket exists at time `now`; refreshes the entry on hit,
+  /// so a successful resumption re-issues the ticket and extends its
+  /// lifetime to `now + lifetime` (expired entries are erased instead).
   bool try_resume(const std::string& key, sim::Millis now);
 
   /// Record a ticket issued at `now`.

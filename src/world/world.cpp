@@ -102,6 +102,13 @@ World::World(WorldConfig config) : config_(config) {
                    {"NG", 0.11}, {"EG", 0.10}, {"IR", 0.14}, {"TR", 0.08},
                    {"BR", 0.09}, {"MX", 0.07}, {"VE", 0.11}};
 
+  // The injector must exist before the service builders run: every recursive
+  // backend holds a pointer to it for the upstream-recursion fault channel.
+  config_.fault_profile = fault::FaultProfile::from_env(config_.fault_profile);
+  fault_injector_ = std::make_unique<fault::FaultInjector>(
+      config_.fault_profile, util::mix64(config_.seed ^ 0xFA017ULL));
+  network_.set_fault_injector(fault_injector_.get());
+
   build_universe();
   build_big_providers();
   build_catalogue_services();
@@ -114,11 +121,31 @@ World::World(WorldConfig config) : config_(config) {
                                  const util::Date& date) {
     return port == dns::kDotPort && background_open_853(addr, date);
   });
+}
 
-  config_.fault_profile = fault::FaultProfile::from_env(config_.fault_profile);
-  fault_injector_ = std::make_unique<fault::FaultInjector>(
-      config_.fault_profile, util::mix64(config_.seed ^ 0xFA017ULL));
-  network_.set_fault_injector(fault_injector_.get());
+std::shared_ptr<resolver::RecursiveBackend> World::make_backend(
+    std::string label) {
+  resolver::RecursiveConfig config;
+  config.max_cache_entries = config_.resolver_cache_entries;
+  config.cache.negative_ttl_s = config_.resolver_negative_ttl_s;
+  config.cache.serve_stale = config_.resolver_serve_stale;
+  auto backend = std::make_shared<resolver::RecursiveBackend>(
+      universe_, std::move(label), config, fault_injector_.get());
+  recursive_backends_.push_back(backend);
+  return backend;
+}
+
+World::ResolverCacheTally World::resolver_cache_tally() const {
+  ResolverCacheTally tally;
+  for (const auto& backend : recursive_backends_) {
+    tally.hits += backend->cache_hits();
+    tally.misses += backend->cache_misses();
+    tally.stale_served += backend->stale_served();
+    tally.upstream_faults += backend->upstream_faults();
+    tally.evictions += backend->cache().stats().evictions;
+    tally.entries += backend->cache_size();
+  }
+  return tally;
 }
 
 double World::proxy_weight(const CountryInfo& info) const {
@@ -218,7 +245,7 @@ void World::build_big_providers() {
   {
     resolver::ResolverServiceConfig cfg;
     cfg.label = "Cloudflare";
-    cfg.backend = std::make_shared<resolver::RecursiveBackend>(universe_, "cloudflare");
+    cfg.backend = make_backend("cloudflare");
     cfg.serve_dot = true;
     cfg.serve_doh = true;
     cfg.dot_certificate = tls::make_chain(
@@ -248,7 +275,7 @@ void World::build_big_providers() {
   {
     resolver::ResolverServiceConfig cfg;
     cfg.label = "GooglePublicDNS";
-    cfg.backend = std::make_shared<resolver::RecursiveBackend>(universe_, "google");
+    cfg.backend = make_backend("google");
     cfg.serve_dot = false;
     cfg.serve_doh = true;
     cfg.doh_certificate =
@@ -270,7 +297,7 @@ void World::build_big_providers() {
   {
     resolver::ResolverServiceConfig cfg;
     cfg.label = "Quad9";
-    cfg.backend = std::make_shared<resolver::RecursiveBackend>(universe_, "quad9");
+    cfg.backend = make_backend("quad9");
     cfg.serve_dot = true;
     cfg.serve_doh = true;
     cfg.dot_certificate = tls::make_chain("dns.quad9.net", tls::kDigicertCa, issued,
@@ -294,7 +321,7 @@ void World::build_big_providers() {
   {
     resolver::ResolverServiceConfig cfg;
     cfg.label = "self-built";
-    cfg.backend = std::make_shared<resolver::RecursiveBackend>(universe_, "self-built");
+    cfg.backend = make_backend("self-built");
     cfg.serve_dot = true;
     cfg.serve_doh = true;
     cfg.dot_certificate = tls::make_chain(kSelfBuiltDotName, tls::kLetsEncryptCa,
@@ -341,8 +368,7 @@ void World::build_catalogue_services() {
         cfg.backend = std::make_shared<resolver::FixedAnswerBackend>(
             addrs::kDnsfilterFixedAnswer, d.provider);
       } else {
-        cfg.backend =
-            std::make_shared<resolver::RecursiveBackend>(universe_, d.provider);
+        cfg.backend = make_backend(d.provider);
       }
       cfg.serve_do53_udp = false;  // DoT-only small deployments
       cfg.serve_do53_tcp = false;
@@ -368,8 +394,7 @@ void World::build_catalogue_services() {
     if (!tmpl) continue;
     resolver::ResolverServiceConfig cfg;
     cfg.label = "doh:" + doh.provider;
-    cfg.backend =
-        std::make_shared<resolver::RecursiveBackend>(universe_, doh.provider);
+    cfg.backend = make_backend(doh.provider);
     cfg.serve_do53_udp = false;
     cfg.serve_do53_tcp = false;
     cfg.serve_doh = true;
@@ -398,7 +423,7 @@ void World::build_bootstrap_and_local() {
   for (const auto& info : countries()) {
     resolver::ResolverServiceConfig cfg;
     cfg.label = "isp-" + std::string(info.code);
-    cfg.backend = std::make_shared<resolver::RecursiveBackend>(universe_, cfg.label);
+    cfg.backend = make_backend(cfg.label);
     auto service = std::make_shared<resolver::ResolverService>(std::move(cfg));
     net::Pop pop;
     pop.location = centroid_of(std::string(info.code));
@@ -422,7 +447,7 @@ void World::build_bootstrap_and_local() {
 
     resolver::ResolverServiceConfig cfg;
     cfg.label = "local-" + lr.country + "-" + std::to_string(i);
-    cfg.backend = std::make_shared<resolver::RecursiveBackend>(universe_, cfg.label);
+    cfg.backend = make_backend(cfg.label);
     cfg.serve_dot = lr.dot_enabled;
     if (lr.dot_enabled) {
       cfg.dot_certificate =
@@ -461,8 +486,7 @@ void World::build_dnscrypt() {
       dnscrypt::DnscryptServiceConfig cfg;
       cfg.label = std::string("dnscrypt:") + row.provider;
       cfg.provider_name = row.provider;
-      cfg.backend = std::make_shared<resolver::RecursiveBackend>(
-          universe_, cfg.label);
+      cfg.backend = make_backend(cfg.label);
       cfg.resolver_secret_key = util::mix64(util::fnv1a(row.provider) ^ 0x5ECULL);
       it = services
                .emplace(row.provider,
@@ -481,8 +505,7 @@ void World::build_dnscrypt() {
   // in the wild; the study's own infrastructure prototypes it).
   doq::DoqServiceConfig doq_cfg;
   doq_cfg.label = "self-built-doq";
-  doq_cfg.backend =
-      std::make_shared<resolver::RecursiveBackend>(universe_, doq_cfg.label);
+  doq_cfg.backend = make_backend(doq_cfg.label);
   doq_cfg.certificate =
       tls::make_chain(kDoqHostname, tls::kLetsEncryptCa, util::Date{2018, 10, 1},
                       util::Date{2019, 12, 15}, {kDoqHostname});

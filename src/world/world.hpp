@@ -73,6 +73,16 @@ struct WorldConfig {
   /// every fault class at calibrated rates. The ENCDNS_FAULTS environment
   /// variable ("canonical"/"off") overrides this at World construction.
   fault::FaultProfile fault_profile{};
+
+  /// Recursive-resolver record cache knobs (DESIGN.md §10), applied to every
+  /// backend built for the world's resolver services. ENCDNS_CACHE_*
+  /// environment variables override these at backend construction.
+  std::size_t resolver_cache_entries = 200000;
+  /// RFC 2308 bounded negative TTL (seconds) for NXDOMAIN/NODATA entries.
+  std::uint32_t resolver_negative_ttl_s = 900;
+  /// RFC 8767 serve-stale: expired entries answer while the upstream
+  /// recursion is failing (FaultProfile::upstream_fail). Off by default.
+  bool resolver_serve_stale = false;
 };
 
 /// One recruited vantage point, with simulation ground truth attached.
@@ -193,6 +203,20 @@ class World {
   /// measures the cost of the hook itself rather than of a disabled draw).
   void disable_fault_injection() noexcept { network_.set_fault_injector(nullptr); }
 
+  /// Order-independent roll-up of every recursive backend's cache tallies
+  /// (warm+record hits, misses, stale answers, upstream faults, evictions,
+  /// live entries). Feeds Study::robustness_report's resolver layer and the
+  /// thread-count-invariance acceptance tests.
+  struct ResolverCacheTally {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t stale_served = 0;
+    std::uint64_t upstream_faults = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t entries = 0;
+  };
+  [[nodiscard]] ResolverCacheTally resolver_cache_tally() const;
+
  private:
   WorldConfig config_;
   net::Network network_;
@@ -216,6 +240,7 @@ class World {
   std::vector<std::unique_ptr<TlsInterceptBox>> intercept_boxes_;
 
   std::unordered_map<std::string, util::Ipv4> bootstrap_;
+  std::vector<std::shared_ptr<resolver::RecursiveBackend>> recursive_backends_;
   std::vector<LocalResolver> local_resolvers_;
   std::vector<DnscryptDeployment> dnscrypt_;
   util::Ipv4 doq_address_{45, 90, 77, 11};
@@ -224,6 +249,11 @@ class World {
   // Sampling tables.
   std::vector<double> country_weights_;
   std::unordered_map<std::string, double> port53_rates_;
+
+  /// All recursive backends are built here so the shared cache knobs and the
+  /// fault injector are wired uniformly (and the tally above can see them).
+  [[nodiscard]] std::shared_ptr<resolver::RecursiveBackend> make_backend(
+      std::string label);
 
   void build_universe();
   void build_big_providers();

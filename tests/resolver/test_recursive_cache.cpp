@@ -1,0 +1,229 @@
+// Regression tests for the three cache defects the sharded TTL cache fixed
+// (DESIGN.md §10): SERVFAIL answers cached for a day, day-boundary expiry
+// that ignored record TTLs, and the flush-on-full latency cliff — plus the
+// RFC 8767 serve-stale path under injected upstream failure.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "dns/query.hpp"
+#include "fault/fault.hpp"
+#include "resolver/recursive.hpp"
+#include "resolver/universe.hpp"
+
+namespace encdns::resolver {
+namespace {
+
+const util::Date kDay{2019, 3, 1};
+const net::Location kPop{{38.9, -77.0}, "US", 1};
+
+/// A universe whose single zone SERVFAILs for the first `failures` queries,
+/// then answers normally — a transient upstream incident.
+struct FlakyUniverse {
+  std::shared_ptr<int> remaining_failures;
+  AuthoritativeUniverse universe;
+
+  explicit FlakyUniverse(int failures)
+      : remaining_failures(std::make_shared<int>(failures)) {
+    Zone zone;
+    zone.apex = *dns::Name::parse("probe.test");
+    zone.ns_location = net::Location{{39.9, 116.4}, "CN", 2};
+    zone.answer_fn = [counter = remaining_failures](
+                         const dns::Name& qname, dns::RrType type,
+                         const util::Date&) {
+      if (*counter > 0) {
+        --*counter;
+        Answer answer;
+        answer.rcode = dns::RCode::kServFail;
+        return answer;
+      }
+      if (type != dns::RrType::kA) return Answer::nxdomain();
+      return Answer::a_record(qname, util::Ipv4(45, 90, 77, 99));
+    };
+    universe.add_zone(std::move(zone));
+  }
+};
+
+[[nodiscard]] AuthoritativeUniverse make_universe(std::uint32_t ttl = 300) {
+  AuthoritativeUniverse universe;
+  Zone zone;
+  zone.apex = *dns::Name::parse("probe.test");
+  zone.ns_location = net::Location{{39.9, 116.4}, "CN", 2};
+  zone.answer_fn = [ttl](const dns::Name& qname, dns::RrType type,
+                         const util::Date&) {
+    if (type != dns::RrType::kA) return Answer::nxdomain();
+    return Answer::a_record(qname, util::Ipv4(45, 90, 77, 99), ttl);
+  };
+  universe.add_zone(std::move(zone));
+  return universe;
+}
+
+[[nodiscard]] dns::Message query_for(const std::string& name) {
+  return dns::make_query(*dns::Name::parse(name), dns::RrType::kA, 1);
+}
+
+// The old map cached whatever the upstream returned — including SERVFAIL —
+// for a whole day, so one hiccup kept answering SERVFAIL from cache. RFC
+// 2308 forbids caching server failures; the next query must retry upstream.
+TEST(RecursiveCache, TransientServfailIsNotServedFromCache) {
+  FlakyUniverse flaky(1);
+  RecursiveBackend backend(flaky.universe, "test");
+  util::Rng rng(7);
+  const auto query = query_for("flaky.probe.test");
+
+  const auto failed = backend.resolve(query, kPop, kDay, rng);
+  EXPECT_EQ(failed.response.header.rcode, dns::RCode::kServFail);
+  EXPECT_EQ(backend.cache().stats().rejected, 1u);
+  EXPECT_EQ(backend.cache_size(), 0u);
+
+  // Upstream has recovered; the very next query must reach it, not the cache.
+  const auto recovered = backend.resolve(query, kPop, kDay, rng);
+  EXPECT_EQ(recovered.response.header.rcode, dns::RCode::kNoError);
+  EXPECT_EQ(*recovered.response.first_a(), util::Ipv4(45, 90, 77, 99));
+  EXPECT_EQ(backend.cache_misses(), 2u);
+  EXPECT_EQ(backend.cache_hits(), 0u);
+
+  // And the good answer IS cached.
+  (void)backend.resolve(query, kPop, kDay, rng);
+  EXPECT_EQ(backend.cache_hits(), 1u);
+}
+
+// The old cache expired everything at the next civil-day boundary, even
+// records whose TTL spans several days. Entries now live for their record
+// TTL (clamped to the config), expiring at the exact boundary.
+TEST(RecursiveCache, MultiDayTtlOutlivesDayBoundary) {
+  const auto universe = make_universe(/*ttl=*/3 * 86400);
+  RecursiveConfig config;
+  config.cache.max_ttl_s = 7 * 86400;  // don't clamp the 3-day record
+  RecursiveBackend backend(universe, "test", config);
+  util::Rng rng(7);
+  const auto query = query_for("long.probe.test");
+
+  (void)backend.resolve(query, kPop, kDay, rng);
+  EXPECT_EQ(backend.cache_misses(), 1u);
+  (void)backend.resolve(query, kPop, kDay.plus_days(1), rng);
+  (void)backend.resolve(query, kPop, kDay.plus_days(2), rng);
+  EXPECT_EQ(backend.cache_hits(), 2u);  // day-boundary expiry would miss here
+  // Exactly three days after the store, the entry has expired.
+  (void)backend.resolve(query, kPop, kDay.plus_days(3), rng);
+  EXPECT_EQ(backend.cache_misses(), 2u);
+}
+
+TEST(RecursiveCache, ShortTtlExpiresByNextDay) {
+  const auto universe = make_universe(/*ttl=*/300);
+  RecursiveBackend backend(universe, "test");
+  util::Rng rng(7);
+  const auto query = query_for("short.probe.test");
+  (void)backend.resolve(query, kPop, kDay, rng);
+  (void)backend.resolve(query, kPop, kDay, rng);
+  EXPECT_EQ(backend.cache_hits(), 1u);  // fresh within the day it was stored
+  (void)backend.resolve(query, kPop, kDay.plus_days(1), rng);
+  EXPECT_EQ(backend.cache_misses(), 2u);  // 300 s TTL lapsed at the boundary
+}
+
+// NXDOMAIN is negatively cacheable (RFC 2308) — but only for the bounded
+// negative TTL, not the old full day.
+TEST(RecursiveCache, NxdomainIsNegativelyCachedBriefly) {
+  auto universe = make_universe();
+  universe.set_synthesize_unknown(false);
+  RecursiveBackend backend(universe, "test");
+  util::Rng rng(7);
+  const auto query = query_for("missing.elsewhere.example");
+
+  const auto first = backend.resolve(query, kPop, kDay, rng);
+  EXPECT_EQ(first.response.header.rcode, dns::RCode::kNxDomain);
+  const auto second = backend.resolve(query, kPop, kDay, rng);
+  EXPECT_EQ(second.response.header.rcode, dns::RCode::kNxDomain);
+  EXPECT_EQ(backend.cache_hits(), 1u);
+  EXPECT_EQ(backend.cache().stats().negative_hits, 1u);
+  // The default 900 s negative TTL is long gone by the next day.
+  (void)backend.resolve(query, kPop, kDay.plus_days(1), rng);
+  EXPECT_EQ(backend.cache_misses(), 2u);
+}
+
+// The flush-on-full regression: with the map, crossing max_cache_entries
+// cleared *everything*, so a hot name's hit rate collapsed to zero. With
+// sharded LRU eviction the hot name stays resident through a stream of cold
+// inserts many times the cache's capacity.
+TEST(RecursiveCache, HotNameSurvivesFullCache) {
+  const auto universe = make_universe();
+  RecursiveConfig config;
+  config.max_cache_entries = 64;
+  RecursiveBackend backend(universe, "test", config);
+  util::Rng rng(7);
+  const auto hot = query_for("hot.probe.test");
+
+  (void)backend.resolve(hot, kPop, kDay, rng);  // prime: one miss
+  constexpr int kColdInserts = 500;
+  for (int i = 0; i < kColdInserts; ++i) {
+    (void)backend.resolve(query_for("cold" + std::to_string(i) + ".probe.test"),
+                          kPop, kDay, rng);
+    (void)backend.resolve(hot, kPop, kDay, rng);
+  }
+  // Every post-prime hot query hit, even though ~8x the cache's capacity
+  // was inserted around it.
+  EXPECT_EQ(backend.cache_hits(), static_cast<std::uint64_t>(kColdInserts));
+  EXPECT_EQ(backend.cache_misses(),
+            static_cast<std::uint64_t>(kColdInserts) + 1u);
+  EXPECT_GT(backend.cache().stats().evictions, 0u);
+  EXPECT_LE(backend.cache_size(), 64u);
+}
+
+// RFC 8767 serve-stale: when the upstream recursion fails (injected on
+// Channel::kRecursion), an expired-but-recent entry answers instead of
+// surfacing SERVFAIL.
+TEST(RecursiveCache, ServeStaleAnswersThroughUpstreamFailure) {
+  const auto universe = make_universe();
+  RecursiveConfig config;
+  config.cache.serve_stale = true;
+  config.cache.max_stale_s = 2 * 86400;  // day-granular clock needs a wide window
+  RecursiveBackend backend(universe, "test", config);
+  util::Rng rng(7);
+  const auto query = query_for("stale.probe.test");
+
+  (void)backend.resolve(query, kPop, kDay, rng);  // prime, fault-free
+  ASSERT_EQ(backend.cache_size(), 1u);
+
+  fault::FaultProfile profile;
+  profile.upstream_fail = 1.0;  // every recursion now fails
+  const fault::FaultInjector injector(profile, 99);
+  backend.set_fault_injector(&injector);
+
+  const auto stale = backend.resolve(query, kPop, kDay.plus_days(1), rng);
+  EXPECT_EQ(stale.response.header.rcode, dns::RCode::kNoError);
+  EXPECT_EQ(*stale.response.first_a(), util::Ipv4(45, 90, 77, 99));
+  EXPECT_EQ(backend.stale_served(), 1u);
+  EXPECT_EQ(backend.upstream_faults(), 1u);
+}
+
+// Without serve-stale the same failure surfaces as SERVFAIL — and that
+// SERVFAIL is not cached, so recovery is immediate.
+TEST(RecursiveCache, UpstreamFailureWithoutServeStaleIsServfailUncached) {
+  const auto universe = make_universe();
+  RecursiveBackend backend(universe, "test");
+  util::Rng rng(7);
+  const auto query = query_for("down.probe.test");
+
+  (void)backend.resolve(query, kPop, kDay, rng);  // prime (irrelevant: stale off)
+
+  fault::FaultProfile profile;
+  profile.upstream_fail = 1.0;
+  const fault::FaultInjector injector(profile, 99);
+  backend.set_fault_injector(&injector);
+
+  const auto failed = backend.resolve(query, kPop, kDay.plus_days(1), rng);
+  EXPECT_EQ(failed.response.header.rcode, dns::RCode::kServFail);
+  EXPECT_EQ(backend.stale_served(), 0u);
+  EXPECT_EQ(backend.upstream_faults(), 1u);
+
+  // Upstream recovers: the next query resolves fresh, not from a cached
+  // failure.
+  backend.set_fault_injector(nullptr);
+  const auto recovered = backend.resolve(query, kPop, kDay.plus_days(1), rng);
+  EXPECT_EQ(recovered.response.header.rcode, dns::RCode::kNoError);
+  EXPECT_EQ(*recovered.response.first_a(), util::Ipv4(45, 90, 77, 99));
+}
+
+}  // namespace
+}  // namespace encdns::resolver

@@ -195,5 +195,25 @@ TEST(SessionCache, ExpiryAndRefresh) {
   EXPECT_EQ(cache.size(), 0u);  // expired entry was evicted
 }
 
+// Pins the ticket-refresh semantics the handshake.hpp comment promises: a
+// successful resumption re-issues the ticket, extending its lifetime to
+// `now + lifetime`. A session resumed at least once per lifetime therefore
+// stays resumable indefinitely; one skipped window and the ticket is gone
+// for good (the expired entry is erased, not refreshed).
+TEST(SessionCache, ResumptionExtendsTicketLifetime) {
+  SessionCache cache(sim::Millis{1000.0});
+  cache.store("host:853", sim::Millis{0.0});
+  // Chain of resumptions, each inside the previous ticket's lifetime: the
+  // original ticket would have died at t=1000, but every hit re-issued it.
+  for (double t = 900.0; t <= 4500.0; t += 900.0)
+    EXPECT_TRUE(cache.try_resume("host:853", sim::Millis{t})) << t;
+
+  // Identical ticket, no intermediate resumption: dead one lifetime after
+  // issue, and a late resumption attempt cannot revive it.
+  cache.store("cold:853", sim::Millis{0.0});
+  EXPECT_FALSE(cache.try_resume("cold:853", sim::Millis{1001.0}));
+  EXPECT_FALSE(cache.try_resume("cold:853", sim::Millis{1002.0}));
+}
+
 }  // namespace
 }  // namespace encdns::tls

@@ -36,8 +36,21 @@ run_golden() {
   echo "tests/golden/data matches a fresh --golden-dir run."
 }
 
+run_cache_guard() {
+  # bench_micro_cache replays the same Zipf mix against the retired
+  # flush-on-full map and the sharded LRU cache; its exit status (and the
+  # guard_met field of BENCH_cache.json) asserts the sharded cache sustains
+  # a strictly higher steady-state hit rate. The micro loops are skipped —
+  # only the comparison main() runs.
+  echo "=== cache eviction guard ==="
+  ./build/bench/bench_micro_cache --benchmark_filter=SKIP_ALL
+  grep -q '"guard_met": true' BENCH_cache.json
+  echo "sharded LRU beats flush-on-full (BENCH_cache.json)."
+}
+
 run_pass "plain" build ""
 run_golden
+run_cache_guard
 run_pass "asan" build-asan address
 run_pass "tsan" build-tsan thread
 

@@ -1,0 +1,393 @@
+// End-to-end throughput benchmark for the query hot path and the full study
+// (DESIGN.md §11). Two sections, both written to BENCH_throughput.json:
+//
+//  - transports: steady-state single-vantage query throughput for Do53/UDP,
+//    Do53/TCP, DoT and DoH against the simulated providers — queries/sec and
+//    allocations/query via the counting allocator below.
+//  - phases: every study phase run end to end at --scale quick|full
+//    (StudyConfig::full() approximates the paper's dataset sizes), with
+//    elapsed time, a deterministic work-unit count (probes, clients,
+//    queries — see the "unit" field) and allocations per unit.
+//
+// --guard BASELINE compares a fresh run against a committed baseline and
+// writes "guard_met": the work-unit counts must match exactly (determinism),
+// allocations/unit must not regress past baseline * 1.25 + 2, and throughput
+// must stay above 0.25x baseline (generous: CI machines differ; the alloc
+// bound is the tight one because it is machine-independent). tools/check.sh
+// runs this the same way the cache guard runs bench_micro_cache.
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+std::atomic<unsigned long long> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "client/do53.hpp"
+#include "client/doh.hpp"
+#include "client/dot.hpp"
+#include "core/study.hpp"
+#include "http/url.hpp"
+#include "world/world.hpp"
+
+namespace {
+
+using namespace encdns;
+
+struct Row {
+  std::string name;
+  std::string unit;                    // what one "query" is for this row
+  unsigned long long queries = 0;      // deterministic work-unit count
+  double seconds = 0.0;
+  double qps = 0.0;
+  double allocs_per_query = 0.0;
+};
+
+/// Times `fn`, which must return its deterministic work-unit count.
+Row run_row(const std::string& name, const std::string& unit,
+            const std::function<unsigned long long()>& fn) {
+  Row row;
+  row.name = name;
+  row.unit = unit;
+  const auto allocs_before = g_alloc_count.load(std::memory_order_relaxed);
+  const auto start = std::chrono::steady_clock::now();
+  row.queries = fn();
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  const auto allocs_after = g_alloc_count.load(std::memory_order_relaxed);
+  row.seconds = elapsed.count();
+  if (row.queries > 0) {
+    row.qps = static_cast<double>(row.queries) / row.seconds;
+    row.allocs_per_query =
+        static_cast<double>(allocs_after - allocs_before) /
+        static_cast<double>(row.queries);
+  }
+  return row;
+}
+
+// --- transports: steady-state per-query throughput ----------------------------
+
+constexpr int kTransportWarmup = 100;
+constexpr int kTransportMeasured = 1000;
+
+std::vector<dns::Name> probe_names(world::World& world, std::size_t count,
+                                   std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<dns::Name> names;
+  names.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    names.push_back(world.unique_probe_name(rng));
+  return names;
+}
+
+/// Steady state: warm up (fills connection pools, scratch capacities and the
+/// thread's arena), then measure. Names are pre-generated so their cost is
+/// excluded. The simulated network drops the occasional UDP datagram (that
+/// is part of the model), so a small failure fraction is tolerated; a
+/// genuinely broken transport (>2% failed) aborts the bench instead of
+/// reporting a meaningless throughput.
+template <typename QueryFn>
+Row transport_row(const std::string& name, world::World& world,
+                  std::uint64_t name_seed, QueryFn&& query) {
+  const auto names =
+      probe_names(world, kTransportWarmup + kTransportMeasured, name_seed);
+  for (int i = 0; i < kTransportWarmup; ++i)
+    (void)query(names[static_cast<std::size_t>(i)]);
+  int failed = 0;
+  Row row = run_row(name, "query", [&]() -> unsigned long long {
+    for (int i = kTransportWarmup; i < kTransportWarmup + kTransportMeasured;
+         ++i) {
+      if (query(names[static_cast<std::size_t>(i)]) !=
+          client::QueryStatus::kOk)
+        ++failed;
+    }
+    return kTransportMeasured;
+  });
+  if (failed * 50 > kTransportMeasured) {  // > 2%
+    std::fprintf(stderr, "%s: %d of %d measured queries failed\n",
+                 name.c_str(), failed, kTransportMeasured);
+    std::exit(2);
+  }
+  return row;
+}
+
+std::vector<Row> run_transports() {
+  world::World world;
+  world::Vantage vantage = world.make_clean_vantage("US");
+  const util::Date day{2019, 3, 10};
+  std::vector<Row> rows;
+
+  {
+    client::Do53Client c(world.network(), vantage.context, 31);
+    rows.push_back(transport_row("do53_udp", world, 41, [&](const dns::Name& n) {
+      return c.query_udp(world::addrs::kGooglePrimary, n, dns::RrType::kA, day)
+          .status;
+    }));
+  }
+  {
+    client::Do53Client c(world.network(), vantage.context, 32);
+    rows.push_back(transport_row("do53_tcp", world, 42, [&](const dns::Name& n) {
+      return c
+          .query_tcp(world::addrs::kCloudflarePrimary, n, dns::RrType::kA, day)
+          .status;
+    }));
+  }
+  {
+    client::DotClient c(world.network(), vantage.context, 33);
+    rows.push_back(transport_row("dot", world, 43, [&](const dns::Name& n) {
+      return c.query(world::addrs::kCloudflarePrimary, n, dns::RrType::kA, day)
+          .status;
+    }));
+  }
+  {
+    client::DohClient c(world.network(), vantage.context, 34);
+    const auto uri = http::UriTemplate::parse(
+        "https://mozilla.cloudflare-dns.com/dns-query{?dns}");
+    client::DohClient::Options options;
+    options.bootstrap_resolver = world::addrs::kGooglePrimary;
+    rows.push_back(transport_row("doh_get", world, 44, [&](const dns::Name& n) {
+      return c.query(*uri, n, dns::RrType::kA, day, options).status;
+    }));
+  }
+  return rows;
+}
+
+// --- phases: the study end to end ---------------------------------------------
+
+std::vector<Row> run_phases(const std::string& scale) {
+  const core::StudyConfig config =
+      scale == "full" ? core::StudyConfig::full() : core::StudyConfig::quick();
+  core::Study study(config);
+  std::vector<Row> rows;
+
+  rows.push_back(run_row("scan_campaign", "tls_probe", [&] {
+    unsigned long long probes = 0;
+    for (const auto& snapshot : study.scans()) probes += snapshot.port_open;
+    return probes;
+  }));
+  rows.push_back(run_row("doh_discovery", "url_check", [&] {
+    return static_cast<unsigned long long>(study.doh_discovery().valid_urls);
+  }));
+  rows.push_back(run_row("local_probe", "dot_probe", [&] {
+    return static_cast<unsigned long long>(study.local_probe().probes);
+  }));
+  rows.push_back(run_row("reachability_global", "client", [&] {
+    return static_cast<unsigned long long>(study.reachability_global().clients);
+  }));
+  rows.push_back(run_row("reachability_cn", "client", [&] {
+    return static_cast<unsigned long long>(study.reachability_cn().clients);
+  }));
+  rows.push_back(run_row("performance", "query", [&] {
+    (void)study.performance();
+    // Each sampled client runs queries_per_protocol on each of the three
+    // transports; this is the configured (deterministic) query volume.
+    return static_cast<unsigned long long>(config.performance.client_count) *
+           static_cast<unsigned long long>(
+               config.performance.queries_per_protocol) *
+           3ULL;
+  }));
+  rows.push_back(run_row("netflow", "sampled_flow", [&] {
+    const auto& netflow = study.netflow();
+    unsigned long long flows = 0;
+    for (const auto& [month, count] : netflow.cloudflare_monthly)
+      flows += count;
+    return flows;
+  }));
+  return rows;
+}
+
+// --- JSON out / guard ---------------------------------------------------------
+
+void append_rows(std::string& out, const char* key,
+                 const std::vector<Row>& rows) {
+  out += "  \"";
+  out += key;
+  out += "\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"%s\", \"unit\": \"%s\", \"queries\": %llu, "
+                  "\"seconds\": %.3f, \"qps\": %.1f, "
+                  "\"allocs_per_query\": %.2f}%s\n",
+                  row.name.c_str(), row.unit.c_str(), row.queries, row.seconds,
+                  row.qps, row.allocs_per_query,
+                  i + 1 < rows.size() ? "," : "");
+    out += buf;
+  }
+  out += "  ]";
+}
+
+struct BaselineRow {
+  unsigned long long queries = 0;
+  double qps = 0.0;
+  double allocs_per_query = 0.0;
+  bool found = false;
+};
+
+/// Minimal extraction from our own JSON: each row prints "name" first, so
+/// the next occurrence of each key after the name is that row's value.
+BaselineRow find_baseline_row(const std::string& text, const std::string& name) {
+  BaselineRow row;
+  const auto at = text.find("\"name\": \"" + name + "\"");
+  if (at == std::string::npos) return row;
+  const auto field = [&](const char* key) -> double {
+    const auto pos = text.find("\"" + std::string(key) + "\": ", at);
+    if (pos == std::string::npos) return -1.0;
+    return std::strtod(text.c_str() + pos + std::strlen(key) + 4, nullptr);
+  };
+  row.queries = static_cast<unsigned long long>(field("queries"));
+  row.qps = field("qps");
+  row.allocs_per_query = field("allocs_per_query");
+  row.found = true;
+  return row;
+}
+
+bool check_guard(const std::string& baseline_path,
+                 const std::vector<Row>& rows) {
+  std::ifstream in(baseline_path);
+  if (!in) {
+    std::fprintf(stderr, "guard: cannot read baseline %s\n",
+                 baseline_path.c_str());
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  bool ok = true;
+  for (const Row& row : rows) {
+    const BaselineRow base = find_baseline_row(text, row.name);
+    if (!base.found) {
+      std::fprintf(stderr, "guard: %s missing from baseline\n",
+                   row.name.c_str());
+      ok = false;
+      continue;
+    }
+    if (row.queries != base.queries) {
+      std::fprintf(stderr,
+                   "guard: %s work-unit count drifted (%llu vs baseline "
+                   "%llu) — the study is no longer deterministic\n",
+                   row.name.c_str(), row.queries, base.queries);
+      ok = false;
+    }
+    const double alloc_ceiling = base.allocs_per_query * 1.25 + 2.0;
+    if (row.allocs_per_query > alloc_ceiling) {
+      std::fprintf(stderr,
+                   "guard: %s allocations regressed (%.2f/query vs ceiling "
+                   "%.2f from baseline %.2f)\n",
+                   row.name.c_str(), row.allocs_per_query, alloc_ceiling,
+                   base.allocs_per_query);
+      ok = false;
+    }
+    if (row.queries > 0 && row.qps < 0.25 * base.qps) {
+      std::fprintf(stderr,
+                   "guard: %s throughput collapsed (%.1f qps vs baseline "
+                   "%.1f)\n",
+                   row.name.c_str(), row.qps, base.qps);
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scale = "full";
+  std::string out_path = "BENCH_throughput.json";
+  std::string guard_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--scale") {
+      scale = next();
+      if (scale != "quick" && scale != "full") {
+        std::fprintf(stderr, "--scale must be quick or full\n");
+        return 2;
+      }
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--guard") {
+      guard_path = next();
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--scale quick|full] [--out FILE] "
+                   "[--guard BASELINE]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const std::vector<Row> transports = run_transports();
+  const std::vector<Row> phases = run_phases(scale);
+
+  for (const auto& rows : {&transports, &phases})
+    for (const Row& row : *rows)
+      std::printf("%-22s %12llu %-12s %8.3f s %12.1f qps %8.2f allocs/q\n",
+                  row.name.c_str(), row.queries, row.unit.c_str(), row.seconds,
+                  row.qps, row.allocs_per_query);
+
+  bool guard_met = true;
+  if (!guard_path.empty()) {
+    std::vector<Row> all = transports;
+    all.insert(all.end(), phases.begin(), phases.end());
+    guard_met = check_guard(guard_path, all);
+    std::printf("guard vs %s: %s\n", guard_path.c_str(),
+                guard_met ? "met" : "NOT met");
+  }
+
+  std::string json = "{\n  \"experiment\": \"macro_study_throughput\",\n";
+  json += "  \"scale\": \"" + scale + "\",\n";
+  append_rows(json, "transports", transports);
+  json += ",\n";
+  append_rows(json, "phases", phases);
+  if (!guard_path.empty()) {
+    json += ",\n  \"guard\": \"queries equal, allocs <= baseline*1.25+2, "
+            "qps >= 0.25*baseline\",\n";
+    json += std::string("  \"guard_met\": ") + (guard_met ? "true" : "false") +
+            "\n";
+  } else {
+    json += "\n";
+  }
+  json += "}\n";
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return guard_met ? 0 : 1;
+}

@@ -1,6 +1,7 @@
 #include "client/do53.hpp"
 
 #include "dns/wire.hpp"
+#include "exec/arena.hpp"
 
 namespace encdns::client {
 
@@ -9,11 +10,13 @@ QueryOutcome Do53Client::query_udp(util::Ipv4 server, const dns::Name& qname,
                                    const Options& options) {
   QueryOutcome outcome;
   const auto id = static_cast<std::uint16_t>(rng_.below(65536));
-  const dns::Message query = dns::make_query(qname, type, id, options.query);
-  const auto wire = query.encode();
+  dns::build_query_into(query_scratch_, qname, type, id, options.query);
+  exec::BufferLease wire;
+  dns::WireWriter writer(*wire);
+  query_scratch_.encode_into(writer);
 
   const auto result = network_->udp_exchange(context_, rng_, server, dns::kDnsPort,
-                                             wire, date, options.timeout);
+                                             *wire, date, options.timeout);
   outcome.latency = result.latency;
   outcome.transaction_latency = result.latency;
   outcome.spoofed = result.spoofed;
@@ -22,7 +25,7 @@ QueryOutcome Do53Client::query_udp(util::Ipv4 server, const dns::Name& qname,
     return outcome;
   }
   auto response = dns::Message::decode(result.payload);
-  if (!response || !dns::response_matches(query, *response)) {
+  if (!response || !dns::response_matches(query_scratch_, *response)) {
     outcome.status = QueryStatus::kProtocolError;
     return outcome;
   }
@@ -73,10 +76,16 @@ QueryOutcome Do53Client::query_tcp(util::Ipv4 server, const dns::Name& qname,
   }
 
   const auto id = static_cast<std::uint16_t>(rng_.below(65536));
-  const dns::Message query = dns::make_query(qname, type, id, options.query);
-  const auto framed = dns::frame_stream(query.encode());
+  dns::build_query_into(query_scratch_, qname, type, id, options.query);
+  // Frame in place: reserve the 2-byte stream prefix, encode the message
+  // directly behind it (no encode-then-copy).
+  exec::BufferLease framed;
+  dns::WireWriter writer(*framed);
+  const std::size_t prefix = writer.begin_stream_frame();
+  query_scratch_.encode_into(writer);
+  writer.end_stream_frame(prefix);
 
-  auto exchange = connection->exchange(framed, options.timeout);
+  auto exchange = connection->exchange(*framed, options.timeout);
   outcome.hijacked = connection->hijacked();
   outcome.latency = setup + exchange.latency;
   outcome.transaction_latency = exchange.latency;
@@ -87,13 +96,13 @@ QueryOutcome Do53Client::query_tcp(util::Ipv4 server, const dns::Name& qname,
                                                            : QueryStatus::kConnectionReset;
     return outcome;
   }
-  const auto unframed = dns::unframe_stream(exchange.payload);
+  const auto unframed = dns::unframe_view(exchange.payload);
   if (!unframed) {
     outcome.status = QueryStatus::kProtocolError;
     return outcome;
   }
   auto response = dns::Message::decode(*unframed);
-  if (!response || !dns::response_matches(query, *response)) {
+  if (!response || !dns::response_matches(query_scratch_, *response)) {
     outcome.status = QueryStatus::kProtocolError;
     return outcome;
   }

@@ -58,6 +58,9 @@ class Do53Client {
   net::ClientContext context_;
   util::Rng rng_;
   std::unordered_map<std::uint64_t, net::TcpConnection> pool_;
+  /// Reused across queries so steady-state builds allocate nothing
+  /// (DESIGN.md §11); wire bytes are staged in exec::thread_arena() leases.
+  dns::Message query_scratch_;
 };
 
 }  // namespace encdns::client

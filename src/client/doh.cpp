@@ -1,6 +1,8 @@
 #include "client/doh.hpp"
 
 #include "dns/query.hpp"
+#include "dns/wire.hpp"
+#include "exec/arena.hpp"
 #include "tls/verify.hpp"
 #include "util/base64.hpp"
 
@@ -115,21 +117,23 @@ QueryOutcome DohClient::query(const http::UriTemplate& uri_template,
   // RFC 8484 recommends id 0 for cache friendliness; we keep ids random and
   // match on echo, which the spec also permits.
   const auto id = static_cast<std::uint16_t>(rng_.below(65536));
-  const dns::Message query = dns::make_query(qname, type, id, query_options);
-  const auto dns_wire = query.encode();
+  dns::build_query_into(query_scratch_, qname, type, id, query_options);
+  exec::BufferLease dns_wire;
+  dns::WireWriter writer(*dns_wire);
+  query_scratch_.encode_into(writer);
 
   http::Request request;
   request.headers.set("Host", host);
   request.headers.set("Accept", http::kDnsMessageType);
   if (options.method == http::Method::kGet) {
     request.method = http::Method::kGet;
-    const http::Url url = uri_template.expand_get(util::base64url_encode(dns_wire));
+    const http::Url url = uri_template.expand_get(util::base64url_encode(*dns_wire));
     request.target = url.path + "?" + url.query;
   } else {
     request.method = http::Method::kPost;
     request.target = uri_template.post_target().path;
     request.headers.set("Content-Type", http::kDnsMessageType);
-    request.body = dns_wire;
+    request.body = *dns_wire;
   }
 
   auto exchange = session->connection.exchange(request.serialize(), options.timeout);
@@ -155,7 +159,7 @@ QueryOutcome DohClient::query(const http::UriTemplate& uri_template,
     return outcome;
   }
   auto response = dns::Message::decode(http_response->body);
-  if (!response || !dns::response_matches(query, *response)) {
+  if (!response || !dns::response_matches(query_scratch_, *response)) {
     outcome.status = QueryStatus::kProtocolError;
     return outcome;
   }

@@ -68,6 +68,9 @@ class DohClient {
   /// Bootstrap cache: hostname -> resolved address (clients honour the A
   /// record's TTL; one cache per client session is the practical effect).
   std::unordered_map<std::string, util::Ipv4> resolved_hosts_;
+  /// Reused across queries so steady-state builds allocate nothing
+  /// (DESIGN.md §11); wire bytes are staged in exec::thread_arena() leases.
+  dns::Message query_scratch_;
 };
 
 }  // namespace encdns::client

@@ -2,6 +2,7 @@
 
 #include "client/do53.hpp"
 #include "dns/wire.hpp"
+#include "exec/arena.hpp"
 
 namespace encdns::client {
 
@@ -111,10 +112,16 @@ QueryOutcome DotClient::query(util::Ipv4 server, const dns::Name& qname,
   dns::QueryOptions query_options;
   query_options.padding_block = options.padding_block;
   const auto id = static_cast<std::uint16_t>(rng_.below(65536));
-  const dns::Message query = dns::make_query(qname, type, id, query_options);
-  const auto framed = dns::frame_stream(query.encode());
+  dns::build_query_into(query_scratch_, qname, type, id, query_options);
+  // Frame in place: reserve the 2-byte stream prefix, encode the message
+  // directly behind it (no encode-then-copy).
+  exec::BufferLease framed;
+  dns::WireWriter writer(*framed);
+  const std::size_t prefix = writer.begin_stream_frame();
+  query_scratch_.encode_into(writer);
+  writer.end_stream_frame(prefix);
 
-  auto exchange = session->connection.exchange(framed, options.timeout);
+  auto exchange = session->connection.exchange(*framed, options.timeout);
   outcome.latency = setup + exchange.latency;
   outcome.transaction_latency = exchange.latency;
   session_clock_ += exchange.latency;
@@ -126,13 +133,13 @@ QueryOutcome DotClient::query(util::Ipv4 server, const dns::Name& qname,
                          : QueryStatus::kConnectionReset;
     return outcome;
   }
-  const auto unframed = dns::unframe_stream(exchange.payload);
+  const auto unframed = dns::unframe_view(exchange.payload);
   if (!unframed) {
     outcome.status = QueryStatus::kProtocolError;
     return outcome;
   }
   auto response = dns::Message::decode(*unframed);
-  if (!response || !dns::response_matches(query, *response)) {
+  if (!response || !dns::response_matches(query_scratch_, *response)) {
     outcome.status = QueryStatus::kProtocolError;
     return outcome;
   }

@@ -73,6 +73,9 @@ class DotClient {
   std::unordered_map<std::uint64_t, Session> sessions_;
   tls::SessionCache tickets_;      // resumption tickets per server
   sim::Millis session_clock_{0.0};  // client-local time axis for ticket expiry
+  /// Reused across queries so steady-state builds allocate nothing
+  /// (DESIGN.md §11); wire bytes are staged in exec::thread_arena() leases.
+  dns::Message query_scratch_;
 
   /// Establish TCP + TLS to the server, validating per profile. Returns the
   /// pooled session or fills `outcome` with the failure and returns nullptr.

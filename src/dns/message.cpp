@@ -40,17 +40,28 @@ Header header_from(std::uint16_t id, std::uint16_t flags) {
   return h;
 }
 
-// Canonical suffix string for the compressor key: labels from index i on.
-std::string suffix_key(const Name& name, std::size_t from) {
-  std::string key;
-  const auto& labels = name.labels();
-  for (std::size_t i = from; i < labels.size(); ++i) {
-    for (char c : labels[i])
-      key.push_back(static_cast<char>(
-          c >= 'A' && c <= 'Z' ? c - 'A' + 'a' : c));
-    key.push_back('.');
+// DNS names compare case-insensitively for compression (RFC 1035 §4.1.4);
+// only ASCII letters fold, other octets are compared verbatim.
+bool labels_equal_fold(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const char ca = a[i], cb = b[i];
+    const char fa = static_cast<char>(ca >= 'A' && ca <= 'Z' ? ca - 'A' + 'a' : ca);
+    const char fb = static_cast<char>(cb >= 'A' && cb <= 'Z' ? cb - 'A' + 'a' : cb);
+    if (fa != fb) return false;
   }
-  return key;
+  return true;
+}
+
+// Suffix (a, a_from) == suffix (b, b_from)?
+bool suffixes_equal(const Name& a, std::size_t a_from, const Name& b,
+                    std::size_t b_from) {
+  const auto& la = a.labels();
+  const auto& lb = b.labels();
+  if (la.size() - a_from != lb.size() - b_from) return false;
+  for (std::size_t i = a_from, j = b_from; i < la.size(); ++i, ++j)
+    if (!labels_equal_fold(la[i], lb[j])) return false;
+  return true;
 }
 
 void encode_rdata(WireWriter& w, NameCompressor& compressor,
@@ -110,7 +121,7 @@ std::optional<RData> decode_rdata(WireReader& r, RrType type, std::size_t rdleng
     case RrType::kAaaa: {
       if (rdlength != 16) return std::nullopt;
       Ipv6Bytes bytes{};
-      const auto raw = r.bytes(16);
+      const auto raw = r.bytes_view(16);
       if (raw.size() == 16) std::copy(raw.begin(), raw.end(), bytes.begin());
       out = bytes;
       break;
@@ -142,7 +153,7 @@ std::optional<RData> decode_rdata(WireReader& r, RrType type, std::size_t rdleng
       TxtData strings;
       while (r.ok() && r.position() < end) {
         const std::uint8_t n = r.u8();
-        const auto raw = r.bytes(n);
+        const auto raw = r.bytes_view(n);
         strings.emplace_back(raw.begin(), raw.end());
       }
       out = std::move(strings);
@@ -175,28 +186,43 @@ std::optional<ResourceRecord> decode_rr(WireReader& r) {
 
 }  // namespace
 
+const NameCompressor::Entry* NameCompressor::find(const Name& name,
+                                                  std::size_t from) const {
+  for (std::size_t i = 0; i < count_; ++i)
+    if (suffixes_equal(name, from, *inline_[i].name, inline_[i].from))
+      return &inline_[i];
+  for (const auto& entry : spill_)
+    if (suffixes_equal(name, from, *entry.name, entry.from)) return &entry;
+  return nullptr;
+}
+
+void NameCompressor::push(const Name& name, std::size_t from,
+                          std::uint16_t offset) {
+  const Entry entry{&name, static_cast<std::uint16_t>(from), offset};
+  if (count_ < kInlineEntries) {
+    inline_[count_++] = entry;
+  } else {
+    spill_.push_back(entry);
+  }
+}
+
 void NameCompressor::encode(WireWriter& writer, const Name& name) {
   const auto& labels = name.labels();
   // Find the longest (i.e. starting earliest) suffix already in the dictionary.
   std::size_t match_from = labels.size();
   std::uint16_t match_offset = 0;
   for (std::size_t from = 0; from < labels.size(); ++from) {
-    const std::string key = suffix_key(name, from);
-    const auto it = std::find_if(
-        suffixes_.begin(), suffixes_.end(),
-        [&](const auto& entry) { return entry.first == key; });
-    if (it != suffixes_.end()) {
+    if (const Entry* entry = find(name, from)) {
       match_from = from;
-      match_offset = it->second;
+      match_offset = entry->offset;
       break;
     }
   }
   // Emit literal labels before the matched suffix, registering each new
   // suffix position (only while representable as a 14-bit pointer).
   for (std::size_t i = 0; i < match_from; ++i) {
-    if (writer.size() <= 0x3FFF)
-      suffixes_.emplace_back(suffix_key(name, i),
-                             static_cast<std::uint16_t>(writer.size()));
+    const std::size_t at = writer.size() - base_;
+    if (at <= 0x3FFF) push(name, i, static_cast<std::uint16_t>(at));
     writer.u8(static_cast<std::uint8_t>(labels[i].size()));
     writer.text(labels[i]);
   }
@@ -238,7 +264,7 @@ std::optional<Name> decode_name(WireReader& reader) {
       reader.fail();
       return std::nullopt;
     }
-    const auto raw = reader.bytes(len);
+    const auto raw = reader.bytes_view(len);
     if (!reader.ok()) return std::nullopt;
     labels.emplace_back(raw.begin(), raw.end());
   }
@@ -280,6 +306,12 @@ ResourceRecord ResourceRecord::soa(Name zone, SoaData data, std::uint32_t ttl) {
 
 std::vector<std::uint8_t> Message::encode(bool compress) const {
   WireWriter w;
+  encode_into(w, compress);
+  return std::move(w).take();
+}
+
+void Message::encode_into(WireWriter& w, bool compress) const {
+  const std::size_t base = w.size();  // compression offsets are message-relative
   w.u16(header.id);
   w.u16(flags_word(header));
   w.u16(static_cast<std::uint16_t>(questions.size()));
@@ -287,12 +319,12 @@ std::vector<std::uint8_t> Message::encode(bool compress) const {
   w.u16(static_cast<std::uint16_t>(authorities.size()));
   w.u16(static_cast<std::uint16_t>(additionals.size()));
 
-  NameCompressor shared;
+  NameCompressor shared(base);
   for (const auto& q : questions) {
     if (compress) {
       shared.encode(w, q.name);
     } else {
-      NameCompressor no_dict;
+      NameCompressor no_dict(base);
       no_dict.encode(w, q.name);
     }
     w.u16(static_cast<std::uint16_t>(q.type));
@@ -303,7 +335,10 @@ std::vector<std::uint8_t> Message::encode(bool compress) const {
       if (compress) {
         encode_rr(w, shared, rr);
       } else {
-        NameCompressor no_dict;
+        // "Uncompressed" still shares a dictionary *within* the record, so a
+        // SOA rname may point into the record's owner name — legacy encoder
+        // behaviour that the golden corpus locks in.
+        NameCompressor no_dict(base);
         encode_rr(w, no_dict, rr);
       }
     }
@@ -311,7 +346,6 @@ std::vector<std::uint8_t> Message::encode(bool compress) const {
   encode_section(answers);
   encode_section(authorities);
   encode_section(additionals);
-  return std::move(w).take();
 }
 
 std::optional<Message> Message::decode(std::span<const std::uint8_t> wire) {

@@ -97,6 +97,14 @@ struct Message {
   /// compression when `compress` is set.
   [[nodiscard]] std::vector<std::uint8_t> encode(bool compress = true) const;
 
+  /// Append the wire encoding at the writer's current position, producing
+  /// bytes identical to `encode()`. Compression pointers are relative to the
+  /// message start (the writer's position at entry), so callers may write a
+  /// stream length prefix (`WireWriter::begin_stream_frame`) or any other
+  /// preamble first and frame in place. Steady-state hot paths pass a
+  /// borrowed-buffer writer and allocate nothing per query.
+  void encode_into(class WireWriter& writer, bool compress = true) const;
+
   /// Decode a wire-format message. Returns nullopt on malformed input
   /// (truncation, bad pointers, over-long names, rdata length mismatch).
   [[nodiscard]] static std::optional<Message> decode(std::span<const std::uint8_t> wire);
@@ -113,16 +121,41 @@ class WireWriter;
 class WireReader;
 
 /// RFC 1035 name compression dictionary shared across one message encode.
-/// Maps canonical name suffixes to the wire offset of their first occurrence;
-/// offsets beyond 0x3FFF are not recorded (pointers are 14-bit).
+/// Maps name suffixes to the message-relative wire offset of their first
+/// occurrence; offsets beyond 0x3FFF are not recorded (pointers are 14-bit).
+///
+/// Entries reference the `Name` objects handed to `encode` (they must
+/// outlive the compressor — true for any single-message encode, where the
+/// message owns every name). Suffix lookups compare labels pairwise and
+/// case-insensitively instead of materialising canonical key strings, so a
+/// query-sized encode performs zero heap allocations: the first
+/// `kInlineEntries` dictionary slots live inline and only outsized messages
+/// spill to the heap.
 class NameCompressor {
  public:
+  /// `base` is the writer offset where the message starts; registered and
+  /// emitted pointer offsets are relative to it.
+  explicit NameCompressor(std::size_t base = 0) noexcept : base_(base) {}
+
   /// Encode `name` at the writer's current position, emitting a compression
   /// pointer for the longest previously seen suffix.
   void encode(WireWriter& writer, const Name& name);
 
  private:
-  std::vector<std::pair<std::string, std::uint16_t>> suffixes_;
+  struct Entry {
+    const Name* name;
+    std::uint16_t from;    // suffix = name->labels()[from..]
+    std::uint16_t offset;  // message-relative wire offset
+  };
+  static constexpr std::size_t kInlineEntries = 16;
+
+  [[nodiscard]] const Entry* find(const Name& name, std::size_t from) const;
+  void push(const Name& name, std::size_t from, std::uint16_t offset);
+
+  std::size_t base_;
+  std::size_t count_ = 0;  // entries in `inline_`
+  Entry inline_[kInlineEntries];
+  std::vector<Entry> spill_;
 };
 
 /// Decode a (possibly compressed) name starting at the reader's position.

@@ -5,17 +5,57 @@ namespace encdns::dns {
 Message make_query(const Name& qname, RrType type, std::uint16_t id,
                    const QueryOptions& options) {
   Message m;
-  m.header.id = id;
-  m.header.qr = false;
-  m.header.rd = options.recursion_desired;
-  m.questions.push_back(Question{qname, type, RrClass::kIn});
-  if (options.with_edns) {
-    Edns edns;
-    edns.udp_payload_size = options.udp_payload_size;
-    set_edns(m, edns);
-    if (options.padding_block > 0) pad_to_block(m, options.padding_block);
-  }
+  build_query_into(m, qname, type, id, options);
   return m;
+}
+
+void build_query_into(Message& out, const Name& qname, RrType type,
+                      std::uint16_t id, const QueryOptions& options) {
+  out.header = Header{};
+  out.header.id = id;
+  out.header.qr = false;
+  out.header.rd = options.recursion_desired;
+  out.answers.clear();
+  out.authorities.clear();
+  if (out.questions.size() != 1) out.questions.resize(1);
+  auto& q = out.questions.front();
+  q.name = qname;  // copy-assign reuses the label storage
+  q.type = type;
+  q.klass = RrClass::kIn;
+  if (!options.with_edns) {
+    out.additionals.clear();
+    return;
+  }
+  if (out.additionals.size() != 1) out.additionals.resize(1);
+  auto& opt = out.additionals.front();
+  if (!opt.name.is_root()) opt.name = Name{};
+  opt.type = RrType::kOpt;
+  opt.klass = static_cast<RrClass>(options.udp_payload_size);
+  opt.ttl = 0;  // extended rcode, version and DO bit are all zero in queries
+  auto* rdata = std::get_if<RawData>(&opt.rdata);
+  if (rdata == nullptr) {
+    opt.rdata = RawData{};
+    rdata = std::get_if<RawData>(&opt.rdata);
+  }
+  if (options.padding_block == 0) {
+    rdata->clear();
+    return;
+  }
+  // Reproduce pad_to_block()'s arithmetic without its encode-to-measure
+  // loop. The bare query is: header (12) + question (qname wire + 4) + OPT
+  // record with empty rdata (root + type + class + ttl + rdlength = 11); the
+  // padding option header itself costs 4 octets on top of the pad bytes.
+  const std::size_t block = options.padding_block;
+  const std::size_t bare = 12 + qname.wire_length() + 4 + 11;
+  const std::size_t with_header = bare + 4;
+  const std::size_t target = ((with_header + block - 1) / block) * block;
+  const std::size_t pad = target - with_header;
+  rdata->assign(4 + pad, 0);
+  const auto code = static_cast<std::uint16_t>(EdnsOptionCode::kPadding);
+  (*rdata)[0] = static_cast<std::uint8_t>(code >> 8);
+  (*rdata)[1] = static_cast<std::uint8_t>(code);
+  (*rdata)[2] = static_cast<std::uint8_t>(pad >> 8);
+  (*rdata)[3] = static_cast<std::uint8_t>(pad);
 }
 
 Message make_response(const Message& query, RCode rcode) {

@@ -23,6 +23,14 @@ struct QueryOptions {
 [[nodiscard]] Message make_query(const Name& qname, RrType type, std::uint16_t id,
                                  const QueryOptions& options = {});
 
+/// Build the same query as `make_query` in place, reusing `out`'s storage
+/// (question name labels, OPT rdata). A warmed-up scratch Message makes the
+/// build allocation-free in steady state: padding size is computed
+/// arithmetically instead of via `pad_to_block`'s re-encode loop, but the
+/// resulting message is field- and byte-identical.
+void build_query_into(Message& out, const Name& qname, RrType type,
+                      std::uint16_t id, const QueryOptions& options = {});
+
 /// Build a response skeleton echoing the query's id/question, with rcode.
 [[nodiscard]] Message make_response(const Message& query, RCode rcode);
 

@@ -13,11 +13,18 @@ std::vector<std::uint8_t> frame_stream(std::span<const std::uint8_t> message) {
 
 std::optional<std::vector<std::uint8_t>> unframe_stream(
     std::span<const std::uint8_t> framed) {
+  const auto view = unframe_view(framed);
+  if (!view) return std::nullopt;
+  return std::vector<std::uint8_t>(view->begin(), view->end());
+}
+
+std::optional<std::span<const std::uint8_t>> unframe_view(
+    std::span<const std::uint8_t> framed) noexcept {
   if (framed.size() < 2) return std::nullopt;
   const std::size_t declared =
       (static_cast<std::size_t>(framed[0]) << 8) | framed[1];
   if (declared != framed.size() - 2) return std::nullopt;
-  return std::vector<std::uint8_t>(framed.begin() + 2, framed.end());
+  return framed.subspan(2);
 }
 
 std::uint8_t WireReader::u8() noexcept {
@@ -41,12 +48,16 @@ std::uint32_t WireReader::u32() noexcept {
 }
 
 std::vector<std::uint8_t> WireReader::bytes(std::size_t n) noexcept {
+  const auto view = bytes_view(n);
+  return std::vector<std::uint8_t>(view.begin(), view.end());
+}
+
+std::span<const std::uint8_t> WireReader::bytes_view(std::size_t n) noexcept {
   if (!ok_ || remaining() < n) {
     ok_ = false;
     return {};
   }
-  std::vector<std::uint8_t> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
-                                data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  const auto out = data_.subspan(pos_, n);
   pos_ += n;
   return out;
 }

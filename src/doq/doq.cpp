@@ -84,8 +84,10 @@ net::WireReply DoqService::handle(const net::WireRequest& request) {
     reply.push_back(kPacketStream);
     put_u64(reply, client_random);
     put_u64(reply, token);
-    const auto response_frame = dns::frame_stream(result.response.encode());
-    reply.insert(reply.end(), response_frame.begin(), response_frame.end());
+    dns::WireWriter reply_writer(reply);
+    const std::size_t reply_prefix = reply_writer.begin_stream_frame();
+    result.response.encode_into(reply_writer);
+    reply_writer.end_stream_frame(reply_prefix);
     result.processing += sim::Millis{rng.uniform(0.3, 1.5)};
     return net::WireReply::of(std::move(reply), result.processing);
   }
@@ -179,8 +181,10 @@ client::QueryOutcome DoqClient::query(util::Ipv4 server, const dns::Name& qname,
   put_u64(stream, session->token);
   const auto id = static_cast<std::uint16_t>(rng_.below(65536));
   const dns::Message query = dns::make_query(qname, type, id);
-  const auto frame = dns::frame_stream(query.encode());
-  stream.insert(stream.end(), frame.begin(), frame.end());
+  dns::WireWriter stream_writer(stream);
+  const std::size_t stream_prefix = stream_writer.begin_stream_frame();
+  query.encode_into(stream_writer);
+  stream_writer.end_stream_frame(stream_prefix);
 
   const auto result = network_->udp_exchange(context_, rng_, server, kDoqPort,
                                              stream, date, options.timeout);

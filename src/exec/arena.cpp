@@ -1,0 +1,25 @@
+#include "exec/arena.hpp"
+
+namespace encdns::exec {
+
+std::vector<std::uint8_t>* ScratchArena::acquire() {
+  if (!free_.empty()) {
+    auto* buffer = free_.back();
+    free_.pop_back();
+    buffer->clear();
+    return buffer;
+  }
+  buffers_.push_back(std::make_unique<std::vector<std::uint8_t>>());
+  return buffers_.back().get();
+}
+
+void ScratchArena::release(std::vector<std::uint8_t>* buffer) noexcept {
+  if (buffer != nullptr) free_.push_back(buffer);
+}
+
+ScratchArena& thread_arena() noexcept {
+  thread_local ScratchArena arena;
+  return arena;
+}
+
+}  // namespace encdns::exec

@@ -1,0 +1,77 @@
+// Per-thread scratch-buffer arenas for allocation-free hot paths.
+//
+// The query hot path (DESIGN.md §11) encodes every DNS message into a
+// caller-owned buffer. Those buffers come from here: each thread — every
+// exec::WorkerPool worker, plus whatever thread drives a serial run — owns a
+// ScratchArena of warmed-up byte vectors that leases hand out and return.
+// After the first few queries on a thread, every lease is a pop from the
+// free list and re-uses a vector whose capacity already fits a framed DNS
+// message, so steady-state encodes allocate nothing.
+//
+// Leases are reentrancy-safe by design: the simulated network delivers a
+// query to the resolver service *inline* on the querying thread, so a client
+// holding a lease for its query wire can trigger a service that leases a
+// second buffer for the reply. A stack-discipline free list (acquire pops,
+// release pushes) keeps the two leases on distinct buffers.
+//
+// Determinism: arenas affect only where bytes are staged, never their
+// values, and are strictly thread-local — no cross-thread sharing, no
+// ordering effects, so the exec-layer bit-identical-results contract is
+// untouched.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace encdns::exec {
+
+/// A pool of reusable byte buffers owned by one thread. Not thread-safe —
+/// access it only through `thread_arena()` (or a stack-local instance in
+/// tests).
+class ScratchArena {
+ public:
+  ScratchArena() = default;
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  /// Lease a buffer (cleared, capacity preserved). Prefer BufferLease.
+  [[nodiscard]] std::vector<std::uint8_t>* acquire();
+  /// Return a buffer obtained from `acquire`.
+  void release(std::vector<std::uint8_t>* buffer) noexcept;
+
+  /// Buffers ever created (leases beyond the deepest nesting re-use).
+  [[nodiscard]] std::size_t created() const noexcept { return buffers_.size(); }
+  /// Buffers currently on the free list.
+  [[nodiscard]] std::size_t available() const noexcept { return free_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<std::vector<std::uint8_t>>> buffers_;
+  std::vector<std::vector<std::uint8_t>*> free_;
+};
+
+/// The calling thread's arena.
+[[nodiscard]] ScratchArena& thread_arena() noexcept;
+
+/// RAII lease of one scratch buffer from an arena (the calling thread's by
+/// default). The buffer arrives empty but warm; it returns to the arena's
+/// free list on destruction.
+class BufferLease {
+ public:
+  explicit BufferLease(ScratchArena& arena = thread_arena())
+      : arena_(&arena), buffer_(arena.acquire()) {}
+  ~BufferLease() { arena_->release(buffer_); }
+  BufferLease(const BufferLease&) = delete;
+  BufferLease& operator=(const BufferLease&) = delete;
+
+  [[nodiscard]] std::vector<std::uint8_t>& operator*() noexcept { return *buffer_; }
+  [[nodiscard]] std::vector<std::uint8_t>* operator->() noexcept { return buffer_; }
+  [[nodiscard]] std::vector<std::uint8_t>* get() noexcept { return buffer_; }
+
+ private:
+  ScratchArena* arena_;
+  std::vector<std::uint8_t>* buffer_;
+};
+
+}  // namespace encdns::exec

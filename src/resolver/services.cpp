@@ -86,11 +86,11 @@ net::WireReply ResolverService::handle_do53(const net::WireRequest& request,
                                             bool stream_framed) {
   if (config_.backend == nullptr) return net::WireReply::none();
 
-  std::vector<std::uint8_t> raw(request.payload.begin(), request.payload.end());
+  std::span<const std::uint8_t> raw = request.payload;
   if (stream_framed) {
-    auto unframed = dns::unframe_stream(raw);
+    const auto unframed = dns::unframe_view(raw);
     if (!unframed) return net::WireReply::none();
-    raw = std::move(*unframed);
+    raw = *unframed;
   }
   const auto query = dns::Message::decode(raw);
   if (!query) return net::WireReply::none();
@@ -102,7 +102,11 @@ net::WireReply ResolverService::handle_do53(const net::WireRequest& request,
     // the few-millisecond penalty §4.3 attributes to encrypted transports.
     result.processing += sim::Millis{rng.uniform(1.0, 6.0)};
   }
-  auto wire = result.response.encode();
+  // The reply owns its bytes, so this path keeps one vector allocation; the
+  // stream length prefix is still framed in place rather than re-copied.
+  dns::WireWriter writer;
+  const std::size_t prefix = stream_framed ? writer.begin_stream_frame() : 0;
+  result.response.encode_into(writer);
   if (request.transport == net::Transport::kUdp) {
     // RFC 1035 §4.2.1 / RFC 6891: a UDP response must fit the client's
     // advertised payload size (512 without EDNS). Otherwise answer with an
@@ -110,14 +114,14 @@ net::WireReply ResolverService::handle_do53(const net::WireRequest& request,
     std::size_t limit = dns::kClassicUdpLimit;
     if (const auto edns = dns::get_edns(*query))
       limit = std::max<std::size_t>(dns::kClassicUdpLimit, edns->udp_payload_size);
-    if (wire.size() > limit) {
+    if (writer.size() > limit) {
       dns::Message truncated = dns::make_response(*query, result.response.header.rcode);
       truncated.header.tc = true;
-      wire = truncated.encode();
+      return net::WireReply::of(truncated.encode(), result.processing);
     }
   }
-  if (stream_framed) wire = dns::frame_stream(wire);
-  return net::WireReply::of(std::move(wire), result.processing);
+  if (stream_framed) writer.end_stream_frame(prefix);
+  return net::WireReply::of(std::move(writer).take(), result.processing);
 }
 
 net::WireReply ResolverService::handle_doh(const net::WireRequest& request) {
@@ -135,7 +139,8 @@ net::WireReply ResolverService::handle_doh(const net::WireRequest& request) {
     return net::WireReply::of(missing.serialize(), sim::Millis{0.2});
   }
 
-  std::vector<std::uint8_t> dns_wire;
+  std::span<const std::uint8_t> dns_wire;
+  std::vector<std::uint8_t> decoded_storage;  // backs `dns_wire` on GET
   if (http_request->method == http::Method::kGet) {
     if (!config_.doh.support_get) {
       auto err = http::Response::make(405, "Method Not Allowed", "text/plain", {});
@@ -153,7 +158,8 @@ net::WireReply ResolverService::handle_doh(const net::WireRequest& request) {
                                       to_bytes("bad base64url"));
       return net::WireReply::of(err.serialize(), sim::Millis{0.2});
     }
-    dns_wire = std::move(*decoded);
+    decoded_storage = std::move(*decoded);
+    dns_wire = decoded_storage;
   } else {
     if (!config_.doh.support_post) {
       auto err = http::Response::make(405, "Method Not Allowed", "text/plain", {});
@@ -164,7 +170,7 @@ net::WireReply ResolverService::handle_doh(const net::WireRequest& request) {
       auto err = http::Response::make(415, "Unsupported Media Type", "text/plain", {});
       return net::WireReply::of(err.serialize(), sim::Millis{0.2});
     }
-    dns_wire = http_request->body;
+    dns_wire = http_request->body;  // borrow, no copy
   }
 
   const auto query = dns::Message::decode(dns_wire);

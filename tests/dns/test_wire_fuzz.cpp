@@ -20,147 +20,10 @@
 #include "util/ipv4.hpp"
 #include "util/rng.hpp"
 
+#include "fuzz_corpus.hpp"
+
 namespace encdns::dns {
 namespace {
-
-// ---------------------------------------------------------------------------
-// Random generators. Everything flows from a util::Rng so failures reproduce
-// from the seed printed in the assertion message.
-
-std::string random_label(util::Rng& rng) {
-  static constexpr char kAlphabet[] =
-      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJ0123456789-_";
-  const auto length = static_cast<std::size_t>(rng.range(1, 16));
-  std::string label;
-  for (std::size_t i = 0; i < length; ++i)
-    label += kAlphabet[rng.below(sizeof(kAlphabet) - 1)];
-  // A leading '-' is fine for from_labels (the wire decoder accepts any
-  // octets), and exercising it keeps the property honest.
-  return label;
-}
-
-Name random_name(util::Rng& rng) {
-  std::vector<std::string> labels;
-  const auto count = static_cast<std::size_t>(rng.range(0, 5));
-  for (std::size_t i = 0; i < count; ++i) labels.push_back(random_label(rng));
-  auto name = Name::from_labels(std::move(labels));
-  EXPECT_TRUE(name.has_value());
-  return name.value_or(Name());
-}
-
-RData random_rdata(util::Rng& rng, RrType& type) {
-  switch (rng.below(6)) {
-    case 0:
-      type = RrType::kA;
-      return util::Ipv4(static_cast<std::uint32_t>(rng.next()));
-    case 1: {
-      type = RrType::kAaaa;
-      Ipv6Bytes v6{};
-      for (auto& b : v6) b = static_cast<std::uint8_t>(rng.below(256));
-      return v6;
-    }
-    case 2:
-      type = rng.chance(0.5) ? RrType::kCname : RrType::kNs;
-      return random_name(rng);
-    case 3: {
-      type = RrType::kSoa;
-      SoaData soa;
-      soa.mname = random_name(rng);
-      soa.rname = random_name(rng);
-      soa.serial = static_cast<std::uint32_t>(rng.next());
-      soa.refresh = static_cast<std::uint32_t>(rng.below(100000));
-      soa.retry = static_cast<std::uint32_t>(rng.below(100000));
-      soa.expire = static_cast<std::uint32_t>(rng.below(100000));
-      soa.minimum = static_cast<std::uint32_t>(rng.below(100000));
-      return soa;
-    }
-    case 4: {
-      type = RrType::kTxt;
-      TxtData txt;
-      const auto strings = static_cast<std::size_t>(rng.range(1, 3));
-      for (std::size_t i = 0; i < strings; ++i) {
-        std::string s;
-        const auto length = static_cast<std::size_t>(rng.range(0, 40));
-        for (std::size_t j = 0; j < length; ++j)
-          s += static_cast<char>(rng.below(256));
-        txt.push_back(std::move(s));
-      }
-      return txt;
-    }
-    default: {
-      type = static_cast<RrType>(rng.range(256, 400));  // unknown type
-      RawData raw(static_cast<std::size_t>(rng.range(0, 24)));
-      for (auto& b : raw) b = static_cast<std::uint8_t>(rng.below(256));
-      return raw;
-    }
-  }
-}
-
-ResourceRecord random_record(util::Rng& rng) {
-  ResourceRecord rr;
-  rr.name = random_name(rng);
-  rr.klass = RrClass::kIn;
-  rr.ttl = static_cast<std::uint32_t>(rng.below(1u << 24));
-  rr.rdata = random_rdata(rng, rr.type);
-  return rr;
-}
-
-Message random_message(util::Rng& rng) {
-  Message msg;
-  msg.header.id = static_cast<std::uint16_t>(rng.next());
-  msg.header.qr = rng.chance(0.5);
-  msg.header.aa = rng.chance(0.3);
-  msg.header.tc = rng.chance(0.1);
-  msg.header.rd = rng.chance(0.8);
-  msg.header.ra = rng.chance(0.5);
-  msg.header.ad = rng.chance(0.2);
-  msg.header.rcode = rng.chance(0.8) ? RCode::kNoError : RCode::kNxDomain;
-  const auto questions = static_cast<std::size_t>(rng.range(1, 2));
-  for (std::size_t i = 0; i < questions; ++i) {
-    Question q;
-    q.name = random_name(rng);
-    q.type = rng.chance(0.7) ? RrType::kA : RrType::kTxt;
-    msg.questions.push_back(std::move(q));
-  }
-  const auto answers = static_cast<std::size_t>(rng.range(0, 4));
-  for (std::size_t i = 0; i < answers; ++i)
-    msg.answers.push_back(random_record(rng));
-  const auto authorities = static_cast<std::size_t>(rng.range(0, 2));
-  for (std::size_t i = 0; i < authorities; ++i)
-    msg.authorities.push_back(random_record(rng));
-  const auto additionals = static_cast<std::size_t>(rng.range(0, 2));
-  for (std::size_t i = 0; i < additionals; ++i)
-    msg.additionals.push_back(random_record(rng));
-  return msg;
-}
-
-void expect_equal(const Message& a, const Message& b, std::uint64_t seed) {
-  EXPECT_EQ(a.header.id, b.header.id) << "seed " << seed;
-  EXPECT_EQ(a.header.qr, b.header.qr) << "seed " << seed;
-  EXPECT_EQ(a.header.tc, b.header.tc) << "seed " << seed;
-  EXPECT_EQ(a.header.rd, b.header.rd) << "seed " << seed;
-  EXPECT_EQ(static_cast<int>(a.header.rcode), static_cast<int>(b.header.rcode))
-      << "seed " << seed;
-  ASSERT_EQ(a.questions.size(), b.questions.size()) << "seed " << seed;
-  for (std::size_t i = 0; i < a.questions.size(); ++i)
-    EXPECT_EQ(a.questions[i], b.questions[i]) << "seed " << seed;
-  const auto check_section = [&](const std::vector<ResourceRecord>& lhs,
-                                 const std::vector<ResourceRecord>& rhs,
-                                 const char* section) {
-    ASSERT_EQ(lhs.size(), rhs.size()) << section << " seed " << seed;
-    for (std::size_t i = 0; i < lhs.size(); ++i) {
-      EXPECT_EQ(lhs[i].name, rhs[i].name) << section << " seed " << seed;
-      EXPECT_EQ(static_cast<int>(lhs[i].type), static_cast<int>(rhs[i].type))
-          << section << " seed " << seed;
-      EXPECT_EQ(lhs[i].ttl, rhs[i].ttl) << section << " seed " << seed;
-      EXPECT_EQ(lhs[i].rdata, rhs[i].rdata)
-          << section << "[" << i << "] seed " << seed;
-    }
-  };
-  check_section(a.answers, b.answers, "answers");
-  check_section(a.authorities, b.authorities, "authorities");
-  check_section(a.additionals, b.additionals, "additionals");
-}
 
 // ---------------------------------------------------------------------------
 // Round-trip properties.
@@ -168,29 +31,29 @@ void expect_equal(const Message& a, const Message& b, std::uint64_t seed) {
 TEST(WireFuzz, RoundTripCompressed) {
   for (std::uint64_t seed = 1; seed <= 200; ++seed) {
     util::Rng rng(seed);
-    const Message original = random_message(rng);
+    const Message original = fuzz::random_message(rng);
     const auto wire = original.encode(/*compress=*/true);
     const auto decoded = Message::decode(wire);
     ASSERT_TRUE(decoded.has_value()) << "seed " << seed;
-    expect_equal(original, *decoded, seed);
+    fuzz::expect_equal(original, *decoded, seed);
   }
 }
 
 TEST(WireFuzz, RoundTripUncompressed) {
   for (std::uint64_t seed = 1000; seed <= 1200; ++seed) {
     util::Rng rng(seed);
-    const Message original = random_message(rng);
+    const Message original = fuzz::random_message(rng);
     const auto wire = original.encode(/*compress=*/false);
     const auto decoded = Message::decode(wire);
     ASSERT_TRUE(decoded.has_value()) << "seed " << seed;
-    expect_equal(original, *decoded, seed);
+    fuzz::expect_equal(original, *decoded, seed);
   }
 }
 
 TEST(WireFuzz, CompressionNeverLarger) {
   for (std::uint64_t seed = 2000; seed <= 2100; ++seed) {
     util::Rng rng(seed);
-    const Message msg = random_message(rng);
+    const Message msg = fuzz::random_message(rng);
     EXPECT_LE(msg.encode(true).size(), msg.encode(false).size())
         << "seed " << seed;
   }
@@ -199,7 +62,7 @@ TEST(WireFuzz, CompressionNeverLarger) {
 TEST(WireFuzz, NameRoundTripThroughLabels) {
   for (std::uint64_t seed = 3000; seed <= 3300; ++seed) {
     util::Rng rng(seed);
-    const Name name = random_name(rng);
+    const Name name = fuzz::random_name(rng);
     const auto reparsed = Name::from_labels(
         std::vector<std::string>(name.labels()));
     ASSERT_TRUE(reparsed.has_value()) << "seed " << seed;
@@ -211,7 +74,7 @@ TEST(WireFuzz, NameRoundTripThroughLabels) {
 TEST(WireFuzz, StreamFramingRoundTrip) {
   for (std::uint64_t seed = 4000; seed <= 4100; ++seed) {
     util::Rng rng(seed);
-    const auto wire = random_message(rng).encode();
+    const auto wire = fuzz::random_message(rng).encode();
     const auto framed = frame_stream(wire);
     ASSERT_EQ(framed.size(), wire.size() + 2) << "seed " << seed;
     const auto unframed = unframe_stream(framed);
@@ -226,30 +89,7 @@ TEST(WireFuzz, StreamFramingRoundTrip) {
 // (tools/check.sh) turns "no crash" into a strong property.
 
 TEST(WireFuzz, HandPickedMalformedBuffers) {
-  const std::vector<std::vector<std::uint8_t>> corpus = {
-      {},                              // empty
-      {0x00},                          // sub-header
-      {0x12, 0x34, 0x01, 0x00, 0x00},  // header cut short
-      // Header claiming one question but no body.
-      {0x12, 0x34, 0x01, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00,
-       0x00},
-      // Question with a label length running past the end.
-      {0x12, 0x34, 0x01, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00,
-       0x00, 0x3f, 'a', 'b'},
-      // Compression pointer to itself (infinite loop if unchecked).
-      {0x12, 0x34, 0x01, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00,
-       0x00, 0xc0, 0x0c, 0x00, 0x01, 0x00, 0x01},
-      // Forward-pointing compression pointer (must be rejected).
-      {0x12, 0x34, 0x01, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00,
-       0x00, 0xc0, 0xff, 0x00, 0x01, 0x00, 0x01},
-      // Reserved label type 0b10 (neither literal nor pointer).
-      {0x12, 0x34, 0x01, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00,
-       0x00, 0x80, 0x00, 0x00, 0x01, 0x00, 0x01},
-      // RDLENGTH larger than the remaining buffer.
-      {0x12, 0x34, 0x84, 0x00, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00,
-       0x00, 0x00, 0x00, 0x01, 0x00, 0x01, 0x00, 0x00, 0x00, 0x3c, 0x00,
-       0xff, 0x7f},
-  };
+  const auto corpus = fuzz::malformed_corpus();
   for (std::size_t i = 0; i < corpus.size(); ++i) {
     const auto decoded = Message::decode(corpus[i]);
     EXPECT_FALSE(decoded.has_value()) << "corpus[" << i << "]";
@@ -260,7 +100,7 @@ TEST(WireFuzz, TruncationNeverCrashes) {
   // Every prefix of a valid message must decode cleanly or fail cleanly.
   util::Rng rng(77);
   for (int round = 0; round < 40; ++round) {
-    const auto wire = random_message(rng).encode();
+    const auto wire = fuzz::random_message(rng).encode();
     for (std::size_t cut = 0; cut < wire.size(); ++cut) {
       const std::vector<std::uint8_t> prefix(wire.begin(),
                                              wire.begin() + cut);
@@ -284,7 +124,7 @@ TEST(WireFuzz, BitFlipsNeverCrash) {
   // decoder must stay total — valid result or nullopt.
   util::Rng rng(79);
   for (int round = 0; round < 400; ++round) {
-    auto wire = random_message(rng).encode();
+    auto wire = fuzz::random_message(rng).encode();
     if (wire.empty()) continue;
     const auto mutations = static_cast<std::size_t>(rng.range(1, 8));
     for (std::size_t m = 0; m < mutations; ++m) {

@@ -1,5 +1,6 @@
 // The deterministic parallel execution engine: pool correctness, sharding
 // arithmetic, rng derivation, and the determinism contract itself.
+#include "exec/arena.hpp"
 #include "exec/executor.hpp"
 
 #include <gtest/gtest.h>
@@ -187,6 +188,82 @@ TEST(Determinism, ShardedRngWorkloadIsThreadCountInvariant) {
   const auto parallel_b = run(8);
   EXPECT_EQ(serial, parallel_a);
   EXPECT_EQ(parallel_a, parallel_b);
+}
+
+// --- Scratch arenas (DESIGN.md §11) ------------------------------------------
+
+TEST(ScratchArena, LeasesReuseBuffersInStackOrder) {
+  exec::ScratchArena arena;
+  std::vector<std::uint8_t>* first = nullptr;
+  {
+    exec::BufferLease lease(arena);
+    first = lease.get();
+    lease->assign(64, 0xAB);
+  }
+  EXPECT_EQ(arena.created(), 1u);
+  EXPECT_EQ(arena.available(), 1u);
+  {
+    exec::BufferLease lease(arena);
+    // Same buffer comes back, cleared but with its capacity retained.
+    EXPECT_EQ(lease.get(), first);
+    EXPECT_TRUE(lease->empty());
+    EXPECT_GE(lease->capacity(), 64u);
+  }
+  EXPECT_EQ(arena.created(), 1u);
+}
+
+TEST(ScratchArena, NestedLeasesGetDistinctBuffers) {
+  // Reentrancy: a resolver service handling an inline-delivered query takes
+  // a lease while the querying client still holds one from the same thread's
+  // arena. The two must never alias.
+  exec::ScratchArena arena;
+  exec::BufferLease outer(arena);
+  outer->assign(16, 0x11);
+  {
+    exec::BufferLease inner(arena);
+    EXPECT_NE(inner.get(), outer.get());
+    inner->assign(16, 0x22);
+    EXPECT_EQ(outer->front(), 0x11);
+  }
+  EXPECT_EQ(outer->front(), 0x11);
+  EXPECT_EQ(arena.created(), 2u);
+}
+
+TEST(ScratchArena, ThreadLocalArenasAreDistinctPerWorker) {
+  exec::WorkerPool pool(4);
+  constexpr std::size_t kShards = 16;
+  std::vector<exec::ScratchArena*> arenas(kShards, nullptr);
+  pool.parallel_for_shards(kShards,
+                           [&](std::size_t s) { arenas[s] = &exec::thread_arena(); });
+  // Every shard saw *an* arena, and the distinct set is bounded by the
+  // worker count (same worker => same arena, different workers => different).
+  std::set<exec::ScratchArena*> distinct;
+  for (auto* arena : arenas) {
+    ASSERT_NE(arena, nullptr);
+    distinct.insert(arena);
+  }
+  EXPECT_GE(distinct.size(), 1u);
+  EXPECT_LE(distinct.size(), 4u + 1u);  // workers, +1 if the caller ran shards
+}
+
+TEST(ScratchArena, WorkerTasksRunAllocationFreeAfterWarmup) {
+  // The fan-out contract: after one warmup pass fills each worker's arena,
+  // repeated leases inside pool tasks create no further buffers.
+  exec::WorkerPool pool(4);
+  constexpr std::size_t kShards = 32;
+  const auto lease_once = [](std::size_t) {
+    exec::BufferLease lease;
+    lease->resize(512);
+  };
+  pool.parallel_for_shards(kShards, lease_once);  // warmup
+  std::vector<std::size_t> created(kShards, 0);
+  pool.parallel_for_shards(kShards, [&](std::size_t s) {
+    const std::size_t before = exec::thread_arena().created();
+    exec::BufferLease lease;
+    lease->resize(512);
+    created[s] = exec::thread_arena().created() - before;
+  });
+  for (const std::size_t c : created) EXPECT_EQ(c, 0u);
 }
 
 }  // namespace

@@ -48,9 +48,35 @@ run_cache_guard() {
   echo "sharded LRU beats flush-on-full (BENCH_cache.json)."
 }
 
+run_soak() {
+  # The only coverage that executes StudyConfig::full() end to end: the
+  # paper-scale suite is label-gated (plain ctest skips it) and env-gated
+  # (the tests GTEST_SKIP without ENCDNS_SOAK), so this step turns both
+  # keys at once.
+  echo "=== paper-scale soak (ctest -L soak) ==="
+  (cd build && ENCDNS_SOAK=1 ctest -L soak --output-on-failure)
+}
+
+run_throughput_guard() {
+  # bench_macro_study re-runs the transports and every full-scale study
+  # phase, then compares against the committed BENCH_throughput.json:
+  # work-unit counts must match exactly (determinism), allocations/query
+  # must stay within baseline*1.25+2, throughput above 0.25x baseline.
+  echo "=== throughput guard ==="
+  local tmp
+  tmp="$(mktemp)"
+  ./build/bench/bench_macro_study --scale full --out "${tmp}" \
+    --guard BENCH_throughput.json
+  grep -q '"guard_met": true' "${tmp}"
+  rm -f "${tmp}"
+  echo "throughput and allocation budgets hold vs BENCH_throughput.json."
+}
+
 run_pass "plain" build ""
 run_golden
 run_cache_guard
+run_soak
+run_throughput_guard
 run_pass "asan" build-asan address
 run_pass "tsan" build-tsan thread
 

@@ -178,45 +178,63 @@ std::vector<Row> run_transports() {
 
 // --- phases: the study end to end ---------------------------------------------
 
-std::vector<Row> run_phases(const std::string& scale) {
+/// `filter` is the parsed `--phases` csv (empty = run everything). Phases a
+/// requested phase depends on are still computed lazily inside Study, so a
+/// filtered run stays correct — the skipped rows just are not timed/reported.
+std::vector<Row> run_phases(const std::string& scale,
+                            const std::vector<std::string>& filter) {
   const core::StudyConfig config =
       scale == "full" ? core::StudyConfig::full() : core::StudyConfig::quick();
   core::Study study(config);
   std::vector<Row> rows;
 
-  rows.push_back(run_row("scan_campaign", "tls_probe", [&] {
-    unsigned long long probes = 0;
-    for (const auto& snapshot : study.scans()) probes += snapshot.port_open;
-    return probes;
-  }));
-  rows.push_back(run_row("doh_discovery", "url_check", [&] {
-    return static_cast<unsigned long long>(study.doh_discovery().valid_urls);
-  }));
-  rows.push_back(run_row("local_probe", "dot_probe", [&] {
-    return static_cast<unsigned long long>(study.local_probe().probes);
-  }));
-  rows.push_back(run_row("reachability_global", "client", [&] {
-    return static_cast<unsigned long long>(study.reachability_global().clients);
-  }));
-  rows.push_back(run_row("reachability_cn", "client", [&] {
-    return static_cast<unsigned long long>(study.reachability_cn().clients);
-  }));
-  rows.push_back(run_row("performance", "query", [&] {
-    (void)study.performance();
-    // Each sampled client runs queries_per_protocol on each of the three
-    // transports; this is the configured (deterministic) query volume.
-    return static_cast<unsigned long long>(config.performance.client_count) *
-           static_cast<unsigned long long>(
-               config.performance.queries_per_protocol) *
-           3ULL;
-  }));
-  rows.push_back(run_row("netflow", "sampled_flow", [&] {
-    const auto& netflow = study.netflow();
-    unsigned long long flows = 0;
-    for (const auto& [month, count] : netflow.cloudflare_monthly)
-      flows += count;
-    return flows;
-  }));
+  const auto want = [&](const char* name) {
+    if (filter.empty()) return true;
+    for (const auto& f : filter)
+      if (f == name) return true;
+    return false;
+  };
+
+  if (want("scan_campaign"))
+    rows.push_back(run_row("scan_campaign", "tls_probe", [&] {
+      unsigned long long probes = 0;
+      for (const auto& snapshot : study.scans()) probes += snapshot.port_open;
+      return probes;
+    }));
+  if (want("doh_discovery"))
+    rows.push_back(run_row("doh_discovery", "url_check", [&] {
+      return static_cast<unsigned long long>(study.doh_discovery().valid_urls);
+    }));
+  if (want("local_probe"))
+    rows.push_back(run_row("local_probe", "dot_probe", [&] {
+      return static_cast<unsigned long long>(study.local_probe().probes);
+    }));
+  if (want("reachability_global"))
+    rows.push_back(run_row("reachability_global", "client", [&] {
+      return static_cast<unsigned long long>(study.reachability_global().clients);
+    }));
+  if (want("reachability_cn"))
+    rows.push_back(run_row("reachability_cn", "client", [&] {
+      return static_cast<unsigned long long>(study.reachability_cn().clients);
+    }));
+  if (want("performance"))
+    rows.push_back(run_row("performance", "query", [&] {
+      (void)study.performance();
+      // Each sampled client runs queries_per_protocol on each of the three
+      // transports; this is the configured (deterministic) query volume.
+      return static_cast<unsigned long long>(config.performance.client_count) *
+             static_cast<unsigned long long>(
+                 config.performance.queries_per_protocol) *
+             3ULL;
+    }));
+  if (want("netflow"))
+    rows.push_back(run_row("netflow", "sampled_flow", [&] {
+      const auto& netflow = study.netflow();
+      unsigned long long flows = 0;
+      for (const auto& [month, count] : netflow.cloudflare_monthly)
+        flows += count;
+      return flows;
+    }));
   return rows;
 }
 
@@ -265,6 +283,39 @@ BaselineRow find_baseline_row(const std::string& text, const std::string& name) 
   row.allocs_per_query = field("allocs_per_query");
   row.found = true;
   return row;
+}
+
+/// Absolute allocations/unit ceilings for the measurement fan-out phases
+/// (ISSUE 6): unlike the relative baseline*1.25+2 bound, these do not drift
+/// when the committed baseline is regenerated, so an alloc regression in the
+/// widest phases fails CI outright. Full scale only — the quick-scale phases
+/// amortise fixed setup over far fewer work units.
+struct AllocCeiling {
+  const char* name;
+  double allocs_per_unit;
+};
+constexpr AllocCeiling kPhaseAllocCeilings[] = {
+    {"reachability_global", 120.0},
+    {"reachability_cn", 120.0},
+    {"doh_discovery", 100.0},
+};
+
+bool check_alloc_ceilings(const std::vector<Row>& rows) {
+  bool ok = true;
+  for (const Row& row : rows) {
+    for (const AllocCeiling& ceiling : kPhaseAllocCeilings) {
+      if (row.name != ceiling.name) continue;
+      if (row.allocs_per_query > ceiling.allocs_per_unit) {
+        std::fprintf(stderr,
+                     "guard: %s exceeds the absolute allocation ceiling "
+                     "(%.2f/%s vs %.2f)\n",
+                     row.name.c_str(), row.allocs_per_query, row.unit.c_str(),
+                     ceiling.allocs_per_unit);
+        ok = false;
+      }
+    }
+  }
+  return ok;
 }
 
 bool check_guard(const std::string& baseline_path,
@@ -321,6 +372,8 @@ int main(int argc, char** argv) {
   std::string scale = "full";
   std::string out_path = "BENCH_throughput.json";
   std::string guard_path;
+  std::vector<std::string> phase_filter;
+  bool skip_transports = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> std::string {
@@ -340,17 +393,36 @@ int main(int argc, char** argv) {
       out_path = next();
     } else if (arg == "--guard") {
       guard_path = next();
+    } else if (arg == "--phases") {
+      // Comma-separated phase names (see run_phases). Re-benching a single
+      // phase during iteration: --phases reachability_global. Implies the
+      // transport section is skipped so the run starts on the phase at once.
+      const std::string csv = next();
+      std::size_t start = 0;
+      while (start <= csv.size()) {
+        const auto comma = csv.find(',', start);
+        const auto end = comma == std::string::npos ? csv.size() : comma;
+        if (end > start) phase_filter.push_back(csv.substr(start, end - start));
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+      if (phase_filter.empty()) {
+        std::fprintf(stderr, "--phases requires a non-empty csv of names\n");
+        return 2;
+      }
+      skip_transports = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--scale quick|full] [--out FILE] "
-                   "[--guard BASELINE]\n",
+                   "[--guard BASELINE] [--phases CSV]\n",
                    argv[0]);
       return 2;
     }
   }
 
-  const std::vector<Row> transports = run_transports();
-  const std::vector<Row> phases = run_phases(scale);
+  const std::vector<Row> transports =
+      skip_transports ? std::vector<Row>{} : run_transports();
+  const std::vector<Row> phases = run_phases(scale, phase_filter);
 
   for (const auto& rows : {&transports, &phases})
     for (const Row& row : *rows)
@@ -363,6 +435,9 @@ int main(int argc, char** argv) {
     std::vector<Row> all = transports;
     all.insert(all.end(), phases.begin(), phases.end());
     guard_met = check_guard(guard_path, all);
+    // Absolute per-phase allocation ceilings bind at full scale only: quick
+    // scale spreads world/study setup over a handful of work units.
+    if (scale == "full" && !check_alloc_ceilings(phases)) guard_met = false;
     std::printf("guard vs %s: %s\n", guard_path.c_str(),
                 guard_met ? "met" : "NOT met");
   }

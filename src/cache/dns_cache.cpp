@@ -83,7 +83,7 @@ std::optional<DnsCache::Hit> DnsCache::lookup(std::string_view key,
   Shard& shard = shard_for(key);
   {
     const std::lock_guard<std::mutex> lock(shard.mutex);
-    const auto it = shard.index.find(std::string(key));
+    const auto it = shard.index.find(key);
     if (it != shard.index.end() && now_s < it->second->expiry_s) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
       Hit hit{it->second->answer, /*stale=*/false};
@@ -106,7 +106,7 @@ std::optional<DnsCache::Hit> DnsCache::lookup_stale(std::string_view key,
   if (!config_.serve_stale) return std::nullopt;
   Shard& shard = shard_for(key);
   const std::lock_guard<std::mutex> lock(shard.mutex);
-  const auto it = shard.index.find(std::string(key));
+  const auto it = shard.index.find(key);
   if (it == shard.index.end()) return std::nullopt;
   const std::int64_t expiry = it->second->expiry_s;
   if (now_s >= expiry + static_cast<std::int64_t>(config_.max_stale_s))
@@ -121,6 +121,11 @@ std::optional<DnsCache::Hit> DnsCache::lookup_stale(std::string_view key,
 
 bool DnsCache::store(std::string_view key, const CachedAnswer& answer,
                      std::int64_t now_s) {
+  return store(key, CachedAnswer(answer), now_s);
+}
+
+bool DnsCache::store(std::string_view key, CachedAnswer&& answer,
+                     std::int64_t now_s) {
   if (!cacheable(answer.rcode)) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
     obs_reject_->add();
@@ -132,20 +137,37 @@ bool DnsCache::store(std::string_view key, const CachedAnswer& answer,
   std::uint64_t evicted = 0;
   {
     const std::lock_guard<std::mutex> lock(shard.mutex);
-    const auto it = shard.index.find(std::string(key));
+    const auto it = shard.index.find(key);
     if (it != shard.index.end()) {
       // Refresh in place and bump to most-recent.
-      it->second->answer = answer;
+      it->second->answer = std::move(answer);
       it->second->expiry_s = expiry;
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-    } else {
-      // Incremental eviction: one LRU victim per insert, never a flush.
-      while (shard.lru.size() >= per_shard_capacity_) {
+    } else if (shard.lru.size() >= per_shard_capacity_) {
+      // Incremental eviction, recycling the victim's storage (DESIGN.md §12):
+      // instead of erase+insert — three allocations per store once the shard
+      // is full, the steady state of unique-name workloads — the LRU victim's
+      // list node is spliced to the front, its key string and answer storage
+      // are rebuilt in place, and its index node is re-keyed via extract().
+      // The logical outcome (evict back, insert front) is identical.
+      while (shard.lru.size() > per_shard_capacity_) {
+        // Capacity shrank since the last store: trim the extras the old way.
         shard.index.erase(shard.lru.back().key);
         shard.lru.pop_back();
         ++evicted;
       }
-      shard.lru.push_front(Entry{std::string(key), answer, expiry});
+      auto node = shard.index.extract(shard.lru.back().key);
+      shard.lru.splice(shard.lru.begin(), shard.lru, std::prev(shard.lru.end()));
+      ++evicted;
+      Entry& entry = shard.lru.front();
+      entry.key.assign(key);
+      entry.answer = std::move(answer);
+      entry.expiry_s = expiry;
+      node.key().assign(key);
+      node.mapped() = shard.lru.begin();
+      shard.index.insert(std::move(node));
+    } else {
+      shard.lru.push_front(Entry{std::string(key), std::move(answer), expiry});
       shard.index.emplace(shard.lru.front().key, shard.lru.begin());
     }
   }

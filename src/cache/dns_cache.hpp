@@ -133,6 +133,11 @@ class DnsCache {
   bool store(std::string_view key, const CachedAnswer& answer,
              std::int64_t now_s);
 
+  /// Move-in overload for hot paths (DESIGN.md §12): the answer's record
+  /// storage is stolen into the cache entry instead of copied. Identical
+  /// semantics and tallies otherwise.
+  bool store(std::string_view key, CachedAnswer&& answer, std::int64_t now_s);
+
   /// Whether an rcode may be cached at all.
   [[nodiscard]] static bool cacheable(dns::RCode rcode) noexcept {
     return rcode == dns::RCode::kNoError || rcode == dns::RCode::kNxDomain;
@@ -161,10 +166,20 @@ class DnsCache {
     CachedAnswer answer;
     std::int64_t expiry_s = 0;
   };
+  /// Transparent hashing so lookups/stores probe the index with the caller's
+  /// string_view key directly — no temporary std::string per operation.
+  struct KeyHash {
+    using is_transparent = void;
+    [[nodiscard]] std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
   struct Shard {
     mutable std::mutex mutex;
     std::list<Entry> lru;  // front = most recently used
-    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    std::unordered_map<std::string, std::list<Entry>::iterator, KeyHash,
+                       std::equal_to<>>
+        index;
   };
 
   [[nodiscard]] Shard& shard_for(std::string_view key) noexcept;

@@ -9,35 +9,7 @@ QueryOutcome Do53Client::query_udp(util::Ipv4 server, const dns::Name& qname,
                                    dns::RrType type, const util::Date& date,
                                    const Options& options) {
   QueryOutcome outcome;
-  const auto id = static_cast<std::uint16_t>(rng_.below(65536));
-  dns::build_query_into(query_scratch_, qname, type, id, options.query);
-  exec::BufferLease wire;
-  dns::WireWriter writer(*wire);
-  query_scratch_.encode_into(writer);
-
-  const auto result = network_->udp_exchange(context_, rng_, server, dns::kDnsPort,
-                                             *wire, date, options.timeout);
-  outcome.latency = result.latency;
-  outcome.transaction_latency = result.latency;
-  outcome.spoofed = result.spoofed;
-  if (result.status != net::Network::UdpResult::Status::kOk) {
-    outcome.status = QueryStatus::kTimeout;
-    return outcome;
-  }
-  auto response = dns::Message::decode(result.payload);
-  if (!response || !dns::response_matches(query_scratch_, *response)) {
-    outcome.status = QueryStatus::kProtocolError;
-    return outcome;
-  }
-  if (response->header.tc && options.retry_tcp_on_truncation) {
-    // Truncated: redo the lookup over TCP, carrying the UDP time spent.
-    QueryOutcome retried = query_tcp(server, qname, type, date, options);
-    retried.latency += outcome.latency;
-    retried.truncated_retry = true;
-    return retried;
-  }
-  outcome.status = QueryStatus::kOk;
-  outcome.response = std::move(response);
+  query_udp_into(server, qname, type, date, options, outcome);
   return outcome;
 }
 
@@ -45,6 +17,50 @@ QueryOutcome Do53Client::query_tcp(util::Ipv4 server, const dns::Name& qname,
                                    dns::RrType type, const util::Date& date,
                                    const Options& options) {
   QueryOutcome outcome;
+  query_tcp_into(server, qname, type, date, options, outcome);
+  return outcome;
+}
+
+void Do53Client::query_udp_into(util::Ipv4 server, const dns::Name& qname,
+                                dns::RrType type, const util::Date& date,
+                                const Options& options, QueryOutcome& out) {
+  out.reset_for_query();
+  const auto id = static_cast<std::uint16_t>(rng_.below(65536));
+  dns::build_query_into(query_scratch_, qname, type, id, options.query);
+  exec::BufferLease wire;
+  dns::WireWriter writer(*wire);
+  query_scratch_.encode_into(writer);
+
+  network_->udp_exchange_into(context_, rng_, server, dns::kDnsPort, *wire, date,
+                              options.timeout, udp_scratch_);
+  out.latency = udp_scratch_.latency;
+  out.transaction_latency = udp_scratch_.latency;
+  out.spoofed = udp_scratch_.spoofed;
+  if (udp_scratch_.status != net::Network::UdpResult::Status::kOk) {
+    out.status = QueryStatus::kTimeout;
+    return;
+  }
+  if (!out.response) out.response.emplace();
+  if (!dns::Message::decode_into(udp_scratch_.payload, *out.response) ||
+      !dns::response_matches(query_scratch_, *out.response)) {
+    out.status = QueryStatus::kProtocolError;
+    return;
+  }
+  if (out.response->header.tc && options.retry_tcp_on_truncation) {
+    // Truncated: redo the lookup over TCP, carrying the UDP time spent.
+    const sim::Millis udp_spent = out.latency;
+    query_tcp_into(server, qname, type, date, options, out);
+    out.latency += udp_spent;
+    out.truncated_retry = true;
+    return;
+  }
+  out.status = QueryStatus::kOk;
+}
+
+void Do53Client::query_tcp_into(util::Ipv4 server, const dns::Name& qname,
+                                dns::RrType type, const util::Date& date,
+                                const Options& options, QueryOutcome& out) {
+  out.reset_for_query();
   const std::uint64_t key = pool_key(server, dns::kDnsPort);
 
   net::TcpConnection* connection = nullptr;
@@ -53,22 +69,22 @@ QueryOutcome Do53Client::query_tcp(util::Ipv4 server, const dns::Name& qname,
     const auto it = pool_.find(key);
     if (it != pool_.end()) {
       connection = &it->second;
-      outcome.reused_connection = true;
+      out.reused_connection = true;
     }
   }
   if (connection == nullptr) {
     auto connect = network_->tcp_connect(context_, rng_, server, dns::kDnsPort, date,
                                          options.timeout);
-    outcome.latency = connect.latency;
+    out.latency = connect.latency;
     using Status = net::Network::ConnectResult::Status;
     if (connect.status == Status::kReset) {
-      outcome.status = QueryStatus::kConnectionReset;
-      return outcome;
+      out.status = QueryStatus::kConnectionReset;
+      return;
     }
     if (connect.status != Status::kConnected) {
-      outcome.status = connect.status == Status::kTimeout ? QueryStatus::kTimeout
-                                                          : QueryStatus::kConnectFailed;
-      return outcome;
+      out.status = connect.status == Status::kTimeout ? QueryStatus::kTimeout
+                                                      : QueryStatus::kConnectFailed;
+      return;
     }
     setup = connect.latency;
     auto [slot, inserted] = pool_.insert_or_assign(key, std::move(*connect.connection));
@@ -85,31 +101,31 @@ QueryOutcome Do53Client::query_tcp(util::Ipv4 server, const dns::Name& qname,
   query_scratch_.encode_into(writer);
   writer.end_stream_frame(prefix);
 
-  auto exchange = connection->exchange(*framed, options.timeout);
-  outcome.hijacked = connection->hijacked();
-  outcome.latency = setup + exchange.latency;
-  outcome.transaction_latency = exchange.latency;
+  connection->exchange_into(*framed, options.timeout, exchange_scratch_);
+  out.hijacked = connection->hijacked();
+  out.latency = setup + exchange_scratch_.latency;
+  out.transaction_latency = exchange_scratch_.latency;
   using ExStatus = net::TcpConnection::ExchangeResult::Status;
-  if (exchange.status != ExStatus::kOk) {
+  if (exchange_scratch_.status != ExStatus::kOk) {
     pool_.erase(key);
-    outcome.status = exchange.status == ExStatus::kTimeout ? QueryStatus::kTimeout
-                                                           : QueryStatus::kConnectionReset;
-    return outcome;
+    out.status = exchange_scratch_.status == ExStatus::kTimeout
+                     ? QueryStatus::kTimeout
+                     : QueryStatus::kConnectionReset;
+    return;
   }
-  const auto unframed = dns::unframe_view(exchange.payload);
+  const auto unframed = dns::unframe_view(exchange_scratch_.payload);
   if (!unframed) {
-    outcome.status = QueryStatus::kProtocolError;
-    return outcome;
+    out.status = QueryStatus::kProtocolError;
+    return;
   }
-  auto response = dns::Message::decode(*unframed);
-  if (!response || !dns::response_matches(query_scratch_, *response)) {
-    outcome.status = QueryStatus::kProtocolError;
-    return outcome;
+  if (!out.response) out.response.emplace();
+  if (!dns::Message::decode_into(*unframed, *out.response) ||
+      !dns::response_matches(query_scratch_, *out.response)) {
+    out.status = QueryStatus::kProtocolError;
+    return;
   }
   if (!options.reuse_connection) pool_.erase(key);
-  outcome.status = QueryStatus::kOk;
-  outcome.response = std::move(response);
-  return outcome;
+  out.status = QueryStatus::kOk;
 }
 
 }  // namespace encdns::client

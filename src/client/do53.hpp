@@ -47,6 +47,31 @@ class Do53Client {
                                        dns::RrType type, const util::Date& date,
                                        const Options& options = {});
 
+  /// Slot-reusing twins of the lookups above (DESIGN.md §12): the outcome is
+  /// reset and refilled in place (`out.response` stays engaged with warmed
+  /// storage; see QueryOutcome), so a reused client + outcome pair performs
+  /// steady-state lookups with zero fresh allocations. The plain variants
+  /// wrap these, so behaviour stays identical by construction.
+  void query_udp_into(util::Ipv4 server, const dns::Name& qname, dns::RrType type,
+                      const util::Date& date, const Options& options,
+                      QueryOutcome& out);
+  void query_tcp_into(util::Ipv4 server, const dns::Name& qname, dns::RrType type,
+                      const util::Date& date, const Options& options,
+                      QueryOutcome& out);
+
+  /// Re-seed this client for a new logical session (DESIGN.md §12): same rng
+  /// stream and empty pools as a freshly constructed
+  /// `Do53Client(network, context, seed)`, but all warmed scratch storage
+  /// (query message, reply buffers) is kept. Lets one thread-resident client
+  /// serve many measurement clients without per-client construction.
+  void rebind(const net::Network& network, const net::ClientContext& context,
+              std::uint64_t seed) {
+    network_ = &network;
+    context_ = context;
+    rng_ = util::Rng(seed);
+    pool_.clear();
+  }
+
   /// Drop all pooled connections.
   void reset_pool() { pool_.clear(); }
 
@@ -61,6 +86,8 @@ class Do53Client {
   /// Reused across queries so steady-state builds allocate nothing
   /// (DESIGN.md §11); wire bytes are staged in exec::thread_arena() leases.
   dns::Message query_scratch_;
+  net::Network::UdpResult udp_scratch_;
+  net::TcpConnection::ExchangeResult exchange_scratch_;
 };
 
 }  // namespace encdns::client

@@ -1,5 +1,7 @@
 #include "client/doh.hpp"
 
+#include <charconv>
+
 #include "dns/query.hpp"
 #include "dns/wire.hpp"
 #include "exec/arena.hpp"
@@ -8,47 +10,68 @@
 
 namespace encdns::client {
 
+namespace {
+
+void append_text(std::vector<std::uint8_t>& out, std::string_view text) {
+  out.insert(out.end(), text.begin(), text.end());
+}
+
+}  // namespace
+
 QueryOutcome DohClient::query(const http::UriTemplate& uri_template,
                               const dns::Name& qname, dns::RrType type,
                               const util::Date& date, const Options& options) {
   QueryOutcome outcome;
-  const std::string host = uri_template.base().host;
+  query_into(uri_template, qname, type, date, options, outcome);
+  return outcome;
+}
+
+void DohClient::query_into(const http::UriTemplate& uri_template,
+                           const dns::Name& qname, dns::RrType type,
+                           const util::Date& date, const Options& options,
+                           QueryOutcome& out) {
+  out.reset_for_query();
+  const std::string& host = uri_template.base().host;
   sim::Millis setup{0.0};
 
   // 1. Determine the server address: literal, or bootstrap via clear text.
   util::Ipv4 server;
   if (options.server_address) {
     server = *options.server_address;
-  } else if (const auto cached = resolved_hosts_.find(host);
-             cached != resolved_hosts_.end()) {
-    server = cached->second;  // bootstrap cached from an earlier lookup
+  } else if (Bootstrap& boot = resolved_hosts_[host];
+             boot.epoch == bootstrap_epoch_) {
+    server = boot.address;  // bootstrap cached earlier in this epoch
   } else {
     if (!options.bootstrap_resolver) {
-      outcome.status = QueryStatus::kBootstrapFailed;
-      return outcome;
+      out.status = QueryStatus::kBootstrapFailed;
+      return;
     }
-    const auto host_name = dns::Name::parse(host);
-    if (!host_name) {
-      outcome.status = QueryStatus::kBootstrapFailed;
-      return outcome;
+    // The parsed hostname outlives the epoch: a rebound client re-runs the
+    // bootstrap query below but reuses the Name parsed by its predecessor.
+    if (!boot.name) boot.name = dns::Name::parse(host);
+    if (!boot.name) {
+      out.status = QueryStatus::kBootstrapFailed;
+      return;
     }
     Do53Client::Options bootstrap_options;
     // The bootstrap lookup shares the caller's deadline: a 30 s DoH query
     // must not be cut short by a hidden 5 s bootstrap constant.
     bootstrap_options.timeout = options.timeout;
-    const auto bootstrap = bootstrap_client_.query_udp(
-        *options.bootstrap_resolver, *host_name, dns::RrType::kA, date,
-        bootstrap_options);
-    setup += bootstrap.latency;
-    const auto addr =
-        bootstrap.response ? bootstrap.response->first_a() : std::nullopt;
-    if (!bootstrap.answered() || !addr) {
-      outcome.status = QueryStatus::kBootstrapFailed;
-      outcome.latency = setup;
-      return outcome;
+    bootstrap_client_.query_udp_into(*options.bootstrap_resolver, *boot.name,
+                                     dns::RrType::kA, date, bootstrap_options,
+                                     bootstrap_scratch_);
+    setup += bootstrap_scratch_.latency;
+    const auto addr = bootstrap_scratch_.response
+                          ? bootstrap_scratch_.response->first_a()
+                          : std::nullopt;
+    if (!bootstrap_scratch_.answered() || !addr) {
+      out.status = QueryStatus::kBootstrapFailed;
+      out.latency = setup;
+      return;
     }
     server = *addr;
-    resolved_hosts_[host] = server;
+    boot.address = server;
+    boot.epoch = bootstrap_epoch_;
   }
 
   // 2. Locate or establish the HTTPS session.
@@ -58,7 +81,7 @@ QueryOutcome DohClient::query(const http::UriTemplate& uri_template,
     const auto it = sessions_.find(key);
     if (it != sessions_.end()) {
       session = &it->second;
-      outcome.reused_connection = true;
+      out.reused_connection = true;
     }
   }
   if (session == nullptr) {
@@ -66,50 +89,50 @@ QueryOutcome DohClient::query(const http::UriTemplate& uri_template,
                                          options.timeout);
     using CStatus = net::Network::ConnectResult::Status;
     if (connect.status != CStatus::kConnected) {
-      outcome.latency = setup + connect.latency;
+      out.latency = setup + connect.latency;
       switch (connect.status) {
         case CStatus::kReset:
-          outcome.status = QueryStatus::kConnectionReset;
+          out.status = QueryStatus::kConnectionReset;
           break;
         case CStatus::kTimeout:
-          outcome.status = QueryStatus::kTimeout;
+          out.status = QueryStatus::kTimeout;
           break;
         default:
-          outcome.status = QueryStatus::kConnectFailed;
+          out.status = QueryStatus::kConnectFailed;
           break;
       }
-      return outcome;
+      return;
     }
     auto tls = connect.connection->tls_handshake(host, options.tls_version);
     setup += connect.latency + tls.latency;
     if (tls.status != net::TcpConnection::TlsResult::Status::kEstablished) {
-      outcome.latency = setup;
-      outcome.status =
+      out.latency = setup;
+      out.status =
           tls.status == net::TcpConnection::TlsResult::Status::kTimeout
               ? QueryStatus::kTimeout
               : QueryStatus::kTlsFailed;
-      return outcome;
+      return;
     }
     // DoH is Strict-Privacy-only: full validation against the template host.
     const tls::CertStatus cert_status =
-        tls::verify_host(tls.chain, host, *options.trust_store, date);
-    outcome.cert_status = cert_status;
-    outcome.presented_chain = tls.chain;
-    outcome.intercepted = tls.intercepted;
+        tls::verify_host(*tls.chain, host, *options.trust_store, date);
+    out.cert_status = cert_status;
+    out.presented_chain = *tls.chain;
+    out.intercepted = tls.intercepted;
     if (tls::is_invalid(cert_status)) {
-      outcome.latency = setup;
-      outcome.status = QueryStatus::kCertRejected;
-      return outcome;
+      out.latency = setup;
+      out.status = QueryStatus::kCertRejected;
+      return;
     }
-    Session fresh{std::move(*connect.connection), tls.chain, tls.intercepted};
+    Session fresh{std::move(*connect.connection), tls.intercepted};
     auto [slot, inserted] = sessions_.insert_or_assign(key, std::move(fresh));
     session = &slot->second;
   } else {
-    outcome.presented_chain = session->chain;
-    outcome.cert_status = tls::CertStatus::kValid;  // validated at setup
-    outcome.intercepted = session->intercepted;
+    out.presented_chain = *session->connection.presented_chain();
+    out.cert_status = tls::CertStatus::kValid;  // validated at setup
+    out.intercepted = session->intercepted;
   }
-  outcome.hijacked = session->connection.hijacked();
+  out.hijacked = session->connection.hijacked();
 
   // 3. Build and send the HTTP request.
   dns::QueryOptions query_options;
@@ -122,51 +145,77 @@ QueryOutcome DohClient::query(const http::UriTemplate& uri_template,
   dns::WireWriter writer(*dns_wire);
   query_scratch_.encode_into(writer);
 
-  http::Request request;
-  request.headers.set("Host", host);
-  request.headers.set("Accept", http::kDnsMessageType);
+  // Serialize the request straight into an arena lease, byte-identical to
+  // the http::Request::serialize path this replaces. The GET target is plain
+  // concatenation because percent_encode is the identity on the base64url
+  // alphabet (all of A-Z a-z 0-9 - _ are unreserved).
+  exec::BufferLease http_wire;
+  auto& raw = *http_wire;
+  const http::Url& base = uri_template.base();
   if (options.method == http::Method::kGet) {
-    request.method = http::Method::kGet;
-    const http::Url url = uri_template.expand_get(util::base64url_encode(*dns_wire));
-    request.target = url.path + "?" + url.query;
+    util::base64url_encode_into(*dns_wire, b64_scratch_);
+    append_text(raw, "GET ");
+    append_text(raw, base.path);  // "?dns=..." makes the target non-empty
+    append_text(raw, "?");
+    if (!base.query.empty()) {
+      append_text(raw, base.query);
+      append_text(raw, "&");
+    }
+    append_text(raw, "dns=");
+    append_text(raw, b64_scratch_);
+    append_text(raw, " HTTP/1.1\r\nHost: ");
+    append_text(raw, host);
+    append_text(raw, "\r\nAccept: ");
+    append_text(raw, http::kDnsMessageType);
+    append_text(raw, "\r\n\r\n");
   } else {
-    request.method = http::Method::kPost;
-    request.target = uri_template.post_target().path;
-    request.headers.set("Content-Type", http::kDnsMessageType);
-    request.body = *dns_wire;
+    append_text(raw, "POST ");
+    append_text(raw, base.path.empty() ? std::string_view{"/"}
+                                       : std::string_view{base.path});
+    append_text(raw, " HTTP/1.1\r\nHost: ");
+    append_text(raw, host);
+    append_text(raw, "\r\nAccept: ");
+    append_text(raw, http::kDnsMessageType);
+    append_text(raw, "\r\nContent-Type: ");
+    append_text(raw, http::kDnsMessageType);
+    append_text(raw, "\r\nContent-Length: ");
+    char digits[24];
+    const auto end = std::to_chars(digits, digits + sizeof digits,
+                                   dns_wire->size()).ptr;
+    raw.insert(raw.end(), digits, end);
+    append_text(raw, "\r\n\r\n");
+    raw.insert(raw.end(), dns_wire->begin(), dns_wire->end());
   }
 
-  auto exchange = session->connection.exchange(request.serialize(), options.timeout);
-  outcome.latency = setup + exchange.latency;
-  outcome.transaction_latency = exchange.latency;
+  session->connection.exchange_into(raw, options.timeout, exchange_scratch_);
+  out.latency = setup + exchange_scratch_.latency;
+  out.transaction_latency = exchange_scratch_.latency;
   using ExStatus = net::TcpConnection::ExchangeResult::Status;
-  if (exchange.status != ExStatus::kOk) {
+  if (exchange_scratch_.status != ExStatus::kOk) {
     sessions_.erase(key);
-    outcome.status = exchange.status == ExStatus::kTimeout
-                         ? QueryStatus::kTimeout
-                         : QueryStatus::kConnectionReset;
-    return outcome;
+    out.status = exchange_scratch_.status == ExStatus::kTimeout
+                     ? QueryStatus::kTimeout
+                     : QueryStatus::kConnectionReset;
+    return;
   }
 
-  const auto http_response = http::Response::parse(exchange.payload);
-  if (!http_response) {
-    outcome.status = QueryStatus::kProtocolError;
-    return outcome;
+  if (!response_view_.parse_from(exchange_scratch_.payload)) {
+    out.status = QueryStatus::kProtocolError;
+    return;
   }
-  outcome.http_status = http_response->status;
-  if (http_response->status != 200) {
-    outcome.status = QueryStatus::kHttpError;
-    return outcome;
+  out.http_status = response_view_.status();
+  if (response_view_.status() != 200) {
+    out.status = QueryStatus::kHttpError;
+    return;
   }
-  auto response = dns::Message::decode(http_response->body);
-  if (!response || !dns::response_matches(query_scratch_, *response)) {
-    outcome.status = QueryStatus::kProtocolError;
-    return outcome;
+  if (!out.response) out.response.emplace();
+  if (!dns::Message::decode_into(response_view_.body(), *out.response) ||
+      !dns::response_matches(query_scratch_, *out.response)) {
+    out.status = QueryStatus::kProtocolError;
+    return;
   }
   if (!options.reuse_connection) sessions_.erase(key);
-  outcome.status = QueryStatus::kOk;
-  outcome.response = std::move(response);
-  return outcome;
+  out.status = QueryStatus::kOk;
 }
 
 }  // namespace encdns::client

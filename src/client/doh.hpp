@@ -49,6 +49,30 @@ class DohClient {
                                    const dns::Name& qname, dns::RrType type,
                                    const util::Date& date, const Options& options = {});
 
+  /// Slot-reusing twin of `query` (DESIGN.md §12): resets and refills `out`
+  /// in place, keeping its warmed response/chain storage. `query` wraps this.
+  void query_into(const http::UriTemplate& uri_template, const dns::Name& qname,
+                  dns::RrType type, const util::Date& date,
+                  const Options& options, QueryOutcome& out);
+
+  /// Re-seed for a new logical session (DESIGN.md §12): draws the bootstrap
+  /// client's seed from the fresh stream exactly like the constructor, so a
+  /// rebound client is rng-equivalent to a newly constructed one.
+  void rebind(const net::Network& network, const net::ClientContext& context,
+              std::uint64_t seed) {
+    network_ = &network;
+    context_ = context;
+    rng_ = util::Rng(seed);
+    bootstrap_client_.rebind(network, context_, rng_.next());
+    sessions_.clear();
+    // Bootstrap entries are invalidated by epoch rather than erased: the next
+    // lookup re-runs the bootstrap query (identical rng stream and latency to
+    // a fresh client) but reuses the entry's parsed hostname and map node —
+    // the host set is stable across rebinds, so a warmed client re-bootstraps
+    // without allocating (DESIGN.md §12).
+    ++bootstrap_epoch_;
+  }
+
   void reset_pool() { sessions_.clear(); }
 
   [[nodiscard]] util::Rng& rng() noexcept { return rng_; }
@@ -56,8 +80,10 @@ class DohClient {
  private:
   struct Session {
     net::TcpConnection connection;
-    tls::CertificateChain chain;
     bool intercepted;
+    // The presented chain is read through connection.presented_chain() —
+    // copying it per establish was the dominant allocation of a session
+    // set-up (DESIGN.md §12).
   };
 
   const net::Network* network_;
@@ -67,10 +93,22 @@ class DohClient {
   std::unordered_map<std::uint64_t, Session> sessions_;
   /// Bootstrap cache: hostname -> resolved address (clients honour the A
   /// record's TTL; one cache per client session is the practical effect).
-  std::unordered_map<std::string, util::Ipv4> resolved_hosts_;
+  /// The parsed hostname is epoch-independent and kept across rebinds; the
+  /// address is valid only when `epoch` matches `bootstrap_epoch_`.
+  struct Bootstrap {
+    util::Ipv4 address;
+    std::uint64_t epoch = 0;
+    std::optional<dns::Name> name;  // parsed once per host, reused forever
+  };
+  std::unordered_map<std::string, Bootstrap> resolved_hosts_;
+  std::uint64_t bootstrap_epoch_ = 1;
   /// Reused across queries so steady-state builds allocate nothing
   /// (DESIGN.md §11); wire bytes are staged in exec::thread_arena() leases.
   dns::Message query_scratch_;
+  QueryOutcome bootstrap_scratch_;
+  std::string b64_scratch_;
+  http::ResponseView response_view_;
+  net::TcpConnection::ExchangeResult exchange_scratch_;
 };
 
 }  // namespace encdns::client

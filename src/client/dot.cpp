@@ -37,10 +37,15 @@ DotClient::Session* DotClient::establish(util::Ipv4 server, const util::Date& da
     return nullptr;
   }
 
-  const std::string ticket_key =
-      server.to_string() + ":" + std::to_string(dns::kDotPort);
-  const bool resumed = options.use_session_resumption &&
-                       tickets_.try_resume(ticket_key, session_clock_);
+  // Build the ticket key only when resumption is on: the key strings are the
+  // lone allocations in a warm establish, and resumption is off in the
+  // paper-methodology defaults.
+  std::string ticket_key;
+  bool resumed = false;
+  if (options.use_session_resumption) {
+    ticket_key = server.to_string() + ":" + std::to_string(dns::kDotPort);
+    resumed = tickets_.try_resume(ticket_key, session_clock_);
+  }
   auto tls = connect.connection->tls_handshake(options.auth_name,
                                                options.tls_version, resumed);
   if (options.use_session_resumption &&
@@ -64,19 +69,20 @@ DotClient::Session* DotClient::establish(util::Ipv4 server, const util::Date& da
   // Opportunistic profile records the verdict and proceeds regardless.
   const tls::CertStatus cert_status =
       options.auth_name.empty()
-          ? tls::verify_path(tls.chain, *options.trust_store, date)
-          : tls::verify_host(tls.chain, options.auth_name, *options.trust_store, date);
+          ? tls::verify_path(*tls.chain, *options.trust_store, date)
+          : tls::verify_host(*tls.chain, options.auth_name, *options.trust_store,
+                             date);
   if (options.profile == PrivacyProfile::kStrict && tls::is_invalid(cert_status)) {
     outcome.latency = handshake_total;
     outcome.status = QueryStatus::kCertRejected;
+    outcome.presented_chain = *tls.chain;
     outcome.cert_status = cert_status;
-    outcome.presented_chain = tls.chain;
     outcome.intercepted = tls.intercepted;
     return nullptr;
   }
 
   setup = handshake_total;
-  Session session{std::move(*connect.connection), cert_status, tls.chain,
+  Session session{std::move(*connect.connection), cert_status,
                   tls.intercepted};
   auto [slot, inserted] = sessions_.insert_or_assign(key, std::move(session));
   return &slot->second;
@@ -86,28 +92,36 @@ QueryOutcome DotClient::query(util::Ipv4 server, const dns::Name& qname,
                               dns::RrType type, const util::Date& date,
                               const Options& options) {
   QueryOutcome outcome;
+  query_into(server, qname, type, date, options, outcome);
+  return outcome;
+}
+
+void DotClient::query_into(util::Ipv4 server, const dns::Name& qname,
+                           dns::RrType type, const util::Date& date,
+                           const Options& options, QueryOutcome& out) {
+  out.reset_for_query();
   sim::Millis setup{0.0};
-  Session* session = establish(server, date, options, outcome, setup);
+  Session* session = establish(server, date, options, out, setup);
   if (session == nullptr) {
     if (options.allow_cleartext_fallback &&
         options.profile == PrivacyProfile::kOpportunistic &&
-        (outcome.status == QueryStatus::kTlsFailed ||
-         outcome.status == QueryStatus::kConnectFailed)) {
+        (out.status == QueryStatus::kTlsFailed ||
+         out.status == QueryStatus::kConnectFailed)) {
       // RFC 8310 §5: opportunistic clients may downgrade to clear text.
+      const sim::Millis tls_spent = out.latency;  // include the failed attempt
       Do53Client fallback(*network_, context_, rng_.next());
       Do53Client::Options plain;
       plain.timeout = options.timeout;
-      QueryOutcome downgraded = fallback.query_tcp(server, qname, type, date, plain);
-      downgraded.latency += outcome.latency;  // include the failed TLS attempt
-      return downgraded;
+      fallback.query_tcp_into(server, qname, type, date, plain, out);
+      out.latency += tls_spent;
     }
-    return outcome;
+    return;
   }
 
-  outcome.cert_status = session->cert_status;
-  outcome.presented_chain = session->chain;
-  outcome.intercepted = session->intercepted;
-  outcome.hijacked = session->connection.hijacked();
+  out.cert_status = session->cert_status;
+  out.presented_chain = *session->connection.presented_chain();
+  out.intercepted = session->intercepted;
+  out.hijacked = session->connection.hijacked();
 
   dns::QueryOptions query_options;
   query_options.padding_block = options.padding_block;
@@ -121,32 +135,31 @@ QueryOutcome DotClient::query(util::Ipv4 server, const dns::Name& qname,
   query_scratch_.encode_into(writer);
   writer.end_stream_frame(prefix);
 
-  auto exchange = session->connection.exchange(*framed, options.timeout);
-  outcome.latency = setup + exchange.latency;
-  outcome.transaction_latency = exchange.latency;
-  session_clock_ += exchange.latency;
+  session->connection.exchange_into(*framed, options.timeout, exchange_scratch_);
+  out.latency = setup + exchange_scratch_.latency;
+  out.transaction_latency = exchange_scratch_.latency;
+  session_clock_ += exchange_scratch_.latency;
   using ExStatus = net::TcpConnection::ExchangeResult::Status;
-  if (exchange.status != ExStatus::kOk) {
+  if (exchange_scratch_.status != ExStatus::kOk) {
     sessions_.erase(pool_key(server, dns::kDotPort));
-    outcome.status = exchange.status == ExStatus::kTimeout
-                         ? QueryStatus::kTimeout
-                         : QueryStatus::kConnectionReset;
-    return outcome;
+    out.status = exchange_scratch_.status == ExStatus::kTimeout
+                     ? QueryStatus::kTimeout
+                     : QueryStatus::kConnectionReset;
+    return;
   }
-  const auto unframed = dns::unframe_view(exchange.payload);
+  const auto unframed = dns::unframe_view(exchange_scratch_.payload);
   if (!unframed) {
-    outcome.status = QueryStatus::kProtocolError;
-    return outcome;
+    out.status = QueryStatus::kProtocolError;
+    return;
   }
-  auto response = dns::Message::decode(*unframed);
-  if (!response || !dns::response_matches(query_scratch_, *response)) {
-    outcome.status = QueryStatus::kProtocolError;
-    return outcome;
+  if (!out.response) out.response.emplace();
+  if (!dns::Message::decode_into(*unframed, *out.response) ||
+      !dns::response_matches(query_scratch_, *out.response)) {
+    out.status = QueryStatus::kProtocolError;
+    return;
   }
   if (!options.reuse_connection) sessions_.erase(pool_key(server, dns::kDotPort));
-  outcome.status = QueryStatus::kOk;
-  outcome.response = std::move(response);
-  return outcome;
+  out.status = QueryStatus::kOk;
 }
 
 }  // namespace encdns::client

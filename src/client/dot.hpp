@@ -55,6 +55,24 @@ class DotClient {
                                    dns::RrType type, const util::Date& date,
                                    const Options& options = {});
 
+  /// Slot-reusing twin of `query` (DESIGN.md §12): resets and refills `out`
+  /// in place, keeping its warmed response/chain storage. `query` wraps this.
+  void query_into(util::Ipv4 server, const dns::Name& qname, dns::RrType type,
+                  const util::Date& date, const Options& options,
+                  QueryOutcome& out);
+
+  /// Re-seed for a new logical session (DESIGN.md §12): equivalent to a
+  /// freshly constructed client except warmed scratch storage is kept.
+  void rebind(const net::Network& network, const net::ClientContext& context,
+              std::uint64_t seed) {
+    network_ = &network;
+    context_ = context;
+    rng_ = util::Rng(seed);
+    sessions_.clear();
+    tickets_.clear();
+    session_clock_ = sim::Millis{0.0};
+  }
+
   void reset_pool() { sessions_.clear(); }
 
   [[nodiscard]] util::Rng& rng() noexcept { return rng_; }
@@ -63,8 +81,10 @@ class DotClient {
   struct Session {
     net::TcpConnection connection;
     tls::CertStatus cert_status;
-    tls::CertificateChain chain;
     bool intercepted;
+    // The presented chain is read through connection.presented_chain() —
+    // copying it per establish was the dominant allocation of a session
+    // set-up (DESIGN.md §12).
   };
 
   const net::Network* network_;
@@ -76,6 +96,7 @@ class DotClient {
   /// Reused across queries so steady-state builds allocate nothing
   /// (DESIGN.md §11); wire bytes are staged in exec::thread_arena() leases.
   dns::Message query_scratch_;
+  net::TcpConnection::ExchangeResult exchange_scratch_;
 
   /// Establish TCP + TLS to the server, validating per profile. Returns the
   /// pooled session or fills `outcome` with the failure and returns nullptr.

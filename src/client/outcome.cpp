@@ -22,4 +22,19 @@ bool QueryOutcome::answered() const noexcept {
          response->header.rcode == dns::RCode::kNoError && !response->answers.empty();
 }
 
+void QueryOutcome::reset_for_query() noexcept {
+  status = QueryStatus::kTimeout;
+  latency = sim::Millis{0.0};
+  transaction_latency = sim::Millis{0.0};
+  cert_status.reset();
+  intercepted = false;
+  spoofed = false;
+  hijacked = false;
+  reused_connection = false;
+  truncated_retry = false;
+  resumed_session = false;
+  http_status = 0;
+  // `response` and `presented_chain` deliberately keep their storage.
+}
+
 }  // namespace encdns::client

@@ -28,6 +28,10 @@ enum class QueryStatus {
 struct QueryOutcome {
   QueryStatus status = QueryStatus::kTimeout;
 
+  /// The decoded response. When this outcome is reused as a `query_*_into`
+  /// target (DESIGN.md §12), the optional STAYS ENGAGED across queries so
+  /// the warmed Message storage is reused — its contents are meaningful only
+  /// when `status == QueryStatus::kOk`.
   std::optional<dns::Message> response;
 
   /// Total client-observed time for the lookup, including any connection and
@@ -38,7 +42,10 @@ struct QueryOutcome {
   /// compared across transports when connections are reused (§4.3).
   sim::Millis transaction_latency{0.0};
 
-  /// Certificate facts when a TLS handshake completed.
+  /// Certificate facts when a TLS handshake completed. Like `response`,
+  /// `presented_chain` keeps its certificate storage across `query_*_into`
+  /// reuse — it is meaningful only when `cert_status` is engaged (or
+  /// `intercepted` was set) by the query that produced this outcome.
   std::optional<tls::CertStatus> cert_status;
   tls::CertificateChain presented_chain;
 
@@ -65,6 +72,12 @@ struct QueryOutcome {
   /// True when status == kOk and the response's rcode is NOERROR with >= 1
   /// answer record.
   [[nodiscard]] bool answered() const noexcept;
+
+  /// Reset for reuse as a `query_*_into` target: every scalar returns to its
+  /// default while `response` and `presented_chain` keep their warmed
+  /// storage (see the field contracts above). Called by the into-variants at
+  /// entry, so callers never reset by hand.
+  void reset_for_query() noexcept;
 };
 
 }  // namespace encdns::client

@@ -109,79 +109,81 @@ void encode_rr(WireWriter& w, NameCompressor& compressor, const ResourceRecord& 
   encode_rdata(w, compressor, rr);
 }
 
-std::optional<RData> decode_rdata(WireReader& r, RrType type, std::size_t rdlength) {
+/// Re-point `out` at alternative `T`, reusing the existing value (and its
+/// heap storage) when `out` already holds one.
+template <typename T>
+T& rdata_slot(RData& out) {
+  if (auto* existing = std::get_if<T>(&out)) return *existing;
+  return out.emplace<T>();
+}
+
+bool decode_rdata_into(WireReader& r, RrType type, std::size_t rdlength,
+                       RData& out) {
   const std::size_t end = r.position() + rdlength;
-  std::optional<RData> out;
   switch (type) {
     case RrType::kA: {
-      if (rdlength != 4) return std::nullopt;
-      out = util::Ipv4{r.u32()};
+      if (rdlength != 4) return false;
+      rdata_slot<util::Ipv4>(out) = util::Ipv4{r.u32()};
       break;
     }
     case RrType::kAaaa: {
-      if (rdlength != 16) return std::nullopt;
-      Ipv6Bytes bytes{};
+      if (rdlength != 16) return false;
+      Ipv6Bytes& bytes = rdata_slot<Ipv6Bytes>(out);
+      bytes.fill(0);
       const auto raw = r.bytes_view(16);
       if (raw.size() == 16) std::copy(raw.begin(), raw.end(), bytes.begin());
-      out = bytes;
       break;
     }
     case RrType::kCname:
     case RrType::kNs:
     case RrType::kPtr: {
-      auto name = decode_name(r);
-      if (!name) return std::nullopt;
-      out = std::move(*name);
+      if (!decode_name_into(r, rdata_slot<Name>(out))) return false;
       break;
     }
     case RrType::kSoa: {
-      SoaData soa;
-      auto mname = decode_name(r);
-      auto rname = decode_name(r);
-      if (!mname || !rname) return std::nullopt;
-      soa.mname = std::move(*mname);
-      soa.rname = std::move(*rname);
+      SoaData& soa = rdata_slot<SoaData>(out);
+      if (!decode_name_into(r, soa.mname)) return false;
+      if (!decode_name_into(r, soa.rname)) return false;
       soa.serial = r.u32();
       soa.refresh = r.u32();
       soa.retry = r.u32();
       soa.expire = r.u32();
       soa.minimum = r.u32();
-      out = std::move(soa);
       break;
     }
     case RrType::kTxt: {
-      TxtData strings;
+      TxtData& strings = rdata_slot<TxtData>(out);
+      std::size_t used = 0;
       while (r.ok() && r.position() < end) {
         const std::uint8_t n = r.u8();
         const auto raw = r.bytes_view(n);
-        strings.emplace_back(raw.begin(), raw.end());
+        if (used < strings.size())
+          strings[used].assign(raw.begin(), raw.end());
+        else
+          strings.emplace_back(raw.begin(), raw.end());
+        ++used;
       }
-      out = std::move(strings);
+      strings.resize(used);
       break;
     }
     default: {
-      out = r.bytes(rdlength);
+      RawData& raw_out = rdata_slot<RawData>(out);
+      const auto raw = r.bytes_view(rdlength);
+      raw_out.assign(raw.begin(), raw.end());
       break;
     }
   }
-  if (!r.ok() || r.position() != end) return std::nullopt;
-  return out;
+  return r.ok() && r.position() == end;
 }
 
-std::optional<ResourceRecord> decode_rr(WireReader& r) {
-  ResourceRecord rr;
-  auto name = decode_name(r);
-  if (!name) return std::nullopt;
-  rr.name = std::move(*name);
+bool decode_rr_into(WireReader& r, ResourceRecord& rr) {
+  if (!decode_name_into(r, rr.name)) return false;
   rr.type = static_cast<RrType>(r.u16());
   rr.klass = static_cast<RrClass>(r.u16());
   rr.ttl = r.u32();
   const std::uint16_t rdlength = r.u16();
-  if (!r.ok() || r.remaining() < rdlength) return std::nullopt;
-  auto rdata = decode_rdata(r, rr.type, rdlength);
-  if (!rdata) return std::nullopt;
-  rr.rdata = std::move(*rdata);
-  return rr;
+  if (!r.ok() || r.remaining() < rdlength) return false;
+  return decode_rdata_into(r, rr.type, rdlength, rr.rdata);
 }
 
 }  // namespace
@@ -234,21 +236,27 @@ void NameCompressor::encode(WireWriter& writer, const Name& name) {
 }
 
 std::optional<Name> decode_name(WireReader& reader) {
-  std::vector<std::string> labels;
+  Name out;
+  if (!decode_name_into(reader, out)) return std::nullopt;
+  return out;
+}
+
+bool decode_name_into(WireReader& reader, Name& out) {
+  Name::Builder builder(out);
   std::size_t wire_len = 1;
   std::size_t jumps = 0;
   std::optional<std::size_t> resume;  // position to restore after pointers
   while (true) {
     const std::size_t at = reader.position();
     const std::uint8_t len = reader.u8();
-    if (!reader.ok()) return std::nullopt;
+    if (!reader.ok()) return false;
     if ((len & 0xC0) == 0xC0) {
       const std::uint8_t lo = reader.u8();
-      if (!reader.ok()) return std::nullopt;
+      if (!reader.ok()) return false;
       const std::size_t target = (static_cast<std::size_t>(len & 0x3F) << 8) | lo;
       if (target >= at || ++jumps > kMaxPointerJumps) {  // must point backwards
         reader.fail();
-        return std::nullopt;
+        return false;
       }
       if (!resume) resume = reader.position();
       reader.seek(target);
@@ -256,25 +264,27 @@ std::optional<Name> decode_name(WireReader& reader) {
     }
     if ((len & 0xC0) != 0) {  // reserved label types
       reader.fail();
-      return std::nullopt;
+      return false;
     }
     if (len == 0) break;
     wire_len += 1 + len;
     if (wire_len > kMaxNameWire) {
       reader.fail();
-      return std::nullopt;
+      return false;
     }
     const auto raw = reader.bytes_view(len);
-    if (!reader.ok()) return std::nullopt;
-    labels.emplace_back(raw.begin(), raw.end());
+    if (!reader.ok()) return false;
+    // Builder::append enforces the same label/wire limits as from_labels;
+    // both are already guaranteed by the checks above, so append succeeds.
+    if (!builder.append(std::string_view(
+            reinterpret_cast<const char*>(raw.data()), raw.size()))) {
+      reader.fail();
+      return false;
+    }
   }
   if (resume) reader.seek(*resume);
-  auto name = Name::from_labels(std::move(labels));
-  if (!name) {
-    reader.fail();
-    return std::nullopt;
-  }
-  return name;
+  builder.commit();
+  return true;
 }
 
 ResourceRecord ResourceRecord::a(Name name, util::Ipv4 addr, std::uint32_t ttl) {
@@ -349,6 +359,12 @@ void Message::encode_into(WireWriter& w, bool compress) const {
 }
 
 std::optional<Message> Message::decode(std::span<const std::uint8_t> wire) {
+  Message m;
+  if (!decode_into(wire, m)) return std::nullopt;
+  return m;
+}
+
+bool Message::decode_into(std::span<const std::uint8_t> wire, Message& out) {
   WireReader r(wire);
   const std::uint16_t id = r.u16();
   const std::uint16_t flags = r.u16();
@@ -356,36 +372,37 @@ std::optional<Message> Message::decode(std::span<const std::uint8_t> wire) {
   const std::uint16_t an = r.u16();
   const std::uint16_t ns = r.u16();
   const std::uint16_t ar = r.u16();
-  if (!r.ok()) return std::nullopt;
+  if (!r.ok()) return false;
 
-  Message m;
-  m.header = header_from(id, flags);
-  m.questions.reserve(qd);
+  out.header = header_from(id, flags);
+  std::size_t used_q = 0;
   for (std::uint16_t i = 0; i < qd; ++i) {
-    Question q;
-    auto name = decode_name(r);
-    if (!name) return std::nullopt;
-    q.name = std::move(*name);
+    Question& q = used_q < out.questions.size()
+                      ? out.questions[used_q]
+                      : out.questions.emplace_back();
+    ++used_q;
+    if (!decode_name_into(r, q.name)) return false;
     q.type = static_cast<RrType>(r.u16());
     q.klass = static_cast<RrClass>(r.u16());
-    if (!r.ok()) return std::nullopt;
-    m.questions.push_back(std::move(q));
+    if (!r.ok()) return false;
   }
+  out.questions.resize(used_q);
   const auto decode_section = [&](std::vector<ResourceRecord>& section,
                                   std::uint16_t count) {
-    section.reserve(count);
+    std::size_t used = 0;
     for (std::uint16_t i = 0; i < count; ++i) {
-      auto rr = decode_rr(r);
-      if (!rr) return false;
-      section.push_back(std::move(*rr));
+      ResourceRecord& rr =
+          used < section.size() ? section[used] : section.emplace_back();
+      ++used;
+      if (!decode_rr_into(r, rr)) return false;
     }
+    section.resize(used);
     return true;
   };
-  if (!decode_section(m.answers, an)) return std::nullopt;
-  if (!decode_section(m.authorities, ns)) return std::nullopt;
-  if (!decode_section(m.additionals, ar)) return std::nullopt;
-  if (r.remaining() != 0) return std::nullopt;  // trailing junk
-  return m;
+  if (!decode_section(out.answers, an)) return false;
+  if (!decode_section(out.authorities, ns)) return false;
+  if (!decode_section(out.additionals, ar)) return false;
+  return r.remaining() == 0;  // reject trailing junk
 }
 
 std::optional<util::Ipv4> Message::first_a() const {

@@ -109,6 +109,15 @@ struct Message {
   /// (truncation, bad pointers, over-long names, rdata length mismatch).
   [[nodiscard]] static std::optional<Message> decode(std::span<const std::uint8_t> wire);
 
+  /// Slot-reusing twin of `decode` (DESIGN.md §12): decodes into `out`,
+  /// reusing its section vectors, name labels and rdata storage, so a warmed
+  /// scratch Message decodes with zero steady-state allocations. Accepts and
+  /// rejects exactly the same inputs as `decode` (it is the implementation
+  /// behind it); returns false on malformed input, leaving `out`
+  /// unspecified-but-valid for reuse.
+  [[nodiscard]] static bool decode_into(std::span<const std::uint8_t> wire,
+                                        Message& out);
+
   /// First A answer, if any (follows no CNAME chain; resolvers order answers
   /// so the relevant A records are present directly).
   [[nodiscard]] std::optional<util::Ipv4> first_a() const;
@@ -162,5 +171,9 @@ class NameCompressor {
 /// Enforces: pointers strictly backwards, bounded jump count, name length
 /// limits. On failure the reader's error flag is latched.
 [[nodiscard]] std::optional<Name> decode_name(WireReader& reader);
+
+/// Slot-reusing twin of `decode_name`, writing into `out` via Name::Builder
+/// (label storage reused). Same validation and reader error latching.
+[[nodiscard]] bool decode_name_into(WireReader& reader, Name& out);
 
 }  // namespace encdns::dns

@@ -114,12 +114,43 @@ bool Name::equals(const Name& other) const noexcept {
 
 std::string Name::canonical() const {
   std::string out;
+  canonical_into(out);
+  return out;
+}
+
+void Name::canonical_into(std::string& out) const {
+  out.clear();
   for (const auto& label : labels_) {
     for (char c : label) out.push_back(lower(c));
     out.push_back('.');
   }
   if (out.empty()) out.push_back('.');
-  return out;
 }
+
+bool Name::assign_prefixed(std::string_view label, const Name& base) {
+  for (char c : label)
+    if (!valid_label_char(c)) return false;
+  Builder builder(*this);
+  if (!builder.append(label)) return false;
+  for (const auto& existing : base.labels_)
+    if (!builder.append(existing)) return false;
+  builder.commit();
+  return true;
+}
+
+bool Name::Builder::append(std::string_view label) {
+  if (label.empty() || label.size() > kMaxLabel) return false;
+  wire_ += 1 + label.size();
+  if (wire_ > kMaxWire) return false;
+  auto& labels = name_->labels_;
+  if (used_ < labels.size())
+    labels[used_].assign(label);
+  else
+    labels.emplace_back(label);
+  ++used_;
+  return true;
+}
+
+void Name::Builder::commit() noexcept { name_->labels_.resize(used_); }
 
 }  // namespace encdns::dns

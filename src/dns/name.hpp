@@ -63,7 +63,39 @@ class Name {
   /// Canonical (lowercased) form for map keys.
   [[nodiscard]] std::string canonical() const;
 
+  /// `canonical()` appended to `out` in place (byte-identical), reusing the
+  /// caller's string capacity. Hot paths build cache keys through this.
+  void canonical_into(std::string& out) const;
+
+  /// Rebuild this name as `label`.`base` in place, reusing label storage —
+  /// the slot-reuse twin of `base.prefixed_with(label)`, with identical
+  /// validation (charset on the new label, length limits on the whole).
+  /// Returns false (leaving the name unspecified but destructible) if the
+  /// result would be invalid. `base` may not alias `*this`.
+  [[nodiscard]] bool assign_prefixed(std::string_view label, const Name& base);
+
+  /// Slot-reusing rebuild for the wire decoder (DESIGN.md §11): borrows the
+  /// Name's label storage, overwrites it label by label (string capacity is
+  /// reused), and truncates on commit. Length limits are enforced exactly as
+  /// in `from_labels`; charset is not checked (wire names may carry any
+  /// octets). Without a commit the Name is left unspecified-but-valid, which
+  /// is fine for decode scratch that is only read after a successful decode.
+  class Builder {
+   public:
+    explicit Builder(Name& name) noexcept : name_(&name) {}
+    /// Append one label; false if label or total wire limits are exceeded.
+    [[nodiscard]] bool append(std::string_view label);
+    /// Truncate the Name to the appended labels.
+    void commit() noexcept;
+
+   private:
+    Name* name_;
+    std::size_t used_ = 0;
+    std::size_t wire_ = 1;  // trailing root byte
+  };
+
  private:
+  friend class Builder;
   std::vector<std::string> labels_;
 };
 

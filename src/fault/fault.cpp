@@ -198,13 +198,19 @@ ChannelCounters FaultInjector::counters() const noexcept {
 
 std::vector<std::uint8_t> make_servfail_reply(
     std::span<const std::uint8_t> request, bool framed) {
-  std::vector<std::uint8_t> reply(request.begin(), request.end());
-  const std::size_t offset = framed ? 2 : 0;
-  if (reply.size() < offset + 4) return reply;
-  reply[offset + 2] |= 0x80;                             // QR = response
-  reply[offset + 3] = static_cast<std::uint8_t>(
-      (reply[offset + 3] & 0xF0) | 0x02 | 0x80);         // RA set, RCODE = 2
+  std::vector<std::uint8_t> reply;
+  make_servfail_reply_into(request, framed, reply);
   return reply;
+}
+
+void make_servfail_reply_into(std::span<const std::uint8_t> request, bool framed,
+                              std::vector<std::uint8_t>& out) {
+  out.assign(request.begin(), request.end());
+  const std::size_t offset = framed ? 2 : 0;
+  if (out.size() < offset + 4) return;
+  out[offset + 2] |= 0x80;                             // QR = response
+  out[offset + 3] = static_cast<std::uint8_t>(
+      (out[offset + 3] & 0xF0) | 0x02 | 0x80);         // RA set, RCODE = 2
 }
 
 void garble(std::vector<std::uint8_t>& payload) {

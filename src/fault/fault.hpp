@@ -161,6 +161,12 @@ class FaultInjector {
 [[nodiscard]] std::vector<std::uint8_t> make_servfail_reply(
     std::span<const std::uint8_t> request, bool framed);
 
+/// Slot-reusing twin of `make_servfail_reply`: writes the patched response
+/// into `out` (cleared first, capacity preserved). `request` must not alias
+/// `out`'s storage.
+void make_servfail_reply_into(std::span<const std::uint8_t> request, bool framed,
+                              std::vector<std::uint8_t>& out);
+
 /// Corrupt a response in flight: truncate to half and flip bits, so framed
 /// decodes fail and clients surface kProtocolError.
 void garble(std::vector<std::uint8_t>& payload);

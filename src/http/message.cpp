@@ -200,4 +200,174 @@ Response Response::make(int status, std::string_view reason,
   return resp;
 }
 
+// --- borrowed view parsers (DESIGN.md §12) ----------------------------------
+// These mirror Request::parse / Response::parse decision for decision: head
+// split at the first CRLFCRLF, lines split on '\n' with one trailing '\r'
+// stripped, an exactly-three-part start line, headers trimmed around the
+// first ':'. Any divergence in accept/reject behaviour would skew golden
+// parity, so the structure deliberately follows the allocating parsers.
+
+namespace {
+
+std::string_view strip_cr(std::string_view line) noexcept {
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  return line;
+}
+
+/// Parse the header block starting at byte `pos` of `head` (just past the
+/// start line's '\n'; npos when the start line was the only line). Rejects
+/// on a missing ':' or an empty name, exactly as parse_headers().
+bool parse_header_views(
+    std::string_view head, std::size_t pos,
+    std::vector<std::pair<std::string_view, std::string_view>>& out) {
+  out.clear();
+  if (pos == std::string_view::npos) return true;
+  while (true) {
+    const auto nl = head.find('\n', pos);
+    const std::string_view line = strip_cr(
+        nl == std::string_view::npos ? head.substr(pos) : head.substr(pos, nl - pos));
+    const auto colon = line.find(':');
+    if (colon == std::string_view::npos) return false;
+    const std::string_view name = util::trim(line.substr(0, colon));
+    const std::string_view value = util::trim(line.substr(colon + 1));
+    if (name.empty()) return false;
+    out.emplace_back(name, value);
+    if (nl == std::string_view::npos) return true;
+    pos = nl + 1;
+  }
+}
+
+std::optional<std::string_view> find_header(
+    const std::vector<std::pair<std::string_view, std::string_view>>& headers,
+    std::string_view name) noexcept {
+  for (const auto& [n, v] : headers)
+    if (util::iequals(n, name)) return v;
+  return std::nullopt;
+}
+
+bool view_body_length_matches(
+    const std::vector<std::pair<std::string_view, std::string_view>>& headers,
+    std::size_t body_size) noexcept {
+  const auto len = find_header(headers, "Content-Length");
+  if (!len) return body_size == 0;
+  std::size_t declared = 0;
+  const auto [next, ec] =
+      std::from_chars(len->data(), len->data() + len->size(), declared);
+  return ec == std::errc{} && next == len->data() + len->size() &&
+         declared == body_size;
+}
+
+}  // namespace
+
+bool RequestView::parse_from(std::span<const std::uint8_t> wire) {
+  const std::string_view view(reinterpret_cast<const char*>(wire.data()),
+                              wire.size());
+  const auto sep = view.find("\r\n\r\n");
+  if (sep == std::string_view::npos) return false;
+  const std::string_view head = view.substr(0, sep);
+  body_ = wire.subspan(sep + 4);
+
+  const auto first_nl = head.find('\n');
+  const std::string_view start =
+      strip_cr(first_nl == std::string_view::npos ? head : head.substr(0, first_nl));
+  // Exactly three single-space-separated parts (util::split semantics:
+  // consecutive spaces produce empty parts, which bump the count and reject).
+  std::string_view parts[3];
+  std::size_t count = 0;
+  std::size_t from = 0;
+  for (std::size_t i = 0; i <= start.size(); ++i) {
+    if (i == start.size() || start[i] == ' ') {
+      if (count < 3) parts[count] = start.substr(from, i - from);
+      ++count;
+      from = i + 1;
+    }
+  }
+  if (count != 3 || parts[2] != "HTTP/1.1") return false;
+  if (parts[0] == "GET") method_ = Method::kGet;
+  else if (parts[0] == "POST") method_ = Method::kPost;
+  else return false;
+  target_ = parts[1];
+  if (!parse_header_views(head,
+                          first_nl == std::string_view::npos ? std::string_view::npos
+                                                             : first_nl + 1,
+                          headers_))
+    return false;
+  return view_body_length_matches(headers_, body_.size());
+}
+
+std::string_view RequestView::path() const noexcept {
+  const auto q = target_.find('?');
+  return q == std::string_view::npos ? target_ : target_.substr(0, q);
+}
+
+std::string_view RequestView::query() const noexcept {
+  const auto q = target_.find('?');
+  return q == std::string_view::npos ? std::string_view{} : target_.substr(q + 1);
+}
+
+std::optional<std::string_view> RequestView::header(
+    std::string_view name) const noexcept {
+  return find_header(headers_, name);
+}
+
+bool ResponseView::parse_from(std::span<const std::uint8_t> wire) {
+  const std::string_view view(reinterpret_cast<const char*>(wire.data()),
+                              wire.size());
+  const auto sep = view.find("\r\n\r\n");
+  if (sep == std::string_view::npos) return false;
+  const std::string_view head = view.substr(0, sep);
+  body_ = wire.subspan(sep + 4);
+
+  const auto first_nl = head.find('\n');
+  const std::string_view start =
+      strip_cr(first_nl == std::string_view::npos ? head : head.substr(0, first_nl));
+  if (!start.starts_with("HTTP/1.1 ")) return false;
+  const std::string_view after = start.substr(9);
+  const auto space = after.find(' ');
+  const std::string_view code =
+      space == std::string_view::npos ? after : after.substr(0, space);
+  const auto [next, ec] =
+      std::from_chars(code.data(), code.data() + code.size(), status_);
+  if (ec != std::errc{} || next != code.data() + code.size()) return false;
+  reason_ = space == std::string_view::npos ? std::string_view{}
+                                            : after.substr(space + 1);
+  if (!parse_header_views(head,
+                          first_nl == std::string_view::npos ? std::string_view::npos
+                                                             : first_nl + 1,
+                          headers_))
+    return false;
+  return view_body_length_matches(headers_, body_.size());
+}
+
+std::optional<std::string_view> ResponseView::header(
+    std::string_view name) const noexcept {
+  return find_header(headers_, name);
+}
+
+void serialize_simple_response_into(int status, std::string_view reason,
+                                    std::string_view content_type,
+                                    std::span<const std::uint8_t> body,
+                                    std::vector<std::uint8_t>& out) {
+  char digits[24];
+  append_text(out, "HTTP/1.1 ");
+  const auto status_end =
+      std::to_chars(digits, digits + sizeof digits, status).ptr;
+  out.insert(out.end(), digits, status_end);
+  append_text(out, " ");
+  append_text(out, reason);
+  append_text(out, kCrlf);
+  if (!content_type.empty()) {
+    append_text(out, "Content-Type: ");
+    append_text(out, content_type);
+    append_text(out, kCrlf);
+  }
+  append_text(out, "Content-Length: ");
+  const auto len_end =
+      std::to_chars(digits, digits + sizeof digits, body.size()).ptr;
+  out.insert(out.end(), digits, len_end);
+  append_text(out, kCrlf);
+  append_text(out, kCrlf);
+  out.insert(out.end(), body.begin(), body.end());
+}
+
 }  // namespace encdns::http

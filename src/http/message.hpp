@@ -70,6 +70,60 @@ struct Response {
                                      std::vector<std::uint8_t> body);
 };
 
+/// Borrowed, reusable request parser (DESIGN.md §12). `parse_from` scans the
+/// wire bytes in place: target, header names/values and the body are views
+/// into the wire buffer, valid only while that buffer lives and until the
+/// next `parse_from`. Accepts and rejects exactly the inputs
+/// `Request::parse` does; the header table warms up across calls, so the
+/// steady state parses with zero allocations.
+class RequestView {
+ public:
+  [[nodiscard]] bool parse_from(std::span<const std::uint8_t> wire);
+
+  [[nodiscard]] Method method() const noexcept { return method_; }
+  [[nodiscard]] std::string_view target() const noexcept { return target_; }
+  [[nodiscard]] std::string_view path() const noexcept;
+  [[nodiscard]] std::string_view query() const noexcept;
+  /// First header with this name (case-insensitive), as `Headers::get`.
+  [[nodiscard]] std::optional<std::string_view> header(
+      std::string_view name) const noexcept;
+  [[nodiscard]] std::span<const std::uint8_t> body() const noexcept { return body_; }
+
+ private:
+  Method method_ = Method::kGet;
+  std::string_view target_;
+  std::vector<std::pair<std::string_view, std::string_view>> headers_;
+  std::span<const std::uint8_t> body_;
+};
+
+/// Borrowed, reusable response parser; the `RequestView` counterpart of
+/// `Response::parse`, with the same accept/reject behaviour.
+class ResponseView {
+ public:
+  [[nodiscard]] bool parse_from(std::span<const std::uint8_t> wire);
+
+  [[nodiscard]] int status() const noexcept { return status_; }
+  [[nodiscard]] std::string_view reason() const noexcept { return reason_; }
+  [[nodiscard]] std::optional<std::string_view> header(
+      std::string_view name) const noexcept;
+  [[nodiscard]] std::span<const std::uint8_t> body() const noexcept { return body_; }
+
+ private:
+  int status_ = 0;
+  std::string_view reason_;
+  std::vector<std::pair<std::string_view, std::string_view>> headers_;
+  std::span<const std::uint8_t> body_;
+};
+
+/// Append the exact bytes of `Response::make(status, reason, content_type,
+/// body).serialize()` to `out` — the slot-reusing twin of that pair for hot
+/// server paths (the body is borrowed, nothing is cleared, no Response is
+/// materialized).
+void serialize_simple_response_into(int status, std::string_view reason,
+                                    std::string_view content_type,
+                                    std::span<const std::uint8_t> body,
+                                    std::vector<std::uint8_t>& out);
+
 /// Media type for DNS messages in DoH (RFC 8484 §6).
 inline constexpr const char* kDnsMessageType = "application/dns-message";
 

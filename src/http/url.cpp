@@ -149,4 +149,40 @@ std::optional<std::string> query_param(std::string_view query, std::string_view 
   return std::nullopt;
 }
 
+bool query_param_into(std::string_view query, std::string_view key,
+                      std::string& out) {
+  out.clear();
+  // Iterate '&'-separated pairs exactly as util::split does (empty fields
+  // preserved, one trailing segment) without materializing the vector.
+  std::size_t pos = 0;
+  while (true) {
+    const auto amp = query.find('&', pos);
+    const std::string_view pair =
+        amp == std::string_view::npos ? query.substr(pos) : query.substr(pos, amp - pos);
+    const auto eq = pair.find('=');
+    const std::string_view name = eq == std::string_view::npos ? pair : pair.substr(0, eq);
+    if (name == key) {
+      if (eq == std::string_view::npos) return true;  // present, empty value
+      const std::string_view value = pair.substr(eq + 1);
+      for (std::size_t i = 0; i < value.size(); ++i) {
+        if (value[i] == '%') {
+          if (i + 2 >= value.size()) return false;
+          const auto hi = hex_value(value[i + 1]);
+          const auto lo = hex_value(value[i + 2]);
+          if (!hi || !lo) return false;
+          out.push_back(static_cast<char>((*hi << 4) | *lo));
+          i += 2;
+        } else if (value[i] == '+') {
+          out.push_back(' ');
+        } else {
+          out.push_back(value[i]);
+        }
+      }
+      return true;
+    }
+    if (amp == std::string_view::npos) return false;
+    pos = amp + 1;
+  }
+}
+
 }  // namespace encdns::http

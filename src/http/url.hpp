@@ -64,4 +64,11 @@ class UriTemplate {
 [[nodiscard]] std::optional<std::string> query_param(std::string_view query,
                                                      std::string_view key);
 
+/// Slot-reusing twin of `query_param` (DESIGN.md §12): the decoded value
+/// lands in `out` (cleared first, capacity preserved). Returns false — with
+/// `out` unspecified-but-valid for reuse — exactly when `query_param`
+/// returns nullopt (key absent or percent-decoding failed).
+[[nodiscard]] bool query_param_into(std::string_view query, std::string_view key,
+                                    std::string& out);
+
 }  // namespace encdns::http

@@ -1,0 +1,38 @@
+// Thread-resident stub clients for the measurement phases (DESIGN.md §12):
+// constructed once per worker thread and rebound per measurement client, so
+// the per-client cost is a reseed plus pool clears instead of three client
+// constructions. All warmed scratch (query messages, reply buffers, decoded
+// responses) carries over between the clients a thread simulates.
+#pragma once
+
+#include <cstdint>
+
+#include "client/do53.hpp"
+#include "client/doh.hpp"
+#include "client/dot.hpp"
+#include "net/network.hpp"
+
+namespace encdns::measure {
+
+struct ClientSet {
+  ClientSet(const net::Network& network, const net::ClientContext& context,
+            std::uint64_t do53_seed, std::uint64_t dot_seed,
+            std::uint64_t doh_seed)
+      : do53(network, context, do53_seed),
+        dot(network, context, dot_seed),
+        doh(network, context, doh_seed) {}
+
+  void rebind(const net::Network& network, const net::ClientContext& context,
+              std::uint64_t do53_seed, std::uint64_t dot_seed,
+              std::uint64_t doh_seed) {
+    do53.rebind(network, context, do53_seed);
+    dot.rebind(network, context, dot_seed);
+    doh.rebind(network, context, doh_seed);
+  }
+
+  client::Do53Client do53;
+  client::DotClient dot;
+  client::DohClient doh;
+};
+
+}  // namespace encdns::measure

@@ -1,9 +1,11 @@
 #include "measure/performance.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "exec/executor.hpp"
 #include "http/url.hpp"
+#include "measure/client_set.hpp"
 #include "obs/span.hpp"
 #include "util/stats.hpp"
 
@@ -39,6 +41,7 @@ std::vector<CountryLatency> PerformanceResults::by_country(
   for (const auto& c : clients) grouped[c.country].push_back(&c);
 
   std::vector<CountryLatency> rows;
+  rows.reserve(grouped.size());
   for (const auto& [country, list] : grouped) {
     if (list.size() < min_clients) continue;
     CountryLatency row;
@@ -110,14 +113,15 @@ PerformanceResults PerformanceTest::run() {
           return fault::should_retry(o.status) ||
                  (o.status == client::QueryStatus::kOk && !o.answered());
         };
-        const auto with_retries = [&](auto&& issue) {
-          client::QueryOutcome outcome = issue();
+        const auto with_retries = [&](auto&& issue,
+                                      client::QueryOutcome& outcome) {
+          issue(outcome);
           int transient = 0;
           while (transient_failure(outcome) &&
                  transient + 1 < policy.max_attempts) {
             (void)fault::backoff_delay(policy, transient, rng);
             ++transient;
-            outcome = issue();
+            issue(outcome);
           }
           if (transient > 0) {
             partial.client_faults.injected +=
@@ -128,20 +132,36 @@ PerformanceResults PerformanceTest::run() {
               ++partial.client_faults.surfaced;
             }
           }
-          return outcome;
         };
 
         enum class Round { kOk, kChurn, kFailed };
-        std::vector<double> dns_times, dot_times, doh_times;
+        // Thread-resident scratch (DESIGN.md §12): the latency samples, the
+        // three in-flight outcomes, the probe-name and the stub clients are
+        // all reused across every measurement client this worker simulates.
+        static thread_local std::vector<double> dns_times, dot_times, doh_times;
+        static thread_local client::QueryOutcome r1, r2, r3;
+        static thread_local dns::Name qname;
+        static thread_local std::optional<ClientSet> clients;
+        dns_times.reserve(static_cast<std::size_t>(config_.queries_per_protocol));
+        dot_times.reserve(static_cast<std::size_t>(config_.queries_per_protocol));
+        doh_times.reserve(static_cast<std::size_t>(config_.queries_per_protocol));
         const auto run_round = [&]() -> Round {
           dns_times.clear();
           dot_times.clear();
           doh_times.clear();
           const auto& vantage = current.vantage();
-          client::Do53Client do53(world_->network(), vantage.context,
-                                  rng.next());
-          client::DotClient dot(world_->network(), vantage.context, rng.next());
-          client::DohClient doh(world_->network(), vantage.context, rng.next());
+          // Seeds drawn in the declaration order the per-round client
+          // definitions used, keeping the rng stream bit-identical.
+          const std::uint64_t do53_seed = rng.next();
+          const std::uint64_t dot_seed = rng.next();
+          const std::uint64_t doh_seed = rng.next();
+          if (!clients) {
+            clients.emplace(world_->network(), vantage.context, do53_seed,
+                            dot_seed, doh_seed);
+          } else {
+            clients->rebind(world_->network(), vantage.context, do53_seed,
+                            dot_seed, doh_seed);
+          }
           for (int q = 0; q < config_.queries_per_protocol; ++q) {
             // Exit node dropped unexpectedly (platform churn, or an injected
             // exit-node death under a fault profile).
@@ -149,27 +169,36 @@ PerformanceResults PerformanceTest::run() {
             if (world_->fault_injector().exit_node_dies(current.id(), rng))
               return Round::kChurn;
 
-            auto r1 = with_retries([&] {
-              client::Do53Client::Options do53_options;
-              do53_options.reuse_connection = true;
-              return do53.query_tcp(target_.do53_address,
-                                    world_->unique_probe_name(rng),
-                                    dns::RrType::kA, config_.date, do53_options);
-            });
-            auto r2 = with_retries([&] {
-              client::DotClient::Options dot_options;
-              dot_options.profile = client::PrivacyProfile::kOpportunistic;
-              return dot.query(*target_.dot_address,
-                               world_->unique_probe_name(rng), dns::RrType::kA,
-                               config_.date, dot_options);
-            });
-            auto r3 = with_retries([&] {
-              client::DohClient::Options doh_options;
-              doh_options.bootstrap_resolver =
-                  world_->bootstrap_resolver(vantage.country);
-              return doh.query(*tmpl, world_->unique_probe_name(rng),
-                               dns::RrType::kA, config_.date, doh_options);
-            });
+            with_retries(
+                [&](client::QueryOutcome& out) {
+                  client::Do53Client::Options do53_options;
+                  do53_options.reuse_connection = true;
+                  world_->unique_probe_name_into(rng, qname);
+                  clients->do53.query_tcp_into(target_.do53_address, qname,
+                                               dns::RrType::kA, config_.date,
+                                               do53_options, out);
+                },
+                r1);
+            with_retries(
+                [&](client::QueryOutcome& out) {
+                  client::DotClient::Options dot_options;
+                  dot_options.profile = client::PrivacyProfile::kOpportunistic;
+                  world_->unique_probe_name_into(rng, qname);
+                  clients->dot.query_into(*target_.dot_address, qname,
+                                          dns::RrType::kA, config_.date,
+                                          dot_options, out);
+                },
+                r2);
+            with_retries(
+                [&](client::QueryOutcome& out) {
+                  client::DohClient::Options doh_options;
+                  doh_options.bootstrap_resolver =
+                      world_->bootstrap_resolver(vantage.country);
+                  world_->unique_probe_name_into(rng, qname);
+                  clients->doh.query_into(*tmpl, qname, dns::RrType::kA,
+                                          config_.date, doh_options, out);
+                },
+                r3);
             if (!r1.answered() || !r2.answered() || !r3.answered())
               return Round::kFailed;
             // T_R as observed at the measurement client: tunnel RTT + the DNS
@@ -215,6 +244,11 @@ PerformanceResults PerformanceTest::run() {
       registry.histogram("measure.perf.dot_ms", obs::latency_buckets_ms());
   static obs::Histogram& doh_ms =
       registry.histogram("measure.perf.doh_ms", obs::latency_buckets_ms());
+  // Reserve once: the surviving-client count is known before assembly.
+  std::size_t surviving = 0;
+  for (const auto& partial : partials)
+    surviving += partial.latency.has_value() ? 1 : 0;
+  results.clients.reserve(surviving);
   for (const auto& partial : partials) {  // canonical client-order merge
     if (partial.latency) {
       results.clients.push_back(*partial.latency);

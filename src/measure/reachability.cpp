@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <memory>
-#include <tuple>
+#include <optional>
 
 #include "exec/executor.hpp"
 #include "http/url.hpp"
+#include "measure/client_set.hpp"
 #include "obs/span.hpp"
 
 namespace encdns::measure {
@@ -42,6 +43,19 @@ ReachabilityTest::ReachabilityTest(const world::World& world,
                                  ? http::UriTemplate::parse(*target.doh_template)
                                  : std::nullopt);
   }
+  // Enumerate the valid (target, protocol) combinations once; sessions tally
+  // into flat vectors indexed by combination.
+  cell_index_.assign(targets_.size() * 3, -1);
+  for (std::size_t t = 0; t < targets_.size(); ++t) {
+    for (const Protocol protocol :
+         {Protocol::kDo53, Protocol::kDoT, Protocol::kDoH}) {
+      if (protocol == Protocol::kDoT && !targets_[t].dot_address) continue;
+      if (protocol == Protocol::kDoH && !targets_[t].doh_template) continue;
+      cell_index_[t * 3 + static_cast<std::size_t>(protocol)] =
+          static_cast<int>(cell_keys_.size());
+      cell_keys_.emplace_back(targets_[t].name, protocol);
+    }
+  }
 }
 
 Outcome ReachabilityTest::classify(const client::QueryOutcome& outcome) const {
@@ -54,28 +68,31 @@ Outcome ReachabilityTest::classify(const client::QueryOutcome& outcome) const {
   return Outcome::kCorrect;
 }
 
-ReachabilityTest::ClientOutcome ReachabilityTest::query_with_retries(
+void ReachabilityTest::query_with_retries(
     const proxy::ProxySession& session, client::Do53Client& do53,
     client::DotClient& dot, client::DohClient& doh, std::size_t target_index,
-    Protocol protocol, util::Rng& rng) {
+    Protocol protocol, util::Rng& rng, ClientOutcome& out) {
   const ResolverTarget& target = targets_[target_index];
-  ClientOutcome result;
+  out.outcome = Outcome::kFailed;
+  out.attempts = 0;
+  out.transient_failures = 0;
   fault::RetryPolicy policy = config_.retry;
   policy.max_attempts = config_.max_attempts;
   policy.per_attempt = config_.timeout;
   policy.total_budget =
       sim::Millis{config_.timeout.value * config_.max_attempts};
   sim::Millis spent{0.0};
+  // Probe-name scratch: rebuilt in place for every attempt on this thread.
+  static thread_local dns::Name qname;
   for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
-    const dns::Name qname = world_->unique_probe_name(rng);
-    client::QueryOutcome outcome;
+    world_->unique_probe_name_into(rng, qname);
     switch (protocol) {
       case Protocol::kDo53: {
         // The platforms forward TCP only, so clear-text DNS runs over TCP.
         client::Do53Client::Options options;
         options.timeout = config_.timeout;
-        outcome = do53.query_tcp(target.do53_address, qname, dns::RrType::kA,
-                                 config_.date, options);
+        do53.query_tcp_into(target.do53_address, qname, dns::RrType::kA,
+                            config_.date, options, out.last);
         break;
       }
       case Protocol::kDoT: {
@@ -83,8 +100,8 @@ ReachabilityTest::ClientOutcome ReachabilityTest::query_with_retries(
         options.profile = client::PrivacyProfile::kOpportunistic;
         options.auth_name.clear();  // opportunistic: no name validation
         options.timeout = config_.timeout;
-        outcome = dot.query(*target.dot_address, qname, dns::RrType::kA,
-                            config_.date, options);
+        dot.query_into(*target.dot_address, qname, dns::RrType::kA,
+                       config_.date, options, out.last);
         break;
       }
       case Protocol::kDoH: {
@@ -92,45 +109,52 @@ ReachabilityTest::ClientOutcome ReachabilityTest::query_with_retries(
         options.timeout = config_.timeout;
         options.bootstrap_resolver =
             world_->bootstrap_resolver(session.vantage().country);
-        outcome = doh.query(*doh_templates_[target_index], qname,
-                            dns::RrType::kA, config_.date, options);
+        doh.query_into(*doh_templates_[target_index], qname, dns::RrType::kA,
+                       config_.date, options, out.last);
         break;
       }
     }
-    result.attempts = attempt + 1;
-    result.last = std::move(outcome);
-    result.outcome = classify(result.last);
-    if (result.outcome != Outcome::kFailed) return result;  // retry failures only
+    out.attempts = attempt + 1;
+    out.outcome = classify(out.last);
+    if (out.outcome != Outcome::kFailed) return;  // retry failures only
     // Persistent failures (refused connect, no TLS, rejected certificate)
     // cannot change on a later attempt: stop early instead of burning the
     // remaining budget. Classification is per lookup, so Table 4 tallies
     // are unchanged — only wasted attempts disappear.
-    if (!fault::is_transient(result.last.status)) return result;
-    ++result.transient_failures;
-    spent += result.last.latency;
+    if (!fault::is_transient(out.last.status)) return;
+    ++out.transient_failures;
+    spent += out.last.latency;
     if (attempt + 1 < policy.max_attempts) {
       spent += fault::backoff_delay(policy, attempt, rng);
-      if (spent.value > policy.total_budget.value) return result;
+      if (spent.value > policy.total_budget.value) return;
     }
   }
-  return result;
 }
 
 ReachabilityTest::SessionPartial ReachabilityTest::run_session(
     proxy::ProxySession session, util::Rng& rng) {
   SessionPartial partial;
+  partial.cell_counts.assign(cell_keys_.size(), OutcomeCounts{});
 
-  auto make_clients = [&] {
+  // The historical per-session code constructed the three clients inside one
+  // std::tuple, whose argument evaluation order (right-to-left on this
+  // toolchain) drew the DoH seed first. Draw in that same order so the
+  // recruited rng streams — and the golden corpus — stay bit-identical.
+  static thread_local std::optional<ClientSet> clients;
+  auto rebind_clients = [&] {
     const auto& context = session.vantage().context;
-    return std::tuple(
-        std::make_unique<client::Do53Client>(world_->network(), context,
-                                             rng.next()),
-        std::make_unique<client::DotClient>(world_->network(), context,
-                                            rng.next()),
-        std::make_unique<client::DohClient>(world_->network(), context,
-                                            rng.next()));
+    const std::uint64_t doh_seed = rng.next();
+    const std::uint64_t dot_seed = rng.next();
+    const std::uint64_t do53_seed = rng.next();
+    if (!clients) {
+      clients.emplace(world_->network(), context, do53_seed, dot_seed,
+                      doh_seed);
+    } else {
+      clients->rebind(world_->network(), context, do53_seed, dot_seed,
+                      doh_seed);
+    }
   };
-  auto [do53, dot, doh] = make_clients();
+  rebind_clients();
 
   bool cloudflare_dot_failed = false;
   InterceptionRecord interception;
@@ -138,16 +162,23 @@ ReachabilityTest::SessionPartial ReachabilityTest::run_session(
   int failovers_left = config_.max_failovers;
   bool session_dead = false;
 
+  // Per-thread lookup scratch: the decoded response and certificate chain
+  // storage inside `outcome.last` is reused across every lookup this worker
+  // performs (DESIGN.md §12).
+  static thread_local ClientOutcome outcome;
   for (std::size_t t = 0; t < targets_.size(); ++t) {
     const auto& target = targets_[t];
     for (const Protocol protocol :
          {Protocol::kDo53, Protocol::kDoT, Protocol::kDoH}) {
       if (protocol == Protocol::kDoT && !target.dot_address) continue;
       if (protocol == Protocol::kDoH && !target.doh_template) continue;
+      auto& cell =
+          partial.cell_counts[static_cast<std::size_t>(
+              cell_index_[t * 3 + static_cast<std::size_t>(protocol)])];
       if (rng.chance(world_->config().flaky_client_rate)) {
         // Persistently flaky vantage (NAT/firewall quirk, dying node):
         // every attempt fails — the sub-percent floor of Table 4.
-        ++partial.cells[{target.name, protocol}].failed;
+        ++cell.failed;
         if (target.name == "Cloudflare" && protocol == Protocol::kDoT)
           cloudflare_dot_failed = true;
         continue;
@@ -160,7 +191,7 @@ ReachabilityTest::SessionPartial ReachabilityTest::run_session(
         if (failovers_left > 0) {
           --failovers_left;
           session = platform_->failover(session, rng);
-          std::tie(do53, dot, doh) = make_clients();
+          rebind_clients();
           ++partial.proxy_faults.recovered;
         } else {
           ++partial.proxy_faults.surfaced;
@@ -168,13 +199,13 @@ ReachabilityTest::SessionPartial ReachabilityTest::run_session(
         }
       }
       if (session_dead) {
-        ++partial.cells[{target.name, protocol}].failed;
+        ++cell.failed;
         if (target.name == "Cloudflare" && protocol == Protocol::kDoT)
           cloudflare_dot_failed = true;
         continue;
       }
-      const auto outcome =
-          query_with_retries(session, *do53, *dot, *doh, t, protocol, rng);
+      query_with_retries(session, clients->do53, clients->dot, clients->doh, t,
+                         protocol, rng, outcome);
       ++partial.queries;
       partial.sim_elapsed += outcome.last.latency;
       // Histogram adds are commutative integers, so recording straight from
@@ -191,7 +222,6 @@ ReachabilityTest::SessionPartial ReachabilityTest::run_session(
           ++partial.client_faults.recovered;
         }
       }
-      auto& cell = partial.cells[{target.name, protocol}];
       switch (outcome.outcome) {
         case Outcome::kCorrect: ++cell.correct; break;
         case Outcome::kIncorrect: ++cell.incorrect; break;
@@ -287,10 +317,22 @@ ReachabilityResults ReachabilityTest::run() {
     partials[i] = run_session(sessions[i], rng);
   });
 
+  // Reserve the report vectors once: the engaged-partial counts are known
+  // before any push_back, so assembly never regrows mid-merge.
+  std::size_t interception_count = 0;
+  std::size_t diagnosis_count = 0;
+  for (const auto& partial : partials) {
+    interception_count += partial.interception.has_value() ? 1 : 0;
+    diagnosis_count += partial.diagnosis.has_value() ? 1 : 0;
+  }
+  results.interceptions.reserve(interception_count);
+  results.conflict_diagnoses.reserve(diagnosis_count);
+
   std::uint64_t queries = 0;
   for (auto& partial : partials) {  // canonical session-order merge
-    for (const auto& [key, counts] : partial.cells) {
-      auto& cell = results.cells[key];
+    for (std::size_t c = 0; c < partial.cell_counts.size(); ++c) {
+      const OutcomeCounts& counts = partial.cell_counts[c];
+      auto& cell = results.cells[cell_keys_[c]];
       cell.correct += counts.correct;
       cell.incorrect += counts.incorrect;
       cell.failed += counts.failed;

@@ -108,6 +108,12 @@ class ReachabilityTest {
   /// Pre-parsed DoH URI templates, aligned with targets_ (parsed once at
   /// construction instead of once per query attempt).
   std::vector<std::optional<http::UriTemplate>> doh_templates_;
+  /// The valid (target, protocol) combinations, fixed at construction. Worker
+  /// partials tally into a flat vector indexed by combination (no per-session
+  /// map nodes or key strings, DESIGN.md §12); run() expands the indices back
+  /// into the keyed result map.
+  std::vector<std::pair<std::string, Protocol>> cell_keys_;
+  std::vector<int> cell_index_;  // [target * 3 + protocol] -> key index or -1
 
   struct ClientOutcome {
     Outcome outcome = Outcome::kFailed;
@@ -116,7 +122,7 @@ class ReachabilityTest {
     int transient_failures = 0;
   };
   struct SessionPartial {
-    std::map<std::pair<std::string, Protocol>, OutcomeCounts> cells;
+    std::vector<OutcomeCounts> cell_counts;  // aligned with cell_keys_
     std::optional<InterceptionRecord> interception;
     std::optional<ConflictDiagnosis> diagnosis;
     fault::LayerTally client_faults;
@@ -127,12 +133,12 @@ class ReachabilityTest {
   // `session` by value: on exit-node death the session is replaced in place.
   [[nodiscard]] SessionPartial run_session(proxy::ProxySession session,
                                            util::Rng& rng);
-  [[nodiscard]] ClientOutcome query_with_retries(const proxy::ProxySession& session,
-                                                 client::Do53Client& do53,
-                                                 client::DotClient& dot,
-                                                 client::DohClient& doh,
-                                                 std::size_t target_index,
-                                                 Protocol protocol, util::Rng& rng);
+  /// Slot-reusing (DESIGN.md §12): fills `out`, whose warmed QueryOutcome is
+  /// reused across every lookup a worker thread performs.
+  void query_with_retries(const proxy::ProxySession& session,
+                          client::Do53Client& do53, client::DotClient& dot,
+                          client::DohClient& doh, std::size_t target_index,
+                          Protocol protocol, util::Rng& rng, ClientOutcome& out);
   [[nodiscard]] Outcome classify(const client::QueryOutcome& outcome) const;
 };
 

@@ -15,15 +15,22 @@ sim::Millis TcpConnection::maybe_loss_penalty() {
 TcpConnection::ExchangeResult TcpConnection::exchange(
     std::span<const std::uint8_t> payload, sim::Millis timeout) {
   ExchangeResult result;
+  exchange_into(payload, timeout, result);
+  return result;
+}
+
+void TcpConnection::exchange_into(std::span<const std::uint8_t> payload,
+                                  sim::Millis timeout, ExchangeResult& out) {
+  out.payload.clear();
   fault::Decision fd;
   if (injector_ != nullptr && injector_->enabled()) {
     fd = injector_->decide(fault::Channel::kExchange, dst_, port_, date_, *rng_);
   }
   if (fd.kind == fault::Decision::Kind::kReset) {
     // RST mid-stream: the request never completes.
-    result.status = ExchangeResult::Status::kClosed;
-    result.latency = rtt_ * 0.5;
-    return result;
+    out.status = ExchangeResult::Status::kClosed;
+    out.latency = rtt_ * 0.5;
+    return;
   }
 
   WireRequest request;
@@ -36,11 +43,13 @@ TcpConnection::ExchangeResult TcpConnection::exchange(
   request.client = client_location_;
   request.pop = pop_location_;
 
-  WireReply reply = endpoint_->handle(request);
+  const ServiceReply reply = endpoint_->handle_to(request, out.payload);
   sim::Millis latency = rtt_ + per_exchange_penalty_ + maybe_loss_penalty() +
                         reply.processing + fd.extra_latency;
   if (tls_established_) {
-    latency += tls::record_crypto_cost(payload.size() + reply.payload.size(), *rng_);
+    // Crypto cost is a function of the *real* reply size, even when a
+    // SERVFAIL burst below substitutes the bytes.
+    latency += tls::record_crypto_cost(payload.size() + out.payload.size(), *rng_);
     if (intercepted_) {
       // The proxying device terminates and re-originates the session; add a
       // small store-and-forward cost.
@@ -48,26 +57,27 @@ TcpConnection::ExchangeResult TcpConnection::exchange(
     }
   }
   if (!reply.responded) {
-    result.status = ExchangeResult::Status::kClosed;
-    result.latency = rtt_ * 0.5;  // FIN/RST arrives after half a round trip
-    return result;
+    out.status = ExchangeResult::Status::kClosed;
+    out.latency = rtt_ * 0.5;  // FIN/RST arrives after half a round trip
+    out.payload.clear();
+    return;
   }
   if (latency > timeout) {
-    result.status = ExchangeResult::Status::kTimeout;
-    result.latency = timeout;
-    return result;
+    out.status = ExchangeResult::Status::kTimeout;
+    out.latency = timeout;
+    out.payload.clear();
+    return;
   }
-  result.status = ExchangeResult::Status::kOk;
+  out.status = ExchangeResult::Status::kOk;
   if (fd.kind == fault::Decision::Kind::kServfail) {
     // SERVFAIL burst: the resolver's frontend answers with a matching
-    // failure response instead of the real answer.
-    result.payload = fault::make_servfail_reply(payload, /*framed=*/true);
-  } else {
-    result.payload = std::move(reply.payload);
-    if (fd.kind == fault::Decision::Kind::kGarble) fault::garble(result.payload);
+    // failure response instead of the real answer. The request span never
+    // aliases the reply buffer (requests are staged in a separate lease).
+    fault::make_servfail_reply_into(payload, /*framed=*/true, out.payload);
+  } else if (fd.kind == fault::Decision::Kind::kGarble) {
+    fault::garble(out.payload);
   }
-  result.latency = latency;
-  return result;
+  out.latency = latency;
 }
 
 TcpConnection::TlsResult TcpConnection::tls_handshake(const std::string& sni,
@@ -87,28 +97,36 @@ TcpConnection::TlsResult TcpConnection::tls_handshake(const std::string& sni,
     }
     fault_extra = fd.extra_latency;  // spike rides on top of the handshake
   }
-  const auto origin_chain = endpoint_->certificate(port_, sni, date_);
+  const tls::CertificateChain* origin_chain =
+      endpoint_->certificate(port_, sni, date_);
 
   if (interceptor_ != nullptr) {
     // The device intercepts TLS on this (dst, port): it completes a handshake
     // with the client regardless, presenting a resigned version of the origin
-    // chain (or a minted one when the origin is opaque to it).
-    tls::CertificateChain base =
-        origin_chain.value_or(tls::make_self_signed(sni.empty() ? "localhost" : sni,
-                                                    date_.plus_days(-30),
-                                                    date_.plus_days(335)));
-    result.chain = interceptor_->resign(base, date_);
+    // chain (or a minted one when the origin is opaque to it). The resigned
+    // chain is connection-owned (heap-stable across moves).
+    if (origin_chain != nullptr) {
+      resigned_ = std::make_unique<tls::CertificateChain>(
+          interceptor_->resign(*origin_chain, date_));
+    } else {
+      const tls::CertificateChain base =
+          tls::make_self_signed(sni.empty() ? "localhost" : sni,
+                                date_.plus_days(-30), date_.plus_days(335));
+      resigned_ = std::make_unique<tls::CertificateChain>(
+          interceptor_->resign(base, date_));
+    }
+    result.chain = resigned_.get();
     result.intercepted = true;
     intercepted_ = true;
   } else {
-    if (!origin_chain.has_value()) {
+    if (origin_chain == nullptr) {
       // Endpoint does not speak TLS on this port: handshake stalls and the
       // client gives up after roughly one RTO past the ClientHello.
       result.status = TlsResult::Status::kNoTls;
       result.latency = rtt_ + sim::Millis{300.0};
       return result;
     }
-    result.chain = *origin_chain;
+    result.chain = origin_chain;
   }
 
   const int rtts = tls::handshake_rtts(version, resumed);
@@ -118,6 +136,7 @@ TcpConnection::TlsResult TcpConnection::tls_handshake(const std::string& sni,
   result.status = TlsResult::Status::kEstablished;
   tls_established_ = true;
   sni_ = sni;
+  presented_ = result.chain;
   return result;
 }
 

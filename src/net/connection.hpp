@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -39,10 +40,20 @@ class TcpConnection {
   [[nodiscard]] ExchangeResult exchange(std::span<const std::uint8_t> payload,
                                         sim::Millis timeout);
 
+  /// Slot-reusing twin of `exchange` (DESIGN.md §12): the reply bytes land in
+  /// `out.payload` (cleared first, capacity preserved), so a warmed result
+  /// exchanges without fresh payload allocations. `payload` must not alias
+  /// `out.payload`'s storage.
+  void exchange_into(std::span<const std::uint8_t> payload, sim::Millis timeout,
+                     ExchangeResult& out);
+
   struct TlsResult {
     enum class Status { kEstablished, kNoTls, kTimeout };
     Status status = Status::kNoTls;
-    tls::CertificateChain chain;  // as presented to the client
+    /// Chain as presented to the client; non-null iff kEstablished. Points at
+    /// service-owned storage (or, under interception, at a resigned chain the
+    /// connection owns) — copy it to keep it past the connection's lifetime.
+    const tls::CertificateChain* chain = nullptr;
     bool intercepted = false;     // chain was resigned by an in-path device
     sim::Millis latency{0.0};
   };
@@ -57,6 +68,15 @@ class TcpConnection {
 
   [[nodiscard]] bool tls_established() const noexcept { return tls_established_; }
   [[nodiscard]] bool intercepted() const noexcept { return intercepted_; }
+
+  /// The chain presented at the TLS handshake; non-null iff tls_established().
+  /// Points at service-owned storage (or the connection-owned resigned chain
+  /// under interception), so it stays valid for the connection's lifetime —
+  /// session pools can hold this pointer instead of copying the chain
+  /// (DESIGN.md §12).
+  [[nodiscard]] const tls::CertificateChain* presented_chain() const noexcept {
+    return presented_;
+  }
 
   /// True when an in-path device hijacked the connection: the endpoint is an
   /// impersonator, not the service bound at the destination address.
@@ -109,6 +129,11 @@ class TcpConnection {
   bool tls_established_ = false;
   bool intercepted_ = false;
   std::string sni_;
+  /// Owns the resigned chain TlsResult::chain points at under interception
+  /// (heap-stable, so moving the connection keeps the pointer valid).
+  std::unique_ptr<tls::CertificateChain> resigned_;
+  /// Chain presented at the handshake (service-owned or `resigned_`).
+  const tls::CertificateChain* presented_ = nullptr;
 
   /// Retransmission penalty sampled when a segment is lost.
   [[nodiscard]] sim::Millis maybe_loss_penalty();

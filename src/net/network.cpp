@@ -123,14 +123,25 @@ Network::UdpResult Network::udp_exchange(const ClientContext& client, util::Rng&
                                          const util::Date& date,
                                          sim::Millis timeout) const {
   UdpResult result;
+  udp_exchange_into(client, rng, dst, port, payload, date, timeout, result);
+  return result;
+}
+
+void Network::udp_exchange_into(const ClientContext& client, util::Rng& rng,
+                                util::Ipv4 dst, std::uint16_t port,
+                                std::span<const std::uint8_t> payload,
+                                const util::Date& date, sim::Millis timeout,
+                                UdpResult& out) const {
+  out.spoofed = false;
+  out.payload.clear();
   fault::Decision fd;
   if (injector_ != nullptr && injector_->enabled()) {
     fd = injector_->decide(fault::Channel::kUdp, dst, port, date, rng);
   }
   if (fd.kind == fault::Decision::Kind::kDrop) {
-    result.status = UdpResult::Status::kTimeout;  // datagram lost in transit
-    result.latency = timeout;
-    return result;
+    out.status = UdpResult::Status::kTimeout;  // datagram lost in transit
+    out.latency = timeout;
+    return;
   }
   for (const auto* box : client.path) {
     const auto verdict = box->on_udp(dst, port, payload, date);
@@ -139,29 +150,30 @@ Network::UdpResult Network::udp_exchange(const ClientContext& client, util::Rng&
       case Action::kPass:
         break;
       case Action::kDrop:
-        result.status = UdpResult::Status::kTimeout;
-        result.latency = timeout;
-        return result;
+        out.status = UdpResult::Status::kTimeout;
+        out.latency = timeout;
+        return;
       case Action::kSpoof: {
-        result.status = UdpResult::Status::kOk;
-        result.payload = verdict.spoofed_response;
-        result.spoofed = true;
+        out.status = UdpResult::Status::kOk;
+        out.payload.assign(verdict.spoofed_response.begin(),
+                           verdict.spoofed_response.end());
+        out.spoofed = true;
         // Forged answers come from nearby — characteristically fast.
-        result.latency = client.link.last_mile + sim::Millis{rng.uniform(0.5, 4.0)};
-        return result;
+        out.latency = client.link.last_mile + sim::Millis{rng.uniform(0.5, 4.0)};
+        return;
       }
     }
   }
   const Pop* pop = route(dst, client.location, date);
   if (pop == nullptr || !pop->service->accepts(port, Transport::kUdp)) {
-    result.status = UdpResult::Status::kTimeout;
-    result.latency = timeout;
-    return result;
+    out.status = UdpResult::Status::kTimeout;
+    out.latency = timeout;
+    return;
   }
   if (rng.chance(client.link.loss_rate)) {  // request or response lost
-    result.status = UdpResult::Status::kTimeout;
-    result.latency = timeout;
-    return result;
+    out.status = UdpResult::Status::kTimeout;
+    out.latency = timeout;
+    return;
   }
   WireRequest request;
   request.transport = Transport::kUdp;
@@ -171,28 +183,29 @@ Network::UdpResult Network::udp_exchange(const ClientContext& client, util::Rng&
   request.date = date;
   request.client = client.location;
   request.pop = pop->location;
-  WireReply reply = pop->service->handle(request);
+  const ServiceReply reply = pop->service->handle_to(request, out.payload);
   if (!reply.responded) {
-    result.status = UdpResult::Status::kTimeout;
-    result.latency = timeout;
-    return result;
+    out.status = UdpResult::Status::kTimeout;
+    out.latency = timeout;
+    out.payload.clear();
+    return;
   }
   const sim::Millis latency =
       sample_rtt(client, pop->location.geo, pop->extra_processing, rng) +
       reply.processing + fd.extra_latency;
   if (latency > timeout) {
-    result.status = UdpResult::Status::kTimeout;
-    result.latency = timeout;
-    return result;
+    out.status = UdpResult::Status::kTimeout;
+    out.latency = timeout;
+    out.payload.clear();
+    return;
   }
-  result.status = UdpResult::Status::kOk;
+  out.status = UdpResult::Status::kOk;
   // A SERVFAIL burst answers from the resolver's frontend: the request comes
-  // back patched into a matching failure response.
-  result.payload = fd.kind == fault::Decision::Kind::kServfail
-                       ? fault::make_servfail_reply(payload, /*framed=*/false)
-                       : std::move(reply.payload);
-  result.latency = latency;
-  return result;
+  // back patched into a matching failure response (the request span never
+  // aliases the reply buffer — requests are staged in a separate lease).
+  if (fd.kind == fault::Decision::Kind::kServfail)
+    fault::make_servfail_reply_into(payload, /*framed=*/false, out.payload);
+  out.latency = latency;
 }
 
 Network::ConnectResult Network::tcp_connect(const ClientContext& client, util::Rng& rng,

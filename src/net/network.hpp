@@ -104,6 +104,16 @@ class Network {
                                        const util::Date& date,
                                        sim::Millis timeout) const;
 
+  /// Slot-reusing twin of `udp_exchange` (DESIGN.md §12): the response bytes
+  /// land in `out.payload` (capacity preserved), so warmed results exchange
+  /// without fresh payload allocations. `out.payload` is meaningful only when
+  /// the status is kOk. `payload` must not alias `out.payload`'s storage.
+  void udp_exchange_into(const ClientContext& client, util::Rng& rng,
+                         util::Ipv4 dst, std::uint16_t port,
+                         std::span<const std::uint8_t> payload,
+                         const util::Date& date, sim::Millis timeout,
+                         UdpResult& out) const;
+
   struct ConnectResult {
     enum class Status { kConnected, kTimeout, kReset, kRefused };
     Status status = Status::kRefused;

@@ -55,6 +55,13 @@ struct WireReply {
   }
 };
 
+/// `handle_to`'s reply metadata: the payload bytes live in the caller's
+/// buffer, so only the flags travel by value.
+struct ServiceReply {
+  bool responded = false;
+  sim::Millis processing{0.5};
+};
+
 class Service {
  public:
   virtual ~Service() = default;
@@ -67,18 +74,32 @@ class Service {
   [[nodiscard]] virtual bool accepts(std::uint16_t port, Transport transport) const = 0;
 
   /// Certificate chain presented when a TLS client connects to `port` with
-  /// server name `sni`. nullopt means the port does not speak TLS (handshake
+  /// server name `sni`. nullptr means the port does not speak TLS (handshake
   /// failure). The date matters: rotated/expired certs differ over time.
-  [[nodiscard]] virtual std::optional<tls::CertificateChain> certificate(
+  /// The returned chain is owned by the service and must stay valid for the
+  /// service's lifetime (services outlive every connection to them).
+  [[nodiscard]] virtual const tls::CertificateChain* certificate(
       std::uint16_t port, const std::string& sni, const util::Date& date) const {
     (void)port;
     (void)sni;
     (void)date;
-    return std::nullopt;
+    return nullptr;
   }
 
   /// Handle one request/response exchange.
   [[nodiscard]] virtual WireReply handle(const WireRequest& request) = 0;
+
+  /// Slot-reusing twin of `handle` (DESIGN.md §12): the reply payload is
+  /// written into `out` (cleared first, capacity preserved) so transports can
+  /// stage replies in warmed per-thread buffers. The default bridges to
+  /// `handle`; hot services override this and implement `handle` on top, so
+  /// the two stay byte-identical by construction.
+  [[nodiscard]] virtual ServiceReply handle_to(const WireRequest& request,
+                                               std::vector<std::uint8_t>& out) {
+    WireReply reply = handle(request);
+    out.assign(reply.payload.begin(), reply.payload.end());
+    return ServiceReply{reply.responded, reply.processing};
+  }
 
   /// Body served for a plain-HTTP GET on `port` (the §4.2 webpage check used
   /// to identify devices conflicting with 1.1.1.1). Empty = no webpage.

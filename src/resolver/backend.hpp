@@ -28,6 +28,17 @@ class DnsBackend {
                                        const net::Location& pop,
                                        const util::Date& date, util::Rng& rng) = 0;
 
+  /// Slot-reusing twin of `resolve` (DESIGN.md §12): produce the response
+  /// into `out`, reusing its message storage so a warmed scratch Result
+  /// resolves without fresh message allocations. The default bridges to
+  /// `resolve`; hot backends override this and implement `resolve` on top,
+  /// so the two stay answer-identical by construction.
+  virtual void resolve_into(const dns::Message& query, const net::Location& pop,
+                            const util::Date& date, util::Rng& rng,
+                            Result& out) {
+    out = resolve(query, pop, date, rng);
+  }
+
   [[nodiscard]] virtual std::string label() const = 0;
 };
 

@@ -28,6 +28,21 @@ namespace {
   return cache::CacheConfig::from_env(cache_config);
 }
 
+/// In-place equivalent of `dns::make_response(query, rcode)` for a scratch
+/// Result: header/questions echo reuses the response's existing storage.
+/// Answer records are left untouched — every caller either copy-assigns a
+/// fresh answer set (element-wise reuse) or clears them on its cold path.
+void response_skeleton_into(DnsBackend::Result& out, const dns::Message& query,
+                            dns::RCode rcode) {
+  out.response.header = query.header;
+  out.response.header.qr = true;
+  out.response.header.ra = true;
+  out.response.header.rcode = rcode;
+  out.response.questions = query.questions;
+  out.response.authorities.clear();
+  out.response.additionals.clear();
+}
+
 }  // namespace
 
 RecursiveBackend::RecursiveBackend(const AuthoritativeUniverse& universe,
@@ -45,10 +60,20 @@ DnsBackend::Result RecursiveBackend::resolve(const dns::Message& query,
                                              const net::Location& pop,
                                              const util::Date& date, util::Rng& rng) {
   Result result;
+  resolve_into(query, pop, date, rng, result);
+  return result;
+}
+
+void RecursiveBackend::resolve_into(const dns::Message& query,
+                                    const net::Location& pop,
+                                    const util::Date& date, util::Rng& rng,
+                                    Result& out) {
+  out.processing = sim::Millis{0.5};
   if (query.questions.empty()) {
-    result.response = dns::make_response(query, dns::RCode::kFormErr);
-    result.processing = sim::Millis{0.1};
-    return result;
+    response_skeleton_into(out, query, dns::RCode::kFormErr);
+    out.response.answers.clear();
+    out.processing = sim::Millis{0.1};
+    return;
   }
   const auto& q = query.questions.front();
 
@@ -60,25 +85,29 @@ DnsBackend::Result RecursiveBackend::resolve(const dns::Message& query,
         obs::MetricsRegistry::global().counter("cache.lookup.warm_hit");
     warm_hits.add();
     const Answer answer = universe_->authoritative_answer(q.name, q.type, date);
-    result.response = dns::make_response(query, answer.rcode);
-    result.response.answers = answer.answers;
-    result.processing =
+    response_skeleton_into(out, query, answer.rcode);
+    out.response.answers = answer.answers;
+    out.processing =
         sim::Millis{rng.uniform(config_.hit_min_ms, config_.hit_max_ms)};
-    return result;
+    return;
   }
 
-  const std::string key =
-      q.name.canonical() + "/" + std::to_string(static_cast<int>(q.type));
+  // Per-thread cache-key scratch: keys are consumed within this call (the
+  // cache copies the key only when inserting a new entry).
+  thread_local std::string key;
+  q.name.canonical_into(key);
+  key.push_back('/');
+  key.append(std::to_string(static_cast<int>(q.type)));
   const std::int64_t now_s = to_seconds(date);
 
   if (config_.enable_cache) {
     if (const auto hit = cache_.lookup(key, now_s)) {
       ++hits_;
-      result.response = dns::make_response(query, hit->answer.rcode);
-      result.response.answers = hit->answer.answers;
-      result.processing =
+      response_skeleton_into(out, query, hit->answer.rcode);
+      out.response.answers = hit->answer.answers;
+      out.processing =
           sim::Millis{rng.uniform(config_.hit_min_ms, config_.hit_max_ms)};
-      return result;
+      return;
     }
   }
 
@@ -107,37 +136,39 @@ DnsBackend::Result RecursiveBackend::resolve(const dns::Message& query,
           static obs::Counter& stale_counter =
               registry.counter("resolver.upstream.stale_served");
           stale_counter.add();
-          result.response = dns::make_response(query, stale->answer.rcode);
-          result.response.answers = stale->answer.answers;
-          result.processing =
+          response_skeleton_into(out, query, stale->answer.rcode);
+          out.response.answers = stale->answer.answers;
+          out.processing =
               sim::Millis{rng.uniform(config_.hit_min_ms, config_.hit_max_ms)};
-          return result;
+          return;
         }
       }
       static obs::Counter& servfail_counter =
           registry.counter("resolver.upstream.servfail");
       servfail_counter.add();
-      result.response = dns::make_response(query, dns::RCode::kServFail);
-      result.processing =
+      response_skeleton_into(out, query, dns::RCode::kServFail);
+      out.response.answers.clear();
+      out.processing =
           sim::Millis{rng.uniform(0.2, 1.0)} + decision.extra_latency;
-      return result;
+      return;
     }
   }
 
-  const auto upstream = universe_->query(q.name, q.type, pop, date, rng);
-  result.response = dns::make_response(query, upstream.answer.rcode);
-  result.response.answers = upstream.answer.answers;
-  result.processing =
+  auto upstream = universe_->query(q.name, q.type, pop, date, rng);
+  response_skeleton_into(out, query, upstream.answer.rcode);
+  out.response.answers = upstream.answer.answers;
+  out.processing =
       upstream.latency + sim::Millis{rng.uniform(0.2, 1.0)} + upstream_extra;
 
   if (config_.enable_cache) {
     // store() rejects SERVFAIL and other uncacheable rcodes itself; the old
-    // map cached them for a day, so one upstream hiccup kept answering.
-    (void)cache_.store(key, cache::CachedAnswer{upstream.answer.rcode,
-                                                upstream.answer.answers},
+    // map cached them for a day, so one upstream hiccup kept answering. The
+    // upstream answer's record storage is donated to the cache entry.
+    (void)cache_.store(key,
+                       cache::CachedAnswer{upstream.answer.rcode,
+                                           std::move(upstream.answer.answers)},
                        now_s);
   }
-  return result;
 }
 
 }  // namespace encdns::resolver

@@ -62,6 +62,12 @@ class RecursiveBackend final : public DnsBackend {
   [[nodiscard]] Result resolve(const dns::Message& query, const net::Location& pop,
                                const util::Date& date, util::Rng& rng) override;
 
+  /// The real implementation; `resolve` wraps it. Reuses `out`'s response
+  /// storage (questions echo, answer records, cache-key scratch) so a warmed
+  /// Result costs only the inherent cache-store allocations per miss.
+  void resolve_into(const dns::Message& query, const net::Location& pop,
+                    const util::Date& date, util::Rng& rng, Result& out) override;
+
   [[nodiscard]] std::string label() const override { return label_; }
 
   [[nodiscard]] std::size_t cache_size() const noexcept { return cache_.size(); }

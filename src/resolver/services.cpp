@@ -15,8 +15,22 @@
 namespace encdns::resolver {
 namespace {
 
-std::vector<std::uint8_t> to_bytes(const std::string& text) {
-  return std::vector<std::uint8_t>(text.begin(), text.end());
+[[nodiscard]] std::span<const std::uint8_t> as_bytes(std::string_view text) noexcept {
+  return {reinterpret_cast<const std::uint8_t*>(text.data()), text.size()};
+}
+
+/// Serialize an HTTP error reply into `out` — byte-identical to the old
+/// `Response::make(...).serialize()` path, without materializing a Response.
+[[nodiscard]] net::ServiceReply http_error(int status, std::string_view reason,
+                                           std::string_view body,
+                                           std::vector<std::uint8_t>& out) {
+  out.clear();
+  http::serialize_simple_response_into(status, reason, "text/plain",
+                                       as_bytes(body), out);
+  net::ServiceReply reply;
+  reply.responded = true;
+  reply.processing = sim::Millis{0.2};
+  return reply;
 }
 
 }  // namespace
@@ -50,13 +64,15 @@ bool ResolverService::accepts(std::uint16_t port, net::Transport transport) cons
   }
 }
 
-std::optional<tls::CertificateChain> ResolverService::certificate(
+const tls::CertificateChain* ResolverService::certificate(
     std::uint16_t port, const std::string& sni, const util::Date& date) const {
   (void)sni;
   (void)date;
-  if (port == dns::kDotPort && config_.serve_dot) return config_.dot_certificate;
-  if (port == dns::kDohPort && config_.serve_doh) return config_.doh_certificate;
-  return std::nullopt;
+  if (port == dns::kDotPort && config_.serve_dot)
+    return config_.dot_certificate ? &*config_.dot_certificate : nullptr;
+  if (port == dns::kDohPort && config_.serve_doh)
+    return config_.doh_certificate ? &*config_.doh_certificate : nullptr;
+  return nullptr;
 }
 
 std::string ResolverService::webpage(std::uint16_t port) const {
@@ -64,47 +80,66 @@ std::string ResolverService::webpage(std::uint16_t port) const {
 }
 
 net::WireReply ResolverService::handle(const net::WireRequest& request) {
+  net::WireReply reply;
+  const net::ServiceReply meta = handle_to(request, reply.payload);
+  reply.responded = meta.responded;
+  reply.processing = meta.processing;
+  return reply;
+}
+
+net::ServiceReply ResolverService::handle_to(const net::WireRequest& request,
+                                             std::vector<std::uint8_t>& out) {
   switch (request.port) {
     case dns::kDnsPort:
-      return handle_do53(request, request.transport == net::Transport::kTcp);
+      return handle_do53_to(request, request.transport == net::Transport::kTcp, out);
     case dns::kDotPort:
-      return handle_do53(request, /*stream_framed=*/true);
+      return handle_do53_to(request, /*stream_framed=*/true, out);
     case dns::kDohPort:
-      return handle_doh(request);
+      return handle_doh_to(request, out);
     case 80: {
       // Plain HTTP: answer any GET with the configured webpage body.
-      auto response = http::Response::make(200, "OK", "text/html",
-                                           to_bytes(config_.webpage_body));
-      return net::WireReply::of(response.serialize(), sim::Millis{0.3});
+      out.clear();
+      http::serialize_simple_response_into(200, "OK", "text/html",
+                                           as_bytes(config_.webpage_body), out);
+      net::ServiceReply reply;
+      reply.responded = true;
+      reply.processing = sim::Millis{0.3};
+      return reply;
     }
     default:
-      return net::WireReply::none();
+      out.clear();
+      return net::ServiceReply{};
   }
 }
 
-net::WireReply ResolverService::handle_do53(const net::WireRequest& request,
-                                            bool stream_framed) {
-  if (config_.backend == nullptr) return net::WireReply::none();
+net::ServiceReply ResolverService::handle_do53_to(const net::WireRequest& request,
+                                                  bool stream_framed,
+                                                  std::vector<std::uint8_t>& out) {
+  out.clear();
+  if (config_.backend == nullptr) return net::ServiceReply{};
 
   std::span<const std::uint8_t> raw = request.payload;
   if (stream_framed) {
     const auto unframed = dns::unframe_view(raw);
-    if (!unframed) return net::WireReply::none();
+    if (!unframed) return net::ServiceReply{};
     raw = *unframed;
   }
-  const auto query = dns::Message::decode(raw);
-  if (!query) return net::WireReply::none();
+  // Per-thread scratch: the service is stateless and may run on several
+  // workers at once, so the warmed query/result slots live per thread.
+  thread_local dns::Message query;
+  if (!dns::Message::decode_into(raw, query)) return net::ServiceReply{};
 
   util::Rng rng = request_rng(request);
-  auto result = config_.backend->resolve(*query, request.pop, request.date, rng);
+  thread_local DnsBackend::Result result;
+  config_.backend->resolve_into(query, request.pop, request.date, rng, result);
   if (request.port == dns::kDotPort) {
     // TLS record processing and session bookkeeping on the server side —
     // the few-millisecond penalty §4.3 attributes to encrypted transports.
     result.processing += sim::Millis{rng.uniform(1.0, 6.0)};
   }
-  // The reply owns its bytes, so this path keeps one vector allocation; the
-  // stream length prefix is still framed in place rather than re-copied.
-  dns::WireWriter writer;
+  // Encode straight into the caller's reply buffer; the stream length prefix
+  // is framed in place rather than re-copied.
+  dns::WireWriter writer(out);
   const std::size_t prefix = stream_framed ? writer.begin_stream_frame() : 0;
   result.response.encode_into(writer);
   if (request.transport == net::Transport::kUdp) {
@@ -112,76 +147,59 @@ net::WireReply ResolverService::handle_do53(const net::WireRequest& request,
     // advertised payload size (512 without EDNS). Otherwise answer with an
     // empty, TC-flagged response so the client retries over TCP.
     std::size_t limit = dns::kClassicUdpLimit;
-    if (const auto edns = dns::get_edns(*query))
+    if (const auto edns = dns::get_edns(query))
       limit = std::max<std::size_t>(dns::kClassicUdpLimit, edns->udp_payload_size);
     if (writer.size() > limit) {
-      dns::Message truncated = dns::make_response(*query, result.response.header.rcode);
+      dns::Message truncated = dns::make_response(query, result.response.header.rcode);
       truncated.header.tc = true;
-      return net::WireReply::of(truncated.encode(), result.processing);
+      out.clear();
+      dns::WireWriter tc_writer(out);
+      truncated.encode_into(tc_writer);
+      return net::ServiceReply{true, result.processing};
     }
   }
   if (stream_framed) writer.end_stream_frame(prefix);
-  return net::WireReply::of(std::move(writer).take(), result.processing);
+  return net::ServiceReply{true, result.processing};
 }
 
-net::WireReply ResolverService::handle_doh(const net::WireRequest& request) {
-  if (config_.backend == nullptr) return net::WireReply::none();
+net::ServiceReply ResolverService::handle_doh_to(const net::WireRequest& request,
+                                                 std::vector<std::uint8_t>& out) {
+  out.clear();
+  if (config_.backend == nullptr) return net::ServiceReply{};
 
-  const auto http_request = http::Request::parse(request.payload);
-  if (!http_request) {
-    auto bad = http::Response::make(400, "Bad Request", "text/plain",
-                                    to_bytes("malformed request"));
-    return net::WireReply::of(bad.serialize(), sim::Millis{0.2});
-  }
-  if (http_request->path() != config_.doh.path) {
-    auto missing = http::Response::make(404, "Not Found", "text/plain",
-                                        to_bytes("no such endpoint"));
-    return net::WireReply::of(missing.serialize(), sim::Millis{0.2});
-  }
+  thread_local http::RequestView http_request;
+  if (!http_request.parse_from(request.payload))
+    return http_error(400, "Bad Request", "malformed request", out);
+  if (http_request.path() != config_.doh.path)
+    return http_error(404, "Not Found", "no such endpoint", out);
 
   std::span<const std::uint8_t> dns_wire;
-  std::vector<std::uint8_t> decoded_storage;  // backs `dns_wire` on GET
-  if (http_request->method == http::Method::kGet) {
-    if (!config_.doh.support_get) {
-      auto err = http::Response::make(405, "Method Not Allowed", "text/plain", {});
-      return net::WireReply::of(err.serialize(), sim::Millis{0.2});
-    }
-    const auto param = http::query_param(http_request->query(), "dns");
-    if (!param) {
-      auto err = http::Response::make(400, "Bad Request", "text/plain",
-                                      to_bytes("missing dns parameter"));
-      return net::WireReply::of(err.serialize(), sim::Millis{0.2});
-    }
-    auto decoded = util::base64url_decode(*param);
-    if (!decoded) {
-      auto err = http::Response::make(400, "Bad Request", "text/plain",
-                                      to_bytes("bad base64url"));
-      return net::WireReply::of(err.serialize(), sim::Millis{0.2});
-    }
-    decoded_storage = std::move(*decoded);
+  thread_local std::vector<std::uint8_t> decoded_storage;  // backs `dns_wire` on GET
+  if (http_request.method() == http::Method::kGet) {
+    if (!config_.doh.support_get)
+      return http_error(405, "Method Not Allowed", "", out);
+    thread_local std::string dns_param;
+    if (!http::query_param_into(http_request.query(), "dns", dns_param))
+      return http_error(400, "Bad Request", "missing dns parameter", out);
+    if (!util::base64url_decode_into(dns_param, decoded_storage))
+      return http_error(400, "Bad Request", "bad base64url", out);
     dns_wire = decoded_storage;
   } else {
-    if (!config_.doh.support_post) {
-      auto err = http::Response::make(405, "Method Not Allowed", "text/plain", {});
-      return net::WireReply::of(err.serialize(), sim::Millis{0.2});
-    }
-    const auto content_type = http_request->headers.get("Content-Type");
-    if (!content_type || *content_type != http::kDnsMessageType) {
-      auto err = http::Response::make(415, "Unsupported Media Type", "text/plain", {});
-      return net::WireReply::of(err.serialize(), sim::Millis{0.2});
-    }
-    dns_wire = http_request->body;  // borrow, no copy
+    if (!config_.doh.support_post)
+      return http_error(405, "Method Not Allowed", "", out);
+    const auto content_type = http_request.header("Content-Type");
+    if (!content_type || *content_type != http::kDnsMessageType)
+      return http_error(415, "Unsupported Media Type", "", out);
+    dns_wire = http_request.body();  // borrow, no copy
   }
 
-  const auto query = dns::Message::decode(dns_wire);
-  if (!query) {
-    auto err = http::Response::make(400, "Bad Request", "text/plain",
-                                    to_bytes("malformed dns message"));
-    return net::WireReply::of(err.serialize(), sim::Millis{0.2});
-  }
+  thread_local dns::Message query;
+  if (!dns::Message::decode_into(dns_wire, query))
+    return http_error(400, "Bad Request", "malformed dns message", out);
 
   util::Rng rng = request_rng(request);
-  auto result = config_.backend->resolve(*query, request.pop, request.date, rng);
+  thread_local DnsBackend::Result result;
+  config_.backend->resolve_into(query, request.pop, request.date, rng, result);
   // HTTP framing plus TLS record processing on the server side.
   result.processing += sim::Millis{rng.uniform(1.5, 7.0)};
 
@@ -189,19 +207,25 @@ net::WireReply ResolverService::handle_doh(const net::WireRequest& request) {
     // The internal forward was lost; the retry fires after forward_retry.
     result.processing += config_.doh.forward_retry;
   }
+  thread_local std::vector<std::uint8_t> dns_body;  // encoded DNS reply payload
+  dns_body.clear();
   if (config_.doh.forward_to_do53 &&
       result.processing > config_.doh.forward_timeout) {
     // The internal Do53 hop did not answer within the frontend's timeout:
     // the client sees a prompt SERVFAIL rather than a slow answer.
-    auto servfail = dns::make_response(*query, dns::RCode::kServFail);
-    auto response = http::Response::make(200, "OK", http::kDnsMessageType,
-                                         servfail.encode());
-    return net::WireReply::of(response.serialize(), config_.doh.forward_timeout);
+    const dns::Message servfail = dns::make_response(query, dns::RCode::kServFail);
+    dns::WireWriter writer(dns_body);
+    servfail.encode_into(writer);
+    http::serialize_simple_response_into(200, "OK", http::kDnsMessageType,
+                                         dns_body, out);
+    return net::ServiceReply{true, config_.doh.forward_timeout};
   }
 
-  auto response = http::Response::make(200, "OK", http::kDnsMessageType,
-                                       result.response.encode());
-  return net::WireReply::of(response.serialize(), result.processing);
+  dns::WireWriter writer(dns_body);
+  result.response.encode_into(writer);
+  http::serialize_simple_response_into(200, "OK", http::kDnsMessageType,
+                                       dns_body, out);
+  return net::ServiceReply{true, result.processing};
 }
 
 }  // namespace encdns::resolver

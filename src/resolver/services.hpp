@@ -66,10 +66,15 @@ class ResolverService final : public net::Service {
 
   [[nodiscard]] std::string label() const override { return config_.label; }
   [[nodiscard]] bool accepts(std::uint16_t port, net::Transport transport) const override;
-  [[nodiscard]] std::optional<tls::CertificateChain> certificate(
+  [[nodiscard]] const tls::CertificateChain* certificate(
       std::uint16_t port, const std::string& sni,
       const util::Date& date) const override;
   [[nodiscard]] net::WireReply handle(const net::WireRequest& request) override;
+  /// The real implementation (DESIGN.md §12): decodes, resolves and encodes
+  /// through per-thread scratch, writing the reply into `out`. `handle`
+  /// wraps this, so the two stay byte-identical by construction.
+  [[nodiscard]] net::ServiceReply handle_to(const net::WireRequest& request,
+                                            std::vector<std::uint8_t>& out) override;
   [[nodiscard]] std::string webpage(std::uint16_t port) const override;
 
   [[nodiscard]] DnsBackend& backend() noexcept { return *config_.backend; }
@@ -85,9 +90,11 @@ class ResolverService final : public net::Service {
   /// calls — and replies don't depend on request arrival order.
   [[nodiscard]] util::Rng request_rng(const net::WireRequest& request) const;
 
-  [[nodiscard]] net::WireReply handle_do53(const net::WireRequest& request,
-                                           bool stream_framed);
-  [[nodiscard]] net::WireReply handle_doh(const net::WireRequest& request);
+  [[nodiscard]] net::ServiceReply handle_do53_to(const net::WireRequest& request,
+                                                 bool stream_framed,
+                                                 std::vector<std::uint8_t>& out);
+  [[nodiscard]] net::ServiceReply handle_doh_to(const net::WireRequest& request,
+                                                std::vector<std::uint8_t>& out);
 };
 
 }  // namespace encdns::resolver

@@ -20,7 +20,24 @@ DohDiscovery DohProber::discover(const std::vector<std::string>& urls,
   discovery.urls_in_dataset = urls.size();
 
   std::unordered_set<std::string> seen_candidates;  // host+path dedup for probing
+  // Reused scratch for the candidate loop (DESIGN.md §12): the probe name,
+  // the in-flight outcome and the template text are rebuilt in place.
+  client::QueryOutcome outcome;
+  dns::Name qname;
+  std::string tmpl_text;
   for (const auto& raw : urls) {
+    // Allocation-free prefilter: Url::parse copies the path verbatim (no
+    // percent-decoding), so a URL whose parsed path starts with a known DoH
+    // prefix necessarily contains that prefix as a raw substring. Everything
+    // else — the overwhelming majority of the dataset — skips the parse.
+    bool may_match = false;
+    for (const auto& prefix : known_doh_paths()) {
+      if (util::icontains(raw, prefix)) {
+        may_match = true;
+        break;
+      }
+    }
+    if (!may_match) continue;
     const auto url = http::Url::parse(raw);
     if (!url) continue;
     bool matches = false;
@@ -41,16 +58,20 @@ DohDiscovery DohProber::discover(const std::vector<std::string>& urls,
     // Probe: treat the URL as a URI template and issue a real DoH GET with a
     // uniquely prefixed name. HTTPS only — DoH requires TLS.
     if (url->scheme == "https") {
-      const auto tmpl =
-          http::UriTemplate::parse("https://" + url->host + url->path + "{?dns}");
+      tmpl_text.assign("https://");
+      tmpl_text += url->host;
+      tmpl_text += url->path;
+      tmpl_text += "{?dns}";
+      const auto tmpl = http::UriTemplate::parse(tmpl_text);
       if (tmpl) {
         client::DohClient::Options options;
         options.bootstrap_resolver = world_->bootstrap_resolver(origin_.country);
         options.timeout = sim::Millis{10000.0};
         options.reuse_connection = false;
         const auto issue = [&] {
-          const dns::Name qname = world_->unique_probe_name(rng_);
-          return client_.query(*tmpl, qname, dns::RrType::kA, date, options);
+          world_->unique_probe_name_into(rng_, qname);
+          client_.query_into(*tmpl, qname, dns::RrType::kA, date, options,
+                             outcome);
         };
         // Retry transient failures only. An HTTP error below 500 is the
         // server's deterministic answer (a non-DoH endpoint serving 404),
@@ -61,11 +82,11 @@ DohDiscovery DohProber::discover(const std::vector<std::string>& urls,
           return o.status != client::QueryStatus::kHttpError ||
                  o.http_status >= 500;
         };
-        auto outcome = issue();
+        issue();
         int transient = 0;
         while (retryable(outcome) && transient + 1 < attempts_) {
           ++transient;
-          outcome = issue();
+          issue();
         }
         if (transient > 0) {
           discovery.faults.injected += static_cast<std::uint64_t>(transient);
@@ -83,10 +104,8 @@ DohDiscovery DohProber::discover(const std::vector<std::string>& urls,
         }
       }
     }
-    if (candidate.probe_ok) ++discovery.valid_urls;
-    discovery.candidates.push_back(candidate);
-
     if (candidate.probe_ok) {
+      ++discovery.valid_urls;
       const std::string key = candidate.host + candidate.path;
       if (seen_candidates.insert(key).second) {
         DiscoveredDoh found;
@@ -97,6 +116,7 @@ DohDiscovery DohProber::discover(const std::vector<std::string>& urls,
         discovery.resolvers.push_back(std::move(found));
       }
     }
+    discovery.candidates.push_back(std::move(candidate));
   }
   // Serial discovery: counters record the funnel after the fact.
   auto& registry = obs::MetricsRegistry::global();

@@ -59,8 +59,56 @@ std::string base64url_encode(std::span<const std::uint8_t> data) {
   return encode_with(data, kUrlAlphabet, /*pad=*/false);
 }
 
+void base64url_encode_into(std::span<const std::uint8_t> data, std::string& out) {
+  out.clear();
+  out.reserve((data.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  while (i + 3 <= data.size()) {
+    const std::uint32_t n = (static_cast<std::uint32_t>(data[i]) << 16) |
+                            (static_cast<std::uint32_t>(data[i + 1]) << 8) |
+                            static_cast<std::uint32_t>(data[i + 2]);
+    out.push_back(kUrlAlphabet[(n >> 18) & 0x3F]);
+    out.push_back(kUrlAlphabet[(n >> 12) & 0x3F]);
+    out.push_back(kUrlAlphabet[(n >> 6) & 0x3F]);
+    out.push_back(kUrlAlphabet[n & 0x3F]);
+    i += 3;
+  }
+  const std::size_t rem = data.size() - i;
+  if (rem == 1) {
+    const std::uint32_t n = static_cast<std::uint32_t>(data[i]) << 16;
+    out.push_back(kUrlAlphabet[(n >> 18) & 0x3F]);
+    out.push_back(kUrlAlphabet[(n >> 12) & 0x3F]);
+  } else if (rem == 2) {
+    const std::uint32_t n = (static_cast<std::uint32_t>(data[i]) << 16) |
+                            (static_cast<std::uint32_t>(data[i + 1]) << 8);
+    out.push_back(kUrlAlphabet[(n >> 18) & 0x3F]);
+    out.push_back(kUrlAlphabet[(n >> 12) & 0x3F]);
+    out.push_back(kUrlAlphabet[(n >> 6) & 0x3F]);
+  }
+}
+
 std::string base64_encode(std::span<const std::uint8_t> data) {
   return encode_with(data, kStdAlphabet, /*pad=*/true);
+}
+
+bool base64url_decode_into(std::string_view text, std::vector<std::uint8_t>& out) {
+  out.clear();
+  if (text.size() % 4 == 1) return false;
+  out.reserve(text.size() / 4 * 3 + 2);
+  std::uint32_t acc = 0;
+  int bits = 0;
+  for (char c : text) {
+    const std::int8_t v = kUrlReverse[static_cast<unsigned char>(c)];
+    if (v < 0) return false;
+    acc = (acc << 6) | static_cast<std::uint32_t>(v);
+    bits += 6;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<std::uint8_t>((acc >> bits) & 0xFF));
+    }
+  }
+  // Leftover bits must be zero padding of the final group.
+  return bits == 0 || (acc & ((1U << bits) - 1)) == 0;
 }
 
 std::optional<std::vector<std::uint8_t>> base64url_decode(std::string_view text) {

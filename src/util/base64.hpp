@@ -14,10 +14,21 @@ namespace encdns::util {
 /// Encode bytes as unpadded base64url.
 [[nodiscard]] std::string base64url_encode(std::span<const std::uint8_t> data);
 
+/// Slot-reusing twin of `base64url_encode` (DESIGN.md §12): the encoding
+/// lands in `out` (cleared first, capacity preserved), so warmed callers
+/// encode without a fresh string allocation.
+void base64url_encode_into(std::span<const std::uint8_t> data, std::string& out);
+
 /// Decode unpadded base64url. Returns nullopt on any invalid character or an
 /// impossible length (len % 4 == 1).
 [[nodiscard]] std::optional<std::vector<std::uint8_t>> base64url_decode(
     std::string_view text);
+
+/// Slot-reusing twin of `base64url_decode`: false on invalid input (with
+/// `out` unspecified-but-valid for reuse), true with the decoded bytes in
+/// `out` otherwise. Accepts and rejects exactly what `base64url_decode` does.
+[[nodiscard]] bool base64url_decode_into(std::string_view text,
+                                         std::vector<std::uint8_t>& out);
 
 /// Encode bytes as standard base64 with '=' padding.
 [[nodiscard]] std::string base64_encode(std::span<const std::uint8_t> data);

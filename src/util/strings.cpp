@@ -63,4 +63,13 @@ bool iends_with(std::string_view text, std::string_view suffix) noexcept {
          iequals(text.substr(text.size() - suffix.size()), suffix);
 }
 
+bool icontains(std::string_view haystack, std::string_view needle) noexcept {
+  if (needle.empty()) return true;
+  if (haystack.size() < needle.size()) return false;
+  for (std::size_t i = 0; i + needle.size() <= haystack.size(); ++i) {
+    if (iequals(haystack.substr(i, needle.size()), needle)) return true;
+  }
+  return false;
+}
+
 }  // namespace encdns::util

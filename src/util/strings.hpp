@@ -27,4 +27,9 @@ namespace encdns::util {
 [[nodiscard]] bool istarts_with(std::string_view text, std::string_view prefix) noexcept;
 [[nodiscard]] bool iends_with(std::string_view text, std::string_view suffix) noexcept;
 
+/// True if `haystack` contains `needle`, case-insensitive ASCII. An empty
+/// needle is contained in everything. Allocation-free prefilter for hot scan
+/// loops (DESIGN.md §12).
+[[nodiscard]] bool icontains(std::string_view haystack, std::string_view needle) noexcept;
+
 }  // namespace encdns::util

@@ -69,10 +69,6 @@ tls::CertificateChain chain_for(const DotDeployment& d) {
   return {};
 }
 
-std::vector<std::uint8_t> to_bytes(const std::string& s) {
-  return {s.begin(), s.end()};
-}
-
 }  // namespace
 
 World::World(WorldConfig config) : config_(config) {
@@ -559,6 +555,15 @@ void World::build_middleboxes() {
   add_device("NTP appliance", {123}, "");
   add_device("SMB NAS", {139, 161}, "");
 
+  // Routers and modems dominate the conflicting-device population (Table 5's
+  // port mix); appliances are rarer. Fixed at construction so per-vantage
+  // sampling never rebuilds the weight vector.
+  static constexpr double kDeviceWeights[] = {3.0, 2.5, 2.0, 1.0, 0.7, 0.4, 0.4};
+  conflict_weights_.assign(conflict_boxes_.size(), 1.0);
+  for (std::size_t i = 0;
+       i < conflict_weights_.size() && i < std::size(kDeviceWeights); ++i)
+    conflict_weights_[i] = kDeviceWeights[i];
+
   // TLS interception archetypes (Table 6). The last two intercept 443 only.
   intercept_boxes_.push_back(std::make_unique<TlsInterceptBox>(
       "SonicWall Firewall DPI-SSL", "SonicWall NSA", true));
@@ -668,14 +673,7 @@ Vantage World::sample_global_vantage(util::Rng& rng) const {
       v.device_label.clear();  // address blackholed, no ports open
       v.context.path.push_back(cf_blackhole_box_.get());
     } else {
-      // Routers and modems dominate the conflicting-device population
-      // (Table 5's port mix); appliances are rarer.
-      static const std::vector<double> kDeviceWeights = {3.0, 2.5, 2.0, 1.0,
-                                                         0.7, 0.4, 0.4};
-      std::vector<double> weights(conflict_boxes_.size(), 1.0);
-      for (std::size_t i = 0; i < weights.size() && i < kDeviceWeights.size(); ++i)
-        weights[i] = kDeviceWeights[i];
-      const auto& box = conflict_boxes_[rng.weighted(weights)];
+      const auto& box = conflict_boxes_[rng.weighted(conflict_weights_)];
       v.device_label = box->device().label();
       v.context.path.push_back(box.get());
     }
@@ -744,6 +742,13 @@ dns::Name World::unique_probe_name(util::Rng& rng) const {
                 static_cast<unsigned long long>(rng.next()));
   const auto name = probe_apex_.prefixed_with(prefix);
   return name.value_or(probe_apex_);
+}
+
+void World::unique_probe_name_into(util::Rng& rng, dns::Name& out) const {
+  char prefix[20];
+  std::snprintf(prefix, sizeof(prefix), "p%016llx",
+                static_cast<unsigned long long>(rng.next()));
+  if (!out.assign_prefixed(prefix, probe_apex_)) out = probe_apex_;
 }
 
 util::Ipv4 World::bootstrap_resolver(const std::string& country) const {

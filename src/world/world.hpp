@@ -162,6 +162,11 @@ class World {
   /// A uniquely prefixed name under the probe zone (defeats caching, §4.1).
   [[nodiscard]] dns::Name unique_probe_name(util::Rng& rng) const;
 
+  /// Slot-reusing twin of `unique_probe_name` (DESIGN.md §12): same single
+  /// rng draw, but rebuilds `out` in place reusing its label storage, so a
+  /// warmed scratch name costs no allocations per probe.
+  void unique_probe_name_into(util::Rng& rng, dns::Name& out) const;
+
   /// Country's ISP recursive resolver (bootstrap for DoH hostnames).
   [[nodiscard]] util::Ipv4 bootstrap_resolver(const std::string& country) const;
 
@@ -237,6 +242,7 @@ class World {
   std::unique_ptr<CensorBox> censor_box_;
   std::unique_ptr<BlackholeBox> cf_blackhole_box_;
   std::vector<std::unique_ptr<AddressConflictBox>> conflict_boxes_;
+  std::vector<double> conflict_weights_;  // aligned with conflict_boxes_
   std::vector<std::unique_ptr<TlsInterceptBox>> intercept_boxes_;
 
   std::unordered_map<std::string, util::Ipv4> bootstrap_;

@@ -54,6 +54,9 @@ void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 #include "dns/wire.hpp"
 #include "exec/arena.hpp"
 #include "http/url.hpp"
+#include "measure/reachability.hpp"
+#include "proxy/proxy.hpp"
+#include "scan/doh_prober.hpp"
 #include "world/world.hpp"
 
 #if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
@@ -230,6 +233,83 @@ TEST_F(AllocBudgetTest, DohSteadyStateBudget) {
   EXPECT_LE(doh, kBudgetDoh);
   // Pre-change count (197.0): at least 1.5x under it.
   EXPECT_LE(doh * 1.5, 197.0);
+}
+
+// --- measurement-phase budgets (DESIGN.md §12) ------------------------------
+//
+// The per-client / per-check budgets below guard the arena discipline through
+// the measurement fan-out, not just the wire codec: thread-resident client
+// sets, slot-reusing query paths, pointer-shared certificate chains and
+// epoch-gated bootstrap caches. Pre-change full-scale costs (seed commit,
+// glibc, -O2, from BENCH_throughput.json): reachability_global 1175.28
+// allocs/client, doh_discovery 536.34 allocs/url_check.
+
+constexpr double kPreChangeReachabilityAllocs = 1175.28;
+constexpr double kPreChangeDohDiscoveryAllocs = 536.34;
+
+// Absolute ceilings, matching the bench_macro_study --guard phase ceilings.
+constexpr double kBudgetReachabilityPerClient = 120.0;
+constexpr double kBudgetDohDiscoveryPerCheck = 100.0;
+
+TEST_F(AllocBudgetTest, ReachabilityPerClientBudget) {
+  proxy::ProxyConfig platform_config;
+  platform_config.name = "ProxyRack";
+  platform_config.kind = proxy::PlatformKind::kGlobal;
+  proxy::ProxyNetwork platform(shared_world(), platform_config, 0x91ACULL);
+
+  measure::ReachabilityConfig config;
+  config.thread_count = 1;  // inline workers: thread_local scratch persists
+  config.seed = 17;
+
+  // Warm run: fills the thread-resident ClientSet, outcome scratch, arena
+  // leases and the resolver caches' steady-state capacities.
+  config.client_count = 150;
+  measure::ReachabilityTest warm(shared_world(), platform, config);
+  const auto warm_results = warm.run();
+  ASSERT_EQ(warm_results.clients, 150u);
+
+  constexpr std::size_t kClients = 400;
+  config.client_count = kClients;
+  measure::ReachabilityTest test(shared_world(), platform, config);
+  const auto before = g_alloc_count.load(std::memory_order_relaxed);
+  const auto results = test.run();
+  const auto after = g_alloc_count.load(std::memory_order_relaxed);
+  ASSERT_EQ(results.clients, kClients);
+
+  const double per_client =
+      static_cast<double>(after - before) / static_cast<double>(kClients);
+  RecordProperty("reachability_allocs_per_client",
+                 static_cast<int>(per_client * 10));
+  EXPECT_LE(per_client, kBudgetReachabilityPerClient);
+  // Ratio pin: at least 5x below the pre-change per-client cost, so the
+  // budget cannot be met by merely inflating the ceiling later.
+  EXPECT_LE(per_client * 5.0, kPreChangeReachabilityAllocs);
+}
+
+TEST_F(AllocBudgetTest, DohDiscoveryPerCheckBudget) {
+  const world::Vantage origin = shared_world().make_clean_vantage("US");
+  const util::Date day{2019, 1, 20};
+  scan::DohProber prober(shared_world(), origin, 77);
+  const auto& urls = shared_world().url_dataset();
+
+  // Warm run: the prober's client scratch, the URL prefilter and the probe
+  // templates all reach steady state.
+  const auto warm_discovery = prober.discover(urls, day);
+  ASSERT_GT(warm_discovery.valid_urls, 0u);
+
+  const auto before = g_alloc_count.load(std::memory_order_relaxed);
+  const auto discovery = prober.discover(urls, day);
+  const auto after = g_alloc_count.load(std::memory_order_relaxed);
+  ASSERT_GT(discovery.valid_urls, 0u);
+
+  // Same unit as the bench guard: phase allocations per *validated* URL
+  // (the funnel's work unit; the 20k-URL prefilter sweep is included).
+  const double per_check = static_cast<double>(after - before) /
+                           static_cast<double>(discovery.valid_urls);
+  RecordProperty("doh_discovery_allocs_per_check",
+                 static_cast<int>(per_check * 10));
+  EXPECT_LE(per_check, kBudgetDohDiscoveryPerCheck);
+  EXPECT_LE(per_check * 4.0, kPreChangeDohDiscoveryAllocs);
 }
 
 TEST_F(AllocBudgetTest, ArenaLeasesReuseBuffersAfterWarmup) {

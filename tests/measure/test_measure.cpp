@@ -335,6 +335,80 @@ TEST(Reachability, FaultyRunIsThreadCountInvariant) {
   EXPECT_GT(serial.client_faults.recovered, 0u);
 }
 
+// The arena-backed fan-out keeps per-worker state alive across sessions: a
+// thread-resident ClientSet rebound per vantage, a reused ClientOutcome whose
+// response/chain storage deliberately outlives each query, and flat per-cell
+// tally vectors (DESIGN.md §12). With the canonical fault profile driving
+// retries, backoffs and mid-session failovers through those reused slots,
+// every thread count — 1 (all sessions share one scratch), 2 (uneven shard
+// interleaving) and 8 — must still produce byte-identical *content*, down to
+// the interception CA names and diagnosis excerpts that stale scratch would
+// corrupt first. Each run gets a fresh world; the serial run reuses the
+// calling thread's scratch warmed by previous runs, which pins the
+// cross-world rebind contract as well.
+TEST(Reachability, FaultyArenaScratchReuseIsThreadCountInvariant) {
+  const auto run_with_threads = [](unsigned threads) {
+    // Canonical faults, plus interception and conflict rates cranked far
+    // above the paper's so the record-content comparison below always has
+    // material: this test pins scratch-reuse correctness, not Table 4 rates.
+    world::WorldConfig world_config = canonical_fault_config();
+    world_config.intercept_rate = 0.03;
+    world_config.conflict_rate = 0.03;
+    world::World world(world_config);
+    proxy::ProxyNetwork platform(world, proxy::ProxyConfig{}, 27);
+    ReachabilityConfig config;
+    config.client_count = 1000;
+    config.thread_count = threads;
+    ReachabilityTest test(world, platform, config);
+    return test.run();
+  };
+  const auto reference = run_with_threads(1);
+  // The faulty profile must actually exercise the reuse paths under test.
+  EXPECT_GT(reference.client_faults.injected, 0u);
+  EXPECT_GT(reference.proxy_faults.injected, 0u);
+  ASSERT_FALSE(reference.interceptions.empty());
+  ASSERT_FALSE(reference.conflict_diagnoses.empty());
+
+  for (const unsigned threads : {2u, 8u}) {
+    const auto run = run_with_threads(threads);
+    EXPECT_EQ(run.clients, reference.clients) << threads;
+    ASSERT_EQ(run.cells.size(), reference.cells.size()) << threads;
+    for (const auto& [key, counts] : reference.cells) {
+      const auto it = run.cells.find(key);
+      ASSERT_NE(it, run.cells.end()) << threads << " " << key.first;
+      EXPECT_EQ(counts.correct, it->second.correct) << threads << " " << key.first;
+      EXPECT_EQ(counts.incorrect, it->second.incorrect)
+          << threads << " " << key.first;
+      EXPECT_EQ(counts.failed, it->second.failed) << threads << " " << key.first;
+    }
+    ASSERT_EQ(run.interceptions.size(), reference.interceptions.size()) << threads;
+    for (std::size_t i = 0; i < run.interceptions.size(); ++i) {
+      const auto& a = reference.interceptions[i];
+      const auto& b = run.interceptions[i];
+      EXPECT_EQ(a.client_address, b.client_address) << threads;
+      EXPECT_EQ(a.country, b.country) << threads;
+      EXPECT_EQ(a.asn, b.asn) << threads;
+      EXPECT_EQ(a.untrusted_ca_cn, b.untrusted_ca_cn) << threads;
+      EXPECT_EQ(a.port_443, b.port_443) << threads;
+      EXPECT_EQ(a.port_853, b.port_853) << threads;
+      EXPECT_EQ(a.dot_lookup_succeeded, b.dot_lookup_succeeded) << threads;
+      EXPECT_EQ(a.doh_lookup_succeeded, b.doh_lookup_succeeded) << threads;
+    }
+    ASSERT_EQ(run.conflict_diagnoses.size(), reference.conflict_diagnoses.size())
+        << threads;
+    for (std::size_t i = 0; i < run.conflict_diagnoses.size(); ++i) {
+      const auto& a = reference.conflict_diagnoses[i];
+      const auto& b = run.conflict_diagnoses[i];
+      EXPECT_EQ(a.client_address, b.client_address) << threads;
+      EXPECT_EQ(a.country, b.country) << threads;
+      EXPECT_EQ(a.open_ports, b.open_ports) << threads;
+      EXPECT_EQ(a.webpage_excerpt, b.webpage_excerpt) << threads;
+    }
+    EXPECT_TRUE(tally_equal(run.client_faults, reference.client_faults)) << threads;
+    EXPECT_TRUE(tally_equal(run.proxy_faults, reference.proxy_faults)) << threads;
+  }
+}
+
 TEST(Performance, FaultyRunIsThreadCountInvariant) {
   const auto run_with_threads = [](unsigned threads) {
     world::World world(canonical_fault_config());

@@ -15,16 +15,17 @@ const util::Date kDay{2019, 3, 1};
 /// TLS certificate on port 853 and a webpage on 80.
 class EchoService final : public Service {
  public:
+  EchoService()
+      : chain_(tls::make_chain("echo.example", tls::kLetsEncryptCa, {2019, 1, 1},
+                               {2019, 12, 1})) {}
   std::string label() const override { return "echo"; }
   bool accepts(std::uint16_t port, Transport transport) const override {
     if (transport == Transport::kUdp) return port == 53;
     return port == 53 || port == 80 || port == 853;
   }
-  std::optional<tls::CertificateChain> certificate(
-      std::uint16_t port, const std::string&, const util::Date&) const override {
-    if (port != 853) return std::nullopt;
-    return tls::make_chain("echo.example", tls::kLetsEncryptCa, {2019, 1, 1},
-                           {2019, 12, 1});
+  const tls::CertificateChain* certificate(std::uint16_t port, const std::string&,
+                                           const util::Date&) const override {
+    return port == 853 ? &chain_ : nullptr;
   }
   WireReply handle(const WireRequest& request) override {
     last_pop_country = request.pop.country;
@@ -37,6 +38,9 @@ class EchoService final : public Service {
   }
 
   std::string last_pop_country;
+
+ private:
+  tls::CertificateChain chain_;
 };
 
 class DropBox final : public Middlebox {
@@ -207,9 +211,10 @@ TEST_F(NetFixture, TlsHandshakeCollectsChain) {
   auto tls = connect.connection->tls_handshake("echo.example");
   ASSERT_EQ(tls.status, TcpConnection::TlsResult::Status::kEstablished);
   EXPECT_FALSE(tls.intercepted);
-  EXPECT_EQ(tls.chain.leaf_cn(), "echo.example");
+  ASSERT_NE(tls.chain, nullptr);
+  EXPECT_EQ(tls.chain->leaf_cn(), "echo.example");
   EXPECT_TRUE(connect.connection->tls_established());
-  EXPECT_EQ(tls::verify_path(tls.chain, tls::TrustStore::mozilla(), kDay),
+  EXPECT_EQ(tls::verify_path(*tls.chain, tls::TrustStore::mozilla(), kDay),
             tls::CertStatus::kValid);
 }
 
@@ -263,8 +268,9 @@ TEST_F(NetFixture, InterceptionResignsChain) {
   auto tls = connect.connection->tls_handshake("echo.example");
   ASSERT_EQ(tls.status, TcpConnection::TlsResult::Status::kEstablished);
   EXPECT_TRUE(tls.intercepted);
-  EXPECT_EQ(tls.chain.leaf().issuer_cn, "Evil CA");
-  EXPECT_EQ(tls.chain.leaf().subject_cn, "echo.example");  // subject preserved
+  ASSERT_NE(tls.chain, nullptr);
+  EXPECT_EQ(tls.chain->leaf().issuer_cn, "Evil CA");
+  EXPECT_EQ(tls.chain->leaf().subject_cn, "echo.example");  // subject preserved
   // Exchanges still reach the origin (proxied).
   const std::vector<std::uint8_t> payload = {5, 6};
   auto exchange = connect.connection->exchange(payload, sim::Millis{5000.0});

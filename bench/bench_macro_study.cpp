@@ -318,6 +318,45 @@ bool check_alloc_ceilings(const std::vector<Row>& rows) {
   return ok;
 }
 
+/// --checkpoint-guard DIR: quantify what `--checkpoint-dir` costs. Runs the
+/// quick-scale reachability phase three times in-process — once as warmup,
+/// once with checkpointing off, once journaling into DIR — and requires (a)
+/// identical client counts (the journal must not perturb the phase) and (b)
+/// the journaling run to keep >= a third of the checkpoint-off throughput.
+/// Quick scale is the worst case for (b): each block-boundary save snapshots
+/// the resolver caches whole, a fixed cost the tiny phase barely amortises
+/// (full scale has ~12x more clients per save). The checkpoint-OFF
+/// regression bound vs the committed baseline stays with --guard: that path
+/// must not pay for the feature at all.
+std::vector<Row> run_checkpoint_guard(const std::string& dir, bool& ok) {
+  const auto run = [&](const char* name, bool checkpointed) {
+    core::Study study(core::StudyConfig::quick());
+    if (checkpointed) study.enable_checkpoint(dir, /*resume=*/false);
+    return run_row(name, "client", [&] {
+      return static_cast<unsigned long long>(study.reachability_global().clients);
+    });
+  };
+  (void)run("checkpoint_warmup", false);
+  const Row off = run("reachability_ckpt_off", false);
+  const Row on = run("reachability_ckpt_on", true);
+  ok = true;
+  if (off.queries != on.queries) {
+    std::fprintf(stderr,
+                 "checkpoint-guard: journaling changed the work-unit count "
+                 "(%llu vs %llu)\n",
+                 on.queries, off.queries);
+    ok = false;
+  }
+  if (on.qps < off.qps / 3.0) {
+    std::fprintf(stderr,
+                 "checkpoint-guard: journaling overhead too high (%.1f qps vs "
+                 "%.1f checkpoint-off; floor is 1/3)\n",
+                 on.qps, off.qps);
+    ok = false;
+  }
+  return {off, on};
+}
+
 bool check_guard(const std::string& baseline_path,
                  const std::vector<Row>& rows) {
   std::ifstream in(baseline_path);
@@ -372,6 +411,7 @@ int main(int argc, char** argv) {
   std::string scale = "full";
   std::string out_path = "BENCH_throughput.json";
   std::string guard_path;
+  std::string checkpoint_guard_dir;
   std::vector<std::string> phase_filter;
   bool skip_transports = false;
   for (int i = 1; i < argc; ++i) {
@@ -393,6 +433,8 @@ int main(int argc, char** argv) {
       out_path = next();
     } else if (arg == "--guard") {
       guard_path = next();
+    } else if (arg == "--checkpoint-guard") {
+      checkpoint_guard_dir = next();
     } else if (arg == "--phases") {
       // Comma-separated phase names (see run_phases). Re-benching a single
       // phase during iteration: --phases reachability_global. Implies the
@@ -414,10 +456,24 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--scale quick|full] [--out FILE] "
-                   "[--guard BASELINE] [--phases CSV]\n",
+                   "[--guard BASELINE] [--checkpoint-guard DIR] "
+                   "[--phases CSV]\n",
                    argv[0]);
       return 2;
     }
+  }
+
+  // Checkpoint overhead is its own mode: it needs nothing from the timed
+  // sections, and running it alone keeps the check.sh step fast.
+  if (!checkpoint_guard_dir.empty()) {
+    bool ok = false;
+    const std::vector<Row> rows = run_checkpoint_guard(checkpoint_guard_dir, ok);
+    for (const Row& row : rows)
+      std::printf("%-22s %12llu %-12s %8.3f s %12.1f qps %8.2f allocs/q\n",
+                  row.name.c_str(), row.queries, row.unit.c_str(), row.seconds,
+                  row.qps, row.allocs_per_query);
+    std::printf("checkpoint-guard: %s\n", ok ? "met" : "NOT met");
+    return ok ? 0 : 1;
   }
 
   const std::vector<Row> transports =

@@ -1,10 +1,9 @@
 #include "cache/dns_cache.hpp"
 
 #include <algorithm>
-#include <cctype>
-#include <cstdlib>
 
 #include "obs/metrics.hpp"
+#include "util/env.hpp"
 #include "util/rng.hpp"
 
 namespace encdns::cache {
@@ -16,29 +15,18 @@ namespace {
   return p;
 }
 
-[[nodiscard]] bool parse_bool(const char* text, bool fallback) noexcept {
-  if (text == nullptr) return fallback;
-  std::string value(text);
-  std::transform(value.begin(), value.end(), value.begin(),
-                 [](unsigned char c) { return std::tolower(c); });
-  if (value == "on" || value == "1" || value == "true") return true;
-  if (value == "off" || value == "0" || value == "false") return false;
-  return fallback;
-}
-
 }  // namespace
 
 CacheConfig CacheConfig::from_env(CacheConfig fallback) {
-  if (const char* env = std::getenv("ENCDNS_CACHE_ENTRIES")) {
-    const long long parsed = std::atoll(env);
-    if (parsed > 0) fallback.max_entries = static_cast<std::size_t>(parsed);
-  }
-  if (const char* env = std::getenv("ENCDNS_CACHE_NEG_TTL")) {
-    const long long parsed = std::atoll(env);
-    if (parsed > 0) fallback.negative_ttl_s = static_cast<std::uint32_t>(parsed);
-  }
-  fallback.serve_stale =
-      parse_bool(std::getenv("ENCDNS_CACHE_SERVE_STALE"), fallback.serve_stale);
+  // Strict parsing (DESIGN.md §13): ENCDNS_CACHE_ENTRIES=10k used to be
+  // atoll'd to 10 and ENCDNS_CACHE_ENTRIES=junk silently ignored; both now
+  // throw util::EnvError before any backend is built.
+  if (const auto env = util::env_positive_int("ENCDNS_CACHE_ENTRIES"))
+    fallback.max_entries = static_cast<std::size_t>(*env);
+  if (const auto env = util::env_positive_int("ENCDNS_CACHE_NEG_TTL"))
+    fallback.negative_ttl_s = static_cast<std::uint32_t>(*env);
+  if (const auto env = util::env_bool("ENCDNS_CACHE_SERVE_STALE"))
+    fallback.serve_stale = *env;
   return fallback;
 }
 
@@ -216,6 +204,29 @@ void DnsCache::clear() {
     const std::lock_guard<std::mutex> lock(shard->mutex);
     shard->lru.clear();
     shard->index.clear();
+  }
+}
+
+std::vector<ExportedEntry> DnsCache::export_entries() const {
+  std::vector<ExportedEntry> out;
+  out.reserve(size());
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const Entry& entry : shard->lru)
+      out.push_back(ExportedEntry{entry.key, entry.answer, entry.expiry_s});
+  }
+  return out;
+}
+
+void DnsCache::restore_entries(const std::vector<ExportedEntry>& entries) {
+  clear();
+  // Entries arrive most-recent first per shard, so appending to the back of
+  // each shard's list reproduces the exported LRU order exactly.
+  for (const auto& entry : entries) {
+    Shard& shard = shard_for(entry.key);
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.lru.push_back(Entry{entry.key, entry.answer, entry.expiry_s});
+    shard.index[entry.key] = std::prev(shard.lru.end());
   }
 }
 

@@ -92,6 +92,13 @@ struct CachedAnswer {
   }
 };
 
+/// One cache entry in checkpoint-export form (DESIGN.md §13).
+struct ExportedEntry {
+  std::string key;
+  CachedAnswer answer;
+  std::int64_t expiry_s = 0;
+};
+
 /// Order-independent tallies (every field is a sum of per-operation
 /// increments, so totals are thread-count invariant).
 struct CacheStats {
@@ -159,6 +166,17 @@ class DnsCache {
   }
 
   void clear();
+
+  /// Checkpoint export (DESIGN.md §13): every entry, shard-by-shard in index
+  /// order and most-recently-used first within each shard. Deterministic for
+  /// a fixed operation history; tallies are not included (the study restores
+  /// those separately).
+  [[nodiscard]] std::vector<ExportedEntry> export_entries() const;
+
+  /// Checkpoint restore: replace the contents with `entries`, reproducing
+  /// the per-shard LRU order export_entries() emitted. Requires the same
+  /// shard configuration as the exporting cache; tallies are untouched.
+  void restore_entries(const std::vector<ExportedEntry>& entries);
 
  private:
   struct Entry {

@@ -1,0 +1,107 @@
+// Study-level checkpointing over the write-ahead journal (DESIGN.md §13).
+//
+// Two record kinds, keyed by phase name:
+//   phase:<name>    — the phase finished: post-phase WorldCursor, an
+//                     `ordered` flag, a metrics-registry snapshot taken at
+//                     commit time, and the serialized phase results.
+//   partial:<name>  — the phase is mid-flight: pre-phase WorldCursor, a
+//                     metrics snapshot, and the phase's own block state.
+//                     Later partials supersede earlier ones.
+//
+// Determinism-on-resume contract: phase execution consumes the proxy
+// platforms' rng streams only in the serial acquire_batch prologue, and
+// every other random draw is derived from (seed, global index). Restoring
+// the pre-phase cursor therefore makes the rerun's recruitment identical to
+// the killed run's; the partial's metrics snapshot then restores the
+// registry absolutely (wiping the rerun's duplicate recruitment counters),
+// and the phase continues from the first uncommitted block. The `ordered`
+// flag records whether every canonical predecessor phase had committed when
+// a phase record was written — only then is its metrics snapshot a valid
+// absolute restore point (the CLI always drives phases in canonical order
+// when checkpointing, so in practice it always is).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cache/dns_cache.hpp"
+#include "core/checkpoint/journal.hpp"
+#include "exec/checkpoint_hook.hpp"
+#include "obs/metrics.hpp"
+#include "proxy/proxy.hpp"
+#include "util/bytes.hpp"
+#include "world/world.hpp"
+
+namespace encdns::core {
+
+/// Everything outside a phase's own results that must rewind with it: both
+/// proxy platforms' recruitment cursors, the cumulative resolver-cache
+/// tally, and the full contents of every recursive backend's record cache.
+/// Cache contents are NOT a behavioral no-op mid-phase: shared lookups
+/// (DoH bootstrap names, repeated diagnostic fetches) hit entries stored by
+/// earlier session blocks, and a hit answers faster than a miss — so a
+/// resumed run must see exactly the cache the killed run had.
+struct WorldCursor {
+  proxy::ProxyCursor global_platform;
+  proxy::ProxyCursor cn_platform;
+  world::World::ResolverCacheTally cache_tally;
+  std::vector<std::vector<cache::ExportedEntry>> caches;  // per backend
+};
+
+/// The canonical phase order (matches Study::observability_report).
+[[nodiscard]] const std::vector<std::string>& canonical_phases();
+
+// Byte codecs shared by checkpoint.cpp and the tests.
+void encode_cursor(util::ByteWriter& w, const WorldCursor& cursor);
+[[nodiscard]] WorldCursor decode_cursor(util::ByteReader& r);
+void encode_metrics(util::ByteWriter& w, const obs::Snapshot& snap);
+[[nodiscard]] obs::Snapshot decode_metrics(util::ByteReader& r);
+
+class StudyCheckpoint {
+ public:
+  StudyCheckpoint(std::string dir, std::uint64_t fingerprint, bool resume);
+
+  struct LoadedPhase {
+    std::vector<std::uint8_t> state;  // serialized phase results
+    WorldCursor cursor;               // post-phase world position
+  };
+
+  /// Committed full-phase record, if the journal holds one. When the record
+  /// was written in canonical order, the metrics registry is restored to its
+  /// commit-time snapshot as a side effect.
+  [[nodiscard]] std::optional<LoadedPhase> load_phase(const std::string& phase);
+
+  /// Pre-phase cursor of the newest partial record for `phase`, if any. The
+  /// caller must rewind the platforms to it before re-running the phase.
+  [[nodiscard]] std::optional<WorldCursor> partial_pre_cursor(
+      const std::string& phase) const;
+
+  /// Journal a completed phase (results + post-phase cursor + metrics).
+  void commit_phase(const std::string& phase, const std::vector<std::uint8_t>& state,
+                    const WorldCursor& cursor);
+
+  /// Block-boundary hook handed to the phase via its config. load() returns
+  /// the newest partial state (restoring the commit-time metrics snapshot);
+  /// save() journals and durably commits a new partial. A partial's cursor
+  /// is a hybrid: platform cursors from `pre_cursor` (the phase prologue
+  /// re-runs recruitment on resume) but cache contents and tally from
+  /// `capture` at save time (completed blocks never re-run, so their cache
+  /// stores must ride along).
+  [[nodiscard]] std::unique_ptr<exec::CheckpointHook> phase_hook(
+      const std::string& phase, const WorldCursor& pre_cursor,
+      std::function<WorldCursor()> capture);
+
+  [[nodiscard]] const Journal& journal() const noexcept { return journal_; }
+
+ private:
+  friend class PhaseHookImpl;
+
+  Journal journal_;
+  std::set<std::string> committed_;  // phases with a full record
+};
+
+}  // namespace encdns::core

@@ -1,0 +1,257 @@
+#include "core/checkpoint/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cinttypes>
+#include <csignal>
+#include <cstring>
+#include <filesystem>
+
+#include "util/bytes.hpp"
+#include "util/env.hpp"
+
+namespace encdns::core {
+namespace {
+
+constexpr char kMagic[8] = {'E', 'N', 'C', 'D', 'N', 'S', 'W', 'J'};
+constexpr std::size_t kHeaderSize = 24;
+
+[[nodiscard]] std::string journal_path(const std::string& dir) {
+  return dir + "/journal.bin";
+}
+[[nodiscard]] std::string commit_path(const std::string& dir) {
+  return dir + "/journal.commit";
+}
+
+void fsync_file(std::FILE* file, const std::string& what) {
+  if (std::fflush(file) != 0 || ::fsync(::fileno(file)) != 0)
+    throw JournalError("checkpoint: fsync of " + what + " failed: " +
+                       std::strerror(errno));
+}
+
+/// Durability for the rename publishing the commit pointer.
+void fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return;  // best effort; data fsyncs already happened
+  (void)::fsync(fd);
+  ::close(fd);
+}
+
+[[nodiscard]] std::vector<std::uint8_t> read_whole_file(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr)
+    throw JournalError("checkpoint: cannot open " + path + " for resume");
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buf[65536];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, file)) > 0)
+    bytes.insert(bytes.end(), buf, buf + n);
+  const bool error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (error) throw JournalError("checkpoint: read of " + path + " failed");
+  return bytes;
+}
+
+}  // namespace
+
+Journal::Journal(std::string dir, std::uint64_t fingerprint, bool resume)
+    : dir_(std::move(dir)), fingerprint_(fingerprint) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec)
+    throw JournalError("checkpoint: cannot create directory " + dir_ + ": " +
+                       ec.message());
+  if (const auto env = util::env_positive_int("ENCDNS_CHECKPOINT_KILL_AFTER"))
+    kill_after_ = static_cast<std::uint64_t>(*env);
+
+  if (resume) {
+    load_existing(fingerprint);
+  } else {
+    write_header(fingerprint);
+  }
+}
+
+Journal::~Journal() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void Journal::write_header(std::uint64_t fingerprint) {
+  file_ = std::fopen(journal_path(dir_).c_str(), "wb");
+  if (file_ == nullptr)
+    throw JournalError("checkpoint: cannot create " + journal_path(dir_));
+  util::ByteWriter header;
+  for (const char c : kMagic) header.u8(static_cast<std::uint8_t>(c));
+  header.u32(kVersion);
+  header.u32(0);  // flags, reserved
+  header.u64(fingerprint);
+  const auto& bytes = header.data();
+  if (std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size())
+    throw JournalError("checkpoint: header write failed");
+  fsync_file(file_, "journal.bin");
+  committed_bytes_ = bytes.size();
+  running_hash_ = util::fnv1a_bytes(bytes.data(), bytes.size());
+  // Publish a commit pointer for the empty journal immediately, so a kill
+  // before the first phase commit still leaves a resumable directory.
+  publish_commit_pointer();
+}
+
+void Journal::load_existing(std::uint64_t fingerprint) {
+  // --- sidecar -------------------------------------------------------------
+  const auto sidecar_bytes = read_whole_file(commit_path(dir_));
+  const std::string sidecar(sidecar_bytes.begin(), sidecar_bytes.end());
+  char tag[32] = {0};
+  char ver[16] = {0};
+  unsigned long long committed = 0;
+  unsigned long long side_hash = 0;
+  unsigned long long side_fp = 0;
+  if (std::sscanf(sidecar.c_str(), "%31s %15s %llu %llx %llx", tag, ver,
+                  &committed, &side_hash, &side_fp) != 5 ||
+      std::string_view(tag) != "encdns-journal-commit" ||
+      std::string_view(ver) != "v1")
+    throw JournalError("checkpoint: malformed commit sidecar in " + dir_);
+  if (side_fp != fingerprint)
+    throw JournalError(
+        "checkpoint: configuration fingerprint mismatch — the journal in " +
+        dir_ + " was written by a different study configuration");
+
+  // --- journal bytes -------------------------------------------------------
+  const auto bytes = read_whole_file(journal_path(dir_));
+  if (committed < kHeaderSize || committed > bytes.size())
+    throw JournalError(
+        "checkpoint: commit pointer (" + std::to_string(committed) +
+        " bytes) is outside the journal file (" +
+        std::to_string(bytes.size()) + " bytes)");
+  if (std::memcmp(bytes.data(), kMagic, sizeof kMagic) != 0)
+    throw JournalError("checkpoint: bad journal magic in " + dir_);
+  util::ByteReader header(bytes.data() + sizeof kMagic,
+                          kHeaderSize - sizeof kMagic);
+  const std::uint32_t version = header.u32();
+  (void)header.u32();  // flags
+  const std::uint64_t file_fp = header.u64();
+  if (version != kVersion)
+    throw JournalError("checkpoint: journal version " +
+                       std::to_string(version) + " is not the supported v" +
+                       std::to_string(kVersion));
+  if (file_fp != fingerprint)
+    throw JournalError(
+        "checkpoint: configuration fingerprint mismatch — the journal in " +
+        dir_ + " was written by a different study configuration");
+
+  const std::uint64_t hash = util::fnv1a_bytes(bytes.data(), committed);
+  if (hash != side_hash)
+    throw JournalError(
+        "checkpoint: committed journal prefix fails its checksum — refusing "
+        "to resume from " + dir_);
+
+  // --- records -------------------------------------------------------------
+  try {
+    util::ByteReader reader(bytes.data() + kHeaderSize,
+                            committed - kHeaderSize);
+    while (!reader.done()) {
+      const std::uint32_t key_len = reader.u32();
+      const std::uint32_t body_len = reader.u32();
+      const std::uint64_t record_hash = reader.u64();
+      if (static_cast<std::uint64_t>(key_len) + body_len > reader.remaining())
+        throw util::CodecError("record length exceeds committed prefix");
+      Record record;
+      record.key.resize(key_len);
+      for (std::uint32_t i = 0; i < key_len; ++i)
+        record.key[i] = static_cast<char>(reader.u8());
+      record.body.resize(body_len);
+      for (std::uint32_t i = 0; i < body_len; ++i) record.body[i] = reader.u8();
+      const std::uint64_t check = util::fnv1a_bytes(
+          reinterpret_cast<const std::uint8_t*>(record.body.data()),
+          record.body.size(),
+          util::fnv1a_bytes(
+              reinterpret_cast<const std::uint8_t*>(record.key.data()),
+              record.key.size()));
+      if (check != record_hash)
+        throw util::CodecError("record checksum mismatch");
+      records_.push_back(std::move(record));
+    }
+  } catch (const util::CodecError& e) {
+    throw JournalError(std::string("checkpoint: corrupt journal record (") +
+                       e.what() + ") — refusing to resume from " + dir_);
+  }
+
+  // --- reopen for append, discarding any torn tail ------------------------
+  std::error_code ec;
+  std::filesystem::resize_file(journal_path(dir_), committed, ec);
+  if (ec)
+    throw JournalError("checkpoint: cannot truncate torn journal tail: " +
+                       ec.message());
+  file_ = std::fopen(journal_path(dir_).c_str(), "ab");
+  if (file_ == nullptr)
+    throw JournalError("checkpoint: cannot reopen " + journal_path(dir_));
+  committed_bytes_ = committed;
+  running_hash_ = hash;
+}
+
+const Journal::Record* Journal::find_last(std::string_view key) const noexcept {
+  for (auto it = records_.rbegin(); it != records_.rend(); ++it)
+    if (it->key == key) return &*it;
+  return nullptr;
+}
+
+void Journal::append(std::string_view key, const std::vector<std::uint8_t>& body) {
+  util::ByteWriter record;
+  record.u32(static_cast<std::uint32_t>(key.size()));
+  record.u32(static_cast<std::uint32_t>(body.size()));
+  record.u64(util::fnv1a_bytes(
+      body.data(), body.size(),
+      util::fnv1a_bytes(reinterpret_cast<const std::uint8_t*>(key.data()),
+                        key.size())));
+  for (const char c : key) record.u8(static_cast<std::uint8_t>(c));
+  const auto& head = record.data();
+  if (std::fwrite(head.data(), 1, head.size(), file_) != head.size() ||
+      std::fwrite(body.data(), 1, body.size(), file_) != body.size())
+    throw JournalError("checkpoint: journal append failed");
+  running_hash_ = util::fnv1a_bytes(head.data(), head.size(), running_hash_);
+  running_hash_ = util::fnv1a_bytes(body.data(), body.size(), running_hash_);
+  pending_bytes_ += head.size() + body.size();
+  records_.push_back(Record{std::string(key), body});
+}
+
+void Journal::publish_commit_pointer() {
+  char line[128];
+  std::snprintf(line, sizeof line, "encdns-journal-commit v1 %" PRIu64
+                " %016" PRIx64 " %016" PRIx64 "\n",
+                committed_bytes_, running_hash_, fingerprint_);
+  const std::string tmp = commit_path(dir_) + ".tmp";
+  std::FILE* side = std::fopen(tmp.c_str(), "wb");
+  if (side == nullptr)
+    throw JournalError("checkpoint: cannot write commit sidecar in " + dir_);
+  const std::size_t len = std::strlen(line);
+  if (std::fwrite(line, 1, len, side) != len) {
+    std::fclose(side);
+    throw JournalError("checkpoint: commit sidecar write failed");
+  }
+  fsync_file(side, "journal.commit");
+  std::fclose(side);
+  if (std::rename(tmp.c_str(), commit_path(dir_).c_str()) != 0)
+    throw JournalError("checkpoint: cannot publish commit pointer: " +
+                       std::string(std::strerror(errno)));
+  fsync_dir(dir_);
+}
+
+void Journal::commit() {
+  fsync_file(file_, "journal.bin");
+  committed_bytes_ += pending_bytes_;
+  pending_bytes_ = 0;
+  publish_commit_pointer();
+  ++commit_count_;
+  // Chaos hook: die the hard way right after the n-th durable commit.
+  // tools/check.sh resumes the study from this exact state and diffs bytes.
+  if (kill_after_ != 0 && commit_count_ >= kill_after_) {
+    std::fprintf(stderr,
+                 "checkpoint: ENCDNS_CHECKPOINT_KILL_AFTER=%" PRIu64
+                 " reached, raising SIGKILL\n",
+                 kill_after_);
+    std::fflush(stderr);
+    ::raise(SIGKILL);
+  }
+}
+
+}  // namespace encdns::core

@@ -26,6 +26,23 @@ std::string protocol_name(measure::Protocol protocol) {
   return measure::to_string(protocol);
 }
 
+// Annotate a study-backed table with any degraded phase coverage so a
+// deadline-clipped run cannot be mistaken for a complete one. Fully covered
+// phases add nothing: an undegraded run's tables keep their exact bytes.
+void annotate_coverage(util::Table& table, Study& study,
+                       std::initializer_list<const char*> phases) {
+  std::string note;
+  for (const char* phase : phases) {
+    const PhaseCoverage coverage = study.phase_coverage(phase);
+    if (!coverage.degraded()) continue;
+    note += note.empty() ? "degraded coverage: " : ", ";
+    note += std::string(phase) + " " + std::to_string(coverage.completed) + "/" +
+            std::to_string(coverage.planned) + " (" +
+            fmt_pct(coverage.fraction(), 1) + ")";
+  }
+  if (!note.empty()) table.set_note(std::move(note));
+}
+
 }  // namespace
 
 util::Table experiment_table1() { return ProtocolMatrix().to_table(); }
@@ -69,6 +86,7 @@ util::Table experiment_figure3(Study& study) {
   util::Table table("Figure 3: Open DoT resolvers identified by each scan",
                     {"Scan date", "Hosts w/ 853 open", "DoT resolvers",
                      "Providers", "Large-provider address share"});
+  annotate_coverage(table, study, {"scan_campaign"});
   for (const auto& snapshot : study.scans()) {
     // Share of resolver addresses owned by providers with >= 20 addresses.
     util::Counter per_provider;
@@ -91,6 +109,7 @@ util::Table experiment_table2(Study& study) {
   const auto& scans = study.scans();
   util::Table table("Table 2: Top countries of open DoT resolvers",
                     {"CC", "First scan", "Last scan", "Growth"});
+  annotate_coverage(table, study, {"scan_campaign"});
   if (scans.empty()) return table;
   util::Counter first, last;
   for (const auto& resolver : scans.front().resolvers) first.add(resolver.country);
@@ -110,6 +129,7 @@ util::Table experiment_figure4(Study& study) {
   const auto& scans = study.scans();
   util::Table table("Figure 4: Providers of open DoT resolvers (last scan)",
                     {"Metric", "Value"});
+  annotate_coverage(table, study, {"scan_campaign"});
   if (scans.empty()) return table;
   const auto& last = scans.back();
 
@@ -172,6 +192,7 @@ util::Table experiment_doh_discovery(Study& study) {
   const auto& discovery = study.doh_discovery();
   util::Table table("DoH discovery from the URL dataset (Section 3.2)",
                     {"Metric", "Value"});
+  annotate_coverage(table, study, {"doh_discovery"});
   table.add_row({"URLs in dataset",
                  fmt_count(static_cast<std::int64_t>(discovery.urls_in_dataset))});
   table.add_row({"URLs matching DoH path templates",
@@ -214,6 +235,7 @@ util::Table experiment_figure5(Study& study) {
   const auto& discovery = study.doh_discovery();
   util::Table table("Figure 5: DoH discovery workflow (URL dataset funnel)",
                     {"Stage", "Count", "Share of dataset"});
+  annotate_coverage(table, study, {"doh_discovery"});
   const auto total = static_cast<double>(discovery.urls_in_dataset);
   const auto share = [&](std::size_t n) {
     return total <= 0.0 ? fmt_pct(0.0, 2)
@@ -241,6 +263,7 @@ util::Table experiment_figure7(Study& study) {
   const auto& reach = study.reachability_global();
   util::Table table("Figure 7: Reachability test workflow (global platform)",
                     {"Step", "Count"});
+  annotate_coverage(table, study, {"reachability_global"});
   std::uint64_t lookups = 0;
   for (const auto& [key, counts] : reach.cells) lookups += counts.total();
   table.add_row(
@@ -270,6 +293,7 @@ util::Table experiment_figure8(Study& study) {
   const auto& perf = study.performance();
   util::Table table("Figure 8: Performance test workflow (client funnel)",
                     {"Step", "Value"});
+  annotate_coverage(table, study, {"performance"});
   const std::size_t recruited = perf.clients.size() + perf.discarded_clients;
   table.add_row(
       {"Clients recruited", fmt_count(static_cast<std::int64_t>(recruited))});
@@ -288,6 +312,7 @@ util::Table experiment_local_probe(Study& study) {
   const auto& results = study.local_probe();
   util::Table table("Local-resolver DoT probe (Section 3.1, RIPE-Atlas-style)",
                     {"Metric", "Value"});
+  annotate_coverage(table, study, {"local_probe"});
   table.add_row({"Probes", fmt_count(static_cast<std::int64_t>(results.probes))});
   table.add_row({"DoT queries succeeded",
                  fmt_count(static_cast<std::int64_t>(results.dot_succeeded))});
@@ -321,6 +346,8 @@ util::Table experiment_figure6(Study& study) {
 util::Table experiment_table3(Study& study) {
   util::Table table("Table 3: Evaluation of client-side dataset",
                     {"Test", "Platform", "# Distinct IP", "# Country", "# AS"});
+  annotate_coverage(table, study,
+                    {"reachability_global", "reachability_cn", "performance"});
   const auto& global = study.reachability_global();
   const auto& cn = study.reachability_cn();
   table.add_row({"Reachability", global.dataset.platform + " (Global)",
@@ -344,6 +371,7 @@ util::Table experiment_table4(Study& study) {
   util::Table table("Table 4: Reachability test results of public resolvers",
                     {"Platform", "Resolver", "Protocol", "Correct", "Incorrect",
                      "Failed"});
+  annotate_coverage(table, study, {"reachability_global", "reachability_cn"});
   const auto emit = [&](const measure::ReachabilityResults& results,
                         const std::string& platform) {
     for (const auto& resolver : {"Cloudflare", "Google", "Quad9", "Self-built"}) {
@@ -373,6 +401,7 @@ util::Table experiment_table5(Study& study) {
   util::Table table(
       "Table 5: Ports open on 1.1.1.1, probed from clients failing Cloudflare DoT",
       {"Port", "# Clients", "Share of diagnosed clients"});
+  annotate_coverage(table, study, {"reachability_global"});
   const std::size_t total = results.conflict_diagnoses.size();
   std::map<std::uint16_t, std::size_t> per_port;
   std::size_t none = 0;
@@ -396,6 +425,7 @@ util::Table experiment_table6(Study& study) {
   util::Table table("Table 6: Example clients affected by TLS interception",
                     {"Client", "CC", "AS", "Untrusted CA CN", "443", "853",
                      "Opportunistic DoT answered"});
+  annotate_coverage(table, study, {"reachability_global"});
   for (const auto& record : results.interceptions) {
     // Anonymize the client like the paper: a.b.c.* form.
     const util::Ipv4 block = record.client_address.slash24();
@@ -419,6 +449,7 @@ util::Table experiment_figure9(Study& study) {
       "Figure 9: Query performance per country (overhead vs DNS/TCP, reused "
       "connections, ms)",
       {"Country", "# Clients", "DoT mean", "DoT median", "DoH mean", "DoH median"});
+  annotate_coverage(table, study, {"performance"});
   table.add_row({"GLOBAL",
                  fmt_count(static_cast<std::int64_t>(results.clients.size())),
                  fmt(results.overall(false, false), 1),
@@ -438,6 +469,7 @@ util::Table experiment_figure10(Study& study) {
   util::Table table(
       "Figure 10: Per-client query time, DNS vs DoT/DoH (scatter summary)",
       {"Statistic", "DNS (ms)", "DoT (ms)", "DoH (ms)"});
+  annotate_coverage(table, study, {"performance"});
   std::vector<double> dns, dot, doh;
   for (const auto& client : results.clients) {
     dns.push_back(client.dns_ms);
@@ -465,6 +497,7 @@ util::Table experiment_table7(Study& study) {
   util::Table table(
       "Table 7: Performance test results w/o connection reuse (medians, s)",
       {"Vantage", "DNS/TCP", "DoT (overhead)", "DoH (overhead)"});
+  annotate_coverage(table, study, {"no_reuse"});
   for (const auto& row : study.no_reuse()) {
     table.add_row({row.vantage_country, fmt(row.dns_s, 3),
                    fmt(row.dot_s, 3) + " (" + fmt(row.dot_overhead_ms(), 0) + "ms)",
@@ -477,6 +510,7 @@ util::Table experiment_figure11(Study& study) {
   const auto& results = study.netflow();
   util::Table table("Figure 11: Monthly DoT flows to Cloudflare and Quad9 (sampled)",
                     {"Month", "Cloudflare", "Quad9", "est. Do53 (sampled)"});
+  annotate_coverage(table, study, {"netflow"});
   std::map<util::Date, std::pair<std::uint64_t, std::uint64_t>> merged;
   for (const auto& [month, count] : results.cloudflare_monthly)
     merged[month].first = count;
@@ -507,6 +541,7 @@ util::Table experiment_figure12(Study& study) {
   const auto& results = study.netflow();
   util::Table table("Figure 12: DoT traffic to Cloudflare/Quad9 per /24 network",
                     {"Rank", "/24", "Records", "Share", "Active days"});
+  annotate_coverage(table, study, {"netflow"});
   for (std::size_t i = 0; i < std::min<std::size_t>(10, results.netblocks.size());
        ++i) {
     const auto& nb = results.netblocks[i];
@@ -541,6 +576,7 @@ util::Table experiment_figure13(Study& study) {
   util::Table table("Figure 13: Monthly query volume of popular DoH domains",
                     {"Month", "Google", "Cloudflare (mozilla.*)", "CleanBrowsing",
                      "crypto.sx"});
+  annotate_coverage(table, study, {"passive_dns"});
   std::map<util::Date, std::array<std::uint64_t, 4>> merged;
   for (std::size_t i = 0; i < popular.size(); ++i)
     for (const auto& [month, count] : results.daily_db.monthly_series(popular[i]))

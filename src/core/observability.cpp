@@ -1,5 +1,6 @@
 // Study-level observability: drives the six paper phases under one
 // PhaseProfiler and assembles the ObservabilityReport (DESIGN.md §9).
+#include <cstdio>
 #include <sstream>
 
 #include "core/study.hpp"
@@ -73,6 +74,7 @@ const ObservabilityReport& Study::observability_report() {
   report.metrics = obs::MetricsRegistry::global().snapshot();
   report.phases = profiler.records();
   report.robustness = robustness_report();
+  report.data_quality = data_quality_report();
   obs_report_ = std::move(report);
   return *obs_report_;
 }
@@ -100,7 +102,16 @@ std::string ObservabilityReport::to_json() const {
   out += ", \"scanner\": " + tally_json(robustness.scanner);
   out += ", \"proxy\": " + tally_json(robustness.proxy);
   out += ", \"resolver\": " + tally_json(robustness.resolver);
-  out += "}\n}\n";
+  out += "}";
+  out += ",\n  \"data_quality\": [";
+  for (std::size_t i = 0; i < data_quality.size(); ++i) {
+    const auto& coverage = data_quality[i];
+    if (i != 0) out += ", ";
+    out += "{\"phase\": \"" + coverage.phase +
+           "\", \"planned\": " + std::to_string(coverage.planned) +
+           ", \"completed\": " + std::to_string(coverage.completed) + "}";
+  }
+  out += "]\n}\n";
   return out;
 }
 
@@ -110,6 +121,18 @@ std::string ObservabilityReport::to_text() const {
   out << obs::PhaseProfiler::to_text(phases);
   out << metrics.to_text();
   out << "== robustness ==\n" << robustness.to_string();
+  out << "== data quality ==\n";
+  for (const auto& coverage : data_quality) {
+    out << "  " << coverage.phase << ": " << coverage.completed << "/"
+        << coverage.planned;
+    if (coverage.degraded()) {
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), " (%.1f%% coverage)",
+                    coverage.fraction() * 100.0);
+      out << buffer;
+    }
+    out << "\n";
+  }
   return out.str();
 }
 

@@ -1,5 +1,14 @@
 #include "core/study.hpp"
 
+#include <cmath>
+#include <cstdlib>
+
+#include "measure/codec.hpp"
+#include "scan/codec.hpp"
+#include "traffic/codec.hpp"
+#include "util/bytes.hpp"
+#include "util/env.hpp"
+
 namespace encdns::core {
 
 StudyConfig StudyConfig::full() {
@@ -56,67 +65,408 @@ Study::Study(StudyConfig config) : config_(std::move(config)) {
       *world_, censored, config_.world.seed ^ 0x2813ULL);
 }
 
+void Study::enable_checkpoint(const std::string& dir, bool resume) {
+  checkpoint_ =
+      std::make_unique<StudyCheckpoint>(dir, config_fingerprint(), resume);
+}
+
+void Study::set_deadline(double seconds) {
+  if (!study_cancel_) study_cancel_.emplace();
+  study_cancel_->set_wall_budget(seconds);
+}
+
+std::uint64_t Study::config_fingerprint() const {
+  // Serialize every knob that shapes the deterministic output surface; hash
+  // the byte stream. Thread counts and checkpoint/deadline settings are
+  // deliberately absent — a journal written at 8 threads must resume at 1.
+  util::ByteWriter w;
+  w.u64(config_.world.seed);
+  const auto& c = config_.campaign;
+  w.i64(c.start.to_days());
+  w.i64(c.scan_count);
+  w.i64(c.interval_days);
+  w.u64(c.seed);
+  w.u32(static_cast<std::uint32_t>(c.origin_countries.size()));
+  for (const auto& country : c.origin_countries) w.str(country);
+  w.i64(c.sweep_retries);
+  w.i64(c.probe_attempts);
+  w.i64(c.breaker_threshold);
+  const auto add_reach = [&w](const measure::ReachabilityConfig& r) {
+    w.u64(r.client_count);
+    w.i64(r.max_attempts);
+    w.f64(r.timeout.value);
+    w.i64(r.date.to_days());
+    w.u64(r.seed);
+    w.i64(r.max_failovers);
+  };
+  add_reach(config_.reachability_global);
+  add_reach(config_.reachability_cn);
+  const auto& p = config_.performance;
+  w.u64(p.client_count);
+  w.i64(p.queries_per_protocol);
+  w.i64(p.date.to_days());
+  w.u64(p.seed);
+  w.str(p.target_name);
+  w.i64(p.query_attempts);
+  w.i64(p.max_failovers);
+  const auto& nr = config_.no_reuse;
+  w.u32(static_cast<std::uint32_t>(nr.vantage_countries.size()));
+  for (const auto& country : nr.vantage_countries) w.str(country);
+  w.i64(nr.queries);
+  w.i64(nr.date.to_days());
+  w.u64(nr.seed);
+  const auto& lp = config_.local_probe;
+  w.u64(lp.probe_count);
+  w.i64(lp.date.to_days());
+  w.u64(lp.seed);
+  const auto& nf = config_.netflow;
+  w.f64(nf.sampling_rate);
+  w.u64(nf.seed);
+  w.i64(nf.backbone.start.to_days());
+  w.i64(nf.backbone.end.to_days());
+  w.u64(nf.backbone.seed);
+  w.u64(nf.backbone.heavy_blocks);
+  w.u64(nf.backbone.mid_blocks);
+  w.u64(nf.backbone.medium_blocks);
+  w.u64(nf.backbone.tail_blocks);
+  w.f64(nf.backbone.scanner_probes_per_day);
+  w.f64(nf.backbone.do53_to_dot_ratio);
+  const auto& pd = config_.passive_dns;
+  w.i64(pd.start.to_days());
+  w.i64(pd.end.to_days());
+  w.u64(pd.seed);
+  w.f64(pd.aggregate_coverage_factor);
+  // The fault and cache environment overrides change World behavior at
+  // construction, so their raw strings are part of the fingerprint.
+  for (const char* name : {"ENCDNS_FAULTS", "ENCDNS_CACHE_ENTRIES",
+                           "ENCDNS_CACHE_NEG_TTL", "ENCDNS_CACHE_SERVE_STALE"}) {
+    const auto value = util::env_string(name);
+    w.boolean(value.has_value());
+    w.str(value.value_or(""));
+  }
+  return util::fnv1a_bytes(w.data().data(), w.size(), util::kFnv1aBasis);
+}
+
+exec::CancelToken* Study::phase_cancel(const char* env_name,
+                                       std::optional<exec::CancelToken>& slot) {
+  if (slot) return &*slot;
+  const auto value = util::env_string(env_name);
+  if (!value && !study_cancel_) return nullptr;
+  slot.emplace();
+  if (study_cancel_) slot->set_parent(&*study_cancel_);
+  if (value) {
+    const bool is_sim = value->rfind("sim:", 0) == 0;
+    const std::string number = is_sim ? value->substr(4) : *value;
+    char* end = nullptr;
+    const double parsed =
+        number.empty() ? 0.0 : std::strtod(number.c_str(), &end);
+    if (number.empty() || end == nullptr || *end != '\0' ||
+        !std::isfinite(parsed) || parsed <= 0.0) {
+      throw util::EnvError(std::string(env_name) + "=\"" + *value +
+                           "\": expected a positive wall budget in seconds "
+                           "or a deterministic \"sim:<milliseconds>\" budget");
+    }
+    if (is_sim)
+      slot->set_sim_budget(sim::Millis{parsed});
+    else
+      slot->set_wall_budget(parsed);
+  }
+  return &*slot;
+}
+
+WorldCursor Study::capture_cursor() const {
+  return WorldCursor{global_platform_->cursor(), cn_platform_->cursor(),
+                     cumulative_cache_tally(),
+                     world_->export_resolver_caches()};
+}
+
+world::World::ResolverCacheTally Study::cumulative_cache_tally() const {
+  const auto live = world_->resolver_cache_tally();
+  world::World::ResolverCacheTally total;
+  total.hits = tally_baseline_.hits + live.hits;
+  total.misses = tally_baseline_.misses + live.misses;
+  total.stale_served = tally_baseline_.stale_served + live.stale_served;
+  total.upstream_faults = tally_baseline_.upstream_faults + live.upstream_faults;
+  total.evictions = tally_baseline_.evictions + live.evictions;
+  total.entries = tally_baseline_.entries + live.entries;
+  return total;
+}
+
+void Study::restore_cursor(const WorldCursor& cursor) {
+  global_platform_->restore_cursor(cursor.global_platform);
+  cn_platform_->restore_cursor(cursor.cn_platform);
+  // Cache contents first (they change the live `entries` reading), then
+  // rebase the cache-tally baseline so the cumulative tally equals the
+  // stored cursor right now and tracks the live increments from here on.
+  world_->restore_resolver_caches(cursor.caches);
+  const auto live = world_->resolver_cache_tally();
+  const auto rebase = [](std::uint64_t stored, std::uint64_t current) {
+    return stored >= current ? stored - current : 0;
+  };
+  tally_baseline_.hits = rebase(cursor.cache_tally.hits, live.hits);
+  tally_baseline_.misses = rebase(cursor.cache_tally.misses, live.misses);
+  tally_baseline_.stale_served =
+      rebase(cursor.cache_tally.stale_served, live.stale_served);
+  tally_baseline_.upstream_faults =
+      rebase(cursor.cache_tally.upstream_faults, live.upstream_faults);
+  tally_baseline_.evictions =
+      rebase(cursor.cache_tally.evictions, live.evictions);
+  tally_baseline_.entries = rebase(cursor.cache_tally.entries, live.entries);
+}
+
 const std::vector<scan::ScanSnapshot>& Study::scans() {
-  if (!scans_) {
-    scan::Scanner scanner(*world_, config_.campaign);
-    scans_ = scanner.run_campaign();
+  if (scans_) return *scans_;
+  if (checkpoint_) {
+    if (auto loaded = checkpoint_->load_phase("scan_campaign")) {
+      util::ByteReader r(loaded->state);
+      scans_ = scan::decode_snapshots(r);
+      r.expect_done();
+      restore_cursor(loaded->cursor);
+      return *scans_;
+    }
+  }
+  scan::CampaignConfig cfg = config_.campaign;
+  cfg.cancel = phase_cancel("ENCDNS_DEADLINE_SCAN", scan_cancel_);
+  std::unique_ptr<exec::CheckpointHook> hook;
+  if (checkpoint_) {
+    WorldCursor pre = capture_cursor();
+    if (auto rewound = checkpoint_->partial_pre_cursor("scan_campaign")) {
+      restore_cursor(*rewound);
+      pre = *rewound;
+    }
+    hook = checkpoint_->phase_hook("scan_campaign", pre,
+                                   [this] { return capture_cursor(); });
+    cfg.checkpoint = hook.get();
+  }
+  scan::Scanner scanner(*world_, cfg);
+  scans_ = scanner.run_campaign();
+  if (checkpoint_) {
+    util::ByteWriter w;
+    scan::encode_snapshots(w, *scans_);
+    checkpoint_->commit_phase("scan_campaign", w.take(), capture_cursor());
   }
   return *scans_;
 }
 
 const scan::DohDiscovery& Study::doh_discovery() {
-  if (!doh_discovery_) {
-    scan::DohProber prober(*world_, world_->make_clean_vantage("US"),
-                           config_.campaign.seed ^ 0xD0DULL);
-    doh_discovery_ =
-        prober.discover(world_->url_dataset(), config_.campaign.start.plus_days(30));
+  if (doh_discovery_) return *doh_discovery_;
+  if (checkpoint_) {
+    if (auto loaded = checkpoint_->load_phase("doh_discovery")) {
+      util::ByteReader r(loaded->state);
+      doh_discovery_ = scan::decode_doh_discovery(r);
+      r.expect_done();
+      restore_cursor(loaded->cursor);
+      return *doh_discovery_;
+    }
+  }
+  scan::DohProber prober(*world_, world_->make_clean_vantage("US"),
+                         config_.campaign.seed ^ 0xD0DULL);
+  doh_discovery_ =
+      prober.discover(world_->url_dataset(), config_.campaign.start.plus_days(30));
+  if (checkpoint_) {
+    util::ByteWriter w;
+    scan::encode_doh_discovery(w, *doh_discovery_);
+    checkpoint_->commit_phase("doh_discovery", w.take(), capture_cursor());
   }
   return *doh_discovery_;
 }
 
 const measure::LocalProbeResults& Study::local_probe() {
-  if (!local_probe_)
-    local_probe_ = measure::run_local_resolver_probe(*world_, config_.local_probe);
+  if (local_probe_) return *local_probe_;
+  if (checkpoint_) {
+    if (auto loaded = checkpoint_->load_phase("local_probe")) {
+      util::ByteReader r(loaded->state);
+      local_probe_ = measure::decode_local_probe(r);
+      r.expect_done();
+      restore_cursor(loaded->cursor);
+      return *local_probe_;
+    }
+  }
+  local_probe_ = measure::run_local_resolver_probe(*world_, config_.local_probe);
+  if (checkpoint_) {
+    util::ByteWriter w;
+    measure::encode_local_probe(w, *local_probe_);
+    checkpoint_->commit_phase("local_probe", w.take(), capture_cursor());
+  }
   return *local_probe_;
 }
 
 const measure::ReachabilityResults& Study::reachability_global() {
-  if (!reach_global_) {
-    measure::ReachabilityTest test(*world_, *global_platform_,
-                                   config_.reachability_global);
-    reach_global_ = test.run();
+  if (reach_global_) return *reach_global_;
+  if (checkpoint_) {
+    if (auto loaded = checkpoint_->load_phase("reachability_global")) {
+      util::ByteReader r(loaded->state);
+      reach_global_ = measure::decode_reachability(r);
+      r.expect_done();
+      restore_cursor(loaded->cursor);
+      return *reach_global_;
+    }
+  }
+  measure::ReachabilityConfig cfg = config_.reachability_global;
+  cfg.cancel = phase_cancel("ENCDNS_DEADLINE_REACH", reach_cancel_);
+  std::unique_ptr<exec::CheckpointHook> hook;
+  if (checkpoint_) {
+    WorldCursor pre = capture_cursor();
+    if (auto rewound = checkpoint_->partial_pre_cursor("reachability_global")) {
+      restore_cursor(*rewound);
+      pre = *rewound;
+    }
+    hook = checkpoint_->phase_hook("reachability_global", pre,
+                                   [this] { return capture_cursor(); });
+    cfg.checkpoint = hook.get();
+  }
+  measure::ReachabilityTest test(*world_, *global_platform_, cfg);
+  reach_global_ = test.run();
+  if (checkpoint_) {
+    util::ByteWriter w;
+    measure::encode_reachability(w, *reach_global_);
+    checkpoint_->commit_phase("reachability_global", w.take(), capture_cursor());
   }
   return *reach_global_;
 }
 
 const measure::ReachabilityResults& Study::reachability_cn() {
-  if (!reach_cn_) {
-    measure::ReachabilityTest test(*world_, *cn_platform_, config_.reachability_cn);
-    reach_cn_ = test.run();
+  if (reach_cn_) return *reach_cn_;
+  if (checkpoint_) {
+    if (auto loaded = checkpoint_->load_phase("reachability_cn")) {
+      util::ByteReader r(loaded->state);
+      reach_cn_ = measure::decode_reachability(r);
+      r.expect_done();
+      restore_cursor(loaded->cursor);
+      return *reach_cn_;
+    }
+  }
+  measure::ReachabilityConfig cfg = config_.reachability_cn;
+  // Both reachability runs share one token: ENCDNS_DEADLINE_REACH is a
+  // combined budget for the global and censored platforms together.
+  cfg.cancel = phase_cancel("ENCDNS_DEADLINE_REACH", reach_cancel_);
+  std::unique_ptr<exec::CheckpointHook> hook;
+  if (checkpoint_) {
+    WorldCursor pre = capture_cursor();
+    if (auto rewound = checkpoint_->partial_pre_cursor("reachability_cn")) {
+      restore_cursor(*rewound);
+      pre = *rewound;
+    }
+    hook = checkpoint_->phase_hook("reachability_cn", pre,
+                                   [this] { return capture_cursor(); });
+    cfg.checkpoint = hook.get();
+  }
+  measure::ReachabilityTest test(*world_, *cn_platform_, cfg);
+  reach_cn_ = test.run();
+  if (checkpoint_) {
+    util::ByteWriter w;
+    measure::encode_reachability(w, *reach_cn_);
+    checkpoint_->commit_phase("reachability_cn", w.take(), capture_cursor());
   }
   return *reach_cn_;
 }
 
 const measure::PerformanceResults& Study::performance() {
-  if (!performance_) {
-    measure::PerformanceTest test(*world_, *global_platform_, config_.performance);
-    performance_ = test.run();
+  if (performance_) return *performance_;
+  if (checkpoint_) {
+    if (auto loaded = checkpoint_->load_phase("performance")) {
+      util::ByteReader r(loaded->state);
+      performance_ = measure::decode_performance(r);
+      r.expect_done();
+      restore_cursor(loaded->cursor);
+      return *performance_;
+    }
+  }
+  measure::PerformanceConfig cfg = config_.performance;
+  cfg.cancel = phase_cancel("ENCDNS_DEADLINE_PERF", perf_cancel_);
+  std::unique_ptr<exec::CheckpointHook> hook;
+  if (checkpoint_) {
+    WorldCursor pre = capture_cursor();
+    if (auto rewound = checkpoint_->partial_pre_cursor("performance")) {
+      restore_cursor(*rewound);
+      pre = *rewound;
+    }
+    hook = checkpoint_->phase_hook("performance", pre,
+                                   [this] { return capture_cursor(); });
+    cfg.checkpoint = hook.get();
+  }
+  measure::PerformanceTest test(*world_, *global_platform_, cfg);
+  performance_ = test.run();
+  if (checkpoint_) {
+    util::ByteWriter w;
+    measure::encode_performance(w, *performance_);
+    checkpoint_->commit_phase("performance", w.take(), capture_cursor());
   }
   return *performance_;
 }
 
 const std::vector<measure::NoReuseRow>& Study::no_reuse() {
-  if (!no_reuse_) no_reuse_ = measure::run_no_reuse_test(*world_, config_.no_reuse);
+  if (no_reuse_) return *no_reuse_;
+  if (checkpoint_) {
+    if (auto loaded = checkpoint_->load_phase("no_reuse")) {
+      util::ByteReader r(loaded->state);
+      no_reuse_ = measure::decode_no_reuse(r);
+      r.expect_done();
+      restore_cursor(loaded->cursor);
+      return *no_reuse_;
+    }
+  }
+  no_reuse_ = measure::run_no_reuse_test(*world_, config_.no_reuse);
+  if (checkpoint_) {
+    util::ByteWriter w;
+    measure::encode_no_reuse(w, *no_reuse_);
+    checkpoint_->commit_phase("no_reuse", w.take(), capture_cursor());
+  }
   return *no_reuse_;
 }
 
 const traffic::NetflowStudyResults& Study::netflow() {
-  if (!netflow_) {
-    traffic::NetflowStudy study(config_.netflow,
-                                traffic::big_resolver_address_list());
-    netflow_ = study.run();
+  if (netflow_) return *netflow_;
+  if (checkpoint_) {
+    if (auto loaded = checkpoint_->load_phase("netflow")) {
+      util::ByteReader r(loaded->state);
+      netflow_ = traffic::decode_netflow_results(r);
+      r.expect_done();
+      restore_cursor(loaded->cursor);
+      return *netflow_;
+    }
+  }
+  traffic::NetflowStudyConfig cfg = config_.netflow;
+  cfg.cancel = phase_cancel("ENCDNS_DEADLINE_NETFLOW", netflow_cancel_);
+  std::unique_ptr<exec::CheckpointHook> hook;
+  if (checkpoint_) {
+    WorldCursor pre = capture_cursor();
+    if (auto rewound = checkpoint_->partial_pre_cursor("netflow")) {
+      restore_cursor(*rewound);
+      pre = *rewound;
+    }
+    hook = checkpoint_->phase_hook("netflow", pre,
+                                   [this] { return capture_cursor(); });
+    cfg.checkpoint = hook.get();
+  }
+  traffic::NetflowStudy study(cfg, traffic::big_resolver_address_list());
+  netflow_ = study.run();
+  if (checkpoint_) {
+    util::ByteWriter w;
+    traffic::encode_netflow_results(w, *netflow_);
+    checkpoint_->commit_phase("netflow", w.take(), capture_cursor());
   }
   return *netflow_;
+}
+
+const traffic::PassiveDnsStudyResults& Study::passive_dns() {
+  if (passive_dns_) return *passive_dns_;
+  if (checkpoint_) {
+    if (auto loaded = checkpoint_->load_phase("passive_dns")) {
+      util::ByteReader r(loaded->state);
+      passive_dns_ = traffic::decode_passive_dns(r);
+      r.expect_done();
+      restore_cursor(loaded->cursor);
+      return *passive_dns_;
+    }
+  }
+  passive_dns_ = traffic::run_passive_dns_study(config_.passive_dns);
+  if (checkpoint_) {
+    util::ByteWriter w;
+    traffic::encode_passive_dns(w, *passive_dns_);
+    checkpoint_->commit_phase("passive_dns", w.take(), capture_cursor());
+  }
+  return *passive_dns_;
 }
 
 fault::RobustnessReport Study::robustness_report() {
@@ -130,17 +480,60 @@ fault::RobustnessReport Study::robustness_report() {
   for (const auto& snapshot : scans()) report.scanner += snapshot.faults;
   report.scanner += doh_discovery().faults;
   // Resolver layer: upstream recursion faults drawn inside the backends,
-  // recovered when an RFC 8767 stale answer covered for the failure.
-  const auto cache_tally = world_->resolver_cache_tally();
+  // recovered when an RFC 8767 stale answer covered for the failure. The
+  // cumulative tally folds in activity from before the last resume.
+  const auto cache_tally = cumulative_cache_tally();
   report.resolver.injected = cache_tally.upstream_faults;
   report.resolver.recovered = cache_tally.stale_served;
   report.resolver.surfaced = cache_tally.upstream_faults - cache_tally.stale_served;
   return report;
 }
 
-const traffic::PassiveDnsStudyResults& Study::passive_dns() {
-  if (!passive_dns_) passive_dns_ = traffic::run_passive_dns_study(config_.passive_dns);
-  return *passive_dns_;
+PhaseCoverage Study::phase_coverage(const std::string& phase) {
+  PhaseCoverage coverage;
+  coverage.phase = phase;
+  if (phase == "scan_campaign") {
+    coverage.planned = static_cast<std::uint64_t>(config_.campaign.scan_count);
+    coverage.completed = scans().size();
+  } else if (phase == "doh_discovery") {
+    (void)doh_discovery();
+    coverage.planned = 1;
+    coverage.completed = 1;
+  } else if (phase == "local_probe") {
+    coverage.planned = config_.local_probe.probe_count;
+    coverage.completed = local_probe().probes;
+  } else if (phase == "reachability_global") {
+    const auto& r = reachability_global();
+    coverage.planned = r.clients_planned;
+    coverage.completed = r.clients;
+  } else if (phase == "reachability_cn") {
+    const auto& r = reachability_cn();
+    coverage.planned = r.clients_planned;
+    coverage.completed = r.clients;
+  } else if (phase == "performance") {
+    const auto& p = performance();
+    coverage.planned = p.clients_planned;
+    coverage.completed = p.clients_processed;
+  } else if (phase == "no_reuse") {
+    coverage.planned = config_.no_reuse.vantage_countries.size();
+    coverage.completed = no_reuse().size();
+  } else if (phase == "netflow") {
+    const auto& n = netflow();
+    coverage.planned = n.days_planned;
+    coverage.completed = n.days_processed;
+  } else if (phase == "passive_dns") {
+    (void)passive_dns();
+    coverage.planned = 1;
+    coverage.completed = 1;
+  }
+  return coverage;
+}
+
+std::vector<PhaseCoverage> Study::data_quality_report() {
+  std::vector<PhaseCoverage> report;
+  for (const auto& phase : canonical_phases())
+    report.push_back(phase_coverage(phase));
+  return report;
 }
 
 }  // namespace encdns::core

@@ -4,8 +4,11 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "core/checkpoint/checkpoint.hpp"
+#include "exec/cancel.hpp"
 #include "fault/retry.hpp"
 #include "measure/local_probe.hpp"
 #include "obs/profiler.hpp"
@@ -20,9 +23,27 @@
 
 namespace encdns::core {
 
+/// Coverage of one study phase (DESIGN.md §13): work units planned by the
+/// config vs actually completed. They differ only when a deadline budget
+/// cancelled the phase's tail; every table and figure derived from a
+/// degraded phase is annotated with this fraction.
+struct PhaseCoverage {
+  std::string phase;
+  std::uint64_t planned = 0;
+  std::uint64_t completed = 0;
+
+  [[nodiscard]] double fraction() const noexcept {
+    return planned == 0 ? 1.0
+                        : static_cast<double>(completed) /
+                              static_cast<double>(planned);
+  }
+  [[nodiscard]] bool degraded() const noexcept { return completed < planned; }
+};
+
 /// Everything the obs layer saw while the study ran: the full metrics
 /// snapshot, the six-phase profile (scan → certs → reachability →
-/// performance → netflow → passive_dns), and the fault-layer roll-up.
+/// performance → netflow → passive_dns), the fault-layer roll-up, and the
+/// per-phase data-quality (coverage) accounting.
 /// to_json() emits only deterministic fields — it is bit-identical across
 /// thread counts for a fixed config (the acceptance surface); to_text()
 /// adds the diagnostic metrics and wall-clock timings.
@@ -30,6 +51,7 @@ struct ObservabilityReport {
   obs::Snapshot metrics;
   std::vector<obs::PhaseRecord> phases;
   fault::RobustnessReport robustness;
+  std::vector<PhaseCoverage> data_quality;
 
   [[nodiscard]] std::string to_json() const;
   [[nodiscard]] std::string to_text() const;
@@ -99,11 +121,55 @@ class Study {
   /// results and their metrics stay attributed to no phase.
   [[nodiscard]] const ObservabilityReport& observability_report();
 
+  /// Attach a write-ahead phase journal under `dir` (DESIGN.md §13). With
+  /// `resume` false the directory must not hold a live journal; with `resume`
+  /// true a compatible journal is replayed: committed phases load instead of
+  /// running, and a mid-flight phase continues after its last committed
+  /// block. Must be called before any experiment is forced.
+  void enable_checkpoint(const std::string& dir, bool resume);
+
+  /// Study-wide wall-clock deadline (seconds from now). Phases started after
+  /// it expires are cut at their first block boundary; coverage fractions
+  /// record what was lost. Wall deadlines are inherently nondeterministic —
+  /// they degrade coverage, they do not promise byte-identical output.
+  void set_deadline(double seconds);
+
+  /// Fingerprint over every determinism-relevant config knob (and the
+  /// ENCDNS_FAULTS / ENCDNS_CACHE_* environment), excluding thread counts
+  /// and checkpoint/deadline settings. A journal written under one
+  /// fingerprint refuses to resume under another.
+  [[nodiscard]] std::uint64_t config_fingerprint() const;
+
+  /// Planned-vs-completed accounting for one canonical phase (forces it).
+  [[nodiscard]] PhaseCoverage phase_coverage(const std::string& phase);
+
+  /// Coverage for every canonical phase, in canonical order (forces all).
+  [[nodiscard]] std::vector<PhaseCoverage> data_quality_report();
+
  private:
+  [[nodiscard]] WorldCursor capture_cursor() const;
+  void restore_cursor(const WorldCursor& cursor);
+  /// Resolver-cache tally including activity from before the last resume
+  /// (the live World starts cold; the cursor carries the killed run's tally).
+  [[nodiscard]] world::World::ResolverCacheTally cumulative_cache_tally() const;
+  /// Lazily build the per-phase cancel token in `slot` from the `env_name`
+  /// budget variable ("<seconds>" wall or "sim:<ms>" deterministic) chained
+  /// to the study-wide deadline token. Returns nullptr when neither exists.
+  [[nodiscard]] exec::CancelToken* phase_cancel(
+      const char* env_name, std::optional<exec::CancelToken>& slot);
+
   StudyConfig config_;
   std::unique_ptr<world::World> world_;
   std::unique_ptr<proxy::ProxyNetwork> global_platform_;
   std::unique_ptr<proxy::ProxyNetwork> cn_platform_;
+
+  std::unique_ptr<StudyCheckpoint> checkpoint_;
+  std::optional<exec::CancelToken> study_cancel_;
+  std::optional<exec::CancelToken> scan_cancel_;
+  std::optional<exec::CancelToken> reach_cancel_;  // shared by both platforms
+  std::optional<exec::CancelToken> perf_cancel_;
+  std::optional<exec::CancelToken> netflow_cancel_;
+  world::World::ResolverCacheTally tally_baseline_;
 
   std::optional<std::vector<scan::ScanSnapshot>> scans_;
   std::optional<scan::DohDiscovery> doh_discovery_;

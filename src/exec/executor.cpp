@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "obs/metrics.hpp"
+#include "util/env.hpp"
 
 namespace encdns::exec {
 
@@ -30,10 +31,11 @@ struct ExecMetrics {
 
 unsigned resolve_thread_count(unsigned requested) {
   if (requested > 0) return requested;
-  if (const char* env = std::getenv("ENCDNS_THREADS")) {
-    const long parsed = std::strtol(env, nullptr, 10);
-    if (parsed > 0) return static_cast<unsigned>(parsed);
-  }
+  // env_positive_int throws util::EnvError on "fuor", "0", "-2", "4x" — a
+  // misconfigured run must refuse to start, not silently fall back to the
+  // hardware default (DESIGN.md §13).
+  if (const auto env = util::env_positive_int("ENCDNS_THREADS"))
+    return static_cast<unsigned>(*env);
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
 }
@@ -62,17 +64,23 @@ struct WorkerPool::Impl {
 
   std::uint64_t serial = 0;  // bumped per job so sleeping workers notice work
   const std::function<void(std::size_t)>* fn = nullptr;
+  const CancelToken* cancel = nullptr;  // current job's token (may be null)
   std::size_t total = 0;      // shards in the current job
   std::size_t next = 0;       // next unclaimed shard
   std::size_t remaining = 0;  // shards not yet retired
+  std::size_t executed_shards = 0;  // shards actually run (not skipped)
   std::size_t active = 0;     // threads currently inside drain()
   std::exception_ptr error;
   bool shutdown = false;
 
   /// Claim and run shards until none remain. Called and returns with `lock`
-  /// held. After the first exception, later shards are claimed but skipped.
-  /// `is_worker` distinguishes pool threads from the submitting thread for
-  /// the (diagnostic) steal tally.
+  /// held. After the first exception — or once the job's cancel token trips —
+  /// later shards are still claimed and retired (so waits never hang) but
+  /// are skipped, not executed. Because claims are handed out in increasing
+  /// index order under the mutex and both conditions are monotonic, the
+  /// executed shards always form a prefix of [0, total). `is_worker`
+  /// distinguishes pool threads from the submitting thread for the
+  /// (diagnostic) steal tally.
   void drain(std::unique_lock<std::mutex>& lock, bool is_worker) {
     std::uint64_t executed = 0;
     while (next < total) {
@@ -81,7 +89,9 @@ struct WorkerPool::Impl {
           static_cast<std::int64_t>(total - next));
       ++executed;
       const auto* job = fn;
-      const bool skip = error != nullptr;
+      const bool skip =
+          error != nullptr || (cancel != nullptr && cancel->cancelled());
+      if (!skip) ++executed_shards;
       lock.unlock();
       std::exception_ptr thrown;
       if (!skip) {
@@ -134,18 +144,31 @@ WorkerPool::~WorkerPool() {
 
 void WorkerPool::parallel_for_shards(
     std::size_t n_shards, const std::function<void(std::size_t)>& fn) {
-  if (n_shards == 0) return;
+  (void)parallel_for_shards(n_shards, fn, nullptr);
+}
+
+std::size_t WorkerPool::parallel_for_shards(
+    std::size_t n_shards, const std::function<void(std::size_t)>& fn,
+    const CancelToken* cancel) {
+  if (n_shards == 0) return 0;
   ExecMetrics::get().jobs.add(1);
   ExecMetrics::get().tasks.add(n_shards);
   if (impl_ == nullptr || n_shards == 1) {
-    for (std::size_t shard = 0; shard < n_shards; ++shard) fn(shard);
-    return;
+    std::size_t executed = 0;
+    for (std::size_t shard = 0; shard < n_shards; ++shard) {
+      if (cancel != nullptr && cancel->cancelled()) break;
+      fn(shard);
+      ++executed;
+    }
+    return executed;
   }
   std::unique_lock<std::mutex> lock(impl_->mutex);
   impl_->fn = &fn;
+  impl_->cancel = cancel;
   impl_->total = n_shards;
   impl_->next = 0;
   impl_->remaining = n_shards;
+  impl_->executed_shards = 0;
   impl_->error = nullptr;
   ++impl_->serial;
   ++impl_->active;
@@ -157,12 +180,15 @@ void WorkerPool::parallel_for_shards(
   impl_->cv_done.wait(
       lock, [&] { return impl_->remaining == 0 && impl_->active == 0; });
   impl_->fn = nullptr;
+  impl_->cancel = nullptr;
+  const std::size_t executed = impl_->executed_shards;
   if (impl_->error) {
     const std::exception_ptr error = impl_->error;
     impl_->error = nullptr;
     lock.unlock();
     std::rethrow_exception(error);
   }
+  return executed;
 }
 
 }  // namespace encdns::exec

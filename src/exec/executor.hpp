@@ -19,13 +19,14 @@
 #include <utility>
 #include <vector>
 
+#include "exec/cancel.hpp"
 #include "util/rng.hpp"
 
 namespace encdns::exec {
 
 /// Effective worker count: `requested` when > 0, else the ENCDNS_THREADS
-/// environment variable when set to a positive integer, else
-/// hardware_concurrency() (minimum 1).
+/// environment variable when set, else hardware_concurrency() (minimum 1).
+/// A malformed or non-positive ENCDNS_THREADS throws util::EnvError.
 [[nodiscard]] unsigned resolve_thread_count(unsigned requested = 0);
 
 /// Contiguous index range [first, last) owned by shard `shard` of `shards`
@@ -61,6 +62,18 @@ class WorkerPool {
   /// shards are skipped.
   void parallel_for_shards(std::size_t n_shards,
                            const std::function<void(std::size_t)>& fn);
+
+  /// Cancellable variant: `cancel` (may be null) is checked at shard pickup,
+  /// under the job mutex, so once it trips no further shard starts — the
+  /// shards that did execute form a prefix [0, k) of the canonical order
+  /// (claims are handed out in increasing index order and cancellation is
+  /// monotonic). Returns k, the executed-prefix length. In-flight shards are
+  /// never interrupted: cancellation lands only on shard boundaries, which
+  /// is what keeps a deterministically-triggered abort bit-identical at any
+  /// thread count.
+  std::size_t parallel_for_shards(std::size_t n_shards,
+                                  const std::function<void(std::size_t)>& fn,
+                                  const CancelToken* cancel);
 
  private:
   struct Impl;

@@ -1,0 +1,24 @@
+// Byte codec for the fault-layer value types shared by every phase codec
+// (DESIGN.md §13). Header-only: the tally is three integers.
+#pragma once
+
+#include "fault/retry.hpp"
+#include "util/bytes.hpp"
+
+namespace encdns::fault {
+
+inline void encode_tally(util::ByteWriter& w, const LayerTally& tally) {
+  w.u64(tally.injected);
+  w.u64(tally.recovered);
+  w.u64(tally.surfaced);
+}
+
+[[nodiscard]] inline LayerTally decode_tally(util::ByteReader& r) {
+  LayerTally tally;
+  tally.injected = r.u64();
+  tally.recovered = r.u64();
+  tally.surfaced = r.u64();
+  return tally;
+}
+
+}  // namespace encdns::fault

@@ -4,6 +4,8 @@
 #include <cctype>
 #include <cstdlib>
 
+#include "util/env.hpp"
+
 namespace encdns::fault {
 namespace {
 
@@ -59,9 +61,9 @@ FaultProfile FaultProfile::canonical() noexcept {
 }
 
 FaultProfile FaultProfile::from_env(FaultProfile fallback) {
-  const char* env = std::getenv("ENCDNS_FAULTS");
-  if (env == nullptr) return fallback;
-  std::string value(env);
+  const auto env = util::env_string("ENCDNS_FAULTS");
+  if (!env) return fallback;
+  std::string value(*env);
   std::transform(value.begin(), value.end(), value.begin(),
                  [](unsigned char c) { return std::tolower(c); });
   if (value == "canonical" || value == "on" || value == "1") {
@@ -70,7 +72,10 @@ FaultProfile FaultProfile::from_env(FaultProfile fallback) {
   if (value == "off" || value == "none" || value == "0") {
     return FaultProfile{};
   }
-  return fallback;
+  // A typo like ENCDNS_FAULTS=canonial used to silently run the fallback
+  // profile; an unknown value now refuses to start (DESIGN.md §13).
+  throw util::EnvError("ENCDNS_FAULTS=\"" + *env +
+                       "\" is invalid: expected canonical/on/1 or off/none/0");
 }
 
 FaultInjector::FaultInjector(const FaultProfile& profile, std::uint64_t seed)

@@ -92,8 +92,8 @@ struct FaultProfile {
   [[nodiscard]] static FaultProfile canonical() noexcept;
 
   /// ENCDNS_FAULTS env override: "canonical"/"on"/"1" forces the canonical
-  /// profile, "off"/"none"/"0" disables injection, anything else (or unset)
-  /// keeps `fallback`.
+  /// profile, "off"/"none"/"0" disables injection, unset keeps `fallback`;
+  /// any other value throws util::EnvError (misconfiguration fails loudly).
   [[nodiscard]] static FaultProfile from_env(FaultProfile fallback);
 };
 

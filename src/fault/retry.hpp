@@ -6,9 +6,12 @@
 // module, ReachabilityTest did exactly that).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "client/outcome.hpp"
 #include "sim/duration.hpp"
@@ -91,6 +94,19 @@ class CircuitBreaker {
     return count;
   }
   [[nodiscard]] int threshold() const noexcept { return threshold_; }
+
+  /// Checkpoint export: every (address, strikes) pair in ascending key order,
+  /// so the serialized campaign state is canonical.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, int>> export_strikes() const {
+    std::vector<std::pair<std::uint64_t, int>> out(strikes_.begin(),
+                                                   strikes_.end());
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+  void restore_strikes(const std::vector<std::pair<std::uint64_t, int>>& strikes) {
+    strikes_.clear();
+    for (const auto& [key, count] : strikes) strikes_[key] = count;
+  }
 
  private:
   int threshold_;

@@ -1,0 +1,194 @@
+#include "measure/codec.hpp"
+
+#include "fault/codec.hpp"
+
+namespace encdns::measure {
+namespace {
+
+void encode_dataset(util::ByteWriter& w, const proxy::DatasetSummary& dataset) {
+  w.str(dataset.platform);
+  w.u64(dataset.distinct_ips);
+  w.u64(dataset.countries);
+  w.u64(dataset.ases);
+}
+
+[[nodiscard]] proxy::DatasetSummary decode_dataset(util::ByteReader& r) {
+  proxy::DatasetSummary dataset;
+  dataset.platform = r.str();
+  dataset.distinct_ips = static_cast<std::size_t>(r.u64());
+  dataset.countries = static_cast<std::size_t>(r.u64());
+  dataset.ases = static_cast<std::size_t>(r.u64());
+  return dataset;
+}
+
+void encode_ports(util::ByteWriter& w, const std::vector<std::uint16_t>& ports) {
+  w.u32(static_cast<std::uint32_t>(ports.size()));
+  for (const std::uint16_t port : ports) w.u16(port);
+}
+
+[[nodiscard]] std::vector<std::uint16_t> decode_ports(util::ByteReader& r) {
+  const std::uint32_t n = r.count(2);
+  std::vector<std::uint16_t> ports;
+  ports.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) ports.push_back(r.u16());
+  return ports;
+}
+
+}  // namespace
+
+void encode_reachability(util::ByteWriter& w,
+                         const ReachabilityResults& results) {
+  w.str(results.platform);
+  w.u64(results.clients);
+  w.u64(results.clients_planned);
+  encode_dataset(w, results.dataset);
+  fault::encode_tally(w, results.client_faults);
+  fault::encode_tally(w, results.proxy_faults);
+  w.u32(static_cast<std::uint32_t>(results.cells.size()));
+  for (const auto& [key, counts] : results.cells) {
+    w.str(key.first);
+    w.u8(static_cast<std::uint8_t>(key.second));
+    w.u64(counts.correct);
+    w.u64(counts.incorrect);
+    w.u64(counts.failed);
+  }
+  w.u32(static_cast<std::uint32_t>(results.conflict_diagnoses.size()));
+  for (const auto& d : results.conflict_diagnoses) {
+    w.u32(d.client_address.value());
+    w.str(d.country);
+    w.u32(d.asn);
+    encode_ports(w, d.open_ports);
+    w.str(d.webpage_excerpt);
+  }
+  w.u32(static_cast<std::uint32_t>(results.interceptions.size()));
+  for (const auto& rec : results.interceptions) {
+    w.u32(rec.client_address.value());
+    w.str(rec.country);
+    w.u32(rec.asn);
+    w.str(rec.untrusted_ca_cn);
+    w.boolean(rec.port_443);
+    w.boolean(rec.port_853);
+    w.boolean(rec.dot_lookup_succeeded);
+    w.boolean(rec.doh_lookup_succeeded);
+  }
+}
+
+ReachabilityResults decode_reachability(util::ByteReader& r) {
+  ReachabilityResults results;
+  results.platform = r.str();
+  results.clients = static_cast<std::size_t>(r.u64());
+  results.clients_planned = static_cast<std::size_t>(r.u64());
+  results.dataset = decode_dataset(r);
+  results.client_faults = fault::decode_tally(r);
+  results.proxy_faults = fault::decode_tally(r);
+  const std::uint32_t n_cells = r.count(4);
+  for (std::uint32_t i = 0; i < n_cells; ++i) {
+    std::string name = r.str();
+    const auto protocol = static_cast<Protocol>(r.u8());
+    OutcomeCounts counts;
+    counts.correct = r.u64();
+    counts.incorrect = r.u64();
+    counts.failed = r.u64();
+    results.cells.emplace(std::make_pair(std::move(name), protocol), counts);
+  }
+  const std::uint32_t n_diagnoses = r.count(8);
+  results.conflict_diagnoses.reserve(n_diagnoses);
+  for (std::uint32_t i = 0; i < n_diagnoses; ++i) {
+    ConflictDiagnosis d;
+    d.client_address = util::Ipv4{r.u32()};
+    d.country = r.str();
+    d.asn = r.u32();
+    d.open_ports = decode_ports(r);
+    d.webpage_excerpt = r.str();
+    results.conflict_diagnoses.push_back(std::move(d));
+  }
+  const std::uint32_t n_interceptions = r.count(8);
+  results.interceptions.reserve(n_interceptions);
+  for (std::uint32_t i = 0; i < n_interceptions; ++i) {
+    InterceptionRecord rec;
+    rec.client_address = util::Ipv4{r.u32()};
+    rec.country = r.str();
+    rec.asn = r.u32();
+    rec.untrusted_ca_cn = r.str();
+    rec.port_443 = r.boolean();
+    rec.port_853 = r.boolean();
+    rec.dot_lookup_succeeded = r.boolean();
+    rec.doh_lookup_succeeded = r.boolean();
+    results.interceptions.push_back(std::move(rec));
+  }
+  return results;
+}
+
+void encode_performance(util::ByteWriter& w, const PerformanceResults& results) {
+  w.u64(results.discarded_clients);
+  w.u64(results.clients_planned);
+  w.u64(results.clients_processed);
+  fault::encode_tally(w, results.client_faults);
+  fault::encode_tally(w, results.proxy_faults);
+  w.u32(static_cast<std::uint32_t>(results.clients.size()));
+  for (const auto& client : results.clients) {
+    w.str(client.country);
+    w.f64(client.dns_ms);
+    w.f64(client.dot_ms);
+    w.f64(client.doh_ms);
+  }
+}
+
+PerformanceResults decode_performance(util::ByteReader& r) {
+  PerformanceResults results;
+  results.discarded_clients = static_cast<std::size_t>(r.u64());
+  results.clients_planned = static_cast<std::size_t>(r.u64());
+  results.clients_processed = static_cast<std::size_t>(r.u64());
+  results.client_faults = fault::decode_tally(r);
+  results.proxy_faults = fault::decode_tally(r);
+  const std::uint32_t n = r.count(8);
+  results.clients.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ClientLatency client;
+    client.country = r.str();
+    client.dns_ms = r.f64();
+    client.dot_ms = r.f64();
+    client.doh_ms = r.f64();
+    results.clients.push_back(std::move(client));
+  }
+  return results;
+}
+
+void encode_no_reuse(util::ByteWriter& w, const std::vector<NoReuseRow>& rows) {
+  w.u32(static_cast<std::uint32_t>(rows.size()));
+  for (const auto& row : rows) {
+    w.str(row.vantage_country);
+    w.f64(row.dns_s);
+    w.f64(row.dot_s);
+    w.f64(row.doh_s);
+  }
+}
+
+std::vector<NoReuseRow> decode_no_reuse(util::ByteReader& r) {
+  const std::uint32_t n = r.count(8);
+  std::vector<NoReuseRow> rows;
+  rows.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    NoReuseRow row;
+    row.vantage_country = r.str();
+    row.dns_s = r.f64();
+    row.dot_s = r.f64();
+    row.doh_s = r.f64();
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void encode_local_probe(util::ByteWriter& w, const LocalProbeResults& results) {
+  w.u64(results.probes);
+  w.u64(results.dot_succeeded);
+}
+
+LocalProbeResults decode_local_probe(util::ByteReader& r) {
+  LocalProbeResults results;
+  results.probes = static_cast<std::size_t>(r.u64());
+  results.dot_succeeded = static_cast<std::size_t>(r.u64());
+  return results;
+}
+
+}  // namespace encdns::measure

@@ -1,0 +1,26 @@
+// Byte codec for §4 measurement results (DESIGN.md §13): reachability,
+// performance, no-reuse and local-probe phase/partial checkpoint records.
+#pragma once
+
+#include <vector>
+
+#include "measure/local_probe.hpp"
+#include "measure/performance.hpp"
+#include "measure/reachability.hpp"
+#include "util/bytes.hpp"
+
+namespace encdns::measure {
+
+void encode_reachability(util::ByteWriter& w, const ReachabilityResults& results);
+[[nodiscard]] ReachabilityResults decode_reachability(util::ByteReader& r);
+
+void encode_performance(util::ByteWriter& w, const PerformanceResults& results);
+[[nodiscard]] PerformanceResults decode_performance(util::ByteReader& r);
+
+void encode_no_reuse(util::ByteWriter& w, const std::vector<NoReuseRow>& rows);
+[[nodiscard]] std::vector<NoReuseRow> decode_no_reuse(util::ByteReader& r);
+
+void encode_local_probe(util::ByteWriter& w, const LocalProbeResults& results);
+[[nodiscard]] LocalProbeResults decode_local_probe(util::ByteReader& r);
+
+}  // namespace encdns::measure

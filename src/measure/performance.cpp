@@ -6,7 +6,9 @@
 #include "exec/executor.hpp"
 #include "http/url.hpp"
 #include "measure/client_set.hpp"
+#include "measure/codec.hpp"
 #include "obs/span.hpp"
+#include "util/bytes.hpp"
 #include "util/stats.hpp"
 
 namespace encdns::measure {
@@ -84,12 +86,13 @@ PerformanceResults PerformanceTest::run() {
   // scheduling; every client then runs on its own derived rng stream
   // (including its churn draws, which used to come from the platform's
   // shared stream) and yields one optional partial, merged in client order.
+  // A resumed run re-acquires the same batch because the checkpoint rewound
+  // the platform cursor.
   std::vector<proxy::ProxySession> sessions =
       platform_->acquire_batch(config_.client_count);
+  results.clients_planned = sessions.size();
 
-  exec::WorkerPool pool(config_.thread_count);
-  const auto partials = exec::parallel_map(
-      pool, sessions,
+  const auto measure_client =
       [&](proxy::ProxySession& session, std::size_t i) -> ClientPartial {
         ClientPartial partial;
         util::Rng rng = exec::shard_rng(config_.seed ^ 0x9E2FULL, i);
@@ -235,7 +238,7 @@ PerformanceResults PerformanceTest::run() {
         latency.doh_ms = median_of(doh_times).value_or(0.0);
         partial.latency = std::move(latency);
         return partial;
-      });
+      };
 
   auto& registry = obs::MetricsRegistry::global();
   static obs::Histogram& do53_ms =
@@ -244,27 +247,83 @@ PerformanceResults PerformanceTest::run() {
       registry.histogram("measure.perf.dot_ms", obs::latency_buckets_ms());
   static obs::Histogram& doh_ms =
       registry.histogram("measure.perf.doh_ms", obs::latency_buckets_ms());
-  // Reserve once: the surviving-client count is known before assembly.
-  std::size_t surviving = 0;
-  for (const auto& partial : partials)
-    surviving += partial.latency.has_value() ? 1 : 0;
-  results.clients.reserve(surviving);
-  for (const auto& partial : partials) {  // canonical client-order merge
-    if (partial.latency) {
-      results.clients.push_back(*partial.latency);
-      do53_ms.observe(partial.latency->dns_ms);
-      dot_ms.observe(partial.latency->dot_ms);
-      doh_ms.observe(partial.latency->doh_ms);
-      perf_span.add_sim(sim::Millis{partial.latency->dns_ms +
-                                    partial.latency->dot_ms +
-                                    partial.latency->doh_ms});
-    } else {
-      ++results.discarded_clients;
+
+  // Clients run in fixed-size blocks; block boundaries are where checkpoints
+  // land, sim time is accounted, and cancellation is honored, so degradation
+  // and resume both cut on an exact prefix of the canonical client order.
+  std::size_t processed = 0;
+  std::uint64_t sim_credit_us = 0;
+  if (config_.checkpoint != nullptr) {
+    if (const auto state = config_.checkpoint->load()) {
+      util::ByteReader r(*state);
+      processed = static_cast<std::size_t>(r.u64());
+      sim_credit_us = r.u64();
+      results = decode_performance(r);
+      r.expect_done();
+      // The killed process died before its phase span was recorded; carry
+      // the sim time it had already accumulated into this run's span. The
+      // credit is kept in integer microseconds because add_sim rounds per
+      // call — only the integer sum replays the original total exactly.
+      perf_span.add_sim_us(sim_credit_us);
     }
-    results.client_faults += partial.client_faults;
-    results.proxy_faults += partial.proxy_faults;
   }
-  registry.counter("measure.perf.sessions").add(sessions.size());
+
+  exec::WorkerPool pool(config_.thread_count);
+  constexpr std::size_t kBlock = 512;
+  bool cancelled = config_.cancel != nullptr && config_.cancel->cancelled();
+  while (processed < sessions.size() && !cancelled) {
+    const std::size_t first = processed;
+    const std::size_t count = std::min(kBlock, sessions.size() - first);
+    std::vector<ClientPartial> partials(count);
+    const std::size_t executed = pool.parallel_for_shards(
+        count,
+        [&](std::size_t i) {
+          partials[i] = measure_client(sessions[first + i], first + i);
+        },
+        config_.cancel);
+
+    std::size_t surviving = 0;
+    for (std::size_t i = 0; i < executed; ++i)
+      surviving += partials[i].latency.has_value() ? 1 : 0;
+    results.clients.reserve(results.clients.size() + surviving);
+
+    sim::Millis block_sim{0.0};
+    for (std::size_t i = 0; i < executed; ++i) {  // canonical client order
+      const auto& partial = partials[i];
+      if (partial.latency) {
+        results.clients.push_back(*partial.latency);
+        do53_ms.observe(partial.latency->dns_ms);
+        dot_ms.observe(partial.latency->dot_ms);
+        doh_ms.observe(partial.latency->doh_ms);
+        const sim::Millis client_sim{partial.latency->dns_ms +
+                                     partial.latency->dot_ms +
+                                     partial.latency->doh_ms};
+        perf_span.add_sim(client_sim);
+        sim_credit_us += obs::SpanScope::to_sim_us(client_sim);
+        block_sim += client_sim;
+      } else {
+        ++results.discarded_clients;
+      }
+      results.client_faults += partial.client_faults;
+      results.proxy_faults += partial.proxy_faults;
+    }
+    processed += executed;
+    if (config_.cancel != nullptr) {
+      config_.cancel->spend_sim(block_sim);
+      if (executed < count || config_.cancel->cancelled()) cancelled = true;
+    }
+    if (config_.checkpoint != nullptr && !cancelled &&
+        processed < sessions.size()) {
+      util::ByteWriter w;
+      w.u64(processed);
+      w.u64(sim_credit_us);
+      encode_performance(w, results);
+      config_.checkpoint->save(w.take());
+    }
+  }
+
+  results.clients_processed = processed;
+  registry.counter("measure.perf.sessions").add(processed);
   registry.counter("measure.perf.clients").add(results.clients.size());
   registry.counter("measure.perf.discarded").add(results.discarded_clients);
   registry.counter("measure.perf.client_faults")

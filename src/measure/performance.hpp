@@ -19,6 +19,8 @@
 #include "client/do53.hpp"
 #include "client/doh.hpp"
 #include "client/dot.hpp"
+#include "exec/cancel.hpp"
+#include "exec/checkpoint_hook.hpp"
 #include "fault/retry.hpp"
 #include "measure/targets.hpp"
 #include "proxy/proxy.hpp"
@@ -64,11 +66,19 @@ struct PerformanceConfig {
   /// round restarts on the replacement node, mirroring the paper's
   /// node-discard-and-continue method without losing the vantage.
   int max_failovers = 2;
+  /// Cooperative cancellation + block-boundary checkpointing (DESIGN.md §13);
+  /// both optional, same semantics as ReachabilityConfig.
+  exec::CancelToken* cancel = nullptr;
+  exec::CheckpointHook* checkpoint = nullptr;
 };
 
 struct PerformanceResults {
   std::vector<ClientLatency> clients;  // only clients where all transports worked
   std::size_t discarded_clients = 0;   // failures or expiring exit nodes
+  /// Coverage accounting (DESIGN.md §13): vantages planned vs actually
+  /// measured (kept + discarded); they differ only under a deadline.
+  std::size_t clients_planned = 0;
+  std::size_t clients_processed = 0;
   /// Fault accounting: per-query transient retries and exit-node churn
   /// vs failover recoveries.
   fault::LayerTally client_faults;

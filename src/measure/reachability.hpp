@@ -16,6 +16,8 @@
 #include "client/do53.hpp"
 #include "client/doh.hpp"
 #include "client/dot.hpp"
+#include "exec/cancel.hpp"
+#include "exec/checkpoint_hook.hpp"
 #include "fault/retry.hpp"
 #include "http/url.hpp"
 #include "measure/targets.hpp"
@@ -74,11 +76,22 @@ struct ReachabilityConfig {
   /// Session failovers allowed when an exit node dies mid-run; beyond this
   /// the remaining cells for the session count as failed.
   int max_failovers = 3;
+  /// Cooperative cancellation (DESIGN.md §13): checked at block boundaries
+  /// and at shard pickup; a tripped token truncates the run to an executed
+  /// prefix of sessions instead of awaiting stragglers. Optional.
+  exec::CancelToken* cancel = nullptr;
+  /// Block-boundary checkpointing (DESIGN.md §13): when set, the phase saves
+  /// its state-so-far after every non-final session block and resumes after
+  /// the last completed block on load. Optional.
+  exec::CheckpointHook* checkpoint = nullptr;
 };
 
 struct ReachabilityResults {
   std::string platform;
   std::size_t clients = 0;
+  /// Vantages the run intended to measure; `clients` < `clients_planned`
+  /// only when a deadline cancelled the tail (DESIGN.md §13 coverage).
+  std::size_t clients_planned = 0;
   /// (resolver name, protocol) -> outcome tallies.
   std::map<std::pair<std::string, Protocol>, OutcomeCounts> cells;
   std::vector<ConflictDiagnosis> conflict_diagnoses;

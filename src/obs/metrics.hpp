@@ -70,6 +70,13 @@ class Counter {
     for (auto& shard : shards_) shard.value.store(0, std::memory_order_relaxed);
   }
 
+  /// Set the merged total to an absolute value (checkpoint restore, serial
+  /// sections only): zeros every shard and stores the whole value in shard 0.
+  void restore(std::uint64_t v) noexcept {
+    reset();
+    shards_[0].value.store(v, std::memory_order_relaxed);
+  }
+
   [[nodiscard]] bool diagnostic() const noexcept { return diagnostic_; }
 
  private:
@@ -109,12 +116,18 @@ class Gauge {
     return value_.load(std::memory_order_relaxed);
   }
   void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+  /// Absolute restore (checkpoint), ignoring the enabled() gate.
+  void restore(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
   [[nodiscard]] bool diagnostic() const noexcept { return diagnostic_; }
 
  private:
   std::atomic<std::int64_t> value_{0};
   bool diagnostic_;
 };
+
+struct HistogramSample;
 
 /// Fixed-bucket latency histogram. Bounds are upper edges in milliseconds,
 /// fixed at registration; observations are scaled to integer microseconds
@@ -144,6 +157,10 @@ class Histogram {
     return buckets_[i].load(std::memory_order_relaxed);
   }
   void reset() noexcept;
+  /// Absolute restore from a snapshot sample (checkpoint, serial sections
+  /// only). The sample's bucket layout must match this histogram's bounds;
+  /// a mismatch throws (the journal fingerprint should have caught it).
+  void restore(const HistogramSample& sample);
   [[nodiscard]] bool diagnostic() const noexcept { return diagnostic_; }
 
  private:
@@ -242,6 +259,14 @@ class MetricsRegistry {
   void reset();
 
   [[nodiscard]] Snapshot snapshot() const;
+
+  /// Set the registry to exactly the state captured in `snap`: every value
+  /// is zeroed, then each sampled metric is re-registered (with the sample's
+  /// diagnostic flag and bucket bounds) and restored absolutely. Serial
+  /// sections only — this is the checkpoint-resume path (DESIGN.md §13),
+  /// which replays the metric state recorded at a journal commit so a
+  /// resumed run's observability report is byte-identical.
+  void restore(const Snapshot& snap);
 
  private:
   MetricsRegistry() = default;

@@ -59,6 +59,15 @@ class SpanScope {
     sim_us_ += to_sim_us(elapsed);
   }
 
+  /// Credit already-converted integer microseconds. Checkpoint resume uses
+  /// this to replay a killed run's span credit exactly: each add_sim call
+  /// rounds per call, so only the integer sum — never a re-converted double
+  /// total — reproduces the original accumulation bit for bit.
+  void add_sim_us(std::uint64_t us) noexcept {
+    if (!stat_) return;
+    sim_us_ += us;
+  }
+
   [[nodiscard]] static std::uint64_t to_sim_us(sim::Millis elapsed) noexcept;
 
  private:

@@ -78,6 +78,15 @@ struct DatasetSummary {
   std::size_t ases = 0;
 };
 
+/// The platform's serializable recruitment position: its rng stream plus the
+/// next session id. The study checkpoint captures a cursor at every phase
+/// boundary so a resumed process re-acquires exactly the vantages the killed
+/// process would have (DESIGN.md §13).
+struct ProxyCursor {
+  util::RngState rng;
+  std::uint64_t next_id = 1;
+};
+
 class ProxyNetwork {
  public:
   ProxyNetwork(const world::World& world, ProxyConfig config, std::uint64_t seed);
@@ -106,6 +115,15 @@ class ProxyNetwork {
                                                 const std::vector<ProxySession>& s);
 
   [[nodiscard]] const ProxyConfig& config() const noexcept { return config_; }
+
+  /// Checkpoint cursor over the platform's recruitment state.
+  [[nodiscard]] ProxyCursor cursor() const noexcept {
+    return ProxyCursor{rng_.state(), next_id_};
+  }
+  void restore_cursor(const ProxyCursor& cursor) noexcept {
+    rng_.restore(cursor.rng);
+    next_id_ = cursor.next_id;
+  }
 
  private:
   const world::World* world_;

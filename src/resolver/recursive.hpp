@@ -83,6 +83,8 @@ class RecursiveBackend final : public DnsBackend {
 
   /// The shared record cache behind the Do53/DoT/DoH answer paths.
   [[nodiscard]] const cache::DnsCache& cache() const noexcept { return cache_; }
+  /// Mutable access for checkpoint restore (DESIGN.md §13).
+  [[nodiscard]] cache::DnsCache& cache() noexcept { return cache_; }
 
   /// Swap the upstream fault source (same pattern as
   /// net::Network::set_fault_injector). Tests use this to prime the cache

@@ -1,0 +1,129 @@
+#include "scan/codec.hpp"
+
+#include "fault/codec.hpp"
+
+namespace encdns::scan {
+namespace {
+
+void encode_resolver(util::ByteWriter& w, const DiscoveredResolver& resolver) {
+  w.u32(resolver.address.value());
+  w.str(resolver.cert_cn);
+  w.str(resolver.provider);
+  w.u8(static_cast<std::uint8_t>(resolver.cert_status));
+  w.boolean(resolver.answer_correct);
+  w.str(resolver.country);
+  w.f64(resolver.probe_latency.value);
+}
+
+[[nodiscard]] DiscoveredResolver decode_resolver(util::ByteReader& r) {
+  DiscoveredResolver resolver;
+  resolver.address = util::Ipv4{r.u32()};
+  resolver.cert_cn = r.str();
+  resolver.provider = r.str();
+  resolver.cert_status = static_cast<tls::CertStatus>(r.u8());
+  resolver.answer_correct = r.boolean();
+  resolver.country = r.str();
+  resolver.probe_latency = sim::Millis{r.f64()};
+  return resolver;
+}
+
+}  // namespace
+
+void encode_snapshot(util::ByteWriter& w, const ScanSnapshot& snapshot) {
+  w.i64(snapshot.date.to_days());
+  w.u64(snapshot.addresses_probed);
+  w.u64(snapshot.port_open);
+  w.u64(snapshot.tls_responsive);
+  w.u64(snapshot.breaker_skipped);
+  fault::encode_tally(w, snapshot.faults);
+  w.u32(static_cast<std::uint32_t>(snapshot.resolvers.size()));
+  for (const auto& resolver : snapshot.resolvers) encode_resolver(w, resolver);
+}
+
+ScanSnapshot decode_snapshot(util::ByteReader& r) {
+  ScanSnapshot snapshot;
+  snapshot.date = util::Date::from_days(r.i64());
+  snapshot.addresses_probed = r.u64();
+  snapshot.port_open = r.u64();
+  snapshot.tls_responsive = r.u64();
+  snapshot.breaker_skipped = r.u64();
+  snapshot.faults = fault::decode_tally(r);
+  const std::uint32_t n = r.count(8);
+  snapshot.resolvers.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i)
+    snapshot.resolvers.push_back(decode_resolver(r));
+  return snapshot;
+}
+
+void encode_snapshots(util::ByteWriter& w,
+                      const std::vector<ScanSnapshot>& snapshots) {
+  w.u32(static_cast<std::uint32_t>(snapshots.size()));
+  for (const auto& snapshot : snapshots) encode_snapshot(w, snapshot);
+}
+
+std::vector<ScanSnapshot> decode_snapshots(util::ByteReader& r) {
+  const std::uint32_t n = r.count(8);
+  std::vector<ScanSnapshot> snapshots;
+  snapshots.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i)
+    snapshots.push_back(decode_snapshot(r));
+  return snapshots;
+}
+
+void encode_doh_discovery(util::ByteWriter& w, const DohDiscovery& discovery) {
+  w.u64(discovery.urls_in_dataset);
+  w.u64(discovery.path_candidates);
+  w.u64(discovery.valid_urls);
+  fault::encode_tally(w, discovery.faults);
+  w.u32(static_cast<std::uint32_t>(discovery.candidates.size()));
+  for (const auto& c : discovery.candidates) {
+    w.str(c.url);
+    w.str(c.host);
+    w.str(c.path);
+    w.boolean(c.probe_ok);
+    w.boolean(c.cert_valid);
+    w.i64(c.http_status);
+  }
+  w.u32(static_cast<std::uint32_t>(discovery.resolvers.size()));
+  for (const auto& d : discovery.resolvers) {
+    w.str(d.uri_template);
+    w.str(d.host);
+    w.str(d.path);
+    w.boolean(d.cert_valid);
+    w.boolean(d.in_public_list);
+  }
+}
+
+DohDiscovery decode_doh_discovery(util::ByteReader& r) {
+  DohDiscovery discovery;
+  discovery.urls_in_dataset = r.u64();
+  discovery.path_candidates = r.u64();
+  discovery.valid_urls = r.u64();
+  discovery.faults = fault::decode_tally(r);
+  const std::uint32_t n_candidates = r.count(8);
+  discovery.candidates.reserve(n_candidates);
+  for (std::uint32_t i = 0; i < n_candidates; ++i) {
+    DohCandidate c;
+    c.url = r.str();
+    c.host = r.str();
+    c.path = r.str();
+    c.probe_ok = r.boolean();
+    c.cert_valid = r.boolean();
+    c.http_status = static_cast<int>(r.i64());
+    discovery.candidates.push_back(std::move(c));
+  }
+  const std::uint32_t n_resolvers = r.count(8);
+  discovery.resolvers.reserve(n_resolvers);
+  for (std::uint32_t i = 0; i < n_resolvers; ++i) {
+    DiscoveredDoh d;
+    d.uri_template = r.str();
+    d.host = r.str();
+    d.path = r.str();
+    d.cert_valid = r.boolean();
+    d.in_public_list = r.boolean();
+    discovery.resolvers.push_back(std::move(d));
+  }
+  return discovery;
+}
+
+}  // namespace encdns::scan

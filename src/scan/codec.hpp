@@ -1,0 +1,24 @@
+// Byte codec for §3 scan results (DESIGN.md §13): snapshots for the
+// campaign's phase/partial checkpoint records, plus DoH discovery.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "scan/doh_prober.hpp"
+#include "scan/scanner.hpp"
+#include "util/bytes.hpp"
+
+namespace encdns::scan {
+
+void encode_snapshot(util::ByteWriter& w, const ScanSnapshot& snapshot);
+[[nodiscard]] ScanSnapshot decode_snapshot(util::ByteReader& r);
+
+void encode_snapshots(util::ByteWriter& w,
+                      const std::vector<ScanSnapshot>& snapshots);
+[[nodiscard]] std::vector<ScanSnapshot> decode_snapshots(util::ByteReader& r);
+
+void encode_doh_discovery(util::ByteWriter& w, const DohDiscovery& discovery);
+[[nodiscard]] DohDiscovery decode_doh_discovery(util::ByteReader& r);
+
+}  // namespace encdns::scan

@@ -6,7 +6,9 @@
 
 #include "exec/executor.hpp"
 #include "obs/span.hpp"
+#include "scan/codec.hpp"
 #include "scan/permutation.hpp"
+#include "util/bytes.hpp"
 #include "util/stats.hpp"
 
 namespace encdns::scan {
@@ -224,10 +226,45 @@ ScanSnapshot Scanner::scan_once(const util::Date& date) {
 std::vector<ScanSnapshot> Scanner::run_campaign() {
   std::vector<ScanSnapshot> snapshots;
   snapshots.reserve(static_cast<std::size_t>(config_.scan_count));
-  for (int i = 0; i < config_.scan_count; ++i) {
+
+  // Scan boundaries are the campaign's checkpoint/cancellation points: each
+  // scan depends on the previous ones only through the breaker strikes and
+  // the scan serial, so restoring those two resumes the campaign exactly.
+  if (config_.checkpoint != nullptr) {
+    if (const auto state = config_.checkpoint->load()) {
+      util::ByteReader r(*state);
+      scan_serial_ = r.u64();
+      const std::uint32_t n_strikes = r.count(12);
+      std::vector<std::pair<std::uint64_t, int>> strikes;
+      strikes.reserve(n_strikes);
+      for (std::uint32_t s = 0; s < n_strikes; ++s) {
+        const std::uint64_t key = r.u64();
+        strikes.emplace_back(key, static_cast<int>(r.i64()));
+      }
+      breaker_.restore_strikes(strikes);
+      snapshots = decode_snapshots(r);
+      r.expect_done();
+    }
+  }
+
+  for (int i = static_cast<int>(snapshots.size()); i < config_.scan_count;
+       ++i) {
+    if (config_.cancel != nullptr && config_.cancel->cancelled()) break;
     const util::Date date = config_.start.plus_days(
         static_cast<std::int64_t>(i) * config_.interval_days);
     snapshots.push_back(scan_once(date));
+    if (config_.checkpoint != nullptr && i + 1 < config_.scan_count) {
+      util::ByteWriter w;
+      w.u64(scan_serial_);
+      const auto strikes = breaker_.export_strikes();
+      w.u32(static_cast<std::uint32_t>(strikes.size()));
+      for (const auto& [key, count] : strikes) {
+        w.u64(key);
+        w.i64(count);
+      }
+      encode_snapshots(w, snapshots);
+      config_.checkpoint->save(w.take());
+    }
   }
   return snapshots;
 }

@@ -7,6 +7,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "exec/cancel.hpp"
+#include "exec/checkpoint_hook.hpp"
 #include "fault/retry.hpp"
 #include "scan/doh_prober.hpp"
 #include "scan/dot_prober.hpp"
@@ -68,6 +70,13 @@ struct CampaignConfig {
   /// Consecutive scans in which a port-open host must flake out of the
   /// application-layer probe before the circuit breaker skips it.
   int breaker_threshold = 3;
+  /// Cooperative cancellation, checked between scans (DESIGN.md §13). A
+  /// campaign carries no sim budget of its own — only wall/manual triggers
+  /// cut it — so a truncated campaign is a prefix of the scan sequence.
+  exec::CancelToken* cancel = nullptr;
+  /// Scan-boundary checkpointing: the campaign saves its snapshots, the
+  /// circuit-breaker strikes and the scan serial after every non-final scan.
+  exec::CheckpointHook* checkpoint = nullptr;
 };
 
 class Scanner {

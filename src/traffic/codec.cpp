@@ -1,0 +1,162 @@
+#include "traffic/codec.hpp"
+
+#include <utility>
+
+namespace encdns::traffic {
+
+void encode_monthly(util::ByteWriter& w,
+                    const std::map<util::Date, std::uint64_t>& monthly) {
+  w.u32(static_cast<std::uint32_t>(monthly.size()));
+  for (const auto& [month, count] : monthly) {
+    w.i64(month.to_days());
+    w.u64(count);
+  }
+}
+
+std::map<util::Date, std::uint64_t> decode_monthly(util::ByteReader& r) {
+  std::map<util::Date, std::uint64_t> monthly;
+  const std::uint32_t n = r.count(16);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const util::Date month = util::Date::from_days(r.i64());
+    monthly[month] = r.u64();
+  }
+  return monthly;
+}
+
+void encode_netflow_results(util::ByteWriter& w,
+                            const NetflowStudyResults& results) {
+  encode_monthly(w, results.cloudflare_monthly);
+  encode_monthly(w, results.quad9_monthly);
+  w.u32(static_cast<std::uint32_t>(results.do53_monthly_estimate.size()));
+  for (const auto& [month, estimate] : results.do53_monthly_estimate) {
+    w.i64(month.to_days());
+    w.f64(estimate);
+  }
+  w.u64(results.total_dot_records);
+  w.u64(results.excluded_single_syn);
+  w.u64(results.unmatched_853_records);
+  w.u64(results.flagged_client_blocks);
+  w.u64(results.days_planned);
+  w.u64(results.days_processed);
+  w.u32(static_cast<std::uint32_t>(results.netblocks.size()));
+  for (const auto& block : results.netblocks) {
+    w.u32(block.slash24.value());
+    w.u64(block.records);
+    w.i64(block.active_days);
+    w.i64(block.first_seen.to_days());
+    w.i64(block.last_seen.to_days());
+  }
+}
+
+NetflowStudyResults decode_netflow_results(util::ByteReader& r) {
+  NetflowStudyResults results;
+  results.cloudflare_monthly = decode_monthly(r);
+  results.quad9_monthly = decode_monthly(r);
+  const std::uint32_t n_do53 = r.count(16);
+  for (std::uint32_t i = 0; i < n_do53; ++i) {
+    const util::Date month = util::Date::from_days(r.i64());
+    results.do53_monthly_estimate[month] = r.f64();
+  }
+  results.total_dot_records = r.u64();
+  results.excluded_single_syn = r.u64();
+  results.unmatched_853_records = r.u64();
+  results.flagged_client_blocks = static_cast<std::size_t>(r.u64());
+  results.days_planned = static_cast<std::size_t>(r.u64());
+  results.days_processed = static_cast<std::size_t>(r.u64());
+  const std::uint32_t n_blocks = r.count(8);
+  results.netblocks.reserve(n_blocks);
+  for (std::uint32_t i = 0; i < n_blocks; ++i) {
+    NetblockStat block;
+    block.slash24 = util::Ipv4{r.u32()};
+    block.records = r.u64();
+    block.active_days = static_cast<int>(r.i64());
+    block.first_seen = util::Date::from_days(r.i64());
+    block.last_seen = util::Date::from_days(r.i64());
+    results.netblocks.push_back(block);
+  }
+  return results;
+}
+
+void encode_detector(util::ByteWriter& w, const ScanDetector& detector) {
+  const auto sources = detector.export_sources();
+  w.u32(static_cast<std::uint32_t>(sources.size()));
+  for (const auto& source : sources) {
+    w.u32(source.src);
+    w.u64(source.flows);
+    w.u64(source.incomplete);
+    w.u8(static_cast<std::uint8_t>(source.state));
+    w.u32(static_cast<std::uint32_t>(source.dsts.size()));
+    for (const std::uint32_t dst : source.dsts) w.u32(dst);
+  }
+}
+
+void decode_detector(util::ByteReader& r, ScanDetector& detector) {
+  const std::uint32_t n = r.count(16);
+  std::vector<ScanDetector::ExportedSource> sources;
+  sources.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ScanDetector::ExportedSource source;
+    source.src = r.u32();
+    source.flows = r.u64();
+    source.incomplete = r.u64();
+    source.state = static_cast<ScanDetector::State>(r.u8());
+    const std::uint32_t n_dsts = r.count(4);
+    source.dsts.reserve(n_dsts);
+    for (std::uint32_t j = 0; j < n_dsts; ++j) source.dsts.push_back(r.u32());
+    sources.push_back(std::move(source));
+  }
+  detector.restore_sources(sources);
+}
+
+void encode_passive_dns(util::ByteWriter& w,
+                        const PassiveDnsStudyResults& results) {
+  const auto aggregates = results.aggregate_db.all();
+  w.u32(static_cast<std::uint32_t>(aggregates.size()));
+  for (const auto& aggregate : aggregates) {
+    w.str(aggregate.domain);
+    w.i64(aggregate.first_seen.to_days());
+    w.i64(aggregate.last_seen.to_days());
+    w.u64(aggregate.total_count);
+  }
+  const auto& daily = results.daily_db.data();
+  w.u32(static_cast<std::uint32_t>(daily.size()));
+  for (const auto& [domain, days] : daily) {
+    w.str(domain);
+    w.u32(static_cast<std::uint32_t>(days.size()));
+    for (const auto& [day, count] : days) {
+      w.i64(day);
+      w.u64(count);
+    }
+  }
+}
+
+PassiveDnsStudyResults decode_passive_dns(util::ByteReader& r) {
+  PassiveDnsStudyResults results;
+  const std::uint32_t n_aggregates = r.count(16);
+  std::vector<PdnsAggregate> aggregates;
+  aggregates.reserve(n_aggregates);
+  for (std::uint32_t i = 0; i < n_aggregates; ++i) {
+    PdnsAggregate aggregate;
+    aggregate.domain = r.str();
+    aggregate.first_seen = util::Date::from_days(r.i64());
+    aggregate.last_seen = util::Date::from_days(r.i64());
+    aggregate.total_count = r.u64();
+    aggregates.push_back(std::move(aggregate));
+  }
+  results.aggregate_db.restore(aggregates);
+  std::map<std::string, std::map<std::int64_t, std::uint64_t>> daily;
+  const std::uint32_t n_domains = r.count(8);
+  for (std::uint32_t i = 0; i < n_domains; ++i) {
+    std::string domain = r.str();
+    auto& days = daily[domain];
+    const std::uint32_t n_days = r.count(16);
+    for (std::uint32_t j = 0; j < n_days; ++j) {
+      const std::int64_t day = r.i64();
+      days[day] = r.u64();
+    }
+  }
+  results.daily_db.restore(std::move(daily));
+  return results;
+}
+
+}  // namespace encdns::traffic

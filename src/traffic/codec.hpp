@@ -1,0 +1,29 @@
+// Byte codec for §5 traffic results (DESIGN.md §13): NetFlow study results,
+// the day-sharded NetFlow accumulator internals (scan detector), and the
+// passive-DNS stores.
+#pragma once
+
+#include "traffic/netflow_study.hpp"
+#include "traffic/passive_dns.hpp"
+#include "traffic/scan_detector.hpp"
+#include "util/bytes.hpp"
+
+namespace encdns::traffic {
+
+void encode_monthly(util::ByteWriter& w,
+                    const std::map<util::Date, std::uint64_t>& monthly);
+[[nodiscard]] std::map<util::Date, std::uint64_t> decode_monthly(
+    util::ByteReader& r);
+
+void encode_netflow_results(util::ByteWriter& w,
+                            const NetflowStudyResults& results);
+[[nodiscard]] NetflowStudyResults decode_netflow_results(util::ByteReader& r);
+
+void encode_detector(util::ByteWriter& w, const ScanDetector& detector);
+void decode_detector(util::ByteReader& r, ScanDetector& detector);
+
+void encode_passive_dns(util::ByteWriter& w,
+                        const PassiveDnsStudyResults& results);
+[[nodiscard]] PassiveDnsStudyResults decode_passive_dns(util::ByteReader& r);
+
+}  // namespace encdns::traffic

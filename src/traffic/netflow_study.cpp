@@ -1,9 +1,12 @@
 #include "traffic/netflow_study.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "exec/executor.hpp"
 #include "obs/span.hpp"
+#include "traffic/codec.hpp"
+#include "util/bytes.hpp"
 #include "world/providers.hpp"
 
 namespace encdns::traffic {
@@ -92,79 +95,172 @@ NetflowStudyResults NetflowStudy::run() {
       util::days_between(config_.backbone.start, config_.backbone.end);
   const auto n_days =
       static_cast<std::size_t>(total_days > 0 ? total_days : 0);
+  results.days_planned = n_days;
 
-  std::vector<ShardPartial> partials(kNetflowShards,
-                                     ShardPartial(config_.sampling_rate));
-  exec::WorkerPool pool(config_.thread_count);
-  pool.parallel_for_shards(kNetflowShards, [&](std::size_t shard) {
-    const auto [first, last] = exec::shard_range(n_days, kNetflowShards, shard);
-    ShardPartial& partial = partials[shard];
-    for (std::size_t d = first; d < last; ++d) {
-      const util::Date day =
-          config_.backbone.start.plus_days(static_cast<std::int64_t>(d));
-      // Sampling decisions are a pure function of (seed, day): independent of
-      // both the shard layout and the processing order.
-      util::Rng day_rng(util::mix64(config_.seed ^ 0x5A3DULL ^
-                                    static_cast<std::uint64_t>(day.to_days())));
-      model.generate_day(day, [&](const RawFlow& flow) {
-        ++partial.flows_observed;
-        partial.detector.observe(flow);
-        const auto record = partial.collector.observe(flow, day_rng);
-        if (!record) return;
-        ++partial.records_sampled;
-        if (record->protocol != kProtoTcp || record->dst_port != 853) return;
-        if (record->single_syn()) {
-          ++partial.excluded_single_syn;
-          return;
-        }
-        const auto it = resolvers_.find(record->dst.value());
-        if (it == resolvers_.end()) {
-          ++partial.unmatched_853_records;
-          return;
-        }
-        ++partial.total_dot_records;
-        const util::Date month = record->date.month_start();
-        if (it->second == "cloudflare") ++partial.cloudflare_monthly[month];
-        else if (it->second == "quad9") ++partial.quad9_monthly[month];
-
-        // Ethics: keep only the /24 of the client address from here on.
-        const util::Ipv4 block = record->src.slash24();
-        partial.client_blocks.insert(block.value());
-        auto& acc = partial.blocks[block.value()];
-        if (acc.records == 0) acc.first = record->date;
-        acc.last = record->date;
-        ++acc.records;
-        acc.days.insert(record->date.to_days());
-      });
-    }
-  });
-
-  // Canonical merge: ascending shard order = ascending day order, so first/
-  // last seen dates fold exactly as the serial pass would set them.
+  // Persistent accumulator, folded group by group. Ascending shard order =
+  // ascending day order, so first/last seen dates fold exactly as the serial
+  // day-by-day pass would set them.
   ScanDetector detector;
   std::unordered_map<std::uint32_t, BlockAccumulator> blocks;
   std::unordered_set<std::uint32_t> client_blocks;
   std::uint64_t flows_observed = 0;
   std::uint64_t records_sampled = 0;
-  for (auto& partial : partials) {
-    detector.merge(partial.detector);
-    flows_observed += partial.flows_observed;
-    records_sampled += partial.records_sampled;
-    results.excluded_single_syn += partial.excluded_single_syn;
-    results.unmatched_853_records += partial.unmatched_853_records;
-    results.total_dot_records += partial.total_dot_records;
-    for (const auto& [month, count] : partial.cloudflare_monthly)
-      results.cloudflare_monthly[month] += count;
-    for (const auto& [month, count] : partial.quad9_monthly)
-      results.quad9_monthly[month] += count;
-    for (auto& [addr, theirs] : partial.blocks) {
-      auto& acc = blocks[addr];
-      if (acc.records == 0) acc.first = theirs.first;
-      acc.last = theirs.last;
-      acc.records += theirs.records;
-      acc.days.merge(theirs.days);
+  std::size_t groups_done = 0;
+
+  // The 16 shards run as sequential groups: group boundaries are where
+  // checkpoints land and cancellation is honored, so a killed or degraded
+  // run always cuts on an executed-shard prefix of the canonical order.
+  constexpr std::size_t kGroupShards = 4;
+  static_assert(kNetflowShards % kGroupShards == 0);
+  constexpr std::size_t kGroups = kNetflowShards / kGroupShards;
+
+  if (config_.checkpoint != nullptr) {
+    if (const auto state = config_.checkpoint->load()) {
+      util::ByteReader r(*state);
+      groups_done = static_cast<std::size_t>(r.u64());
+      results.days_processed = static_cast<std::size_t>(r.u64());
+      flows_observed = r.u64();
+      records_sampled = r.u64();
+      results.excluded_single_syn = r.u64();
+      results.unmatched_853_records = r.u64();
+      results.total_dot_records = r.u64();
+      results.cloudflare_monthly = decode_monthly(r);
+      results.quad9_monthly = decode_monthly(r);
+      const std::uint32_t n_blocks = r.count(24);
+      for (std::uint32_t i = 0; i < n_blocks; ++i) {
+        auto& acc = blocks[r.u32()];
+        acc.records = r.u64();
+        acc.first = util::Date::from_days(r.i64());
+        acc.last = util::Date::from_days(r.i64());
+        const std::uint32_t n_active = r.count(8);
+        for (std::uint32_t d = 0; d < n_active; ++d) acc.days.insert(r.i64());
+      }
+      const std::uint32_t n_clients = r.count(4);
+      for (std::uint32_t i = 0; i < n_clients; ++i)
+        client_blocks.insert(r.u32());
+      decode_detector(r, detector);
+      r.expect_done();
     }
-    client_blocks.merge(partial.client_blocks);
+  }
+
+  exec::WorkerPool pool(config_.thread_count);
+  bool cancelled = config_.cancel != nullptr && config_.cancel->cancelled();
+  for (std::size_t g = groups_done; g < kGroups && !cancelled; ++g) {
+    std::vector<ShardPartial> partials(kGroupShards,
+                                       ShardPartial(config_.sampling_rate));
+    const std::size_t base = g * kGroupShards;
+    const std::size_t executed = pool.parallel_for_shards(
+        kGroupShards,
+        [&](std::size_t s) {
+          const std::size_t shard = base + s;
+          const auto [first, last] =
+              exec::shard_range(n_days, kNetflowShards, shard);
+          ShardPartial& partial = partials[s];
+          for (std::size_t d = first; d < last; ++d) {
+            const util::Date day =
+                config_.backbone.start.plus_days(static_cast<std::int64_t>(d));
+            // Sampling decisions are a pure function of (seed, day):
+            // independent of both the shard layout and the processing order.
+            util::Rng day_rng(
+                util::mix64(config_.seed ^ 0x5A3DULL ^
+                            static_cast<std::uint64_t>(day.to_days())));
+            model.generate_day(day, [&](const RawFlow& flow) {
+              ++partial.flows_observed;
+              partial.detector.observe(flow);
+              const auto record = partial.collector.observe(flow, day_rng);
+              if (!record) return;
+              ++partial.records_sampled;
+              if (record->protocol != kProtoTcp || record->dst_port != 853)
+                return;
+              if (record->single_syn()) {
+                ++partial.excluded_single_syn;
+                return;
+              }
+              const auto it = resolvers_.find(record->dst.value());
+              if (it == resolvers_.end()) {
+                ++partial.unmatched_853_records;
+                return;
+              }
+              ++partial.total_dot_records;
+              const util::Date month = record->date.month_start();
+              if (it->second == "cloudflare") ++partial.cloudflare_monthly[month];
+              else if (it->second == "quad9") ++partial.quad9_monthly[month];
+
+              // Ethics: keep only the /24 of the client address from here on.
+              const util::Ipv4 block = record->src.slash24();
+              partial.client_blocks.insert(block.value());
+              auto& acc = partial.blocks[block.value()];
+              if (acc.records == 0) acc.first = record->date;
+              acc.last = record->date;
+              ++acc.records;
+              acc.days.insert(record->date.to_days());
+            });
+          }
+        },
+        config_.cancel);
+
+    for (std::size_t s = 0; s < executed; ++s) {  // canonical shard order
+      auto& partial = partials[s];
+      detector.merge(partial.detector);
+      flows_observed += partial.flows_observed;
+      records_sampled += partial.records_sampled;
+      results.excluded_single_syn += partial.excluded_single_syn;
+      results.unmatched_853_records += partial.unmatched_853_records;
+      results.total_dot_records += partial.total_dot_records;
+      for (const auto& [month, count] : partial.cloudflare_monthly)
+        results.cloudflare_monthly[month] += count;
+      for (const auto& [month, count] : partial.quad9_monthly)
+        results.quad9_monthly[month] += count;
+      for (auto& [addr, theirs] : partial.blocks) {
+        auto& acc = blocks[addr];
+        if (acc.records == 0) acc.first = theirs.first;
+        acc.last = theirs.last;
+        acc.records += theirs.records;
+        acc.days.merge(theirs.days);
+      }
+      client_blocks.merge(partial.client_blocks);
+      const auto [first, last] =
+          exec::shard_range(n_days, kNetflowShards, base + s);
+      results.days_processed += last - first;
+    }
+    if (config_.cancel != nullptr &&
+        (executed < kGroupShards || config_.cancel->cancelled()))
+      cancelled = true;
+    if (config_.checkpoint != nullptr && !cancelled && g + 1 < kGroups) {
+      util::ByteWriter w;
+      w.u64(g + 1);
+      w.u64(results.days_processed);
+      w.u64(flows_observed);
+      w.u64(records_sampled);
+      w.u64(results.excluded_single_syn);
+      w.u64(results.unmatched_853_records);
+      w.u64(results.total_dot_records);
+      encode_monthly(w, results.cloudflare_monthly);
+      encode_monthly(w, results.quad9_monthly);
+      std::vector<std::uint32_t> sorted_blocks;
+      sorted_blocks.reserve(blocks.size());
+      for (const auto& [addr, acc] : blocks) sorted_blocks.push_back(addr);
+      std::sort(sorted_blocks.begin(), sorted_blocks.end());
+      w.u32(static_cast<std::uint32_t>(sorted_blocks.size()));
+      for (const std::uint32_t addr : sorted_blocks) {
+        const auto& acc = blocks.at(addr);
+        w.u32(addr);
+        w.u64(acc.records);
+        w.i64(acc.first.to_days());
+        w.i64(acc.last.to_days());
+        std::vector<std::int64_t> active(acc.days.begin(), acc.days.end());
+        std::sort(active.begin(), active.end());
+        w.u32(static_cast<std::uint32_t>(active.size()));
+        for (const std::int64_t day : active) w.i64(day);
+      }
+      std::vector<std::uint32_t> sorted_clients(client_blocks.begin(),
+                                                client_blocks.end());
+      std::sort(sorted_clients.begin(), sorted_clients.end());
+      w.u32(static_cast<std::uint32_t>(sorted_clients.size()));
+      for (const std::uint32_t addr : sorted_clients) w.u32(addr);
+      encode_detector(w, detector);
+      config_.checkpoint->save(w.take());
+    }
   }
   auto& registry = obs::MetricsRegistry::global();
   registry.counter("traffic.netflow.flows").add(flows_observed);

@@ -11,6 +11,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "exec/cancel.hpp"
+#include "exec/checkpoint_hook.hpp"
 #include "traffic/backbone.hpp"
 #include "traffic/netflow.hpp"
 #include "traffic/scan_detector.hpp"
@@ -25,6 +27,12 @@ struct NetflowStudyConfig {
   /// Worker threads for the day-sharded aggregation; 0 = auto (ENCDNS_THREADS
   /// env or hardware_concurrency). Results are identical for every value.
   unsigned thread_count = 0;
+  /// Cooperative cancellation + group-boundary checkpointing (DESIGN.md §13):
+  /// the 16 day-range shards run as 4 sequential groups of 4; the study saves
+  /// its accumulator after every non-final group and a tripped token cuts on
+  /// an executed-shard prefix. Both optional.
+  exec::CancelToken* cancel = nullptr;
+  exec::CheckpointHook* checkpoint = nullptr;
 };
 
 struct NetblockStat {
@@ -56,6 +64,11 @@ struct NetflowStudyResults {
   /// Scanner-verification outcome: how many observed DoT client /24s the
   /// NetworkScan-Mon-style detector flags (the paper found none).
   std::size_t flagged_client_blocks = 0;
+
+  /// Coverage accounting (DESIGN.md §13): simulated days planned vs actually
+  /// aggregated; they differ only when a deadline cancelled tail day-shards.
+  std::size_t days_planned = 0;
+  std::size_t days_processed = 0;
 
   [[nodiscard]] double top_share(std::size_t k) const;
   /// Fraction of client netblocks active fewer than `days` days.

@@ -11,6 +11,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/date.hpp"
@@ -35,6 +36,13 @@ class AggregatePassiveDns {
   [[nodiscard]] std::optional<PdnsAggregate> lookup(const std::string& domain) const;
   [[nodiscard]] std::vector<PdnsAggregate> all() const;
 
+  /// Checkpoint restore: replace the store with the given aggregates.
+  void restore(const std::vector<PdnsAggregate>& aggregates) {
+    aggregates_.clear();
+    for (const auto& aggregate : aggregates)
+      aggregates_[aggregate.domain] = aggregate;
+  }
+
  private:
   std::map<std::string, PdnsAggregate> aggregates_;
 };
@@ -48,6 +56,16 @@ class DailyPassiveDns {
   /// Monthly totals for one domain, keyed by month start.
   [[nodiscard]] std::map<util::Date, std::uint64_t> monthly_series(
       const std::string& domain) const;
+
+  /// Checkpoint access: the per-domain day#-keyed counts, and wholesale
+  /// replacement from a decoded copy.
+  [[nodiscard]] const std::map<std::string, std::map<std::int64_t, std::uint64_t>>&
+  data() const {
+    return daily_;
+  }
+  void restore(std::map<std::string, std::map<std::int64_t, std::uint64_t>> data) {
+    daily_ = std::move(data);
+  }
 
  private:
   std::map<std::string, std::map<std::int64_t, std::uint64_t>> daily_;  // day# keyed

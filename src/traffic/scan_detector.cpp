@@ -1,6 +1,7 @@
 #include "traffic/scan_detector.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace encdns::traffic {
 namespace {
@@ -50,6 +51,38 @@ void ScanDetector::update_state(SourceStats& stats) const {
 ScanDetector::State ScanDetector::state_of(util::Ipv4 src_slash24) const {
   const auto it = sources_.find(src_slash24.slash24().value());
   return it == sources_.end() ? State::kBenign : it->second.state;
+}
+
+std::vector<ScanDetector::ExportedSource> ScanDetector::export_sources() const {
+  std::vector<ExportedSource> out;
+  out.reserve(sources_.size());
+  for (const auto& [addr, stats] : sources_) {
+    ExportedSource source;
+    source.src = addr;
+    source.flows = stats.flows;
+    source.incomplete = stats.incomplete;
+    source.state = stats.state;
+    source.dsts.assign(stats.dsts.begin(), stats.dsts.end());
+    std::sort(source.dsts.begin(), source.dsts.end());
+    out.push_back(std::move(source));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ExportedSource& a, const ExportedSource& b) {
+              return a.src < b.src;
+            });
+  return out;
+}
+
+void ScanDetector::restore_sources(const std::vector<ExportedSource>& sources) {
+  sources_.clear();
+  for (const auto& source : sources) {
+    auto& stats = sources_[source.src];
+    stats.flows = source.flows;
+    stats.incomplete = source.incomplete;
+    stats.state = source.state;
+    stats.dsts =
+        std::unordered_set<std::uint32_t>(source.dsts.begin(), source.dsts.end());
+  }
 }
 
 std::vector<util::Ipv4> ScanDetector::scanners() const {

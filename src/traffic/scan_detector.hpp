@@ -41,6 +41,21 @@ class ScanDetector {
   }
   [[nodiscard]] std::vector<util::Ipv4> scanners() const;
 
+  /// Checkpoint export: per-source tallies in ascending source order with
+  /// sorted destination sets, so the serialized detector is canonical. The
+  /// state is exported verbatim — promotions are sticky, so recomputing it
+  /// from the tallies alone could demote a scanner whose single-SYN ratio
+  /// later dipped below the threshold.
+  struct ExportedSource {
+    std::uint32_t src = 0;
+    std::uint64_t flows = 0;
+    std::uint64_t incomplete = 0;
+    State state = State::kBenign;
+    std::vector<std::uint32_t> dsts;  // sorted ascending
+  };
+  [[nodiscard]] std::vector<ExportedSource> export_sources() const;
+  void restore_sources(const std::vector<ExportedSource>& sources);
+
  private:
   struct SourceStats {
     std::unordered_set<std::uint32_t> dsts;  // capped

@@ -26,6 +26,15 @@ namespace encdns::util {
 /// FNV-1a hash of a byte string, for deterministic keyed lookups.
 [[nodiscard]] std::uint64_t fnv1a(std::string_view s) noexcept;
 
+/// The complete serializable state of an Rng: the xoshiro256++ words plus
+/// the Box-Muller spare. Restoring a saved state resumes the exact deviate
+/// stream, which is what the study checkpoint's RNG cursors rely on.
+struct RngState {
+  std::array<std::uint64_t, 4> words{};
+  double cached_normal = 0.0;
+  bool has_cached_normal = false;
+};
+
 /// xoshiro256++ generator. Satisfies UniformRandomBitGenerator.
 class Rng {
  public:
@@ -90,6 +99,18 @@ class Rng {
 
   /// Derive an independent child generator; `stream` distinguishes siblings.
   [[nodiscard]] Rng fork(std::uint64_t stream) const noexcept;
+
+  /// Capture the full generator state (checkpoint cursor).
+  [[nodiscard]] RngState state() const noexcept {
+    return RngState{state_, cached_normal_, has_cached_normal_};
+  }
+
+  /// Resume from a captured state, bypassing the seed expansion.
+  void restore(const RngState& state) noexcept {
+    state_ = state.words;
+    cached_normal_ = state.cached_normal;
+    has_cached_normal_ = state.has_cached_normal;
+  }
 
  private:
   std::array<std::uint64_t, 4> state_{};

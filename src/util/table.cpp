@@ -44,6 +44,7 @@ std::string Table::render() const {
 
   std::string out;
   if (!title_.empty()) out += "== " + title_ + " ==\n";
+  if (!note_.empty()) out += "(" + note_ + ")\n";
   out += rule('-', '+');
   out += render_row(headers_);
   out += rule('=', '+');
@@ -102,6 +103,7 @@ std::string Table::to_json() const {
     return out + "]";
   };
   std::string out = "{\n  \"title\": " + escape(title_);
+  if (!note_.empty()) out += ",\n  \"note\": " + escape(note_);
   out += ",\n  \"headers\": " + row_json(headers_);
   out += ",\n  \"rows\": [";
   for (std::size_t r = 0; r < rows_.size(); ++r) {

@@ -18,6 +18,12 @@ class Table {
   void set_title(std::string title) { title_ = std::move(title); }
   void set_headers(std::vector<std::string> headers) { headers_ = std::move(headers); }
 
+  /// Free-form annotation rendered under the title and exported to JSON
+  /// (only when non-empty, so unannotated tables keep their exact bytes).
+  /// The study uses it for data-quality coverage lines (DESIGN.md §13).
+  void set_note(std::string note) { note_ = std::move(note); }
+  [[nodiscard]] const std::string& note() const noexcept { return note_; }
+
   /// Append a row; it is padded/truncated to the header width on render.
   void add_row(std::vector<std::string> row);
 
@@ -65,6 +71,7 @@ class Table {
 
  private:
   std::string title_;
+  std::string note_;
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
 };

@@ -222,6 +222,16 @@ class World {
   };
   [[nodiscard]] ResolverCacheTally resolver_cache_tally() const;
 
+  /// Checkpoint export/restore of every recursive backend's record cache,
+  /// keyed by backend construction order — stable across processes for one
+  /// config, which is what lets a resumed study rebuild the exact cache
+  /// state the killed process had (DESIGN.md §13). restore throws
+  /// std::runtime_error on a backend-count mismatch (foreign journal).
+  [[nodiscard]] std::vector<std::vector<cache::ExportedEntry>>
+  export_resolver_caches() const;
+  void restore_resolver_caches(
+      const std::vector<std::vector<cache::ExportedEntry>>& caches);
+
  private:
   WorldConfig config_;
   net::Network network_;

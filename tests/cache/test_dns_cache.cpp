@@ -12,6 +12,7 @@
 
 #include "cache/dns_cache.hpp"
 #include "dns/message.hpp"
+#include "util/env.hpp"
 #include "dns/name.hpp"
 
 namespace encdns::cache {
@@ -264,14 +265,16 @@ TEST(CacheConfig, EnvironmentOverrides) {
   EXPECT_EQ(overridden.negative_ttl_s, 60u);
   EXPECT_TRUE(overridden.serve_stale);
 
-  // Garbage values fall back instead of poisoning the config.
+  // Garbage values abort loudly (DESIGN.md §13) instead of poisoning the
+  // config or being silently ignored.
   ::setenv("ENCDNS_CACHE_ENTRIES", "-3", 1);
+  EXPECT_THROW((void)CacheConfig::from_env(fallback), util::EnvError);
+  ::unsetenv("ENCDNS_CACHE_ENTRIES");
   ::setenv("ENCDNS_CACHE_NEG_TTL", "junk", 1);
+  EXPECT_THROW((void)CacheConfig::from_env(fallback), util::EnvError);
+  ::unsetenv("ENCDNS_CACHE_NEG_TTL");
   ::setenv("ENCDNS_CACHE_SERVE_STALE", "maybe", 1);
-  const CacheConfig garbled = CacheConfig::from_env(fallback);
-  EXPECT_EQ(garbled.max_entries, 1000u);
-  EXPECT_EQ(garbled.negative_ttl_s, 900u);
-  EXPECT_FALSE(garbled.serve_stale);
+  EXPECT_THROW((void)CacheConfig::from_env(fallback), util::EnvError);
 
   ::unsetenv("ENCDNS_CACHE_ENTRIES");
   ::unsetenv("ENCDNS_CACHE_NEG_TTL");

@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "util/env.hpp"
+
 namespace encdns {
 namespace {
 
@@ -29,11 +31,12 @@ TEST(ResolveThreadCount, AutoIsAtLeastOne) {
 TEST(ResolveThreadCount, EnvOverrideApplies) {
   ::setenv("ENCDNS_THREADS", "5", 1);
   EXPECT_EQ(exec::resolve_thread_count(0), 5u);
-  // Garbage and non-positive values fall through to hardware_concurrency.
+  // Garbage and non-positive values refuse to start the run (DESIGN.md §13)
+  // instead of silently falling back to hardware_concurrency.
   ::setenv("ENCDNS_THREADS", "0", 1);
-  EXPECT_GE(exec::resolve_thread_count(0), 1u);
+  EXPECT_THROW((void)exec::resolve_thread_count(0), util::EnvError);
   ::setenv("ENCDNS_THREADS", "lots", 1);
-  EXPECT_GE(exec::resolve_thread_count(0), 1u);
+  EXPECT_THROW((void)exec::resolve_thread_count(0), util::EnvError);
   ::unsetenv("ENCDNS_THREADS");
 }
 

@@ -1,0 +1,91 @@
+// Boundary behavior of fault::RetryPolicy's backoff schedule — the edges
+// where an off-by-one either burns a whole extra timeout or skips a retry
+// the budget allowed.
+#include "fault/retry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/duration.hpp"
+#include "util/rng.hpp"
+
+namespace encdns::fault {
+namespace {
+
+RetryPolicy jitterless() {
+  RetryPolicy policy;
+  policy.base_backoff = sim::Millis{200.0};
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff = sim::Millis{5000.0};
+  policy.jitter = 0.0;
+  return policy;
+}
+
+TEST(RetryPolicy, FirstDelayIsExactlyTheBase) {
+  util::Rng rng(1);
+  EXPECT_DOUBLE_EQ(backoff_delay(jitterless(), 0, rng).value, 200.0);
+}
+
+TEST(RetryPolicy, CapBindsAtTheExactCrossingAttempt) {
+  // 200 * 2^k: 3200 at k=4, 6400 at k=5 — the cap must bind first at k=5
+  // and the delay below the crossing must be untouched.
+  util::Rng rng(1);
+  const RetryPolicy policy = jitterless();
+  EXPECT_DOUBLE_EQ(backoff_delay(policy, 4, rng).value, 3200.0);
+  EXPECT_DOUBLE_EQ(backoff_delay(policy, 5, rng).value, 5000.0);
+  EXPECT_DOUBLE_EQ(backoff_delay(policy, 50, rng).value, 5000.0);
+}
+
+TEST(RetryPolicy, JitterIsCenteredAndBounded) {
+  RetryPolicy policy = jitterless();
+  policy.jitter = 0.5;  // +/- 25% of the capped delay
+  util::Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const double delay = backoff_delay(policy, 5, rng).value;
+    EXPECT_GE(delay, 5000.0 * 0.75);
+    EXPECT_LE(delay, 5000.0 * 1.25);
+  }
+}
+
+TEST(RetryPolicy, ExtremeJitterNeverGoesNegative) {
+  RetryPolicy policy = jitterless();
+  policy.jitter = 4.0;  // spread far wider than the delay itself
+  util::Rng rng(11);
+  for (int i = 0; i < 200; ++i)
+    EXPECT_GE(backoff_delay(policy, 2, rng).value, 0.0);
+}
+
+TEST(RetryPolicy, DelayIsAPureFunctionOfSeedAndAttempt) {
+  RetryPolicy policy = jitterless();
+  policy.jitter = 0.5;
+  util::Rng a(99), b(99);
+  for (int attempt = 0; attempt < 8; ++attempt)
+    EXPECT_DOUBLE_EQ(backoff_delay(policy, attempt, a).value,
+                     backoff_delay(policy, attempt, b).value)
+        << "attempt " << attempt;
+}
+
+TEST(RetryPolicy, EachDelayConsumesExactlyOneDraw) {
+  // The retry loop interleaves backoff draws with other per-session draws;
+  // if backoff_delay ever consumed a different number of rng tokens the
+  // whole session stream (and the golden corpus) would shift.
+  RetryPolicy policy = jitterless();
+  policy.jitter = 0.5;
+  util::Rng a(123), b(123);
+  (void)backoff_delay(policy, 0, a);
+  (void)b.uniform(-1.0, 1.0);
+  EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RetryPolicy, PersistentStatusesNeverRetry) {
+  // A certificate rejection cannot change on attempt 2: the classifier is
+  // what stops the loop from burning its remaining budget.
+  EXPECT_FALSE(should_retry(client::QueryStatus::kOk));
+  EXPECT_FALSE(should_retry(client::QueryStatus::kConnectFailed));
+  EXPECT_FALSE(should_retry(client::QueryStatus::kTlsFailed));
+  EXPECT_FALSE(should_retry(client::QueryStatus::kCertRejected));
+  EXPECT_TRUE(should_retry(client::QueryStatus::kTimeout));
+  EXPECT_TRUE(should_retry(client::QueryStatus::kBootstrapFailed));
+}
+
+}  // namespace
+}  // namespace encdns::fault

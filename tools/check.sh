@@ -72,9 +72,59 @@ run_throughput_guard() {
   echo "throughput and allocation budgets hold vs BENCH_throughput.json."
 }
 
+run_chaos() {
+  # The DESIGN.md §13 resume contract, proven the hard way: a reference run
+  # at 2 threads, then a checkpointed run SIGKILLed at three different
+  # journal commits (via ENCDNS_CHECKPOINT_KILL_AFTER) and resumed each time
+  # at a different thread count. The survivors' golden corpus and stable obs
+  # JSON must be byte-identical to the reference.
+  echo "=== checkpoint kill/resume chaos ==="
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "${tmp}"' RETURN
+  ENCDNS_THREADS=2 ./build/tools/encdns_study \
+    --golden-dir "${tmp}/ref" --obs-json "${tmp}/ref.json" >/dev/null
+
+  # Kill counters are per process, so each resume gets a fresh count; the
+  # three points land in different phases of the journal's commit sequence.
+  local kill_points=(3 10 7) threads=(2 8 4) i rc
+  for i in 0 1 2; do
+    rc=0
+    ENCDNS_THREADS="${threads[$i]}" \
+      ENCDNS_CHECKPOINT_KILL_AFTER="${kill_points[$i]}" \
+      ./build/tools/encdns_study --checkpoint-dir "${tmp}/ckpt" \
+      $([ "$i" -gt 0 ] && echo --resume) \
+      --golden-dir "${tmp}/out" --obs-json "${tmp}/out.json" \
+      >/dev/null 2>&1 || rc=$?
+    if [ "${rc}" -ne 137 ]; then
+      echo "chaos: expected SIGKILL (137) at commit ${kill_points[$i]}, got ${rc}" >&2
+      return 1
+    fi
+  done
+  ENCDNS_THREADS=1 ./build/tools/encdns_study --checkpoint-dir "${tmp}/ckpt" \
+    --resume --golden-dir "${tmp}/out" --obs-json "${tmp}/out.json" >/dev/null
+  diff -r "${tmp}/ref" "${tmp}/out"
+  cmp "${tmp}/ref.json" "${tmp}/out.json"
+  echo "kill+resume run is byte-identical to the uninterrupted reference."
+}
+
+run_checkpoint_guard() {
+  # Journaling must not perturb the phase and must keep at least a third of
+  # the checkpoint-off throughput (quick scale is its worst case — see
+  # bench_macro_study.cpp for the bound's rationale).
+  echo "=== checkpoint overhead guard ==="
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "${tmp}"' RETURN
+  ./build/bench/bench_macro_study --checkpoint-guard "${tmp}/ckpt"
+  echo "checkpointed reachability stays within the overhead budget."
+}
+
 run_pass "plain" build ""
 run_golden
 run_cache_guard
+run_chaos
+run_checkpoint_guard
 run_soak
 run_throughput_guard
 run_pass "asan" build-asan address

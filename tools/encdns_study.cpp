@@ -14,9 +14,11 @@
 #include <fstream>
 #include <string>
 
+#include "core/checkpoint/journal.hpp"
 #include "core/experiments.hpp"
 #include "core/report.hpp"
 #include "core/study.hpp"
+#include "util/env.hpp"
 
 using namespace encdns;
 
@@ -37,8 +39,17 @@ void print_usage() {
       "                    ('-' = stdout); implies running the full study\n"
       "  --golden-dir <d>  run every experiment at quick scale with faults\n"
       "                    off and write <id>.json snapshots into <d>\n"
-      "                    (the tests/golden corpus format)\n");
+      "                    (the tests/golden corpus format)\n"
+      "  --checkpoint-dir <d>  journal phase results into <d> so a killed\n"
+      "                    run can be resumed (DESIGN.md 13)\n"
+      "  --resume          resume from the journal in --checkpoint-dir;\n"
+      "                    committed phases load instead of re-running\n"
+      "  --deadline <s>    study-wide wall-clock budget in seconds; phases\n"
+      "                    past it are truncated and coverage is reported\n");
 }
+
+int run_tables(core::Study& study, const std::string& only_id,
+               const std::string& csv_dir, bool report);
 
 }  // namespace
 
@@ -47,9 +58,12 @@ int main(int argc, char** argv) {
   std::string csv_dir;
   std::string obs_json;
   std::string golden_dir;
+  std::string checkpoint_dir;
   bool full = false;
   bool report = false;
   bool obs_text = false;
+  bool resume = false;
+  double deadline = 0.0;
   std::uint64_t seed = 2019;
 
   for (int i = 1; i < argc; ++i) {
@@ -75,51 +89,82 @@ int main(int argc, char** argv) {
       obs_json = argv[++i];
     } else if (arg == "--golden-dir" && i + 1 < argc) {
       golden_dir = argv[++i];
+    } else if (arg == "--checkpoint-dir" && i + 1 < argc) {
+      checkpoint_dir = argv[++i];
+    } else if (arg == "--resume") {
+      resume = true;
+    } else if (arg == "--deadline" && i + 1 < argc) {
+      deadline = std::strtod(argv[++i], nullptr);
+      if (deadline <= 0.0) {
+        std::fprintf(stderr, "--deadline expects a positive seconds value\n");
+        return 1;
+      }
     } else {
       print_usage();
       return arg == "--help" || arg == "-h" ? 0 : 1;
     }
   }
 
-  if (!golden_dir.empty()) {
-    // Golden snapshots pin the canonical quick-scale run: fixed seed, faults
-    // forced off regardless of ENCDNS_FAULTS (World reads the env at
-    // construction, so this must happen before the Study is built).
-    setenv("ENCDNS_FAULTS", "off", 1);
-    core::StudyConfig config = core::StudyConfig::quick();
-    config.world.seed = seed;
-    core::Study study(config);
-    std::filesystem::create_directories(golden_dir);
-    for (const auto& experiment : core::all_experiments()) {
-      const auto path =
-          std::filesystem::path(golden_dir) / (experiment.id + ".json");
-      std::ofstream out(path);
-      out << experiment.run(study).to_json();
-      std::printf("[wrote %s]\n", path.c_str());
-    }
-    return 0;
-  }
+  // Golden snapshots pin the canonical quick-scale run: fixed seed, faults
+  // forced off regardless of ENCDNS_FAULTS (World reads the env at
+  // construction, so this must happen before the Study is built).
+  if (!golden_dir.empty()) setenv("ENCDNS_FAULTS", "off", 1);
 
-  core::StudyConfig config =
-      full ? core::StudyConfig::full() : core::StudyConfig::quick();
+  core::StudyConfig config = full && golden_dir.empty()
+                                 ? core::StudyConfig::full()
+                                 : core::StudyConfig::quick();
   config.world.seed = seed;
-  core::Study study(config);
 
-  if (obs_text || !obs_json.empty()) {
-    const auto& obs_report = study.observability_report();
-    if (obs_text) std::printf("%s\n", obs_report.to_text().c_str());
-    if (!obs_json.empty()) {
-      if (obs_json == "-") {
-        std::printf("%s", obs_report.to_json().c_str());
-      } else {
-        std::ofstream out(obs_json);
-        out << obs_report.to_json();
-        std::printf("[wrote %s]\n", obs_json.c_str());
+  try {
+    core::Study study(config);
+    if (!checkpoint_dir.empty()) study.enable_checkpoint(checkpoint_dir, resume);
+    if (deadline > 0.0) study.set_deadline(deadline);
+
+    // Checkpointing requires the canonical phase order (the journal's metrics
+    // snapshots are absolute restore points only when every predecessor had
+    // committed), so drive the full study up front; the experiment tables
+    // below then read cached results.
+    if (!checkpoint_dir.empty() || obs_text || !obs_json.empty()) {
+      const auto& obs_report = study.observability_report();
+      if (obs_text) std::printf("%s\n", obs_report.to_text().c_str());
+      if (!obs_json.empty()) {
+        if (obs_json == "-") {
+          std::printf("%s", obs_report.to_json().c_str());
+        } else {
+          std::ofstream out(obs_json);
+          out << obs_report.to_json();
+          std::printf("[wrote %s]\n", obs_json.c_str());
+        }
       }
     }
-    return 0;
-  }
 
+    if (!golden_dir.empty()) {
+      std::filesystem::create_directories(golden_dir);
+      for (const auto& experiment : core::all_experiments()) {
+        const auto path =
+            std::filesystem::path(golden_dir) / (experiment.id + ".json");
+        std::ofstream out(path);
+        out << experiment.run(study).to_json();
+        std::printf("[wrote %s]\n", path.c_str());
+      }
+      return 0;
+    }
+    if (obs_text || !obs_json.empty()) return 0;
+
+    return run_tables(study, only_id, csv_dir, report);
+  } catch (const util::EnvError& e) {
+    std::fprintf(stderr, "encdns_study: %s\n", e.what());
+    return 2;
+  } catch (const core::JournalError& e) {
+    std::fprintf(stderr, "encdns_study: %s\n", e.what());
+    return 2;
+  }
+}
+
+namespace {
+
+int run_tables(core::Study& study, const std::string& only_id,
+               const std::string& csv_dir, bool report) {
   if (report) {
     const auto checks = core::evaluate_findings(study);
     std::printf("%s\n", core::findings_table(checks).render().c_str());
@@ -151,3 +196,5 @@ int main(int argc, char** argv) {
   }
   return 0;
 }
+
+}  // namespace

@@ -1,0 +1,12 @@
+// §3 variant: E-DoH-style IP-directed DoH discovery scan (DESIGN.md §14).
+#include "common.hpp"
+
+int main() {
+  return encdns::bench::run_experiment(
+      "doh-scan",
+      {"Sweeping the routable space on TCP/443 with the stateless engine,",
+       "peeking each open host's certificate for a hostname and probing the",
+       "well-known DoH paths directly at the address finds the deployed",
+       "endpoints without a URL dataset — including at least one host the",
+       "crawler dataset misses."});
+}

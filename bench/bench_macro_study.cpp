@@ -38,6 +38,7 @@ void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -52,6 +53,7 @@ void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 #include "client/dot.hpp"
 #include "core/study.hpp"
 #include "http/url.hpp"
+#include "scan/scanner.hpp"
 #include "world/world.hpp"
 
 namespace {
@@ -357,6 +359,67 @@ std::vector<Row> run_checkpoint_guard(const std::string& dir, bool& ok) {
   return {off, on};
 }
 
+/// --scan-guard: side-by-side Phase-1 comparison of the stateless engine
+/// against the legacy synchronous sweep (DESIGN.md §14). Times one full
+/// 853 sweep per mode on fresh fault-free worlds — Phase 2 probing is
+/// mode-independent, so the guard calls Scanner::sweep_once to keep the
+/// shared cost out of the ratio — and requires (a) identical results (same
+/// probed count and, as sets, the same open hosts: fault-free verdicts are
+/// rng-independent) and (b) the stateless engine to clear 1.5x the legacy
+/// throughput. The ratio is machine-independent (both runs share the
+/// machine), so unlike the 0.25x baseline bound this one is tight.
+std::vector<Row> run_scan_guard(bool& ok) {
+  const auto sweep = [&](const char* name, scan::SweepMode mode,
+                         scan::ScanSnapshot& out,
+                         std::vector<util::Ipv4>& open) {
+    world::World world;
+    scan::CampaignConfig config;
+    config.sweep_mode = mode;
+    scan::Scanner scanner(world, config);
+    return run_row(name, "address", [&] {
+      open = scanner.sweep_once(config.start, out);
+      return out.addresses_probed;
+    });
+  };
+  scan::ScanSnapshot warm, legacy, stateless;
+  std::vector<util::Ipv4> warm_open, legacy_open, stateless_open;
+  (void)sweep("scan_warmup", scan::SweepMode::kStateless, warm, warm_open);
+  const Row legacy_row =
+      sweep("scan_legacy", scan::SweepMode::kLegacy, legacy, legacy_open);
+  const Row stateless_row = sweep("scan_stateless", scan::SweepMode::kStateless,
+                                  stateless, stateless_open);
+  ok = true;
+  const auto by_value = [](const util::Ipv4 a, const util::Ipv4 b) {
+    return a.value() < b.value();
+  };
+  std::sort(legacy_open.begin(), legacy_open.end(), by_value);
+  std::sort(stateless_open.begin(), stateless_open.end(), by_value);
+  if (legacy.addresses_probed != stateless.addresses_probed ||
+      legacy_open.size() != stateless_open.size() ||
+      !std::equal(legacy_open.begin(), legacy_open.end(),
+                  stateless_open.begin(),
+                  [](const util::Ipv4 a, const util::Ipv4 b) {
+                    return a.value() == b.value();
+                  })) {
+    std::fprintf(stderr,
+                 "scan-guard: sweep modes disagree (legacy %llu probed / %zu "
+                 "open vs stateless %llu probed / %zu open)\n",
+                 static_cast<unsigned long long>(legacy.addresses_probed),
+                 legacy_open.size(),
+                 static_cast<unsigned long long>(stateless.addresses_probed),
+                 stateless_open.size());
+    ok = false;
+  }
+  if (stateless_row.qps < 1.5 * legacy_row.qps) {
+    std::fprintf(stderr,
+                 "scan-guard: stateless engine too slow (%.1f qps vs legacy "
+                 "%.1f; floor is 1.5x)\n",
+                 stateless_row.qps, legacy_row.qps);
+    ok = false;
+  }
+  return {legacy_row, stateless_row};
+}
+
 bool check_guard(const std::string& baseline_path,
                  const std::vector<Row>& rows) {
   std::ifstream in(baseline_path);
@@ -412,6 +475,7 @@ int main(int argc, char** argv) {
   std::string out_path = "BENCH_throughput.json";
   std::string guard_path;
   std::string checkpoint_guard_dir;
+  bool scan_guard = false;
   std::vector<std::string> phase_filter;
   bool skip_transports = false;
   for (int i = 1; i < argc; ++i) {
@@ -435,6 +499,8 @@ int main(int argc, char** argv) {
       guard_path = next();
     } else if (arg == "--checkpoint-guard") {
       checkpoint_guard_dir = next();
+    } else if (arg == "--scan-guard") {
+      scan_guard = true;
     } else if (arg == "--phases") {
       // Comma-separated phase names (see run_phases). Re-benching a single
       // phase during iteration: --phases reachability_global. Implies the
@@ -457,7 +523,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--scale quick|full] [--out FILE] "
                    "[--guard BASELINE] [--checkpoint-guard DIR] "
-                   "[--phases CSV]\n",
+                   "[--scan-guard] [--phases CSV]\n",
                    argv[0]);
       return 2;
     }
@@ -473,6 +539,19 @@ int main(int argc, char** argv) {
                   row.name.c_str(), row.queries, row.unit.c_str(), row.seconds,
                   row.qps, row.allocs_per_query);
     std::printf("checkpoint-guard: %s\n", ok ? "met" : "NOT met");
+    return ok ? 0 : 1;
+  }
+
+  // The stateless-vs-legacy sweep comparison is also its own mode, for the
+  // same reason.
+  if (scan_guard) {
+    bool ok = false;
+    const std::vector<Row> rows = run_scan_guard(ok);
+    for (const Row& row : rows)
+      std::printf("%-22s %12llu %-12s %8.3f s %12.1f qps %8.2f allocs/q\n",
+                  row.name.c_str(), row.queries, row.unit.c_str(), row.seconds,
+                  row.qps, row.allocs_per_query);
+    std::printf("scan-guard: %s\n", ok ? "met" : "NOT met");
     return ok ? 0 : 1;
   }
 

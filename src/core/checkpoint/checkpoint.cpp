@@ -58,9 +58,10 @@ void encode_cached_answer(util::ByteWriter& w, const cache::CachedAnswer& a) {
 
 const std::vector<std::string>& canonical_phases() {
   static const std::vector<std::string> phases{
-      "scan_campaign",       "doh_discovery", "local_probe",
-      "reachability_global", "reachability_cn", "performance",
-      "no_reuse",            "netflow",       "passive_dns"};
+      "scan_campaign",       "doh_discovery", "doh_scan",
+      "local_probe",         "reachability_global", "reachability_cn",
+      "performance",         "no_reuse",      "netflow",
+      "passive_dns"};
   return phases;
 }
 

@@ -16,9 +16,10 @@ const ObservabilityReport& Study::observability_report() {
   // JSON) is a pure function of the config. If the caller already forced
   // experiments, their metrics must survive — skip the reset and leave those
   // contributions outside any phase.
-  const bool fresh = !scans_ && !doh_discovery_ && !local_probe_ &&
-                     !reach_global_ && !reach_cn_ && !performance_ &&
-                     !no_reuse_ && !netflow_ && !passive_dns_;
+  const bool fresh = !scans_ && !doh_discovery_ && !doh_scan_ &&
+                     !local_probe_ && !reach_global_ && !reach_cn_ &&
+                     !performance_ && !no_reuse_ && !netflow_ &&
+                     !passive_dns_;
   if (fresh) obs::MetricsRegistry::global().reset();
 
   obs::PhaseProfiler profiler;
@@ -26,6 +27,7 @@ const ObservabilityReport& Study::observability_report() {
   profiler.begin("scan");
   (void)scans();
   (void)doh_discovery();
+  (void)doh_scan();
   (void)local_probe();
   profiler.end();
 

@@ -271,6 +271,33 @@ const scan::DohDiscovery& Study::doh_discovery() {
   return *doh_discovery_;
 }
 
+const scan::DohScanResult& Study::doh_scan() {
+  if (doh_scan_) return *doh_scan_;
+  if (checkpoint_) {
+    if (auto loaded = checkpoint_->load_phase("doh_scan")) {
+      util::ByteReader r(loaded->state);
+      doh_scan_ = scan::decode_doh_scan(r);
+      r.expect_done();
+      restore_cursor(loaded->cursor);
+      return *doh_scan_;
+    }
+  }
+  scan::DohScanConfig cfg;
+  cfg.seed = config_.campaign.seed ^ 0xED0ULL;
+  cfg.thread_count = config_.thread_count;
+  cfg.scan_window = config_.campaign.scan_window;
+  cfg.scan_rate = config_.campaign.scan_rate;
+  cfg.cancel = phase_cancel("ENCDNS_DEADLINE_SCAN", scan_cancel_);
+  doh_scan_ =
+      scan::run_doh_scan(*world_, cfg, config_.campaign.start.plus_days(60));
+  if (checkpoint_) {
+    util::ByteWriter w;
+    scan::encode_doh_scan(w, *doh_scan_);
+    checkpoint_->commit_phase("doh_scan", w.take(), capture_cursor());
+  }
+  return *doh_scan_;
+}
+
 const measure::LocalProbeResults& Study::local_probe() {
   if (local_probe_) return *local_probe_;
   if (checkpoint_) {
@@ -479,6 +506,7 @@ fault::RobustnessReport Study::robustness_report() {
   report.proxy += perf.proxy_faults;
   for (const auto& snapshot : scans()) report.scanner += snapshot.faults;
   report.scanner += doh_discovery().faults;
+  report.scanner += doh_scan().faults;
   // Resolver layer: upstream recursion faults drawn inside the backends,
   // recovered when an RFC 8767 stale answer covered for the failure. The
   // cumulative tally folds in activity from before the last resume.
@@ -497,6 +525,10 @@ PhaseCoverage Study::phase_coverage(const std::string& phase) {
     coverage.completed = scans().size();
   } else if (phase == "doh_discovery") {
     (void)doh_discovery();
+    coverage.planned = 1;
+    coverage.completed = 1;
+  } else if (phase == "doh_scan") {
+    (void)doh_scan();
     coverage.planned = 1;
     coverage.completed = 1;
   } else if (phase == "local_probe") {

@@ -16,6 +16,7 @@
 #include "measure/reachability.hpp"
 #include "proxy/proxy.hpp"
 #include "scan/doh_prober.hpp"
+#include "scan/doh_scan.hpp"
 #include "scan/scanner.hpp"
 #include "traffic/netflow_study.hpp"
 #include "traffic/passive_dns.hpp"
@@ -91,6 +92,10 @@ class Study {
 
   /// §3: DoH discovery over the URL dataset.
   [[nodiscard]] const scan::DohDiscovery& doh_discovery();
+
+  /// §3: E-DoH-style IP-directed DoH discovery — a stateless-engine sweep of
+  /// TCP/443 plus certificate-peek-directed RFC 8484 probes (DESIGN.md §14).
+  [[nodiscard]] const scan::DohScanResult& doh_scan();
 
   /// §3.1: the local-resolver DoT probe.
   [[nodiscard]] const measure::LocalProbeResults& local_probe();
@@ -173,6 +178,7 @@ class Study {
 
   std::optional<std::vector<scan::ScanSnapshot>> scans_;
   std::optional<scan::DohDiscovery> doh_discovery_;
+  std::optional<scan::DohScanResult> doh_scan_;
   std::optional<measure::LocalProbeResults> local_probe_;
   std::optional<measure::ReachabilityResults> reach_global_;
   std::optional<measure::ReachabilityResults> reach_cn_;

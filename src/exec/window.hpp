@@ -1,0 +1,57 @@
+// Bounded in-flight accounting for decoupled transmit/receive loops
+// (DESIGN.md §14). A CreditWindow is a token bucket: the transmit side
+// acquires one credit per emitted probe, the receive side releases it when
+// the response is classified (or drained on cancellation). The window is
+// shard-local by construction — one instance per shard, touched by exactly
+// one worker at a time — so it needs no atomics and stays deterministic.
+//
+// The release path is guarded: releasing with nothing in flight is counted
+// (never silently absorbed) so the engine's "every credit released exactly
+// once" invariant is testable instead of assumed.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+namespace encdns::exec {
+
+class CreditWindow {
+ public:
+  explicit CreditWindow(std::size_t capacity) noexcept
+      : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+  /// Take one credit; false when the window is full (the caller must drain
+  /// its receive queue to free a credit before transmitting more).
+  [[nodiscard]] bool try_acquire() noexcept {
+    if (in_flight_ >= capacity_) return false;
+    ++in_flight_;
+    high_water_ = std::max(high_water_, in_flight_);
+    return true;
+  }
+
+  /// Return one credit. A release with nothing in flight is a double
+  /// release — counted, not applied, so the imbalance is visible.
+  void release() noexcept {
+    if (in_flight_ == 0) {
+      ++double_releases_;
+      return;
+    }
+    --in_flight_;
+  }
+
+  [[nodiscard]] std::size_t in_flight() const noexcept { return in_flight_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t high_water() const noexcept { return high_water_; }
+  [[nodiscard]] std::uint64_t double_releases() const noexcept {
+    return double_releases_;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::size_t in_flight_ = 0;
+  std::size_t high_water_ = 0;
+  std::uint64_t double_releases_ = 0;
+};
+
+}  // namespace encdns::exec

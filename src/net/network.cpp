@@ -31,6 +31,13 @@ std::size_t Network::binding_count() const noexcept {
   return n;
 }
 
+std::vector<util::Ipv4> Network::bound_addresses() const {
+  std::vector<util::Ipv4> out;
+  out.reserve(bindings_.size());
+  for (const auto& [addr, list] : bindings_) out.push_back(addr);
+  return out;
+}
+
 const Pop* Network::route(util::Ipv4 addr, const Location& from,
                           const util::Date& date) const {
   const auto it = bindings_.find(addr);

@@ -75,6 +75,12 @@ class Network {
 
   [[nodiscard]] std::size_t binding_count() const noexcept;
 
+  /// Every address with at least one binding (any activity window), in
+  /// unspecified order. The stateless scan engine snapshots this set once
+  /// per sweep to split the space into "bound: full routing semantics" and
+  /// "unbound: background-or-closed fast path" (DESIGN.md §14).
+  [[nodiscard]] std::vector<util::Ipv4> bound_addresses() const;
+
   // --- transport primitives -------------------------------------------------
 
   enum class ProbeStatus { kOpen, kClosed, kFiltered };

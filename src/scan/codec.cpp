@@ -35,6 +35,10 @@ void encode_snapshot(util::ByteWriter& w, const ScanSnapshot& snapshot) {
   w.u64(snapshot.port_open);
   w.u64(snapshot.tls_responsive);
   w.u64(snapshot.breaker_skipped);
+  w.u64(snapshot.rejected_forgery);
+  w.u64(snapshot.rejected_duplicate);
+  w.u64(snapshot.rejected_stale);
+  w.u64(snapshot.retransmits);
   fault::encode_tally(w, snapshot.faults);
   w.u32(static_cast<std::uint32_t>(snapshot.resolvers.size()));
   for (const auto& resolver : snapshot.resolvers) encode_resolver(w, resolver);
@@ -47,6 +51,10 @@ ScanSnapshot decode_snapshot(util::ByteReader& r) {
   snapshot.port_open = r.u64();
   snapshot.tls_responsive = r.u64();
   snapshot.breaker_skipped = r.u64();
+  snapshot.rejected_forgery = r.u64();
+  snapshot.rejected_duplicate = r.u64();
+  snapshot.rejected_stale = r.u64();
+  snapshot.retransmits = r.u64();
   snapshot.faults = fault::decode_tally(r);
   const std::uint32_t n = r.count(8);
   snapshot.resolvers.reserve(n);
@@ -124,6 +132,55 @@ DohDiscovery decode_doh_discovery(util::ByteReader& r) {
     discovery.resolvers.push_back(std::move(d));
   }
   return discovery;
+}
+
+void encode_doh_scan(util::ByteWriter& w, const DohScanResult& result) {
+  w.i64(result.date.to_days());
+  w.u64(result.addresses_probed);
+  w.u64(result.port443_open);
+  w.u64(result.tls_established);
+  w.u64(result.rejected_forgery);
+  w.u64(result.rejected_duplicate);
+  w.u64(result.rejected_stale);
+  w.u64(result.retransmits);
+  fault::encode_tally(w, result.faults);
+  w.u32(static_cast<std::uint32_t>(result.endpoints.size()));
+  for (const auto& e : result.endpoints) {
+    w.u32(e.address.value());
+    w.str(e.host);
+    w.str(e.path);
+    w.str(e.uri_template);
+    w.boolean(e.cert_valid);
+    w.boolean(e.answer_correct);
+    w.f64(e.probe_latency.value);
+  }
+}
+
+DohScanResult decode_doh_scan(util::ByteReader& r) {
+  DohScanResult result;
+  result.date = util::Date::from_days(r.i64());
+  result.addresses_probed = r.u64();
+  result.port443_open = r.u64();
+  result.tls_established = r.u64();
+  result.rejected_forgery = r.u64();
+  result.rejected_duplicate = r.u64();
+  result.rejected_stale = r.u64();
+  result.retransmits = r.u64();
+  result.faults = fault::decode_tally(r);
+  const std::uint32_t n = r.count(16);
+  result.endpoints.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    DohScanEndpoint e;
+    e.address = util::Ipv4{r.u32()};
+    e.host = r.str();
+    e.path = r.str();
+    e.uri_template = r.str();
+    e.cert_valid = r.boolean();
+    e.answer_correct = r.boolean();
+    e.probe_latency = sim::Millis{r.f64()};
+    result.endpoints.push_back(std::move(e));
+  }
+  return result;
 }
 
 }  // namespace encdns::scan

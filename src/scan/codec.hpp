@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "scan/doh_prober.hpp"
+#include "scan/doh_scan.hpp"
 #include "scan/scanner.hpp"
 #include "util/bytes.hpp"
 
@@ -20,5 +21,8 @@ void encode_snapshots(util::ByteWriter& w,
 
 void encode_doh_discovery(util::ByteWriter& w, const DohDiscovery& discovery);
 [[nodiscard]] DohDiscovery decode_doh_discovery(util::ByteReader& r);
+
+void encode_doh_scan(util::ByteWriter& w, const DohScanResult& result);
+[[nodiscard]] DohScanResult decode_doh_scan(util::ByteReader& r);
 
 }  // namespace encdns::scan

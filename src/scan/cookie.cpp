@@ -1,0 +1,21 @@
+#include "scan/cookie.hpp"
+
+namespace encdns::scan {
+
+std::uint64_t make_cookie(std::uint64_t seed, util::Ipv4 addr,
+                          std::uint16_t port, std::uint32_t attempt) noexcept {
+  const std::uint64_t keyed = util::mix64(seed ^ addr.value());
+  return util::mix64(keyed ^ (static_cast<std::uint64_t>(port) << 32) ^
+                     attempt);
+}
+
+bool validate_cookie(std::uint64_t echoed, std::uint64_t seed, util::Ipv4 addr,
+                     std::uint16_t port, std::uint32_t attempt) noexcept {
+  return echoed == make_cookie(seed, addr, port, attempt);
+}
+
+util::Rng cookie_rng(std::uint64_t cookie) noexcept {
+  return util::Rng(util::mix64(cookie));
+}
+
+}  // namespace encdns::scan

@@ -1,0 +1,44 @@
+// Probe cookies for the stateless scan engine (DESIGN.md §14).
+//
+// Masscan-style scanning keeps no per-target heap state: everything the
+// receive loop needs to classify a response is folded into a 64-bit cookie
+// derived from (sweep seed, destination address, port, attempt). The
+// response echoes the cookie; the classifier recomputes the expected value
+// and rejects anything that does not match bit-for-bit — forged responses,
+// garbled echoes, and responses keyed to another sweep's seed all fail the
+// same check.
+//
+// The cookie doubles as the probe's randomness key: cookie_rng() derives an
+// independent deviate stream from it, so a probe's latency and fault draws
+// depend only on its own identity, never on transmit order or thread count.
+#pragma once
+
+#include <cstdint>
+
+#include "util/ipv4.hpp"
+#include "util/rng.hpp"
+
+namespace encdns::scan {
+
+/// Cookie for one probe attempt. The mix is staged — mix64(seed ^ addr)
+/// first, then port/attempt folded in before a second mix — because the
+/// single-stage mix64(seed ^ addr ^ port ^ attempt) the naive scheme
+/// suggests collides: addr ^ attempt is symmetric, so (addr, attempt=1) and
+/// (addr|1, attempt=0) key identical cookies for even addresses. Staging
+/// breaks the symmetry; the port is shifted clear of the attempt bits.
+[[nodiscard]] std::uint64_t make_cookie(std::uint64_t seed, util::Ipv4 addr,
+                                        std::uint16_t port,
+                                        std::uint32_t attempt) noexcept;
+
+/// Fail-closed validation: true iff `echoed` is exactly the cookie this
+/// (seed, addr, port, attempt) tuple would have been sent with.
+[[nodiscard]] bool validate_cookie(std::uint64_t echoed, std::uint64_t seed,
+                                   util::Ipv4 addr, std::uint16_t port,
+                                   std::uint32_t attempt) noexcept;
+
+/// The probe's own deviate stream, keyed by its cookie. Independent per
+/// (addr, port, attempt), so retransmits re-draw and classification is
+/// order-independent.
+[[nodiscard]] util::Rng cookie_rng(std::uint64_t cookie) noexcept;
+
+}  // namespace encdns::scan

@@ -7,6 +7,7 @@
 #include "exec/executor.hpp"
 #include "obs/span.hpp"
 #include "scan/codec.hpp"
+#include "scan/engine.hpp"
 #include "scan/permutation.hpp"
 #include "util/bytes.hpp"
 #include "util/stats.hpp"
@@ -36,6 +37,20 @@ struct ScanMetrics {
       obs::MetricsRegistry::global().counter("scan.probe.breaker_skips");
   obs::Counter& tls_ok = obs::MetricsRegistry::global().counter("scan.probe.tls_ok");
   obs::Counter& dot_ok = obs::MetricsRegistry::global().counter("scan.probe.dot_ok");
+  // Stateless-engine receive-loop verdicts (DESIGN.md §14). Flushed from
+  // the merged sweep tally, never per probe. Deliberately excludes anything
+  // window- or pace-dependent (high-water marks), so the obs JSON is
+  // invariant under the flow-control knobs.
+  obs::Counter& engine_tx =
+      obs::MetricsRegistry::global().counter("scan.engine.tx");
+  obs::Counter& engine_retransmits =
+      obs::MetricsRegistry::global().counter("scan.engine.retransmits");
+  obs::Counter& engine_forgery =
+      obs::MetricsRegistry::global().counter("scan.engine.rejected_forgery");
+  obs::Counter& engine_duplicate =
+      obs::MetricsRegistry::global().counter("scan.engine.rejected_duplicate");
+  obs::Counter& engine_stale =
+      obs::MetricsRegistry::global().counter("scan.engine.rejected_stale");
   obs::Histogram& latency = obs::MetricsRegistry::global().histogram(
       "scan.probe.latency_ms", obs::latency_buckets_ms());
 
@@ -82,75 +97,112 @@ Scanner::Scanner(const world::World& world, CampaignConfig config)
     geo_oracle_[d.address.value()] = d.country;
 }
 
-ScanSnapshot Scanner::scan_once(const util::Date& date) {
-  ScanSnapshot snapshot;
-  snapshot.date = date;
-  exec::WorkerPool pool(config_.thread_count);
-
+std::vector<util::Ipv4> Scanner::sweep_once(const util::Date& date,
+                                            ScanSnapshot& snapshot) {
   // Phase 1: ZMap sweep of TCP/853 over the whole space in permutation order,
   // split into a FIXED number of step-range shards. The shard count is part
   // of the deterministic contract (it fixes the per-shard rng streams), so it
   // never depends on the thread count; threads only schedule shards.
   CyclicPermutation permutation(space_.size(),
                                 config_.seed * 1315423911ULL + scan_serial_);
-  struct SweepPartial {
-    std::uint64_t probed = 0;
-    std::vector<util::Ipv4> open_hosts;
-    fault::LayerTally faults;
-    sim::Millis sim_elapsed{0.0};  // credited to the sweep span at merge
-  };
   OBS_SPAN_VAR(sweep_span, "scan.sweep");
-  std::vector<SweepPartial> partials(kSweepShards);
   const std::uint64_t sweep_seed = config_.seed ^ (0xAB5C15ULL + scan_serial_);
-  pool.parallel_for_shards(kSweepShards, [&](std::size_t shard) {
-    const auto [first, last] =
-        exec::shard_range(permutation.steps(), kSweepShards, shard);
-    util::Rng rng = exec::shard_rng(sweep_seed, shard);
-    SweepPartial& partial = partials[shard];
-    auto walker = permutation.walk(first, last);
-    while (const auto index = walker.next()) {
-      const util::Ipv4 addr = space_.at(*index);
-      ++partial.probed;
-      // Rotate origins by address so the assignment is shard-independent.
-      const auto& origin = origins_[addr.value() % origins_.size()];
-      auto probe = world_->network().probe_tcp(origin.context, rng, addr,
-                                               dns::kDotPort, date);
-      partial.sim_elapsed += probe.latency;
-      if (probe.status == net::Network::ProbeStatus::kFiltered) {
-        // From a clean origin a filtered verdict means the SYN (or its ACK)
-        // was dropped in flight, not a middlebox: re-probe before writing
-        // the host off. Extra rng draws happen only on this path, so
-        // fault-free sweeps remain byte-identical.
-        for (int retry = 0;
-             retry < config_.sweep_retries &&
-             probe.status == net::Network::ProbeStatus::kFiltered;
-             ++retry) {
-          ++partial.faults.injected;
-          probe = world_->network().probe_tcp(origin.context, rng, addr,
-                                              dns::kDotPort, date);
-          partial.sim_elapsed += probe.latency;
-        }
-        if (probe.status == net::Network::ProbeStatus::kFiltered)
-          ++partial.faults.surfaced;
-        else
-          ++partial.faults.recovered;
-      }
-      if (probe.status == net::Network::ProbeStatus::kOpen)
-        partial.open_hosts.push_back(addr);
-    }
-  });
   std::vector<util::Ipv4> open_hosts;
-  for (const auto& partial : partials) {  // canonical shard-order merge
-    snapshot.addresses_probed += partial.probed;
-    open_hosts.insert(open_hosts.end(), partial.open_hosts.begin(),
-                      partial.open_hosts.end());
-    snapshot.faults += partial.faults;
-    sweep_span.add_sim(partial.sim_elapsed);
+  if (config_.sweep_mode == SweepMode::kStateless) {
+    // The masscan-style engine (DESIGN.md §14): decoupled transmit/receive
+    // loops, cookie-validated classification, bounded in-flight window.
+    EngineConfig engine_config;
+    engine_config.seed = sweep_seed;
+    engine_config.port = dns::kDotPort;
+    engine_config.max_attempts = 1 + std::max(config_.sweep_retries, 0);
+    engine_config.thread_count = config_.thread_count;
+    engine_config.window = config_.scan_window;
+    engine_config.pace_qps = config_.scan_rate;
+    engine_config.cancel = config_.cancel;
+    ScanEngine engine(*world_, engine_config);
+    SweepResult sweep = engine.sweep(space_, permutation, origins_, date);
+    open_hosts = std::move(sweep.open_hosts);
+    const EngineTally& tally = sweep.tally;
+    snapshot.addresses_probed = tally.probed;
+    snapshot.faults += tally.faults;
+    snapshot.rejected_forgery = tally.rejected_forgery;
+    snapshot.rejected_duplicate = tally.rejected_duplicate;
+    snapshot.rejected_stale = tally.rejected_stale;
+    snapshot.retransmits = tally.retransmits;
+    sweep_span.add_sim(tally.sim_elapsed);
+    ScanMetrics::get().engine_tx.add(tally.transmitted);
+    ScanMetrics::get().engine_retransmits.add(tally.retransmits);
+    ScanMetrics::get().engine_forgery.add(tally.rejected_forgery);
+    ScanMetrics::get().engine_duplicate.add(tally.rejected_duplicate);
+    ScanMetrics::get().engine_stale.add(tally.rejected_stale);
+  } else {
+    // Legacy synchronous sweep: kept for the bench guard's stateless-vs-
+    // legacy comparison (tools/check.sh run_scan_guard).
+    struct SweepPartial {
+      std::uint64_t probed = 0;
+      std::vector<util::Ipv4> open_hosts;
+      fault::LayerTally faults;
+      sim::Millis sim_elapsed{0.0};  // credited to the sweep span at merge
+    };
+    std::vector<SweepPartial> partials(kSweepShards);
+    exec::WorkerPool pool(config_.thread_count);
+    pool.parallel_for_shards(kSweepShards, [&](std::size_t shard) {
+      const auto [first, last] =
+          exec::shard_range(permutation.steps(), kSweepShards, shard);
+      util::Rng rng = exec::shard_rng(sweep_seed, shard);
+      SweepPartial& partial = partials[shard];
+      auto walker = permutation.walk(first, last);
+      while (const auto index = walker.next()) {
+        const util::Ipv4 addr = space_.at(*index);
+        ++partial.probed;
+        // Rotate origins by address so the assignment is shard-independent.
+        const auto& origin = origins_[addr.value() % origins_.size()];
+        auto probe = world_->network().probe_tcp(origin.context, rng, addr,
+                                                 dns::kDotPort, date);
+        partial.sim_elapsed += probe.latency;
+        if (probe.status == net::Network::ProbeStatus::kFiltered) {
+          // From a clean origin a filtered verdict means the SYN (or its ACK)
+          // was dropped in flight, not a middlebox: re-probe before writing
+          // the host off. Extra rng draws happen only on this path, so
+          // fault-free sweeps remain byte-identical.
+          for (int retry = 0;
+               retry < config_.sweep_retries &&
+               probe.status == net::Network::ProbeStatus::kFiltered;
+               ++retry) {
+            ++partial.faults.injected;
+            probe = world_->network().probe_tcp(origin.context, rng, addr,
+                                                dns::kDotPort, date);
+            partial.sim_elapsed += probe.latency;
+          }
+          if (probe.status == net::Network::ProbeStatus::kFiltered)
+            ++partial.faults.surfaced;
+          else
+            ++partial.faults.recovered;
+        }
+        if (probe.status == net::Network::ProbeStatus::kOpen)
+          partial.open_hosts.push_back(addr);
+      }
+    });
+    for (const auto& partial : partials) {  // canonical shard-order merge
+      snapshot.addresses_probed += partial.probed;
+      open_hosts.insert(open_hosts.end(), partial.open_hosts.begin(),
+                        partial.open_hosts.end());
+      snapshot.faults += partial.faults;
+      sweep_span.add_sim(partial.sim_elapsed);
+    }
   }
   snapshot.port_open = open_hosts.size();
   ScanMetrics::get().probes.add(snapshot.addresses_probed);
   ScanMetrics::get().open.add(snapshot.port_open);
   ScanMetrics::get().sweep_faults.add(snapshot.faults.injected);
+  return open_hosts;
+}
+
+ScanSnapshot Scanner::scan_once(const util::Date& date) {
+  ScanSnapshot snapshot;
+  snapshot.date = date;
+  const std::vector<util::Ipv4> open_hosts = sweep_once(date, snapshot);
+  exec::WorkerPool pool(config_.thread_count);
 
   // Phase 2: application-layer DoT probing of every open host, one task per
   // host with an address-derived rng stream (shard-count independent); the

@@ -39,6 +39,15 @@ struct ScanSnapshot {
   /// Hosts skipped in Phase 2 because the circuit breaker was open after
   /// repeated flaky probes in earlier scans of the campaign.
   std::uint64_t breaker_skipped = 0;
+  /// Stateless-engine receive-loop verdicts (DESIGN.md §14): responses whose
+  /// echoed cookie failed validation, second deliveries of one response, and
+  /// late arrivals for already-retransmitted attempts. All zero without an
+  /// active fault profile (and on legacy-mode sweeps).
+  std::uint64_t rejected_forgery = 0;
+  std::uint64_t rejected_duplicate = 0;
+  std::uint64_t rejected_stale = 0;
+  /// SYN retransmissions the engine's receive loop requested.
+  std::uint64_t retransmits = 0;
 
   /// Distinct providers (grouping key) seen in this snapshot.
   [[nodiscard]] std::vector<std::string> providers() const;
@@ -49,6 +58,14 @@ struct ScanSnapshot {
   /// Providers owning at least one resolver with an invalid certificate.
   [[nodiscard]] std::vector<std::string> invalid_cert_providers() const;
 };
+
+/// Phase-1 sweep implementation. kStateless is the masscan-style engine
+/// (scan::ScanEngine, DESIGN.md §14) and the default everywhere; kLegacy
+/// keeps the synchronous per-shard probe loop for the bench guard's
+/// side-by-side comparison. Fault-free sweeps produce the identical open
+/// set either way (the verdicts are rng-independent), so the golden corpus
+/// does not depend on the mode.
+enum class SweepMode { kStateless, kLegacy };
 
 struct CampaignConfig {
   util::Date start{2019, 2, 1};
@@ -65,6 +82,15 @@ struct CampaignConfig {
   /// clean scan origins a filtered verdict means a dropped SYN, never a
   /// middlebox, so fault-free sweeps never retry (and stay byte-identical).
   int sweep_retries = 2;
+  /// Phase-1 implementation (see SweepMode above).
+  SweepMode sweep_mode = SweepMode::kStateless;
+  /// Stateless-engine in-flight window per shard; 0 = ENCDNS_SCAN_WINDOW
+  /// env, else 256. Flow control only — results never depend on it.
+  std::size_t scan_window = 0;
+  /// Stateless-engine transmit pacing (probes per simulated second per
+  /// shard); 0 = ENCDNS_SCAN_RATE env, else unpaced. Results never depend
+  /// on it either.
+  double scan_rate = 0.0;
   /// Application-layer probe attempts on transient failures (Phase 2).
   int probe_attempts = 3;
   /// Consecutive scans in which a port-open host must flake out of the
@@ -85,6 +111,14 @@ class Scanner {
 
   /// One full sweep + application-layer probing at `date`.
   [[nodiscard]] ScanSnapshot scan_once(const util::Date& date);
+
+  /// Phase 1 alone: sweep the space at `date` with the configured mode and
+  /// return the open set, accumulating probe accounting into `snapshot`.
+  /// scan_once runs this then the application-layer probing; the bench's
+  /// scan guard calls it directly to time the two SweepModes side by side
+  /// without the (mode-independent) Phase-2 cost.
+  [[nodiscard]] std::vector<util::Ipv4> sweep_once(const util::Date& date,
+                                                   ScanSnapshot& snapshot);
 
   /// The whole campaign (scan_count scans, interval_days apart).
   [[nodiscard]] std::vector<ScanSnapshot> run_campaign();

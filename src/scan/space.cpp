@@ -17,13 +17,27 @@ ScanSpace::ScanSpace(std::vector<util::Cidr> prefixes)
     cumulative_.push_back(total_);
     total_ += prefix.size();
   }
+  if (total_ == 0) return;
+  // Size the hint table at ~4 buckets per block so a lookup advances past
+  // at most a handful of blocks even when block sizes are skewed.
+  while ((total_ >> bucket_shift_) > prefixes_.size() * 4) ++bucket_shift_;
+  const std::uint64_t buckets = ((total_ - 1) >> bucket_shift_) + 1;
+  bucket_hint_.resize(static_cast<std::size_t>(buckets));
+  std::size_t block = 0;
+  for (std::uint64_t b = 0; b < buckets; ++b) {
+    const std::uint64_t first = b << bucket_shift_;
+    while (block + 1 < prefixes_.size() && cumulative_[block + 1] <= first)
+      ++block;
+    bucket_hint_[static_cast<std::size_t>(b)] = static_cast<std::uint32_t>(block);
+  }
 }
 
 util::Ipv4 ScanSpace::at(std::uint64_t i) const {
   if (i >= total_) throw std::out_of_range("ScanSpace::at");
-  // Find the prefix whose cumulative start is <= i (last such).
-  const auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), i);
-  const std::size_t block = static_cast<std::size_t>(it - cumulative_.begin()) - 1;
+  // Start from the bucket's block hint and advance to the prefix whose
+  // cumulative start is <= i (last such).
+  std::size_t block = bucket_hint_[static_cast<std::size_t>(i >> bucket_shift_)];
+  while (block + 1 < prefixes_.size() && cumulative_[block + 1] <= i) ++block;
   return prefixes_[block].at(i - cumulative_[block]);
 }
 

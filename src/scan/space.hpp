@@ -35,6 +35,13 @@ class ScanSpace {
   std::vector<util::Cidr> prefixes_;       // sorted by base address
   std::vector<std::uint64_t> cumulative_;  // exclusive prefix sums
   std::uint64_t total_ = 0;
+  /// Bucketed block hints over the flat index space: bucket_hint_[i >>
+  /// bucket_shift_] is the block containing the bucket's first index, so
+  /// at() replaces its per-probe binary search with a table load plus (on
+  /// average) less than one linear advance — the sweep calls it once per
+  /// address in the routable space.
+  std::vector<std::uint32_t> bucket_hint_;
+  unsigned bucket_shift_ = 0;
 };
 
 }  // namespace encdns::scan

@@ -176,17 +176,23 @@ double World::port53_rate(const std::string& country) const {
 }
 
 bool World::background_open_853(util::Ipv4 addr, const util::Date& date) const {
-  // Must be inside the routable space (every prefix is a /16).
-  if (!routable_high16_.contains(addr.value() >> 16)) return false;
+  return background_sweep_853(date).open(addr);
+}
+
+World::Background853Sweep World::background_sweep_853(
+    const util::Date& date) const {
+  // Routable check first (every prefix is a /16), then a stable population
+  // plus a slowly churning one (the paper's per-scan fluctuation between 2M
+  // and 3M open hosts). The churn window advances every 30 days.
+  Background853Sweep sweep;
+  sweep.routable_ = &routable_high16_;
   const double d = config_.background_open853_density;
-  // A stable population plus a slowly churning one (the paper's per-scan
-  // fluctuation between 2M and 3M open hosts).
-  const std::uint64_t h1 = util::mix64(addr.value() ^ background_salt_);
-  if (static_cast<double>(h1 % 1000000) < 750000.0 * d) return true;
+  sweep.stable_salt_ = background_salt_;
+  sweep.stable_threshold_ = 750000.0 * d;
   const std::uint64_t window = static_cast<std::uint64_t>(date.to_days() / 30);
-  const std::uint64_t h2 =
-      util::mix64(addr.value() ^ background_salt_ ^ (window * 0x9E3779B9ULL));
-  return static_cast<double>(h2 % 1000000) < 500000.0 * d;
+  sweep.churn_salt_ = background_salt_ ^ (window * 0x9E3779B9ULL);
+  sweep.churn_threshold_ = 500000.0 * d;
+  return sweep;
 }
 
 // ---------------------------------------------------------------------------

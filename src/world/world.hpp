@@ -143,6 +143,32 @@ class World {
   /// Whether a background (non-DoT) host has TCP/853 open at `date`.
   [[nodiscard]] bool background_open_853(util::Ipv4 addr, const util::Date& date) const;
 
+  /// Hoisted per-sweep form of background_open_853: the churn window, salts
+  /// and density thresholds are resolved once per sweep instead of once per
+  /// address, so the scan engine's closed-verdict hot path is a set probe
+  /// plus one or two hash-and-compares. open() is bit-identical to calling
+  /// background_open_853(addr, date) for the date the sweep was built with.
+  class Background853Sweep {
+   public:
+    [[nodiscard]] bool open(util::Ipv4 addr) const {
+      if (!routable_->contains(addr.value() >> 16)) return false;
+      const std::uint64_t h1 = util::mix64(addr.value() ^ stable_salt_);
+      if (static_cast<double>(h1 % 1000000) < stable_threshold_) return true;
+      const std::uint64_t h2 = util::mix64(addr.value() ^ churn_salt_);
+      return static_cast<double>(h2 % 1000000) < churn_threshold_;
+    }
+
+   private:
+    friend class World;
+    const std::unordered_set<std::uint32_t>* routable_ = nullptr;
+    std::uint64_t stable_salt_ = 0;
+    std::uint64_t churn_salt_ = 0;
+    double stable_threshold_ = 0.0;
+    double churn_threshold_ = 0.0;
+  };
+  [[nodiscard]] Background853Sweep background_sweep_853(
+      const util::Date& date) const;
+
   // --- vantage sampling ------------------------------------------------------
 
   /// A residential client on the global platform (country-weighted).

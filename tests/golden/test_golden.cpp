@@ -100,9 +100,10 @@ class GoldenTest : public ::testing::Test {
 };
 
 TEST_F(GoldenTest, CorpusCoversEveryExperiment) {
-  // 8 tables + 13 figures + the two auxiliary funnels (doh-discovery,
-  // local-probe): every registered experiment must have a snapshot, and no
-  // stale snapshot may linger after an experiment is renamed or removed.
+  // 8 tables + 13 figures + the three auxiliary experiments (doh-discovery,
+  // doh-scan, local-probe): every registered experiment must have a
+  // snapshot, and no stale snapshot may linger after an experiment is
+  // renamed or removed.
   std::set<std::string> ids;
   for (const auto& experiment : all_experiments()) {
     ids.insert(experiment.id);
@@ -140,6 +141,7 @@ TEST_F(GoldenTest, Figure11) { check("fig11"); }
 TEST_F(GoldenTest, Figure12) { check("fig12"); }
 TEST_F(GoldenTest, Figure13) { check("fig13"); }
 TEST_F(GoldenTest, DohDiscovery) { check("doh-discovery"); }
+TEST_F(GoldenTest, DohScan) { check("doh-scan"); }
 TEST_F(GoldenTest, LocalProbe) { check("local-probe"); }
 
 }  // namespace

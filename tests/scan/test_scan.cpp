@@ -1,11 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <unordered_set>
 
+#include "exec/cancel.hpp"
 #include "fault/fault.hpp"
 #include "scan/doh_prober.hpp"
+#include "scan/doh_scan.hpp"
 #include "scan/dot_prober.hpp"
+#include "scan/engine.hpp"
 #include "scan/permutation.hpp"
 #include "scan/scanner.hpp"
 #include "scan/space.hpp"
@@ -279,6 +283,226 @@ TEST(Scanner, FaultySnapshotIsThreadCountInvariant) {
   // The injector actually fired, and the retry layer absorbed real faults.
   EXPECT_GT(serial.faults.injected, 0u);
   EXPECT_GT(serial.faults.recovered, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Stateless sweep engine (DESIGN.md §14).
+
+// A reduced space (the world's first few scan prefixes) keeps the faults-on
+// engine sweeps fast; determinism properties do not depend on the space.
+ScanSpace reduced_space(const world::World& world, std::size_t prefix_count) {
+  const auto& all = world.scan_prefixes();
+  const std::size_t n = std::min(prefix_count, all.size());
+  return ScanSpace(
+      std::vector<util::Cidr>(all.begin(), all.begin() + static_cast<long>(n)));
+}
+
+bool tallies_equal(const EngineTally& a, const EngineTally& b) {
+  return a.transmitted == b.transmitted && a.probed == b.probed &&
+         a.open == b.open && a.retransmits == b.retransmits &&
+         a.rejected_forgery == b.rejected_forgery &&
+         a.rejected_duplicate == b.rejected_duplicate &&
+         a.rejected_stale == b.rejected_stale &&
+         a.faults.injected == b.faults.injected &&
+         a.faults.recovered == b.faults.recovered &&
+         a.faults.surfaced == b.faults.surfaced &&
+         a.sim_elapsed.value == b.sim_elapsed.value;
+}
+
+// The stateless engine and the legacy synchronous sweep must find the exact
+// same open set in the same canonical order on a fault-free world — that
+// equivalence is what lets the golden §3 corpus stay byte-identical while
+// the sweep implementation underneath it changed completely.
+TEST(ScanEngine, MatchesLegacySweepFaultFree) {
+  const auto snapshot_with_mode = [](SweepMode mode) {
+    world::World world;
+    CampaignConfig config;
+    config.sweep_mode = mode;
+    Scanner scanner(world, config);
+    return scanner.scan_once(kFeb);
+  };
+  const auto stateless = snapshot_with_mode(SweepMode::kStateless);
+  const auto legacy = snapshot_with_mode(SweepMode::kLegacy);
+  EXPECT_EQ(stateless.addresses_probed, legacy.addresses_probed);
+  EXPECT_EQ(stateless.port_open, legacy.port_open);
+  EXPECT_EQ(stateless.tls_responsive, legacy.tls_responsive);
+  ASSERT_EQ(stateless.resolvers.size(), legacy.resolvers.size());
+  for (std::size_t i = 0; i < stateless.resolvers.size(); ++i) {
+    EXPECT_EQ(stateless.resolvers[i].address, legacy.resolvers[i].address);
+    EXPECT_EQ(stateless.resolvers[i].cert_cn, legacy.resolvers[i].cert_cn);
+    EXPECT_EQ(stateless.resolvers[i].probe_latency.value,
+              legacy.resolvers[i].probe_latency.value);
+  }
+  // Fault-free: the receive loop saw nothing to reject.
+  EXPECT_EQ(stateless.rejected_forgery, 0u);
+  EXPECT_EQ(stateless.rejected_duplicate, 0u);
+  EXPECT_EQ(stateless.rejected_stale, 0u);
+  EXPECT_EQ(stateless.retransmits, 0u);
+}
+
+// The engine's own contract at ENCDNS_THREADS 1/2/8 with the canonical fault
+// profile active: open set, receive-loop verdicts, retry tallies and summed
+// simulated time are all bit-identical — threads only schedule shards.
+TEST(ScanEngine, SweepIsThreadCountInvariantUnderFaults) {
+  const auto sweep_with_threads = [](unsigned threads) {
+    world::WorldConfig world_config;
+    world_config.fault_profile = fault::FaultProfile::canonical();
+    world::World world(world_config);
+    const ScanSpace space = reduced_space(world, 6);
+    CyclicPermutation permutation(space.size(), 0x5EEDBEEF);
+    EngineConfig config;
+    config.seed = 20190201;
+    config.thread_count = threads;
+    ScanEngine engine(world, config);
+    return engine.sweep(space, permutation,
+                        {world.make_clean_vantage("US"),
+                         world.make_clean_vantage("CN")},
+                        kFeb);
+  };
+  const SweepResult one = sweep_with_threads(1);
+  const SweepResult two = sweep_with_threads(2);
+  const SweepResult eight = sweep_with_threads(8);
+  EXPECT_EQ(one.open_hosts, two.open_hosts);
+  EXPECT_EQ(one.open_hosts, eight.open_hosts);
+  EXPECT_TRUE(tallies_equal(one.tally, two.tally));
+  EXPECT_TRUE(tallies_equal(one.tally, eight.tally));
+  // The adversarial receive path actually fired: every fail-closed verdict
+  // class was exercised, and retransmits recovered real dropped SYNs.
+  EXPECT_GT(one.tally.retransmits, 0u);
+  EXPECT_GT(one.tally.rejected_forgery, 0u);
+  EXPECT_GT(one.tally.rejected_duplicate, 0u);
+  EXPECT_GT(one.tally.rejected_stale, 0u);
+  EXPECT_GT(one.tally.faults.recovered, 0u);
+  // Window invariants hold on the happy path.
+  EXPECT_EQ(one.tally.credit_leaks, 0u);
+  EXPECT_EQ(one.tally.double_releases, 0u);
+}
+
+// The in-flight window and the pacing rate are flow control only: a window
+// of one (fully synchronous drain), a huge window, and an aggressively paced
+// sweep must all produce the same open set and tallies — they may only shift
+// the window_high_water diagnostics.
+TEST(ScanEngine, WindowAndPaceDoNotChangeResults) {
+  const auto sweep_with = [](std::size_t window, double pace) {
+    world::WorldConfig world_config;
+    world_config.fault_profile = fault::FaultProfile::canonical();
+    world::World world(world_config);
+    const ScanSpace space = reduced_space(world, 4);
+    CyclicPermutation permutation(space.size(), 0xAB12);
+    EngineConfig config;
+    config.seed = 77;
+    config.window = window;
+    config.pace_qps = pace;
+    ScanEngine engine(world, config);
+    return engine.sweep(space, permutation, {world.make_clean_vantage("US")},
+                        kFeb);
+  };
+  const SweepResult tight = sweep_with(1, 0.0);
+  const SweepResult wide = sweep_with(4096, 0.0);
+  const SweepResult paced = sweep_with(256, 50000.0);
+  EXPECT_EQ(tight.open_hosts, wide.open_hosts);
+  EXPECT_EQ(tight.open_hosts, paced.open_hosts);
+  EXPECT_TRUE(tallies_equal(tight.tally, wide.tally));
+  EXPECT_EQ(tight.tally.transmitted, paced.tally.transmitted);
+  EXPECT_EQ(tight.tally.probed, paced.tally.probed);
+  EXPECT_EQ(tight.tally.open, paced.tally.open);
+  EXPECT_EQ(tight.tally.retransmits, paced.tally.retransmits);
+  EXPECT_EQ(tight.tally.rejected_forgery, paced.tally.rejected_forgery);
+  EXPECT_EQ(tight.tally.rejected_duplicate, paced.tally.rejected_duplicate);
+  EXPECT_EQ(tight.tally.rejected_stale, paced.tally.rejected_stale);
+  EXPECT_EQ(tight.tally.faults.injected, paced.tally.faults.injected);
+  EXPECT_EQ(tight.tally.faults.recovered, paced.tally.faults.recovered);
+  EXPECT_EQ(tight.tally.faults.surfaced, paced.tally.faults.surfaced);
+  EXPECT_EQ(tight.tally.sim_elapsed.value, paced.tally.sim_elapsed.value);
+  // The window bound was genuinely enforced, not merely configured.
+  EXPECT_EQ(tight.tally.window_high_water, 1u);
+  EXPECT_GT(wide.tally.window_high_water, 1u);
+  EXPECT_EQ(tight.tally.credit_leaks, 0u);
+  EXPECT_EQ(wide.tally.credit_leaks, 0u);
+  EXPECT_EQ(paced.tally.credit_leaks, 0u);
+}
+
+// A sweep that starts already cancelled emits nothing and leaks nothing.
+TEST(ScanEngine, PreCancelledSweepIsEmptyAndLeakFree) {
+  world::World& world = shared_world();
+  const ScanSpace space = reduced_space(world, 2);
+  CyclicPermutation permutation(space.size(), 3);
+  exec::CancelToken cancel;
+  cancel.cancel("test: cancelled before the sweep");
+  EngineConfig config;
+  config.seed = 9;
+  config.cancel = &cancel;
+  ScanEngine engine(world, config);
+  const SweepResult result =
+      engine.sweep(space, permutation, {world.make_clean_vantage("US")}, kFeb);
+  EXPECT_EQ(result.tally.probed, 0u);
+  EXPECT_TRUE(result.open_hosts.empty());
+  EXPECT_EQ(result.tally.credit_leaks, 0u);
+  EXPECT_EQ(result.tally.double_releases, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// E-DoH-style IP-directed DoH discovery (scan/doh_scan.hpp).
+
+TEST(DohScan, FindsDeployedEndpointsByAddress) {
+  world::World& world = shared_world();
+  DohScanConfig config;
+  const auto result = run_doh_scan(world, config, kFeb.plus_days(60));
+  // The 443 sweep covers the whole routable space but only bound services
+  // answer: port-open count is tiny next to addresses probed.
+  EXPECT_GT(result.addresses_probed, 1000000u);
+  EXPECT_LT(result.port443_open, 200u);
+  EXPECT_GE(result.port443_open, result.tls_established);
+  EXPECT_FALSE(result.endpoints.empty());
+  for (const auto& endpoint : result.endpoints) {
+    EXPECT_TRUE(endpoint.answer_correct);
+    EXPECT_FALSE(endpoint.host.empty());
+    EXPECT_EQ(endpoint.uri_template,
+              "https://" + endpoint.host + endpoint.path + "{?dns}");
+  }
+  // Canonical output order: ascending address.
+  for (std::size_t i = 1; i < result.endpoints.size(); ++i)
+    EXPECT_LT(result.endpoints[i - 1].address.value(),
+              result.endpoints[i].address.value());
+  // The scan's reason to exist: it reaches at least one endpoint the URL
+  // dataset's host set does not contain (cf. the doh-scan golden table).
+  DohProber prober(world, world.make_clean_vantage("US"), 6);
+  const auto discovery = prober.discover(world.url_dataset(), kFeb);
+  std::vector<std::string> url_hosts;
+  for (const auto& resolver : discovery.resolvers)
+    url_hosts.push_back(resolver.host);
+  EXPECT_GE(result.hosts_beyond(url_hosts), 1u);
+}
+
+TEST(DohScan, ResultIsThreadCountInvariantUnderFaults) {
+  const auto run_with_threads = [](unsigned threads) {
+    world::WorldConfig world_config;
+    world_config.fault_profile = fault::FaultProfile::canonical();
+    world::World world(world_config);
+    DohScanConfig config;
+    config.thread_count = threads;
+    return run_doh_scan(world, config, kFeb.plus_days(60));
+  };
+  const auto serial = run_with_threads(1);
+  const auto parallel = run_with_threads(8);
+  EXPECT_EQ(serial.addresses_probed, parallel.addresses_probed);
+  EXPECT_EQ(serial.port443_open, parallel.port443_open);
+  EXPECT_EQ(serial.tls_established, parallel.tls_established);
+  EXPECT_EQ(serial.retransmits, parallel.retransmits);
+  EXPECT_EQ(serial.rejected_forgery, parallel.rejected_forgery);
+  EXPECT_EQ(serial.rejected_duplicate, parallel.rejected_duplicate);
+  EXPECT_EQ(serial.rejected_stale, parallel.rejected_stale);
+  EXPECT_EQ(serial.faults.injected, parallel.faults.injected);
+  EXPECT_EQ(serial.faults.recovered, parallel.faults.recovered);
+  EXPECT_EQ(serial.faults.surfaced, parallel.faults.surfaced);
+  ASSERT_EQ(serial.endpoints.size(), parallel.endpoints.size());
+  for (std::size_t i = 0; i < serial.endpoints.size(); ++i) {
+    EXPECT_EQ(serial.endpoints[i].address, parallel.endpoints[i].address);
+    EXPECT_EQ(serial.endpoints[i].host, parallel.endpoints[i].host);
+    EXPECT_EQ(serial.endpoints[i].path, parallel.endpoints[i].path);
+    EXPECT_EQ(serial.endpoints[i].probe_latency.value,
+              parallel.endpoints[i].probe_latency.value);
+  }
 }
 
 TEST(Scanner, CampaignShowsGrowthAndChurn) {

@@ -17,6 +17,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "core/report.hpp"
 #include "core/study.hpp"
@@ -72,6 +74,46 @@ TEST(SoakTable2, EveryScanInTheCampaignFindsProviders) {
     EXPECT_GT(snapshot.providers().size(), 150u);
     EXPECT_GT(snapshot.port_open, snapshot.resolvers.size() * 10);
   }
+}
+
+TEST(SoakTable2, FullCampaignRunsThroughTheStatelessEngine) {
+  ENCDNS_REQUIRE_SOAK();
+  // The 10-sweep, ~4.65M-probe-per-sweep campaign is gated through the
+  // stateless engine by default — this pins the default so a config drift
+  // back to the legacy sweep cannot pass silently.
+  ASSERT_EQ(full_study().config().campaign.sweep_mode,
+            scan::SweepMode::kStateless);
+  for (const auto& snapshot : full_study().scans()) {
+    // Full-scale fault-free sweeps: every address probed, nothing rejected.
+    EXPECT_GT(snapshot.addresses_probed, 4500000u);
+    EXPECT_EQ(snapshot.rejected_forgery, 0u);
+    EXPECT_EQ(snapshot.rejected_duplicate, 0u);
+    EXPECT_EQ(snapshot.rejected_stale, 0u);
+    EXPECT_EQ(snapshot.retransmits, 0u);
+  }
+}
+
+// --- §3 variant: IP-directed DoH discovery at full scale ----------------------
+
+TEST(SoakDohScan, DirectedScanAgreesWithUrlDiscoveryAtFullScale) {
+  ENCDNS_REQUIRE_SOAK();
+  const auto& scan = full_study().doh_scan();
+  // The 443 sweep covers the same ~4.65M-address space as the DoT campaign.
+  EXPECT_GT(scan.addresses_probed, 4500000u);
+  EXPECT_GT(scan.port443_open, 0u);
+  EXPECT_GE(scan.port443_open, scan.tls_established);
+  EXPECT_FALSE(scan.endpoints.empty());
+  // Cross-check against the URL-dataset discovery: the directed scan must
+  // confirm a comparable endpoint population (it can only reach deployments
+  // with routable addresses, so it is bounded by the 443-open count) and
+  // find at least one host the URL dataset misses.
+  const auto& discovery = full_study().doh_discovery();
+  EXPECT_GE(discovery.resolvers.size(), 17u);
+  std::vector<std::string> url_hosts;
+  for (const auto& resolver : discovery.resolvers)
+    url_hosts.push_back(resolver.host);
+  EXPECT_GE(scan.hosts_beyond(url_hosts), 1u);
+  EXPECT_LE(scan.endpoints.size(), scan.port443_open);
 }
 
 // --- Table 4 / Finding 21: reachability ordering at full client scale ---------

@@ -120,11 +120,22 @@ run_checkpoint_guard() {
   echo "checkpointed reachability stays within the overhead budget."
 }
 
+run_scan_guard() {
+  # One full 853 sweep per SweepMode on fresh fault-free worlds: the open
+  # sets must agree exactly (fault-free verdicts are rng-independent) and
+  # the stateless engine must clear 1.5x the legacy sweep's throughput —
+  # the ratio the DESIGN.md §14 rewrite exists to buy.
+  echo "=== stateless scan engine guard ==="
+  ./build/bench/bench_macro_study --scan-guard
+  echo "stateless sweep matches legacy and holds the 1.5x floor."
+}
+
 run_pass "plain" build ""
 run_golden
 run_cache_guard
 run_chaos
 run_checkpoint_guard
+run_scan_guard
 run_soak
 run_throughput_guard
 run_pass "asan" build-asan address

@@ -37,6 +37,14 @@ void write_json(const std::string& id, unsigned threads, double serial_ms,
     std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
     return;
   }
+  // Without real parallelism the "parallel" run is the serial run again and
+  // the ratio is timing noise dressed up as a result — emit null so nothing
+  // downstream compares against it.
+  char speedup[32];
+  if (exec::parallelism_available())
+    std::snprintf(speedup, sizeof(speedup), "%.3f", serial_ms / parallel_ms);
+  else
+    std::snprintf(speedup, sizeof(speedup), "null");
   std::fprintf(f,
                "{\n"
                "  \"experiment\": \"%s\",\n"
@@ -44,11 +52,11 @@ void write_json(const std::string& id, unsigned threads, double serial_ms,
                "  \"hardware_concurrency\": %u,\n"
                "  \"serial_ms\": %.3f,\n"
                "  \"parallel_ms\": %.3f,\n"
-               "  \"speedup\": %.3f,\n"
+               "  \"speedup\": %s,\n"
                "  \"results_identical\": %s\n"
                "}\n",
                id.c_str(), threads, exec::resolve_thread_count(0), serial_ms,
-               parallel_ms, serial_ms / parallel_ms, identical ? "true" : "false");
+               parallel_ms, speedup, identical ? "true" : "false");
   std::fclose(f);
 }
 
@@ -86,10 +94,15 @@ int run_experiment(const std::string& id,
 
   std::printf("Measured (this reproduction, quick scale):\n%s\n",
               serial_table.c_str());
-  std::printf("[experiment %s: serial %.0f ms, parallel %.0f ms at %u thread%s, "
-              "speedup %.2fx]\n",
-              experiment->id.c_str(), serial_ms, parallel_ms, threads,
-              threads == 1 ? "" : "s", serial_ms / parallel_ms);
+  if (exec::parallelism_available())
+    std::printf("[experiment %s: serial %.0f ms, parallel %.0f ms at %u "
+                "thread%s, speedup %.2fx]\n",
+                experiment->id.c_str(), serial_ms, parallel_ms, threads,
+                threads == 1 ? "" : "s", serial_ms / parallel_ms);
+  else
+    std::printf("[experiment %s: serial %.0f ms, parallel %.0f ms — single "
+                "worker, speedup n/a]\n",
+                experiment->id.c_str(), serial_ms, parallel_ms);
   write_json(experiment->id, threads, serial_ms, parallel_ms, identical);
   if (!identical) {
     std::fprintf(stderr,

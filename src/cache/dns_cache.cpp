@@ -121,6 +121,9 @@ bool DnsCache::store(std::string_view key, CachedAnswer&& answer,
   }
   const std::int64_t expiry =
       now_s + static_cast<std::int64_t>(ttl_for(answer));
+  // Attribute the entry to the storing phase (task-graph checkpointing,
+  // DESIGN.md §15): one thread-local read, free on the hot path.
+  const void* owner = obs::current_tally();
   Shard& shard = shard_for(key);
   std::uint64_t evicted = 0;
   {
@@ -130,6 +133,7 @@ bool DnsCache::store(std::string_view key, CachedAnswer&& answer,
       // Refresh in place and bump to most-recent.
       it->second->answer = std::move(answer);
       it->second->expiry_s = expiry;
+      it->second->owner = owner;
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     } else if (shard.lru.size() >= per_shard_capacity_) {
       // Incremental eviction, recycling the victim's storage (DESIGN.md §12):
@@ -151,11 +155,13 @@ bool DnsCache::store(std::string_view key, CachedAnswer&& answer,
       entry.key.assign(key);
       entry.answer = std::move(answer);
       entry.expiry_s = expiry;
+      entry.owner = owner;
       node.key().assign(key);
       node.mapped() = shard.lru.begin();
       shard.index.insert(std::move(node));
     } else {
-      shard.lru.push_front(Entry{std::string(key), std::move(answer), expiry});
+      shard.lru.push_front(
+          Entry{std::string(key), std::move(answer), expiry, owner});
       shard.index.emplace(shard.lru.front().key, shard.lru.begin());
     }
   }
@@ -218,6 +224,17 @@ std::vector<ExportedEntry> DnsCache::export_entries() const {
   return out;
 }
 
+std::vector<ExportedEntry> DnsCache::export_entries(const void* owner) const {
+  std::vector<ExportedEntry> out;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const Entry& entry : shard->lru)
+      if (entry.owner == owner)
+        out.push_back(ExportedEntry{entry.key, entry.answer, entry.expiry_s});
+  }
+  return out;
+}
+
 void DnsCache::restore_entries(const std::vector<ExportedEntry>& entries) {
   clear();
   // Entries arrive most-recent first per shard, so appending to the back of
@@ -227,6 +244,24 @@ void DnsCache::restore_entries(const std::vector<ExportedEntry>& entries) {
     const std::lock_guard<std::mutex> lock(shard.mutex);
     shard.lru.push_back(Entry{entry.key, entry.answer, entry.expiry_s});
     shard.index[entry.key] = std::prev(shard.lru.end());
+  }
+}
+
+void DnsCache::merge_entries(const std::vector<ExportedEntry>& entries) {
+  const void* owner = obs::current_tally();
+  for (const auto& entry : entries) {
+    Shard& shard = shard_for(entry.key);
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(entry.key);
+    if (it != shard.index.end()) {
+      it->second->answer = entry.answer;
+      it->second->expiry_s = entry.expiry_s;
+      it->second->owner = owner;
+    } else {
+      shard.lru.push_back(
+          Entry{entry.key, entry.answer, entry.expiry_s, owner});
+      shard.index[entry.key] = std::prev(shard.lru.end());
+    }
   }
 }
 

@@ -173,16 +173,34 @@ class DnsCache {
   /// those separately).
   [[nodiscard]] std::vector<ExportedEntry> export_entries() const;
 
+  /// Owner-filtered export (task-graph checkpointing, DESIGN.md §15): only
+  /// the entries whose last store happened under the attribution token
+  /// `owner` (the storing thread's obs::current_tally() pointer). Under
+  /// phase overlap a full-contents capture is polluted by concurrent
+  /// phases' stores; each phase's record must carry its own stores only.
+  [[nodiscard]] std::vector<ExportedEntry> export_entries(
+      const void* owner) const;
+
   /// Checkpoint restore: replace the contents with `entries`, reproducing
   /// the per-shard LRU order export_entries() emitted. Requires the same
   /// shard configuration as the exporting cache; tallies are untouched.
   void restore_entries(const std::vector<ExportedEntry>& entries);
+
+  /// Additive restore for owner-filtered captures: existing keys refresh in
+  /// place (keeping their LRU position), new keys append least-recent in
+  /// the given order. Merged entries are attributed to the calling thread's
+  /// obs::current_tally(), exactly as if it had stored them.
+  void merge_entries(const std::vector<ExportedEntry>& entries);
 
  private:
   struct Entry {
     std::string key;
     CachedAnswer answer;
     std::int64_t expiry_s = 0;
+    /// Attribution token of the last store (obs::current_tally() of the
+    /// storing thread; null outside any phase). Never dereferenced — only
+    /// compared by export_entries(owner).
+    const void* owner = nullptr;
   };
   /// Transparent hashing so lookups/stores probe the index with the caller's
   /// string_view key directly — no temporary std::string per operation.

@@ -9,6 +9,17 @@ namespace {
 
 constexpr std::uint8_t kKindPhase = 1;
 constexpr std::uint8_t kKindPartial = 2;
+// Delta family (task-graph mode, DESIGN.md §15): same layout for both —
+// kind, owned-platform cursor, the phase's own metrics delta, state blob.
+constexpr std::uint8_t kKindPhaseDelta = 3;
+constexpr std::uint8_t kKindPartialDelta = 4;
+// Registry name skeleton refreshed at every delta commit: names, diagnostic
+// flags and bucket bounds of everything registered so far. Values are a
+// mid-run mixture across overlapping phases and are ignored on load — the
+// record exists so a resume can re-register the zero-valued metrics a
+// loaded phase's code would have created (delta records skip zeros).
+constexpr std::uint8_t kKindSkeleton = 5;
+constexpr const char* kSkeletonKey = "obs:skeleton";
 
 void encode_proxy_cursor(util::ByteWriter& w, const proxy::ProxyCursor& c) {
   for (const std::uint64_t word : c.rng.words) w.u64(word);
@@ -211,6 +222,7 @@ class PhaseHookImpl : public exec::CheckpointHook {
         capture_(std::move(capture)) {}
 
   std::optional<std::vector<std::uint8_t>> load() override {
+    std::lock_guard<std::mutex> guard(owner_->mutex_);
     const Journal::Record* record =
         owner_->journal_.find_last(partial_key(phase_));
     if (record == nullptr) return std::nullopt;
@@ -243,6 +255,68 @@ class PhaseHookImpl : public exec::CheckpointHook {
     encode_cursor(w, at_save);
     encode_metrics(w, obs::MetricsRegistry::global().snapshot());
     w.blob(state);
+    std::lock_guard<std::mutex> guard(owner_->mutex_);
+    owner_->journal_.append(partial_key(phase_), w.take());
+    owner_->journal_.commit();
+  }
+
+ private:
+  StudyCheckpoint* owner_;
+  std::string phase_;
+  WorldCursor pre_;
+  std::function<WorldCursor()> capture_;
+};
+
+// ---------------------------------------------------------------------------
+
+/// Delta-family twin of PhaseHookImpl (task-graph mode). The metrics half of
+/// a record is the phase's own delta instead of the global registry: load()
+/// re-applies it additively and save() snapshots the calling thread's
+/// PhaseTally, so overlapping phases never see each other's numbers.
+class PhaseDeltaHookImpl : public exec::CheckpointHook {
+ public:
+  PhaseDeltaHookImpl(StudyCheckpoint* owner, std::string phase, WorldCursor pre,
+                     std::function<WorldCursor()> capture)
+      : owner_(owner),
+        phase_(std::move(phase)),
+        pre_(std::move(pre)),
+        capture_(std::move(capture)) {}
+
+  std::optional<std::vector<std::uint8_t>> load() override {
+    auto loaded = owner_->load_partial_delta(phase_);
+    if (!loaded) return std::nullopt;
+    auto& registry = obs::MetricsRegistry::global();
+    // The phase re-executed its prologue (e.g. the platform batch
+    // re-acquisition) before asking for the checkpoint — work the saved
+    // delta already accounts for. Serial mode wipes the duplicate with its
+    // absolute restore; the additive protocol retracts exactly what this
+    // phase recorded so far and restarts its tally from the delta.
+    if (obs::PhaseTally* tally = obs::current_tally()) {
+      registry.retract_delta(registry.delta_snapshot(*tally));
+      tally->clear();
+    }
+    // Additive restore: lands in the global registry *and* in the calling
+    // thread's current tally, so the resumed phase's final delta covers the
+    // killed run's committed blocks too.
+    registry.apply_delta(loaded->delta);
+    return std::move(loaded->state);
+  }
+
+  void save(const std::vector<std::uint8_t>& state) override {
+    // Same hybrid cursor rule as the serial hook: platform position rewinds
+    // to the phase start, cache contents ride along from NOW.
+    WorldCursor at_save = capture_();
+    at_save.global_platform = pre_.global_platform;
+    at_save.cn_platform = pre_.cn_platform;
+    obs::Snapshot delta;
+    if (const obs::PhaseTally* tally = obs::current_tally())
+      delta = obs::MetricsRegistry::global().delta_snapshot(*tally);
+    util::ByteWriter w;
+    w.u8(kKindPartialDelta);
+    encode_cursor(w, at_save);
+    encode_metrics(w, delta);
+    w.blob(state);
+    std::lock_guard<std::mutex> guard(owner_->mutex_);
     owner_->journal_.append(partial_key(phase_), w.take());
     owner_->journal_.commit();
   }
@@ -266,6 +340,7 @@ StudyCheckpoint::StudyCheckpoint(std::string dir, std::uint64_t fingerprint,
 
 std::optional<StudyCheckpoint::LoadedPhase> StudyCheckpoint::load_phase(
     const std::string& phase) {
+  std::lock_guard<std::mutex> guard(mutex_);
   const Journal::Record* record = journal_.find_last(phase_key(phase));
   if (record == nullptr) return std::nullopt;
   try {
@@ -288,6 +363,7 @@ std::optional<StudyCheckpoint::LoadedPhase> StudyCheckpoint::load_phase(
 
 std::optional<WorldCursor> StudyCheckpoint::partial_pre_cursor(
     const std::string& phase) const {
+  std::lock_guard<std::mutex> guard(mutex_);
   const Journal::Record* record = journal_.find_last(partial_key(phase));
   if (record == nullptr) return std::nullopt;
   try {
@@ -304,6 +380,7 @@ std::optional<WorldCursor> StudyCheckpoint::partial_pre_cursor(
 void StudyCheckpoint::commit_phase(const std::string& phase,
                                    const std::vector<std::uint8_t>& state,
                                    const WorldCursor& cursor) {
+  std::lock_guard<std::mutex> guard(mutex_);
   bool ordered = true;
   for (const auto& predecessor : canonical_phases()) {
     if (predecessor == phase) break;
@@ -328,6 +405,92 @@ std::unique_ptr<exec::CheckpointHook> StudyCheckpoint::phase_hook(
     std::function<WorldCursor()> capture) {
   return std::make_unique<PhaseHookImpl>(this, phase, pre_cursor,
                                          std::move(capture));
+}
+
+// --- task-graph (delta) protocol -------------------------------------------
+
+namespace {
+
+[[nodiscard]] StudyCheckpoint::LoadedDelta decode_delta_record(
+    const Journal::Record& record, std::uint8_t expected_kind,
+    const char* what) {
+  try {
+    util::ByteReader r(record.body);
+    if (r.u8() != expected_kind)
+      throw util::CodecError(std::string(what) + " record has wrong kind tag");
+    StudyCheckpoint::LoadedDelta loaded;
+    loaded.cursor = decode_cursor(r);
+    loaded.delta = decode_metrics(r);
+    loaded.state = r.blob();
+    r.expect_done();
+    return loaded;
+  } catch (const util::CodecError& e) {
+    throw JournalError(std::string("checkpoint: corrupt ") + what +
+                       " record (" + e.what() + ")");
+  }
+}
+
+}  // namespace
+
+std::optional<StudyCheckpoint::LoadedDelta> StudyCheckpoint::load_phase_delta(
+    const std::string& phase) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  const Journal::Record* record = journal_.find_last(phase_key(phase));
+  if (record == nullptr) return std::nullopt;
+  return decode_delta_record(*record, kKindPhaseDelta, "phase-delta");
+}
+
+std::optional<StudyCheckpoint::LoadedDelta> StudyCheckpoint::load_partial_delta(
+    const std::string& phase) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  const Journal::Record* record = journal_.find_last(partial_key(phase));
+  if (record == nullptr) return std::nullopt;
+  return decode_delta_record(*record, kKindPartialDelta, "partial-delta");
+}
+
+void StudyCheckpoint::commit_phase_delta(const std::string& phase,
+                                         const std::vector<std::uint8_t>& state,
+                                         const WorldCursor& cursor,
+                                         const obs::Snapshot& delta) {
+  util::ByteWriter w;
+  w.u8(kKindPhaseDelta);
+  encode_cursor(w, cursor);
+  encode_metrics(w, delta);
+  w.blob(state);
+  // Refresh the name skeleton in the same commit so any journal that holds
+  // a committed delta record also names every metric registered by then.
+  util::ByteWriter skeleton;
+  skeleton.u8(kKindSkeleton);
+  encode_metrics(skeleton, obs::MetricsRegistry::global().snapshot());
+  std::lock_guard<std::mutex> guard(mutex_);
+  journal_.append(phase_key(phase), w.take());
+  journal_.append(kSkeletonKey, skeleton.take());
+  journal_.commit();
+  committed_.insert(phase);
+}
+
+std::optional<obs::Snapshot> StudyCheckpoint::load_skeleton() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  const Journal::Record* record = journal_.find_last(kSkeletonKey);
+  if (record == nullptr) return std::nullopt;
+  try {
+    util::ByteReader r(record->body);
+    if (r.u8() != kKindSkeleton)
+      throw util::CodecError("skeleton record has wrong kind tag");
+    obs::Snapshot snap = decode_metrics(r);
+    r.expect_done();
+    return snap;
+  } catch (const util::CodecError& e) {
+    throw JournalError(std::string("checkpoint: corrupt skeleton record (") +
+                       e.what() + ")");
+  }
+}
+
+std::unique_ptr<exec::CheckpointHook> StudyCheckpoint::phase_delta_hook(
+    const std::string& phase, const WorldCursor& pre_cursor,
+    std::function<WorldCursor()> capture) {
+  return std::make_unique<PhaseDeltaHookImpl>(this, phase, pre_cursor,
+                                              std::move(capture));
 }
 
 }  // namespace encdns::core

@@ -1,12 +1,22 @@
 // Study-level checkpointing over the write-ahead journal (DESIGN.md §13).
 //
-// Two record kinds, keyed by phase name:
+// Four record kinds, keyed by phase name:
 //   phase:<name>    — the phase finished: post-phase WorldCursor, an
 //                     `ordered` flag, a metrics-registry snapshot taken at
 //                     commit time, and the serialized phase results.
 //   partial:<name>  — the phase is mid-flight: pre-phase WorldCursor, a
 //                     metrics snapshot, and the phase's own block state.
 //                     Later partials supersede earlier ones.
+// Under the task-graph executor (DESIGN.md §15) phases overlap, so a
+// commit-time snapshot of the global registry is a mixture of every phase in
+// flight and useless as an absolute restore point. The same two keys then
+// carry *delta* variants instead: the phase's own metrics delta (attributed
+// by its obs::PhaseTally) and a cursor holding only the proxy platform the
+// phase itself advances — reading the other platform mid-overlap would race
+// with the node that owns it. Delta records are position-independent:
+// resume replays them additively in canonical order, so no `ordered` flag
+// is needed. A journal only ever holds one family (the config fingerprint
+// covers ENCDNS_DAG), and the kind tags fail closed across families.
 //
 // Determinism-on-resume contract: phase execution consumes the proxy
 // platforms' rng streams only in the serial acquire_batch prologue, and
@@ -23,6 +33,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -95,13 +106,63 @@ class StudyCheckpoint {
       const std::string& phase, const WorldCursor& pre_cursor,
       std::function<WorldCursor()> capture);
 
+  // --- task-graph (delta) protocol, DESIGN.md §15 -------------------------
+
+  /// A decoded delta-family record: phase results (or block state for a
+  /// partial), the phase's owned-platform cursor, and its own metrics delta.
+  struct LoadedDelta {
+    std::vector<std::uint8_t> state;
+    WorldCursor cursor;
+    obs::Snapshot delta;
+  };
+
+  /// Committed full-phase delta record, if any. Pure decode — the caller
+  /// applies the delta (MetricsRegistry::apply_delta) and the cursor itself.
+  [[nodiscard]] std::optional<LoadedDelta> load_phase_delta(
+      const std::string& phase);
+
+  /// Newest mid-flight delta partial for `phase`, if any. Its cursor is the
+  /// hybrid described at phase_hook(): pre-phase platform position, cache
+  /// contents as of the save.
+  [[nodiscard]] std::optional<LoadedDelta> load_partial_delta(
+      const std::string& phase);
+
+  /// Journal a completed phase in the delta family. `delta` is the phase's
+  /// own attributed metrics delta; `cursor` carries only the platform the
+  /// phase owns. Called from the task-graph driver (merge slots run in
+  /// canonical order), possibly while other nodes are saving partials — all
+  /// journal access is serialized internally.
+  void commit_phase_delta(const std::string& phase,
+                          const std::vector<std::uint8_t>& state,
+                          const WorldCursor& cursor, const obs::Snapshot& delta);
+
+  /// Newest registry name skeleton, if any delta commit has been made: the
+  /// names / diagnostic flags / bucket bounds of every metric registered at
+  /// that commit. Values are a mid-run mixture — feed the result only to
+  /// MetricsRegistry::register_skeleton(), never restore().
+  [[nodiscard]] std::optional<obs::Snapshot> load_skeleton();
+
+  /// Delta-family block-boundary hook. load() decodes the newest delta
+  /// partial and *applies* its metrics delta (additively, attributed to the
+  /// calling thread's current PhaseTally, so the resumed phase's tally folds
+  /// the killed run's progress in); save() journals a new partial whose
+  /// delta is the calling thread's tally snapshot at that moment.
+  [[nodiscard]] std::unique_ptr<exec::CheckpointHook> phase_delta_hook(
+      const std::string& phase, const WorldCursor& pre_cursor,
+      std::function<WorldCursor()> capture);
+
   [[nodiscard]] const Journal& journal() const noexcept { return journal_; }
 
  private:
   friend class PhaseHookImpl;
+  friend class PhaseDeltaHookImpl;
 
   Journal journal_;
   std::set<std::string> committed_;  // phases with a full record
+  /// Node threads save partials while the driver thread commits merges; the
+  /// journal (and committed_) must only ever see one writer. Serial-mode
+  /// callers take it too — uncontended, so effectively free.
+  mutable std::mutex mutex_;
 };
 
 }  // namespace encdns::core

@@ -138,13 +138,27 @@ std::uint64_t Study::config_fingerprint() const {
   w.f64(pd.aggregate_coverage_factor);
   // The fault and cache environment overrides change World behavior at
   // construction, so their raw strings are part of the fingerprint.
+  // ENCDNS_DAG rides along too: serial and task-graph journals use different
+  // record families, so a journal written under one schedule must refuse to
+  // resume under the other.
   for (const char* name : {"ENCDNS_FAULTS", "ENCDNS_CACHE_ENTRIES",
-                           "ENCDNS_CACHE_NEG_TTL", "ENCDNS_CACHE_SERVE_STALE"}) {
+                           "ENCDNS_CACHE_NEG_TTL", "ENCDNS_CACHE_SERVE_STALE",
+                           "ENCDNS_DAG"}) {
     const auto value = util::env_string(name);
     w.boolean(value.has_value());
     w.str(value.value_or(""));
   }
   return util::fnv1a_bytes(w.data().data(), w.size(), util::kFnv1aBasis);
+}
+
+bool Study::dag_enabled() {
+  const auto value = util::env_string("ENCDNS_DAG");
+  if (!value || *value == "1" || *value == "on" || *value == "true")
+    return true;
+  if (*value == "0" || *value == "off" || *value == "false") return false;
+  throw util::EnvError("ENCDNS_DAG=\"" + *value +
+                       "\": expected 1/on/true (task graph) or 0/off/false "
+                       "(serial fallback)");
 }
 
 exec::CancelToken* Study::phase_cancel(const char* env_name,
@@ -214,9 +228,106 @@ void Study::restore_cursor(const WorldCursor& cursor) {
   tally_baseline_.entries = rebase(cursor.cache_tally.entries, live.entries);
 }
 
+namespace {
+
+/// Which proxy platform a phase advances (acquire_batch prologue). The graph
+/// edges serialize each platform's users, so the owner's cursor is stable at
+/// capture time while the *other* platform may be mid-advance on another
+/// node thread — owned-cursor capture must not read it.
+enum class OwnedPlatform { kNone, kGlobal, kCn };
+
+[[nodiscard]] OwnedPlatform owned_platform(const std::string& phase) {
+  if (phase == "reachability_global" || phase == "performance")
+    return OwnedPlatform::kGlobal;
+  if (phase == "reachability_cn") return OwnedPlatform::kCn;
+  return OwnedPlatform::kNone;
+}
+
+}  // namespace
+
+WorldCursor Study::capture_owned_cursor(const std::string& phase) const {
+  WorldCursor cursor;
+  switch (owned_platform(phase)) {
+    case OwnedPlatform::kGlobal:
+      cursor.global_platform = global_platform_->cursor();
+      break;
+    case OwnedPlatform::kCn:
+      cursor.cn_platform = cn_platform_->cursor();
+      break;
+    case OwnedPlatform::kNone:
+      break;
+  }
+  cursor.cache_tally = cumulative_cache_tally();
+  // Only the entries this phase stored (attributed by its PhaseTally — the
+  // accessors call this under the node's ScopedTally): a full-contents
+  // capture under overlap would carry concurrent phases' half-done stores,
+  // and replaying those on resume hands a re-running phase cache hits its
+  // reference run never saw.
+  cursor.caches = world_->export_resolver_caches(obs::current_tally());
+  return cursor;
+}
+
+void Study::restore_owned_cursor(const std::string& phase,
+                                 const WorldCursor& cursor) {
+  switch (owned_platform(phase)) {
+    case OwnedPlatform::kGlobal:
+      global_platform_->restore_cursor(cursor.global_platform);
+      break;
+    case OwnedPlatform::kCn:
+      cn_platform_->restore_cursor(cursor.cn_platform);
+      break;
+    case OwnedPlatform::kNone:
+      break;
+  }
+  // No tally rebase here: graph-mode robustness reads the resolver.upstream
+  // counters, which travel in the delta records instead of the cursor.
+  // Merge, don't replace: the record carries only this phase's own stores,
+  // and everything already in cache (bootstrap seeds, other loaded phases'
+  // entries) must survive.
+  world_->merge_resolver_caches(cursor.caches);
+}
+
+void Study::stash_commit(const std::string& phase,
+                         std::vector<std::uint8_t> state) {
+  PendingCommit pending;
+  pending.state = std::move(state);
+  pending.cursor = capture_owned_cursor(phase);
+  std::lock_guard<std::mutex> lock(dag_mutex_);
+  pending_commits_[phase] = std::move(pending);
+}
+
+void Study::decode_phase_state(const std::string& phase,
+                               const std::vector<std::uint8_t>& state) {
+  util::ByteReader r(state);
+  if (phase == "scan_campaign") {
+    scans_ = scan::decode_snapshots(r);
+  } else if (phase == "doh_discovery") {
+    doh_discovery_ = scan::decode_doh_discovery(r);
+  } else if (phase == "doh_scan") {
+    doh_scan_ = scan::decode_doh_scan(r);
+  } else if (phase == "local_probe") {
+    local_probe_ = measure::decode_local_probe(r);
+  } else if (phase == "reachability_global") {
+    reach_global_ = measure::decode_reachability(r);
+  } else if (phase == "reachability_cn") {
+    reach_cn_ = measure::decode_reachability(r);
+  } else if (phase == "performance") {
+    performance_ = measure::decode_performance(r);
+  } else if (phase == "no_reuse") {
+    no_reuse_ = measure::decode_no_reuse(r);
+  } else if (phase == "netflow") {
+    netflow_ = traffic::decode_netflow_results(r);
+  } else if (phase == "passive_dns") {
+    passive_dns_ = traffic::decode_passive_dns(r);
+  } else {
+    throw util::CodecError("unknown checkpoint phase \"" + phase + "\"");
+  }
+  r.expect_done();
+}
+
 const std::vector<scan::ScanSnapshot>& Study::scans() {
   if (scans_) return *scans_;
-  if (checkpoint_) {
+  if (checkpoint_ && !graph_mode_) {
     if (auto loaded = checkpoint_->load_phase("scan_campaign")) {
       util::ByteReader r(loaded->state);
       scans_ = scan::decode_snapshots(r);
@@ -226,16 +337,28 @@ const std::vector<scan::ScanSnapshot>& Study::scans() {
     }
   }
   scan::CampaignConfig cfg = config_.campaign;
+  cfg.pool = shared_pool_;
   cfg.cancel = phase_cancel("ENCDNS_DEADLINE_SCAN", scan_cancel_);
   std::unique_ptr<exec::CheckpointHook> hook;
   if (checkpoint_) {
-    WorldCursor pre = capture_cursor();
-    if (auto rewound = checkpoint_->partial_pre_cursor("scan_campaign")) {
-      restore_cursor(*rewound);
-      pre = *rewound;
+    if (graph_mode_) {
+      WorldCursor pre = capture_owned_cursor("scan_campaign");
+      if (auto partial = checkpoint_->load_partial_delta("scan_campaign")) {
+        restore_owned_cursor("scan_campaign", partial->cursor);
+        pre = std::move(partial->cursor);
+      }
+      hook = checkpoint_->phase_delta_hook(
+          "scan_campaign", pre,
+          [this] { return capture_owned_cursor("scan_campaign"); });
+    } else {
+      WorldCursor pre = capture_cursor();
+      if (auto rewound = checkpoint_->partial_pre_cursor("scan_campaign")) {
+        restore_cursor(*rewound);
+        pre = *rewound;
+      }
+      hook = checkpoint_->phase_hook("scan_campaign", pre,
+                                     [this] { return capture_cursor(); });
     }
-    hook = checkpoint_->phase_hook("scan_campaign", pre,
-                                   [this] { return capture_cursor(); });
     cfg.checkpoint = hook.get();
   }
   scan::Scanner scanner(*world_, cfg);
@@ -243,14 +366,17 @@ const std::vector<scan::ScanSnapshot>& Study::scans() {
   if (checkpoint_) {
     util::ByteWriter w;
     scan::encode_snapshots(w, *scans_);
-    checkpoint_->commit_phase("scan_campaign", w.take(), capture_cursor());
+    if (graph_mode_)
+      stash_commit("scan_campaign", w.take());
+    else
+      checkpoint_->commit_phase("scan_campaign", w.take(), capture_cursor());
   }
   return *scans_;
 }
 
 const scan::DohDiscovery& Study::doh_discovery() {
   if (doh_discovery_) return *doh_discovery_;
-  if (checkpoint_) {
+  if (checkpoint_ && !graph_mode_) {
     if (auto loaded = checkpoint_->load_phase("doh_discovery")) {
       util::ByteReader r(loaded->state);
       doh_discovery_ = scan::decode_doh_discovery(r);
@@ -266,14 +392,17 @@ const scan::DohDiscovery& Study::doh_discovery() {
   if (checkpoint_) {
     util::ByteWriter w;
     scan::encode_doh_discovery(w, *doh_discovery_);
-    checkpoint_->commit_phase("doh_discovery", w.take(), capture_cursor());
+    if (graph_mode_)
+      stash_commit("doh_discovery", w.take());
+    else
+      checkpoint_->commit_phase("doh_discovery", w.take(), capture_cursor());
   }
   return *doh_discovery_;
 }
 
 const scan::DohScanResult& Study::doh_scan() {
   if (doh_scan_) return *doh_scan_;
-  if (checkpoint_) {
+  if (checkpoint_ && !graph_mode_) {
     if (auto loaded = checkpoint_->load_phase("doh_scan")) {
       util::ByteReader r(loaded->state);
       doh_scan_ = scan::decode_doh_scan(r);
@@ -287,20 +416,31 @@ const scan::DohScanResult& Study::doh_scan() {
   cfg.thread_count = config_.thread_count;
   cfg.scan_window = config_.campaign.scan_window;
   cfg.scan_rate = config_.campaign.scan_rate;
-  cfg.cancel = phase_cancel("ENCDNS_DEADLINE_SCAN", scan_cancel_);
+  cfg.pool = shared_pool_;
+  // This phase budgets under ENCDNS_DEADLINE_DOH_SCAN, falling back to the
+  // ENCDNS_DEADLINE_SCAN *value* when unset — but always through its own
+  // token. Sharing scan_cancel_ here used to hand this phase a token the
+  // campaign sweep had already tripped, silently zeroing its coverage.
+  const char* budget_env = util::env_string("ENCDNS_DEADLINE_DOH_SCAN")
+                               ? "ENCDNS_DEADLINE_DOH_SCAN"
+                               : "ENCDNS_DEADLINE_SCAN";
+  cfg.cancel = phase_cancel(budget_env, doh_scan_cancel_);
   doh_scan_ =
       scan::run_doh_scan(*world_, cfg, config_.campaign.start.plus_days(60));
   if (checkpoint_) {
     util::ByteWriter w;
     scan::encode_doh_scan(w, *doh_scan_);
-    checkpoint_->commit_phase("doh_scan", w.take(), capture_cursor());
+    if (graph_mode_)
+      stash_commit("doh_scan", w.take());
+    else
+      checkpoint_->commit_phase("doh_scan", w.take(), capture_cursor());
   }
   return *doh_scan_;
 }
 
 const measure::LocalProbeResults& Study::local_probe() {
   if (local_probe_) return *local_probe_;
-  if (checkpoint_) {
+  if (checkpoint_ && !graph_mode_) {
     if (auto loaded = checkpoint_->load_phase("local_probe")) {
       util::ByteReader r(loaded->state);
       local_probe_ = measure::decode_local_probe(r);
@@ -313,14 +453,17 @@ const measure::LocalProbeResults& Study::local_probe() {
   if (checkpoint_) {
     util::ByteWriter w;
     measure::encode_local_probe(w, *local_probe_);
-    checkpoint_->commit_phase("local_probe", w.take(), capture_cursor());
+    if (graph_mode_)
+      stash_commit("local_probe", w.take());
+    else
+      checkpoint_->commit_phase("local_probe", w.take(), capture_cursor());
   }
   return *local_probe_;
 }
 
 const measure::ReachabilityResults& Study::reachability_global() {
   if (reach_global_) return *reach_global_;
-  if (checkpoint_) {
+  if (checkpoint_ && !graph_mode_) {
     if (auto loaded = checkpoint_->load_phase("reachability_global")) {
       util::ByteReader r(loaded->state);
       reach_global_ = measure::decode_reachability(r);
@@ -330,16 +473,28 @@ const measure::ReachabilityResults& Study::reachability_global() {
     }
   }
   measure::ReachabilityConfig cfg = config_.reachability_global;
+  cfg.pool = shared_pool_;
   cfg.cancel = phase_cancel("ENCDNS_DEADLINE_REACH", reach_cancel_);
   std::unique_ptr<exec::CheckpointHook> hook;
   if (checkpoint_) {
-    WorldCursor pre = capture_cursor();
-    if (auto rewound = checkpoint_->partial_pre_cursor("reachability_global")) {
-      restore_cursor(*rewound);
-      pre = *rewound;
+    if (graph_mode_) {
+      WorldCursor pre = capture_owned_cursor("reachability_global");
+      if (auto partial = checkpoint_->load_partial_delta("reachability_global")) {
+        restore_owned_cursor("reachability_global", partial->cursor);
+        pre = std::move(partial->cursor);
+      }
+      hook = checkpoint_->phase_delta_hook(
+          "reachability_global", pre,
+          [this] { return capture_owned_cursor("reachability_global"); });
+    } else {
+      WorldCursor pre = capture_cursor();
+      if (auto rewound = checkpoint_->partial_pre_cursor("reachability_global")) {
+        restore_cursor(*rewound);
+        pre = *rewound;
+      }
+      hook = checkpoint_->phase_hook("reachability_global", pre,
+                                     [this] { return capture_cursor(); });
     }
-    hook = checkpoint_->phase_hook("reachability_global", pre,
-                                   [this] { return capture_cursor(); });
     cfg.checkpoint = hook.get();
   }
   measure::ReachabilityTest test(*world_, *global_platform_, cfg);
@@ -347,14 +502,18 @@ const measure::ReachabilityResults& Study::reachability_global() {
   if (checkpoint_) {
     util::ByteWriter w;
     measure::encode_reachability(w, *reach_global_);
-    checkpoint_->commit_phase("reachability_global", w.take(), capture_cursor());
+    if (graph_mode_)
+      stash_commit("reachability_global", w.take());
+    else
+      checkpoint_->commit_phase("reachability_global", w.take(),
+                                capture_cursor());
   }
   return *reach_global_;
 }
 
 const measure::ReachabilityResults& Study::reachability_cn() {
   if (reach_cn_) return *reach_cn_;
-  if (checkpoint_) {
+  if (checkpoint_ && !graph_mode_) {
     if (auto loaded = checkpoint_->load_phase("reachability_cn")) {
       util::ByteReader r(loaded->state);
       reach_cn_ = measure::decode_reachability(r);
@@ -365,17 +524,31 @@ const measure::ReachabilityResults& Study::reachability_cn() {
   }
   measure::ReachabilityConfig cfg = config_.reachability_cn;
   // Both reachability runs share one token: ENCDNS_DEADLINE_REACH is a
-  // combined budget for the global and censored platforms together.
+  // combined budget for the global and censored platforms together. (The
+  // graph serializes the two — reachability_cn depends on
+  // reachability_global — so the shared slot is never raced.)
+  cfg.pool = shared_pool_;
   cfg.cancel = phase_cancel("ENCDNS_DEADLINE_REACH", reach_cancel_);
   std::unique_ptr<exec::CheckpointHook> hook;
   if (checkpoint_) {
-    WorldCursor pre = capture_cursor();
-    if (auto rewound = checkpoint_->partial_pre_cursor("reachability_cn")) {
-      restore_cursor(*rewound);
-      pre = *rewound;
+    if (graph_mode_) {
+      WorldCursor pre = capture_owned_cursor("reachability_cn");
+      if (auto partial = checkpoint_->load_partial_delta("reachability_cn")) {
+        restore_owned_cursor("reachability_cn", partial->cursor);
+        pre = std::move(partial->cursor);
+      }
+      hook = checkpoint_->phase_delta_hook(
+          "reachability_cn", pre,
+          [this] { return capture_owned_cursor("reachability_cn"); });
+    } else {
+      WorldCursor pre = capture_cursor();
+      if (auto rewound = checkpoint_->partial_pre_cursor("reachability_cn")) {
+        restore_cursor(*rewound);
+        pre = *rewound;
+      }
+      hook = checkpoint_->phase_hook("reachability_cn", pre,
+                                     [this] { return capture_cursor(); });
     }
-    hook = checkpoint_->phase_hook("reachability_cn", pre,
-                                   [this] { return capture_cursor(); });
     cfg.checkpoint = hook.get();
   }
   measure::ReachabilityTest test(*world_, *cn_platform_, cfg);
@@ -383,14 +556,17 @@ const measure::ReachabilityResults& Study::reachability_cn() {
   if (checkpoint_) {
     util::ByteWriter w;
     measure::encode_reachability(w, *reach_cn_);
-    checkpoint_->commit_phase("reachability_cn", w.take(), capture_cursor());
+    if (graph_mode_)
+      stash_commit("reachability_cn", w.take());
+    else
+      checkpoint_->commit_phase("reachability_cn", w.take(), capture_cursor());
   }
   return *reach_cn_;
 }
 
 const measure::PerformanceResults& Study::performance() {
   if (performance_) return *performance_;
-  if (checkpoint_) {
+  if (checkpoint_ && !graph_mode_) {
     if (auto loaded = checkpoint_->load_phase("performance")) {
       util::ByteReader r(loaded->state);
       performance_ = measure::decode_performance(r);
@@ -400,16 +576,28 @@ const measure::PerformanceResults& Study::performance() {
     }
   }
   measure::PerformanceConfig cfg = config_.performance;
+  cfg.pool = shared_pool_;
   cfg.cancel = phase_cancel("ENCDNS_DEADLINE_PERF", perf_cancel_);
   std::unique_ptr<exec::CheckpointHook> hook;
   if (checkpoint_) {
-    WorldCursor pre = capture_cursor();
-    if (auto rewound = checkpoint_->partial_pre_cursor("performance")) {
-      restore_cursor(*rewound);
-      pre = *rewound;
+    if (graph_mode_) {
+      WorldCursor pre = capture_owned_cursor("performance");
+      if (auto partial = checkpoint_->load_partial_delta("performance")) {
+        restore_owned_cursor("performance", partial->cursor);
+        pre = std::move(partial->cursor);
+      }
+      hook = checkpoint_->phase_delta_hook(
+          "performance", pre,
+          [this] { return capture_owned_cursor("performance"); });
+    } else {
+      WorldCursor pre = capture_cursor();
+      if (auto rewound = checkpoint_->partial_pre_cursor("performance")) {
+        restore_cursor(*rewound);
+        pre = *rewound;
+      }
+      hook = checkpoint_->phase_hook("performance", pre,
+                                     [this] { return capture_cursor(); });
     }
-    hook = checkpoint_->phase_hook("performance", pre,
-                                   [this] { return capture_cursor(); });
     cfg.checkpoint = hook.get();
   }
   measure::PerformanceTest test(*world_, *global_platform_, cfg);
@@ -417,14 +605,17 @@ const measure::PerformanceResults& Study::performance() {
   if (checkpoint_) {
     util::ByteWriter w;
     measure::encode_performance(w, *performance_);
-    checkpoint_->commit_phase("performance", w.take(), capture_cursor());
+    if (graph_mode_)
+      stash_commit("performance", w.take());
+    else
+      checkpoint_->commit_phase("performance", w.take(), capture_cursor());
   }
   return *performance_;
 }
 
 const std::vector<measure::NoReuseRow>& Study::no_reuse() {
   if (no_reuse_) return *no_reuse_;
-  if (checkpoint_) {
+  if (checkpoint_ && !graph_mode_) {
     if (auto loaded = checkpoint_->load_phase("no_reuse")) {
       util::ByteReader r(loaded->state);
       no_reuse_ = measure::decode_no_reuse(r);
@@ -437,14 +628,17 @@ const std::vector<measure::NoReuseRow>& Study::no_reuse() {
   if (checkpoint_) {
     util::ByteWriter w;
     measure::encode_no_reuse(w, *no_reuse_);
-    checkpoint_->commit_phase("no_reuse", w.take(), capture_cursor());
+    if (graph_mode_)
+      stash_commit("no_reuse", w.take());
+    else
+      checkpoint_->commit_phase("no_reuse", w.take(), capture_cursor());
   }
   return *no_reuse_;
 }
 
 const traffic::NetflowStudyResults& Study::netflow() {
   if (netflow_) return *netflow_;
-  if (checkpoint_) {
+  if (checkpoint_ && !graph_mode_) {
     if (auto loaded = checkpoint_->load_phase("netflow")) {
       util::ByteReader r(loaded->state);
       netflow_ = traffic::decode_netflow_results(r);
@@ -454,16 +648,27 @@ const traffic::NetflowStudyResults& Study::netflow() {
     }
   }
   traffic::NetflowStudyConfig cfg = config_.netflow;
+  cfg.pool = shared_pool_;
   cfg.cancel = phase_cancel("ENCDNS_DEADLINE_NETFLOW", netflow_cancel_);
   std::unique_ptr<exec::CheckpointHook> hook;
   if (checkpoint_) {
-    WorldCursor pre = capture_cursor();
-    if (auto rewound = checkpoint_->partial_pre_cursor("netflow")) {
-      restore_cursor(*rewound);
-      pre = *rewound;
+    if (graph_mode_) {
+      WorldCursor pre = capture_owned_cursor("netflow");
+      if (auto partial = checkpoint_->load_partial_delta("netflow")) {
+        restore_owned_cursor("netflow", partial->cursor);
+        pre = std::move(partial->cursor);
+      }
+      hook = checkpoint_->phase_delta_hook(
+          "netflow", pre, [this] { return capture_owned_cursor("netflow"); });
+    } else {
+      WorldCursor pre = capture_cursor();
+      if (auto rewound = checkpoint_->partial_pre_cursor("netflow")) {
+        restore_cursor(*rewound);
+        pre = *rewound;
+      }
+      hook = checkpoint_->phase_hook("netflow", pre,
+                                     [this] { return capture_cursor(); });
     }
-    hook = checkpoint_->phase_hook("netflow", pre,
-                                   [this] { return capture_cursor(); });
     cfg.checkpoint = hook.get();
   }
   traffic::NetflowStudy study(cfg, traffic::big_resolver_address_list());
@@ -471,14 +676,17 @@ const traffic::NetflowStudyResults& Study::netflow() {
   if (checkpoint_) {
     util::ByteWriter w;
     traffic::encode_netflow_results(w, *netflow_);
-    checkpoint_->commit_phase("netflow", w.take(), capture_cursor());
+    if (graph_mode_)
+      stash_commit("netflow", w.take());
+    else
+      checkpoint_->commit_phase("netflow", w.take(), capture_cursor());
   }
   return *netflow_;
 }
 
 const traffic::PassiveDnsStudyResults& Study::passive_dns() {
   if (passive_dns_) return *passive_dns_;
-  if (checkpoint_) {
+  if (checkpoint_ && !graph_mode_) {
     if (auto loaded = checkpoint_->load_phase("passive_dns")) {
       util::ByteReader r(loaded->state);
       passive_dns_ = traffic::decode_passive_dns(r);
@@ -491,7 +699,10 @@ const traffic::PassiveDnsStudyResults& Study::passive_dns() {
   if (checkpoint_) {
     util::ByteWriter w;
     traffic::encode_passive_dns(w, *passive_dns_);
-    checkpoint_->commit_phase("passive_dns", w.take(), capture_cursor());
+    if (graph_mode_)
+      stash_commit("passive_dns", w.take());
+    else
+      checkpoint_->commit_phase("passive_dns", w.take(), capture_cursor());
   }
   return *passive_dns_;
 }
@@ -508,12 +719,34 @@ fault::RobustnessReport Study::robustness_report() {
   report.scanner += doh_discovery().faults;
   report.scanner += doh_scan().faults;
   // Resolver layer: upstream recursion faults drawn inside the backends,
-  // recovered when an RFC 8767 stale answer covered for the failure. The
-  // cumulative tally folds in activity from before the last resume.
-  const auto cache_tally = cumulative_cache_tally();
-  report.resolver.injected = cache_tally.upstream_faults;
-  report.resolver.recovered = cache_tally.stale_served;
-  report.resolver.surfaced = cache_tally.upstream_faults - cache_tally.stale_served;
+  // recovered when an RFC 8767 stale answer covered for the failure. After a
+  // task-graph run the resolver.upstream counters are the source of truth —
+  // they are 1:1 with the World tally on a live run and, unlike it, survive
+  // a delta-based resume (the deltas replay them; the World starts cold).
+  // The serial path keeps the cumulative tally, whose baseline the absolute
+  // cursor restore rebases.
+  bool delta_based;
+  {
+    std::lock_guard<std::mutex> lock(dag_mutex_);
+    delta_based = !phase_deltas_.empty();
+  }
+  if (delta_based) {
+    // counter_value, not counter(): these names are registered by the fault
+    // path only, and a get-or-create read here would leak zero-valued
+    // registrations into the next study's report in this process.
+    const auto& registry = obs::MetricsRegistry::global();
+    report.resolver.injected = registry.counter_value("resolver.upstream.fault");
+    report.resolver.recovered =
+        registry.counter_value("resolver.upstream.stale_served");
+    report.resolver.surfaced =
+        report.resolver.injected - report.resolver.recovered;
+  } else {
+    const auto cache_tally = cumulative_cache_tally();
+    report.resolver.injected = cache_tally.upstream_faults;
+    report.resolver.recovered = cache_tally.stale_served;
+    report.resolver.surfaced =
+        cache_tally.upstream_faults - cache_tally.stale_served;
+  }
   return report;
 }
 

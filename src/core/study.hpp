@@ -2,8 +2,11 @@
 // lazily and cached. This is the primary public entry point of the library.
 #pragma once
 
+#include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -124,7 +127,17 @@ class Study {
   /// MetricsRegistry is reset first, so a fresh Study yields a complete,
   /// deterministic report; experiments forced earlier keep their cached
   /// results and their metrics stay attributed to no phase.
+  ///
+  /// By default the phases run as a dependency graph (exec::TaskGraph,
+  /// DESIGN.md §15): independent phases overlap on one shared worker pool,
+  /// per-phase metrics come from obs::PhaseTally deltas, and checkpoint
+  /// records switch to the delta family. ENCDNS_DAG=0 keeps the serial
+  /// schedule. Both produce byte-identical reports and golden output.
   [[nodiscard]] const ObservabilityReport& observability_report();
+
+  /// ENCDNS_DAG parse: unset/1/on/true → task-graph schedule, 0/off/false →
+  /// serial fallback, anything else → util::EnvError.
+  [[nodiscard]] static bool dag_enabled();
 
   /// Attach a write-ahead phase journal under `dir` (DESIGN.md §13). With
   /// `resume` false the directory must not hold a live journal; with `resume`
@@ -154,6 +167,36 @@ class Study {
  private:
   [[nodiscard]] WorldCursor capture_cursor() const;
   void restore_cursor(const WorldCursor& cursor);
+  // --- task-graph mode (DESIGN.md §15) ------------------------------------
+  [[nodiscard]] const ObservabilityReport& observability_report_dag();
+  /// Serial resume pass before the graph starts: committed delta records
+  /// load (results + owned cursor + additive metrics), phases that were
+  /// mid-flight at the kill re-run to completion here — serially, so their
+  /// cache restores cannot interleave with live phases.
+  void dag_resume_prologue();
+  /// Node-body wrapper: force `phase` under a fresh PhaseTally and record
+  /// its metrics delta and wall time. No-op if the phase already has a
+  /// delta (loaded from the journal).
+  void run_phase_node(const std::string& phase);
+  /// Node-merge wrapper: journal the phase's pending delta commit. Runs on
+  /// the driver thread, in canonical declaration order.
+  void commit_phase_node(const std::string& phase);
+  /// Dispatch a phase name to its accessor (plus the "certs" pseudo-phase).
+  void force_phase(const std::string& phase);
+  /// §3.2 certificate analysis of the final scan snapshot — the body of the
+  /// serial "certs" profiler bracket and of the DAG certs node.
+  void run_certs_analysis();
+  /// Decode a committed phase's state blob into its cached optional.
+  void decode_phase_state(const std::string& phase,
+                          const std::vector<std::uint8_t>& state);
+  /// Cursor capture/restore limited to the platform `phase` itself advances
+  /// (plus caches and tally): under overlap the other platform belongs to a
+  /// concurrently running node and must not be touched.
+  [[nodiscard]] WorldCursor capture_owned_cursor(const std::string& phase) const;
+  void restore_owned_cursor(const std::string& phase, const WorldCursor& cursor);
+  /// Stash a phase's serialized results + post-phase owned cursor for the
+  /// merge slot to journal (graph mode defers commits to merge order).
+  void stash_commit(const std::string& phase, std::vector<std::uint8_t> state);
   /// Resolver-cache tally including activity from before the last resume
   /// (the live World starts cold; the cursor carries the killed run's tally).
   [[nodiscard]] world::World::ResolverCacheTally cumulative_cache_tally() const;
@@ -171,10 +214,29 @@ class Study {
   std::unique_ptr<StudyCheckpoint> checkpoint_;
   std::optional<exec::CancelToken> study_cancel_;
   std::optional<exec::CancelToken> scan_cancel_;
+  /// Own budget slot (ENCDNS_DEADLINE_DOH_SCAN) — deliberately NOT
+  /// scan_cancel_: a sweep that exhausts the scan budget must not zero out
+  /// the doh-scan phase through a shared tripped token.
+  std::optional<exec::CancelToken> doh_scan_cancel_;
   std::optional<exec::CancelToken> reach_cancel_;  // shared by both platforms
   std::optional<exec::CancelToken> perf_cancel_;
   std::optional<exec::CancelToken> netflow_cancel_;
   world::World::ResolverCacheTally tally_baseline_;
+
+  // Task-graph run state. graph_mode_ flips the accessors' checkpoint
+  // branches to the delta protocol and shared_pool_ routes their fan-out
+  // through the one pool the graph owns; dag_mutex_ guards the maps, which
+  // node threads fill concurrently.
+  bool graph_mode_ = false;
+  exec::WorkerPool* shared_pool_ = nullptr;
+  std::mutex dag_mutex_;
+  std::map<std::string, obs::Snapshot> phase_deltas_;
+  std::map<std::string, double> phase_walls_;
+  struct PendingCommit {
+    std::vector<std::uint8_t> state;
+    WorldCursor cursor;
+  };
+  std::map<std::string, PendingCommit> pending_commits_;
 
   std::optional<std::vector<scan::ScanSnapshot>> scans_;
   std::optional<scan::DohDiscovery> doh_discovery_;

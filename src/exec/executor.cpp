@@ -1,7 +1,9 @@
 #include "exec/executor.hpp"
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstdlib>
+#include <deque>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -40,6 +42,8 @@ unsigned resolve_thread_count(unsigned requested) {
   return hw == 0 ? 1 : hw;
 }
 
+bool parallelism_available() { return resolve_thread_count(0) > 1; }
+
 std::pair<std::size_t, std::size_t> shard_range(std::size_t total,
                                                 std::size_t shards,
                                                 std::size_t shard) noexcept {
@@ -51,73 +55,92 @@ std::pair<std::size_t, std::size_t> shard_range(std::size_t total,
   return {first, first + size};
 }
 
-// All job state lives under one mutex; shards are claimed with the lock held
-// and executed without it. Shards are coarse (a slice of an address sweep, a
-// whole proxy session), so two brief critical sections per shard cost nothing
-// next to the work itself, and the single-lock discipline keeps the pool
-// trivially race-free.
-struct WorkerPool::Impl {
-  std::mutex mutex;
-  std::condition_variable cv_work;
-  std::condition_variable cv_done;
-  std::vector<std::thread> threads;
-
-  std::uint64_t serial = 0;  // bumped per job so sleeping workers notice work
+// All pool and job state lives under one mutex; shards are claimed with the
+// lock held and executed without it. Shards are coarse (a slice of an
+// address sweep, a whole proxy session), so two brief critical sections per
+// shard cost nothing next to the work itself, and the single-lock discipline
+// keeps the pool trivially race-free.
+//
+// Several jobs may be queued at once — the task-graph executor submits from
+// multiple node threads. Each Job lives on its submitter's stack; it sits in
+// the FIFO queue only while it has unclaimed shards, and the submitter waits
+// on the job's own condition variable until every participant has retired
+// its claims. A worker's last touch of a finished job is the notify under
+// the pool mutex, so the submitter cannot destroy the Job underneath it.
+struct WorkerPool::Job {
   const std::function<void(std::size_t)>* fn = nullptr;
-  const CancelToken* cancel = nullptr;  // current job's token (may be null)
-  std::size_t total = 0;      // shards in the current job
+  const CancelToken* cancel = nullptr;  // may be null
+  obs::PhaseTally* tally = nullptr;  // submitter's attribution at submit time
+  std::size_t total = 0;      // shards in this job
   std::size_t next = 0;       // next unclaimed shard
   std::size_t remaining = 0;  // shards not yet retired
   std::size_t executed_shards = 0;  // shards actually run (not skipped)
-  std::size_t active = 0;     // threads currently inside drain()
+  std::size_t active = 0;     // threads currently draining this job
   std::exception_ptr error;
+  std::condition_variable cv_done;
+};
+
+struct WorkerPool::Impl {
+  std::mutex mutex;
+  std::condition_variable cv_work;
+  std::vector<std::thread> threads;
+  std::deque<Job*> queue;  // jobs with unclaimed shards, FIFO
   bool shutdown = false;
 
-  /// Claim and run shards until none remain. Called and returns with `lock`
-  /// held. After the first exception — or once the job's cancel token trips —
-  /// later shards are still claimed and retired (so waits never hang) but
-  /// are skipped, not executed. Because claims are handed out in increasing
-  /// index order under the mutex and both conditions are monotonic, the
-  /// executed shards always form a prefix of [0, total). `is_worker`
-  /// distinguishes pool threads from the submitting thread for the
-  /// (diagnostic) steal tally.
-  void drain(std::unique_lock<std::mutex>& lock, bool is_worker) {
-    std::uint64_t executed = 0;
-    while (next < total) {
-      const std::size_t shard = next++;
+  /// Claim and run shards of `job` until none remain. Called and returns
+  /// with `lock` held. After the first exception — or once the job's cancel
+  /// token trips — later shards are still claimed and retired (so waits
+  /// never hang) but are skipped, not executed. Because claims are handed
+  /// out in increasing index order under the mutex and both conditions are
+  /// monotonic, the executed shards always form a prefix of [0, total).
+  /// `is_worker` distinguishes pool threads from the submitting thread for
+  /// the (diagnostic) steal tally, which counts only shards actually run —
+  /// a skipped claim is bookkeeping, not stolen work.
+  void drain(Job& job, std::unique_lock<std::mutex>& lock, bool is_worker) {
+    ++job.active;
+    std::uint64_t ran = 0;
+    while (job.next < job.total) {
+      // Queue depth is sampled before the claim, so a fresh job of N shards
+      // peaks at N, not N-1.
       ExecMetrics::get().queue_peak.set_max(
-          static_cast<std::int64_t>(total - next));
-      ++executed;
-      const auto* job = fn;
-      const bool skip =
-          error != nullptr || (cancel != nullptr && cancel->cancelled());
-      if (!skip) ++executed_shards;
+          static_cast<std::int64_t>(job.total - job.next));
+      const std::size_t shard = job.next++;
+      if (job.next == job.total) {
+        const auto it = std::find(queue.begin(), queue.end(), &job);
+        if (it != queue.end()) queue.erase(it);
+      }
+      const bool skip = job.error != nullptr ||
+                        (job.cancel != nullptr && job.cancel->cancelled());
+      if (!skip) {
+        ++job.executed_shards;
+        ++ran;
+      }
       lock.unlock();
       std::exception_ptr thrown;
       if (!skip) {
+        // Attribute the shard's metric activity to the submitting phase.
+        obs::ScopedTally scope(job.tally);
         try {
-          (*job)(shard);
+          (*job.fn)(shard);
         } catch (...) {
           thrown = std::current_exception();
         }
       }
       lock.lock();
-      if (thrown && !error) error = thrown;
-      if (--remaining == 0) cv_done.notify_all();
+      if (thrown && !job.error) job.error = thrown;
+      --job.remaining;
     }
-    if (is_worker && executed > 0) ExecMetrics::get().steals.add(executed);
+    --job.active;
+    if (job.remaining == 0 && job.active == 0) job.cv_done.notify_all();
+    if (is_worker && ran > 0) ExecMetrics::get().steals.add(ran);
   }
 
   void worker_loop() {
-    std::uint64_t seen = 0;
     std::unique_lock<std::mutex> lock(mutex);
     for (;;) {
-      cv_work.wait(lock, [&] { return shutdown || serial != seen; });
+      cv_work.wait(lock, [&] { return shutdown || !queue.empty(); });
       if (shutdown) return;
-      seen = serial;
-      ++active;
-      drain(lock, /*is_worker=*/true);
-      if (--active == 0) cv_done.notify_all();
+      drain(*queue.front(), lock, /*is_worker=*/true);
     }
   }
 };
@@ -162,29 +185,24 @@ std::size_t WorkerPool::parallel_for_shards(
     }
     return executed;
   }
+  Job job;
+  job.fn = &fn;
+  job.cancel = cancel;
+  job.tally = obs::current_tally();
+  job.total = n_shards;
+  job.remaining = n_shards;
   std::unique_lock<std::mutex> lock(impl_->mutex);
-  impl_->fn = &fn;
-  impl_->cancel = cancel;
-  impl_->total = n_shards;
-  impl_->next = 0;
-  impl_->remaining = n_shards;
-  impl_->executed_shards = 0;
-  impl_->error = nullptr;
-  ++impl_->serial;
-  ++impl_->active;
+  impl_->queue.push_back(&job);
   impl_->cv_work.notify_all();
-  impl_->drain(lock, /*is_worker=*/false);  // the submitting thread pulls too
-  if (--impl_->active == 0) impl_->cv_done.notify_all();
-  // Wait until every shard retired AND every participant left drain(): only
-  // then is it safe for the caller to reuse the pool (or destroy `fn`).
-  impl_->cv_done.wait(
-      lock, [&] { return impl_->remaining == 0 && impl_->active == 0; });
-  impl_->fn = nullptr;
-  impl_->cancel = nullptr;
-  const std::size_t executed = impl_->executed_shards;
-  if (impl_->error) {
-    const std::exception_ptr error = impl_->error;
-    impl_->error = nullptr;
+  // The submitting thread pulls from its own job only, then waits until
+  // every shard retired AND every participant left drain(): only then is it
+  // safe to destroy the stack-resident Job (and `fn`).
+  impl_->drain(job, lock, /*is_worker=*/false);
+  job.cv_done.wait(lock,
+                   [&] { return job.remaining == 0 && job.active == 0; });
+  const std::size_t executed = job.executed_shards;
+  if (job.error) {
+    const std::exception_ptr error = job.error;
     lock.unlock();
     std::rethrow_exception(error);
   }

@@ -29,6 +29,14 @@ namespace encdns::exec {
 /// A malformed or non-positive ENCDNS_THREADS throws util::EnvError.
 [[nodiscard]] unsigned resolve_thread_count(unsigned requested = 0);
 
+/// True when an auto-configured run (`resolve_thread_count(0)`) gets more
+/// than one worker — i.e. parallel wall-clock comparisons mean something.
+/// On a single-core machine (or under ENCDNS_THREADS=1) a "parallel" run is
+/// the serial run with extra bookkeeping, so speedup figures and wall-clock
+/// floors derived from one are noise; benches consult this to emit
+/// "speedup": null and skip their timing guards instead.
+[[nodiscard]] bool parallelism_available();
+
 /// Contiguous index range [first, last) owned by shard `shard` of `shards`
 /// over `total` items. Ranges partition [0, total) and differ in size by at
 /// most one.
@@ -42,9 +50,13 @@ namespace encdns::exec {
   return util::Rng(util::mix64(seed ^ shard));
 }
 
-/// A fixed-size pool of persistent worker threads. One job runs at a time;
-/// the submitting thread participates in the work, so a pool of size 1 (or a
-/// single-shard job) degenerates to a plain inline loop.
+/// A fixed-size pool of persistent worker threads. Multiple jobs may be in
+/// flight at once (the task-graph executor submits from several node threads
+/// — DESIGN.md §15); jobs queue FIFO and workers drain them front-first,
+/// while each submitting thread participates only in its own job, so a pool
+/// of size 1 (or a single-shard job) degenerates to a plain inline loop.
+/// Workers inherit the submitting thread's obs::PhaseTally for each shard
+/// they run, keeping per-phase metric attribution exact under overlap.
 class WorkerPool {
  public:
   /// `threads` as for resolve_thread_count (0 = auto).
@@ -77,6 +89,7 @@ class WorkerPool {
 
  private:
   struct Impl;
+  struct Job;
   unsigned thread_count_;
   Impl* impl_ = nullptr;  // null when thread_count_ <= 1 (inline mode)
 };

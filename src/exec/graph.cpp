@@ -1,0 +1,168 @@
+#include "exec/graph.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace encdns::exec {
+
+TaskGraph::NodeId TaskGraph::add(std::string name, std::function<void()> body,
+                                 std::function<void()> merge,
+                                 std::vector<NodeId> deps) {
+  if (ran_) throw GraphError("TaskGraph: add() after run()");
+  const NodeId id = nodes_.size();
+  for (const NodeId dep : deps) {
+    if (dep >= id)
+      throw GraphError("TaskGraph: node \"" + name +
+                       "\" depends on undeclared node");
+  }
+  // Dedup so a repeated dep releases exactly once.
+  std::sort(deps.begin(), deps.end());
+  deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+  Node node;
+  node.name = std::move(name);
+  node.body = std::move(body);
+  node.merge = std::move(merge);
+  node.deps = std::move(deps);
+  nodes_.push_back(std::move(node));
+  for (const NodeId dep : nodes_.back().deps)
+    nodes_[dep].dependents.push_back(id);
+  return id;
+}
+
+void TaskGraph::add_edge(NodeId before, NodeId after) {
+  if (ran_) throw GraphError("TaskGraph: add_edge() after run()");
+  if (before >= nodes_.size() || after >= nodes_.size())
+    throw GraphError("TaskGraph: add_edge() on unknown node");
+  if (before == after) throw GraphError("TaskGraph: self-edge");
+  auto& deps = nodes_[after].deps;
+  if (std::find(deps.begin(), deps.end(), before) != deps.end()) return;
+  deps.push_back(before);
+  nodes_[before].dependents.push_back(after);
+}
+
+TaskGraph::NodeStatus TaskGraph::status(NodeId id) const {
+  if (id >= nodes_.size()) throw GraphError("TaskGraph: status() unknown node");
+  return nodes_[id].status;
+}
+
+void TaskGraph::run() {
+  if (ran_) throw GraphError("TaskGraph: run() twice");
+  ran_ = true;
+
+  // Fail closed on cycles: Kahn's algorithm must retire every node before
+  // any body is allowed to start.
+  {
+    std::vector<std::size_t> unmet(nodes_.size());
+    std::vector<NodeId> ready;
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+      unmet[id] = nodes_[id].deps.size();
+      if (unmet[id] == 0) ready.push_back(id);
+    }
+    std::size_t retired = 0;
+    while (!ready.empty()) {
+      const NodeId id = ready.back();
+      ready.pop_back();
+      ++retired;
+      for (const NodeId dep : nodes_[id].dependents)
+        if (--unmet[dep] == 0) ready.push_back(dep);
+    }
+    if (retired != nodes_.size())
+      throw GraphError("TaskGraph: dependency cycle detected");
+  }
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<std::thread> threads(nodes_.size());
+  for (auto& node : nodes_) node.unmet = node.deps.size();
+
+  const auto run_body = [&](NodeId id) {
+    Node& node = nodes_[id];
+    std::exception_ptr error;
+    try {
+      node.body();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    std::lock_guard lock(mutex);
+    node.body_done = true;
+    node.error = error;
+    if (error) node.status = NodeStatus::kFailed;
+    for (const NodeId dependent : node.dependents) --nodes_[dependent].unmet;
+    cv.notify_all();
+  };
+
+  std::unique_lock lock(mutex);
+  std::size_t frontier = 0;  // next node whose merge slot is due
+  while (frontier < nodes_.size()) {
+    // Launch every ready node; skip (and cascade) nodes whose dependencies
+    // failed. The inner loop re-scans because a skip releases dependents.
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (NodeId id = 0; id < nodes_.size(); ++id) {
+        Node& node = nodes_[id];
+        if (node.status != NodeStatus::kPending || node.unmet != 0) continue;
+        const bool dep_bad = std::any_of(
+            node.deps.begin(), node.deps.end(), [&](NodeId dep) {
+              return nodes_[dep].status == NodeStatus::kFailed ||
+                     nodes_[dep].status == NodeStatus::kSkipped;
+            });
+        if (dep_bad) {
+          node.status = NodeStatus::kSkipped;
+          node.body_done = true;
+          for (const NodeId dependent : node.dependents)
+            --nodes_[dependent].unmet;
+          progress = true;
+        } else {
+          node.status = NodeStatus::kRunning;
+          threads[id] = std::thread(run_body, id);
+        }
+      }
+    }
+
+    Node& due = nodes_[frontier];
+    if (due.status == NodeStatus::kFailed && due.body_done) {
+      ++frontier;  // merge skipped
+      continue;
+    }
+    if (due.status == NodeStatus::kSkipped) {
+      ++frontier;
+      continue;
+    }
+    if (due.status == NodeStatus::kRunning && due.body_done &&
+        due.error == nullptr) {
+      // Body succeeded and every earlier merge has been handled: run this
+      // node's merge on the driver thread, outside the lock.
+      merge_order_.push_back(due.name);
+      std::exception_ptr error;
+      if (due.merge) {
+        lock.unlock();
+        try {
+          due.merge();
+        } catch (...) {
+          error = std::current_exception();
+        }
+        lock.lock();
+      }
+      // Dependents were already released at body completion (the results
+      // they need exist); a merge failure therefore does not skip them, it
+      // only surfaces from run().
+      due.error = error;
+      due.status = error ? NodeStatus::kFailed : NodeStatus::kDone;
+      ++frontier;
+      continue;
+    }
+    cv.wait(lock);
+  }
+  lock.unlock();
+
+  for (auto& thread : threads)
+    if (thread.joinable()) thread.join();
+
+  for (const auto& node : nodes_)
+    if (node.error) std::rethrow_exception(node.error);
+}
+
+}  // namespace encdns::exec

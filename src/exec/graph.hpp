@@ -1,0 +1,105 @@
+// Deterministic dependency-graph executor for the study pipeline.
+//
+// The paper's platform is intrinsically overlapping — ZMap sweeps, §4
+// vantage fan-outs and §5 NetFlow aggregation are independent workloads —
+// so running phases serially makes wall-clock the sum of phases instead of
+// the critical path. A TaskGraph holds one node per phase (or phase shard):
+// each node has a *body* that computes results and a *merge* that publishes
+// them (journal commits, report assembly). Edges encode true data
+// dependencies; everything else overlaps.
+//
+// The determinism contract (DESIGN.md §15) extends the WorkerPool's:
+//   * node bodies only read completed dependencies and write node-local
+//     state, deriving randomness from their own seeds — scheduling affects
+//     wall time, never values;
+//   * dependents are released when a dependency's BODY completes, which is
+//     when its results exist — merges never gate the critical path;
+//   * merges run one at a time on the driver thread in strict DECLARATION
+//     order (a monotonic frontier), so journal commits and report rows land
+//     in canonical order no matter which node finished first;
+//   * a failed body skips its merge and transitively skips dependents;
+//     independent nodes still run to completion, and the first failure in
+//     declaration order is rethrown from run() — the same exception a
+//     serial loop would have surfaced.
+//
+// Cycles fail closed: run() topologically sorts first and throws GraphError
+// before any body starts.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace encdns::exec {
+
+/// Malformed graph (unknown node id, cycle, reuse after run).
+class GraphError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class TaskGraph {
+ public:
+  using NodeId = std::size_t;
+
+  enum class NodeStatus {
+    kPending,   // not started
+    kRunning,   // body in flight
+    kDone,      // body (and merge, if any) completed
+    kFailed,    // body or merge threw
+    kSkipped,   // a dependency failed or was skipped
+  };
+
+  TaskGraph() = default;
+  TaskGraph(const TaskGraph&) = delete;
+  TaskGraph& operator=(const TaskGraph&) = delete;
+
+  /// Declare a node. `body` runs on its own thread once every dependency's
+  /// body has completed; `merge` (may be empty) runs later on the driver
+  /// thread, serialized in declaration order. Declaration order is the
+  /// graph's canonical order — declare nodes in the serial-equivalent
+  /// sequence. `deps` may name any already-declared node; forward edges are
+  /// added with add_edge().
+  NodeId add(std::string name, std::function<void()> body,
+             std::function<void()> merge = {}, std::vector<NodeId> deps = {});
+
+  /// `after` will not start until `before`'s body completes.
+  void add_edge(NodeId before, NodeId after);
+
+  /// Execute the graph. Validates acyclicity first and throws GraphError
+  /// before running anything if a cycle exists. Blocks until every node
+  /// settles, then rethrows the first failed node's exception (declaration
+  /// order). A TaskGraph runs at most once.
+  void run();
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] NodeStatus status(NodeId id) const;
+  /// Names of nodes whose merge slot was reached, in the order the driver
+  /// processed them — by construction a subsequence of declaration order.
+  [[nodiscard]] const std::vector<std::string>& merge_order() const noexcept {
+    return merge_order_;
+  }
+
+ private:
+  struct Node {
+    std::string name;
+    std::function<void()> body;
+    std::function<void()> merge;
+    std::vector<NodeId> deps;
+    std::vector<NodeId> dependents;
+    std::size_t unmet = 0;
+    NodeStatus status = NodeStatus::kPending;
+    bool body_done = false;
+    std::exception_ptr error;
+  };
+
+  std::vector<Node> nodes_;
+  std::vector<std::string> merge_order_;
+  bool ran_ = false;
+};
+
+}  // namespace encdns::exec

@@ -268,7 +268,10 @@ PerformanceResults PerformanceTest::run() {
     }
   }
 
-  exec::WorkerPool pool(config_.thread_count);
+  std::optional<exec::WorkerPool> local_pool;
+  exec::WorkerPool& pool = config_.pool != nullptr
+                               ? *config_.pool
+                               : local_pool.emplace(config_.thread_count);
   constexpr std::size_t kBlock = 512;
   bool cancelled = config_.cancel != nullptr && config_.cancel->cancelled();
   while (processed < sessions.size() && !cancelled) {

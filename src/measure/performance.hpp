@@ -21,6 +21,7 @@
 #include "client/dot.hpp"
 #include "exec/cancel.hpp"
 #include "exec/checkpoint_hook.hpp"
+#include "exec/executor.hpp"
 #include "fault/retry.hpp"
 #include "measure/targets.hpp"
 #include "proxy/proxy.hpp"
@@ -70,6 +71,8 @@ struct PerformanceConfig {
   /// both optional, same semantics as ReachabilityConfig.
   exec::CancelToken* cancel = nullptr;
   exec::CheckpointHook* checkpoint = nullptr;
+  /// Shared worker pool (task-graph mode); null = private pool.
+  exec::WorkerPool* pool = nullptr;
 };
 
 struct PerformanceResults {

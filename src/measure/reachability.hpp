@@ -18,6 +18,7 @@
 #include "client/dot.hpp"
 #include "exec/cancel.hpp"
 #include "exec/checkpoint_hook.hpp"
+#include "exec/executor.hpp"
 #include "fault/retry.hpp"
 #include "http/url.hpp"
 #include "measure/targets.hpp"
@@ -84,6 +85,8 @@ struct ReachabilityConfig {
   /// its state-so-far after every non-final session block and resumes after
   /// the last completed block on load. Optional.
   exec::CheckpointHook* checkpoint = nullptr;
+  /// Shared worker pool (task-graph mode); null = private pool.
+  exec::WorkerPool* pool = nullptr;
 };
 
 struct ReachabilityResults {

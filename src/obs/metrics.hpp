@@ -37,13 +37,99 @@ namespace encdns::obs {
 [[nodiscard]] bool enabled() noexcept;
 void set_enabled(bool on) noexcept;
 
+class Counter;
+class Histogram;
+struct HistogramSample;
+struct SpanStat;
+
+/// Per-phase delta accumulator for the task-graph executor (DESIGN.md §15).
+///
+/// When study phases overlap, the global registry only ever holds the *sum*
+/// of everything in flight — the per-phase breakdown the PhaseProfiler and
+/// the checkpoint delta records need has to be attributed at the record
+/// site. A PhaseTally is installed thread-locally (ScopedTally) around a
+/// phase's code; every Counter::add / Histogram::observe / SpanScope flush
+/// that happens under it is mirrored into the tally, keyed by metric
+/// pointer (stable for the process lifetime). Tallies are mutex-sharded by
+/// the same fixed thread-shard index the counters use, so worker threads
+/// from one phase rarely contend and threads never share an entry stream —
+/// the per-shard maps are merged in canonical name order at snapshot time,
+/// which keeps the deltas bit-identical at any thread count.
+///
+/// Gauges are deliberately not tallied: a point-in-time max is not
+/// delta-decomposable, and every current gauge is diagnostic-only.
+class PhaseTally {
+ public:
+  PhaseTally();
+  ~PhaseTally();
+  PhaseTally(const PhaseTally&) = delete;
+  PhaseTally& operator=(const PhaseTally&) = delete;
+
+  void record_counter(const Counter* counter, std::uint64_t n);
+  void record_histogram(const Histogram* histogram, std::int64_t us,
+                        std::size_t bucket);
+  /// Fold a whole pre-aggregated histogram delta in (checkpoint replay).
+  void record_histogram_delta(const Histogram* histogram,
+                              const HistogramSample& sample);
+  void record_span(const SpanStat* stat, std::uint64_t count,
+                   std::uint64_t sim_us, std::uint64_t wall_ns);
+
+  /// Drop everything recorded so far (checkpoint delta retraction: a phase
+  /// that re-executed its prologue before loading a partial restarts its
+  /// attribution from the saved delta).
+  void clear();
+
+ private:
+  friend class MetricsRegistry;
+  struct HistAcc {
+    std::uint64_t count = 0;
+    std::uint64_t sum_us = 0;
+    std::int64_t min_us = INT64_MAX;
+    std::int64_t max_us = INT64_MIN;
+    std::vector<std::uint64_t> buckets;  // grown lazily to the touched index
+  };
+  struct SpanAcc {
+    std::uint64_t count = 0;
+    std::uint64_t sim_us = 0;
+    std::uint64_t wall_ns = 0;
+  };
+  struct Shard;
+  std::unique_ptr<Shard[]> shards_;
+};
+
 namespace detail {
 /// Stable small shard index for the calling thread. The count is fixed (not
 /// the worker count) so shard *assignment* never affects totals — addition
 /// is commutative — only contention.
 inline constexpr std::size_t kCounterShards = 16;
 [[nodiscard]] std::size_t thread_shard() noexcept;
+
+/// The phase tally (if any) attributed to the calling thread. Workers
+/// executing a pool job inherit the submitting phase's tally for the span
+/// of each shard (exec::WorkerPool installs it via ScopedTally).
+extern thread_local PhaseTally* t_tally;
 }  // namespace detail
+
+/// The tally currently attributed to this thread, or nullptr.
+[[nodiscard]] inline PhaseTally* current_tally() noexcept {
+  return detail::t_tally;
+}
+
+/// RAII: attribute this thread's metric activity to `tally` (may be null to
+/// suspend attribution); restores the previous attribution on destruction.
+class ScopedTally {
+ public:
+  explicit ScopedTally(PhaseTally* tally) noexcept
+      : prev_(detail::t_tally) {
+    detail::t_tally = tally;
+  }
+  ~ScopedTally() { detail::t_tally = prev_; }
+  ScopedTally(const ScopedTally&) = delete;
+  ScopedTally& operator=(const ScopedTally&) = delete;
+
+ private:
+  PhaseTally* prev_;
+};
 
 /// Monotonic counter, sharded to keep parallel-phase increments off a
 /// single contended cache line. Values are merged in canonical shard order.
@@ -57,6 +143,19 @@ class Counter {
     if (!enabled()) return;
     shards_[detail::thread_shard()].value.fetch_add(n,
                                                     std::memory_order_relaxed);
+    if (n != 0 && detail::t_tally != nullptr)
+      detail::t_tally->record_counter(this, n);
+  }
+
+  /// As add(), but bypasses the enabled() gate: the checkpoint-resume path
+  /// (MetricsRegistry::apply_delta) must land its increments even if a
+  /// caller disabled instrumentation, and unlike restore() it must stay
+  /// atomic because other phases may be incrementing concurrently.
+  void accumulate(std::uint64_t n) noexcept {
+    shards_[detail::thread_shard()].value.fetch_add(n,
+                                                    std::memory_order_relaxed);
+    if (n != 0 && detail::t_tally != nullptr)
+      detail::t_tally->record_counter(this, n);
   }
 
   [[nodiscard]] std::uint64_t value() const noexcept {
@@ -64,6 +163,14 @@ class Counter {
     for (const auto& shard : shards_)
       total += shard.value.load(std::memory_order_relaxed);
     return total;
+  }
+
+  /// Subtract a previously recorded amount (MetricsRegistry::retract_delta).
+  /// A single shard may wrap, but value() sums modulo 2^64, so the merged
+  /// total stays exact. Never mirrored into a tally.
+  void retract(std::uint64_t n) noexcept {
+    shards_[detail::thread_shard()].value.fetch_sub(n,
+                                                    std::memory_order_relaxed);
   }
 
   void reset() noexcept {
@@ -161,6 +268,15 @@ class Histogram {
   /// only). The sample's bucket layout must match this histogram's bounds;
   /// a mismatch throws (the journal fingerprint should have caught it).
   void restore(const HistogramSample& sample);
+  /// Fold a delta sample in on top of the current contents (checkpoint
+  /// replay under the task graph): bucket/count/sum adds plus commutative
+  /// min/max folds, all atomic — safe while other phases observe
+  /// concurrently, and mirrored into the current thread's PhaseTally.
+  void accumulate(const HistogramSample& sample);
+  /// Undo a previously accumulated delta: bucket/count/sum subtractions.
+  /// min/max folds are NOT reversible and are left in place — retraction is
+  /// only used on phase-prologue segments, which record no histograms.
+  void retract(const HistogramSample& sample);
   [[nodiscard]] bool diagnostic() const noexcept { return diagnostic_; }
 
  private:
@@ -268,6 +384,44 @@ class MetricsRegistry {
   /// resumed run's observability report is byte-identical.
   void restore(const Snapshot& snap);
 
+  /// Name-sorted snapshot of everything attributed to `tally`: the per-phase
+  /// view of the registry under the task graph. Zero-valued entries are
+  /// skipped; histogram bucket vectors are padded to the registered bucket
+  /// count; gauges are never included (not delta-decomposable). Call only
+  /// when threads recording into `tally` are quiescent.
+  [[nodiscard]] Snapshot delta_snapshot(const PhaseTally& tally) const;
+
+  /// Add a delta snapshot on top of the current registry state (checkpoint
+  /// resume under the task graph, DESIGN.md §15). Unlike restore() this is
+  /// additive and atomic per metric, so it is safe while other phases run;
+  /// the increments are also mirrored into the calling thread's PhaseTally,
+  /// which is how a resumed node's partial records keep accumulating.
+  void apply_delta(const Snapshot& delta);
+
+  /// Register every metric named in `snap` (with its diagnostic flag and
+  /// bucket bounds) without touching any value. Checkpoint resume under the
+  /// task graph: delta records skip zero-valued metrics, so a phase loaded
+  /// from the journal would otherwise leave the names its code registers
+  /// but never increments missing from the final snapshot.
+  void register_skeleton(const Snapshot& snap);
+
+  /// Read a counter's merged value WITHOUT registering the name; 0 when it
+  /// was never registered. Report assembly must use this for names only
+  /// fault paths create (e.g. resolver.upstream.*): a get-or-create read
+  /// would mint a zero-valued registration that leaks into every later
+  /// report in the same process, breaking report-is-a-pure-function-of-
+  /// config across sequential studies.
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+
+  /// Subtract a delta previously recorded into the registry. Used by the
+  /// delta-family checkpoint hook: a resumed phase re-executes its prologue
+  /// (e.g. the platform batch re-acquisition) before load(), re-recording
+  /// work its saved delta already contains — serial mode wipes that with an
+  /// absolute restore; the additive protocol retracts it instead. Exact for
+  /// counters, histogram buckets/count/sum and spans; histogram min/max
+  /// folds are irreversible and left alone (prologues record none).
+  void retract_delta(const Snapshot& delta);
+
  private:
   MetricsRegistry() = default;
 
@@ -277,6 +431,12 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
   std::map<std::string, std::unique_ptr<SpanStat>, std::less<>> spans_;
 };
+
+/// Merge `from` into `into` (both name-sorted snapshots of deltas):
+/// counters/spans add, histograms add element-wise with min/max folds,
+/// gauges ignored. Used to assemble serial-equivalent phase groups from
+/// per-node deltas without touching the registry.
+void merge_delta(Snapshot& into, const Snapshot& from);
 
 /// Default RTT bucket edges (ms) shared by every latency histogram so the
 /// families line up in reports.

@@ -56,6 +56,22 @@ void PhaseProfiler::end() {
   records_.push_back(std::move(record));
 }
 
+PhaseRecord PhaseProfiler::from_delta(std::string name, const Snapshot& delta,
+                                      double wall_ms) {
+  PhaseRecord record;
+  record.name = std::move(name);
+  record.wall_ms = wall_ms;
+  for (const auto& c : delta.counters) {
+    if (c.value == 0) continue;
+    if (is_fault_counter(c.name)) record.faults += c.value;
+    if (c.name == "exec.tasks") record.tasks = c.value;
+    if (c.name == "exec.jobs") record.jobs = c.value;
+    if (!c.diagnostic) record.counters.push_back({c.name, c.value, false});
+  }
+  for (const auto& s : delta.spans) record.sim_us += s.sim_us;
+  return record;
+}
+
 std::string PhaseProfiler::to_json(const std::vector<PhaseRecord>& records) {
   std::string out = "[";
   for (std::size_t i = 0; i < records.size(); ++i) {

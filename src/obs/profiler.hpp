@@ -43,6 +43,17 @@ class PhaseProfiler {
     return records_;
   }
 
+  /// Build one record from a phase-attributed delta snapshot instead of a
+  /// begin/end registry diff — the task-graph path (DESIGN.md §15), where
+  /// overlapping phases make bracketed diffs meaningless. Applies exactly
+  /// the end() rules (fault sum over every counter mentioning faults,
+  /// exec.tasks/exec.jobs extraction, non-diagnostic non-zero counters in
+  /// name order, sim_us as the span sim sum) so a record built either way
+  /// is byte-identical in the JSON export.
+  [[nodiscard]] static PhaseRecord from_delta(std::string name,
+                                              const Snapshot& delta,
+                                              double wall_ms);
+
   /// Stable JSON array of the records (no wall time).
   [[nodiscard]] static std::string to_json(
       const std::vector<PhaseRecord>& records);

@@ -42,13 +42,13 @@ class SpanScope {
   ~SpanScope() {
     if (!stat_) return;
     const auto wall = std::chrono::steady_clock::now() - start_;
+    const auto wall_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(wall).count());
     stat_->count.fetch_add(1, std::memory_order_relaxed);
     stat_->sim_us.fetch_add(sim_us_, std::memory_order_relaxed);
-    stat_->wall_ns.fetch_add(
-        static_cast<std::uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(wall)
-                .count()),
-        std::memory_order_relaxed);
+    stat_->wall_ns.fetch_add(wall_ns, std::memory_order_relaxed);
+    if (PhaseTally* tally = current_tally())
+      tally->record_span(stat_, 1, sim_us_, wall_ns);
   }
 
   /// Credit simulated elapsed time to this span. Call once per simulated

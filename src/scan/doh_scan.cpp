@@ -1,6 +1,7 @@
 #include "scan/doh_scan.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_set>
 
 #include "client/doh.hpp"
@@ -60,6 +61,7 @@ DohScanResult run_doh_scan(const world::World& world,
   engine_config.window = config.scan_window;
   engine_config.pace_qps = config.scan_rate;
   engine_config.cancel = config.cancel;
+  engine_config.pool = config.pool;
   ScanEngine engine(world, engine_config);
   SweepResult sweep = engine.sweep(space, permutation, origins, date);
   result.addresses_probed = sweep.tally.probed;
@@ -76,7 +78,10 @@ DohScanResult run_doh_scan(const world::World& world,
   // address (the learned name supplies SNI and certificate validation). One
   // task per host with an address-derived rng stream, exactly like the DoT
   // campaign's Phase 2, so the result is thread-count invariant.
-  exec::WorkerPool pool(config.thread_count);
+  std::optional<exec::WorkerPool> local_pool;
+  exec::WorkerPool& pool = config.pool != nullptr
+                               ? *config.pool
+                               : local_pool.emplace(config.thread_count);
   const std::uint64_t probe_seed = util::mix64(config.seed ^ 0xD0A5CA4ULL);
   const auto probes = exec::parallel_map(
       pool, sweep.open_hosts,

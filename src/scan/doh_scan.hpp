@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "exec/cancel.hpp"
+#include "exec/executor.hpp"
 #include "fault/retry.hpp"
 #include "sim/duration.hpp"
 #include "util/date.hpp"
@@ -32,6 +33,8 @@ struct DohScanConfig {
   /// Cooperative cancellation for the sweep (the directed-probe tail runs
   /// over the open set only, which is tiny).
   exec::CancelToken* cancel = nullptr;
+  /// Shared worker pool (task-graph mode); null = private pool.
+  exec::WorkerPool* pool = nullptr;
 };
 
 /// One confirmed IP-directed DoH endpoint.

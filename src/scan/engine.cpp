@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <queue>
 #include <utility>
 #include <vector>
@@ -369,7 +370,10 @@ SweepResult ScanEngine::sweep(const ScanSpace& space,
     if (const auto index = space.index_of(addr))
       bound[static_cast<std::size_t>(*index)] = true;
 
-  exec::WorkerPool pool(config_.thread_count);
+  std::optional<exec::WorkerPool> local_pool;
+  exec::WorkerPool& pool = config_.pool != nullptr
+                               ? *config_.pool
+                               : local_pool.emplace(config_.thread_count);
   std::vector<ShardPartial> partials(kSweepShards);
   pool.parallel_for_shards(
       kSweepShards,

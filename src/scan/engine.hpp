@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "exec/cancel.hpp"
+#include "exec/executor.hpp"
 #include "fault/retry.hpp"
 #include "scan/permutation.hpp"
 #include "scan/space.hpp"
@@ -52,6 +53,8 @@ struct EngineConfig {
   /// (counted per shard), giving chaos tests a deterministic mid-shard cut
   /// at thread_count 1.
   std::uint64_t cancel_after_tx = 0;
+  /// Shared worker pool (task-graph mode); null = private pool.
+  exec::WorkerPool* pool = nullptr;
 };
 
 /// Engine-side accounting for one sweep. The rejected_* counters are the

@@ -145,7 +145,10 @@ std::vector<util::Ipv4> Scanner::sweep_once(const util::Date& date,
       sim::Millis sim_elapsed{0.0};  // credited to the sweep span at merge
     };
     std::vector<SweepPartial> partials(kSweepShards);
-    exec::WorkerPool pool(config_.thread_count);
+    std::optional<exec::WorkerPool> local_pool;
+    exec::WorkerPool& pool = config_.pool != nullptr
+                                 ? *config_.pool
+                                 : local_pool.emplace(config_.thread_count);
     pool.parallel_for_shards(kSweepShards, [&](std::size_t shard) {
       const auto [first, last] =
           exec::shard_range(permutation.steps(), kSweepShards, shard);
@@ -202,7 +205,10 @@ ScanSnapshot Scanner::scan_once(const util::Date& date) {
   ScanSnapshot snapshot;
   snapshot.date = date;
   const std::vector<util::Ipv4> open_hosts = sweep_once(date, snapshot);
-  exec::WorkerPool pool(config_.thread_count);
+  std::optional<exec::WorkerPool> local_pool;
+  exec::WorkerPool& pool = config_.pool != nullptr
+                               ? *config_.pool
+                               : local_pool.emplace(config_.thread_count);
 
   // Phase 2: application-layer DoT probing of every open host, one task per
   // host with an address-derived rng stream (shard-count independent); the

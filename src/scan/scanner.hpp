@@ -9,6 +9,7 @@
 
 #include "exec/cancel.hpp"
 #include "exec/checkpoint_hook.hpp"
+#include "exec/executor.hpp"
 #include "fault/retry.hpp"
 #include "scan/doh_prober.hpp"
 #include "scan/dot_prober.hpp"
@@ -103,6 +104,11 @@ struct CampaignConfig {
   /// Scan-boundary checkpointing: the campaign saves its snapshots, the
   /// circuit-breaker strikes and the scan serial after every non-final scan.
   exec::CheckpointHook* checkpoint = nullptr;
+  /// Shared worker pool (task-graph mode, DESIGN.md §15). When set the
+  /// campaign fans out on it instead of constructing its own, so shards
+  /// from overlapping phases interleave in one queue; thread_count is then
+  /// ignored. Null = private pool, as before.
+  exec::WorkerPool* pool = nullptr;
 };
 
 class Scanner {

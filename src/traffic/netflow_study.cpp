@@ -1,6 +1,7 @@
 #include "traffic/netflow_study.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <vector>
 
 #include "exec/executor.hpp"
@@ -143,7 +144,10 @@ NetflowStudyResults NetflowStudy::run() {
     }
   }
 
-  exec::WorkerPool pool(config_.thread_count);
+  std::optional<exec::WorkerPool> local_pool;
+  exec::WorkerPool& pool = config_.pool != nullptr
+                               ? *config_.pool
+                               : local_pool.emplace(config_.thread_count);
   bool cancelled = config_.cancel != nullptr && config_.cancel->cancelled();
   for (std::size_t g = groups_done; g < kGroups && !cancelled; ++g) {
     std::vector<ShardPartial> partials(kGroupShards,

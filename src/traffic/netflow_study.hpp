@@ -13,6 +13,7 @@
 
 #include "exec/cancel.hpp"
 #include "exec/checkpoint_hook.hpp"
+#include "exec/executor.hpp"
 #include "traffic/backbone.hpp"
 #include "traffic/netflow.hpp"
 #include "traffic/scan_detector.hpp"
@@ -33,6 +34,8 @@ struct NetflowStudyConfig {
   /// an executed-shard prefix. Both optional.
   exec::CancelToken* cancel = nullptr;
   exec::CheckpointHook* checkpoint = nullptr;
+  /// Shared worker pool (task-graph mode); null = private pool.
+  exec::WorkerPool* pool = nullptr;
 };
 
 struct NetblockStat {

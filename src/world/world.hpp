@@ -258,6 +258,16 @@ class World {
   void restore_resolver_caches(
       const std::vector<std::vector<cache::ExportedEntry>>& caches);
 
+  /// Task-graph variants (DESIGN.md §15): export only the entries the
+  /// attribution token `owner` stored (a phase's obs::current_tally()
+  /// pointer), and merge a capture additively instead of replacing — under
+  /// phase overlap a record must carry and replay exactly its own phase's
+  /// stores, nothing a concurrent phase wrote.
+  [[nodiscard]] std::vector<std::vector<cache::ExportedEntry>>
+  export_resolver_caches(const void* owner) const;
+  void merge_resolver_caches(
+      const std::vector<std::vector<cache::ExportedEntry>>& caches);
+
  private:
   WorldConfig config_;
   net::Network network_;

@@ -6,13 +6,17 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <numeric>
 #include <set>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "exec/cancel.hpp"
+#include "obs/metrics.hpp"
 #include "util/env.hpp"
 
 namespace encdns {
@@ -26,6 +30,17 @@ TEST(ResolveThreadCount, ExplicitRequestWins) {
 TEST(ResolveThreadCount, AutoIsAtLeastOne) {
   ::unsetenv("ENCDNS_THREADS");
   EXPECT_GE(exec::resolve_thread_count(0), 1u);
+}
+
+TEST(ParallelismAvailable, TracksTheAutoResolvedWorkerCount) {
+  // The bench layer keys "speedup": null and its wall-clock guards off this
+  // predicate, so pin it to resolve_thread_count(0) exactly.
+  ::setenv("ENCDNS_THREADS", "1", 1);
+  EXPECT_FALSE(exec::parallelism_available());
+  ::setenv("ENCDNS_THREADS", "4", 1);
+  EXPECT_TRUE(exec::parallelism_available());
+  ::unsetenv("ENCDNS_THREADS");
+  EXPECT_EQ(exec::parallelism_available(), exec::resolve_thread_count(0) > 1);
 }
 
 TEST(ResolveThreadCount, EnvOverrideApplies) {
@@ -247,6 +262,36 @@ TEST(ScratchArena, ThreadLocalArenasAreDistinctPerWorker) {
   }
   EXPECT_GE(distinct.size(), 1u);
   EXPECT_LE(distinct.size(), 4u + 1u);  // workers, +1 if the caller ran shards
+}
+
+TEST(WorkerPoolMetrics, PreCancelledJobExecutesNothingAndStealsNothing) {
+  // exec.steals counts shards a worker actually RAN on behalf of another
+  // thread. A job whose token tripped before submission only hands out
+  // claim-and-skip bookkeeping — the drain loop must retire every shard
+  // without ever counting one as stolen work.
+  auto& registry = obs::MetricsRegistry::global();
+  registry.reset();
+  exec::WorkerPool pool(4);
+  exec::CancelToken cancel;
+  cancel.cancel();
+  std::atomic<std::uint64_t> calls{0};
+  const std::size_t executed = pool.parallel_for_shards(
+      64, [&](std::size_t) { calls.fetch_add(1); }, &cancel);
+  EXPECT_EQ(executed, 0u);
+  EXPECT_EQ(calls.load(), 0u);
+  EXPECT_EQ(registry.counter("exec.steals", true).value(), 0u);
+}
+
+TEST(WorkerPoolMetrics, QueuePeakSamplesDepthBeforeTheFirstClaim) {
+  // Depth is sampled before each claim, so a fresh job of N shards peaks at
+  // N — not N-1, which a post-claim sample would report.
+  auto& registry = obs::MetricsRegistry::global();
+  registry.reset();
+  exec::WorkerPool pool(2);
+  pool.parallel_for_shards(8, [](std::size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  });
+  EXPECT_EQ(registry.gauge("exec.queue_peak", true).value(), 8);
 }
 
 TEST(ScratchArena, WorkerTasksRunAllocationFreeAfterWarmup) {

@@ -1,0 +1,240 @@
+// TaskGraph determinism contract (DESIGN.md §15): scheduling perturbations
+// change wall time, never statuses, merge order, or outputs; cycles fail
+// closed before any body runs; failures cascade exactly along edges.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/executor.hpp"
+#include "exec/graph.hpp"
+#include "util/rng.hpp"
+
+namespace encdns {
+namespace {
+
+using exec::TaskGraph;
+using Status = exec::TaskGraph::NodeStatus;
+
+TEST(TaskGraph, DiamondMergesInDeclarationOrderEvenWhenLaterNodesFinishFirst) {
+  TaskGraph graph;
+  std::vector<std::uint64_t> out(4, 0);
+  const auto a = graph.add("a", [&] { out[0] = 1; });
+  // b finishes long after c: merge order must still be declaration order.
+  const auto b = graph.add(
+      "b",
+      [&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+        out[1] = out[0] + 10;
+      },
+      {}, {a});
+  const auto c = graph.add("c", [&] { out[2] = out[0] + 100; }, {}, {a});
+  const auto d = graph.add("d", [&] { out[3] = out[1] + out[2]; }, {}, {b, c});
+  graph.run();
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{1, 11, 101, 112}));
+  for (const auto id : {a, b, c, d}) EXPECT_EQ(graph.status(id), Status::kDone);
+  EXPECT_EQ(graph.merge_order(),
+            (std::vector<std::string>{"a", "b", "c", "d"}));
+}
+
+TEST(TaskGraph, CycleFailsClosedBeforeAnyBodyStarts) {
+  TaskGraph graph;
+  std::atomic<bool> ran{false};
+  const auto a = graph.add("a", [&] { ran = true; });
+  const auto b = graph.add("b", [&] { ran = true; }, {}, {a});
+  const auto c = graph.add("c", [&] { ran = true; }, {}, {b});
+  graph.add_edge(c, a);  // closes the cycle
+  EXPECT_THROW(graph.run(), exec::GraphError);
+  EXPECT_FALSE(ran.load());
+  for (const auto id : {a, b, c})
+    EXPECT_EQ(graph.status(id), Status::kPending);
+}
+
+TEST(TaskGraph, MalformedEdgesAndReuseAreRejected) {
+  TaskGraph graph;
+  const auto a = graph.add("a", [] {});
+  EXPECT_THROW(graph.add_edge(a, a), exec::GraphError);
+  EXPECT_THROW(graph.add_edge(a, 99), exec::GraphError);
+  EXPECT_THROW(graph.add("b", [] {}, {}, {7}), exec::GraphError);
+  graph.run();
+  EXPECT_THROW(graph.run(), exec::GraphError);
+  EXPECT_THROW(graph.add("late", [] {}), exec::GraphError);
+  EXPECT_THROW(graph.add_edge(a, a), exec::GraphError);
+}
+
+TEST(TaskGraph, FailedBodySkipsItsMergeAndTransitiveDependents) {
+  TaskGraph graph;
+  std::atomic<bool> bad_merge_ran{false};
+  const auto a = graph.add("a", [] {});
+  const auto b = graph.add(
+      "b", [] { throw std::runtime_error("b exploded"); },
+      [&] { bad_merge_ran = true; }, {a});
+  const auto c = graph.add("c", [] {}, {}, {b});
+  const auto d = graph.add("d", [] {}, {}, {c});
+  const auto e = graph.add("e", [] {});  // independent: must still complete
+  try {
+    graph.run();
+    FAIL() << "run() must rethrow the failed body's exception";
+  } catch (const std::runtime_error& err) {
+    EXPECT_STREQ(err.what(), "b exploded");
+  }
+  EXPECT_FALSE(bad_merge_ran.load());
+  EXPECT_EQ(graph.status(a), Status::kDone);
+  EXPECT_EQ(graph.status(b), Status::kFailed);
+  EXPECT_EQ(graph.status(c), Status::kSkipped);
+  EXPECT_EQ(graph.status(d), Status::kSkipped);
+  EXPECT_EQ(graph.status(e), Status::kDone);
+  EXPECT_EQ(graph.merge_order(), (std::vector<std::string>{"a", "e"}));
+}
+
+TEST(TaskGraph, MergeFailureSurfacesButDoesNotSkipDependents) {
+  // Dependents are released at BODY completion — a merge failure is a
+  // publication problem, not a data problem, so downstream bodies still run.
+  TaskGraph graph;
+  std::atomic<bool> dependent_ran{false};
+  const auto a = graph.add(
+      "a", [] {}, [] { throw std::runtime_error("merge exploded"); });
+  const auto b = graph.add("b", [&] { dependent_ran = true; }, {}, {a});
+  try {
+    graph.run();
+    FAIL() << "run() must rethrow the failed merge's exception";
+  } catch (const std::runtime_error& err) {
+    EXPECT_STREQ(err.what(), "merge exploded");
+  }
+  EXPECT_TRUE(dependent_ran.load());
+  EXPECT_EQ(graph.status(a), Status::kFailed);
+  EXPECT_EQ(graph.status(b), Status::kDone);
+}
+
+// ---------------------------------------------------------------------------
+// Property test: random DAGs with throwing nodes settle identically under
+// perturbed schedules and shared worker pools of 1/2/8 threads. The graph's
+// whole reason to exist is that scheduling shapes wall time, never results.
+
+struct DagOutcome {
+  std::vector<Status> statuses;
+  std::vector<std::string> merge_order;
+  std::vector<std::uint64_t> outputs;
+  std::string error;
+
+  bool operator==(const DagOutcome& other) const {
+    return statuses == other.statuses && merge_order == other.merge_order &&
+           outputs == other.outputs && error == other.error;
+  }
+};
+
+constexpr std::size_t kNodes = 12;
+constexpr std::uint64_t kUnset = 0xDEADDEADDEADDEADULL;
+
+// Build and run one random DAG. The structure (edges, which nodes throw) is
+// a pure function of `seed`; `perturbation` only shifts per-node sleeps, and
+// `pool_threads` only changes how each body's shard fan-out is scheduled.
+DagOutcome run_random_dag(std::uint64_t seed, std::uint64_t perturbation,
+                          unsigned pool_threads) {
+  util::Rng structure(util::mix64(seed));
+  exec::WorkerPool pool(pool_threads);
+  TaskGraph graph;
+  std::vector<std::uint64_t> outputs(kNodes, kUnset);
+  std::vector<std::vector<TaskGraph::NodeId>> deps(kNodes);
+  std::vector<bool> throws(kNodes, false);
+
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    for (std::size_t j = 0; j < i; ++j)
+      if (structure.chance(0.25)) deps[i].push_back(j);
+    throws[i] = structure.chance(0.15);
+    const std::string name = "n" + std::to_string(i);
+    graph.add(
+        name,
+        [&, i, name] {
+          // Jitter derived from the perturbation: varies the schedule
+          // between repetitions without touching any computed value.
+          const auto jitter =
+              exec::shard_rng(perturbation, i).below(3000);
+          std::this_thread::sleep_for(std::chrono::microseconds(jitter));
+          if (throws[i]) throw std::runtime_error(name);
+          // Deterministic shard fan-out over the shared pool, folding the
+          // completed dependencies' outputs in canonical order.
+          std::uint64_t acc = util::mix64(seed ^ i);
+          for (const auto dep : deps[i]) acc = util::mix64(acc ^ outputs[dep]);
+          std::vector<std::uint64_t> shard_out(8, 0);
+          pool.parallel_for_shards(shard_out.size(), [&](std::size_t s) {
+            shard_out[s] = exec::shard_rng(acc, s).next();
+          });
+          for (const auto v : shard_out) acc ^= v;
+          outputs[i] = acc;
+        },
+        {}, deps[i]);
+  }
+
+  DagOutcome outcome;
+  try {
+    graph.run();
+  } catch (const std::runtime_error& err) {
+    outcome.error = err.what();
+  }
+  for (std::size_t i = 0; i < kNodes; ++i)
+    outcome.statuses.push_back(graph.status(i));
+  outcome.merge_order = graph.merge_order();
+  outcome.outputs = std::move(outputs);
+
+  // Structural invariants that must hold for every schedule.
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    switch (outcome.statuses[i]) {
+      case Status::kDone:
+        EXPECT_NE(outcome.outputs[i], kUnset) << "done node " << i;
+        break;
+      case Status::kFailed:
+        EXPECT_TRUE(throws[i]) << "only throwing nodes may fail";
+        break;
+      case Status::kSkipped: {
+        bool bad_dep = false;
+        for (const auto dep : deps[i])
+          bad_dep = bad_dep || outcome.statuses[dep] == Status::kFailed ||
+                    outcome.statuses[dep] == Status::kSkipped;
+        EXPECT_TRUE(bad_dep) << "skipped node " << i << " needs a bad dep";
+        EXPECT_EQ(outcome.outputs[i], kUnset);
+        break;
+      }
+      default:
+        ADD_FAILURE() << "node " << i << " did not settle";
+    }
+  }
+  // run() rethrows the first failure in declaration order.
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    if (outcome.statuses[i] == Status::kFailed) {
+      EXPECT_EQ(outcome.error, "n" + std::to_string(i));
+      break;
+    }
+  }
+  // Merge order is a subsequence of declaration order: strictly increasing
+  // node indices.
+  std::size_t last = 0;
+  for (const auto& name : outcome.merge_order) {
+    const auto idx = static_cast<std::size_t>(std::stoul(name.substr(1)));
+    EXPECT_TRUE(outcome.merge_order.front() == name || idx > last);
+    last = idx;
+  }
+  return outcome;
+}
+
+TEST(TaskGraph, RandomDagsSettleIdenticallyUnderPerturbedSchedules) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const DagOutcome baseline = run_random_dag(seed, /*perturbation=*/0,
+                                               /*pool_threads=*/2);
+    std::uint64_t perturbation = 1;
+    for (const unsigned pool_threads : {1u, 2u, 8u}) {
+      const DagOutcome outcome =
+          run_random_dag(seed, perturbation++, pool_threads);
+      EXPECT_EQ(outcome, baseline)
+          << "seed " << seed << " pool " << pool_threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace encdns

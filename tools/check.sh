@@ -108,6 +108,49 @@ run_chaos() {
   echo "kill+resume run is byte-identical to the uninterrupted reference."
 }
 
+run_dag_guard() {
+  # DESIGN.md §15: the task-graph schedule must be invisible in the output.
+  # A serial (ENCDNS_DAG=0) reference run writes the golden corpus and the
+  # stable obs JSON; task-graph runs at 1, 2 and 8 threads must reproduce
+  # both byte for byte. bench_macro_study --dag-guard re-checks the report
+  # identity in-process and holds the critical-path wall-clock floor on
+  # multi-core machines. Finally a checkpointed task-graph run is SIGKILLed
+  # mid-flight — overlapping phases and all — and resumed at a different
+  # thread count; the survivor must still match the serial reference.
+  echo "=== task-graph schedule guard ==="
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "${tmp}"' RETURN
+  ENCDNS_DAG=0 ./build/tools/encdns_study \
+    --golden-dir "${tmp}/ref" --obs-json "${tmp}/ref.json" >/dev/null
+
+  local t
+  for t in 1 2 8; do
+    ENCDNS_DAG=1 ENCDNS_THREADS="${t}" ./build/tools/encdns_study \
+      --golden-dir "${tmp}/dag" --obs-json "${tmp}/dag.json" >/dev/null
+    diff -r "${tmp}/ref" "${tmp}/dag"
+    cmp "${tmp}/ref.json" "${tmp}/dag.json"
+    rm -rf "${tmp}/dag" "${tmp}/dag.json"
+  done
+
+  ./build/bench/bench_macro_study --dag-guard
+
+  local rc=0
+  ENCDNS_DAG=1 ENCDNS_THREADS=2 ENCDNS_CHECKPOINT_KILL_AFTER=5 \
+    ./build/tools/encdns_study --checkpoint-dir "${tmp}/ckpt" \
+    --golden-dir "${tmp}/out" --obs-json "${tmp}/out.json" >/dev/null 2>&1 || rc=$?
+  if [ "${rc}" -ne 137 ]; then
+    echo "dag-guard: expected SIGKILL (137) at commit 5, got ${rc}" >&2
+    return 1
+  fi
+  ENCDNS_DAG=1 ENCDNS_THREADS=8 ./build/tools/encdns_study \
+    --checkpoint-dir "${tmp}/ckpt" --resume \
+    --golden-dir "${tmp}/out" --obs-json "${tmp}/out.json" >/dev/null
+  diff -r "${tmp}/ref" "${tmp}/out"
+  cmp "${tmp}/ref.json" "${tmp}/out.json"
+  echo "task-graph runs are byte-identical to serial, including kill/resume."
+}
+
 run_checkpoint_guard() {
   # Journaling must not perturb the phase and must keep at least a third of
   # the checkpoint-off throughput (quick scale is its worst case — see
@@ -134,6 +177,7 @@ run_pass "plain" build ""
 run_golden
 run_cache_guard
 run_chaos
+run_dag_guard
 run_checkpoint_guard
 run_scan_guard
 run_soak

@@ -48,6 +48,11 @@ void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 #include <string>
 #include <vector>
 
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <cmath>
+
 #include "client/do53.hpp"
 #include "client/doh.hpp"
 #include "client/dot.hpp"
@@ -55,6 +60,7 @@ void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 #include "exec/executor.hpp"
 #include "http/url.hpp"
 #include "scan/scanner.hpp"
+#include "traffic/trend_study.hpp"
 #include "world/world.hpp"
 
 namespace {
@@ -421,6 +427,147 @@ std::vector<Row> run_scan_guard(bool& ok) {
   return {legacy_row, stateless_row};
 }
 
+/// Current resident set in bytes (/proc/self/statm), for before/after deltas.
+unsigned long long resident_bytes() {
+  std::ifstream statm("/proc/self/statm");
+  unsigned long long pages_total = 0, pages_resident = 0;
+  statm >> pages_total >> pages_resident;
+  return pages_resident *
+         static_cast<unsigned long long>(sysconf(_SC_PAGESIZE));
+}
+
+/// --netflow-guard BASELINE: the DESIGN.md §16 streaming-pipeline contract.
+/// Runs the full-scale multi-year trend study (>= 100x the §5.2 sampled
+/// corpus) in its own process and requires:
+///  (a) the acceptance floor — >= 5,359,100 sampled flow records;
+///  (b) fixed memory — the deterministic live-state high-water mark under
+///      64 MiB, the resident-set delta across the run under 256 MiB, and
+///      process peak RSS (ru_maxrss; this mode early-returns, so nothing
+///      else has inflated it) under 1 GiB;
+///  (c) sketch accuracy — a 0.02x validate_exact run where every provider's
+///      HLL distinct-client estimate sits within 3x the 1.04/sqrt(m) bound
+///      of the exact count;
+///  (d) vs the committed baseline: the flow-record count matches exactly
+///      (determinism) and flows/s stays above 0.25x baseline. A missing
+///      baseline only warns — the bootstrap run that first writes
+///      BENCH_netflow.json — while (a)-(c) always bind.
+std::vector<Row> run_netflow_guard(const std::string& baseline_path, bool& ok) {
+  ok = true;
+  const unsigned long long rss_before = resident_bytes();
+  traffic::TrendStudyResults trend;
+  const Row trend_row = run_row("netflow_trend", "flow", [&] {
+    traffic::TrendStudyConfig config;  // defaults: scale=1, 4-year horizon
+    trend = traffic::TrendStudy(config).run();
+    return static_cast<unsigned long long>(trend.total_records);
+  });
+  const unsigned long long rss_after = resident_bytes();
+
+  if (trend.total_records < 100ull * 53591ull) {
+    std::fprintf(stderr,
+                 "netflow-guard: trend corpus below the 100x floor (%llu vs "
+                 "%llu records)\n",
+                 static_cast<unsigned long long>(trend.total_records),
+                 100ull * 53591ull);
+    ok = false;
+  }
+  if (trend.peak_tracked_bytes >= (64ull << 20)) {
+    std::fprintf(stderr,
+                 "netflow-guard: live aggregation state too large (%llu bytes "
+                 "tracked; ceiling 64 MiB)\n",
+                 static_cast<unsigned long long>(trend.peak_tracked_bytes));
+    ok = false;
+  }
+  const unsigned long long rss_delta =
+      rss_after > rss_before ? rss_after - rss_before : 0;
+  if (rss_delta >= (256ull << 20)) {
+    std::fprintf(stderr,
+                 "netflow-guard: resident set grew %llu MiB across the run "
+                 "(ceiling 256 MiB) — day retirement is not releasing state\n",
+                 rss_delta >> 20);
+    ok = false;
+  }
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  const unsigned long long peak_rss_bytes =
+      static_cast<unsigned long long>(usage.ru_maxrss) * 1024ull;
+  if (peak_rss_bytes >= (1ull << 30)) {
+    std::fprintf(stderr,
+                 "netflow-guard: process peak RSS %llu MiB (ceiling 1 GiB)\n",
+                 peak_rss_bytes >> 20);
+    ok = false;
+  }
+
+  traffic::TrendStudyResults validation;
+  const Row validate_row = run_row("netflow_trend_validate", "flow", [&] {
+    traffic::TrendStudyConfig config;
+    config.scale = 0.02;
+    config.validate_exact = true;
+    validation = traffic::TrendStudy(config).run();
+    return static_cast<unsigned long long>(validation.total_records);
+  });
+  const double sigma =
+      traffic::Hll(traffic::Hll::kDefaultPrecision).relative_error_bound();
+  for (const auto& provider : validation.providers) {
+    if (provider.clients_exact == 0) {
+      std::fprintf(stderr, "netflow-guard: %s saw no clients at 0.02x\n",
+                   provider.name.c_str());
+      ok = false;
+      continue;
+    }
+    const double rel_error =
+        std::abs(static_cast<double>(provider.clients_estimated) -
+                 static_cast<double>(provider.clients_exact)) /
+        static_cast<double>(provider.clients_exact);
+    if (rel_error > 3.0 * sigma) {
+      std::fprintf(stderr,
+                   "netflow-guard: %s sketch off by %.2f%% (est %llu vs exact "
+                   "%llu; 3-sigma bound %.2f%%)\n",
+                   provider.name.c_str(), rel_error * 100.0,
+                   static_cast<unsigned long long>(provider.clients_estimated),
+                   static_cast<unsigned long long>(provider.clients_exact),
+                   3.0 * sigma * 100.0);
+      ok = false;
+    }
+  }
+
+  std::ifstream in(baseline_path);
+  if (!in) {
+    std::printf(
+        "netflow-guard: no baseline at %s — absolute checks only "
+        "(commit the fresh JSON to arm the relative ones)\n",
+        baseline_path.c_str());
+  } else {
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+    for (const Row& row : {trend_row, validate_row}) {
+      const BaselineRow base = find_baseline_row(text, row.name);
+      if (!base.found) {
+        std::fprintf(stderr, "netflow-guard: %s missing from baseline\n",
+                     row.name.c_str());
+        ok = false;
+        continue;
+      }
+      if (row.queries != base.queries) {
+        std::fprintf(stderr,
+                     "netflow-guard: %s record count drifted (%llu vs "
+                     "baseline %llu) — the trend engine is no longer "
+                     "deterministic\n",
+                     row.name.c_str(), row.queries, base.queries);
+        ok = false;
+      }
+      if (exec::parallelism_available() && row.qps < 0.25 * base.qps) {
+        std::fprintf(stderr,
+                     "netflow-guard: %s throughput collapsed (%.1f flows/s "
+                     "vs baseline %.1f)\n",
+                     row.name.c_str(), row.qps, base.qps);
+        ok = false;
+      }
+    }
+  }
+  return {trend_row, validate_row};
+}
+
 /// --dag-guard: the DESIGN.md §15 schedule-invisibility contract, in-process.
 /// Runs the full quick-scale study once under the serial schedule
 /// (ENCDNS_DAG=0) and once under the task graph (ENCDNS_DAG=1) and requires
@@ -535,6 +682,7 @@ int main(int argc, char** argv) {
   std::string out_path = "BENCH_throughput.json";
   std::string guard_path;
   std::string checkpoint_guard_dir;
+  std::string netflow_guard_baseline;
   bool scan_guard = false;
   bool dag_guard = false;
   std::vector<std::string> phase_filter;
@@ -562,6 +710,8 @@ int main(int argc, char** argv) {
       checkpoint_guard_dir = next();
     } else if (arg == "--scan-guard") {
       scan_guard = true;
+    } else if (arg == "--netflow-guard") {
+      netflow_guard_baseline = next();
     } else if (arg == "--dag-guard") {
       dag_guard = true;
     } else if (arg == "--phases") {
@@ -586,7 +736,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--scale quick|full] [--out FILE] "
                    "[--guard BASELINE] [--checkpoint-guard DIR] "
-                   "[--scan-guard] [--dag-guard] [--phases CSV]\n",
+                   "[--scan-guard] [--netflow-guard BASELINE] [--dag-guard] "
+                   "[--phases CSV]\n",
                    argv[0]);
       return 2;
     }
@@ -615,6 +766,34 @@ int main(int argc, char** argv) {
                   row.name.c_str(), row.queries, row.unit.c_str(), row.seconds,
                   row.qps, row.allocs_per_query);
     std::printf("dag-guard: %s\n", ok ? "met" : "NOT met");
+    return ok ? 0 : 1;
+  }
+
+  // The streaming trend pipeline (throughput floor + fixed-memory ceiling +
+  // sketch accuracy) is its own mode, writing its own BENCH_netflow.json.
+  if (!netflow_guard_baseline.empty()) {
+    bool ok = false;
+    const std::vector<Row> rows = run_netflow_guard(netflow_guard_baseline, ok);
+    for (const Row& row : rows)
+      std::printf("%-22s %12llu %-12s %8.3f s %12.1f qps %8.2f allocs/q\n",
+                  row.name.c_str(), row.queries, row.unit.c_str(), row.seconds,
+                  row.qps, row.allocs_per_query);
+    std::string json = "{\n  \"experiment\": \"netflow_trend_guard\",\n";
+    append_rows(json, "rows", rows);
+    json += ",\n  \"guard\": \"records >= 100x corpus, tracked < 64MiB, rss "
+            "delta < 256MiB, sketch within 3 sigma, flows equal and qps >= "
+            "0.25x baseline\",\n";
+    json += std::string("  \"guard_met\": ") + (ok ? "true" : "false") + "\n}\n";
+    const std::string path =
+        out_path == "BENCH_throughput.json" ? "BENCH_netflow.json" : out_path;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("netflow-guard: %s\n", ok ? "met" : "NOT met");
     return ok ? 0 : 1;
   }
 

@@ -72,7 +72,7 @@ const std::vector<std::string>& canonical_phases() {
       "scan_campaign",       "doh_discovery", "doh_scan",
       "local_probe",         "reachability_global", "reachability_cn",
       "performance",         "no_reuse",      "netflow",
-      "passive_dns"};
+      "netflow_trend",       "passive_dns"};
   return phases;
 }
 

@@ -565,6 +565,55 @@ util::Table experiment_figure12(Study& study) {
   table.add_row({"-", "scanner-flagged client /24s",
                  fmt_count(static_cast<std::int64_t>(results.flagged_client_blocks)),
                  "", ""});
+  // The streaming HLL sketch over the same /24 stream, next to the exact
+  // count it is validated against (DESIGN.md §16).
+  table.add_row({"-", "client /24s (HLL estimate)",
+                 fmt_count(static_cast<std::int64_t>(results.distinct_block_estimate)),
+                 "", ""});
+  return table;
+}
+
+util::Table experiment_figure11_trend(Study& study) {
+  // The Figure-11-style multi-year extension: per-provider sampled flow
+  // volume and HLL distinct-client estimates at half-year checkpoints, the
+  // adoption events that shaped the curves, and per-provider growth.
+  const auto& results = study.netflow_trend();
+  util::Table table(
+      "Figure 11 (trend): Multi-year encrypted-DNS adoption by provider",
+      {"Month", "Provider", "Flows (sampled)", "Distinct clients (est.)"});
+  annotate_coverage(table, study, {"netflow_trend"});
+  for (const auto& provider : results.providers) {
+    for (const auto& month : provider.monthly) {
+      if (month.month.month != 1 && month.month.month != 7) continue;
+      table.add_row(
+          {month.month.month_label(), provider.name,
+           fmt_count(static_cast<std::int64_t>(month.records)),
+           fmt_count(static_cast<std::int64_t>(month.clients_estimated))});
+    }
+  }
+  for (const auto& event : results.events) {
+    table.add_row({event.from.to_string(),
+                   event.provider.empty() ? "(all)" : event.provider,
+                   traffic::adoption_event_kind_label(event.kind),
+                   event.label + " (x" + fmt(event.multiplier, 2) + ")"});
+  }
+  for (const auto& provider : results.providers) {
+    if (provider.monthly.size() < 2) continue;
+    const auto& first = provider.monthly.front();
+    const auto& last = provider.monthly.back();
+    table.add_row(
+        {"Growth " + first.month.month_label() + " -> " + last.month.month_label(),
+         provider.name,
+         fmt_growth(static_cast<double>(first.records),
+                    static_cast<double>(last.records)),
+         fmt_count(static_cast<std::int64_t>(provider.clients_estimated))});
+  }
+  table.add_row({"-", "total flows",
+                 fmt_count(static_cast<std::int64_t>(results.total_records)), ""});
+  table.add_row(
+      {"-", "distinct clients (est., all providers)",
+       fmt_count(static_cast<std::int64_t>(results.clients_estimated_total())),
+       ""});
   return table;
 }
 
@@ -682,6 +731,8 @@ const std::vector<Experiment>& all_experiments() {
       // above (and with it the golden corpus bytes) is unchanged.
       {"doh-scan", "IP-directed DoH discovery scan (E-DoH variant)",
        [](Study& s) { return experiment_doh_scan(s); }},
+      {"fig11-trend", "Multi-year encrypted-DNS adoption trend",
+       [](Study& s) { return experiment_figure11_trend(s); }},
   };
   return experiments;
 }

@@ -32,6 +32,7 @@ namespace encdns::core {
 [[nodiscard]] util::Table experiment_figure10(Study& study);
 [[nodiscard]] util::Table experiment_table7(Study& study);
 [[nodiscard]] util::Table experiment_figure11(Study& study);
+[[nodiscard]] util::Table experiment_figure11_trend(Study& study);
 [[nodiscard]] util::Table experiment_figure12(Study& study);
 [[nodiscard]] util::Table experiment_figure13(Study& study);
 [[nodiscard]] util::Table experiment_table8();

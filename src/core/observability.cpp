@@ -44,7 +44,7 @@ const ObservabilityReport& Study::observability_report() {
   const bool fresh = !scans_ && !doh_discovery_ && !doh_scan_ &&
                      !local_probe_ && !reach_global_ && !reach_cn_ &&
                      !performance_ && !no_reuse_ && !netflow_ &&
-                     !passive_dns_;
+                     !netflow_trend_ && !passive_dns_;
   if (fresh) obs::MetricsRegistry::global().reset();
 
   obs::PhaseProfiler profiler;
@@ -72,6 +72,7 @@ const ObservabilityReport& Study::observability_report() {
 
   profiler.begin("netflow");
   (void)netflow();
+  (void)netflow_trend();
   profiler.end();
 
   profiler.begin("passive_dns");
@@ -110,6 +111,8 @@ void Study::force_phase(const std::string& phase) {
     (void)no_reuse();
   } else if (phase == "netflow") {
     (void)netflow();
+  } else if (phase == "netflow_trend") {
+    (void)netflow_trend();
   } else if (phase == "passive_dns") {
     (void)passive_dns();
   } else {
@@ -184,7 +187,7 @@ const ObservabilityReport& Study::observability_report_dag() {
   const bool fresh = !scans_ && !doh_discovery_ && !doh_scan_ &&
                      !local_probe_ && !reach_global_ && !reach_cn_ &&
                      !performance_ && !no_reuse_ && !netflow_ &&
-                     !passive_dns_;
+                     !netflow_trend_ && !passive_dns_;
   if (fresh) obs::MetricsRegistry::global().reset();
 
   graph_mode_ = true;
@@ -224,6 +227,8 @@ const ObservabilityReport& Study::observability_report_dag() {
                   {reach_id});
   (void)graph.add("no_reuse", body("no_reuse"), merge("no_reuse"));
   (void)graph.add("netflow", body("netflow"), merge("netflow"));
+  (void)graph.add("netflow_trend", body("netflow_trend"),
+                  merge("netflow_trend"));
   (void)graph.add("passive_dns", body("passive_dns"), merge("passive_dns"));
   try {
     graph.run();
@@ -249,7 +254,7 @@ const ObservabilityReport& Study::observability_report_dag() {
       {"certs", {"certs"}},
       {"reachability", {"reachability_global", "reachability_cn"}},
       {"performance", {"performance", "no_reuse"}},
-      {"netflow", {"netflow"}},
+      {"netflow", {"netflow", "netflow_trend"}},
       {"passive_dns", {"passive_dns"}},
   };
   for (const auto& group : groups) {

@@ -33,6 +33,7 @@ StudyConfig StudyConfig::quick() {
   config.local_probe.probe_count = 1500;
   config.netflow.backbone.tail_blocks = 2200;
   config.netflow.backbone.medium_blocks = 120;
+  config.trend.scale = 0.02;  // the trend engine's validation scale
   return config;
 }
 
@@ -49,6 +50,8 @@ Study::Study(StudyConfig config) : config_(std::move(config)) {
     config_.performance.thread_count = config_.thread_count;
   if (config_.netflow.thread_count == 0)
     config_.netflow.thread_count = config_.thread_count;
+  if (config_.trend.thread_count == 0)
+    config_.trend.thread_count = config_.thread_count;
 
   world_ = std::make_unique<world::World>(config_.world);
 
@@ -131,6 +134,37 @@ std::uint64_t Study::config_fingerprint() const {
   w.u64(nf.backbone.tail_blocks);
   w.f64(nf.backbone.scanner_probes_per_day);
   w.f64(nf.backbone.do53_to_dot_ratio);
+  const auto& tr = config_.trend;
+  w.i64(tr.start.to_days());
+  w.i64(tr.end.to_days());
+  w.u64(tr.seed);
+  w.f64(tr.scale);
+  w.i64(tr.hll_precision);
+  w.boolean(tr.validate_exact);
+  w.u64(tr.batch_rows);
+  w.u64(tr.sample_rows);
+  w.u32(static_cast<std::uint32_t>(tr.providers.size()));
+  for (const auto& provider : tr.providers) {
+    w.str(provider.name);
+    w.u32(provider.resolver.value());
+    w.u16(provider.dst_port);
+    w.i64(provider.launch.to_days());
+    w.f64(provider.base_daily_flows);
+    w.f64(provider.monthly_growth);
+    w.u32(provider.client_space);
+    w.f64(provider.flows_per_client_day);
+    w.f64(provider.client_churn_per_day);
+    w.u32(provider.address_base);
+  }
+  w.u32(static_cast<std::uint32_t>(tr.events.size()));
+  for (const auto& event : tr.events) {
+    w.u8(static_cast<std::uint8_t>(event.kind));
+    w.str(event.provider);
+    w.i64(event.from.to_days());
+    w.i64(event.to.to_days());
+    w.f64(event.multiplier);
+    w.str(event.label);
+  }
   const auto& pd = config_.passive_dns;
   w.i64(pd.start.to_days());
   w.i64(pd.end.to_days());
@@ -143,7 +177,8 @@ std::uint64_t Study::config_fingerprint() const {
   // resume under the other.
   for (const char* name : {"ENCDNS_FAULTS", "ENCDNS_CACHE_ENTRIES",
                            "ENCDNS_CACHE_NEG_TTL", "ENCDNS_CACHE_SERVE_STALE",
-                           "ENCDNS_DAG"}) {
+                           "ENCDNS_DAG", "ENCDNS_NETFLOW_SCALE",
+                           "ENCDNS_HLL_PRECISION"}) {
     const auto value = util::env_string(name);
     w.boolean(value.has_value());
     w.str(value.value_or(""));
@@ -317,6 +352,8 @@ void Study::decode_phase_state(const std::string& phase,
     no_reuse_ = measure::decode_no_reuse(r);
   } else if (phase == "netflow") {
     netflow_ = traffic::decode_netflow_results(r);
+  } else if (phase == "netflow_trend") {
+    netflow_trend_ = traffic::decode_trend_results(r);
   } else if (phase == "passive_dns") {
     passive_dns_ = traffic::decode_passive_dns(r);
   } else {
@@ -684,6 +721,82 @@ const traffic::NetflowStudyResults& Study::netflow() {
   return *netflow_;
 }
 
+const traffic::TrendStudyResults& Study::netflow_trend() {
+  if (netflow_trend_) return *netflow_trend_;
+  if (checkpoint_ && !graph_mode_) {
+    if (auto loaded = checkpoint_->load_phase("netflow_trend")) {
+      util::ByteReader r(loaded->state);
+      netflow_trend_ = traffic::decode_trend_results(r);
+      r.expect_done();
+      restore_cursor(loaded->cursor);
+      return *netflow_trend_;
+    }
+  }
+  traffic::TrendStudyConfig cfg = config_.trend;
+  cfg.pool = shared_pool_;
+  // ENCDNS_NETFLOW_SCALE multiplies the configured scale (quick() runs at
+  // 0.02; the soak and bench tiers push it back up) and
+  // ENCDNS_HLL_PRECISION overrides the sketch width. Both change the
+  // deterministic output, so both strings sit in the config fingerprint.
+  if (const auto scale = util::env_double("ENCDNS_NETFLOW_SCALE")) {
+    if (!(*scale > 0.0)) {
+      throw util::EnvError("ENCDNS_NETFLOW_SCALE=\"" +
+                           *util::env_string("ENCDNS_NETFLOW_SCALE") +
+                           "\": expected a multiplier > 0");
+    }
+    cfg.scale *= *scale;
+  }
+  if (const auto precision = util::env_int("ENCDNS_HLL_PRECISION")) {
+    if (*precision < traffic::Hll::kMinPrecision ||
+        *precision > traffic::Hll::kMaxPrecision) {
+      throw util::EnvError("ENCDNS_HLL_PRECISION=\"" +
+                           *util::env_string("ENCDNS_HLL_PRECISION") +
+                           "\": expected a precision in [4, 16]");
+    }
+    cfg.hll_precision = static_cast<int>(*precision);
+  }
+  // Own budget slot, falling back to the ENCDNS_DEADLINE_NETFLOW *value*
+  // through a fresh token (the doh-scan pattern): this phase must not
+  // inherit a token the netflow phase already tripped.
+  const char* budget_env = util::env_string("ENCDNS_DEADLINE_NETFLOW_TREND")
+                               ? "ENCDNS_DEADLINE_NETFLOW_TREND"
+                               : "ENCDNS_DEADLINE_NETFLOW";
+  cfg.cancel = phase_cancel(budget_env, netflow_trend_cancel_);
+  std::unique_ptr<exec::CheckpointHook> hook;
+  if (checkpoint_) {
+    if (graph_mode_) {
+      WorldCursor pre = capture_owned_cursor("netflow_trend");
+      if (auto partial = checkpoint_->load_partial_delta("netflow_trend")) {
+        restore_owned_cursor("netflow_trend", partial->cursor);
+        pre = std::move(partial->cursor);
+      }
+      hook = checkpoint_->phase_delta_hook("netflow_trend", pre, [this] {
+        return capture_owned_cursor("netflow_trend");
+      });
+    } else {
+      WorldCursor pre = capture_cursor();
+      if (auto rewound = checkpoint_->partial_pre_cursor("netflow_trend")) {
+        restore_cursor(*rewound);
+        pre = *rewound;
+      }
+      hook = checkpoint_->phase_hook("netflow_trend", pre,
+                                     [this] { return capture_cursor(); });
+    }
+    cfg.checkpoint = hook.get();
+  }
+  traffic::TrendStudy study(cfg);
+  netflow_trend_ = study.run();
+  if (checkpoint_) {
+    util::ByteWriter w;
+    traffic::encode_trend_results(w, *netflow_trend_);
+    if (graph_mode_)
+      stash_commit("netflow_trend", w.take());
+    else
+      checkpoint_->commit_phase("netflow_trend", w.take(), capture_cursor());
+  }
+  return *netflow_trend_;
+}
+
 const traffic::PassiveDnsStudyResults& Study::passive_dns() {
   if (passive_dns_) return *passive_dns_;
   if (checkpoint_ && !graph_mode_) {
@@ -786,6 +899,10 @@ PhaseCoverage Study::phase_coverage(const std::string& phase) {
     const auto& n = netflow();
     coverage.planned = n.days_planned;
     coverage.completed = n.days_processed;
+  } else if (phase == "netflow_trend") {
+    const auto& t = netflow_trend();
+    coverage.planned = t.days_planned;
+    coverage.completed = t.days_processed;
   } else if (phase == "passive_dns") {
     (void)passive_dns();
     coverage.planned = 1;

@@ -23,6 +23,7 @@
 #include "scan/scanner.hpp"
 #include "traffic/netflow_study.hpp"
 #include "traffic/passive_dns.hpp"
+#include "traffic/trend_study.hpp"
 #include "world/world.hpp"
 
 namespace encdns::core {
@@ -70,6 +71,7 @@ struct StudyConfig {
   measure::NoReuseConfig no_reuse;
   measure::LocalProbeConfig local_probe;
   traffic::NetflowStudyConfig netflow;
+  traffic::TrendStudyConfig trend;
   traffic::PassiveDnsStudyConfig passive_dns;
 
   /// Worker threads for every parallel experiment; 0 = auto (ENCDNS_THREADS
@@ -114,6 +116,12 @@ class Study {
   /// §5.2 / §5.3: traffic studies.
   [[nodiscard]] const traffic::NetflowStudyResults& netflow();
   [[nodiscard]] const traffic::PassiveDnsStudyResults& passive_dns();
+
+  /// The multi-year adoption trend engine (DESIGN.md §16): streaming
+  /// columnar aggregation at 100×+ the §5.2 corpus with HLL distinct-client
+  /// sketches. Scaled by ENCDNS_NETFLOW_SCALE; sketch precision via
+  /// ENCDNS_HLL_PRECISION.
+  [[nodiscard]] const traffic::TrendStudyResults& netflow_trend();
 
   /// Fault accounting across the fault-injected experiments: per-layer
   /// injected / recovered / surfaced tallies from the global reachability
@@ -221,6 +229,10 @@ class Study {
   std::optional<exec::CancelToken> reach_cancel_;  // shared by both platforms
   std::optional<exec::CancelToken> perf_cancel_;
   std::optional<exec::CancelToken> netflow_cancel_;
+  /// Own budget slot (ENCDNS_DEADLINE_NETFLOW_TREND, falling back to the
+  /// ENCDNS_DEADLINE_NETFLOW budget *value* with a fresh token) — the trend
+  /// phase must not inherit a token the netflow phase already tripped.
+  std::optional<exec::CancelToken> netflow_trend_cancel_;
   world::World::ResolverCacheTally tally_baseline_;
 
   // Task-graph run state. graph_mode_ flips the accessors' checkpoint
@@ -247,6 +259,7 @@ class Study {
   std::optional<measure::PerformanceResults> performance_;
   std::optional<std::vector<measure::NoReuseRow>> no_reuse_;
   std::optional<traffic::NetflowStudyResults> netflow_;
+  std::optional<traffic::TrendStudyResults> netflow_trend_;
   std::optional<traffic::PassiveDnsStudyResults> passive_dns_;
   std::optional<ObservabilityReport> obs_report_;
 };

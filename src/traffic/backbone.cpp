@@ -103,8 +103,8 @@ void BackboneModel::build_netblocks() {
                       util::Ipv4{167, 94, 138, 2}};
 }
 
-void BackboneModel::generate_day(
-    const util::Date& day, const std::function<void(const RawFlow&)>& sink) const {
+void BackboneModel::generate_day_into(const util::Date& day,
+                                      FlowBatch& batch) const {
   // Per-day rng stream: each day's flows are a pure function of (seed, day),
   // independent of every other day — the property day-sharded parallel
   // aggregation relies on.
@@ -142,7 +142,7 @@ void BackboneModel::generate_day(
         flow.bytes = static_cast<std::uint64_t>(flow.packets) * 110;
         flow.complete_session = true;
         flow.date = day;
-        sink(flow);
+        batch.push(flow);
       }
     }
   }
@@ -160,8 +160,17 @@ void BackboneModel::generate_day(
     probe.bytes = 60;
     probe.complete_session = false;
     probe.date = day;
-    sink(probe);
+    batch.push(probe);
   }
+}
+
+void BackboneModel::generate_day(
+    const util::Date& day, const std::function<void(const RawFlow&)>& sink) const {
+  // Record-at-a-time compatibility shim over the columnar generator: one
+  // batch, replayed row by row, so the two entry points cannot drift.
+  FlowBatch batch;
+  generate_day_into(day, batch);
+  for (std::size_t i = 0; i < batch.size(); ++i) sink(batch.row(i));
 }
 
 void BackboneModel::generate(const std::function<void(const RawFlow&)>& sink) {

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "traffic/flow_batch.hpp"
 #include "traffic/netflow.hpp"
 #include "util/date.hpp"
 #include "util/ipv4.hpp"
@@ -68,6 +69,13 @@ class BackboneModel {
   /// concurrently from several threads on disjoint days.
   void generate_day(const util::Date& day,
                     const std::function<void(const RawFlow&)>& sink) const;
+
+  /// Columnar entry point: append one day's raw flows to `batch` — the same
+  /// rows, drawn from the same per-day rng stream, as generate_day delivers
+  /// to its sink. The streaming engines call this with a shard-local batch
+  /// they clear() and refill day after day, so steady-state generation
+  /// allocates nothing (the ScratchArena warm-reuse discipline, columnar).
+  void generate_day_into(const util::Date& day, FlowBatch& batch) const;
 
   [[nodiscard]] const std::vector<NetblockInfo>& netblocks() const noexcept {
     return netblocks_;

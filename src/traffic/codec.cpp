@@ -35,6 +35,7 @@ void encode_netflow_results(util::ByteWriter& w,
   w.u64(results.total_dot_records);
   w.u64(results.excluded_single_syn);
   w.u64(results.unmatched_853_records);
+  w.u64(results.distinct_block_estimate);
   w.u64(results.flagged_client_blocks);
   w.u64(results.days_planned);
   w.u64(results.days_processed);
@@ -60,6 +61,7 @@ NetflowStudyResults decode_netflow_results(util::ByteReader& r) {
   results.total_dot_records = r.u64();
   results.excluded_single_syn = r.u64();
   results.unmatched_853_records = r.u64();
+  results.distinct_block_estimate = r.u64();
   results.flagged_client_blocks = static_cast<std::size_t>(r.u64());
   results.days_planned = static_cast<std::size_t>(r.u64());
   results.days_processed = static_cast<std::size_t>(r.u64());
@@ -156,6 +158,223 @@ PassiveDnsStudyResults decode_passive_dns(util::ByteReader& r) {
     }
   }
   results.daily_db.restore(std::move(daily));
+  return results;
+}
+
+namespace {
+
+// Checksummed envelope shared by the adoption-scale codecs: version byte,
+// FNV-1a of the payload, then the payload as a length-prefixed blob. Any
+// single-byte corruption — version skew, checksum damage, a bad length, a
+// payload flip — surfaces as CodecError before a field is trusted.
+void write_envelope(util::ByteWriter& w, std::uint8_t version,
+                    util::ByteWriter&& payload) {
+  const std::vector<std::uint8_t> bytes = payload.take();
+  w.u8(version);
+  w.u64(util::fnv1a_bytes(bytes.data(), bytes.size()));
+  w.blob(bytes);
+}
+
+[[nodiscard]] std::vector<std::uint8_t> read_envelope(util::ByteReader& r,
+                                                      std::uint8_t version,
+                                                      const char* what) {
+  const std::uint8_t v = r.u8();
+  if (v != version) {
+    throw util::CodecError(std::string(what) + ": unsupported codec version " +
+                           std::to_string(v));
+  }
+  const std::uint64_t checksum = r.u64();
+  std::vector<std::uint8_t> payload = r.blob();
+  if (util::fnv1a_bytes(payload.data(), payload.size()) != checksum) {
+    throw util::CodecError(std::string(what) + ": payload checksum mismatch");
+  }
+  return payload;
+}
+
+}  // namespace
+
+void encode_hll(util::ByteWriter& w, const Hll& sketch) {
+  util::ByteWriter payload;
+  payload.u8(static_cast<std::uint8_t>(sketch.precision()));
+  payload.u64(sketch.seed());
+  payload.blob(sketch.registers());
+  write_envelope(w, kHllCodecVersion, std::move(payload));
+}
+
+Hll decode_hll(util::ByteReader& r) {
+  const auto bytes = read_envelope(r, kHllCodecVersion, "hll");
+  util::ByteReader p(bytes);
+  const int precision = p.u8();
+  if (precision < Hll::kMinPrecision || precision > Hll::kMaxPrecision) {
+    throw util::CodecError("hll: precision out of range: " +
+                           std::to_string(precision));
+  }
+  const std::uint64_t seed = p.u64();
+  Hll sketch(precision, seed);
+  auto registers = p.blob();
+  if (registers.size() != sketch.register_count()) {
+    throw util::CodecError("hll: register file size mismatch");
+  }
+  for (const std::uint8_t reg : registers) {
+    // Ranks beyond the hash width cannot be produced by add(); reject them
+    // so a corrupted register cannot skew every later estimate.
+    if (reg > 64 - precision + 1) {
+      throw util::CodecError("hll: register rank out of range");
+    }
+  }
+  sketch.restore_registers(std::move(registers));
+  p.expect_done();
+  return sketch;
+}
+
+void encode_flow_batch(util::ByteWriter& w, const FlowBatch& batch) {
+  util::ByteWriter payload;
+  const auto n = static_cast<std::uint32_t>(batch.size());
+  payload.u32(n);
+  for (std::uint32_t i = 0; i < n; ++i) payload.u32(batch.src()[i]);
+  for (std::uint32_t i = 0; i < n; ++i) payload.u32(batch.dst()[i]);
+  for (std::uint32_t i = 0; i < n; ++i) payload.u16(batch.src_port()[i]);
+  for (std::uint32_t i = 0; i < n; ++i) payload.u16(batch.dst_port()[i]);
+  for (std::uint32_t i = 0; i < n; ++i) payload.u8(batch.protocol()[i]);
+  for (std::uint32_t i = 0; i < n; ++i) payload.u32(batch.packets()[i]);
+  for (std::uint32_t i = 0; i < n; ++i) payload.u64(batch.bytes()[i]);
+  for (std::uint32_t i = 0; i < n; ++i) payload.u8(batch.complete()[i]);
+  for (std::uint32_t i = 0; i < n; ++i)
+    payload.u32(static_cast<std::uint32_t>(batch.day()[i]));
+  write_envelope(w, kFlowBatchCodecVersion, std::move(payload));
+}
+
+FlowBatch decode_flow_batch(util::ByteReader& r) {
+  const auto bytes = read_envelope(r, kFlowBatchCodecVersion, "flow_batch");
+  util::ByteReader p(bytes);
+  // Column-major like the wire layout above; rebuilt row by row through the
+  // same push() the generators use.
+  const std::uint32_t n = p.count(27);  // bytes per row across all columns
+  std::vector<RawFlow> rows(n);
+  for (std::uint32_t i = 0; i < n; ++i) rows[i].src = util::Ipv4{p.u32()};
+  for (std::uint32_t i = 0; i < n; ++i) rows[i].dst = util::Ipv4{p.u32()};
+  for (std::uint32_t i = 0; i < n; ++i) rows[i].src_port = p.u16();
+  for (std::uint32_t i = 0; i < n; ++i) rows[i].dst_port = p.u16();
+  for (std::uint32_t i = 0; i < n; ++i) rows[i].protocol = p.u8();
+  for (std::uint32_t i = 0; i < n; ++i) rows[i].packets = p.u32();
+  for (std::uint32_t i = 0; i < n; ++i) rows[i].bytes = p.u64();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint8_t complete = p.u8();
+    if (complete > 1) {
+      throw util::CodecError("flow_batch: complete flag holds " +
+                             std::to_string(complete));
+    }
+    rows[i].complete_session = complete == 1;
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    rows[i].date =
+        util::Date::from_days(static_cast<std::int32_t>(p.u32()));
+  }
+  p.expect_done();
+  FlowBatch batch;
+  batch.reserve(n);
+  for (const RawFlow& row : rows) batch.push(row);
+  return batch;
+}
+
+namespace {
+
+void encode_event(util::ByteWriter& w, const AdoptionEvent& event) {
+  w.u8(static_cast<std::uint8_t>(event.kind));
+  w.str(event.provider);
+  w.i64(event.from.to_days());
+  w.i64(event.to.to_days());
+  w.f64(event.multiplier);
+  w.str(event.label);
+}
+
+[[nodiscard]] AdoptionEvent decode_event(util::ByteReader& r) {
+  AdoptionEvent event;
+  const std::uint8_t kind = r.u8();
+  if (kind > static_cast<std::uint8_t>(AdoptionEvent::Kind::kCensorship)) {
+    throw util::CodecError("trend: unknown adoption event kind " +
+                           std::to_string(kind));
+  }
+  event.kind = static_cast<AdoptionEvent::Kind>(kind);
+  event.provider = r.str();
+  event.from = util::Date::from_days(r.i64());
+  event.to = util::Date::from_days(r.i64());
+  event.multiplier = r.f64();
+  event.label = r.str();
+  return event;
+}
+
+}  // namespace
+
+void encode_trend_results(util::ByteWriter& w,
+                          const TrendStudyResults& results) {
+  util::ByteWriter payload;
+  payload.u64(results.total_records);
+  payload.u64(results.total_bytes);
+  payload.u8(static_cast<std::uint8_t>(results.hll_precision));
+  payload.u64(results.days_planned);
+  payload.u64(results.days_processed);
+  payload.u64(results.peak_tracked_bytes);
+  encode_flow_batch(payload, results.sample);
+  payload.u32(static_cast<std::uint32_t>(results.events.size()));
+  for (const auto& event : results.events) encode_event(payload, event);
+  payload.u32(static_cast<std::uint32_t>(results.providers.size()));
+  for (const auto& series : results.providers) {
+    payload.str(series.name);
+    payload.u64(series.total_records);
+    payload.u64(series.total_bytes);
+    payload.u64(series.clients_estimated);
+    payload.u64(series.clients_exact);
+    payload.u32(static_cast<std::uint32_t>(series.monthly.size()));
+    for (const auto& month : series.monthly) {
+      payload.i64(month.month.to_days());
+      payload.u64(month.records);
+      payload.u64(month.bytes);
+      payload.u64(month.clients_estimated);
+      payload.u64(month.clients_exact);
+    }
+  }
+  write_envelope(w, kTrendCodecVersion, std::move(payload));
+}
+
+TrendStudyResults decode_trend_results(util::ByteReader& r) {
+  const auto bytes = read_envelope(r, kTrendCodecVersion, "trend");
+  util::ByteReader p(bytes);
+  TrendStudyResults results;
+  results.total_records = p.u64();
+  results.total_bytes = p.u64();
+  results.hll_precision = p.u8();
+  results.days_planned = static_cast<std::size_t>(p.u64());
+  results.days_processed = static_cast<std::size_t>(p.u64());
+  results.peak_tracked_bytes = p.u64();
+  results.sample = decode_flow_batch(p);
+  const std::uint32_t n_events = p.count(27);
+  results.events.reserve(n_events);
+  for (std::uint32_t i = 0; i < n_events; ++i)
+    results.events.push_back(decode_event(p));
+  const std::uint32_t n_providers = p.count(40);
+  results.providers.reserve(n_providers);
+  for (std::uint32_t i = 0; i < n_providers; ++i) {
+    TrendProviderSeries series;
+    series.name = p.str();
+    series.total_records = p.u64();
+    series.total_bytes = p.u64();
+    series.clients_estimated = p.u64();
+    series.clients_exact = p.u64();
+    const std::uint32_t n_months = p.count(40);
+    series.monthly.reserve(n_months);
+    for (std::uint32_t j = 0; j < n_months; ++j) {
+      TrendMonth month;
+      month.month = util::Date::from_days(p.i64());
+      month.records = p.u64();
+      month.bytes = p.u64();
+      month.clients_estimated = p.u64();
+      month.clients_exact = p.u64();
+      series.monthly.push_back(month);
+    }
+    results.providers.push_back(std::move(series));
+  }
+  p.expect_done();
   return results;
 }
 

@@ -3,9 +3,12 @@
 // passive-DNS stores.
 #pragma once
 
+#include "traffic/flow_batch.hpp"
+#include "traffic/hll.hpp"
 #include "traffic/netflow_study.hpp"
 #include "traffic/passive_dns.hpp"
 #include "traffic/scan_detector.hpp"
+#include "traffic/trend_study.hpp"
 #include "util/bytes.hpp"
 
 namespace encdns::traffic {
@@ -25,5 +28,22 @@ void decode_detector(util::ByteReader& r, ScanDetector& detector);
 void encode_passive_dns(util::ByteWriter& w,
                         const PassiveDnsStudyResults& results);
 [[nodiscard]] PassiveDnsStudyResults decode_passive_dns(util::ByteReader& r);
+
+// The adoption-scale records below use a checksummed envelope —
+// `u8 version, u64 fnv1a(payload), blob payload` — so *any* torn tail,
+// flipped bit, or version skew fails closed with CodecError instead of
+// resurrecting a silently different sketch or column (DESIGN.md §16).
+inline constexpr std::uint8_t kHllCodecVersion = 1;
+inline constexpr std::uint8_t kFlowBatchCodecVersion = 1;
+inline constexpr std::uint8_t kTrendCodecVersion = 1;
+
+void encode_hll(util::ByteWriter& w, const Hll& sketch);
+[[nodiscard]] Hll decode_hll(util::ByteReader& r);
+
+void encode_flow_batch(util::ByteWriter& w, const FlowBatch& batch);
+[[nodiscard]] FlowBatch decode_flow_batch(util::ByteReader& r);
+
+void encode_trend_results(util::ByteWriter& w, const TrendStudyResults& results);
+[[nodiscard]] TrendStudyResults decode_trend_results(util::ByteReader& r);
 
 }  // namespace encdns::traffic

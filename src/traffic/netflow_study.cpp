@@ -87,7 +87,9 @@ NetflowStudyResults NetflowStudy::run() {
     std::map<util::Date, std::uint64_t> cloudflare_monthly;
     std::map<util::Date, std::uint64_t> quad9_monthly;
     std::unordered_map<std::uint32_t, BlockAccumulator> blocks;
-    std::unordered_set<std::uint32_t> client_blocks;
+    // Distinct client /24s as a sketch: register-max merge makes the shard
+    // layout invisible in the estimate (DESIGN.md §16).
+    Hll block_sketch;
 
     explicit ShardPartial(double rate) : collector(rate) {}
   };
@@ -103,7 +105,7 @@ NetflowStudyResults NetflowStudy::run() {
   // day-by-day pass would set them.
   ScanDetector detector;
   std::unordered_map<std::uint32_t, BlockAccumulator> blocks;
-  std::unordered_set<std::uint32_t> client_blocks;
+  Hll block_sketch;
   std::uint64_t flows_observed = 0;
   std::uint64_t records_sampled = 0;
   std::size_t groups_done = 0;
@@ -136,9 +138,7 @@ NetflowStudyResults NetflowStudy::run() {
         const std::uint32_t n_active = r.count(8);
         for (std::uint32_t d = 0; d < n_active; ++d) acc.days.insert(r.i64());
       }
-      const std::uint32_t n_clients = r.count(4);
-      for (std::uint32_t i = 0; i < n_clients; ++i)
-        client_blocks.insert(r.u32());
+      block_sketch = decode_hll(r);
       decode_detector(r, detector);
       r.expect_done();
     }
@@ -160,6 +160,11 @@ NetflowStudyResults NetflowStudy::run() {
           const auto [first, last] =
               exec::shard_range(n_days, kNetflowShards, shard);
           ShardPartial& partial = partials[s];
+          // One columnar batch per shard, cleared and refilled day after day
+          // (capacity survives the clear): steady-state generation allocates
+          // nothing, and a completed day leaves no per-record state behind —
+          // only the bounded accumulators above.
+          FlowBatch batch;
           for (std::size_t d = first; d < last; ++d) {
             const util::Date day =
                 config_.backbone.start.plus_days(static_cast<std::int64_t>(d));
@@ -168,22 +173,25 @@ NetflowStudyResults NetflowStudy::run() {
             util::Rng day_rng(
                 util::mix64(config_.seed ^ 0x5A3DULL ^
                             static_cast<std::uint64_t>(day.to_days())));
-            model.generate_day(day, [&](const RawFlow& flow) {
+            batch.clear();
+            model.generate_day_into(day, batch);
+            for (std::size_t i = 0; i < batch.size(); ++i) {
+              const RawFlow flow = batch.row(i);
               ++partial.flows_observed;
               partial.detector.observe(flow);
               const auto record = partial.collector.observe(flow, day_rng);
-              if (!record) return;
+              if (!record) continue;
               ++partial.records_sampled;
               if (record->protocol != kProtoTcp || record->dst_port != 853)
-                return;
+                continue;
               if (record->single_syn()) {
                 ++partial.excluded_single_syn;
-                return;
+                continue;
               }
               const auto it = resolvers_.find(record->dst.value());
               if (it == resolvers_.end()) {
                 ++partial.unmatched_853_records;
-                return;
+                continue;
               }
               ++partial.total_dot_records;
               const util::Date month = record->date.month_start();
@@ -192,13 +200,13 @@ NetflowStudyResults NetflowStudy::run() {
 
               // Ethics: keep only the /24 of the client address from here on.
               const util::Ipv4 block = record->src.slash24();
-              partial.client_blocks.insert(block.value());
+              partial.block_sketch.add(block.value());
               auto& acc = partial.blocks[block.value()];
               if (acc.records == 0) acc.first = record->date;
               acc.last = record->date;
               ++acc.records;
               acc.days.insert(record->date.to_days());
-            });
+            }
           }
         },
         config_.cancel);
@@ -222,7 +230,7 @@ NetflowStudyResults NetflowStudy::run() {
         acc.records += theirs.records;
         acc.days.merge(theirs.days);
       }
-      client_blocks.merge(partial.client_blocks);
+      block_sketch.merge(partial.block_sketch);
       const auto [first, last] =
           exec::shard_range(n_days, kNetflowShards, base + s);
       results.days_processed += last - first;
@@ -257,11 +265,7 @@ NetflowStudyResults NetflowStudy::run() {
         w.u32(static_cast<std::uint32_t>(active.size()));
         for (const std::int64_t day : active) w.i64(day);
       }
-      std::vector<std::uint32_t> sorted_clients(client_blocks.begin(),
-                                                client_blocks.end());
-      std::sort(sorted_clients.begin(), sorted_clients.end());
-      w.u32(static_cast<std::uint32_t>(sorted_clients.size()));
-      for (const std::uint32_t addr : sorted_clients) w.u32(addr);
+      encode_hll(w, block_sketch);
       encode_detector(w, detector);
       config_.checkpoint->save(w.take());
     }
@@ -290,8 +294,12 @@ NetflowStudyResults NetflowStudy::run() {
               return a.slash24 < b.slash24;
             });
 
-  for (const std::uint32_t block : client_blocks)
-    if (detector.is_scanner(util::Ipv4{block})) ++results.flagged_client_blocks;
+  for (const auto& entry : blocks)
+    if (detector.is_scanner(util::Ipv4{entry.first}))
+      ++results.flagged_client_blocks;
+  results.distinct_block_estimate = block_sketch.estimate_u64();
+  registry.counter("traffic.netflow.distinct_blocks_estimated")
+      .add(results.distinct_block_estimate);
 
   // Traditional-DNS scale estimate: Do53 flows are short (1-2 packets), so a
   // record exports with probability ~= packets * rate.

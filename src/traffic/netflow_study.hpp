@@ -15,6 +15,7 @@
 #include "exec/checkpoint_hook.hpp"
 #include "exec/executor.hpp"
 #include "traffic/backbone.hpp"
+#include "traffic/hll.hpp"
 #include "traffic/netflow.hpp"
 #include "traffic/scan_detector.hpp"
 #include "util/date.hpp"
@@ -67,6 +68,12 @@ struct NetflowStudyResults {
   /// Scanner-verification outcome: how many observed DoT client /24s the
   /// NetworkScan-Mon-style detector flags (the paper found none).
   std::size_t flagged_client_blocks = 0;
+
+  /// Streaming distinct-client estimate: a seed-keyed HyperLogLog sketch
+  /// (DESIGN.md §16) fed the same /24s as `netblocks`, merged across day
+  /// shards. `netblocks.size()` is the exact count it is validated against;
+  /// at adoption scale the trend engine reports only the sketch.
+  std::uint64_t distinct_block_estimate = 0;
 
   /// Coverage accounting (DESIGN.md §13): simulated days planned vs actually
   /// aggregated; they differ only when a deadline cancelled tail day-shards.

@@ -151,7 +151,7 @@ TEST(Experiments, Figure2UsesRealCodec) {
 
 TEST(Experiments, RegistryCoversPaper) {
   const auto& experiments = all_experiments();
-  EXPECT_EQ(experiments.size(), 24u);
+  EXPECT_EQ(experiments.size(), 25u);
   std::set<std::string> ids;
   for (const auto& experiment : experiments) {
     EXPECT_FALSE(experiment.title.empty());

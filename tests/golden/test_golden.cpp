@@ -143,6 +143,7 @@ TEST_F(GoldenTest, Figure13) { check("fig13"); }
 TEST_F(GoldenTest, DohDiscovery) { check("doh-discovery"); }
 TEST_F(GoldenTest, DohScan) { check("doh-scan"); }
 TEST_F(GoldenTest, LocalProbe) { check("local-probe"); }
+TEST_F(GoldenTest, Figure11Trend) { check("fig11-trend"); }
 
 }  // namespace
 }  // namespace encdns::core

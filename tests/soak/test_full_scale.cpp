@@ -16,12 +16,18 @@
 // tools/check.sh runs `ENCDNS_SOAK=1 ctest -L soak` as a dedicated step.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "core/report.hpp"
 #include "core/study.hpp"
+#include "traffic/trend_study.hpp"
 #include "util/stats.hpp"
 
 namespace encdns::core {
@@ -163,6 +169,72 @@ TEST(SoakLocalProbe, IspDotRateStaysInPaperBand) {
   // (some ISPs do deploy) but rare.
   EXPECT_GT(probe.success_rate(), 0.0005);
   EXPECT_LT(probe.success_rate(), 0.03);
+}
+
+// --- §5.2 extension: multi-year adoption trend at 100x the sampled corpus -----
+
+/// Current resident set in bytes (statm field 2), for before/after deltas.
+std::uint64_t resident_bytes() {
+  std::ifstream statm("/proc/self/statm");
+  std::uint64_t pages_total = 0, pages_resident = 0;
+  statm >> pages_total >> pages_resident;
+  return pages_resident * static_cast<std::uint64_t>(sysconf(_SC_PAGESIZE));
+}
+
+TEST(SoakTrend, HundredFoldCorpusRunsUnderFixedTrackedMemory) {
+  ENCDNS_REQUIRE_SOAK();
+  const auto& trend = full_study().netflow_trend();
+  ASSERT_EQ(trend.days_processed, trend.days_planned);
+  // The acceptance floor: >= 100x the §5.2 sampled corpus (53,591 records)
+  // and millions of distinct clients, while the deterministic live-state
+  // high-water mark stays bounded by staging + month accumulators.
+  EXPECT_GE(trend.total_records, 100u * 53591u);
+  EXPECT_GE(trend.clients_estimated_total(), 1000000u);
+  EXPECT_LT(trend.peak_tracked_bytes, 64ull << 20);
+  // Every default provider contributed, with a multi-year month series.
+  ASSERT_EQ(trend.providers.size(), 4u);
+  for (const auto& provider : trend.providers) {
+    EXPECT_GT(provider.total_records, 100000u) << provider.name;
+    EXPECT_GE(provider.monthly.size(), 24u) << provider.name;
+  }
+}
+
+TEST(SoakTrend, DayRetirementKeepsResidentMemoryFlat) {
+  ENCDNS_REQUIRE_SOAK();
+  // Standalone full-scale run (not via full_study(), whose other phases
+  // dominate absolute RSS): generating ~9M records across four years must
+  // not grow the resident set by more than a fixed staging allowance.
+  const std::uint64_t before = resident_bytes();
+  traffic::TrendStudyConfig config;  // defaults: scale=1, four-year horizon
+  const auto results = traffic::TrendStudy(config).run();
+  const std::uint64_t after = resident_bytes();
+  ASSERT_GE(results.total_records, 100u * 53591u);
+  EXPECT_LT(results.peak_tracked_bytes, 64ull << 20);
+  const std::uint64_t delta = after > before ? after - before : 0;
+  EXPECT_LT(delta, 256ull << 20)
+      << "day retirement should keep memory flat; resident grew by "
+      << (delta >> 20) << " MiB over " << results.total_records << " records";
+}
+
+TEST(SoakTrend, SketchTracksExactClientsAtValidationScale) {
+  ENCDNS_REQUIRE_SOAK();
+  // Larger-than-tier-1 validation point: exact per-month client sets are
+  // still tractable at 0.1x, and every provider's all-time estimate must sit
+  // within the tested 3-sigma band of the exact distinct count.
+  traffic::TrendStudyConfig config;
+  config.scale = 0.1;
+  config.validate_exact = true;
+  const auto results = traffic::TrendStudy(config).run();
+  const double sigma =
+      traffic::Hll(config.hll_precision).relative_error_bound();
+  for (const auto& provider : results.providers) {
+    ASSERT_GT(provider.clients_exact, 0u) << provider.name;
+    const double rel_error =
+        std::abs(static_cast<double>(provider.clients_estimated) -
+                 static_cast<double>(provider.clients_exact)) /
+        static_cast<double>(provider.clients_exact);
+    EXPECT_LE(rel_error, 3.0 * sigma) << provider.name;
+  }
 }
 
 // --- The full report stays green at paper scale -------------------------------

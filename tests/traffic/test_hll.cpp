@@ -1,0 +1,178 @@
+// Accuracy and algebra properties of the HyperLogLog sketch that replaced
+// exact client-set tracking in the traffic studies (DESIGN.md §16). The
+// sweep checks the textbook 1.04/sqrt(m) relative-error bound across five
+// decades of cardinality and five seeds; the algebra tests pin the merge
+// laws (commutativity, associativity, idempotence) the sharded studies rely
+// on for thread-count-invariant results.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "traffic/hll.hpp"
+#include "util/rng.hpp"
+
+namespace encdns::traffic {
+namespace {
+
+// Distinct synthetic keys: mix64 is a bijection on 64-bit space, so
+// mix64(base + i) yields exactly `n` distinct values.
+std::uint64_t key_at(std::uint64_t base, std::uint64_t i) {
+  return util::mix64(base + 0x9E3779B97F4A7C15ULL * i);
+}
+
+TEST(Hll, EmptySketchEstimatesZero) {
+  Hll sketch;
+  EXPECT_EQ(sketch.estimate_u64(), 0u);
+  EXPECT_EQ(sketch.register_count(), 1u << Hll::kDefaultPrecision);
+}
+
+TEST(Hll, RejectsOutOfRangePrecision) {
+  EXPECT_THROW(Hll(Hll::kMinPrecision - 1), std::invalid_argument);
+  EXPECT_THROW(Hll(Hll::kMaxPrecision + 1), std::invalid_argument);
+}
+
+TEST(Hll, DuplicateAddsDoNotInflateTheEstimate) {
+  Hll sketch;
+  for (int round = 0; round < 50; ++round)
+    for (std::uint64_t i = 0; i < 100; ++i) sketch.add(key_at(7, i));
+  const double estimate = sketch.estimate();
+  EXPECT_NEAR(estimate, 100.0, 100.0 * 3.0 * sketch.relative_error_bound());
+}
+
+// The headline property: estimates stay within the 1.04/sqrt(m) standard
+// error across cardinalities 10..10^7, for five independent seeds. Each
+// individual run is held to 3 sigma; the mean relative error across seeds
+// must fall within 1.5 sigma (E|N(0,s)| is ~0.8s and a five-sample mean
+// fluctuates around it), which catches a systematically biased
+// implementation that per-run tolerances would let through.
+TEST(Hll, RelativeErrorWithinBoundAcrossCardinalitiesAndSeeds) {
+  const std::vector<std::uint64_t> cardinalities{10,     100,     1000,
+                                                 10000,  100000,  1000000,
+                                                 10000000};
+  const std::vector<std::uint64_t> seeds{
+      Hll::kDefaultSeed, 0x1ULL, 0xDEADBEEFULL, 0xA5A5A5A5A5A5A5A5ULL,
+      0x123456789ABCDEFULL};
+  for (const std::uint64_t n : cardinalities) {
+    const double sigma = Hll().relative_error_bound();  // 1.04/sqrt(m)
+    // Small cardinalities resolve through linear counting where the
+    // relative spread is wider in absolute sketch terms; allow a floor of
+    // a couple of items so n=10 does not demand sub-item resolution.
+    const double tolerance_floor = 2.0 / static_cast<double>(n);
+    double total_rel_error = 0.0;
+    for (const std::uint64_t seed : seeds) {
+      Hll sketch(Hll::kDefaultPrecision, seed);
+      for (std::uint64_t i = 0; i < n; ++i) sketch.add(key_at(seed, i));
+      const double rel_error =
+          std::abs(sketch.estimate() - static_cast<double>(n)) /
+          static_cast<double>(n);
+      EXPECT_LE(rel_error, std::max(3.0 * sigma, tolerance_floor))
+          << "cardinality " << n << " seed " << seed;
+      total_rel_error += rel_error;
+    }
+    const double mean_rel_error = total_rel_error / seeds.size();
+    EXPECT_LE(mean_rel_error, std::max(1.5 * sigma, tolerance_floor))
+        << "cardinality " << n;
+  }
+}
+
+TEST(Hll, AccuracyHoldsAtLowerPrecisions) {
+  for (const int precision : {8, 10, 12}) {
+    Hll sketch(precision);
+    const std::uint64_t n = 50000;
+    for (std::uint64_t i = 0; i < n; ++i) sketch.add(key_at(precision, i));
+    const double rel_error =
+        std::abs(sketch.estimate() - static_cast<double>(n)) /
+        static_cast<double>(n);
+    EXPECT_LE(rel_error, 3.0 * sketch.relative_error_bound())
+        << "precision " << precision;
+  }
+}
+
+TEST(Hll, MergeIsCommutative) {
+  Hll a, b;
+  for (std::uint64_t i = 0; i < 5000; ++i) a.add(key_at(1, i));
+  for (std::uint64_t i = 0; i < 5000; ++i) b.add(key_at(2, i));
+  Hll ab = a, ba = b;
+  ab.merge(b);
+  ba.merge(a);
+  EXPECT_EQ(ab, ba);
+  EXPECT_EQ(ab.estimate_u64(), ba.estimate_u64());
+}
+
+TEST(Hll, MergeIsAssociative) {
+  Hll a, b, c;
+  for (std::uint64_t i = 0; i < 3000; ++i) a.add(key_at(10, i));
+  for (std::uint64_t i = 0; i < 3000; ++i) b.add(key_at(20, i));
+  for (std::uint64_t i = 0; i < 3000; ++i) c.add(key_at(30, i));
+  Hll left = a;   // (a ∪ b) ∪ c
+  left.merge(b);
+  left.merge(c);
+  Hll bc = b;     // a ∪ (b ∪ c)
+  bc.merge(c);
+  Hll right = a;
+  right.merge(bc);
+  EXPECT_EQ(left, right);
+}
+
+TEST(Hll, SelfMergeIsIdempotent) {
+  Hll sketch;
+  for (std::uint64_t i = 0; i < 10000; ++i) sketch.add(key_at(3, i));
+  Hll merged = sketch;
+  merged.merge(sketch);
+  EXPECT_EQ(merged, sketch);
+}
+
+// The property the sharded studies depend on: splitting a stream across
+// shards and register-maxing the shard sketches yields the *identical*
+// register file — not merely a close estimate — as one sketch fed serially.
+TEST(Hll, ShardedMergeMatchesSerialRegisters) {
+  const std::uint64_t n = 100000;
+  Hll serial;
+  for (std::uint64_t i = 0; i < n; ++i) serial.add(key_at(4, i));
+  for (const std::size_t shards : {2u, 8u, 16u}) {
+    std::vector<Hll> parts(shards);
+    for (std::uint64_t i = 0; i < n; ++i) parts[i % shards].add(key_at(4, i));
+    Hll merged = parts[0];
+    for (std::size_t s = 1; s < shards; ++s) merged.merge(parts[s]);
+    EXPECT_EQ(merged, serial) << shards << " shards";
+  }
+}
+
+TEST(Hll, MergeRejectsMismatchedPrecisionOrSeed) {
+  Hll base(14, 1);
+  EXPECT_THROW(base.merge(Hll(12, 1)), std::invalid_argument);
+  EXPECT_THROW(base.merge(Hll(14, 2)), std::invalid_argument);
+  EXPECT_NO_THROW(base.merge(Hll(14, 1)));
+}
+
+TEST(Hll, EstimateAgreesWithExactSetOnClientLikeStream) {
+  // The shape the trend study feeds it: bounded client ids with heavy
+  // repetition, hashed through the same seed-keyed path.
+  util::Rng rng(99);
+  Hll sketch;
+  std::unordered_set<std::uint32_t> exact;
+  for (int i = 0; i < 200000; ++i) {
+    const auto client = static_cast<std::uint32_t>(rng.below(30000));
+    sketch.add(client);
+    exact.insert(client);
+  }
+  const double rel_error =
+      std::abs(sketch.estimate() - static_cast<double>(exact.size())) /
+      static_cast<double>(exact.size());
+  EXPECT_LE(rel_error, 3.0 * sketch.relative_error_bound());
+}
+
+TEST(Hll, ClearResetsToEmpty) {
+  Hll sketch;
+  for (std::uint64_t i = 0; i < 1000; ++i) sketch.add(key_at(5, i));
+  sketch.clear();
+  EXPECT_EQ(sketch, Hll());
+  EXPECT_EQ(sketch.estimate_u64(), 0u);
+}
+
+}  // namespace
+}  // namespace encdns::traffic

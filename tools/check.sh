@@ -173,6 +173,22 @@ run_scan_guard() {
   echo "stateless sweep matches legacy and holds the 1.5x floor."
 }
 
+run_netflow_guard() {
+  # The DESIGN.md §16 streaming trend pipeline: a full-scale multi-year run
+  # must clear 100x the §5.2 sampled corpus under fixed memory (tracked
+  # live state < 64 MiB, resident-set delta < 256 MiB), the HLL sketches
+  # must track exact client counts within 3 sigma at validation scale, and
+  # the flow count and flows/s are held against BENCH_netflow.json.
+  echo "=== netflow trend pipeline guard ==="
+  local tmp
+  tmp="$(mktemp)"
+  ./build/bench/bench_macro_study --netflow-guard BENCH_netflow.json \
+    --out "${tmp}"
+  grep -q '"guard_met": true' "${tmp}"
+  rm -f "${tmp}"
+  echo "trend pipeline holds its memory, accuracy and throughput floors."
+}
+
 run_pass "plain" build ""
 run_golden
 run_cache_guard
@@ -180,6 +196,7 @@ run_chaos
 run_dag_guard
 run_checkpoint_guard
 run_scan_guard
+run_netflow_guard
 run_soak
 run_throughput_guard
 run_pass "asan" build-asan address
